@@ -1,0 +1,192 @@
+// Command trimlab runs any of the paper's experiments from the command
+// line and prints the same rows/series the paper reports.
+//
+// Usage:
+//
+//	trimlab -experiment fig4 [-scale quick|bench|paper] [-points N] [-seed S]
+//
+// Experiments: table1, table2, table3, table4, fig4, fig5, fig6, fig7,
+// fig8, fig9, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/game"
+)
+
+func main() {
+	var (
+		exp    = flag.String("experiment", "all", "experiment to run: table1..table4, fig4..fig9, variants, all")
+		scale  = flag.String("scale", "quick", "effort: quick, bench, or paper")
+		points = flag.Int("points", 3, "attack-ratio points per interval (fig4/fig5)")
+		seed   = flag.Int64("seed", 1, "base RNG seed")
+	)
+	flag.Parse()
+
+	sc, err := scaleFor(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	sc.Seed = *seed
+
+	runners := map[string]func() error{
+		"table1": func() error {
+			res, err := experiments.TableI(game.UltimatumPayoffs{PBar: 100, TBar: 50, P: 3, T: 1})
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			return nil
+		},
+		"table2": func() error {
+			res, err := experiments.TableII(sc.Seed, *scale == "paper")
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			return nil
+		},
+		"table3": func() error {
+			res, err := experiments.TableIII(sc)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			return nil
+		},
+		"table4": func() error {
+			res, err := experiments.TableIV(0.9)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			return nil
+		},
+		"fig4": func() error {
+			res, err := experiments.Fig4(sc, *points)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			return nil
+		},
+		"fig5": func() error {
+			res, err := experiments.Fig5(sc, *points)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			return nil
+		},
+		"fig6": func() error {
+			res, err := experiments.Fig6(sc)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			return nil
+		},
+		"fig7": func() error {
+			res, err := experiments.Fig7(sc)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			return nil
+		},
+		"fig8": func() error {
+			res, err := experiments.Fig8(sc)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			return nil
+		},
+		"fig9": func() error {
+			ratios, epsilons := fig9Grids(*scale)
+			res, err := experiments.Fig9(sc, ratios, epsilons)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			return nil
+		},
+		"variants": func() error {
+			res, err := experiments.Variants(sc)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			return nil
+		},
+		"blackbox": func() error {
+			res, err := experiments.BlackBox(sc)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			return nil
+		},
+	}
+
+	order := []string{"table1", "table2", "table3", "table4",
+		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "variants", "blackbox"}
+
+	if *exp == "all" {
+		for _, name := range order {
+			if err := timed(name, runners[name]); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+		return
+	}
+	run, ok := runners[*exp]
+	if !ok {
+		fatal(fmt.Errorf("unknown experiment %q (want one of %v or all)", *exp, order))
+	}
+	if err := timed(*exp, run); err != nil {
+		fatal(err)
+	}
+}
+
+func scaleFor(name string) (experiments.Scale, error) {
+	switch name {
+	case "quick":
+		return experiments.Quick, nil
+	case "bench":
+		return experiments.Bench, nil
+	case "paper":
+		return experiments.Paper, nil
+	}
+	return experiments.Scale{}, fmt.Errorf("unknown scale %q (want quick, bench, or paper)", name)
+}
+
+// fig9Grids reduces the Fig 9 sweep outside paper scale: the full 9×9 grid
+// with repetitions is the heaviest experiment in the suite.
+func fig9Grids(scale string) (ratios, epsilons []float64) {
+	if scale == "paper" {
+		return nil, nil // package defaults: the full paper grids
+	}
+	return []float64{0.05, 0.2, 0.45}, []float64{1, 2, 3, 4, 5}
+}
+
+func timed(name string, run func() error) error {
+	start := time.Now()
+	fmt.Printf("=== %s ===\n", name)
+	if err := run(); err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	fmt.Printf("--- %s done in %v\n", name, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "trimlab:", err)
+	os.Exit(1)
+}

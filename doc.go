@@ -1,0 +1,18 @@
+// Package repro is a from-scratch Go reproduction of "Interactive Trimming
+// against Evasive Online Data Manipulation Attacks: A Game-Theoretic
+// Approach" (Fu, Ye, Du, Hu — ICDE 2024, arXiv:2403.10313).
+//
+// The library lives under internal/:
+//
+//   - internal/trim, internal/attack, internal/collect — the interactive
+//     trimming game (the paper's contribution),
+//   - internal/game, internal/lagrangian — the game-theoretic and
+//     least-action analytical models,
+//   - internal/stats, internal/dataset, internal/ml/…, internal/ldp —
+//     the substrates the evaluation needs,
+//   - internal/experiments — one harness per paper table/figure.
+//
+// Runnable entry points are cmd/trimlab, cmd/datagen and the programs under
+// examples/. The benchmark suite in bench_test.go regenerates every table
+// and figure at benchmark scale.
+package repro

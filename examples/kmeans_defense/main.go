@@ -1,0 +1,68 @@
+// kmeans_defense: the Fig 4 scenario end to end on the Control dataset —
+// six defense schemes against a colluding adversary, scored by how far the
+// poisoned clustering's centroids drift from the clean ground truth.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/collect"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/ml/kmeans"
+	"repro/internal/stats"
+)
+
+func main() {
+	const (
+		tth         = 0.9
+		attackRatio = 0.3
+		rounds      = 20
+		batch       = 300
+	)
+
+	ctl := dataset.Control(stats.NewRand(7))
+	clean, err := kmeans.Fit(stats.NewRand(8), ctl.X, kmeans.Config{K: ctl.Clusters, Restarts: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Control: %d series, %d classes — clean SSE %.4g\n\n",
+		ctl.Len(), ctl.Clusters, clean.SSE)
+	fmt.Printf("%-16s %-12s %-12s %-14s\n", "scheme", "SSE/row", "centroidDist", "poisonKept%")
+
+	for _, name := range experiments.AllSchemes {
+		scheme, err := experiments.NewScheme(name, tth, 0.5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := collect.RunRows(collect.RowConfig{
+			Rounds:      rounds,
+			Batch:       batch,
+			AttackRatio: attackRatio,
+			Data:        ctl,
+			Collector:   scheme.Collector,
+			Adversary:   scheme.Adversary,
+			PoisonLabel: -1,
+			Rng:         stats.NewRand(9),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fit, err := kmeans.Fit(stats.NewRand(10), out.Kept.X, kmeans.Config{K: ctl.Clusters, Restarts: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		dist, err := kmeans.CentroidDistance(fit.Centroids, clean.Centroids)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s %-12.4g %-12.4g %-14.2f\n",
+			name, fit.SSE/float64(out.Kept.Len()), dist,
+			100*out.Board.PoisonRetention())
+	}
+	fmt.Println("\nExpected shape: Titfortat removes the equilibrium poison outright")
+	fmt.Println("(near-zero retention); the Elastic schemes tolerate mild poison by")
+	fmt.Println("design in exchange for sustainable cooperation; Ostrich and the")
+	fmt.Println("tracked static baseline retain the attack in full.")
+}

@@ -1,0 +1,102 @@
+// ldp_collection: the Fig 9 scenario — privacy-preserving mean estimation
+// on taxi pick-up times under the input-manipulation attack, comparing
+// interactive trimming against the EMF filtering baseline across privacy
+// budgets.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/attack"
+	"repro/internal/collect"
+	"repro/internal/dataset"
+	"repro/internal/ldp"
+	"repro/internal/stats"
+	"repro/internal/trim"
+)
+
+func main() {
+	const (
+		attackRatio = 0.25
+		rounds      = 10
+		batch       = 2000
+	)
+
+	taxi := dataset.TaxiN(stats.NewRand(11), 100000)
+	inputs, err := taxi.Column(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Taxi sample: %d pick-up times normalized to [-1,1], true mean %.4f\n\n",
+		len(inputs), stats.Mean(inputs))
+	fmt.Printf("%-6s %-14s %-14s %-14s\n", "eps", "Elastic0.5", "Titfortat", "EMF")
+
+	for _, eps := range []float64{1, 2, 3, 4, 5} {
+		mech, err := ldp.NewPiecewise(eps)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		elastic := runScheme(mech, inputs, attackRatio, rounds, batch, func() (trim.Strategy, error) {
+			return trim.NewElastic(0.95, 0.5)
+		})
+		tft := runScheme(mech, inputs, attackRatio, rounds, batch, func() (trim.Strategy, error) {
+			return trim.NewTitfortat(0.96, 0.92, 0.5)
+		})
+
+		// EMF baseline: no trimming, EM filtering over all reports.
+		adv, err := attack.NewPoint("P999", 0.999)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := collect.RunLDP(collect.LDPConfig{
+			Rounds: rounds, Batch: batch, AttackRatio: attackRatio,
+			Inputs: inputs, Mechanism: mech,
+			Collector: trim.Ostrich{}, Adversary: adv,
+			Rng: stats.NewRand(12),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		filter, err := ldp.NewEMFilter(mech, 32, 64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		est, err := filter.MeanEstimate(out.AllReports)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emfErr := math.Abs(est - out.TrueMean)
+
+		fmt.Printf("%-6.1f %-14.5f %-14.5f %-14.5f\n", eps, elastic, tft, emfErr)
+	}
+	fmt.Println("\nExpected shape: the EMF cannot remove channel-consistent poison")
+	fmt.Println("(input manipulation), so trimming wins across the ε range; at")
+	fmt.Println("small ε all schemes pay more overhead from perturbation noise.")
+}
+
+// runScheme plays one LDP collection game and returns |estimate − truth|.
+func runScheme(mech ldp.Mechanism, inputs []float64, ratio float64,
+	rounds, batch int, mk func() (trim.Strategy, error)) float64 {
+
+	collector, err := mk()
+	if err != nil {
+		log.Fatal(err)
+	}
+	adv, err := attack.NewPoint("P999", 0.999)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := collect.RunLDP(collect.LDPConfig{
+		Rounds: rounds, Batch: batch, AttackRatio: ratio,
+		Inputs: inputs, Mechanism: mech,
+		Collector: collector, Adversary: adv,
+		Rng: stats.NewRand(13),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return math.Abs(out.MeanEstimate - out.TrueMean)
+}

@@ -1,0 +1,154 @@
+// Package attack implements the adversary side of the interactive trimming
+// game: the injection strategies of §VI — equilibrium play, the two
+// baseline adversaries, the Elastic best-response dynamics and the mixed-p
+// adversary of the non-equilibrium study (Table III).
+//
+// The threat model is colluding, opportunistic and evasive (§III-A):
+// adversaries coordinate (a single strategy object controls every poison
+// value in a round), maximize deviation, and adapt using the public board's
+// record of the collector's previous move.
+//
+// Injection positions are percentiles of the clean reference distribution,
+// following the paper's percentile convention.
+package attack
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Observation is what the adversary sees from the public board after a
+// round: the collector's trimming threshold (white-box, complete
+// information).
+type Observation struct {
+	Round        int     // 1-based round that just finished
+	ThresholdPct float64 // the collector's trim percentile in that round
+}
+
+// Strategy decides where the adversary injects poison each round.
+// Implementations are stateful; Reset restores the initial state.
+type Strategy interface {
+	// Name identifies the adversary in experiment output.
+	Name() string
+	// Injection returns a sampler of injection percentiles for round r
+	// (1-based), given the observation of round r−1. The engine calls the
+	// sampler once per poison value, which lets strategies express both
+	// point injections and distributions (mixed strategies).
+	Injection(r int, prev Observation) func(rng *rand.Rand) float64
+	// Reset restores initial state.
+	Reset()
+}
+
+func validatePct(name string, p float64) error {
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return fmt.Errorf("attack: %s percentile %v outside [0,1]", name, p)
+	}
+	return nil
+}
+
+// Point injects every poison value at a fixed percentile. The paper's
+// Ostrich adversary uses Point(0.99); the equilibrium adversary of the
+// Table III study is Point(0.99) as well.
+type Point struct {
+	Label string
+	Pct   float64
+}
+
+// NewPoint builds a fixed-position adversary.
+func NewPoint(label string, pct float64) (*Point, error) {
+	if err := validatePct("injection", pct); err != nil {
+		return nil, err
+	}
+	return &Point{Label: label, Pct: pct}, nil
+}
+
+// Name implements Strategy.
+func (p *Point) Name() string { return p.Label }
+
+// Injection implements Strategy.
+func (p *Point) Injection(int, Observation) func(*rand.Rand) float64 {
+	pct := p.Pct
+	return func(*rand.Rand) float64 { return pct }
+}
+
+// Reset implements Strategy.
+func (p *Point) Reset() {}
+
+// Range injects each poison value at an independent uniform percentile in
+// [Lo, Hi] — the Baseline 0.9 adversary uses Range(0.9, 1).
+type Range struct {
+	Label  string
+	Lo, Hi float64
+}
+
+// NewRange builds a uniform-range adversary.
+func NewRange(label string, lo, hi float64) (*Range, error) {
+	if err := validatePct("lo", lo); err != nil {
+		return nil, err
+	}
+	if err := validatePct("hi", hi); err != nil {
+		return nil, err
+	}
+	if lo > hi {
+		return nil, fmt.Errorf("attack: range [%v, %v] inverted", lo, hi)
+	}
+	return &Range{Label: label, Lo: lo, Hi: hi}, nil
+}
+
+// Name implements Strategy.
+func (r *Range) Name() string { return r.Label }
+
+// Injection implements Strategy.
+func (r *Range) Injection(int, Observation) func(*rand.Rand) float64 {
+	lo, hi := r.Lo, r.Hi
+	return func(rng *rand.Rand) float64 { return lo + (hi-lo)*rng.Float64() }
+}
+
+// Reset implements Strategy.
+func (r *Range) Reset() {}
+
+// Tracking is the Baseline static "ideal attack": the adversary knows the
+// collector's threshold each round and injects just below it, at
+// threshold + Offset (Offset is negative, the paper uses −1%).
+type Tracking struct {
+	Label   string
+	Initial float64 // percentile for round 1, before any observation
+	Offset  float64 // added to the observed threshold (negative = below)
+}
+
+// NewTracking builds the threshold-tracking adversary.
+func NewTracking(label string, initial, offset float64) (*Tracking, error) {
+	if err := validatePct("initial", initial); err != nil {
+		return nil, err
+	}
+	if math.Abs(offset) > 1 {
+		return nil, fmt.Errorf("attack: tracking offset %v implausible", offset)
+	}
+	return &Tracking{Label: label, Initial: initial, Offset: offset}, nil
+}
+
+// Name implements Strategy.
+func (t *Tracking) Name() string { return t.Label }
+
+// Injection implements Strategy.
+func (t *Tracking) Injection(r int, prev Observation) func(*rand.Rand) float64 {
+	pct := t.Initial
+	if r > 1 {
+		pct = clampPct(prev.ThresholdPct + t.Offset)
+	}
+	return func(*rand.Rand) float64 { return pct }
+}
+
+// Reset implements Strategy.
+func (t *Tracking) Reset() {}
+
+func clampPct(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

@@ -1,0 +1,170 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestPoint(t *testing.T) {
+	p, err := NewPoint("Ostrich99", 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "Ostrich99" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	rng := stats.NewRand(1)
+	sample := p.Injection(1, Observation{})
+	for i := 0; i < 10; i++ {
+		if got := sample(rng); got != 0.99 {
+			t.Errorf("Point injection = %v", got)
+		}
+	}
+	if _, err := NewPoint("bad", 1.2); err == nil {
+		t.Error("out-of-range percentile should error")
+	}
+	p.Reset()
+}
+
+func TestRange(t *testing.T) {
+	r, err := NewRange("Baseline0.9", 0.9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRand(2)
+	sample := r.Injection(1, Observation{})
+	var mn, mx = 2.0, -1.0
+	for i := 0; i < 10000; i++ {
+		v := sample(rng)
+		if v < 0.9 || v > 1 {
+			t.Fatalf("Range injection %v outside [0.9, 1]", v)
+		}
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	if mn > 0.91 || mx < 0.99 {
+		t.Errorf("Range not covering its support: [%v, %v]", mn, mx)
+	}
+	if _, err := NewRange("bad", 0.9, 0.5); err == nil {
+		t.Error("inverted range should error")
+	}
+	if _, err := NewRange("bad", -0.1, 0.5); err == nil {
+		t.Error("negative lo should error")
+	}
+	r.Reset()
+}
+
+func TestTracking(t *testing.T) {
+	tr, err := NewTracking("Baselinestatic", 0.89, -0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRand(3)
+	// Round 1: initial position.
+	if got := tr.Injection(1, Observation{ThresholdPct: math.NaN()})(rng); got != 0.89 {
+		t.Errorf("round 1 injection = %v, want 0.89", got)
+	}
+	// Round 2: observed threshold − 1%.
+	got := tr.Injection(2, Observation{Round: 1, ThresholdPct: 0.95})(rng)
+	if math.Abs(got-0.94) > 1e-12 {
+		t.Errorf("round 2 injection = %v, want 0.94", got)
+	}
+	if _, err := NewTracking("bad", 2, -0.01); err == nil {
+		t.Error("bad initial should error")
+	}
+	if _, err := NewTracking("bad", 0.9, 3); err == nil {
+		t.Error("huge offset should error")
+	}
+	tr.Reset()
+}
+
+func TestTrackingClamps(t *testing.T) {
+	tr, _ := NewTracking("t", 0.9, -0.95)
+	rng := stats.NewRand(4)
+	got := tr.Injection(2, Observation{Round: 1, ThresholdPct: 0.5})(rng)
+	if got != 0 {
+		t.Errorf("clamped injection = %v, want 0", got)
+	}
+}
+
+func TestElasticAdversary(t *testing.T) {
+	e, err := NewElastic(0.9, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRand(5)
+	// Round 1: Tth + 1%.
+	if got := e.Injection(1, Observation{ThresholdPct: math.NaN()})(rng); math.Abs(got-0.91) > 1e-12 {
+		t.Errorf("round 1 = %v, want 0.91", got)
+	}
+	// Round 2 after observing T(1)=0.87: A = 0.9−0.03+0.5(0.87−0.9) = 0.855.
+	got := e.Injection(2, Observation{Round: 1, ThresholdPct: 0.87})(rng)
+	if math.Abs(got-0.855) > 1e-12 {
+		t.Errorf("round 2 = %v, want 0.855", got)
+	}
+	// NaN observation: hold position.
+	if held := e.Injection(3, Observation{Round: 2, ThresholdPct: math.NaN()})(rng); held != got {
+		t.Errorf("moved without observation: %v", held)
+	}
+	e.Reset()
+	if got := e.Injection(1, Observation{})(rng); math.Abs(got-0.91) > 1e-12 {
+		t.Errorf("post-reset = %v", got)
+	}
+	if _, err := NewElastic(0.9, 0); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := NewElastic(1.5, 0.5); err == nil {
+		t.Error("bad Tth should error")
+	}
+}
+
+func TestMixedP(t *testing.T) {
+	m, err := NewMixedP(0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRand(6)
+	sample := m.Injection(1, Observation{})
+	n, hi := 100000, 0
+	for i := 0; i < n; i++ {
+		switch v := sample(rng); v {
+		case 0.99:
+			hi++
+		case 0.90:
+		default:
+			t.Fatalf("MixedP produced %v, want 0.99 or 0.90", v)
+		}
+	}
+	frac := float64(hi) / float64(n)
+	if math.Abs(frac-0.7) > 0.01 {
+		t.Errorf("high fraction = %v, want ≈0.7", frac)
+	}
+	if _, err := NewMixedP(1.5); err == nil {
+		t.Error("p>1 should error")
+	}
+	m.Reset()
+}
+
+func TestMixedPExtremes(t *testing.T) {
+	rng := stats.NewRand(7)
+	m1, _ := NewMixedP(1)
+	s := m1.Injection(1, Observation{})
+	for i := 0; i < 100; i++ {
+		if s(rng) != 0.99 {
+			t.Fatal("p=1 must always inject at 0.99")
+		}
+	}
+	m0, _ := NewMixedP(0)
+	s = m0.Injection(1, Observation{})
+	for i := 0; i < 100; i++ {
+		if s(rng) != 0.90 {
+			t.Fatal("p=0 must always inject at 0.90")
+		}
+	}
+}

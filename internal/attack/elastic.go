@@ -1,0 +1,90 @@
+package attack
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Elastic is the adversary half of the §VI-A coupled dynamics: the round-1
+// injection is Tth + 1%, and subsequent rounds best-respond to the
+// collector's observed threshold with
+//
+//	A(i+1) = Tth − 3% + k·(T(i) − Tth).
+//
+// Together with trim.Elastic this forms the damped interaction of
+// Theorem 4, converging to the fixed point A* = Tth − (0.03+0.01k²)/(1−k²).
+type Elastic struct {
+	Tth float64
+	K   float64
+
+	last float64
+}
+
+// NewElastic validates and builds the adversary.
+func NewElastic(tth, k float64) (*Elastic, error) {
+	if err := validatePct("Tth", tth); err != nil {
+		return nil, err
+	}
+	if !(k > 0 && k < 1) {
+		return nil, fmt.Errorf("attack: elastic k = %v outside (0,1)", k)
+	}
+	init := tth + 0.01
+	if init > 1 {
+		init = 1
+	}
+	return &Elastic{Tth: tth, K: k, last: init}, nil
+}
+
+// Name implements Strategy.
+func (e *Elastic) Name() string { return fmt.Sprintf("ElasticAdversary%.1f", e.K) }
+
+// Injection implements Strategy.
+func (e *Elastic) Injection(r int, prev Observation) func(*rand.Rand) float64 {
+	if r <= 1 {
+		e.last = clampPct(e.Tth + 0.01)
+	} else if !math.IsNaN(prev.ThresholdPct) {
+		e.last = clampPct(e.Tth - 0.03 + e.K*(prev.ThresholdPct-e.Tth))
+	}
+	pct := e.last
+	return func(*rand.Rand) float64 { return pct }
+}
+
+// Reset implements Strategy.
+func (e *Elastic) Reset() { e.last = clampPct(e.Tth + 0.01) }
+
+// MixedP is the Table III non-equilibrium adversary: each poison value goes
+// to the high percentile (0.99, the Stackelberg-equilibrium placement) with
+// probability P and to the low percentile (0.90, the greedy evasive
+// placement) with probability 1−P. P = 1 is the equilibrium adversary;
+// P = 0 is "greedy and shortsighted".
+type MixedP struct {
+	P       float64
+	HighPct float64
+	LowPct  float64
+}
+
+// NewMixedP builds the mixed adversary with the paper's 99th/90th bases.
+func NewMixedP(p float64) (*MixedP, error) {
+	if err := validatePct("mix probability", p); err != nil {
+		return nil, err
+	}
+	return &MixedP{P: p, HighPct: 0.99, LowPct: 0.90}, nil
+}
+
+// Name implements Strategy.
+func (m *MixedP) Name() string { return fmt.Sprintf("MixedP%.1f", m.P) }
+
+// Injection implements Strategy.
+func (m *MixedP) Injection(int, Observation) func(*rand.Rand) float64 {
+	p, hi, lo := m.P, m.HighPct, m.LowPct
+	return func(rng *rand.Rand) float64 {
+		if rng.Float64() < p {
+			return hi
+		}
+		return lo
+	}
+}
+
+// Reset implements Strategy.
+func (m *MixedP) Reset() {}

@@ -1,0 +1,116 @@
+package collect
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/attack"
+	"repro/internal/stats"
+	"repro/internal/trim"
+)
+
+// Property: across arbitrary thresholds, injection positions, attack ratios
+// and both threshold semantics, the game's conservation laws hold — every
+// arrival is accounted exactly once, retention and loss are probabilities,
+// and a lower threshold never trims less.
+func TestGameConservationProperties(t *testing.T) {
+	f := func(seed int64, rawTh, rawInj, rawRatio uint8, onBatch bool) bool {
+		th := 0.05 + 0.90*float64(rawTh)/255
+		inj := float64(rawInj) / 255
+		ratio := 0.5 * float64(rawRatio) / 255
+
+		ref := stats.NormalSlice(stats.NewRand(seed), 500, 0, 1)
+		honest, err := PoolSampler(ref)
+		if err != nil {
+			return false
+		}
+		static, err := trim.NewStatic("s", th)
+		if err != nil {
+			return false
+		}
+		adv, err := attack.NewPoint("p", inj)
+		if err != nil {
+			return false
+		}
+		res, err := Run(Config{
+			Rounds: 3, Batch: 100, AttackRatio: ratio,
+			Reference: ref, Honest: honest,
+			Collector: static, Adversary: adv,
+			TrimOnBatch: onBatch,
+			Rng:         stats.NewRand(seed + 1),
+		})
+		if err != nil {
+			return false
+		}
+		poisonCount := int(math.Round(ratio * 100))
+		for _, rec := range res.Board.Records {
+			if rec.HonestKept+rec.HonestTrimmed != 100 {
+				return false
+			}
+			if rec.PoisonKept+rec.PoisonTrimmed != poisonCount {
+				return false
+			}
+		}
+		if ret := res.Board.PoisonRetention(); !math.IsNaN(ret) && (ret < 0 || ret > 1) {
+			return false
+		}
+		if loss := res.Board.HonestLoss(); loss < 0 || loss > 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: under reference (value-domain) semantics, a strictly lower
+// static threshold never keeps more poison — trimming is monotone in the
+// threshold.
+func TestTrimmingMonotoneInThreshold(t *testing.T) {
+	f := func(seed int64, rawA, rawB uint8) bool {
+		a := 0.1 + 0.8*float64(rawA)/255
+		b := 0.1 + 0.8*float64(rawB)/255
+		if a > b {
+			a, b = b, a
+		}
+		ref := stats.NormalSlice(stats.NewRand(seed), 500, 0, 1)
+		honest, err := PoolSampler(ref)
+		if err != nil {
+			return false
+		}
+		run := func(th float64) int {
+			static, err := trim.NewStatic("s", th)
+			if err != nil {
+				return -1
+			}
+			adv, err := attack.NewPoint("p", 0.95)
+			if err != nil {
+				return -1
+			}
+			res, err := Run(Config{
+				Rounds: 2, Batch: 100, AttackRatio: 0.2,
+				Reference: ref, Honest: honest,
+				Collector: static, Adversary: adv,
+				Rng: stats.NewRand(seed + 7), // same stream for both thresholds
+			})
+			if err != nil {
+				return -1
+			}
+			kept := 0
+			for _, rec := range res.Board.Records {
+				kept += rec.PoisonKept
+			}
+			return kept
+		}
+		keptLow, keptHigh := run(a), run(b)
+		if keptLow < 0 || keptHigh < 0 {
+			return false
+		}
+		return keptLow <= keptHigh
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,195 @@
+package collect
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/attack"
+	"repro/internal/stats"
+	"repro/internal/trim"
+)
+
+// Sampler draws one honest value from the data stream.
+type Sampler func(rng *rand.Rand) float64
+
+// PoolSampler samples uniformly with replacement from a fixed pool — the
+// standard way the experiments turn a dataset column into a stream.
+func PoolSampler(pool []float64) (Sampler, error) {
+	if len(pool) == 0 {
+		return nil, stats.ErrEmpty
+	}
+	return func(rng *rand.Rand) float64 {
+		return pool[rng.Intn(len(pool))]
+	}, nil
+}
+
+// Config parameterizes a scalar collection game.
+type Config struct {
+	Rounds int // number of rounds (the paper uses 20-25)
+	Batch  int // honest values collected per round
+
+	// AttackRatio is the poison budget per round relative to the honest
+	// batch: poisonCount = round(AttackRatio · Batch).
+	AttackRatio float64
+
+	// Reference is the clean reference distribution that injection
+	// percentiles resolve against (the publicly recognized data quality
+	// standard's view of clean data).
+	Reference []float64
+
+	Honest    Sampler
+	Collector trim.Strategy
+	Adversary attack.Strategy
+
+	// Quality is the agreed quality standard; ExcessMassQuality when nil.
+	Quality QualityFn
+
+	// TrimOnBatch selects the threshold semantics. The default (false)
+	// follows §III-C: the threshold percentile resolves to a *value* on the
+	// clean reference scale — the collector's strategy is "a trimming point
+	// in the input domain", so everything above that value is removed
+	// regardless of how much poison inflates the batch. With true, the
+	// percentile is taken over the received batch instead, i.e. the
+	// collector "trims the same amount of data" every round (Fig 3 step 4).
+	// The two readings are both present in the paper; see EXPERIMENTS.md.
+	TrimOnBatch bool
+
+	// KeepValues retains every round's kept values in the result (needed
+	// when a downstream estimator consumes the pooled data).
+	KeepValues bool
+
+	// OnRound, when non-nil, is invoked after each round is posted to the
+	// board. Black-box experiments use it to feed attacker-side survival
+	// feedback (attack.Probing.Observe); monitoring uses it for progress.
+	OnRound func(RoundRecord)
+
+	Rng *rand.Rand
+}
+
+func (c *Config) validate() error {
+	if c.Rounds <= 0 {
+		return fmt.Errorf("collect: rounds = %d", c.Rounds)
+	}
+	if c.Batch <= 0 {
+		return fmt.Errorf("collect: batch = %d", c.Batch)
+	}
+	if c.AttackRatio < 0 || math.IsNaN(c.AttackRatio) {
+		return fmt.Errorf("collect: attack ratio = %v", c.AttackRatio)
+	}
+	if len(c.Reference) == 0 {
+		return fmt.Errorf("collect: empty reference distribution")
+	}
+	if c.Honest == nil {
+		return fmt.Errorf("collect: nil honest sampler")
+	}
+	if c.Collector == nil || c.Adversary == nil {
+		return fmt.Errorf("collect: nil strategy")
+	}
+	if c.Rng == nil {
+		return fmt.Errorf("collect: nil rng")
+	}
+	return nil
+}
+
+// Result of a scalar collection game.
+type Result struct {
+	Board      Board
+	KeptValues []float64 // pooled kept values, when Config.KeepValues
+}
+
+// Run plays the scalar collection game: each round the collector sets a
+// threshold, honest values and poison values arrive, the collector trims
+// everything above the threshold percentile of the received batch, and the
+// round is posted to the public board.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg.Collector.Reset()
+	cfg.Adversary.Reset()
+	quality := cfg.Quality
+	if quality == nil {
+		quality = ExcessMassQuality
+	}
+	ref := sortedCopy(cfg.Reference)
+	baselineQ := quality(cleanBatch(cfg), ref)
+
+	res := &Result{}
+	poisonCount := int(math.Round(cfg.AttackRatio * float64(cfg.Batch)))
+	jscale := jitterScale(ref)
+
+	for r := 1; r <= cfg.Rounds; r++ {
+		thresholdPct := cfg.Collector.Threshold(r, res.Board.collectorView())
+		inject := cfg.Adversary.Injection(r, res.Board.adversaryView())
+
+		// Honest arrivals.
+		values := make([]float64, 0, cfg.Batch+poisonCount)
+		for i := 0; i < cfg.Batch; i++ {
+			values = append(values, cfg.Honest(cfg.Rng))
+		}
+		// Poison arrivals at reference percentiles.
+		var pctSum float64
+		poisonStart := len(values)
+		for i := 0; i < poisonCount; i++ {
+			pct := inject(cfg.Rng)
+			pctSum += pct
+			// Tie-breaking jitter: identical colluding values would sit in
+			// one degenerate quantile atom (and be trivially detectable);
+			// the jitter is ~10⁻⁶ of the data range, statistically inert.
+			values = append(values, stats.QuantileSorted(ref, pct)+(cfg.Rng.Float64()-0.5)*jscale)
+		}
+
+		// Resolve the threshold percentile to a value (see TrimOnBatch).
+		var thresholdValue float64
+		if cfg.TrimOnBatch {
+			thresholdValue = stats.Quantile(values, thresholdPct)
+		} else {
+			thresholdValue = stats.QuantileSorted(ref, thresholdPct)
+		}
+		rec := RoundRecord{
+			Round:           r,
+			ThresholdPct:    thresholdPct,
+			ThresholdValue:  thresholdValue,
+			Quality:         quality(values, ref),
+			BaselineQuality: baselineQ,
+		}
+		if poisonCount > 0 {
+			rec.MeanInjectionPct = pctSum / float64(poisonCount)
+		} else {
+			rec.MeanInjectionPct = math.NaN()
+		}
+		for i, v := range values {
+			kept := v <= thresholdValue
+			isPoison := i >= poisonStart
+			switch {
+			case kept && isPoison:
+				rec.PoisonKept++
+			case kept:
+				rec.HonestKept++
+			case isPoison:
+				rec.PoisonTrimmed++
+			default:
+				rec.HonestTrimmed++
+			}
+			if kept && cfg.KeepValues {
+				res.KeptValues = append(res.KeptValues, v)
+			}
+		}
+		res.Board.Post(rec)
+		if cfg.OnRound != nil {
+			cfg.OnRound(rec)
+		}
+	}
+	return res, nil
+}
+
+// cleanBatch draws one poison-free batch to establish the baseline quality
+// Quality_Evaluation(X_0).
+func cleanBatch(cfg Config) []float64 {
+	xs := make([]float64, cfg.Batch)
+	for i := range xs {
+		xs[i] = cfg.Honest(cfg.Rng)
+	}
+	return xs
+}

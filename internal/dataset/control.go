@@ -1,0 +1,89 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+)
+
+// ControlSize is the paper's instance count for the UCI Synthetic Control
+// Chart dataset: 600 series of 60 points in 6 pattern classes.
+const (
+	ControlSize     = 600
+	ControlFeatures = 60
+	ControlClusters = 6
+)
+
+// Control generates the UCI Synthetic Control Chart Time Series dataset.
+// Unlike the other four datasets this is not an approximation: UCI's data is
+// itself synthetic, generated from the published formulas of Alcock &
+// Manolopoulos (1999), which are reproduced here.
+//
+//	normal:          y(t) = m + r·s
+//	cyclic:          y(t) = m + r·s + a·sin(2πt/T)
+//	increasing:      y(t) = m + r·s + g·t
+//	decreasing:      y(t) = m + r·s − g·t
+//	upward shift:    y(t) = m + r·s + k·x
+//	downward shift:  y(t) = m + r·s − k·x
+//
+// with m = 30, s = 2, r ∈ U(−3,3), a,T ∈ U(10,15), g ∈ U(0.2,0.5),
+// x ∈ U(7.5,20) and k switching from 0 to 1 at a change point in the middle
+// third of the series. 100 series are drawn per class.
+func Control(rng *rand.Rand) *Dataset {
+	return ControlN(rng, ControlSize)
+}
+
+// ControlN generates a Control-style dataset with n instances (n is rounded
+// down to a multiple of the 6 classes).
+func ControlN(rng *rand.Rand, n int) *Dataset {
+	perClass := n / ControlClusters
+	if perClass < 1 {
+		perClass = 1
+	}
+	d := &Dataset{
+		Name:     "CONTROL",
+		Clusters: ControlClusters,
+		X:        make([][]float64, 0, perClass*ControlClusters),
+		Y:        make([]int, 0, perClass*ControlClusters),
+	}
+	const (
+		m = 30.0
+		s = 2.0
+		T = float64(ControlFeatures)
+	)
+	for class := 0; class < ControlClusters; class++ {
+		for i := 0; i < perClass; i++ {
+			row := make([]float64, ControlFeatures)
+			a := 10 + 5*rng.Float64()      // cyclic amplitude
+			period := 10 + 5*rng.Float64() // cyclic period
+			g := 0.2 + 0.3*rng.Float64()   // trend gradient
+			x := 7.5 + 12.5*rng.Float64()  // shift magnitude
+			t3 := T/3 + rng.Float64()*T/3  // change point in middle third
+			for t := 0; t < ControlFeatures; t++ {
+				r := -3 + 6*rng.Float64()
+				y := m + r*s
+				ft := float64(t)
+				switch class {
+				case 0: // normal
+				case 1: // cyclic
+					y += a * math.Sin(2*math.Pi*ft/period)
+				case 2: // increasing trend
+					y += g * ft
+				case 3: // decreasing trend
+					y -= g * ft
+				case 4: // upward shift
+					if ft >= t3 {
+						y += x
+					}
+				case 5: // downward shift
+					if ft >= t3 {
+						y -= x
+					}
+				}
+				row[t] = y
+			}
+			d.X = append(d.X, row)
+			d.Y = append(d.Y, class)
+		}
+	}
+	return d
+}

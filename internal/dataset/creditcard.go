@@ -1,0 +1,100 @@
+package dataset
+
+import (
+	"math/rand"
+
+	"repro/internal/stats"
+)
+
+// Creditcard's published shape: 284,807 instances, 31 PCA-sanitized
+// features. The paper's SOM experiment reads 4 classes out of it: the
+// general public (the vast majority), isolated fraudulent and premium
+// users, and a small "potential high-value" segment of a few points.
+const (
+	CreditcardSize     = 284807
+	CreditcardFeatures = 31
+	CreditcardClusters = 4
+)
+
+// Class indices for the Creditcard generator, mirroring the interpretation
+// in the paper's Fig 6(b)/Fig 8 discussion.
+const (
+	CCPublic    = 0 // the general public — the dominant class
+	CCFraud     = 1 // isolated fraudulent users, far from everything
+	CCPremium   = 2 // isolated premium users, far from everything
+	CCHighValue = 3 // small segment with high-value potential
+)
+
+// Creditcard generates a stand-in for the OpenML credit-card PCA dataset
+// with the extreme class skew the SOM experiment depends on.
+func Creditcard(rng *rand.Rand) *Dataset {
+	return CreditcardN(rng, CreditcardSize)
+}
+
+// CreditcardN generates a Creditcard-style dataset with n instances
+// (n ≥ 100 recommended so the small classes are populated).
+func CreditcardN(rng *rand.Rand, n int) *Dataset {
+	d := &Dataset{
+		Name:     "CREDITCARD",
+		Clusters: CreditcardClusters,
+		X:        make([][]float64, 0, n),
+		Y:        make([]int, 0, n),
+	}
+
+	// Tiny isolated classes with fixed size, matching the paper's reading
+	// of the SOM map: two isolated points' worth of users and five green
+	// points' worth of potential high-value customers.
+	fraud := maxInt(1, n/2000)     // ≈0.05%, near the real 0.17% fraud rate
+	premium := maxInt(1, n/2000)   //
+	highValue := maxInt(5, n/1000) // the small distinct segment
+
+	public := n - fraud - premium - highValue
+
+	centers := map[int][]float64{
+		CCPublic:    constantVec(CreditcardFeatures, 0),
+		CCFraud:     constantVec(CreditcardFeatures, 12),  // far positive
+		CCPremium:   constantVec(CreditcardFeatures, -12), // far negative
+		CCHighValue: constantVec(CreditcardFeatures, 5),   // between public and extremes
+	}
+	sigma := map[int]float64{
+		CCPublic:    1.0, // PCA components of the bulk are ≈ unit variance
+		CCFraud:     0.8,
+		CCPremium:   0.8,
+		CCHighValue: 0.6,
+	}
+	counts := map[int]int{
+		CCPublic:    public,
+		CCFraud:     fraud,
+		CCPremium:   premium,
+		CCHighValue: highValue,
+	}
+
+	for class := 0; class < CreditcardClusters; class++ {
+		c := centers[class]
+		s := sigma[class]
+		for i := 0; i < counts[class]; i++ {
+			row := make([]float64, CreditcardFeatures)
+			for j := range row {
+				row[j] = stats.Normal(rng, c[j], s)
+			}
+			d.X = append(d.X, row)
+			d.Y = append(d.Y, class)
+		}
+	}
+	return d
+}
+
+func constantVec(dim int, v float64) []float64 {
+	out := make([]float64, dim)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

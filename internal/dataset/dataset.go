@@ -1,0 +1,155 @@
+// Package dataset provides the five evaluation datasets of the paper
+// (Control, Vehicle, Letter, Taxi, Creditcard) as deterministic synthetic
+// generators plus CSV I/O so that the real files can be dropped in.
+//
+// The paper's experiments act on *percentiles* of a numeric view of the data
+// (poison values are injected at a percentile; trimming removes everything
+// above a percentile), so the generators are designed to reproduce each
+// dataset's published shape: instance count, feature count, cluster
+// structure, value ranges and skew. See DESIGN.md §2 for the substitution
+// argument.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/stats"
+)
+
+// Dataset is an in-memory numeric dataset with optional labels.
+type Dataset struct {
+	Name     string
+	X        [][]float64 // instances × features
+	Y        []int       // per-instance label; nil when unlabeled
+	Clusters int         // number of classes/clusters the paper reports
+}
+
+// Len returns the number of instances.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Dim returns the number of features, 0 for an empty dataset.
+func (d *Dataset) Dim() int {
+	if len(d.X) == 0 {
+		return 0
+	}
+	return len(d.X[0])
+}
+
+// Labeled reports whether the dataset carries labels.
+func (d *Dataset) Labeled() bool { return d.Y != nil }
+
+// Validate checks structural invariants: rectangular X, matching Y length,
+// finite values.
+func (d *Dataset) Validate() error {
+	dim := d.Dim()
+	for i, row := range d.X {
+		if len(row) != dim {
+			return fmt.Errorf("dataset %s: row %d has %d features, want %d", d.Name, i, len(row), dim)
+		}
+		if !stats.IsFiniteSlice(row) {
+			return fmt.Errorf("dataset %s: row %d contains NaN/Inf", d.Name, i)
+		}
+	}
+	if d.Y != nil && len(d.Y) != len(d.X) {
+		return fmt.Errorf("dataset %s: %d labels for %d instances", d.Name, len(d.Y), len(d.X))
+	}
+	return nil
+}
+
+// Centroid returns the global mean vector of the dataset.
+func (d *Dataset) Centroid() ([]float64, error) {
+	return stats.MeanVector(d.X)
+}
+
+// Distances returns, for every instance, its Euclidean distance from the
+// global centroid. This scalar view is the quantity the collection game
+// trims on: the paper's distance-based sanitization removes any point with
+// d_i above a threshold, and both injection and trimming positions are
+// expressed as percentiles of this distribution.
+func (d *Dataset) Distances() ([]float64, error) {
+	c, err := d.Centroid()
+	if err != nil {
+		return nil, err
+	}
+	ds := make([]float64, len(d.X))
+	for i, row := range d.X {
+		ds[i] = stats.Euclidean(row, c)
+	}
+	return ds, nil
+}
+
+// Sample returns a new dataset of n instances drawn without replacement
+// (n ≤ Len) using rng. Labels travel with their rows.
+func (d *Dataset) Sample(rng *rand.Rand, n int) (*Dataset, error) {
+	if n > d.Len() {
+		return nil, fmt.Errorf("dataset %s: sample %d > %d instances", d.Name, n, d.Len())
+	}
+	idx := stats.SampleWithout(rng, d.Len(), n)
+	out := &Dataset{Name: d.Name, Clusters: d.Clusters, X: make([][]float64, n)}
+	if d.Y != nil {
+		out.Y = make([]int, n)
+	}
+	for i, j := range idx {
+		out.X[i] = append([]float64(nil), d.X[j]...)
+		if d.Y != nil {
+			out.Y[i] = d.Y[j]
+		}
+	}
+	return out, nil
+}
+
+// Clone returns a deep copy.
+func (d *Dataset) Clone() *Dataset {
+	out := &Dataset{Name: d.Name, Clusters: d.Clusters, X: make([][]float64, len(d.X))}
+	for i, row := range d.X {
+		out.X[i] = append([]float64(nil), row...)
+	}
+	if d.Y != nil {
+		out.Y = append([]int(nil), d.Y...)
+	}
+	return out
+}
+
+// Append adds rows (and labels, when both sides are labeled) from other.
+func (d *Dataset) Append(other *Dataset) error {
+	if other.Len() == 0 {
+		return nil
+	}
+	if d.Dim() != 0 && other.Dim() != d.Dim() {
+		return fmt.Errorf("dataset %s: append dim %d onto %d", d.Name, other.Dim(), d.Dim())
+	}
+	d.X = append(d.X, other.X...)
+	if d.Y != nil {
+		if other.Y == nil {
+			return fmt.Errorf("dataset %s: appending unlabeled rows to labeled dataset", d.Name)
+		}
+		d.Y = append(d.Y, other.Y...)
+	}
+	return nil
+}
+
+// Column extracts feature j as a fresh slice.
+func (d *Dataset) Column(j int) ([]float64, error) {
+	if j < 0 || j >= d.Dim() {
+		return nil, fmt.Errorf("dataset %s: column %d out of %d", d.Name, j, d.Dim())
+	}
+	col := make([]float64, len(d.X))
+	for i, row := range d.X {
+		col[i] = row[j]
+	}
+	return col, nil
+}
+
+// Info is one row of the paper's Table II.
+type Info struct {
+	Name      string
+	Instances int
+	Features  int
+	Clusters  int
+}
+
+// Summary returns the dataset's Table II row.
+func (d *Dataset) Summary() Info {
+	return Info{Name: d.Name, Instances: d.Len(), Features: d.Dim(), Clusters: d.Clusters}
+}

@@ -1,0 +1,40 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Letter's published shape: 20000 instances, 16 integer features in [0,15],
+// 26 letter classes.
+const (
+	LetterSize     = 20000
+	LetterFeatures = 16
+	LetterClusters = 26
+)
+
+// Letter generates a stand-in for the UCI Letter Recognition dataset:
+// 26 Gaussian classes in 16 dimensions, quantized to the integer grid
+// [0, 15] exactly as the real data's pixel-statistics features are.
+func Letter(rng *rand.Rand) *Dataset {
+	return LetterN(rng, LetterSize)
+}
+
+// LetterN generates a Letter-style dataset with n instances.
+func LetterN(rng *rand.Rand, n int) *Dataset {
+	d := gaussianBlobs(rng, "LETTER", n, LetterFeatures, LetterClusters, 5, 1.8, nil)
+	for _, row := range d.X {
+		for j := range row {
+			// Shift from [-5,5]-centered blobs onto the [0,15] grid.
+			v := math.Round(row[j] + 7.5)
+			if v < 0 {
+				v = 0
+			}
+			if v > 15 {
+				v = 15
+			}
+			row[j] = v
+		}
+	}
+	return d
+}

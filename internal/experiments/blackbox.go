@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/attack"
+	"repro/internal/collect"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+	"repro/internal/trim"
+)
+
+// BlackBoxRow is one collector's outcome against the probing adversary.
+type BlackBoxRow struct {
+	Collector       string
+	PoisonRetention float64
+	HonestLoss      float64
+}
+
+// BlackBoxResult is the incomplete-information study of the paper's §VIII
+// future work, implemented: an adversary that cannot read the collector's
+// threshold off the public board and instead bisects on whether its own
+// poison survived (attack.Probing). Against a static collector the probe
+// converges just below the threshold — the black-box analogue of the
+// Baselinestatic ideal attack; against the adaptive Elastic collector the
+// bracket chases a moving target and extracts less.
+type BlackBoxResult struct {
+	AttackRatio float64
+	Rounds      int
+	Rows        []BlackBoxRow
+}
+
+// BlackBox runs the probing adversary against a static and an Elastic
+// collector on the Control distance stream.
+func BlackBox(sc Scale) (*BlackBoxResult, error) {
+	const (
+		tth         = 0.9
+		attackRatio = 0.2
+	)
+	rounds := sc.Rounds * 3 // probing needs bisection time
+	ctl := dataset.Control(stats.NewRand(sc.Seed))
+	distances, err := ctl.Distances()
+	if err != nil {
+		return nil, err
+	}
+	honest, err := collect.PoolSampler(distances)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &BlackBoxResult{AttackRatio: attackRatio, Rounds: rounds}
+	collectors := []struct {
+		name string
+		mk   func() (trim.Strategy, error)
+	}{
+		{"Static0.9", func() (trim.Strategy, error) { return trim.NewStatic("Static0.9", tth) }},
+		{"Elastic0.5", func() (trim.Strategy, error) { return trim.NewElastic(tth, 0.5) }},
+	}
+	for _, c := range collectors {
+		var ret, loss float64
+		for rep := 0; rep < sc.Repetitions; rep++ {
+			col, err := c.mk()
+			if err != nil {
+				return nil, err
+			}
+			prober, err := attack.NewProbing(0.75, 1.0, 0.005)
+			if err != nil {
+				return nil, err
+			}
+			out, err := collect.Run(collect.Config{
+				Rounds:      rounds,
+				Batch:       sc.Batch,
+				AttackRatio: attackRatio,
+				Reference:   distances,
+				Honest:      honest,
+				Collector:   col,
+				Adversary:   prober,
+				OnRound: func(rec collect.RoundRecord) {
+					// Attacker-side feedback: did the majority of this
+					// round's poison survive?
+					prober.Observe(rec.PoisonKept > rec.PoisonTrimmed)
+				},
+				Rng: stats.NewRand(sc.Seed + int64(rep)*331),
+			})
+			if err != nil {
+				return nil, err
+			}
+			ret += out.Board.PoisonRetention()
+			loss += out.Board.HonestLoss()
+		}
+		n := float64(sc.Repetitions)
+		res.Rows = append(res.Rows, BlackBoxRow{
+			Collector:       c.name,
+			PoisonRetention: ret / n,
+			HonestLoss:      loss / n,
+		})
+	}
+	return res, nil
+}
+
+// Print emits the study.
+func (r *BlackBoxResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Black-box probing adversary (ratio %.2g, %d rounds)\n", r.AttackRatio, r.Rounds)
+	fmt.Fprintf(w, "%-12s %-16s %-12s\n", "collector", "poison retained", "honest lost")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-12s %-16.5f %-12.5f\n", row.Collector, row.PoisonRetention, row.HonestLoss)
+	}
+}

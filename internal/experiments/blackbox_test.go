@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBlackBox(t *testing.T) {
+	sc := Quick
+	sc.Repetitions = 3
+	res, err := BlackBox(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(res.Rows))
+	}
+	byName := map[string]BlackBoxRow{}
+	for _, row := range res.Rows {
+		byName[row.Collector] = row
+		if row.PoisonRetention < 0 || row.PoisonRetention > 1 {
+			t.Errorf("%s retention = %v", row.Collector, row.PoisonRetention)
+		}
+	}
+	// The probing adversary converges just below a *static* threshold and
+	// extracts near-full retention there.
+	static := byName["Static0.9"]
+	if static.PoisonRetention < 0.10 {
+		t.Errorf("probing vs static retained only %v; bisection should evade a fixed threshold",
+			static.PoisonRetention)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "Static0.9") {
+		t.Error("Print output incomplete")
+	}
+}

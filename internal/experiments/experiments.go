@@ -1,0 +1,123 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§VI). Each harness returns a structured result with a Print
+// method emitting the same rows/series the paper reports, and accepts a
+// Scale so the same code drives quick smoke runs, the benchmark suite and
+// full paper-scale executions (cmd/trimlab).
+//
+// The per-experiment index lives in DESIGN.md §4; paper-vs-measured
+// comparisons live in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/attack"
+	"repro/internal/trim"
+)
+
+// Scale controls experiment effort.
+type Scale struct {
+	Repetitions int // independent repetitions averaged per point
+	Rounds      int // collection-game rounds
+	Batch       int // honest arrivals per round
+	DatasetN    int // instance budget for generated datasets (0 = package default)
+	Seed        int64
+}
+
+// Quick is the CI/test scale: seconds, not minutes.
+var Quick = Scale{Repetitions: 3, Rounds: 10, Batch: 200, DatasetN: 600, Seed: 1}
+
+// Bench is the benchmark scale, slightly heavier than Quick.
+var Bench = Scale{Repetitions: 5, Rounds: 20, Batch: 300, DatasetN: 1000, Seed: 1}
+
+// Paper approximates the paper's own effort: 100 repetitions, 20 rounds.
+var Paper = Scale{Repetitions: 100, Rounds: 20, Batch: 1000, DatasetN: 0, Seed: 1}
+
+// SchemeName enumerates the §VI-A schemes.
+type SchemeName string
+
+// The six schemes of Figs 4-9, plus the clean reference.
+const (
+	Groundtruth    SchemeName = "Groundtruth"
+	Ostrich        SchemeName = "Ostrich"
+	Baseline09     SchemeName = "Baseline0.9"
+	BaselineStatic SchemeName = "Baselinestatic"
+	Titfortat      SchemeName = "Titfortat"
+	Elastic01      SchemeName = "Elastic0.1"
+	Elastic05      SchemeName = "Elastic0.5"
+)
+
+// AllSchemes lists the comparison schemes in the paper's column order
+// (Groundtruth excluded — it is the reference, not a defense).
+var AllSchemes = []SchemeName{Ostrich, Baseline09, BaselineStatic, Titfortat, Elastic01, Elastic05}
+
+// Scheme bundles a collector strategy with the adversary the paper pits
+// against it.
+type Scheme struct {
+	Name      SchemeName
+	Collector trim.Strategy
+	Adversary attack.Strategy
+}
+
+// NewScheme instantiates a §VI-A scheme for base threshold tth.
+//
+//   - Ostrich: no trimming; the adversary, knowing this, injects at the
+//     99th percentile.
+//   - Baseline0.9: static threshold tth; adversary uniform in [0.9, 1].
+//   - Baselinestatic: static threshold tth; the ideal attack tracks the
+//     collector's threshold and injects at threshold − 1%.
+//   - Titfortat: soft trim at tth+1%, hard at tth−3% after the trigger;
+//     the equilibrium adversary injects at the 99th percentile.
+//   - Elastic0.1/0.5: the coupled §VI-A update dynamics with spring
+//     constant k.
+//
+// red is the Titfortat redundancy (the Fig 4/5 runs use a generous value so
+// the strategy stays untriggered, per the paper's setup).
+func NewScheme(name SchemeName, tth, red float64) (Scheme, error) {
+	var s Scheme
+	s.Name = name
+	var err error
+	switch name {
+	case Ostrich:
+		s.Collector = trim.Ostrich{}
+		s.Adversary, err = attack.NewPoint("P99", 0.99)
+	case Baseline09:
+		s.Collector, err = trim.NewStatic(string(name), tth)
+		if err == nil {
+			s.Adversary, err = attack.NewRange("U[0.9,1]", 0.9, 1)
+		}
+	case BaselineStatic:
+		s.Collector, err = trim.NewStatic(string(name), tth)
+		if err == nil {
+			s.Adversary, err = attack.NewTracking("Tracking", clamp01(tth-0.01), -0.01)
+		}
+	case Titfortat:
+		s.Collector, err = trim.NewTitfortat(clamp01(tth+0.01), tth-0.03, red)
+		if err == nil {
+			s.Adversary, err = attack.NewPoint("P99", 0.99)
+		}
+	case Elastic01:
+		s.Collector, err = trim.NewElastic(tth, 0.1)
+		if err == nil {
+			s.Adversary, err = attack.NewElastic(tth, 0.1)
+		}
+	case Elastic05:
+		s.Collector, err = trim.NewElastic(tth, 0.5)
+		if err == nil {
+			s.Adversary, err = attack.NewElastic(tth, 0.5)
+		}
+	default:
+		return s, fmt.Errorf("experiments: unknown scheme %q", name)
+	}
+	return s, err
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

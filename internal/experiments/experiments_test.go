@@ -1,0 +1,425 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/game"
+)
+
+func TestNewSchemeAll(t *testing.T) {
+	for _, name := range AllSchemes {
+		s, err := NewScheme(name, 0.9, 0.05)
+		if err != nil {
+			t.Fatalf("NewScheme(%s): %v", name, err)
+		}
+		if s.Collector == nil || s.Adversary == nil {
+			t.Errorf("scheme %s has nil parts", name)
+		}
+	}
+	if _, err := NewScheme("nope", 0.9, 0.05); err == nil {
+		t.Error("unknown scheme should error")
+	}
+}
+
+func TestTableI(t *testing.T) {
+	res, err := TableI(game.UltimatumPayoffs{PBar: 100, TBar: 50, P: 3, T: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SoftSoftDominatesEquilibrium {
+		t.Error("(Soft,Soft) must Pareto-dominate the tough equilibrium")
+	}
+	foundHardHard := false
+	for _, eq := range res.Equilibria {
+		if eq.Row == game.Hard && eq.Col == game.Hard {
+			foundHardHard = true
+		}
+		if eq.Row == game.Soft {
+			t.Errorf("soft-collector equilibrium %v should not exist", eq)
+		}
+	}
+	if !foundHardHard {
+		t.Error("(Hard,Hard) equilibrium missing")
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "pure equilibria") {
+		t.Error("Print output incomplete")
+	}
+	if _, err := TableI(game.UltimatumPayoffs{PBar: 1, TBar: 2, P: 3, T: 4}); err == nil {
+		t.Error("invalid payoffs should error")
+	}
+}
+
+func TestTableII(t *testing.T) {
+	res, err := TableII(1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		name                          string
+		instances, features, clusters int
+	}{
+		{"CONTROL", 600, 60, 6},
+		{"VEHICLE", 752, 18, 4},
+		{"LETTER", 20000, 16, 26},
+		{"TAXI", 1048575, 1, 1},
+		{"CREDITCARD", 284807, 31, 4},
+	}
+	if len(res.Rows) != len(want) {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	for i, w := range want {
+		r := res.Rows[i]
+		if r.Name != w.name || r.Instances != w.instances || r.Features != w.features || r.Clusters != w.clusters {
+			t.Errorf("row %d = %+v, want %+v", i, r, w)
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "CREDITCARD") {
+		t.Error("Print output incomplete")
+	}
+}
+
+func TestTableIVShape(t *testing.T) {
+	res, err := TableIV(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("%d rows, want 10", len(res.Rows))
+	}
+	// Roundwise cost decays with the horizon for both k.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].CostK05 > res.Rows[i-1].CostK05+1e-12 {
+			t.Errorf("k=0.5 cost increased at Round_no=%d", res.Rows[i].RoundNo)
+		}
+		if res.Rows[i].CostK01 > res.Rows[i-1].CostK01+1e-12 {
+			t.Errorf("k=0.1 cost increased at Round_no=%d", res.Rows[i].RoundNo)
+		}
+	}
+	// The total cost is finite ⇒ roundwise cost ≈ C/n: check the 5→50
+	// ratio is near 10×.
+	ratio := res.Rows[0].CostK01 / res.Rows[9].CostK01
+	if ratio < 5 || ratio > 15 {
+		t.Errorf("cost(5)/cost(50) = %v, want ≈10 (C/n decay)", ratio)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "Round_no") {
+		t.Error("Print output incomplete")
+	}
+}
+
+func TestElasticTrajectoryConverges(t *testing.T) {
+	for _, k := range []float64{0.1, 0.5} {
+		traj, err := ElasticTrajectory(0.9, k, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := traj[len(traj)-1]
+		wantT := 0.9 - 0.04*k/(1-k*k)
+		wantA := 0.9 - (0.03+0.01*k*k)/(1-k*k)
+		if math.Abs(last.T-wantT) > 1e-9 || math.Abs(last.A-wantA) > 1e-9 {
+			t.Errorf("k=%v converged to (%v, %v), want (%v, %v)", k, last.T, last.A, wantT, wantA)
+		}
+	}
+	if _, err := ElasticTrajectory(0.9, 0, 10); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := ElasticTrajectory(0.9, 0.5, 0); err == nil {
+		t.Error("0 rounds should error")
+	}
+}
+
+func TestTableIII(t *testing.T) {
+	sc := Quick
+	sc.Repetitions = 2
+	res, err := TableIII(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 11 {
+		t.Fatalf("%d rows, want 11", len(res.Rows))
+	}
+	// p=0: the trigger bar (evading ratio > 1−p+red) is unreachable ⇒ the
+	// game runs its full horizon.
+	if res.Rows[0].AvgTermination < float64(res.Rounds)-0.5 {
+		t.Errorf("p=0 termination %v, want full horizon %d", res.Rows[0].AvgTermination, res.Rounds)
+	}
+	// p=1 should terminate earlier than p=0 (tight bar, noise-triggered).
+	if res.Rows[10].AvgTermination >= res.Rows[0].AvgTermination {
+		t.Errorf("p=1 termination %v not earlier than p=0 %v",
+			res.Rows[10].AvgTermination, res.Rows[0].AvgTermination)
+	}
+	// Retention fractions are probabilities.
+	for _, row := range res.Rows {
+		if row.TitfortatPoison < 0 || row.TitfortatPoison > 1 ||
+			row.ElasticPoison < 0 || row.ElasticPoison > 1 {
+			t.Errorf("p=%v retention out of range: %+v", row.P, row)
+		}
+	}
+	// Elastic under equilibrium play (p=1) retains less poison than under
+	// full greed (p=0) — the "rational adversaries gain more by complying"
+	// shape of the table... for the collector's mirror metric the greedy
+	// adversary slips more poison under the soft trim.
+	if res.Rows[10].ElasticPoison >= res.Rows[0].ElasticPoison {
+		t.Errorf("Elastic retention at p=1 (%v) not below p=0 (%v)",
+			res.Rows[10].ElasticPoison, res.Rows[0].ElasticPoison)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "Average termination") {
+		t.Error("Print output incomplete")
+	}
+}
+
+func TestFig4Smoke(t *testing.T) {
+	sc := Quick
+	sc.Repetitions = 1
+	sc.Rounds = 5
+	sc.Batch = 120
+	res, err := Fig4(sc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 datasets × 3 intervals.
+	if len(res.Panels) != 9 {
+		t.Fatalf("%d panels, want 9", len(res.Panels))
+	}
+	for _, panel := range res.Panels {
+		if len(panel.Points) != len(AllSchemes)*2 {
+			t.Errorf("panel %s has %d points", panel.Dataset, len(panel.Points))
+		}
+		for _, p := range panel.Points {
+			if math.IsNaN(p.SSE) || p.SSE < 0 {
+				t.Errorf("bad SSE %v in %s", p.SSE, panel.Dataset)
+			}
+			if math.IsNaN(p.Distance) || p.Distance < 0 {
+				t.Errorf("bad distance %v in %s", p.Distance, panel.Dataset)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "CONTROL") {
+		t.Error("Print output incomplete")
+	}
+}
+
+func TestFig4HighAttackShape(t *testing.T) {
+	// The paper's high-attack-ratio claims: "our proposed schemes
+	// significantly outperform both baseline schemes. Also, it is evident
+	// that Ostrich has the highest SSE."
+	sc := Quick
+	sc.Repetitions = 2
+	sc.Rounds = 8
+	sc.Batch = 150
+	res, err := Fig4(sc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv := AttackIntervals[2] // [0.2, 0.5]
+	lastPoint := func(ds string, s SchemeName) KMeansPoint {
+		series := res.SchemeSeries(ds, iv, s)
+		if len(series) == 0 {
+			t.Fatalf("missing series %s/%s", ds, s)
+		}
+		return series[len(series)-1]
+	}
+	// The sphere-structured datasets (every class contributes the same
+	// distance profile, like the real data's diffuse tails): Ostrich's
+	// undefended q99 poison costs the most.
+	for _, ds := range []string{"VEHICLE", "LETTER"} {
+		ostrich := lastPoint(ds, Ostrich)
+		// Ostrich's centroid Distance is the maximum across schemes (10%
+		// tolerance for the reduced-scale run).
+		for _, s := range AllSchemes[1:] {
+			if p := lastPoint(ds, s); p.Distance > ostrich.Distance*1.10 {
+				t.Errorf("%s: %s distance %v above Ostrich %v at high attack ratio",
+					ds, s, p.Distance, ostrich.Distance)
+			}
+		}
+		// Titfortat removes the equilibrium poison entirely, so its SSE on
+		// clean data sits below Ostrich's. (Asserted on VEHICLE only:
+		// LETTER's integer grid caps poison displacement, leaving the two
+		// within noise of each other at reduced scale.)
+		if ds == "VEHICLE" {
+			if tft := lastPoint(ds, Titfortat); tft.SSE >= ostrich.SSE {
+				t.Errorf("%s: Titfortat SSE %v not below Ostrich %v", ds, tft.SSE, ostrich.SSE)
+			}
+		}
+	}
+}
+
+func TestFig4LowAttackShape(t *testing.T) {
+	// The paper's low-ratio claim: "during intervals of low attack ratios
+	// ... Ostrich performs optimally ... all schemes implementing trimming
+	// end up with additional overhead costs."
+	sc := Quick
+	sc.Repetitions = 2
+	sc.Rounds = 8
+	sc.Batch = 150
+	res, err := Fig4(sc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv := AttackIntervals[0] // [0, 0.01]
+	for _, ds := range []string{"CONTROL", "VEHICLE", "LETTER"} {
+		series := res.SchemeSeries(ds, iv, Ostrich)
+		if len(series) == 0 {
+			t.Fatalf("missing Ostrich series for %s", ds)
+		}
+		ostrich := series[0] // lowest ratio point
+		for _, s := range AllSchemes[1:] {
+			other := res.SchemeSeries(ds, iv, s)[0]
+			if ostrich.SSE > other.SSE*1.02 {
+				t.Errorf("%s low ratio: Ostrich SSE %v above %s %v — trimming should only add overhead here",
+					ds, ostrich.SSE, s, other.SSE)
+			}
+		}
+	}
+}
+
+func TestFig6(t *testing.T) {
+	sc := Quick
+	res, err := Fig6(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SVMAccuracy < 0.85 {
+		t.Errorf("ground-truth SVM accuracy = %v, want high (paper: 0.968)", res.SVMAccuracy)
+	}
+	if len(res.SVMPPV) != 6 || len(res.SVMFDR) != 6 {
+		t.Errorf("PPV/FDR lengths %d/%d", len(res.SVMPPV), len(res.SVMFDR))
+	}
+	if len(res.SOMIslands) != 4 {
+		t.Fatalf("%d SOM islands", len(res.SOMIslands))
+	}
+	// The bulk class dominates; fraud/premium are isolated.
+	if res.SOMIslands[0].Hits < res.SOMIslands[1].Hits {
+		t.Error("public class should dominate")
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "quantization error") {
+		t.Error("Print output incomplete")
+	}
+}
+
+func TestFig7(t *testing.T) {
+	sc := Quick
+	sc.Repetitions = 1
+	sc.Rounds = 5
+	sc.Batch = 150
+	res, err := Fig7(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Groundtruth < 0.85 {
+		t.Errorf("groundtruth accuracy %v too low", res.Groundtruth)
+	}
+	if len(res.Rows) != len(AllSchemes) {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Accuracy < 0.2 || row.Accuracy > 1 {
+			t.Errorf("%s accuracy = %v implausible", row.Scheme, row.Accuracy)
+		}
+		// All schemes stay below (or at) the clean ground truth.
+		if row.Accuracy > res.Groundtruth+0.03 {
+			t.Errorf("%s accuracy %v above groundtruth %v", row.Scheme, row.Accuracy, res.Groundtruth)
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "Groundtruth") {
+		t.Error("Print output incomplete")
+	}
+}
+
+func TestFig8(t *testing.T) {
+	sc := Quick
+	sc.Rounds = 5
+	sc.Batch = 200
+	res, err := Fig8(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GroundtruthClasses < 3 {
+		t.Errorf("groundtruth preserves only %d classes", res.GroundtruthClasses)
+	}
+	if len(res.Rows) != len(AllSchemes) {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.ClassesPreserved < 1 || row.ClassesPreserved > 4 {
+			t.Errorf("%s preserves %d classes", row.Scheme, row.ClassesPreserved)
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "classes preserved") {
+		t.Error("Print output incomplete")
+	}
+}
+
+func TestFig9Smoke(t *testing.T) {
+	sc := Quick
+	sc.Repetitions = 1
+	sc.Rounds = 4
+	sc.Batch = 400
+	res, err := Fig9(sc, []float64{0.2}, []float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Panels) != 1 {
+		t.Fatalf("%d panels", len(res.Panels))
+	}
+	panel := res.Panels[0]
+	if len(panel.Points) != len(Fig9Schemes)*2 || len(panel.EMF) != 2 {
+		t.Fatalf("points %d, EMF %d", len(panel.Points), len(panel.EMF))
+	}
+	for _, p := range append(panel.Points, panel.EMF...) {
+		if math.IsNaN(p.MSE) || p.MSE < 0 {
+			t.Errorf("bad MSE %v for %s@%v", p.MSE, p.Scheme, p.Epsilon)
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "EMF") {
+		t.Error("Print output incomplete")
+	}
+	if got := res.SchemeMSE(0.2, "EMF"); len(got) != 2 {
+		t.Errorf("SchemeMSE(EMF) = %d points", len(got))
+	}
+	if got := res.SchemeMSE(0.2, Titfortat); len(got) != 2 {
+		t.Errorf("SchemeMSE(Titfortat) = %d points", len(got))
+	}
+	if got := res.SchemeMSE(0.9, Titfortat); got != nil {
+		t.Error("missing panel should return nil")
+	}
+}
+
+func TestFig9TrimmingBeatsEMF(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Fig9 comparison is slow for -short")
+	}
+	sc := Quick
+	sc.Repetitions = 3
+	sc.Rounds = 5
+	sc.Batch = 1500
+	res, err := Fig9(sc, []float64{0.3}, []float64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emf := res.SchemeMSE(0.3, "EMF")[0].MSE
+	ela := res.SchemeMSE(0.3, Elastic05)[0].MSE
+	if ela >= emf {
+		t.Errorf("Elastic0.5 MSE %v not below EMF %v under input manipulation", ela, emf)
+	}
+}

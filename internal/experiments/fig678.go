@@ -1,0 +1,279 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/collect"
+	"repro/internal/dataset"
+	"repro/internal/ml/som"
+	"repro/internal/ml/svm"
+	"repro/internal/stats"
+)
+
+// Fig6Result reproduces the ground-truth panels of Fig 6: the SVM confusion
+// matrix with PPV/FDR on labeled Control, and the SOM class structure on
+// Creditcard.
+type Fig6Result struct {
+	SVMConfusion *svm.Confusion
+	SVMAccuracy  float64
+	SVMPPV       []float64
+	SVMFDR       []float64
+
+	SOMIslands []som.ClassIsland
+	SOMQE      float64
+}
+
+// Fig6 trains the ground-truth models.
+func Fig6(sc Scale) (*Fig6Result, error) {
+	res := &Fig6Result{}
+
+	ctl := dataset.Control(stats.NewRand(sc.Seed))
+	std, err := stats.FitStandardizer(ctl.X)
+	if err != nil {
+		return nil, err
+	}
+	rows := std.Transform(ctl.X)
+	model, err := svm.TrainKernel(stats.NewRand(sc.Seed+1), rows, ctl.Y, ctl.Clusters,
+		svm.KernelConfig{Epochs: 6})
+	if err != nil {
+		return nil, err
+	}
+	res.SVMConfusion = model.NewConfusion(rows, ctl.Y)
+	res.SVMAccuracy = res.SVMConfusion.Accuracy()
+	res.SVMPPV = res.SVMConfusion.PPV()
+	res.SVMFDR = res.SVMConfusion.FDR()
+
+	ccN := sc.DatasetN * 5
+	if ccN < 2000 {
+		ccN = 2000
+	}
+	cc := dataset.CreditcardN(stats.NewRand(sc.Seed+2), ccN)
+	somRows, somCols := somSizeFor(sc)
+	m, err := som.Train(stats.NewRand(sc.Seed+3), cc.X, som.Config{
+		Rows: somRows, Cols: somCols, Epochs: 4,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.SOMIslands, err = m.ClassIslands(cc.X, cc.Y, cc.Clusters)
+	if err != nil {
+		return nil, err
+	}
+	res.SOMQE = m.QuantizationError(cc.X)
+	return res, nil
+}
+
+// somSizeFor returns the SOM grid: the paper's 20×20 at paper scale, 10×10
+// otherwise.
+func somSizeFor(sc Scale) (int, int) {
+	if sc.Repetitions >= Paper.Repetitions {
+		return 20, 20
+	}
+	return 10, 10
+}
+
+// Print emits Fig 6 as text.
+func (r *Fig6Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Fig 6(a): ground-truth SVM on Control — accuracy %.3f\n", r.SVMAccuracy)
+	fmt.Fprintf(w, "%-6s", "PPV:")
+	for _, v := range r.SVMPPV {
+		fmt.Fprintf(w, " %6.3f", v)
+	}
+	fmt.Fprintf(w, "\n%-6s", "FDR:")
+	for _, v := range r.SVMFDR {
+		fmt.Fprintf(w, " %6.3f", v)
+	}
+	fmt.Fprintf(w, "\nFig 6(b): ground-truth SOM on Creditcard — quantization error %.4f\n", r.SOMQE)
+	for _, isl := range r.SOMIslands {
+		fmt.Fprintf(w, "  class %d: %5d hits on %3d neurons, grid distance to bulk %.2f\n",
+			isl.Class, isl.Hits, isl.Neurons, isl.GridDistance)
+	}
+}
+
+// Fig7Row is one scheme's SVM accuracy under attack.
+type Fig7Row struct {
+	Scheme   SchemeName
+	Accuracy float64
+}
+
+// Fig7Result reproduces Fig 7: SVM classification accuracy per scheme on
+// Control with Tth = 0.95 and attack ratio 0.4.
+type Fig7Result struct {
+	Groundtruth float64
+	Rows        []Fig7Row
+}
+
+// Fig7 runs the comparison.
+func Fig7(sc Scale) (*Fig7Result, error) {
+	const (
+		tth   = 0.95
+		ratio = 0.4
+	)
+	ctl := dataset.Control(stats.NewRand(sc.Seed))
+	std, err := stats.FitStandardizer(ctl.X)
+	if err != nil {
+		return nil, err
+	}
+	cleanRows := std.Transform(ctl.X)
+
+	gt, err := svm.TrainKernel(stats.NewRand(sc.Seed+1), cleanRows, ctl.Y, ctl.Clusters,
+		svm.KernelConfig{Epochs: 6})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig7Result{Groundtruth: gt.Accuracy(cleanRows, ctl.Y)}
+
+	for _, name := range AllSchemes {
+		var accSum float64
+		for rep := 0; rep < sc.Repetitions; rep++ {
+			scheme, err := NewScheme(name, tth, 0.5)
+			if err != nil {
+				return nil, err
+			}
+			rng := stats.NewRand(sc.Seed + int64(rep)*31) // common random numbers across schemes
+			out, err := collect.RunRows(collect.RowConfig{
+				Rounds:      sc.Rounds,
+				Batch:       sc.Batch,
+				AttackRatio: ratio,
+				Data:        ctl,
+				Collector:   scheme.Collector,
+				Adversary:   scheme.Adversary,
+				PoisonLabel: -1,
+				Rng:         rng,
+			})
+			if err != nil {
+				return nil, err
+			}
+			trainRows := std.Transform(out.Kept.X)
+			model, err := svm.TrainKernel(rng, trainRows, out.Kept.Y, ctl.Clusters,
+				svm.KernelConfig{Epochs: 4})
+			if err != nil {
+				return nil, err
+			}
+			accSum += model.Accuracy(cleanRows, ctl.Y)
+		}
+		res.Rows = append(res.Rows, Fig7Row{Scheme: name, Accuracy: accSum / float64(sc.Repetitions)})
+	}
+	return res, nil
+}
+
+// Print emits Fig 7.
+func (r *Fig7Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Fig 7: SVM accuracy on Control, Tth=0.95, attack ratio 0.4\n")
+	fmt.Fprintf(w, "%-16s %.3f\n", "Groundtruth", r.Groundtruth)
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-16s %.3f\n", row.Scheme, row.Accuracy)
+	}
+}
+
+// Fig8Row is one scheme's SOM structure summary.
+type Fig8Row struct {
+	Scheme            SchemeName
+	QuantizationError float64
+	// ClassesPreserved counts classes of the clean Creditcard data that
+	// still occupy at least one neuron distinct from the bulk after the
+	// scheme's collection game — the paper's qualitative reading
+	// ("isolated points lost", "green class preserved") made countable.
+	ClassesPreserved int
+	KeptPoisonRatio  float64
+}
+
+// Fig8Result reproduces Fig 8: SOM classification per scheme on Creditcard.
+type Fig8Result struct {
+	GroundtruthClasses int
+	Rows               []Fig8Row
+}
+
+// Fig8 runs the comparison with Tth = 0.95 and a moderate attack.
+func Fig8(sc Scale) (*Fig8Result, error) {
+	const (
+		tth   = 0.95
+		ratio = 0.4
+	)
+	ccN := sc.DatasetN * 5
+	if ccN < 2000 {
+		ccN = 2000
+	}
+	cc := dataset.CreditcardN(stats.NewRand(sc.Seed), ccN)
+	somRows, somCols := somSizeFor(sc)
+
+	gtMap, err := som.Train(stats.NewRand(sc.Seed+1), cc.X, som.Config{Rows: somRows, Cols: somCols, Epochs: 4})
+	if err != nil {
+		return nil, err
+	}
+	gtIslands, err := gtMap.ClassIslands(cc.X, cc.Y, cc.Clusters)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig8Result{GroundtruthClasses: countPreserved(gtIslands)}
+
+	for _, name := range AllSchemes {
+		scheme, err := NewScheme(name, tth, 0.5)
+		if err != nil {
+			return nil, err
+		}
+		rng := stats.NewRand(sc.Seed + 2) // common random numbers across schemes
+		out, err := collect.RunRows(collect.RowConfig{
+			Rounds:      sc.Rounds,
+			Batch:       sc.Batch,
+			AttackRatio: ratio,
+			Data:        cc,
+			Collector:   scheme.Collector,
+			Adversary:   scheme.Adversary,
+			PoisonLabel: dataset.CCPublic, // poison masquerades as the bulk
+			Rng:         rng,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m, err := som.Train(rng, out.Kept.X, som.Config{Rows: somRows, Cols: somCols, Epochs: 4})
+		if err != nil {
+			return nil, err
+		}
+		// Structure preservation is scored against the clean data: which
+		// clean classes still land on their own map territory.
+		islands, err := m.ClassIslands(cc.X, cc.Y, cc.Clusters)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Fig8Row{
+			Scheme:            name,
+			QuantizationError: m.QuantizationError(cc.X),
+			ClassesPreserved:  countPreserved(islands),
+			KeptPoisonRatio:   out.Board.PoisonRetention(),
+		})
+	}
+	return res, nil
+}
+
+// countPreserved counts classes that occupy at least one neuron and, for
+// minority classes, sit at a non-trivial grid distance from the bulk.
+func countPreserved(islands []som.ClassIsland) int {
+	n := 0
+	for _, isl := range islands {
+		if isl.Neurons == 0 || isl.Hits == 0 {
+			continue
+		}
+		if isl.GridDistance == 0 || isl.GridDistance >= 1.0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Print emits Fig 8.
+func (r *Fig8Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Fig 8: SOM structure on Creditcard (groundtruth preserves %d classes)\n",
+		r.GroundtruthClasses)
+	fmt.Fprintf(w, "%-16s %-10s %-18s %-12s\n", "scheme", "QE", "classes preserved", "poison kept")
+	for _, row := range r.Rows {
+		qe := row.QuantizationError
+		if math.IsNaN(qe) {
+			qe = -1
+		}
+		fmt.Fprintf(w, "%-16s %-10.4f %-18d %-12.4f\n",
+			row.Scheme, qe, row.ClassesPreserved, row.KeptPoisonRatio)
+	}
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/attack"
+	"repro/internal/collect"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+	"repro/internal/trim"
+)
+
+// TableIIIRow is one p-value of the non-equilibrium study: mean Titfortat
+// termination round, and the untrimmed-poison fraction each strategy leaves
+// in the retained data.
+type TableIIIRow struct {
+	P               float64
+	AvgTermination  float64
+	TitfortatPoison float64
+	ElasticPoison   float64
+}
+
+// TableIIIResult reproduces Table III on the Control dataset with attack
+// ratio 0.2: the adversary mixes the 99th-percentile equilibrium placement
+// (probability p) with the 90th-percentile greedy placement (1−p); the
+// Titfortat trigger carries a 5% redundancy.
+type TableIIIResult struct {
+	AttackRatio float64
+	Rounds      int
+	Rows        []TableIIIRow
+}
+
+// TableIII runs the sweep over p ∈ {0, 0.1, …, 1}.
+func TableIII(sc Scale) (*TableIIIResult, error) {
+	const (
+		tth         = 0.9
+		attackRatio = 0.2
+	)
+	rounds := sc.Rounds
+	if rounds < 5 {
+		rounds = 5
+	}
+	// The paper runs this study for 25 rounds (termination averages reach
+	// 25); scale the configured rounds up accordingly.
+	rounds = rounds * 5 / 4
+
+	ctl := dataset.Control(stats.NewRand(sc.Seed))
+	distances, err := ctl.Distances()
+	if err != nil {
+		return nil, err
+	}
+
+	res := &TableIIIResult{AttackRatio: attackRatio, Rounds: rounds}
+	for pi := 0; pi <= 10; pi++ {
+		p := float64(pi) / 10
+		// The §VI-D trigger bar: punish once the observed evading fraction
+		// exceeds (1−p) + 0.05. With quality = 1 − evading and baseline ≈ 1
+		// this is a redundancy of (1−p) + 0.05.
+		red := (1 - p) + 0.05
+		var termSum, tftPoison, elaPoison float64
+		for rep := 0; rep < sc.Repetitions; rep++ {
+			seed := sc.Seed + int64(rep)*104729 + int64(pi)*7
+			adv, err := attack.NewMixedP(p)
+			if err != nil {
+				return nil, err
+			}
+			tft, err := trim.NewTitfortat(tth+0.01, tth-0.03, red)
+			if err != nil {
+				return nil, err
+			}
+			honest, err := collect.PoolSampler(distances)
+			if err != nil {
+				return nil, err
+			}
+			outT, err := collect.Run(collect.Config{
+				Rounds:      rounds,
+				Batch:       sc.Batch,
+				AttackRatio: attackRatio,
+				Reference:   distances,
+				Honest:      honest,
+				Collector:   tft,
+				Adversary:   adv,
+				Quality:     collect.EvasionQuality(attackRatio),
+				TrimOnBatch: true, // Table III retention magnitudes follow the batch-fraction reading
+				Rng:         stats.NewRand(seed),
+			})
+			if err != nil {
+				return nil, err
+			}
+			if tft.Triggered() {
+				termSum += float64(tft.TriggeredAt)
+			} else {
+				termSum += float64(rounds)
+			}
+			tftPoison += outT.Board.PoisonRetention()
+
+			ela, err := trim.NewElastic(tth, 0.5)
+			if err != nil {
+				return nil, err
+			}
+			adv2, err := attack.NewMixedP(p)
+			if err != nil {
+				return nil, err
+			}
+			outE, err := collect.Run(collect.Config{
+				Rounds:      rounds,
+				Batch:       sc.Batch,
+				AttackRatio: attackRatio,
+				Reference:   distances,
+				Honest:      honest,
+				Collector:   ela,
+				Adversary:   adv2,
+				Quality:     collect.EvasionQuality(attackRatio),
+				TrimOnBatch: true,
+				Rng:         stats.NewRand(seed + 1),
+			})
+			if err != nil {
+				return nil, err
+			}
+			elaPoison += outE.Board.PoisonRetention()
+		}
+		n := float64(sc.Repetitions)
+		res.Rows = append(res.Rows, TableIIIRow{
+			P:               p,
+			AvgTermination:  termSum / n,
+			TitfortatPoison: tftPoison / n,
+			ElasticPoison:   elaPoison / n,
+		})
+	}
+	return res, nil
+}
+
+// Print emits Table III.
+func (r *TableIIIResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Table III: non-equilibrium results (attack ratio %.2g, %d rounds)\n",
+		r.AttackRatio, r.Rounds)
+	fmt.Fprintf(w, "%-5s %-26s %-12s %-12s\n", "p", "Average termination rounds", "Titfortat", "Elastic")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-5.1f %-26.2f %-12.5f %-12.5f\n",
+			row.P, row.AvgTermination, row.TitfortatPoison, row.ElasticPoison)
+	}
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/trim"
+)
+
+// TableIVRow is one Round_no row of the Elastic cost analysis.
+type TableIVRow struct {
+	RoundNo int
+	CostK05 float64 // roundwise cost for k = 0.5, in percentile units
+	CostK01 float64 // roundwise cost for k = 0.1
+}
+
+// TableIVResult reproduces Table IV: the roundwise cost of the Elastic
+// scheme as a function of the horizon.
+//
+// Cost definition: the §VI-A dynamics are deterministic given the public
+// board, so the trajectory (T(i), A(i)) is iterated in closed form and the
+// per-round cost is the collector's distance from its equilibrium trim
+// position, |T(i) − T*|. The paper's prose ("as the Elastic strategy
+// progressively adjusts the trimming threshold, the attacker's poison
+// placement gradually approaches the equilibrium point, and the cost per
+// round decreases accordingly") pins the 1/Round_no decay this reproduces;
+// the exact normalization constant of the paper's table is not recoverable
+// from the text — see EXPERIMENTS.md for the measured-vs-paper comparison.
+type TableIVResult struct {
+	Tth  float64
+	Rows []TableIVRow
+}
+
+// TableIV computes the cost table for Round_no ∈ {5, 10, …, 50}.
+func TableIV(tth float64) (*TableIVResult, error) {
+	res := &TableIVResult{Tth: tth}
+	costs := map[float64][]float64{}
+	for _, k := range []float64{0.5, 0.1} {
+		traj, err := ElasticTrajectory(tth, k, 50)
+		if err != nil {
+			return nil, err
+		}
+		tStar, _, err := trim.EquilibriumThresholds(tth, k)
+		if err != nil {
+			return nil, err
+		}
+		perRound := make([]float64, len(traj))
+		for i, pt := range traj {
+			perRound[i] = math.Abs(pt.T - tStar)
+		}
+		costs[k] = perRound
+	}
+	for n := 5; n <= 50; n += 5 {
+		row := TableIVRow{RoundNo: n}
+		row.CostK05 = meanPrefix(costs[0.5], n)
+		row.CostK01 = meanPrefix(costs[0.1], n)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// TrajectoryPoint is one round of the deterministic Elastic dynamics.
+type TrajectoryPoint struct {
+	Round int
+	T     float64 // collector threshold percentile
+	A     float64 // adversary injection percentile
+}
+
+// ElasticTrajectory iterates the §VI-A coupled update rules from the
+// paper's initial conditions T(1) = Tth − 3%, A(1) = Tth + 1%.
+func ElasticTrajectory(tth, k float64, rounds int) ([]TrajectoryPoint, error) {
+	if rounds <= 0 {
+		return nil, fmt.Errorf("experiments: rounds = %d", rounds)
+	}
+	if !(k > 0 && k < 1) {
+		return nil, fmt.Errorf("experiments: k = %v outside (0,1)", k)
+	}
+	traj := make([]TrajectoryPoint, rounds)
+	tPos, aPos := tth-0.03, tth+0.01
+	traj[0] = TrajectoryPoint{Round: 1, T: tPos, A: aPos}
+	for i := 1; i < rounds; i++ {
+		tNext := tth + k*(aPos-tth-0.01)
+		aNext := tth - 0.03 + k*(tPos-tth)
+		tPos, aPos = tNext, aNext
+		traj[i] = TrajectoryPoint{Round: i + 1, T: tPos, A: aPos}
+	}
+	return traj, nil
+}
+
+func meanPrefix(xs []float64, n int) float64 {
+	if n > len(xs) {
+		n = len(xs)
+	}
+	var s float64
+	for _, x := range xs[:n] {
+		s += x
+	}
+	return s / float64(n)
+}
+
+// Print emits Table IV with costs in percent.
+func (r *TableIVResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Table IV: roundwise cost of Elastic 0.1 and Elastic 0.5 (Tth=%.2f)\n", r.Tth)
+	fmt.Fprintf(w, "%-9s %-12s %-12s\n", "Round_no", "k=0.5 (%)", "k=0.1 (%)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-9d %-12.5f %-12.5f\n", row.RoundNo, row.CostK05*100, row.CostK01*100)
+	}
+}

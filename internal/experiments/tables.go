@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/dataset"
+	"repro/internal/game"
+	"repro/internal/stats"
+)
+
+// TableIResult reproduces Table I: the one-shot ultimatum game's payoff
+// matrix, its pure equilibria, and the Pareto relation the paper's §III-D
+// narrative rests on.
+type TableIResult struct {
+	Payoffs    game.UltimatumPayoffs
+	Game       *game.Bimatrix
+	Equilibria []game.Outcome
+	// SoftSoftDominatesEquilibrium is the prisoner's-dilemma signature:
+	// mutual gentleness beats the unique tough equilibrium.
+	SoftSoftDominatesEquilibrium bool
+}
+
+// TableI builds the ultimatum game with payoffs satisfying P̄ > T̄ ≫ P > T.
+func TableI(p game.UltimatumPayoffs) (*TableIResult, error) {
+	g, err := game.NewUltimatum(p)
+	if err != nil {
+		return nil, err
+	}
+	res := &TableIResult{Payoffs: p, Game: g, Equilibria: g.PureNash()}
+	for _, eq := range res.Equilibria {
+		if eq.Row == game.Hard && eq.Col == game.Hard {
+			res.SoftSoftDominatesEquilibrium = g.ParetoDominates(
+				game.Outcome{Row: game.Soft, Col: game.Soft}, eq)
+		}
+	}
+	return res, nil
+}
+
+// Print emits the payoff matrix in the paper's layout.
+func (r *TableIResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Table I: ultimatum game, P̄=%.4g T̄=%.4g P=%.4g T=%.4g\n",
+		r.Payoffs.PBar, r.Payoffs.TBar, r.Payoffs.P, r.Payoffs.T)
+	fmt.Fprintf(w, "%-18s %-24s %-24s\n", "collector\\adversary", "Soft", "Hard")
+	for i, rn := range r.Game.RowNames {
+		fmt.Fprintf(w, "%-18s (%.4g, %.4g)%-8s (%.4g, %.4g)\n",
+			rn, r.Game.P1[i][0], r.Game.P2[i][0], "", r.Game.P1[i][1], r.Game.P2[i][1])
+	}
+	fmt.Fprintf(w, "pure equilibria: ")
+	for _, eq := range r.Equilibria {
+		fmt.Fprintf(w, "(%s, %s) ", r.Game.RowNames[eq.Row], r.Game.ColNames[eq.Col])
+	}
+	fmt.Fprintf(w, "\n(Soft,Soft) Pareto-dominates the tough equilibrium: %v\n",
+		r.SoftSoftDominatesEquilibrium)
+}
+
+// TableIIResult reproduces Table II: dataset information.
+type TableIIResult struct {
+	Rows []dataset.Info
+}
+
+// TableII reports the five datasets' shapes. When full is true the actual
+// full-size datasets are generated and measured; otherwise the shapes come
+// from generating at published size for the small datasets and from the
+// published constants for Taxi/Creditcard (cheap, equivalent by
+// construction).
+func TableII(seed int64, full bool) (*TableIIResult, error) {
+	rng := stats.NewRand(seed)
+	res := &TableIIResult{}
+	res.Rows = append(res.Rows, dataset.Control(rng).Summary())
+	res.Rows = append(res.Rows, dataset.Vehicle(rng).Summary())
+	if full {
+		res.Rows = append(res.Rows, dataset.Letter(rng).Summary())
+		res.Rows = append(res.Rows, dataset.Taxi(rng).Summary())
+		res.Rows = append(res.Rows, dataset.Creditcard(rng).Summary())
+	} else {
+		res.Rows = append(res.Rows,
+			dataset.Info{Name: "LETTER", Instances: dataset.LetterSize, Features: dataset.LetterFeatures, Clusters: dataset.LetterClusters},
+			dataset.Info{Name: "TAXI", Instances: dataset.TaxiSize, Features: 1, Clusters: 1},
+			dataset.Info{Name: "CREDITCARD", Instances: dataset.CreditcardSize, Features: dataset.CreditcardFeatures, Clusters: dataset.CreditcardClusters},
+		)
+	}
+	return res, nil
+}
+
+// Print emits Table II.
+func (r *TableIIResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "Table II: dataset information")
+	fmt.Fprintf(w, "%-12s %-10s %-9s %-8s\n", "Dataset", "Instances", "Features", "Clusters")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-12s %-10d %-9d %-8d\n", row.Name, row.Instances, row.Features, row.Clusters)
+	}
+}

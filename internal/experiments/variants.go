@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/attack"
+	"repro/internal/collect"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+	"repro/internal/trim"
+)
+
+// VariantRow is one trigger strategy's outcome under noisy quality.
+type VariantRow struct {
+	Strategy string
+	// SurvivedRounds is the mean number of rounds before permanent
+	// punishment (the horizon when never triggered); for Generous, which
+	// never punishes permanently, it is always the horizon.
+	SurvivedRounds float64
+	// PoisonRetention and HonestLoss are the two sides of the collector's
+	// payoff −P − T.
+	PoisonRetention float64
+	HonestLoss      float64
+}
+
+// VariantsResult is the paper's §V future-work study, implemented: the
+// rigid Titfortat trigger against its two named variants (Tit-for-two-tats
+// and Generous Tit-for-tat) and the Elastic strategy, all facing the same
+// mostly-compliant adversary whose quality signal jitters — the
+// non-deterministic-utility regime where rigid triggers mistakenly end
+// cooperation.
+type VariantsResult struct {
+	AttackRatio float64
+	Rounds      int
+	MixP        float64
+	Rows        []VariantRow
+}
+
+// Variants runs the comparison on the Control distance stream.
+func Variants(sc Scale) (*VariantsResult, error) {
+	const (
+		tth         = 0.9
+		attackRatio = 0.2
+		red         = 0.05
+		mixP        = 0.9 // adversary is 90% compliant: quality jitters
+	)
+	rounds := sc.Rounds * 2
+	ctl := dataset.Control(stats.NewRand(sc.Seed))
+	distances, err := ctl.Distances()
+	if err != nil {
+		return nil, err
+	}
+	honest, err := collect.PoolSampler(distances)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &VariantsResult{AttackRatio: attackRatio, Rounds: rounds, MixP: mixP}
+
+	strategies := []struct {
+		name string
+		mk   func(seed int64) (trim.Strategy, func() float64)
+	}{
+		{"Titfortat", func(seed int64) (trim.Strategy, func() float64) {
+			t, err := trim.NewTitfortat(tth+0.01, tth-0.03, red)
+			if err != nil {
+				panic(err)
+			}
+			return t, func() float64 {
+				if t.Triggered() {
+					return float64(t.TriggeredAt)
+				}
+				return float64(rounds)
+			}
+		}},
+		{"TitForTwoTats", func(seed int64) (trim.Strategy, func() float64) {
+			t, err := trim.NewTitForTwoTats(tth+0.01, tth-0.03, red)
+			if err != nil {
+				panic(err)
+			}
+			return t, func() float64 {
+				if t.Triggered() {
+					return float64(t.TriggeredAt)
+				}
+				return float64(rounds)
+			}
+		}},
+		{"GenerousTfT0.5", func(seed int64) (trim.Strategy, func() float64) {
+			t, err := trim.NewGenerousTitForTat(tth+0.01, tth-0.03, red, 0.5, stats.NewRand(seed+999))
+			if err != nil {
+				panic(err)
+			}
+			return t, func() float64 { return float64(rounds) }
+		}},
+		{"Elastic0.5", func(seed int64) (trim.Strategy, func() float64) {
+			t, err := trim.NewElastic(tth, 0.5)
+			if err != nil {
+				panic(err)
+			}
+			return t, func() float64 { return float64(rounds) }
+		}},
+	}
+
+	for _, s := range strategies {
+		var surv, ret, loss float64
+		for rep := 0; rep < sc.Repetitions; rep++ {
+			seed := sc.Seed + int64(rep)*2221
+			col, survived := s.mk(seed)
+			adv, err := attack.NewMixedP(mixP)
+			if err != nil {
+				return nil, err
+			}
+			out, err := collect.Run(collect.Config{
+				Rounds:      rounds,
+				Batch:       sc.Batch,
+				AttackRatio: attackRatio,
+				Reference:   distances,
+				Honest:      honest,
+				Collector:   col,
+				Adversary:   adv,
+				Quality:     collect.EvasionQuality(attackRatio),
+				TrimOnBatch: true,
+				Rng:         stats.NewRand(seed),
+			})
+			if err != nil {
+				return nil, err
+			}
+			surv += survived()
+			ret += out.Board.PoisonRetention()
+			loss += out.Board.HonestLoss()
+		}
+		n := float64(sc.Repetitions)
+		res.Rows = append(res.Rows, VariantRow{
+			Strategy:        s.name,
+			SurvivedRounds:  surv / n,
+			PoisonRetention: ret / n,
+			HonestLoss:      loss / n,
+		})
+	}
+	return res, nil
+}
+
+// Print emits the study.
+func (r *VariantsResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Trigger variants under noisy quality (ratio %.2g, %d rounds, adversary %.0f%% compliant)\n",
+		r.AttackRatio, r.Rounds, 100*r.MixP)
+	fmt.Fprintf(w, "%-16s %-16s %-16s %-12s\n", "strategy", "survived rounds", "poison retained", "honest lost")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-16s %-16.2f %-16.5f %-12.5f\n",
+			row.Strategy, row.SurvivedRounds, row.PoisonRetention, row.HonestLoss)
+	}
+}

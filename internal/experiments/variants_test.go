@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestVariants(t *testing.T) {
+	sc := Quick
+	sc.Repetitions = 3
+	res, err := Variants(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(res.Rows))
+	}
+	byName := map[string]VariantRow{}
+	for _, row := range res.Rows {
+		byName[row.Strategy] = row
+		if row.PoisonRetention < 0 || row.PoisonRetention > 1 {
+			t.Errorf("%s retention = %v", row.Strategy, row.PoisonRetention)
+		}
+		if row.HonestLoss < 0 || row.HonestLoss > 1 {
+			t.Errorf("%s loss = %v", row.Strategy, row.HonestLoss)
+		}
+	}
+	// The §V point: forgiving variants sustain cooperation at least as long
+	// as the rigid trigger under a mostly-compliant adversary whose quality
+	// signal jitters.
+	rigid := byName["Titfortat"].SurvivedRounds
+	if byName["TitForTwoTats"].SurvivedRounds < rigid {
+		t.Errorf("TitForTwoTats survived %v < rigid %v",
+			byName["TitForTwoTats"].SurvivedRounds, rigid)
+	}
+	// Generous and Elastic never terminate permanently.
+	full := float64(res.Rounds)
+	if byName["GenerousTfT0.5"].SurvivedRounds != full {
+		t.Errorf("Generous survived %v, want full horizon %v",
+			byName["GenerousTfT0.5"].SurvivedRounds, full)
+	}
+	if byName["Elastic0.5"].SurvivedRounds != full {
+		t.Errorf("Elastic survived %v, want full horizon %v",
+			byName["Elastic0.5"].SurvivedRounds, full)
+	}
+
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "TitForTwoTats") {
+		t.Error("Print output incomplete")
+	}
+}

@@ -1,0 +1,144 @@
+package game
+
+import (
+	"math"
+	"testing"
+)
+
+func prisonersDilemma(t *testing.T) *Bimatrix {
+	t.Helper()
+	// Classic PD: (C,C)=(3,3), (C,D)=(0,5), (D,C)=(5,0), (D,D)=(1,1).
+	g, err := NewBimatrix(
+		[]string{"C", "D"}, []string{"C", "D"},
+		[][]float64{{3, 0}, {5, 1}},
+		[][]float64{{3, 5}, {0, 1}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewBimatrixValidation(t *testing.T) {
+	if _, err := NewBimatrix(nil, []string{"a"}, nil, nil); err == nil {
+		t.Error("empty rows should error")
+	}
+	if _, err := NewBimatrix([]string{"a"}, []string{"b"},
+		[][]float64{{1, 2}}, [][]float64{{1}}); err == nil {
+		t.Error("ragged P1 should error")
+	}
+	if _, err := NewBimatrix([]string{"a"}, []string{"b"},
+		[][]float64{{math.NaN()}}, [][]float64{{1}}); err == nil {
+		t.Error("NaN payoff should error")
+	}
+	if _, err := NewBimatrix([]string{"a", "b"}, []string{"c"},
+		[][]float64{{1}}, [][]float64{{1}, {2}}); err == nil {
+		t.Error("wrong row count should error")
+	}
+}
+
+func TestPureNashPrisonersDilemma(t *testing.T) {
+	g := prisonersDilemma(t)
+	eq := g.PureNash()
+	if len(eq) != 1 || eq[0] != (Outcome{Row: 1, Col: 1}) {
+		t.Errorf("PD equilibria = %v, want unique (D,D)", eq)
+	}
+	// (C,C) Pareto-dominates (D,D).
+	if !g.ParetoDominates(Outcome{0, 0}, Outcome{1, 1}) {
+		t.Error("(C,C) should Pareto-dominate (D,D)")
+	}
+	if g.ParetoDominates(Outcome{1, 1}, Outcome{0, 0}) {
+		t.Error("(D,D) should not Pareto-dominate (C,C)")
+	}
+}
+
+func TestPureNashMatchingPennies(t *testing.T) {
+	g, err := NewBimatrix(
+		[]string{"H", "T"}, []string{"H", "T"},
+		[][]float64{{1, -1}, {-1, 1}},
+		[][]float64{{-1, 1}, {1, -1}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq := g.PureNash(); len(eq) != 0 {
+		t.Errorf("matching pennies has no pure equilibrium, got %v", eq)
+	}
+	if !g.IsZeroSum(1e-12) {
+		t.Error("matching pennies is zero-sum")
+	}
+}
+
+func TestBestResponses(t *testing.T) {
+	g := prisonersDilemma(t)
+	if br := g.BestResponsesRow(0); len(br) != 1 || br[0] != 1 {
+		t.Errorf("BR to opponent C = %v, want D", br)
+	}
+	if br := g.BestResponsesCol(1); len(br) != 1 || br[0] != 1 {
+		t.Errorf("BR to row D = %v, want D", br)
+	}
+}
+
+func TestBestResponsesTies(t *testing.T) {
+	g, err := NewBimatrix(
+		[]string{"a", "b"}, []string{"x", "y"},
+		[][]float64{{1, 1}, {1, 1}},
+		[][]float64{{2, 2}, {2, 2}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br := g.BestResponsesRow(0); len(br) != 2 {
+		t.Errorf("constant game should have all rows as BR, got %v", br)
+	}
+	if eq := g.PureNash(); len(eq) != 4 {
+		t.Errorf("constant game should have 4 weak equilibria, got %v", eq)
+	}
+}
+
+func TestStackelbergRow(t *testing.T) {
+	// A game where commitment helps: the Stackelberg leader earns more than
+	// in the simultaneous equilibrium.
+	g, err := NewBimatrix(
+		[]string{"Up", "Down"}, []string{"Left", "Right"},
+		[][]float64{{2, 4}, {1, 3}},
+		[][]float64{{1, 0}, {0, 2}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := g.StackelbergRow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Committing Up ⇒ follower plays Left (1>0) ⇒ leader gets 2.
+	// Committing Down ⇒ follower plays Right (2>0) ⇒ leader gets 3.
+	if out != (Outcome{Row: 1, Col: 1}) {
+		t.Errorf("Stackelberg outcome = %v, want (Down, Right)", out)
+	}
+}
+
+func TestStackelbergTieBreaksForLeader(t *testing.T) {
+	g, err := NewBimatrix(
+		[]string{"r"}, []string{"x", "y"},
+		[][]float64{{0, 10}},
+		[][]float64{{5, 5}}, // follower indifferent
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := g.StackelbergRow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Col != 1 {
+		t.Errorf("strong Stackelberg should break ties for the leader, got col %d", out.Col)
+	}
+}
+
+func TestIsZeroSumTolerance(t *testing.T) {
+	g := prisonersDilemma(t)
+	if g.IsZeroSum(1e-12) {
+		t.Error("PD is not zero-sum")
+	}
+}

@@ -1,0 +1,160 @@
+package game
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMixedStrategyValidate(t *testing.T) {
+	if err := (MixedStrategy{0.5, 0.5}).Validate(); err != nil {
+		t.Errorf("valid mix rejected: %v", err)
+	}
+	for _, m := range []MixedStrategy{
+		{0.5, 0.6},
+		{-0.1, 1.1},
+		{math.NaN(), 1},
+	} {
+		if err := m.Validate(); err == nil {
+			t.Errorf("mix %v should fail validation", m)
+		}
+	}
+}
+
+func TestExpectedPayoffs(t *testing.T) {
+	g := prisonersDilemma(t)
+	// Pure (D,D) through the mixed API.
+	u1, u2, err := g.ExpectedPayoffs(MixedStrategy{0, 1}, MixedStrategy{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u1 != 1 || u2 != 1 {
+		t.Errorf("pure (D,D) = (%v,%v), want (1,1)", u1, u2)
+	}
+	// Uniform mixing.
+	u1, u2, err = g.ExpectedPayoffs(MixedStrategy{0.5, 0.5}, MixedStrategy{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(u1-2.25) > 1e-12 || math.Abs(u2-2.25) > 1e-12 {
+		t.Errorf("uniform mix = (%v,%v), want (2.25,2.25)", u1, u2)
+	}
+	if _, _, err := g.ExpectedPayoffs(MixedStrategy{1}, MixedStrategy{0, 1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestReducePoint(t *testing.T) {
+	m, err := ReducePoint(0.925, 0.9, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.PL-0.75) > 1e-12 || math.Abs(m.PR-0.25) > 1e-12 {
+		t.Errorf("mix = (%v, %v), want (0.75, 0.25)", m.PL, m.PR)
+	}
+	if math.Abs(m.Value()-0.925) > 1e-12 {
+		t.Errorf("Value = %v", m.Value())
+	}
+	if _, err := ReducePoint(0.5, 0.9, 1.0); err == nil {
+		t.Error("out-of-domain point should error")
+	}
+	if _, err := ReducePoint(0.5, 1, 1); err == nil {
+		t.Error("empty domain should error")
+	}
+}
+
+func TestReduceEndpoints(t *testing.T) {
+	for _, c := range []struct {
+		x, pl, pr float64
+	}{
+		{0.9, 1, 0}, {1.0, 0, 1},
+	} {
+		m, err := ReducePoint(c.x, 0.9, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(m.PL-c.pl) > 1e-12 || math.Abs(m.PR-c.pr) > 1e-12 {
+			t.Errorf("ReducePoint(%v) = (%v,%v)", c.x, m.PL, m.PR)
+		}
+	}
+}
+
+func TestReduceDistribution(t *testing.T) {
+	xs := []float64{0.9, 1.0, 0.95, 0.95}
+	m, err := ReduceDistribution(xs, 0.9, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Value()-0.95) > 1e-12 {
+		t.Errorf("distribution mean = %v, want 0.95", m.Value())
+	}
+	if _, err := ReduceDistribution(nil, 0, 1); err == nil {
+		t.Error("empty distribution should error")
+	}
+	// Out-of-domain values are clamped.
+	m, err = ReduceDistribution([]float64{2, 2}, 0.9, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PR != 1 {
+		t.Errorf("clamped mix PR = %v, want 1", m.PR)
+	}
+}
+
+// Property (§III-C2 completeness): for any affine payoff function, the
+// expected payoff of the endpoint mix equals the payoff at the represented
+// point — any poison distribution reduces to a two-point mixed strategy.
+func TestEndpointMixLinearity(t *testing.T) {
+	f := func(rawX, a, b float64) bool {
+		if math.IsNaN(rawX) || math.IsInf(rawX, 0) ||
+			math.IsNaN(a) || math.IsInf(a, 0) || math.Abs(a) > 1e6 ||
+			math.IsNaN(b) || math.IsInf(b, 0) || math.Abs(b) > 1e6 {
+			return true
+		}
+		// Map rawX into [0.9, 1.0].
+		x := 0.9 + 0.1*(math.Abs(rawX)-math.Floor(math.Abs(rawX)))
+		m, err := ReducePoint(x, 0.9, 1.0)
+		if err != nil {
+			return false
+		}
+		payoff := func(v float64) float64 { return a*v + b }
+		return math.Abs(m.ExpectedPayoff(payoff)-payoff(x)) < 1e-6*(1+math.Abs(a)+math.Abs(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: reducing a multi-point distribution and mixing payoffs is the
+// same as averaging payoffs pointwise, for affine payoffs.
+func TestDistributionReductionAdditivity(t *testing.T) {
+	f := func(raw []float64, a float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.Abs(a) > 1e6 {
+			return true
+		}
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			if math.IsNaN(r) || math.IsInf(r, 0) {
+				r = 0
+			}
+			xs[i] = 0.9 + 0.1*(math.Abs(r)-math.Floor(math.Abs(r)))
+		}
+		m, err := ReduceDistribution(xs, 0.9, 1.0)
+		if err != nil {
+			return false
+		}
+		payoff := func(v float64) float64 { return a * v }
+		var direct float64
+		for _, x := range xs {
+			direct += payoff(x)
+		}
+		direct /= float64(len(xs))
+		return math.Abs(m.ExpectedPayoff(payoff)-direct) < 1e-6*(1+math.Abs(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,160 @@
+package game
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRepeatedParamsValidate(t *testing.T) {
+	bad := []RepeatedParams{
+		{GC: 1, GA: 1, D: 0, P: 0.5},
+		{GC: 1, GA: 1, D: 1, P: 0.5},
+		{GC: 1, GA: 1, D: 0.9, P: -0.1},
+		{GC: 1, GA: 1, D: 0.9, P: 1.1},
+	}
+	for i, rp := range bad {
+		if err := rp.Validate(); err == nil {
+			t.Errorf("case %d: %+v should fail", i, rp)
+		}
+	}
+	good := RepeatedParams{GC: 2, GA: 4, D: 0.9, P: 0.3}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	if got := good.GAC(); got != 3 {
+		t.Errorf("GAC = %v, want 3", got)
+	}
+}
+
+func TestTheorem3Boundary(t *testing.T) {
+	rp := RepeatedParams{GC: 2, GA: 4, D: 0.9, P: 0.3}
+	maxD, err := rp.MaxDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (0.9 - 0.9*0.3) / (1 - 0.9*0.3) * 3
+	if math.Abs(maxD-want) > 1e-12 {
+		t.Errorf("MaxDelta = %v, want %v", maxD, want)
+	}
+	// Just inside the bound: comply. Just outside: defect.
+	if ok, _ := rp.Complies(maxD - 1e-9); !ok {
+		t.Error("δ just below the bound should comply")
+	}
+	if ok, _ := rp.Complies(maxD + 1e-9); ok {
+		t.Error("δ just above the bound should defect")
+	}
+}
+
+func TestTheorem3MatchesGainComparison(t *testing.T) {
+	// The compliance condition must be exactly g_com > g_def.
+	cases := []RepeatedParams{
+		{GC: 2, GA: 4, D: 0.9, P: 0.3},
+		{GC: 1, GA: 1, D: 0.5, P: 0.0},
+		{GC: 5, GA: 2, D: 0.99, P: 0.9},
+	}
+	for _, rp := range cases {
+		maxD, err := rp.MaxDelta()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, delta := range []float64{0, maxD / 2, maxD * 0.99, maxD * 1.01, maxD * 2} {
+			comply, _ := rp.Complies(delta)
+			gainsSayComply := rp.GainComply(delta) > rp.GainDefect()
+			if comply != gainsSayComply {
+				t.Errorf("params %+v δ=%v: Complies=%v but gain comparison=%v",
+					rp, delta, comply, gainsSayComply)
+			}
+		}
+	}
+}
+
+func TestClosedFormsMatchSimulation(t *testing.T) {
+	rp := RepeatedParams{GC: 2, GA: 4, D: 0.9, P: 0.3}
+	delta := 0.5
+	simC := rp.SimulateComply(delta, 2000)
+	if math.Abs(simC-rp.GainComply(delta)) > 1e-6 {
+		t.Errorf("simulated comply %v vs closed form %v", simC, rp.GainComply(delta))
+	}
+	simD := rp.SimulateDefect(2000)
+	if math.Abs(simD-rp.GainDefect()) > 1e-6 {
+		t.Errorf("simulated defect %v vs closed form %v", simD, rp.GainDefect())
+	}
+}
+
+func TestPEqualsOneAlwaysDefect(t *testing.T) {
+	// "Should p = 1 ... they would always opt to defect given the lack of
+	// consequences": MaxDelta is 0, so no positive δ sustains compliance.
+	rp := RepeatedParams{GC: 2, GA: 4, D: 0.9, P: 1}
+	maxD, err := rp.MaxDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxD != 0 {
+		t.Errorf("MaxDelta at p=1 = %v, want 0", maxD)
+	}
+	if ok, _ := rp.Complies(0.001); ok {
+		t.Error("any compromise at p=1 should fail to induce compliance")
+	}
+}
+
+func TestPToZeroMaxTrust(t *testing.T) {
+	// As p → 0 the bound approaches d·g_ac, the most forgiving setting.
+	rp := RepeatedParams{GC: 2, GA: 4, D: 0.9, P: 0}
+	maxD, err := rp.MaxDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(maxD-0.9*3) > 1e-12 {
+		t.Errorf("MaxDelta at p=0 = %v, want d·gac = 2.7", maxD)
+	}
+}
+
+// Property: MaxDelta is monotonically decreasing in p (a stealthier
+// adversary demands a smaller collector compromise) and increasing in d
+// (more patient players sustain more cooperation).
+func TestMaxDeltaMonotonicity(t *testing.T) {
+	f := func(rd, rp1, rp2 uint8) bool {
+		d := 0.01 + 0.98*float64(rd)/255
+		p1 := float64(rp1) / 255
+		p2 := float64(rp2) / 255
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		a := RepeatedParams{GC: 2, GA: 4, D: d, P: p1}
+		b := RepeatedParams{GC: 2, GA: 4, D: d, P: p2}
+		ma, err1 := a.MaxDelta()
+		mb, err2 := b.MaxDelta()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return ma >= mb-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTerminationProbability(t *testing.T) {
+	p, err := TerminationProbability(0.1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - math.Pow(0.9, 10)
+	if math.Abs(p-want) > 1e-12 {
+		t.Errorf("TerminationProbability = %v, want %v", p, want)
+	}
+	if p, _ := TerminationProbability(0, 1000); p != 0 {
+		t.Errorf("zero false-positive rate should never terminate, got %v", p)
+	}
+	// Converges to 1 — the §V-B motivation for Elastic.
+	if p, _ := TerminationProbability(0.05, 1000); p < 0.999999 {
+		t.Errorf("long-run termination probability = %v, want →1", p)
+	}
+	if _, err := TerminationProbability(-0.1, 5); err == nil {
+		t.Error("negative rate should error")
+	}
+	if _, err := TerminationProbability(0.5, -1); err == nil {
+		t.Error("negative rounds should error")
+	}
+}

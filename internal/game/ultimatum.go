@@ -1,0 +1,54 @@
+package game
+
+import "fmt"
+
+// UltimatumPayoffs are the four primitives of the paper's Table I, subject
+// to P̄ > T̄ ≫ P > T > 0: soft/hard poison gains P, P̄ for the adversary and
+// soft/hard trimming overheads T, T̄ for the collector.
+type UltimatumPayoffs struct {
+	PBar float64 // P̄ — adversary gain when playing hard and untrimmed
+	TBar float64 // T̄ — collector overhead of trimming hard (at xL)
+	P    float64 // P  — adversary gain when playing soft
+	T    float64 // T  — collector overhead of trimming soft (at xR)
+}
+
+// Validate enforces the ordering P̄ > T̄ > P > T > 0.
+func (u UltimatumPayoffs) Validate() error {
+	if !(u.PBar > u.TBar && u.TBar > u.P && u.P > u.T && u.T > 0) {
+		return fmt.Errorf("game: ultimatum payoffs must satisfy P̄ > T̄ > P > T > 0, got P̄=%v T̄=%v P=%v T=%v",
+			u.PBar, u.TBar, u.P, u.T)
+	}
+	return nil
+}
+
+// Strategy indices shared by the ultimatum game and its tests.
+const (
+	Soft = 0
+	Hard = 1
+)
+
+// NewUltimatum builds the one-shot collection game of Table I. Rows are the
+// collector's stance, columns the adversary's. Cell payoffs follow §III-D:
+//
+//	(Soft_c, Soft_a): collector −P−T (poison survives, cheap trim), adversary P
+//	(Soft_c, Hard_a): collector −P̄−T (hard poison survives),         adversary P̄
+//	(Hard_c,   ·   ): collector −T̄ (everything above xL removed),     adversary 0
+//
+// Note: the arXiv rendering of Table I garbles the overbars; the cells here
+// are reconstructed from the surrounding text, and the tests verify the
+// paper's claims — a unique (Hard, Hard) equilibrium that is Pareto-
+// dominated by (Soft, Soft), mirroring the prisoner's dilemma.
+func NewUltimatum(u UltimatumPayoffs) (*Bimatrix, error) {
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	p1 := [][]float64{
+		{-u.P - u.T, -u.PBar - u.T},
+		{-u.TBar, -u.TBar},
+	}
+	p2 := [][]float64{
+		{u.P, u.PBar},
+		{0, 0},
+	}
+	return NewBimatrix([]string{"Soft", "Hard"}, []string{"Soft", "Hard"}, p1, p2)
+}

@@ -1,0 +1,117 @@
+package game
+
+import "testing"
+
+func paperPayoffs() UltimatumPayoffs {
+	// P̄ > T̄ ≫ P > T > 0.
+	return UltimatumPayoffs{PBar: 100, TBar: 50, P: 3, T: 1}
+}
+
+func TestUltimatumValidation(t *testing.T) {
+	bad := []UltimatumPayoffs{
+		{PBar: 1, TBar: 2, P: 3, T: 4},     // fully inverted
+		{PBar: 100, TBar: 50, P: 3, T: 0},  // T must be positive
+		{PBar: 50, TBar: 50, P: 3, T: 1},   // P̄ must exceed T̄
+		{PBar: 100, TBar: 2, P: 3, T: 1},   // T̄ must exceed P
+		{PBar: 100, TBar: 50, P: 1, T: 1},  // P must exceed T
+		{PBar: 100, TBar: 50, P: -3, T: 1}, // negative
+	}
+	for i, u := range bad {
+		if err := u.Validate(); err == nil {
+			t.Errorf("case %d: %+v should fail validation", i, u)
+		}
+		if _, err := NewUltimatum(u); err == nil {
+			t.Errorf("case %d: NewUltimatum should propagate validation error", i)
+		}
+	}
+	if err := paperPayoffs().Validate(); err != nil {
+		t.Errorf("paper payoffs should validate: %v", err)
+	}
+}
+
+func TestUltimatumUniqueHardHardEquilibrium(t *testing.T) {
+	g, err := NewUltimatum(paperPayoffs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq := g.PureNash()
+	// The paper: "a unique equilibrium wherein both the adversary and the
+	// player opt for a tough stance".
+	for _, e := range eq {
+		if e.Row != Hard {
+			t.Errorf("equilibrium %v has a soft collector; all equilibria must be hard", e)
+		}
+	}
+	found := false
+	for _, e := range eq {
+		if e == (Outcome{Row: Hard, Col: Hard}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("equilibria = %v, (Hard, Hard) missing", eq)
+	}
+}
+
+func TestUltimatumSoftSoftParetoDominates(t *testing.T) {
+	g, err := NewUltimatum(paperPayoffs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "a gentler approach being mutually beneficial" — (Soft, Soft) Pareto-
+	// dominates (Hard, Hard).
+	if !g.ParetoDominates(Outcome{Soft, Soft}, Outcome{Hard, Hard}) {
+		t.Error("(Soft,Soft) should Pareto-dominate (Hard,Hard)")
+	}
+}
+
+func TestUltimatumZeroSumModuloOverhead(t *testing.T) {
+	// The underlying poison transfer is zero-sum; the collector additionally
+	// pays trimming overhead. So P1 + P2 must equal −T on soft-trim rows and
+	// −T̄ on hard-trim rows.
+	u := paperPayoffs()
+	g, err := NewUltimatum(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 2; j++ {
+		if got := g.P1[Soft][j] + g.P2[Soft][j]; got != -u.T {
+			t.Errorf("soft row col %d: P1+P2 = %v, want %v", j, got, -u.T)
+		}
+		if got := g.P1[Hard][j] + g.P2[Hard][j]; got != -u.TBar {
+			t.Errorf("hard row col %d: P1+P2 = %v, want %v", j, got, -u.TBar)
+		}
+	}
+}
+
+func TestUltimatumAdversaryPrefersHardAgainstSoft(t *testing.T) {
+	g, err := NewUltimatum(paperPayoffs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := g.BestResponsesCol(Soft)
+	if len(br) != 1 || br[0] != Hard {
+		t.Errorf("adversary BR to soft collector = %v, want Hard", br)
+	}
+	// Against a hard collector the adversary is indifferent (payoff 0).
+	if br := g.BestResponsesCol(Hard); len(br) != 2 {
+		t.Errorf("adversary BR to hard collector = %v, want both", br)
+	}
+}
+
+func TestUltimatumStackelberg(t *testing.T) {
+	g, err := NewUltimatum(paperPayoffs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := g.StackelbergRow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One-shot commitment: soft trimming invites hard poison (−P̄−T = −101)
+	// which is worse than hard trimming (−T̄ = −50). The leader trims hard —
+	// exactly the static-defense trap that motivates the repeated game.
+	if out.Row != Hard {
+		t.Errorf("one-shot Stackelberg collector = %v, want Hard", out.Row)
+	}
+}

@@ -1,0 +1,262 @@
+package lagrangian
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestActionValidation(t *testing.T) {
+	L := func(q, qdot []float64, r float64) float64 { return 0 }
+	if _, err := Action(L, &Path{R0: 0, R1: 1, Q: [][]float64{{0}, {1}}}); err == nil {
+		t.Error("too few knots should error")
+	}
+	if _, err := Action(L, &Path{R0: 1, R1: 1, Q: [][]float64{{0}, {1}, {2}}}); err == nil {
+		t.Error("degenerate interval should error")
+	}
+}
+
+func TestActionOfConstantLagrangian(t *testing.T) {
+	L := func(q, qdot []float64, r float64) float64 { return 2 }
+	p, err := LinearPath(0, 3, []float64{0}, []float64{1}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Action(L, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-6) > 1e-9 {
+		t.Errorf("∫2 dr over [0,3] = %v, want 6", s)
+	}
+}
+
+func TestActionOfFreeParticle(t *testing.T) {
+	// L = q̇²/2 on a straight line from 0 to 1 over [0,1]: S = 1/2.
+	L := func(q, qdot []float64, r float64) float64 { return qdot[0] * qdot[0] / 2 }
+	p, err := LinearPath(0, 1, []float64{0}, []float64{1}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Action(L, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-0.5) > 1e-6 {
+		t.Errorf("free-particle action = %v, want 0.5", s)
+	}
+}
+
+func TestLeastActionPrinciple(t *testing.T) {
+	// The straight path minimizes the free action; every perturbed path
+	// with fixed endpoints has strictly larger action (equation 1).
+	sys, err := NewFreeSystem(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	L := sys.Lagrangian()
+	straight, err := LinearPath(0, 10, []float64{0, 0}, []float64{5, 3}, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, err := Action(L, straight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, amp := range []float64{0.1, 0.5, 2, -1} {
+		sP, err := Action(L, PerturbPath(straight, amp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sP <= s0 {
+			t.Errorf("perturbed action %v ≤ straight action %v (amp %v)", sP, s0, amp)
+		}
+	}
+}
+
+// Property: least action holds for arbitrary perturbation amplitudes.
+func TestLeastActionProperty(t *testing.T) {
+	sys, _ := NewFreeSystem(2, 3)
+	L := sys.Lagrangian()
+	straight, _ := LinearPath(0, 5, []float64{1, 2}, []float64{4, -1}, 150)
+	s0, _ := Action(L, straight)
+	f := func(rawAmp float64) bool {
+		amp := math.Mod(math.Abs(rawAmp), 10)
+		if amp < 1e-6 || math.IsNaN(amp) {
+			return true
+		}
+		sP, err := Action(L, PerturbPath(straight, amp))
+		if err != nil {
+			return false
+		}
+		return sP > s0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewFreeSystem(0, 1); err == nil {
+		t.Error("zero mass should error")
+	}
+	if _, err := NewFreeSystem(1, -1); err == nil {
+		t.Error("negative mass should error")
+	}
+	if _, err := NewElasticSystem(1, 1, 0); err == nil {
+		t.Error("zero spring constant should error")
+	}
+	if _, err := NewElasticSystem(-1, 1, 1); err == nil {
+		t.Error("negative mass should error")
+	}
+}
+
+func TestIntegrateValidation(t *testing.T) {
+	acc := func(q, qdot []float64, r float64) []float64 { return []float64{0} }
+	if _, err := Integrate(acc, []float64{0}, []float64{0}, 0, 1, 0); err == nil {
+		t.Error("zero steps should error")
+	}
+	if _, err := Integrate(acc, []float64{0}, []float64{0, 1}, 0, 1, 10); err == nil {
+		t.Error("dim mismatch should error")
+	}
+	if _, err := Integrate(acc, []float64{0}, []float64{0}, 1, 0, 10); err == nil {
+		t.Error("degenerate interval should error")
+	}
+}
+
+func TestTheorem1ConstantVelocity(t *testing.T) {
+	// Free system: u̇ stays constant along the whole trajectory.
+	sys, _ := NewFreeSystem(1.5, 0.5)
+	states, err := Integrate(sys.Acceleration(), []float64{0, 0}, []float64{2, -1}, 0, 100, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range states {
+		if math.Abs(st.Qdot[0]-2) > 1e-9 || math.Abs(st.Qdot[1]+1) > 1e-9 {
+			t.Fatalf("velocity drifted at r=%v: %v", st.R, st.Qdot)
+		}
+	}
+	// And utilities grow linearly: u_a(100) = 200, u_c(100) = −100.
+	last := states[len(states)-1]
+	if math.Abs(last.Q[0]-200) > 1e-6 || math.Abs(last.Q[1]+100) > 1e-6 {
+		t.Errorf("final utilities %v, want (200, −100)", last.Q)
+	}
+}
+
+func TestTheorem4Oscillation(t *testing.T) {
+	// Elastic system: |u_a − u_c| oscillates periodically with ω = √(k(1/ma+1/mc)).
+	sys, err := NewElasticSystem(1, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPeriod := sys.Period()
+	// Integrate over ~6 periods.
+	horizon := 6 * wantPeriod
+	states, err := Integrate(sys.Acceleration(), []float64{1, 0}, []float64{0, 0}, 0, horizon, 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := RelativeUtility(states)
+	dt := horizon / 6000
+	period, err := EstimatePeriod(rel, dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(period-wantPeriod)/wantPeriod > 0.01 {
+		t.Errorf("measured period %v, want %v", period, wantPeriod)
+	}
+}
+
+func TestOscillatorAmplitudeForm(t *testing.T) {
+	// The relative coordinate follows A·cos(ωr + φ) (equation 15): starting
+	// at rest with rel=1, it must match cos(ωr) pointwise.
+	sys, _ := NewElasticSystem(1, 1, 2)
+	omega := sys.Omega()
+	horizon := 3 * sys.Period()
+	states, err := Integrate(sys.Acceleration(), []float64{0.5, -0.5}, []float64{0, 0}, 0, horizon, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range states {
+		want := math.Cos(omega * st.R)
+		got := st.Q[0] - st.Q[1]
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("rel(%v) = %v, want %v", st.R, got, want)
+		}
+	}
+}
+
+func TestEnergyConservation(t *testing.T) {
+	sys, _ := NewElasticSystem(1, 3, 1.5)
+	states, err := Integrate(sys.Acceleration(), []float64{2, -1}, []float64{0.3, -0.2}, 0, 200, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := sys.Energy(states[0])
+	for _, st := range states {
+		if math.Abs(sys.Energy(st)-e0)/e0 > 1e-3 {
+			t.Fatalf("energy drifted from %v to %v at r=%v", e0, sys.Energy(st), st.R)
+		}
+	}
+}
+
+func TestCenterOfMassMotion(t *testing.T) {
+	// The total momentum m_a·u̇_a + m_c·u̇_c is conserved for the coupled
+	// oscillator (the interaction is internal).
+	sys, _ := NewElasticSystem(2, 1, 1)
+	states, err := Integrate(sys.Acceleration(), []float64{1, 0}, []float64{0.5, -0.5}, 0, 50, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := 2*states[0].Qdot[0] + 1*states[0].Qdot[1]
+	for _, st := range states {
+		if p := 2*st.Qdot[0] + 1*st.Qdot[1]; math.Abs(p-p0) > 1e-6 {
+			t.Fatalf("momentum drifted from %v to %v", p0, p)
+		}
+	}
+}
+
+func TestEstimatePeriodErrors(t *testing.T) {
+	if _, err := EstimatePeriod([]float64{1}, 0.1); err == nil {
+		t.Error("short signal should error")
+	}
+	if _, err := EstimatePeriod([]float64{1, 1, 1, 1}, 0.1); err == nil {
+		t.Error("constant signal should error (no crossings)")
+	}
+}
+
+func TestEstimatePeriodOnSine(t *testing.T) {
+	dt := 0.01
+	var sig []float64
+	for i := 0; i < 10000; i++ {
+		sig = append(sig, math.Sin(2*math.Pi*float64(i)*dt/3.5))
+	}
+	p, err := EstimatePeriod(sig, dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-3.5) > 0.01 {
+		t.Errorf("period = %v, want 3.5", p)
+	}
+}
+
+func TestLinearPathValidation(t *testing.T) {
+	if _, err := LinearPath(0, 1, []float64{0}, []float64{1}, 2); err == nil {
+		t.Error("too few knots should error")
+	}
+	if _, err := LinearPath(0, 1, []float64{0}, []float64{1, 2}, 10); err == nil {
+		t.Error("dim mismatch should error")
+	}
+}
+
+func TestElasticLagrangianSignConvention(t *testing.T) {
+	// L = T − U: at rest with separation, L must be negative.
+	sys, _ := NewElasticSystem(1, 1, 4)
+	L := sys.Lagrangian()
+	if v := L([]float64{1, 0}, []float64{0, 0}, 0); v >= 0 {
+		t.Errorf("L at rest with separation = %v, want negative (−U)", v)
+	}
+	if sys.Omega() != math.Sqrt(4*(1+1)) {
+		t.Errorf("Omega = %v", sys.Omega())
+	}
+}

@@ -1,0 +1,49 @@
+package ldp
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/stats"
+)
+
+// Duchi is the mechanism of Duchi, Jordan & Wainwright (FOCS 2013) for
+// one-dimensional mean estimation: each report is one of two extreme points
+// ±(e^ε+1)/(e^ε−1), chosen with probability linear in x. Reports are
+// individually unbiased, so the sample mean of reports estimates the true
+// mean.
+type Duchi struct {
+	eps float64
+	c   float64 // output magnitude (e^ε+1)/(e^ε−1)
+}
+
+// NewDuchi builds the mechanism for privacy budget eps.
+func NewDuchi(eps float64) (*Duchi, error) {
+	if err := checkEpsilon(eps); err != nil {
+		return nil, err
+	}
+	e := math.Exp(eps)
+	return &Duchi{eps: eps, c: (e + 1) / (e - 1)}, nil
+}
+
+// Epsilon returns the privacy budget.
+func (d *Duchi) Epsilon() float64 { return d.eps }
+
+// OutputBounds returns ±(e^ε+1)/(e^ε−1).
+func (d *Duchi) OutputBounds() (float64, float64) { return -d.c, d.c }
+
+// Perturb reports +c with probability (x·(e^ε−1)+e^ε+1) / (2(e^ε+1)).
+func (d *Duchi) Perturb(rng *rand.Rand, x float64) float64 {
+	x = clampInput(x)
+	e := math.Exp(d.eps)
+	pPlus := (x*(e-1) + e + 1) / (2 * (e + 1))
+	if rng.Float64() < pPlus {
+		return d.c
+	}
+	return -d.c
+}
+
+// MeanEstimate is the sample mean of reports (each report is unbiased).
+func (d *Duchi) MeanEstimate(reports []float64) float64 {
+	return stats.Mean(reports)
+}

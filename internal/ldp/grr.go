@@ -1,0 +1,81 @@
+package ldp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/stats"
+)
+
+// GRR is generalized randomized response (k-ary randomized response), the
+// frequency-oracle building block used by the ablation benches and by tests
+// of the EM machinery: report the true category with probability
+// e^ε/(e^ε+k−1), otherwise a uniformly random other category.
+type GRR struct {
+	eps float64
+	k   int
+	p   float64 // truthful probability
+	q   float64 // per-other-category probability
+}
+
+// NewGRR builds a k-ary randomized-response mechanism.
+func NewGRR(eps float64, k int) (*GRR, error) {
+	if err := checkEpsilon(eps); err != nil {
+		return nil, err
+	}
+	if k < 2 {
+		return nil, fmt.Errorf("ldp: GRR needs ≥2 categories, got %d", k)
+	}
+	e := math.Exp(eps)
+	p := e / (e + float64(k) - 1)
+	return &GRR{eps: eps, k: k, p: p, q: (1 - p) / float64(k-1)}, nil
+}
+
+// Epsilon returns the privacy budget.
+func (g *GRR) Epsilon() float64 { return g.eps }
+
+// K returns the category count.
+func (g *GRR) K() int { return g.k }
+
+// Perturb randomizes category v ∈ [0, k).
+func (g *GRR) Perturb(rng *rand.Rand, v int) (int, error) {
+	if v < 0 || v >= g.k {
+		return 0, fmt.Errorf("ldp: GRR category %d outside [0,%d)", v, g.k)
+	}
+	if rng.Float64() < g.p {
+		return v, nil
+	}
+	// Uniform over the k−1 other categories.
+	o := rng.Intn(g.k - 1)
+	if o >= v {
+		o++
+	}
+	return o, nil
+}
+
+// EstimateFrequencies inverts the randomized-response channel: given report
+// counts per category, return unbiased frequency estimates of the true
+// distribution. Estimates may fall slightly outside [0,1]; they are NOT
+// clipped so that unbiasedness (and the tests asserting it) hold.
+func (g *GRR) EstimateFrequencies(counts []int) ([]float64, error) {
+	if len(counts) != g.k {
+		return nil, fmt.Errorf("ldp: GRR got %d counts for k=%d", len(counts), g.k)
+	}
+	var n int
+	for _, c := range counts {
+		if c < 0 {
+			return nil, fmt.Errorf("ldp: negative count %d", c)
+		}
+		n += c
+	}
+	if n == 0 {
+		return nil, stats.ErrEmpty
+	}
+	out := make([]float64, g.k)
+	for i, c := range counts {
+		obs := float64(c) / float64(n)
+		out[i] = (obs - g.q) / (g.p - g.q)
+	}
+	return out, nil
+}

@@ -1,0 +1,68 @@
+package ldp
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Manipulation attacks against LDP protocols, after Cheu, Smith & Ullman
+// (S&P 2021). Byzantine users control the *message*, not just the input:
+//
+//   - General manipulation: report any value in the output domain,
+//     ignoring the mechanism entirely. Strongest skew, but reports may be
+//     distributionally inconsistent with the mechanism — detectable by
+//     filters such as the EMF.
+//   - Input manipulation: forge an input value and then follow the
+//     mechanism honestly. Weaker skew but channel-consistent, giving the
+//     attacker deniability; this is the "potent evasion strategy" the
+//     paper's Fig 9 uses against the EMF.
+
+// GeneralManipulator reports a fixed value in the mechanism's output domain.
+type GeneralManipulator struct {
+	mech  Mechanism
+	value float64
+}
+
+// NewGeneralManipulator builds an attacker that always reports value,
+// clamped to the mechanism's output bounds (out-of-support reports would be
+// trivially detectable).
+func NewGeneralManipulator(mech Mechanism, value float64) (*GeneralManipulator, error) {
+	if mech == nil {
+		return nil, fmt.Errorf("ldp: nil mechanism")
+	}
+	lo, hi := mech.OutputBounds()
+	if value < lo {
+		value = lo
+	}
+	if value > hi {
+		value = hi
+	}
+	return &GeneralManipulator{mech: mech, value: value}, nil
+}
+
+// Report returns the poison report (the rng is unused but kept for
+// interface symmetry with honest reporting).
+func (g *GeneralManipulator) Report(*rand.Rand) float64 { return g.value }
+
+// InputManipulator forges an in-domain input and perturbs it honestly.
+type InputManipulator struct {
+	mech  Mechanism
+	input float64
+}
+
+// NewInputManipulator builds an attacker that pretends to hold input
+// (clamped to [−1, 1]) and follows the protocol.
+func NewInputManipulator(mech Mechanism, input float64) (*InputManipulator, error) {
+	if mech == nil {
+		return nil, fmt.Errorf("ldp: nil mechanism")
+	}
+	return &InputManipulator{mech: mech, input: clampInput(input)}, nil
+}
+
+// Input returns the forged input value.
+func (m *InputManipulator) Input() float64 { return m.input }
+
+// Report perturbs the forged input through the real mechanism.
+func (m *InputManipulator) Report(rng *rand.Rand) float64 {
+	return m.mech.Perturb(rng, m.input)
+}

@@ -1,0 +1,55 @@
+// Package ldp implements the local-differential-privacy substrate for the
+// paper's §V/§VI-E case study: numeric mean-estimation mechanisms (Duchi
+// et al. and the Piecewise Mechanism), a generalized-randomized-response
+// frequency oracle, the Expectation-Maximization Filter (EMF) baseline of
+// Du et al. (ICDE 2023), and the manipulation attacks of Cheu et al.
+// (S&P 2021) that the defense is evaluated against.
+//
+// All mechanisms operate on the normalized input domain [−1, 1], matching
+// the paper's preprocessing of the Taxi dataset.
+package ldp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// InputLo and InputHi bound the honest input domain.
+const (
+	InputLo = -1.0
+	InputHi = 1.0
+)
+
+// Mechanism is a numeric ε-LDP mechanism for mean estimation over [−1, 1].
+type Mechanism interface {
+	// Perturb randomizes one true value x ∈ [−1,1]. The output is an
+	// unbiased report whose support is given by OutputBounds.
+	Perturb(rng *rand.Rand, x float64) float64
+	// OutputBounds returns the support [lo, hi] of reports.
+	OutputBounds() (lo, hi float64)
+	// MeanEstimate aggregates reports into an estimate of the true mean.
+	MeanEstimate(reports []float64) float64
+	// Epsilon returns the privacy budget the mechanism was built with.
+	Epsilon() float64
+}
+
+// checkEpsilon validates a privacy budget.
+func checkEpsilon(eps float64) error {
+	if !(eps > 0) || math.IsInf(eps, 0) || math.IsNaN(eps) {
+		return fmt.Errorf("ldp: epsilon %v must be positive and finite", eps)
+	}
+	return nil
+}
+
+// clampInput forces x into the honest input domain. Honest users always
+// hold in-domain values; the clamp guards against float drift.
+func clampInput(x float64) float64 {
+	if x < InputLo {
+		return InputLo
+	}
+	if x > InputHi {
+		return InputHi
+	}
+	return x
+}

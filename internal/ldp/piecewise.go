@@ -1,0 +1,83 @@
+package ldp
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/stats"
+)
+
+// Piecewise is the Piecewise Mechanism of Wang et al. (ICDE 2019) for
+// numeric mean estimation. Unlike Duchi's two-point output it reports a
+// continuous value in [−C, C], concentrated in a window around the true
+// value — which is what makes percentile trimming on the reports meaningful
+// in the Fig 9 pipeline.
+type Piecewise struct {
+	eps float64
+	c   float64 // output bound C = (e^{ε/2}+1)/(e^{ε/2}−1)
+}
+
+// NewPiecewise builds the mechanism for privacy budget eps.
+func NewPiecewise(eps float64) (*Piecewise, error) {
+	if err := checkEpsilon(eps); err != nil {
+		return nil, err
+	}
+	s := math.Exp(eps / 2)
+	return &Piecewise{eps: eps, c: (s + 1) / (s - 1)}, nil
+}
+
+// Epsilon returns the privacy budget.
+func (p *Piecewise) Epsilon() float64 { return p.eps }
+
+// C returns the output bound.
+func (p *Piecewise) C() float64 { return p.c }
+
+// OutputBounds returns ±C.
+func (p *Piecewise) OutputBounds() (float64, float64) { return -p.c, p.c }
+
+// window returns the high-density output window [l(x), r(x)].
+func (p *Piecewise) window(x float64) (l, r float64) {
+	l = (p.c+1)/2*x - (p.c-1)/2
+	return l, l + p.c - 1
+}
+
+// Perturb reports a value from the PM conditional distribution: with
+// probability e^{ε/2}/(e^{ε/2}+1) uniform in the window around x, otherwise
+// uniform on the remainder of [−C, C].
+func (p *Piecewise) Perturb(rng *rand.Rand, x float64) float64 {
+	x = clampInput(x)
+	s := math.Exp(p.eps / 2)
+	l, r := p.window(x)
+	if rng.Float64() < s/(s+1) {
+		return l + (r-l)*rng.Float64()
+	}
+	// Tail: uniform over [−C, l] ∪ [r, C], total length C+1.
+	leftLen := l - (-p.c)
+	tail := (p.c + 1) * rng.Float64()
+	if tail < leftLen {
+		return -p.c + tail
+	}
+	return r + (tail - leftLen)
+}
+
+// Density returns the PM conditional density f(t | x). It is piecewise
+// constant: high inside the window, low outside. Used to build the channel
+// matrix for the EM filter.
+func (p *Piecewise) Density(x, t float64) float64 {
+	x = clampInput(x)
+	if t < -p.c || t > p.c {
+		return 0
+	}
+	s := math.Exp(p.eps / 2)
+	l, r := p.window(x)
+	if t >= l && t <= r {
+		return s / (s + 1) / (p.c - 1)
+	}
+	return 1 / (s + 1) / (p.c + 1)
+}
+
+// MeanEstimate is the sample mean of reports (each report is unbiased:
+// Wang et al. Lemma 3).
+func (p *Piecewise) MeanEstimate(reports []float64) float64 {
+	return stats.Mean(reports)
+}

@@ -1,0 +1,69 @@
+package kmeans
+
+import "math"
+
+// hungarian solves the square assignment problem for cost matrix c,
+// returning for each row the assigned column with minimal total cost. It is
+// the O(k³) shortest-augmenting-path formulation (Jonker-Volgenant style),
+// exact for the centroid-matching distances of Fig 4/Fig 5 where a greedy
+// match can over-report the discrepancy.
+func hungarian(c [][]float64) []int {
+	n := len(c)
+	const inf = math.MaxFloat64
+	// 1-based potentials and matching, the classical formulation.
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1) // p[j] = row matched to column j
+	way := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := 0; j <= n; j++ {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0, delta, j1 := p[j0], inf, 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := c[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	assign := make([]int, n)
+	for j := 1; j <= n; j++ {
+		if p[j] != 0 {
+			assign[p[j]-1] = j - 1
+		}
+	}
+	return assign
+}

@@ -1,0 +1,205 @@
+// Package kmeans implements Lloyd's algorithm with k-means++ seeding, the
+// clustering consumer of the paper's Fig 4/Fig 5 experiments. It reports the
+// two quality measures those figures plot: SSE (within-cluster sum of
+// squared errors) and the centroid distance to a reference clustering.
+package kmeans
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/stats"
+)
+
+// Result holds a fitted clustering.
+type Result struct {
+	Centroids  [][]float64 // k × dim
+	Assignment []int       // per-row centroid index
+	SSE        float64     // Σ ‖x_i − c_{a(i)}‖²
+	Iterations int
+}
+
+// Config controls the fit.
+type Config struct {
+	K        int
+	MaxIter  int     // default 100
+	Tol      float64 // centroid-movement convergence threshold, default 1e-6
+	Restarts int     // independent restarts keeping the best SSE, default 1
+}
+
+func (c *Config) setDefaults() {
+	if c.MaxIter <= 0 {
+		c.MaxIter = 100
+	}
+	if c.Tol <= 0 {
+		c.Tol = 1e-6
+	}
+	if c.Restarts <= 0 {
+		c.Restarts = 1
+	}
+}
+
+// Fit clusters rows into cfg.K clusters.
+func Fit(rng *rand.Rand, rows [][]float64, cfg Config) (*Result, error) {
+	cfg.setDefaults()
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("kmeans: k = %d", cfg.K)
+	}
+	if len(rows) < cfg.K {
+		return nil, fmt.Errorf("kmeans: %d rows for k = %d", len(rows), cfg.K)
+	}
+	var best *Result
+	for r := 0; r < cfg.Restarts; r++ {
+		res, err := fitOnce(rng, rows, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || res.SSE < best.SSE {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+func fitOnce(rng *rand.Rand, rows [][]float64, cfg Config) (*Result, error) {
+	dim := len(rows[0])
+	cents := seedPlusPlus(rng, rows, cfg.K)
+	assign := make([]int, len(rows))
+	counts := make([]int, cfg.K)
+	sums := make([][]float64, cfg.K)
+	for i := range sums {
+		sums[i] = make([]float64, dim)
+	}
+
+	var iter int
+	for iter = 0; iter < cfg.MaxIter; iter++ {
+		// Assignment step.
+		for i, row := range rows {
+			assign[i] = nearest(row, cents)
+		}
+		// Update step.
+		for c := range sums {
+			counts[c] = 0
+			for j := range sums[c] {
+				sums[c][j] = 0
+			}
+		}
+		for i, row := range rows {
+			c := assign[i]
+			counts[c]++
+			stats.AddInPlace(sums[c], row)
+		}
+		moved := 0.0
+		for c := range cents {
+			if counts[c] == 0 {
+				// Empty cluster: reseed at the point farthest from its
+				// centroid, the standard Lloyd repair.
+				far := farthestRow(rows, cents, assign)
+				copy(cents[c], rows[far])
+				moved = math.Inf(1)
+				continue
+			}
+			for j := range cents[c] {
+				nv := sums[c][j] / float64(counts[c])
+				moved += math.Abs(nv - cents[c][j])
+				cents[c][j] = nv
+			}
+		}
+		if moved <= cfg.Tol {
+			iter++
+			break
+		}
+	}
+
+	var sse float64
+	for i, row := range rows {
+		assign[i] = nearest(row, cents)
+		sse += stats.SquaredEuclidean(row, cents[assign[i]])
+	}
+	return &Result{Centroids: cents, Assignment: assign, SSE: sse, Iterations: iter}, nil
+}
+
+// seedPlusPlus picks k initial centroids with the k-means++ D² weighting.
+func seedPlusPlus(rng *rand.Rand, rows [][]float64, k int) [][]float64 {
+	cents := make([][]float64, 0, k)
+	first := rows[rng.Intn(len(rows))]
+	cents = append(cents, append([]float64(nil), first...))
+	d2 := make([]float64, len(rows))
+	for len(cents) < k {
+		var total float64
+		last := cents[len(cents)-1]
+		for i, row := range rows {
+			d := stats.SquaredEuclidean(row, last)
+			if len(cents) == 1 || d < d2[i] {
+				d2[i] = d
+			}
+			total += d2[i]
+		}
+		var idx int
+		if total == 0 {
+			idx = rng.Intn(len(rows)) // all points coincide with a centroid
+		} else {
+			u := rng.Float64() * total
+			var cum float64
+			for i, d := range d2 {
+				cum += d
+				if u <= cum {
+					idx = i
+					break
+				}
+			}
+		}
+		cents = append(cents, append([]float64(nil), rows[idx]...))
+	}
+	return cents
+}
+
+func nearest(row []float64, cents [][]float64) int {
+	best, bestD := 0, math.Inf(1)
+	for c, cent := range cents {
+		if d := stats.SquaredEuclidean(row, cent); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+func farthestRow(rows [][]float64, cents [][]float64, assign []int) int {
+	best, bestD := 0, -1.0
+	for i, row := range rows {
+		if d := stats.SquaredEuclidean(row, cents[assign[i]]); d > bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// CentroidDistance returns the summed Euclidean distance between two
+// centroid sets under the optimal (Hungarian) minimal matching. This is the
+// "Distance" series of Fig 4/Fig 5: the discrepancy between the poisoned
+// clustering's centroids and the ground truth, invariant to cluster
+// relabeling.
+func CentroidDistance(a, b [][]float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, errors.New("kmeans: centroid count mismatch")
+	}
+	k := len(a)
+	if k == 0 {
+		return 0, nil
+	}
+	cost := make([][]float64, k)
+	for i := range cost {
+		cost[i] = make([]float64, k)
+		for j := range cost[i] {
+			cost[i][j] = stats.Euclidean(a[i], b[j])
+		}
+	}
+	assign := hungarian(cost)
+	var total float64
+	for i, j := range assign {
+		total += cost[i][j]
+	}
+	return total, nil
+}

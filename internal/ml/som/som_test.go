@@ -1,0 +1,211 @@
+package som
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+func twoBlobs(seed int64, n int) ([][]float64, []int) {
+	rng := stats.NewRand(seed)
+	rows := make([][]float64, 0, n)
+	labels := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		c := i % 2
+		mu := -5.0
+		if c == 1 {
+			mu = 5
+		}
+		rows = append(rows, []float64{stats.Normal(rng, mu, 0.5), stats.Normal(rng, mu, 0.5)})
+		labels = append(labels, c)
+	}
+	return rows, labels
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(stats.NewRand(1), nil, Config{}); err == nil {
+		t.Error("empty rows should error")
+	}
+}
+
+func TestTrainDefaults(t *testing.T) {
+	rows, _ := twoBlobs(1, 50)
+	m, err := Train(stats.NewRand(2), rows, Config{Rows: 4, Cols: 4, Epochs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 4 || m.Cols != 4 || m.Dim != 2 || len(m.Weights) != 16 {
+		t.Errorf("map shape %d×%d dim %d weights %d", m.Rows, m.Cols, m.Dim, len(m.Weights))
+	}
+}
+
+func TestQuantizationErrorDecreasesWithTraining(t *testing.T) {
+	rows, _ := twoBlobs(3, 200)
+	short, err := Train(stats.NewRand(4), rows, Config{Rows: 6, Cols: 6, Epochs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Train(stats.NewRand(4), rows, Config{Rows: 6, Cols: 6, Epochs: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qeShort := short.QuantizationError(rows)
+	qeLong := long.QuantizationError(rows)
+	if qeLong > qeShort*1.5 {
+		t.Errorf("long training QE %v much worse than short %v", qeLong, qeShort)
+	}
+	if qeLong <= 0 || math.IsNaN(qeLong) {
+		t.Errorf("QE = %v", qeLong)
+	}
+	if !math.IsNaN(long.QuantizationError(nil)) {
+		t.Error("QE(empty) should be NaN")
+	}
+}
+
+func TestBMUConsistency(t *testing.T) {
+	rows, _ := twoBlobs(5, 100)
+	m, err := Train(stats.NewRand(6), rows, Config{Rows: 5, Cols: 5, Epochs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range rows[:10] {
+		b := m.BMU(x)
+		d := stats.SquaredEuclidean(x, m.Weights[b])
+		for _, w := range m.Weights {
+			if stats.SquaredEuclidean(x, w) < d-1e-12 {
+				t.Fatal("BMU is not the nearest neuron")
+			}
+		}
+	}
+}
+
+func TestTopologyPreservation(t *testing.T) {
+	// Two far-apart blobs should map to far-apart map regions.
+	rows, labels := twoBlobs(7, 400)
+	m, err := Train(stats.NewRand(8), rows, Config{Rows: 8, Cols: 8, Epochs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r0, c0, r1, c1, n0, n1 float64
+	for i, x := range rows {
+		b := m.BMU(x)
+		r, c := float64(b/m.Cols), float64(b%m.Cols)
+		if labels[i] == 0 {
+			r0 += r
+			c0 += c
+			n0++
+		} else {
+			r1 += r
+			c1 += c
+			n1++
+		}
+	}
+	dr, dc := r0/n0-r1/n1, c0/n0-c1/n1
+	gridDist := math.Sqrt(dr*dr + dc*dc)
+	if gridDist < 2 {
+		t.Errorf("classes land %v apart on an 8×8 grid; want ≥2", gridDist)
+	}
+}
+
+func TestUMatrixShapeAndBoundary(t *testing.T) {
+	rows, _ := twoBlobs(9, 300)
+	m, err := Train(stats.NewRand(10), rows, Config{Rows: 8, Cols: 8, Epochs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := m.UMatrix()
+	if len(u) != 8 || len(u[0]) != 8 {
+		t.Fatalf("UMatrix shape %d×%d", len(u), len(u[0]))
+	}
+	var mx, mn float64 = 0, math.Inf(1)
+	for _, row := range u {
+		for _, v := range row {
+			if v > mx {
+				mx = v
+			}
+			if v < mn {
+				mn = v
+			}
+			if v < 0 || math.IsNaN(v) {
+				t.Fatalf("invalid U-matrix entry %v", v)
+			}
+		}
+	}
+	// A two-cluster dataset must produce a visible ridge: max clearly above min.
+	if mx < 2*mn {
+		t.Errorf("U-matrix ridge absent: max %v, min %v", mx, mn)
+	}
+}
+
+func TestHitMap(t *testing.T) {
+	rows, _ := twoBlobs(11, 60)
+	m, err := Train(stats.NewRand(12), rows, Config{Rows: 4, Cols: 4, Epochs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := m.HitMap(rows)
+	var total int
+	for _, h := range hits {
+		total += h
+	}
+	if total != 60 {
+		t.Errorf("hit map total = %d, want 60", total)
+	}
+}
+
+func TestClassIslands(t *testing.T) {
+	rows, labels := twoBlobs(13, 200)
+	m, err := Train(stats.NewRand(14), rows, Config{Rows: 6, Cols: 6, Epochs: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	islands, err := m.ClassIslands(rows, labels, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(islands) != 2 {
+		t.Fatalf("%d islands", len(islands))
+	}
+	for _, isl := range islands {
+		if isl.Hits != 100 {
+			t.Errorf("class %d hits = %d, want 100", isl.Class, isl.Hits)
+		}
+		if isl.Neurons == 0 {
+			t.Errorf("class %d occupies no neurons", isl.Class)
+		}
+	}
+	if _, err := m.ClassIslands(rows, labels[:10], 2); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := m.ClassIslands(rows, labels, 1); err == nil {
+		t.Error("label outside class range should error")
+	}
+}
+
+func TestOnCreditcard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("SOM on Creditcard sample is slow for -short")
+	}
+	d := dataset.CreditcardN(stats.NewRand(15), 2000)
+	m, err := Train(stats.NewRand(16), d.X, Config{Rows: 10, Cols: 10, Epochs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	islands, err := m.ClassIslands(d.X, d.Y, d.Clusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fraud and premium users must be isolated: far on the grid from the
+	// dominant public class.
+	for _, c := range []int{dataset.CCFraud, dataset.CCPremium} {
+		if islands[c].Hits == 0 {
+			t.Fatalf("class %d missing from sample", c)
+		}
+		if islands[c].GridDistance < 1.5 {
+			t.Errorf("class %d grid distance = %v, want isolated (≥1.5)",
+				c, islands[c].GridDistance)
+		}
+	}
+}

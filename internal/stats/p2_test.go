@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestP2RejectsBadQuantile(t *testing.T) {
+	for _, q := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		if _, err := NewP2Quantile(q); err == nil {
+			t.Errorf("NewP2Quantile(%v) should error", q)
+		}
+	}
+}
+
+func TestP2EmptyIsNaN(t *testing.T) {
+	p, _ := NewP2Quantile(0.5)
+	if !math.IsNaN(p.Value()) {
+		t.Error("empty P2 should report NaN")
+	}
+	if p.Count() != 0 {
+		t.Errorf("Count = %d, want 0", p.Count())
+	}
+}
+
+func TestP2SmallInputExact(t *testing.T) {
+	p, _ := NewP2Quantile(0.5)
+	for _, x := range []float64{3, 1, 2} {
+		p.Add(x)
+	}
+	if got := p.Value(); got != 2 {
+		t.Errorf("P2 median of {1,2,3} = %v, want 2", got)
+	}
+}
+
+func TestP2ConvergesOnUniform(t *testing.T) {
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.97} {
+		p, err := NewP2Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := NewRand(42)
+		n := 50000
+		for i := 0; i < n; i++ {
+			p.Add(rng.Float64())
+		}
+		if got := p.Value(); math.Abs(got-q) > 0.01 {
+			t.Errorf("P2 q=%v estimate = %v, want within 0.01", q, got)
+		}
+		if p.Count() != n {
+			t.Errorf("Count = %d, want %d", p.Count(), n)
+		}
+	}
+}
+
+func TestP2ConvergesOnNormal(t *testing.T) {
+	p, _ := NewP2Quantile(0.9)
+	rng := NewRand(7)
+	for i := 0; i < 50000; i++ {
+		p.Add(Normal(rng, 0, 1))
+	}
+	// 90th percentile of N(0,1) is ≈ 1.2816.
+	if got := p.Value(); math.Abs(got-1.2816) > 0.05 {
+		t.Errorf("P2 q=0.9 on N(0,1) = %v, want ≈1.2816", got)
+	}
+}
+
+func TestP2MonotoneStreamStaysInRange(t *testing.T) {
+	p, _ := NewP2Quantile(0.5)
+	for i := 0; i < 1000; i++ {
+		p.Add(float64(i))
+	}
+	v := p.Value()
+	if v < 0 || v > 999 {
+		t.Errorf("P2 estimate %v escaped data range [0,999]", v)
+	}
+	if math.Abs(v-499.5) > 25 {
+		t.Errorf("P2 median of 0..999 = %v, want ≈499.5", v)
+	}
+}
+
+func TestP2VersusExactAgreement(t *testing.T) {
+	rng := NewRand(99)
+	xs := NormalSlice(rng, 20000, 5, 2)
+	p, _ := NewP2Quantile(0.9)
+	for _, x := range xs {
+		p.Add(x)
+	}
+	exact := Quantile(xs, 0.9)
+	if math.Abs(p.Value()-exact) > 0.1 {
+		t.Errorf("P2 = %v, exact = %v; divergence too large", p.Value(), exact)
+	}
+}

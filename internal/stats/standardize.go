@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Standardizer performs per-feature z-score normalization, fit on one
+// dataset and applied to others (e.g. fit on training rows, applied to
+// poisoned rows before classification).
+type Standardizer struct {
+	Mean []float64
+	Std  []float64
+}
+
+// FitStandardizer learns per-column mean and standard deviation. Columns
+// with zero variance get Std 1 so transformation is a pure shift.
+func FitStandardizer(rows [][]float64) (*Standardizer, error) {
+	if len(rows) == 0 {
+		return nil, ErrEmpty
+	}
+	dim := len(rows[0])
+	s := &Standardizer{Mean: make([]float64, dim), Std: make([]float64, dim)}
+	for _, r := range rows {
+		if len(r) != dim {
+			return nil, fmt.Errorf("stats: ragged rows: %d vs %d", len(r), dim)
+		}
+		for j, v := range r {
+			s.Mean[j] += v
+		}
+	}
+	n := float64(len(rows))
+	for j := range s.Mean {
+		s.Mean[j] /= n
+	}
+	for _, r := range rows {
+		for j, v := range r {
+			d := v - s.Mean[j]
+			s.Std[j] += d * d
+		}
+	}
+	for j := range s.Std {
+		s.Std[j] = s.Std[j] / n
+		if s.Std[j] > 0 {
+			s.Std[j] = math.Sqrt(s.Std[j])
+		} else {
+			s.Std[j] = 1
+		}
+	}
+	return s, nil
+}
+
+// Transform returns standardized copies of rows.
+func (s *Standardizer) Transform(rows [][]float64) [][]float64 {
+	out := make([][]float64, len(rows))
+	for i, r := range rows {
+		tr := make([]float64, len(r))
+		for j, v := range r {
+			tr[j] = (v - s.Mean[j]) / s.Std[j]
+		}
+		out[i] = tr
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStandardizer(t *testing.T) {
+	rows := [][]float64{{1, 10}, {2, 20}, {3, 30}}
+	s, err := FitStandardizer(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.Transform(rows)
+	// Each column should have mean 0 and unit variance after transform.
+	for j := 0; j < 2; j++ {
+		col := []float64{out[0][j], out[1][j], out[2][j]}
+		if m := Mean(col); math.Abs(m) > 1e-12 {
+			t.Errorf("col %d mean = %v", j, m)
+		}
+		if v := Variance(col); math.Abs(v-1) > 1e-12 {
+			t.Errorf("col %d variance = %v", j, v)
+		}
+	}
+}
+
+func TestStandardizerConstantColumn(t *testing.T) {
+	rows := [][]float64{{5, 1}, {5, 2}}
+	s, err := FitStandardizer(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.Transform(rows)
+	if out[0][0] != 0 || out[1][0] != 0 {
+		t.Errorf("constant column should map to 0, got %v %v", out[0][0], out[1][0])
+	}
+	if !IsFiniteSlice(out[0]) || !IsFiniteSlice(out[1]) {
+		t.Error("transform produced non-finite values")
+	}
+}
+
+func TestStandardizerErrors(t *testing.T) {
+	if _, err := FitStandardizer(nil); err != ErrEmpty {
+		t.Errorf("FitStandardizer(nil) err = %v", err)
+	}
+	if _, err := FitStandardizer([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged rows should error")
+	}
+}
+
+func TestStandardizerAppliesToNewRows(t *testing.T) {
+	rows := [][]float64{{0}, {10}}
+	s, _ := FitStandardizer(rows)
+	out := s.Transform([][]float64{{5}})
+	if math.Abs(out[0][0]) > 1e-12 {
+		t.Errorf("midpoint should standardize to 0, got %v", out[0][0])
+	}
+}

@@ -1,0 +1,89 @@
+package trim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Elastic is Algorithm 2, the forgiving trigger strategy: instead of
+// terminating on defection, the collector applies a proportional penalty to
+// the next round's threshold. In the experimental parameterization of
+// §VI-A the collector's update rule is
+//
+//	T(i+1) = Tth + k·(A(i) − Tth − 1%)
+//
+// where A(i) is the adversary's injection percentile observed on the public
+// board and k is the spring constant of Definition 2. The dynamics couple
+// with the adversary's rule (see attack.Elastic) into the damped
+// oscillation of Theorem 4, converging to the fixed point returned by
+// EquilibriumThresholds.
+type Elastic struct {
+	Tth     float64 // base threshold percentile (0.9 or 0.97 in the paper)
+	K       float64 // spring constant k ∈ (0, 1)
+	InitPct float64 // round-1 threshold, the paper's Tth − 3%
+
+	last float64
+}
+
+// NewElastic validates and builds the strategy with the paper's initial
+// position Tth − 3%.
+func NewElastic(tth, k float64) (*Elastic, error) {
+	if err := validatePct("Tth", tth); err != nil {
+		return nil, err
+	}
+	if !(k > 0 && k < 1) {
+		return nil, fmt.Errorf("trim: elastic k = %v outside (0,1)", k)
+	}
+	init := tth - 0.03
+	if init < 0 {
+		return nil, fmt.Errorf("trim: Tth %v leaves no room for the hard offset", tth)
+	}
+	return &Elastic{Tth: tth, K: k, InitPct: init, last: init}, nil
+}
+
+// Name implements Strategy.
+func (e *Elastic) Name() string { return fmt.Sprintf("Elastic%.1f", e.K) }
+
+// Threshold implements Strategy.
+func (e *Elastic) Threshold(r int, prev Observation) float64 {
+	if r <= 1 {
+		e.last = e.InitPct
+		return e.last
+	}
+	a := prev.InjectionPct
+	if math.IsNaN(a) {
+		// No poison observed: hold position.
+		return e.last
+	}
+	e.last = clampPct(e.Tth + e.K*(a-e.Tth-0.01))
+	return e.last
+}
+
+// Reset implements Strategy.
+func (e *Elastic) Reset() { e.last = e.InitPct }
+
+// EquilibriumThresholds returns the analytic fixed point (T*, A*) of the
+// coupled §VI-A dynamics
+//
+//	T* = Tth − 0.04·k/(1−k²),   A* = Tth − (0.03 + 0.01·k²)/(1−k²),
+//
+// used by the Table IV cost accounting (the "equilibrium point" the
+// attacker's placement approaches).
+func EquilibriumThresholds(tth, k float64) (tStar, aStar float64, err error) {
+	if !(k > 0 && k < 1) {
+		return 0, 0, fmt.Errorf("trim: elastic k = %v outside (0,1)", k)
+	}
+	tStar = tth - 0.04*k/(1-k*k)
+	aStar = tth - (0.03+0.01*k*k)/(1-k*k)
+	return tStar, aStar, nil
+}
+
+func clampPct(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

@@ -1,0 +1,93 @@
+// Package trim implements the collector side of the interactive trimming
+// game: the trimming primitive and the threshold strategies evaluated in
+// the paper's §VI — Ostrich, the two static baselines, Titfortat
+// (Algorithm 1) and Elastic (Algorithm 2).
+//
+// All positions are expressed as percentiles in [0, 1], following the
+// paper's convention ("we describe the positions of poison value injection
+// and trimming in terms of data percentiles"). Injection positions refer to
+// percentiles of the clean reference distribution; trimming thresholds are
+// applied to the percentiles of the data the collector actually receives.
+package trim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Observation is what a collector strategy sees at the end of a round — the
+// public board of Fig 3 gives both parties complete information about the
+// previous round.
+type Observation struct {
+	Round int // 1-based round that just finished
+
+	// InjectionPct is the adversary's mean injection percentile in the
+	// finished round, as recorded on the public board (white-box setting).
+	// NaN when no poison was observed.
+	InjectionPct float64
+
+	// Quality is the collector's Quality_Evaluation() of the round's data,
+	// in [0, 1] where larger is better. Under LDP it is noisy.
+	Quality float64
+
+	// BaselineQuality is Quality_Evaluation(X0), the trigger reference of
+	// Algorithm 1.
+	BaselineQuality float64
+}
+
+// Strategy decides the trimming threshold percentile for each round.
+// Implementations are stateful and must be used for one game at a time.
+type Strategy interface {
+	// Name identifies the strategy in experiment output.
+	Name() string
+	// Threshold returns the trimming percentile for round r (1-based),
+	// given the observation of round r−1 (zero Observation for r = 1).
+	Threshold(r int, prev Observation) float64
+	// Reset restores initial state so the strategy can replay a fresh game.
+	Reset()
+}
+
+// validatePct checks a percentile parameter.
+func validatePct(name string, p float64) error {
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return fmt.Errorf("trim: %s percentile %v outside [0,1]", name, p)
+	}
+	return nil
+}
+
+// Ostrich takes no defensive measures: the threshold is the 100th
+// percentile, accepting all values.
+type Ostrich struct{}
+
+// Name implements Strategy.
+func (Ostrich) Name() string { return "Ostrich" }
+
+// Threshold always returns 1 (keep everything).
+func (Ostrich) Threshold(int, Observation) float64 { return 1 }
+
+// Reset implements Strategy.
+func (Ostrich) Reset() {}
+
+// Static trims at a fixed percentile every round — the two baseline
+// defenses of §VI-A use this with their respective adversaries.
+type Static struct {
+	Label string
+	Pct   float64
+}
+
+// NewStatic builds a static-threshold strategy.
+func NewStatic(label string, pct float64) (*Static, error) {
+	if err := validatePct("static threshold", pct); err != nil {
+		return nil, err
+	}
+	return &Static{Label: label, Pct: pct}, nil
+}
+
+// Name implements Strategy.
+func (s *Static) Name() string { return s.Label }
+
+// Threshold implements Strategy.
+func (s *Static) Threshold(int, Observation) float64 { return s.Pct }
+
+// Reset implements Strategy.
+func (s *Static) Reset() {}

@@ -1,0 +1,75 @@
+package trim
+
+import "fmt"
+
+// Titfortat is Algorithm 1: a rigid trigger strategy. Until triggered, the
+// collector trims softly at SoftPct (the paper's Tth + 1%); once the
+// round's quality drops below the triggering condition, the collector
+// permanently switches to the hard threshold HardPct (the paper's
+// Tth − 3%).
+//
+// Two deliberate deviations from the algorithm as printed:
+//
+//   - The trigger is Quality < Baseline − Red. The paper prints
+//     "QE(Xi) < QE(X0) + Red", but its own prose requires Red to make the
+//     termination round *larger* ("a redundancy to ensure that the
+//     termination round is not too small"), which only holds with the
+//     subtractive form; the printed sign would make a larger redundancy
+//     trigger earlier.
+//   - Algorithm 1 "terminates" the game at the trigger; the experiments
+//     (§VI-D) operationalize the punishment as trimming at the hard
+//     position for all subsequent rounds, which this implementation
+//     follows. TriggeredAt records the round for the Table III
+//     "termination rounds" statistic.
+type Titfortat struct {
+	SoftPct float64 // T̄: untriggered trim percentile
+	HardPct float64 // T̲: post-trigger trim percentile
+	Red     float64 // redundancy added to the baseline quality
+
+	triggered   bool
+	TriggeredAt int // 1-based round of the trigger, 0 if never
+}
+
+// NewTitfortat validates and builds the strategy.
+func NewTitfortat(softPct, hardPct, red float64) (*Titfortat, error) {
+	if err := validatePct("soft", softPct); err != nil {
+		return nil, err
+	}
+	if err := validatePct("hard", hardPct); err != nil {
+		return nil, err
+	}
+	if hardPct >= softPct {
+		return nil, fmt.Errorf("trim: hard threshold %v must be below soft %v", hardPct, softPct)
+	}
+	if red < 0 {
+		return nil, fmt.Errorf("trim: negative redundancy %v", red)
+	}
+	return &Titfortat{SoftPct: softPct, HardPct: hardPct, Red: red}, nil
+}
+
+// Name implements Strategy.
+func (t *Titfortat) Name() string { return "Titfortat" }
+
+// Triggered reports whether the punishment has fired.
+func (t *Titfortat) Triggered() bool { return t.triggered }
+
+// Threshold implements Strategy. The trigger condition is
+// Quality < Baseline − Red, evaluated on the previous round's observation
+// (see the type comment for why the sign differs from the printed
+// Algorithm 1).
+func (t *Titfortat) Threshold(r int, prev Observation) float64 {
+	if !t.triggered && r > 1 && prev.Quality < prev.BaselineQuality-t.Red {
+		t.triggered = true
+		t.TriggeredAt = prev.Round
+	}
+	if t.triggered {
+		return t.HardPct
+	}
+	return t.SoftPct
+}
+
+// Reset implements Strategy.
+func (t *Titfortat) Reset() {
+	t.triggered = false
+	t.TriggeredAt = 0
+}

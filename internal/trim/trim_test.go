@@ -1,0 +1,257 @@
+package trim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOstrich(t *testing.T) {
+	var o Ostrich
+	if o.Name() != "Ostrich" {
+		t.Errorf("Name = %q", o.Name())
+	}
+	for r := 1; r <= 5; r++ {
+		if got := o.Threshold(r, Observation{Quality: 0}); got != 1 {
+			t.Errorf("Ostrich threshold = %v, want 1", got)
+		}
+	}
+	o.Reset() // must not panic
+}
+
+func TestStatic(t *testing.T) {
+	s, err := NewStatic("Baseline0.9", 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "Baseline0.9" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	for r := 1; r <= 3; r++ {
+		if got := s.Threshold(r, Observation{}); got != 0.9 {
+			t.Errorf("Static threshold = %v", got)
+		}
+	}
+	if _, err := NewStatic("bad", 1.5); err == nil {
+		t.Error("out-of-range percentile should error")
+	}
+	if _, err := NewStatic("bad", math.NaN()); err == nil {
+		t.Error("NaN percentile should error")
+	}
+}
+
+func TestTitfortatValidation(t *testing.T) {
+	if _, err := NewTitfortat(0.91, 0.95, 0.05); err == nil {
+		t.Error("hard ≥ soft should error")
+	}
+	if _, err := NewTitfortat(0.91, 0.87, -0.1); err == nil {
+		t.Error("negative redundancy should error")
+	}
+	if _, err := NewTitfortat(1.5, 0.87, 0.1); err == nil {
+		t.Error("bad soft percentile should error")
+	}
+}
+
+func TestTitfortatTriggerLifecycle(t *testing.T) {
+	tft, err := NewTitfortat(0.91, 0.87, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round 1: no observation, soft.
+	if got := tft.Threshold(1, Observation{}); got != 0.91 {
+		t.Errorf("round 1 threshold = %v, want soft 0.91", got)
+	}
+	// Good quality: stays soft.
+	good := Observation{Round: 1, Quality: 0.97, BaselineQuality: 0.98}
+	if got := tft.Threshold(2, good); got != 0.91 {
+		t.Errorf("round 2 threshold = %v, want soft", got)
+	}
+	if tft.Triggered() {
+		t.Error("should not be triggered yet")
+	}
+	// Quality below baseline − red: trigger.
+	bad := Observation{Round: 2, Quality: 0.90, BaselineQuality: 0.98}
+	if got := tft.Threshold(3, bad); got != 0.87 {
+		t.Errorf("post-trigger threshold = %v, want hard 0.87", got)
+	}
+	if !tft.Triggered() || tft.TriggeredAt != 2 {
+		t.Errorf("Triggered=%v TriggeredAt=%d", tft.Triggered(), tft.TriggeredAt)
+	}
+	// Punishment is permanent, even if quality recovers.
+	if got := tft.Threshold(4, good); got != 0.87 {
+		t.Errorf("punishment not permanent: %v", got)
+	}
+	// Reset restores cooperation.
+	tft.Reset()
+	if tft.Triggered() || tft.TriggeredAt != 0 {
+		t.Error("Reset did not clear trigger state")
+	}
+	if got := tft.Threshold(1, Observation{}); got != 0.91 {
+		t.Errorf("post-reset threshold = %v", got)
+	}
+}
+
+func TestTitfortatRedundancyDelaysTrigger(t *testing.T) {
+	// Larger redundancy must tolerate the same dip without triggering —
+	// the consistency property that fixed the printed algorithm's sign.
+	strict, _ := NewTitfortat(0.91, 0.87, 0.01)
+	lax, _ := NewTitfortat(0.91, 0.87, 0.10)
+	dip := Observation{Round: 1, Quality: 0.93, BaselineQuality: 0.98}
+	strict.Threshold(2, dip)
+	lax.Threshold(2, dip)
+	if !strict.Triggered() {
+		t.Error("strict redundancy should trigger on a 0.05 dip")
+	}
+	if lax.Triggered() {
+		t.Error("lax redundancy should tolerate a 0.05 dip")
+	}
+}
+
+func TestElasticValidation(t *testing.T) {
+	if _, err := NewElastic(0.9, 0); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := NewElastic(0.9, 1); err == nil {
+		t.Error("k=1 should error")
+	}
+	if _, err := NewElastic(0.02, 0.5); err == nil {
+		t.Error("Tth below the hard offset should error")
+	}
+	if _, err := NewElastic(math.NaN(), 0.5); err == nil {
+		t.Error("NaN Tth should error")
+	}
+}
+
+func TestElasticInitialAndUpdate(t *testing.T) {
+	e, err := NewElastic(0.9, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Name() != "Elastic0.5" {
+		t.Errorf("Name = %q", e.Name())
+	}
+	if got := e.Threshold(1, Observation{InjectionPct: math.NaN()}); math.Abs(got-0.87) > 1e-12 {
+		t.Errorf("round 1 threshold = %v, want 0.87", got)
+	}
+	// Update rule: T(2) = Tth + k(A(1) − Tth − 0.01) with A(1)=0.91 → 0.9.
+	got := e.Threshold(2, Observation{Round: 1, InjectionPct: 0.91})
+	if math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("round 2 threshold = %v, want 0.9", got)
+	}
+	// No observed poison: hold.
+	if held := e.Threshold(3, Observation{Round: 2, InjectionPct: math.NaN()}); held != got {
+		t.Errorf("threshold moved without observation: %v", held)
+	}
+}
+
+func TestElasticConvergesToFixedPoint(t *testing.T) {
+	for _, k := range []float64{0.1, 0.5} {
+		e, err := NewElastic(0.9, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tStar, aStar, err := EquilibriumThresholds(0.9, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Iterate the coupled §VI-A dynamics directly.
+		tPos := e.Threshold(1, Observation{InjectionPct: math.NaN()})
+		aPos := 0.91
+		for r := 2; r <= 60; r++ {
+			newT := e.Threshold(r, Observation{Round: r - 1, InjectionPct: aPos})
+			aPos = 0.9 - 0.03 + k*(tPos-0.9)
+			tPos = newT
+		}
+		if math.Abs(tPos-tStar) > 1e-6 {
+			t.Errorf("k=%v: T converged to %v, want %v", k, tPos, tStar)
+		}
+		if math.Abs(aPos-aStar) > 1e-6 {
+			t.Errorf("k=%v: A converged to %v, want %v", k, aPos, aStar)
+		}
+	}
+}
+
+func TestEquilibriumThresholdsFormula(t *testing.T) {
+	tStar, aStar, err := EquilibriumThresholds(0.9, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tStar-(0.9-0.04*0.1/0.99)) > 1e-12 {
+		t.Errorf("T* = %v", tStar)
+	}
+	if math.Abs(aStar-(0.9-(0.03+0.001*0.1)/0.99)) > 1e-12 {
+		t.Errorf("A* = %v", aStar)
+	}
+	if _, _, err := EquilibriumThresholds(0.9, 0); err == nil {
+		t.Error("k=0 should error")
+	}
+	// The fixed point must satisfy both §VI-A update equations.
+	for _, k := range []float64{0.1, 0.3, 0.5, 0.9} {
+		ts, as, err := EquilibriumThresholds(0.9, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ts-(0.9+k*(as-0.9-0.01))) > 1e-12 {
+			t.Errorf("k=%v: T* does not satisfy collector update", k)
+		}
+		if math.Abs(as-(0.9-0.03+k*(ts-0.9))) > 1e-12 {
+			t.Errorf("k=%v: A* does not satisfy adversary update", k)
+		}
+	}
+}
+
+// Property: the elastic threshold always stays in [0, 1] regardless of the
+// observed injection percentile.
+func TestElasticThresholdBounded(t *testing.T) {
+	f := func(rawInj float64, rawK uint8) bool {
+		k := 0.01 + 0.98*float64(rawK)/255
+		e, err := NewElastic(0.9, k)
+		if err != nil {
+			return false
+		}
+		inj := rawInj
+		if math.IsNaN(inj) || math.IsInf(inj, 0) {
+			inj = 0.5
+		}
+		inj = math.Mod(math.Abs(inj), 1)
+		e.Threshold(1, Observation{InjectionPct: math.NaN()})
+		got := e.Threshold(2, Observation{Round: 1, InjectionPct: inj})
+		return got >= 0 && got <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestElasticQE(t *testing.T) {
+	if _, err := NewElasticQE(0.87, 0.91, 0.5); err == nil {
+		t.Error("hard above soft should error")
+	}
+	if _, err := NewElasticQE(0.91, 0.87, 0); err == nil {
+		t.Error("k=0 should error")
+	}
+	e, err := NewElasticQE(0.91, 0.87, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Name() != "ElasticQE0.5" {
+		t.Errorf("Name = %q", e.Name())
+	}
+	if got := e.Threshold(1, Observation{}); got != 0.91 {
+		t.Errorf("round 1 = %v, want soft", got)
+	}
+	// Perfect quality: stay soft.
+	if got := e.Threshold(2, Observation{Quality: 1}); math.Abs(got-0.91) > 1e-12 {
+		t.Errorf("clean round threshold = %v, want 0.91", got)
+	}
+	// Worst quality: move k of the way to hard.
+	got := e.Threshold(3, Observation{Quality: 0})
+	want := 0.5*0.91 + 0.5*0.87
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("poisoned round threshold = %v, want %v", got, want)
+	}
+	e.Reset()
+	if got := e.Threshold(1, Observation{}); got != 0.91 {
+		t.Errorf("post-reset = %v", got)
+	}
+}

@@ -1,0 +1,144 @@
+package trim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// The paper (§V) notes that "numerous variants of Tit-for-tat exist, such
+// as Tit-for-two-tats and Generous Tit-for-tat. They can also be adapted
+// through Elastic strategies for repeated games with uncertainty." This
+// file implements the two named variants so the future-work comparison can
+// be run today (see BenchmarkTriggerVariants).
+
+// TitForTwoTats punishes only after two *consecutive* low-quality rounds,
+// tolerating isolated jitter — the classic robustness fix for noisy
+// repeated games (Axelrod & Hamilton).
+type TitForTwoTats struct {
+	SoftPct float64
+	HardPct float64
+	Red     float64
+
+	strikes     int
+	triggered   bool
+	TriggeredAt int
+}
+
+// NewTitForTwoTats validates and builds the strategy.
+func NewTitForTwoTats(softPct, hardPct, red float64) (*TitForTwoTats, error) {
+	if err := validatePct("soft", softPct); err != nil {
+		return nil, err
+	}
+	if err := validatePct("hard", hardPct); err != nil {
+		return nil, err
+	}
+	if hardPct >= softPct {
+		return nil, fmt.Errorf("trim: hard threshold %v must be below soft %v", hardPct, softPct)
+	}
+	if red < 0 {
+		return nil, fmt.Errorf("trim: negative redundancy %v", red)
+	}
+	return &TitForTwoTats{SoftPct: softPct, HardPct: hardPct, Red: red}, nil
+}
+
+// Name implements Strategy.
+func (t *TitForTwoTats) Name() string { return "TitForTwoTats" }
+
+// Triggered reports whether the permanent punishment has fired.
+func (t *TitForTwoTats) Triggered() bool { return t.triggered }
+
+// Threshold implements Strategy: two consecutive defections trigger the
+// permanent hard threshold; a single clean round resets the strike count.
+func (t *TitForTwoTats) Threshold(r int, prev Observation) float64 {
+	if !t.triggered && r > 1 {
+		if prev.Quality < prev.BaselineQuality-t.Red {
+			t.strikes++
+			if t.strikes >= 2 {
+				t.triggered = true
+				t.TriggeredAt = prev.Round
+			}
+		} else {
+			t.strikes = 0
+		}
+	}
+	if t.triggered {
+		return t.HardPct
+	}
+	return t.SoftPct
+}
+
+// Reset implements Strategy.
+func (t *TitForTwoTats) Reset() {
+	t.strikes = 0
+	t.triggered = false
+	t.TriggeredAt = 0
+}
+
+// GenerousTitForTat punishes a defection only with probability 1−g: with
+// generosity g it forgives and stays soft. Unlike the rigid trigger the
+// punishment also lasts a single round (the canonical generous variant
+// keeps no grudge), so cooperation can always resume — the probabilistic
+// cousin of the Elastic strategy's proportional forgiveness.
+type GenerousTitForTat struct {
+	SoftPct    float64
+	HardPct    float64
+	Red        float64
+	Generosity float64 // g ∈ [0, 1]: probability of forgiving a defection
+
+	rng       *rand.Rand
+	punishing bool
+	Punished  int // rounds spent punishing, for experiment reporting
+}
+
+// NewGenerousTitForTat validates and builds the strategy. The rng drives
+// the forgiveness coin and must be non-nil.
+func NewGenerousTitForTat(softPct, hardPct, red, generosity float64, rng *rand.Rand) (*GenerousTitForTat, error) {
+	if err := validatePct("soft", softPct); err != nil {
+		return nil, err
+	}
+	if err := validatePct("hard", hardPct); err != nil {
+		return nil, err
+	}
+	if hardPct >= softPct {
+		return nil, fmt.Errorf("trim: hard threshold %v must be below soft %v", hardPct, softPct)
+	}
+	if red < 0 {
+		return nil, fmt.Errorf("trim: negative redundancy %v", red)
+	}
+	if generosity < 0 || generosity > 1 {
+		return nil, fmt.Errorf("trim: generosity %v outside [0,1]", generosity)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("trim: nil rng")
+	}
+	return &GenerousTitForTat{
+		SoftPct: softPct, HardPct: hardPct, Red: red,
+		Generosity: generosity, rng: rng,
+	}, nil
+}
+
+// Name implements Strategy.
+func (g *GenerousTitForTat) Name() string {
+	return fmt.Sprintf("GenerousTitForTat%.1f", g.Generosity)
+}
+
+// Threshold implements Strategy.
+func (g *GenerousTitForTat) Threshold(r int, prev Observation) float64 {
+	g.punishing = false
+	if r > 1 && prev.Quality < prev.BaselineQuality-g.Red {
+		if g.rng.Float64() >= g.Generosity {
+			g.punishing = true
+			g.Punished++
+		}
+	}
+	if g.punishing {
+		return g.HardPct
+	}
+	return g.SoftPct
+}
+
+// Reset implements Strategy.
+func (g *GenerousTitForTat) Reset() {
+	g.punishing = false
+	g.Punished = 0
+}

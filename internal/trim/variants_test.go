@@ -1,0 +1,162 @@
+package trim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTitForTwoTatsValidation(t *testing.T) {
+	if _, err := NewTitForTwoTats(0.87, 0.91, 0.05); err == nil {
+		t.Error("hard above soft should error")
+	}
+	if _, err := NewTitForTwoTats(0.91, 0.87, -1); err == nil {
+		t.Error("negative red should error")
+	}
+	if _, err := NewTitForTwoTats(2, 0.87, 0.05); err == nil {
+		t.Error("bad soft pct should error")
+	}
+}
+
+func TestTitForTwoTatsToleratesIsolatedJitter(t *testing.T) {
+	tft, err := NewTitForTwoTats(0.91, 0.87, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := Observation{Round: 1, Quality: 0.99, BaselineQuality: 0.99}
+	bad := Observation{Round: 2, Quality: 0.90, BaselineQuality: 0.99}
+
+	tft.Threshold(1, Observation{})
+	// One bad round: strike, but no trigger.
+	if got := tft.Threshold(2, bad); got != 0.91 {
+		t.Errorf("threshold after one defection = %v, want soft", got)
+	}
+	// Clean round: strikes reset.
+	tft.Threshold(3, good)
+	// Another single bad round: still tolerated.
+	if got := tft.Threshold(4, bad); got != 0.91 {
+		t.Errorf("threshold after isolated defection = %v, want soft", got)
+	}
+	if tft.Triggered() {
+		t.Error("should not trigger on isolated defections")
+	}
+}
+
+func TestTitForTwoTatsTriggersOnConsecutive(t *testing.T) {
+	tft, _ := NewTitForTwoTats(0.91, 0.87, 0.02)
+	bad1 := Observation{Round: 1, Quality: 0.90, BaselineQuality: 0.99}
+	bad2 := Observation{Round: 2, Quality: 0.90, BaselineQuality: 0.99}
+	tft.Threshold(1, Observation{})
+	tft.Threshold(2, bad1)
+	if got := tft.Threshold(3, bad2); got != 0.87 {
+		t.Errorf("threshold after two consecutive defections = %v, want hard", got)
+	}
+	if !tft.Triggered() || tft.TriggeredAt != 2 {
+		t.Errorf("Triggered=%v at %d", tft.Triggered(), tft.TriggeredAt)
+	}
+	// Permanent, like the base Titfortat.
+	good := Observation{Round: 3, Quality: 0.99, BaselineQuality: 0.99}
+	if got := tft.Threshold(4, good); got != 0.87 {
+		t.Errorf("punishment not permanent: %v", got)
+	}
+	tft.Reset()
+	if tft.Triggered() || tft.TriggeredAt != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestGenerousValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		soft, hard, red, g float64
+		rng                *rand.Rand
+	}{
+		{0.87, 0.91, 0.05, 0.5, rng}, // hard above soft
+		{0.91, 0.87, -1, 0.5, rng},   // negative red
+		{0.91, 0.87, 0.05, -0.1, rng},
+		{0.91, 0.87, 0.05, 1.5, rng},
+		{0.91, 0.87, 0.05, 0.5, nil},
+		{5, 0.87, 0.05, 0.5, rng},
+	}
+	for i, c := range cases {
+		if _, err := NewGenerousTitForTat(c.soft, c.hard, c.red, c.g, c.rng); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestGenerousNeverForgivesAtZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g, err := NewGenerousTitForTat(0.91, 0.87, 0.02, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := Observation{Round: 1, Quality: 0.9, BaselineQuality: 0.99}
+	for r := 2; r < 12; r++ {
+		if got := g.Threshold(r, bad); got != 0.87 {
+			t.Fatalf("generosity 0 should always punish, got %v", got)
+		}
+	}
+	if g.Punished != 10 {
+		t.Errorf("Punished = %d, want 10", g.Punished)
+	}
+}
+
+func TestGenerousAlwaysForgivesAtOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, _ := NewGenerousTitForTat(0.91, 0.87, 0.02, 1, rng)
+	bad := Observation{Round: 1, Quality: 0.9, BaselineQuality: 0.99}
+	for r := 2; r < 12; r++ {
+		if got := g.Threshold(r, bad); got != 0.91 {
+			t.Fatalf("generosity 1 should always forgive, got %v", got)
+		}
+	}
+	if g.Punished != 0 {
+		t.Errorf("Punished = %d, want 0", g.Punished)
+	}
+}
+
+func TestGenerousPunishmentIsOneRound(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g, _ := NewGenerousTitForTat(0.91, 0.87, 0.02, 0, rng)
+	bad := Observation{Round: 1, Quality: 0.9, BaselineQuality: 0.99}
+	good := Observation{Round: 2, Quality: 0.99, BaselineQuality: 0.99}
+	if got := g.Threshold(2, bad); got != 0.87 {
+		t.Fatalf("defection should punish, got %v", got)
+	}
+	// Clean round: cooperation resumes immediately — no grudge.
+	if got := g.Threshold(3, good); got != 0.91 {
+		t.Errorf("clean round after punishment = %v, want soft", got)
+	}
+}
+
+func TestGenerousForgivenessRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g, _ := NewGenerousTitForTat(0.91, 0.87, 0.02, 0.7, rng)
+	bad := Observation{Round: 1, Quality: 0.9, BaselineQuality: 0.99}
+	n, punished := 20000, 0
+	for r := 0; r < n; r++ {
+		if g.Threshold(r+2, bad) == 0.87 {
+			punished++
+		}
+	}
+	rate := float64(punished) / float64(n)
+	if rate < 0.27 || rate > 0.33 {
+		t.Errorf("punishment rate = %v, want ≈0.30", rate)
+	}
+	g.Reset()
+	if g.Punished != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestVariantNames(t *testing.T) {
+	tft, _ := NewTitForTwoTats(0.91, 0.87, 0.02)
+	if tft.Name() != "TitForTwoTats" {
+		t.Errorf("Name = %q", tft.Name())
+	}
+	rng := rand.New(rand.NewSource(6))
+	g, _ := NewGenerousTitForTat(0.91, 0.87, 0.02, 0.5, rng)
+	if g.Name() != "GenerousTitForTat0.5" {
+		t.Errorf("Name = %q", g.Name())
+	}
+}
