@@ -2,6 +2,7 @@ package repro_test
 
 import (
 	"io"
+	"math"
 	"testing"
 
 	"repro/internal/attack"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/lagrangian"
 	"repro/internal/ldp"
 	"repro/internal/stats"
+	"repro/internal/stats/summary"
 	"repro/internal/trim"
 )
 
@@ -143,6 +145,76 @@ func BenchmarkFig9(b *testing.B) {
 }
 
 // --- Ablation benches (DESIGN.md §5) ---
+
+// BenchmarkThresholdResolution is the headline comparison for the
+// streaming-quantile refactor: per-round threshold resolution over a
+// received stream arriving in 100k-value batches, exact copy-and-sort
+// (the seed behavior — the pool is re-sorted from scratch every round)
+// against the incremental ε-approximate summary (the new default — each
+// round pushes its batch and queries in O(1/ε)).
+//
+// Run with: go test -bench=ThresholdResolution -benchmem
+func BenchmarkThresholdResolution(b *testing.B) {
+	const (
+		batch  = 100000
+		rounds = 20 // the paper's game horizon (§VI uses 20-25 rounds)
+	)
+	data := stats.NormalSlice(stats.NewRand(1), rounds*batch, 0, 1)
+
+	b.Run("ExactSort", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pool := make([]float64, 0, rounds*batch)
+			for r := 0; r < rounds; r++ {
+				pool = append(pool, data[r*batch:(r+1)*batch]...)
+				if v := stats.Quantile(pool, 0.9); math.IsNaN(v) {
+					b.Fatal("NaN threshold")
+				}
+			}
+		}
+	})
+	b.Run("Summary", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st, err := summary.New(0, rounds*batch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for r := 0; r < rounds; r++ {
+				for _, v := range data[r*batch : (r+1)*batch] {
+					st.Push(v)
+				}
+				if v := st.Query(0.9); math.IsNaN(v) {
+					b.Fatal("NaN threshold")
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkThresholdSingleBatch isolates one round at batch 100k: one
+// exact quantile (copy + sort) against one summary build + query. The
+// cumulative benchmark above is the game's real access pattern; this one
+// bounds the worst case for the summary (no amortization across rounds).
+func BenchmarkThresholdSingleBatch(b *testing.B) {
+	const batch = 100000
+	data := stats.NormalSlice(stats.NewRand(1), batch, 0, 1)
+	b.Run("ExactSort", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			stats.Quantile(data, 0.9)
+		}
+	})
+	b.Run("Summary", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st, err := summary.New(0, batch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, v := range data {
+				st.Push(v)
+			}
+			st.Query(0.9)
+		}
+	})
+}
 
 // BenchmarkPercentileExact vs BenchmarkPercentileP2: exact sort-based
 // percentile tracking against the O(1)-space streaming P² estimator.

@@ -6,7 +6,7 @@
 //	trimlab -experiment fig4 [-scale quick|bench|paper] [-points N] [-seed S]
 //
 // Experiments: table1, table2, table3, table4, fig4, fig5, fig6, fig7,
-// fig8, fig9, all.
+// fig8, fig9, variants, blackbox, sharded, all.
 package main
 
 import (
@@ -132,10 +132,18 @@ func main() {
 			res.Print(os.Stdout)
 			return nil
 		},
+		"sharded": func() error {
+			res, err := experiments.Sharded(sc, nil)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			return nil
+		},
 	}
 
 	order := []string{"table1", "table2", "table3", "table4",
-		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "variants", "blackbox"}
+		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "variants", "blackbox", "sharded"}
 
 	if *exp == "all" {
 		for _, name := range order {

@@ -5,14 +5,21 @@
 // The library lives under internal/:
 //
 //   - internal/trim, internal/attack, internal/collect — the interactive
-//     trimming game (the paper's contribution),
+//     trimming game (the paper's contribution), including the sharded
+//     scale-out collector collect.RunSharded,
 //   - internal/game, internal/lagrangian — the game-theoretic and
 //     least-action analytical models,
 //   - internal/stats, internal/dataset, internal/ml/…, internal/ldp —
-//     the substrates the evaluation needs,
-//   - internal/experiments — one harness per paper table/figure.
+//     the substrates the evaluation needs; internal/stats/summary holds
+//     the mergeable ε-approximate quantile summaries that every per-round
+//     threshold, injection position and quality rank resolves against by
+//     default (set ExactQuantiles in the collect configs for the legacy
+//     copy-and-sort path; see DESIGN.md §5),
+//   - internal/experiments — one harness per paper table/figure, plus the
+//     sharded-collection scaling study.
 //
 // Runnable entry points are cmd/trimlab, cmd/datagen and the programs under
 // examples/. The benchmark suite in bench_test.go regenerates every table
-// and figure at benchmark scale.
+// and figure at benchmark scale and carries the exact-vs-summary threshold
+// resolution ablations.
 package repro

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/stats"
+	"repro/internal/stats/summary"
 )
 
 // QualityFn is the publicly recognized data quality standard of §III-B:
@@ -12,7 +13,17 @@ import (
 // reference, it returns a quality score in [0, 1] (1 = indistinguishable
 // from clean data). Both parties agree on this function — its existence is
 // what makes the game well-defined.
+//
+// Each standard exists in two forms: the slice form (exact one-pass
+// counting — the reference implementation, and the one the ExactQuantiles
+// paths keep bit-stable) and a summary-native form the engines call on the
+// round summary they already maintain, within ε of the exact score.
 type QualityFn func(roundValues, sortedReference []float64) float64
+
+// SummaryQualityFn scores a round from its quantile summary instead of the
+// raw values — the form the engines use internally and the sharded
+// collector uses exclusively (shard workers never gather raw values).
+type SummaryQualityFn func(round *summary.Summary, sortedReference []float64) float64
 
 // ExcessMassQuality is the default quality standard: it measures how much
 // probability mass the round carries above the reference's 90th percentile
@@ -23,6 +34,10 @@ type QualityFn func(roundValues, sortedReference []float64) float64
 // mass is exactly the poison ratio up to sampling noise, so this quality
 // standard lets the collector estimate attack intensity without provenance
 // information.
+//
+// The slice form counts exactly in one pass — it is the reference
+// implementation and the one the ExactQuantiles paths rely on being
+// bit-stable.
 func ExcessMassQuality(roundValues, sortedReference []float64) float64 {
 	if len(roundValues) == 0 || len(sortedReference) == 0 {
 		return math.NaN()
@@ -35,6 +50,24 @@ func ExcessMassQuality(roundValues, sortedReference []float64) float64 {
 		}
 	}
 	obs := float64(above) / float64(len(roundValues))
+	excess := obs - 0.10
+	if excess < 0 {
+		excess = 0
+	}
+	// excess ∈ [0, 0.9]; normalize to a quality score.
+	return stats.Clamp(1-excess/0.9, 0, 1)
+}
+
+// ExcessMassQualitySummary is ExcessMassQuality resolved by one rank query
+// against a round summary the caller already holds (the engines reuse the
+// summary they built for threshold resolution — no extra pass over the
+// data). Its score is within the summary's ε of the exact slice form.
+func ExcessMassQualitySummary(round *summary.Summary, sortedReference []float64) float64 {
+	if round == nil || round.Size() == 0 || len(sortedReference) == 0 {
+		return math.NaN()
+	}
+	q90 := stats.QuantileSorted(sortedReference, 0.90)
+	obs := 1 - round.Rank(q90) // mass strictly above Q90, within ε
 	excess := obs - 0.10
 	if excess < 0 {
 		excess = 0
@@ -67,18 +100,40 @@ func EvasionQuality(attackRatio float64) QualityFn {
 				in++
 			}
 		}
-		n := float64(len(roundValues))
-		obs := float64(in) / n
-		// Honest mass expected in the window, diluted by the poison share.
-		poisonShare := attackRatio / (1 + attackRatio)
-		expectedHonest := 0.04 * (1 - poisonShare)
-		excess := obs - expectedHonest
-		if excess < 0 {
-			excess = 0
-		}
-		evading := excess / poisonShare // fraction of the poison budget that evades
-		return stats.Clamp(1-evading, 0, 1)
+		return evasionScore(float64(in)/float64(len(roundValues)), attackRatio)
 	}
+}
+
+// EvasionQualitySummary is EvasionQuality resolved by two rank queries
+// against a round summary the caller already holds; within 2ε of the exact
+// slice form.
+func EvasionQualitySummary(attackRatio float64) SummaryQualityFn {
+	return func(round *summary.Summary, sortedReference []float64) float64 {
+		if round == nil || round.Size() == 0 || len(sortedReference) == 0 || attackRatio <= 0 {
+			return math.NaN()
+		}
+		lo := stats.QuantileSorted(sortedReference, 0.88)
+		hi := stats.QuantileSorted(sortedReference, 0.92)
+		obs := round.Rank(hi) - round.Rank(lo) // window mass, within 2ε
+		if obs < 0 {
+			obs = 0
+		}
+		return evasionScore(obs, attackRatio)
+	}
+}
+
+// evasionScore converts observed [Q88, Q92] window mass into the evasion
+// quality score shared by both forms.
+func evasionScore(obs, attackRatio float64) float64 {
+	// Honest mass expected in the window, diluted by the poison share.
+	poisonShare := attackRatio / (1 + attackRatio)
+	expectedHonest := 0.04 * (1 - poisonShare)
+	excess := obs - expectedHonest
+	if excess < 0 {
+		excess = 0
+	}
+	evading := excess / poisonShare // fraction of the poison budget that evades
+	return stats.Clamp(1-evading, 0, 1)
 }
 
 // sortedCopy returns a sorted copy of xs.
@@ -97,8 +152,14 @@ func jitterScale(sortedRef []float64) float64 {
 	if len(sortedRef) == 0 {
 		return 1
 	}
-	r := sortedRef[len(sortedRef)-1] - sortedRef[0]
-	if r <= 0 {
+	return jitterRange(sortedRef[0], sortedRef[len(sortedRef)-1])
+}
+
+// jitterRange is jitterScale for a known [min, max] (as tracked exactly by
+// a summary stream).
+func jitterRange(min, max float64) float64 {
+	r := max - min
+	if r <= 0 || math.IsInf(r, 0) || math.IsNaN(r) {
 		return 1
 	}
 	return r * 1e-6

@@ -8,6 +8,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/dataset"
 	"repro/internal/stats"
+	"repro/internal/stats/summary"
 	"repro/internal/trim"
 )
 
@@ -35,6 +36,19 @@ type RowConfig struct {
 	// TrimOnBatch selects threshold semantics; see collect.Config.
 	TrimOnBatch bool
 
+	// ExactQuantiles forces the legacy path: retain every accepted row and
+	// re-sort each coordinate per round for the robust center, and sort the
+	// full distance scale per round. The default (false) keeps one
+	// streaming quantile summary per coordinate of the accepted pool and a
+	// per-round distance summary instead — O(dim/ε) memory and no per-round
+	// sort, regardless of how large the accepted pool grows. See
+	// DESIGN.md §5.
+	ExactQuantiles bool
+
+	// SummaryEpsilon is the rank-error budget ε of the streaming summaries;
+	// summary.DefaultEpsilon when 0.
+	SummaryEpsilon float64
+
 	Rng *rand.Rand
 }
 
@@ -51,6 +65,9 @@ func (c *RowConfig) validate() error {
 	if c.Collector == nil || c.Adversary == nil {
 		return fmt.Errorf("collect: nil strategy")
 	}
+	if c.SummaryEpsilon < 0 || c.SummaryEpsilon >= 1 {
+		return fmt.Errorf("collect: summary epsilon = %v", c.SummaryEpsilon)
+	}
 	if c.Rng == nil {
 		return fmt.Errorf("collect: nil rng")
 	}
@@ -65,6 +82,44 @@ type RowResult struct {
 	Kept *dataset.Dataset
 	// KeptPoison counts poison rows that survived trimming.
 	KeptPoison int
+}
+
+// acceptedCenter tracks the collector's robust reference center — the
+// coordinate-wise median of accepted rows — in one of two modes: streaming
+// per-coordinate quantile summaries (default; O(dim/ε) memory, O(dim)
+// amortized per accepted row) or the legacy exact mode that retains the
+// whole pool and re-sorts every coordinate each round (O(|accepted| · dim ·
+// log |accepted|) per round, the hot-path regression this refactor
+// removes).
+type acceptedCenter struct {
+	vec  *summary.Vector // streaming mode
+	pool [][]float64     // exact mode
+}
+
+func newAcceptedCenter(cfg *RowConfig, dim int) (*acceptedCenter, error) {
+	if cfg.ExactQuantiles {
+		return &acceptedCenter{pool: make([][]float64, 0, cfg.Batch*(cfg.Rounds+1))}, nil
+	}
+	vec, err := summary.NewVector(dim, cfg.SummaryEpsilon, cfg.Batch*(cfg.Rounds+1))
+	if err != nil {
+		return nil, err
+	}
+	return &acceptedCenter{vec: vec}, nil
+}
+
+func (c *acceptedCenter) accept(row []float64) {
+	if c.vec != nil {
+		c.vec.PushRow(row) // dimension is fixed by construction
+		return
+	}
+	c.pool = append(c.pool, row)
+}
+
+func (c *acceptedCenter) center(buf []float64) []float64 {
+	if c.vec != nil {
+		return c.vec.Medians(buf)
+	}
+	return coordMedian(c.pool, buf)
 }
 
 // RunRows plays the collection game over dataset rows.
@@ -83,7 +138,9 @@ func RunRows(cfg RowConfig) (*RowResult, error) {
 	// coordinate-wise median of clean data, and distances from it define
 	// the percentile scale poison positions resolve against. Using one
 	// center for both injection and trimming keeps the two parties'
-	// percentile languages consistent (complete information, §III-A).
+	// percentile languages consistent (complete information, §III-A). This
+	// is one-time setup over the clean dataset, so it stays exact in both
+	// modes.
 	center := coordMedian(cfg.Data.X, nil)
 	refDistances := make([]float64, cfg.Data.Len())
 	for i, row := range cfg.Data.X {
@@ -109,12 +166,16 @@ func RunRows(cfg RowConfig) (*RowResult, error) {
 	// anchors the quality baseline. A mean would compound one-directional
 	// poisoning round over round; the median bounds the drift by the
 	// retained-poison fraction.
-	accepted := make([][]float64, 0, cfg.Batch*(cfg.Rounds+1))
+	accepted, err := newAcceptedCenter(&cfg, len(center))
+	if err != nil {
+		return nil, err
+	}
 	for i := 0; i < cfg.Batch; i++ {
-		accepted = append(accepted, cfg.Data.X[cfg.Rng.Intn(cfg.Data.Len())])
+		accepted.accept(cfg.Data.X[cfg.Rng.Intn(cfg.Data.Len())])
 	}
 	refCentroid := append([]float64(nil), center...)
 
+	roundLen := cfg.Batch + poisonCount
 	for r := 1; r <= cfg.Rounds; r++ {
 		thresholdPct := cfg.Collector.Threshold(r, res.Board.collectorView())
 		inject := cfg.Adversary.Injection(r, res.Board.adversaryView())
@@ -124,7 +185,7 @@ func RunRows(cfg RowConfig) (*RowResult, error) {
 			label  int
 			poison bool
 		}
-		arrivals := make([]arrival, 0, cfg.Batch+poisonCount)
+		arrivals := make([]arrival, 0, roundLen)
 		for i := 0; i < cfg.Batch; i++ {
 			j := cfg.Rng.Intn(cfg.Data.Len())
 			a := arrival{row: cfg.Data.X[j]}
@@ -136,21 +197,40 @@ func RunRows(cfg RowConfig) (*RowResult, error) {
 		// White-box injection (§III-A): the adversary reads the collector's
 		// current reference center off the public board and resolves its
 		// percentile on the same scale the collector will trim with — the
-		// distances of clean data from that center.
-		refCentroid = coordMedian(accepted, refCentroid)
-		roundScale := make([]float64, cfg.Data.Len())
-		for i, row := range cfg.Data.X {
-			roundScale[i] = stats.Euclidean(row, refCentroid)
+		// distances of clean data from that center. The scale is summarized
+		// once per round (the center moved, so it cannot be carried over);
+		// every percentile below is then an O(1/ε) query instead of a
+		// binary search over a freshly sorted copy.
+		refCentroid = accepted.center(refCentroid)
+		var roundScale []float64     // exact mode: sorted distances
+		var scaleSum *summary.Stream // streaming mode: distance summary
+		var jscale float64
+		var scaleQ func(pct float64) float64
+		if cfg.ExactQuantiles {
+			roundScale = make([]float64, cfg.Data.Len())
+			for i, row := range cfg.Data.X {
+				roundScale[i] = stats.Euclidean(row, refCentroid)
+			}
+			sortInPlace(roundScale)
+			jscale = jitterScale(roundScale)
+			scaleQ = func(pct float64) float64 { return stats.QuantileSorted(roundScale, pct) }
+		} else {
+			if scaleSum, err = summary.New(cfg.SummaryEpsilon, cfg.Data.Len()); err != nil {
+				return nil, err
+			}
+			for _, row := range cfg.Data.X {
+				scaleSum.Push(stats.Euclidean(row, refCentroid))
+			}
+			jscale = jitterRange(scaleSum.Min(), scaleSum.Max())
+			scaleQ = scaleSum.Query
 		}
-		sortInPlace(roundScale)
 
 		var pctSum float64
-		jscale := jitterScale(roundScale)
 		for i := 0; i < poisonCount; i++ {
 			pct := inject(cfg.Rng)
 			pctSum += pct
 			// Tie-breaking jitter on the distance scale; see scalar.go.
-			dist := stats.QuantileSorted(roundScale, pct) + (cfg.Rng.Float64()-0.5)*jscale
+			dist := scaleQ(pct) + (cfg.Rng.Float64()-0.5)*jscale
 			if dist < 0 {
 				dist = 0
 			}
@@ -169,22 +249,38 @@ func RunRows(cfg RowConfig) (*RowResult, error) {
 			arrivals = append(arrivals, arrival{row: row, label: label, poison: true})
 		}
 		dists := make([]float64, len(arrivals))
+		var arrivalSum *summary.Stream
+		if !cfg.ExactQuantiles {
+			if arrivalSum, err = summary.New(cfg.SummaryEpsilon, roundLen); err != nil {
+				return nil, err
+			}
+		}
 		for i, a := range arrivals {
 			dists[i] = stats.Euclidean(a.row, refCentroid)
+			if arrivalSum != nil {
+				arrivalSum.Push(dists[i])
+			}
 		}
 		var thresholdValue float64
-		if cfg.TrimOnBatch {
+		switch {
+		case !cfg.TrimOnBatch:
+			thresholdValue = scaleQ(thresholdPct)
+		case arrivalSum != nil:
+			thresholdValue = arrivalSum.Query(thresholdPct)
+		default:
 			thresholdValue = stats.Quantile(dists, thresholdPct)
-		} else {
-			thresholdValue = stats.QuantileSorted(roundScale, thresholdPct)
 		}
 
 		rec := RoundRecord{
 			Round:           r,
 			ThresholdPct:    thresholdPct,
 			ThresholdValue:  thresholdValue,
-			Quality:         quality(dists, refSorted),
 			BaselineQuality: baselineQ,
+		}
+		if cfg.Quality == nil && arrivalSum != nil {
+			rec.Quality = ExcessMassQualitySummary(arrivalSum.Snapshot(), refSorted)
+		} else {
+			rec.Quality = quality(dists, refSorted)
 		}
 		if poisonCount > 0 {
 			rec.MeanInjectionPct = pctSum / float64(poisonCount)
@@ -211,7 +307,7 @@ func RunRows(cfg RowConfig) (*RowResult, error) {
 				if a.poison {
 					res.KeptPoison++
 				}
-				accepted = append(accepted, a.row)
+				accepted.accept(a.row)
 			}
 		}
 		res.Board.Post(rec)
@@ -220,7 +316,10 @@ func RunRows(cfg RowConfig) (*RowResult, error) {
 }
 
 // coordMedian returns the coordinate-wise median of rows, reusing buf when
-// it has the right dimension.
+// it has the right dimension. It copies and sorts every coordinate, so on a
+// growing pool it is the O(|rows| · dim · log |rows|) cost the streaming
+// acceptedCenter replaces; it remains for one-time setup over clean data
+// and for the ExactQuantiles reference path.
 func coordMedian(rows [][]float64, buf []float64) []float64 {
 	if len(rows) == 0 {
 		return buf

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/stats"
+	"repro/internal/stats/summary"
 	"repro/internal/trim"
 )
 
@@ -43,6 +44,9 @@ type Config struct {
 	Adversary attack.Strategy
 
 	// Quality is the agreed quality standard; ExcessMassQuality when nil.
+	// When nil and summaries are active (the default), the engine scores
+	// quality by rank queries against the round summary it already holds,
+	// with no extra pass over the data.
 	Quality QualityFn
 
 	// TrimOnBatch selects the threshold semantics. The default (false)
@@ -54,6 +58,17 @@ type Config struct {
 	// collector "trims the same amount of data" every round (Fig 3 step 4).
 	// The two readings are both present in the paper; see EXPERIMENTS.md.
 	TrimOnBatch bool
+
+	// ExactQuantiles forces the legacy copy-and-sort resolution of
+	// per-round quantile queries. The default (false) resolves them against
+	// ε-approximate mergeable summaries (internal/stats/summary), which
+	// turns the per-round threshold cost from O(n log n) into O(1/ε)
+	// queries over an O(n) incremental build. See DESIGN.md §5.
+	ExactQuantiles bool
+
+	// SummaryEpsilon is the rank-error budget ε of the per-round and
+	// per-game summaries; summary.DefaultEpsilon when 0.
+	SummaryEpsilon float64
 
 	// KeepValues retains every round's kept values in the result (needed
 	// when a downstream estimator consumes the pooled data).
@@ -86,16 +101,51 @@ func (c *Config) validate() error {
 	if c.Collector == nil || c.Adversary == nil {
 		return fmt.Errorf("collect: nil strategy")
 	}
+	if c.SummaryEpsilon < 0 || c.SummaryEpsilon >= 1 {
+		return fmt.Errorf("collect: summary epsilon = %v", c.SummaryEpsilon)
+	}
 	if c.Rng == nil {
 		return fmt.Errorf("collect: nil rng")
 	}
 	return nil
 }
 
+// poisonPerRound returns the per-round poison budget.
+func (c *Config) poisonPerRound() int {
+	return int(math.Round(c.AttackRatio * float64(c.Batch)))
+}
+
 // Result of a scalar collection game.
 type Result struct {
 	Board      Board
 	KeptValues []float64 // pooled kept values, when Config.KeepValues
+
+	// Received is the game-long mergeable summary of every value that
+	// arrived (honest and poison), built incrementally by absorbing each
+	// round's summary. Nil under ExactQuantiles. Downstream estimators can
+	// query any percentile of the full received stream from it without the
+	// engine having buffered a single value.
+	Received *summary.Stream
+}
+
+// drawArrivals draws one round's arrivals: cfg.Batch honest values followed
+// by poisonCount poison values placed at reference percentiles drawn from
+// inject. Returns the values (poison in the tail) and the summed injection
+// percentile.
+func drawArrivals(cfg *Config, inject func(*rand.Rand) float64, ref []float64, jscale float64, poisonCount int) (values []float64, pctSum float64) {
+	values = make([]float64, 0, cfg.Batch+poisonCount)
+	for i := 0; i < cfg.Batch; i++ {
+		values = append(values, cfg.Honest(cfg.Rng))
+	}
+	for i := 0; i < poisonCount; i++ {
+		pct := inject(cfg.Rng)
+		pctSum += pct
+		// Tie-breaking jitter: identical colluding values would sit in
+		// one degenerate quantile atom (and be trivially detectable);
+		// the jitter is ~10⁻⁶ of the data range, statistically inert.
+		values = append(values, stats.QuantileSorted(ref, pct)+(cfg.Rng.Float64()-0.5)*jscale)
+	}
+	return values, pctSum
 }
 
 // Run plays the scalar collection game: each round the collector sets a
@@ -116,43 +166,57 @@ func Run(cfg Config) (*Result, error) {
 	baselineQ := quality(cleanBatch(cfg), ref)
 
 	res := &Result{}
-	poisonCount := int(math.Round(cfg.AttackRatio * float64(cfg.Batch)))
+	poisonCount := cfg.poisonPerRound()
 	jscale := jitterScale(ref)
+
+	roundLen := cfg.Batch + poisonCount
+	if !cfg.ExactQuantiles {
+		var err error
+		if res.Received, err = summary.New(cfg.SummaryEpsilon, cfg.Rounds*roundLen); err != nil {
+			return nil, err
+		}
+	}
 
 	for r := 1; r <= cfg.Rounds; r++ {
 		thresholdPct := cfg.Collector.Threshold(r, res.Board.collectorView())
 		inject := cfg.Adversary.Injection(r, res.Board.adversaryView())
 
-		// Honest arrivals.
-		values := make([]float64, 0, cfg.Batch+poisonCount)
-		for i := 0; i < cfg.Batch; i++ {
-			values = append(values, cfg.Honest(cfg.Rng))
-		}
-		// Poison arrivals at reference percentiles.
-		var pctSum float64
-		poisonStart := len(values)
-		for i := 0; i < poisonCount; i++ {
-			pct := inject(cfg.Rng)
-			pctSum += pct
-			// Tie-breaking jitter: identical colluding values would sit in
-			// one degenerate quantile atom (and be trivially detectable);
-			// the jitter is ~10⁻⁶ of the data range, statistically inert.
-			values = append(values, stats.QuantileSorted(ref, pct)+(cfg.Rng.Float64()-0.5)*jscale)
+		values, pctSum := drawArrivals(&cfg, inject, ref, jscale, poisonCount)
+		poisonStart := cfg.Batch
+
+		// One pass builds the round summary; every per-round quantile and
+		// rank question below resolves against it instead of re-sorting.
+		var roundSum *summary.Stream
+		if !cfg.ExactQuantiles {
+			var err error
+			if roundSum, err = summary.New(cfg.SummaryEpsilon, roundLen); err != nil {
+				return nil, err
+			}
+			for _, v := range values {
+				roundSum.Push(v)
+			}
 		}
 
 		// Resolve the threshold percentile to a value (see TrimOnBatch).
 		var thresholdValue float64
-		if cfg.TrimOnBatch {
-			thresholdValue = stats.Quantile(values, thresholdPct)
-		} else {
+		switch {
+		case !cfg.TrimOnBatch:
 			thresholdValue = stats.QuantileSorted(ref, thresholdPct)
+		case roundSum != nil:
+			thresholdValue = roundSum.Query(thresholdPct)
+		default:
+			thresholdValue = stats.Quantile(values, thresholdPct)
 		}
 		rec := RoundRecord{
 			Round:           r,
 			ThresholdPct:    thresholdPct,
 			ThresholdValue:  thresholdValue,
-			Quality:         quality(values, ref),
 			BaselineQuality: baselineQ,
+		}
+		if cfg.Quality == nil && roundSum != nil {
+			rec.Quality = ExcessMassQualitySummary(roundSum.Snapshot(), ref)
+		} else {
+			rec.Quality = quality(values, ref)
 		}
 		if poisonCount > 0 {
 			rec.MeanInjectionPct = pctSum / float64(poisonCount)
@@ -175,6 +239,9 @@ func Run(cfg Config) (*Result, error) {
 			if kept && cfg.KeepValues {
 				res.KeptValues = append(res.KeptValues, v)
 			}
+		}
+		if res.Received != nil {
+			res.Received.AbsorbStream(roundSum)
 		}
 		res.Board.Post(rec)
 		if cfg.OnRound != nil {

@@ -1,0 +1,199 @@
+package collect
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/stats"
+	"repro/internal/stats/summary"
+)
+
+// ShardedConfig parameterizes a sharded scalar collection game: the same
+// game as Run, but each round's arrivals are fanned across Shards parallel
+// workers. Each worker builds an ε-approximate summary of its slice of the
+// stream; the coordinator merges the shard summaries (ε_merge = max ε_i) to
+// resolve the threshold and the quality score, then the workers classify
+// their slices against the shared threshold. No worker ever sees another
+// worker's values and the coordinator never sees raw values at all — the
+// concrete scale-out shape for a collector serving arrivals too heavy for
+// one machine. See DESIGN.md §5.
+type ShardedConfig struct {
+	Config
+
+	// Shards is the number of parallel workers; GOMAXPROCS when 0. Note
+	// that the shard count shapes the merged summary's entries, so results
+	// are reproducible given (seed, Shards) — pin Shards explicitly for
+	// cross-machine reproducibility; 0 ties the ε-level details of each
+	// run to the machine's core count.
+	Shards int
+}
+
+func (c *ShardedConfig) validate() error {
+	if c.Shards < 0 {
+		return fmt.Errorf("collect: shards = %d", c.Shards)
+	}
+	if c.ExactQuantiles {
+		return fmt.Errorf("collect: sharded collection requires summaries (ExactQuantiles must be false)")
+	}
+	return c.Config.validate()
+}
+
+// RunSharded plays the scalar collection game with per-round sharded
+// summary building. Arrival generation stays on the coordinator (it owns
+// the single RNG, so a run is reproducible given the seed and the shard
+// count); summary construction and trim classification run on the shard
+// workers.
+func RunSharded(cfg ShardedConfig) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	shards := cfg.Shards
+	if shards == 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	cfg.Collector.Reset()
+	cfg.Adversary.Reset()
+	ref := sortedCopy(cfg.Reference)
+
+	// The baseline quality is scored the same way rounds are: from a
+	// summary of one clean batch (or the caller's slice standard when one
+	// is provided — the coordinator generated the values, so it can still
+	// run it; only the shard workers are value-blind).
+	baseline := cleanBatch(cfg.Config)
+	var baselineQ float64
+	if cfg.Quality != nil {
+		baselineQ = cfg.Quality(baseline, ref)
+	} else {
+		baselineQ = ExcessMassQuality(baseline, ref)
+	}
+
+	poisonCount := cfg.poisonPerRound()
+	jscale := jitterScale(ref)
+	roundLen := cfg.Batch + poisonCount
+
+	res := &Result{}
+	var err error
+	if res.Received, err = summary.New(cfg.SummaryEpsilon, cfg.Rounds*roundLen); err != nil {
+		return nil, err
+	}
+
+	type shardOut struct {
+		sum *summary.Stream
+		rec RoundRecord // per-shard kept/trimmed counts
+	}
+	outs := make([]shardOut, shards)
+
+	for r := 1; r <= cfg.Rounds; r++ {
+		thresholdPct := cfg.Collector.Threshold(r, res.Board.collectorView())
+		inject := cfg.Adversary.Injection(r, res.Board.adversaryView())
+
+		values, pctSum := drawArrivals(&cfg.Config, inject, ref, jscale, poisonCount)
+		poisonStart := cfg.Batch
+
+		// Phase 1: every shard summarizes its contiguous slice of the
+		// round's arrivals in parallel.
+		var wg sync.WaitGroup
+		for s := 0; s < shards; s++ {
+			lo, hi := shardBounds(len(values), shards, s)
+			wg.Add(1)
+			go func(s, lo, hi int) {
+				defer wg.Done()
+				sum, serr := summary.New(cfg.SummaryEpsilon, hi-lo)
+				if serr != nil { // unreachable: epsilon validated above
+					panic(serr)
+				}
+				for _, v := range values[lo:hi] {
+					sum.Push(v)
+				}
+				outs[s] = shardOut{sum: sum}
+			}(s, lo, hi)
+		}
+		wg.Wait()
+
+		// Phase 2: the coordinator merges shard summaries in shard order
+		// (deterministic) and resolves threshold and quality from the
+		// merged summary alone.
+		merged := outs[0].sum.Snapshot().Clone()
+		for s := 1; s < shards; s++ {
+			merged.Merge(outs[s].sum.Snapshot())
+		}
+		var thresholdValue float64
+		if cfg.TrimOnBatch {
+			thresholdValue = merged.Query(thresholdPct)
+		} else {
+			thresholdValue = stats.QuantileSorted(ref, thresholdPct)
+		}
+
+		rec := RoundRecord{
+			Round:           r,
+			ThresholdPct:    thresholdPct,
+			ThresholdValue:  thresholdValue,
+			BaselineQuality: baselineQ,
+		}
+		if cfg.Quality != nil {
+			rec.Quality = cfg.Quality(values, ref)
+		} else {
+			rec.Quality = ExcessMassQualitySummary(merged, ref)
+		}
+		if poisonCount > 0 {
+			rec.MeanInjectionPct = pctSum / float64(poisonCount)
+		} else {
+			rec.MeanInjectionPct = math.NaN()
+		}
+
+		// Phase 3: shards classify their slices against the shared
+		// threshold; the coordinator reduces the counts.
+		for s := 0; s < shards; s++ {
+			lo, hi := shardBounds(len(values), shards, s)
+			wg.Add(1)
+			go func(s, lo, hi int) {
+				defer wg.Done()
+				var part RoundRecord
+				for i := lo; i < hi; i++ {
+					kept := values[i] <= thresholdValue
+					isPoison := i >= poisonStart
+					switch {
+					case kept && isPoison:
+						part.PoisonKept++
+					case kept:
+						part.HonestKept++
+					case isPoison:
+						part.PoisonTrimmed++
+					default:
+						part.HonestTrimmed++
+					}
+				}
+				outs[s].rec = part
+			}(s, lo, hi)
+		}
+		wg.Wait()
+		for s := 0; s < shards; s++ {
+			rec.HonestKept += outs[s].rec.HonestKept
+			rec.HonestTrimmed += outs[s].rec.HonestTrimmed
+			rec.PoisonKept += outs[s].rec.PoisonKept
+			rec.PoisonTrimmed += outs[s].rec.PoisonTrimmed
+		}
+		if cfg.KeepValues {
+			for _, v := range values {
+				if v <= thresholdValue {
+					res.KeptValues = append(res.KeptValues, v)
+				}
+			}
+		}
+		res.Received.Absorb(merged)
+		res.Board.Post(rec)
+		if cfg.OnRound != nil {
+			cfg.OnRound(rec)
+		}
+	}
+	return res, nil
+}
+
+// shardBounds splits n items into near-equal contiguous ranges.
+func shardBounds(n, shards, s int) (lo, hi int) {
+	lo = n * s / shards
+	hi = n * (s + 1) / shards
+	return lo, hi
+}

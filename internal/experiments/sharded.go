@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/collect"
+	"repro/internal/stats"
+	"repro/internal/stats/summary"
+	"repro/internal/trim"
+)
+
+// ShardedRow is one shard-count's outcome in the scale-out study.
+type ShardedRow struct {
+	Shards int
+	// Millis is the wall time of the full game at this shard count.
+	Millis float64
+	// MaxRankDelta is the largest per-round difference, in reference-rank
+	// space, between this run's resolved threshold and the unsharded run's
+	// — the observable cost of merging shard summaries instead of
+	// summarizing centrally. Bounded by the summary ε budget.
+	MaxRankDelta    float64
+	PoisonRetention float64
+	HonestLoss      float64
+}
+
+// ShardedResult is the sharded-collection scaling study: the same
+// heavy-batch scalar game run unsharded and at increasing shard counts.
+// It is not a paper experiment — it is the reproduction's first scale-out
+// measurement, demonstrating that per-shard summary building plus an
+// ε-lossless merge leaves the game's outcomes unchanged while the
+// per-round summarization parallelizes.
+type ShardedResult struct {
+	Rounds      int
+	Batch       int
+	AttackRatio float64
+	Epsilon     float64
+	Rows        []ShardedRow
+}
+
+// Sharded runs the scaling study. The per-round batch is inflated well past
+// the paper's (threshold resolution only starts to matter at collection
+// scale); shard counts double up from 1.
+func Sharded(sc Scale, shardCounts []int) (*ShardedResult, error) {
+	const attackRatio = 0.2
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1, 2, 4, 8}
+	}
+	batch := sc.Batch * 100 // collection scale, not paper scale
+	rounds := sc.Rounds
+
+	ref := stats.NormalSlice(stats.NewRand(sc.Seed), 5000, 0, 1)
+	honest, err := collect.PoolSampler(ref)
+	if err != nil {
+		return nil, err
+	}
+	refSorted := append([]float64(nil), ref...)
+	sort.Float64s(refSorted)
+
+	res := &ShardedResult{
+		Rounds: rounds, Batch: batch, AttackRatio: attackRatio,
+		Epsilon: summary.DefaultEpsilon,
+	}
+
+	run := func(shards int) (*collect.Result, float64, error) {
+		static, err := trim.NewStatic("s", 0.9)
+		if err != nil {
+			return nil, 0, err
+		}
+		adv, err := attack.NewPoint("p", 0.99)
+		if err != nil {
+			return nil, 0, err
+		}
+		cfg := collect.ShardedConfig{
+			Config: collect.Config{
+				Rounds: rounds, Batch: batch, AttackRatio: attackRatio,
+				Reference: ref, Honest: honest,
+				Collector: static, Adversary: adv,
+				TrimOnBatch: true,
+				Rng:         stats.NewRand(sc.Seed + 1),
+			},
+			Shards: shards,
+		}
+		start := time.Now()
+		out, err := collect.RunSharded(cfg)
+		return out, float64(time.Since(start).Microseconds()) / 1000, err
+	}
+
+	baseline, baseMillis, err := run(1)
+	if err != nil {
+		return nil, err
+	}
+	for _, shards := range shardCounts {
+		out, millis := baseline, baseMillis
+		if shards != 1 {
+			if out, millis, err = run(shards); err != nil {
+				return nil, err
+			}
+		}
+		var maxDelta float64
+		for i, rec := range out.Board.Records {
+			ra := stats.PercentileRankSorted(refSorted, rec.ThresholdValue)
+			rb := stats.PercentileRankSorted(refSorted, baseline.Board.Records[i].ThresholdValue)
+			if d := ra - rb; d > maxDelta {
+				maxDelta = d
+			} else if -d > maxDelta {
+				maxDelta = -d
+			}
+		}
+		res.Rows = append(res.Rows, ShardedRow{
+			Shards:          shards,
+			Millis:          millis,
+			MaxRankDelta:    maxDelta,
+			PoisonRetention: out.Board.PoisonRetention(),
+			HonestLoss:      out.Board.HonestLoss(),
+		})
+	}
+	return res, nil
+}
+
+// Print emits the study.
+func (r *ShardedResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Sharded collection scaling (batch %d, %d rounds, ratio %.2g)\n",
+		r.Batch, r.Rounds, r.AttackRatio)
+	fmt.Fprintf(w, "%-8s %-10s %-18s %-16s %-12s\n",
+		"shards", "millis", "max rank delta", "poison retained", "honest lost")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-8d %-10.1f %-18.5f %-16.5f %-12.5f\n",
+			row.Shards, row.Millis, row.MaxRankDelta, row.PoisonRetention, row.HonestLoss)
+	}
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSharded(t *testing.T) {
+	sc := Quick
+	sc.Rounds = 4
+	sc.Batch = 50 // ×100 inside: 5000 per round
+	res, err := Sharded(sc, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.PoisonRetention < 0 || row.PoisonRetention > 1 {
+			t.Errorf("shards=%d retention = %v", row.Shards, row.PoisonRetention)
+		}
+		if row.HonestLoss < 0 || row.HonestLoss > 1 {
+			t.Errorf("shards=%d loss = %v", row.Shards, row.HonestLoss)
+		}
+		// The study's point: sharding must not move the resolved threshold
+		// beyond the summary error budget (generous 3ε for merge + shard
+		// granularity).
+		if row.MaxRankDelta > 0.05 {
+			t.Errorf("shards=%d max rank delta = %v", row.Shards, row.MaxRankDelta)
+		}
+	}
+	if res.Rows[0].Shards != 1 || res.Rows[0].MaxRankDelta != 0 {
+		t.Errorf("baseline row wrong: %+v", res.Rows[0])
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "shards") {
+		t.Error("Print output incomplete")
+	}
+}

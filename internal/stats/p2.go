@@ -13,7 +13,10 @@ import (
 //
 // It is an ablation alternative to exact sorting (see DESIGN.md §5): exact
 // percentiles cost O(n log n) per round while P² is O(1) amortized per
-// observation at the price of a small bias that the tests bound.
+// observation at the price of a small bias that the tests bound. Unlike the
+// mergeable summaries of internal/stats/summary (the system default), a P²
+// instance tracks a single fixed quantile and cannot be merged across
+// shards.
 type P2Quantile struct {
 	q     float64    // target quantile in (0,1)
 	n     int        // observations seen

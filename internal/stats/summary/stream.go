@@ -1,0 +1,255 @@
+package summary
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DefaultEpsilon is the rank-error budget used when a caller passes 0.
+const DefaultEpsilon = 0.005
+
+// defaultHint is the stream length assumed when a caller passes no size
+// hint. Exceeding the hint degrades the guarantee gracefully (one extra
+// 1/blockSize of error per extra doubling) rather than failing.
+const defaultHint = 1 << 21
+
+// Stream is an unbounded ε-approximate quantile sketch: values are pushed
+// one at a time (optionally weighted), buffered in blocks, and folded into
+// a binary counter of summaries — level l holds a summary of 2^l blocks
+// that has been compressed at most l+1 times, so the total rank error stays
+// ≤ maxLevels/blockSize ≤ ε while memory stays O(maxLevels·blockSize) =
+// O(log(εn)/ε) regardless of stream length.
+//
+// Queries are served from a cached merged snapshot of all levels plus the
+// current partial buffer, so interleaving Push and Query costs one merge
+// per round at worst — the per-round pattern of the collection game.
+type Stream struct {
+	eps       float64
+	blockSize int
+	// The buffer holds raw pushes as parallel slices; bufW is nil until the
+	// first non-unit weight arrives, which keeps the hot unweighted path on
+	// sort.Float64s instead of an interface-based sort.
+	bufV   []float64
+	bufW   []float64
+	levels []*Summary // levels[l] == nil when the slot is empty
+
+	count    int // observations pushed (unweighted count)
+	min, max float64
+
+	cache *Summary // merged snapshot; invalidated by Push/Absorb
+}
+
+// New returns a Stream with rank-error budget eps (DefaultEpsilon when 0)
+// sized for about hint elements (defaultHint when ≤ 0).
+func New(eps float64, hint int) (*Stream, error) {
+	if eps == 0 {
+		eps = DefaultEpsilon
+	}
+	if eps < 0 || eps >= 1 {
+		return nil, fmt.Errorf("summary: epsilon %v outside (0, 1)", eps)
+	}
+	if hint <= 0 {
+		hint = defaultHint
+	}
+	// Jointly solve for the level count and block size: a summary at level
+	// l has been compressed at most l times (one per carry), so
+	// blockSize ≥ (maxLevels+1)/eps keeps the total error strictly below
+	// eps with one level of headroom for hint overshoot.
+	blockSize := int(math.Ceil(2 / eps))
+	for maxLevels := 1; (1<<uint(maxLevels))*blockSize < hint; maxLevels++ {
+		blockSize = int(math.Ceil(float64(maxLevels+2)/eps)) + 1
+	}
+	return &Stream{
+		eps:       eps,
+		blockSize: blockSize,
+		bufV:      make([]float64, 0, blockSize),
+		min:       math.Inf(1),
+		max:       math.Inf(-1),
+	}, nil
+}
+
+// Epsilon returns the configured rank-error budget.
+func (st *Stream) Epsilon() float64 { return st.eps }
+
+// Push absorbs one observation with weight 1.
+func (st *Stream) Push(v float64) { st.PushWeighted(v, 1) }
+
+// PushWeighted absorbs one observation with the given positive weight.
+func (st *Stream) PushWeighted(v, w float64) {
+	if w <= 0 || math.IsNaN(v) {
+		return
+	}
+	st.cache = nil
+	st.count++
+	if v < st.min {
+		st.min = v
+	}
+	if v > st.max {
+		st.max = v
+	}
+	if w != 1 && st.bufW == nil {
+		st.bufW = make([]float64, len(st.bufV), cap(st.bufV))
+		for i := range st.bufW {
+			st.bufW[i] = 1
+		}
+	}
+	st.bufV = append(st.bufV, v)
+	if st.bufW != nil {
+		st.bufW = append(st.bufW, w)
+	}
+	if len(st.bufV) >= st.blockSize {
+		st.flush()
+	}
+}
+
+// flush converts the buffer into an exact block summary and carries it
+// through the level counter, compressing once per occupied level passed.
+func (st *Stream) flush() {
+	if len(st.bufV) == 0 {
+		return
+	}
+	if st.bufW == nil {
+		sort.Float64s(st.bufV)
+	} else {
+		sort.Sort(&byValue{st.bufV, st.bufW})
+	}
+	s := FromSorted(st.bufV, st.bufW)
+	st.bufV = st.bufV[:0]
+	if st.bufW != nil {
+		st.bufW = st.bufW[:0]
+	}
+	st.carry(s)
+}
+
+// carry propagates a summary up the binary counter.
+func (st *Stream) carry(s *Summary) {
+	for l := 0; ; l++ {
+		if l == len(st.levels) {
+			st.levels = append(st.levels, nil)
+		}
+		if st.levels[l] == nil {
+			st.levels[l] = s
+			return
+		}
+		s.Merge(st.levels[l])
+		s.Compress(st.blockSize)
+		st.levels[l] = nil
+	}
+}
+
+// Absorb merges another summary into the stream — the scale-out primitive:
+// per-shard summaries produced elsewhere are absorbed by a coordinator
+// stream. The absorbed summary is carried through the levels like a block,
+// so the coordinator's error stays ≤ max(ε_self, ε_other) + ε_self.
+func (st *Stream) Absorb(s *Summary) {
+	if s == nil || s.Size() == 0 {
+		return
+	}
+	st.cache = nil
+	// A summary does not carry its observation count, only its weight; for
+	// unit-weight streams the two coincide, and weight is the honest
+	// estimate otherwise. AbsorbStream overrides with the true count.
+	st.count += int(math.Round(s.TotalWeight()))
+	first, last := s.entries[0], s.entries[len(s.entries)-1]
+	if first.Value < st.min {
+		st.min = first.Value
+	}
+	if last.Value > st.max {
+		st.max = last.Value
+	}
+	c := s.Clone()
+	c.Compress(st.blockSize)
+	st.carry(c)
+}
+
+// AbsorbStream absorbs a whole other stream (its current snapshot).
+func (st *Stream) AbsorbStream(other *Stream) {
+	if other == nil {
+		return
+	}
+	n := st.count
+	st.Absorb(other.Snapshot())
+	st.count = n + other.count // prefer the true observation count
+	if other.count > 0 {
+		if other.min < st.min {
+			st.min = other.min
+		}
+		if other.max > st.max {
+			st.max = other.max
+		}
+	}
+}
+
+// Snapshot returns the merged summary of everything pushed so far. The
+// result is cached until the next Push/Absorb; callers must not mutate it
+// (Clone first).
+func (st *Stream) Snapshot() *Summary {
+	if st.cache != nil {
+		return st.cache
+	}
+	merged := &Summary{}
+	if len(st.bufV) > 0 {
+		vals := append([]float64(nil), st.bufV...)
+		if st.bufW == nil {
+			sort.Float64s(vals)
+			merged = FromSorted(vals, nil)
+		} else {
+			wts := append([]float64(nil), st.bufW...)
+			sort.Sort(&byValue{vals, wts})
+			merged = FromSorted(vals, wts)
+		}
+	}
+	for _, lv := range st.levels {
+		if lv != nil {
+			merged.Merge(lv)
+		}
+	}
+	st.cache = merged
+	return merged
+}
+
+// Query returns the ε-approximate q-th quantile of the stream.
+func (st *Stream) Query(q float64) float64 { return st.Snapshot().Query(q) }
+
+// Rank returns the ε-approximate empirical CDF of the stream at v.
+func (st *Stream) Rank(v float64) float64 { return st.Snapshot().Rank(v) }
+
+// Median is Query(0.5).
+func (st *Stream) Median() float64 { return st.Query(0.5) }
+
+// Count returns the number of observations pushed.
+func (st *Stream) Count() int { return st.count }
+
+// TotalWeight returns the summarized total weight.
+func (st *Stream) TotalWeight() float64 { return st.Snapshot().TotalWeight() }
+
+// Min returns the exact minimum pushed value (+Inf when empty).
+func (st *Stream) Min() float64 { return st.min }
+
+// Max returns the exact maximum pushed value (−Inf when empty).
+func (st *Stream) Max() float64 { return st.max }
+
+// Reset empties the stream, keeping its configuration.
+func (st *Stream) Reset() {
+	st.bufV = st.bufV[:0]
+	st.bufW = nil
+	st.levels = st.levels[:0]
+	st.count = 0
+	st.min = math.Inf(1)
+	st.max = math.Inf(-1)
+	st.cache = nil
+}
+
+// byValue sorts a parallel (values, weights) pair by value.
+type byValue struct {
+	v []float64
+	w []float64
+}
+
+func (s *byValue) Len() int           { return len(s.v) }
+func (s *byValue) Less(i, j int) bool { return s.v[i] < s.v[j] }
+func (s *byValue) Swap(i, j int) {
+	s.v[i], s.v[j] = s.v[j], s.v[i]
+	s.w[i], s.w[j] = s.w[j], s.w[i]
+}

@@ -1,0 +1,298 @@
+// Package summary implements ε-approximate, mergeable weighted quantile
+// summaries in the Greenwald–Khanna (SIGMOD 2001) compress-merge family, in
+// the weighted formulation used by XGBoost (KDD 2016, appendix). A summary
+// is a short sorted list of entries {value, weight, minRank, maxRank} whose
+// rank intervals bracket the true cumulative weight of the underlying
+// stream; quantile and rank queries resolve against the intervals in
+// O(log size) without ever re-sorting the data.
+//
+// The two operations that make the structure a subsystem rather than a
+// one-shot sketch:
+//
+//   - Merge: combines summaries of disjoint streams without losing
+//     precision — ε_merged = max(ε₁, ε₂). This is what allows sharded
+//     collection (per-worker summaries merged by the coordinator) and the
+//     per-game incremental summaries in internal/collect.
+//   - Compress(b): prunes a summary to ≈ b+1 entries at the cost of an
+//     additional 1/b rank error — ε_compressed = ε + 1/b.
+//
+// Stream wraps the two in the classic multi-level compress-merge scheme so
+// that an unbounded Push stream keeps a configured error budget; Vector
+// maintains one Stream per coordinate for streaming coordinate-wise
+// medians. See DESIGN.md §5 for the exact-vs-P²-vs-summary trade-offs.
+package summary
+
+import (
+	"math"
+	"sort"
+)
+
+// Entry is one compressed point of a summary. MinRank and MaxRank bound the
+// cumulative weight of the stream at Value: the total weight of elements
+// strictly below Value lies in [MinRank, MaxRank−Weight], and the weight of
+// elements ≤ Value lies in [MinRank+Weight, MaxRank].
+type Entry struct {
+	Value   float64
+	Weight  float64
+	MinRank float64
+	MaxRank float64
+}
+
+// prevMaxRank upper-bounds the cumulative weight strictly below this entry.
+func (e Entry) prevMaxRank() float64 { return e.MaxRank - e.Weight }
+
+// nextMinRank lower-bounds the cumulative weight up to and including this
+// entry.
+func (e Entry) nextMinRank() float64 { return e.MinRank + e.Weight }
+
+func (e Entry) midRank() float64 { return (e.MinRank + e.MaxRank) / 2 }
+
+// Summary is an ε-approximate quantile summary: entries sorted by value
+// with consistent rank intervals. The zero value is an empty summary.
+type Summary struct {
+	entries []Entry
+}
+
+// FromSorted builds an exact summary (ε = 0) from values sorted ascending,
+// each carrying the paired weight (all 1 when weights is nil). Duplicate
+// values are combined into one entry.
+func FromSorted(values, weights []float64) *Summary {
+	s := &Summary{entries: make([]Entry, 0, len(values))}
+	cum := 0.0
+	for i, v := range values {
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		if n := len(s.entries); n > 0 && s.entries[n-1].Value == v {
+			s.entries[n-1].Weight += w
+			s.entries[n-1].MaxRank += w
+			cum += w
+			continue
+		}
+		s.entries = append(s.entries, Entry{Value: v, Weight: w, MinRank: cum, MaxRank: cum + w})
+		cum += w
+	}
+	return s
+}
+
+// FromUnsorted sorts a copy of values and builds an exact summary.
+func FromUnsorted(values []float64) *Summary {
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	return FromSorted(sorted, nil)
+}
+
+// Clone returns a deep copy.
+func (s *Summary) Clone() *Summary {
+	return &Summary{entries: append([]Entry(nil), s.entries...)}
+}
+
+// Size returns the number of entries.
+func (s *Summary) Size() int { return len(s.entries) }
+
+// Entries exposes the underlying entries (read-only by convention).
+func (s *Summary) Entries() []Entry { return s.entries }
+
+// TotalWeight returns the total weight of the summarized stream.
+func (s *Summary) TotalWeight() float64 {
+	if len(s.entries) == 0 {
+		return 0
+	}
+	return s.entries[len(s.entries)-1].MaxRank
+}
+
+// Merge folds other into s, so that s summarizes the union of the two
+// disjoint streams. The merged error is max(ε_s, ε_other): merging is
+// lossless in the GK sense, which is what makes per-shard summaries
+// combinable by a coordinator. Runs in O(|s| + |other|).
+func (s *Summary) Merge(other *Summary) {
+	if other == nil || len(other.entries) == 0 {
+		return
+	}
+	if len(s.entries) == 0 {
+		s.entries = append([]Entry(nil), other.entries...)
+		return
+	}
+	a, b := s.entries, other.entries
+	merged := make([]Entry, 0, len(a)+len(b))
+	// aLow/bLow lower-bound the cumulative weight consumed so far from each
+	// side; the upper bound for an emitted entry comes from the first
+	// not-yet-consumed entry on the opposite side (prevMaxRank), or the
+	// opposite side's total weight once it is exhausted.
+	var aLow, bLow float64
+	aTotal, bTotal := s.TotalWeight(), other.TotalWeight()
+	var i, j int
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Value < b[j].Value:
+			merged = append(merged, Entry{
+				Value:   a[i].Value,
+				Weight:  a[i].Weight,
+				MinRank: a[i].MinRank + bLow,
+				MaxRank: a[i].MaxRank + b[j].prevMaxRank(),
+			})
+			aLow = a[i].nextMinRank()
+			i++
+		case b[j].Value < a[i].Value:
+			merged = append(merged, Entry{
+				Value:   b[j].Value,
+				Weight:  b[j].Weight,
+				MinRank: b[j].MinRank + aLow,
+				MaxRank: b[j].MaxRank + a[i].prevMaxRank(),
+			})
+			bLow = b[j].nextMinRank()
+			j++
+		default: // equal values collapse into one entry with summed ranks
+			merged = append(merged, Entry{
+				Value:   a[i].Value,
+				Weight:  a[i].Weight + b[j].Weight,
+				MinRank: a[i].MinRank + b[j].MinRank,
+				MaxRank: a[i].MaxRank + b[j].MaxRank,
+			})
+			aLow = a[i].nextMinRank()
+			bLow = b[j].nextMinRank()
+			i++
+			j++
+		}
+	}
+	for ; i < len(a); i++ {
+		merged = append(merged, Entry{
+			Value:   a[i].Value,
+			Weight:  a[i].Weight,
+			MinRank: a[i].MinRank + bLow,
+			MaxRank: a[i].MaxRank + bTotal,
+		})
+	}
+	for ; j < len(b); j++ {
+		merged = append(merged, Entry{
+			Value:   b[j].Value,
+			Weight:  b[j].Weight,
+			MinRank: b[j].MinRank + aLow,
+			MaxRank: b[j].MaxRank + aTotal,
+		})
+	}
+	s.entries = merged
+}
+
+// Compress prunes the summary to at most b+1 entries by keeping the
+// extremes and the entries nearest the b−1 interior rank grid points
+// k·W/b. The pruned summary's error grows by at most 1/b:
+// ε_compressed = ε + 1/b.
+func (s *Summary) Compress(b int) {
+	if b < 2 {
+		b = 2
+	}
+	n := len(s.entries)
+	if n <= b+1 {
+		return
+	}
+	// One linear pass: for each interior grid point k·W/b pick the entry
+	// whose rank midpoint is nearest, writing survivors in place. Both
+	// the grid targets and the midpoints are nondecreasing, so the read
+	// cursor never backs up.
+	w := s.TotalWeight()
+	wi, lastIdx := 1, 0
+	i := 1
+	for k := 1; k < b && i < n-1; k++ {
+		target := float64(k) * w / float64(b)
+		for i < n-1 && s.entries[i].midRank() < target {
+			i++
+		}
+		if i >= n-1 {
+			break
+		}
+		j := i
+		if target-s.entries[j-1].midRank() <= s.entries[j].midRank()-target {
+			j--
+		}
+		if j > lastIdx {
+			s.entries[wi] = s.entries[j]
+			wi++
+			lastIdx = j
+		}
+	}
+	s.entries[wi] = s.entries[n-1]
+	s.entries = s.entries[:wi+1]
+}
+
+// selectIdx returns the index of the entry whose rank interval midpoint is
+// closest to target.
+func (s *Summary) selectIdx(target float64) int {
+	// Midpoints are nondecreasing: binary search the first ≥ target, then
+	// compare with its predecessor.
+	i := sort.Search(len(s.entries), func(i int) bool {
+		return s.entries[i].midRank() >= target
+	})
+	if i == len(s.entries) {
+		return i - 1
+	}
+	if i > 0 && target-s.entries[i-1].midRank() <= s.entries[i].midRank()-target {
+		return i - 1
+	}
+	return i
+}
+
+// Query returns a value whose rank is within ε·W of q·W — the ε-approximate
+// q-th quantile (q clamped to [0,1]). NaN on an empty summary.
+func (s *Summary) Query(q float64) float64 {
+	if len(s.entries) == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	return s.entries[s.selectIdx(q*s.TotalWeight())].Value
+}
+
+// Rank estimates the fraction of the stream's weight that is ≤ v, the
+// empirical CDF at v, within ε. NaN on an empty summary.
+func (s *Summary) Rank(v float64) float64 {
+	if len(s.entries) == 0 {
+		return math.NaN()
+	}
+	w := s.TotalWeight()
+	// Last entry with Value ≤ v.
+	i := sort.Search(len(s.entries), func(i int) bool {
+		return s.entries[i].Value > v
+	}) - 1
+	if i < 0 {
+		return 0
+	}
+	if i == len(s.entries)-1 {
+		return 1
+	}
+	lower := s.entries[i].nextMinRank()
+	upper := s.entries[i+1].prevMaxRank()
+	r := (lower + upper) / 2 / w
+	if r < 0 {
+		return 0
+	}
+	if r > 1 {
+		return 1
+	}
+	return r
+}
+
+// ApproxError returns the summary's rank-uncertainty bound as a fraction of
+// total weight: the largest rank gap a query can fall into. A fresh exact
+// summary reports 0; Compress(b) grows it by at most 1/b and Merge by
+// nothing beyond max of the inputs.
+func (s *Summary) ApproxError() float64 {
+	if len(s.entries) == 0 {
+		return 0
+	}
+	var maxGap float64
+	for i := 1; i < len(s.entries); i++ {
+		e := s.entries[i]
+		if g := e.MaxRank - e.MinRank - e.Weight; g > maxGap {
+			maxGap = g
+		}
+		if g := e.prevMaxRank() - s.entries[i-1].nextMinRank(); g > maxGap {
+			maxGap = g
+		}
+	}
+	return maxGap / s.TotalWeight()
+}

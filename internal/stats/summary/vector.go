@@ -1,0 +1,70 @@
+package summary
+
+import "fmt"
+
+// Vector maintains one quantile Stream per coordinate of a row stream. It
+// replaces the "retain every accepted row, re-sort every coordinate each
+// round" pattern for coordinate-wise medians (the collector's robust center
+// in internal/collect) with O(dim · log(εn)/ε) memory and O(dim) amortized
+// work per accepted row.
+type Vector struct {
+	dims []*Stream
+}
+
+// NewVector returns a Vector of dim coordinate streams with rank-error
+// budget eps (DefaultEpsilon when 0), each sized for about hint rows.
+func NewVector(dim int, eps float64, hint int) (*Vector, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("summary: vector dim %d", dim)
+	}
+	v := &Vector{dims: make([]*Stream, dim)}
+	for i := range v.dims {
+		st, err := New(eps, hint)
+		if err != nil {
+			return nil, err
+		}
+		v.dims[i] = st
+	}
+	return v, nil
+}
+
+// Dim returns the number of coordinates.
+func (v *Vector) Dim() int { return len(v.dims) }
+
+// Count returns the number of rows pushed.
+func (v *Vector) Count() int {
+	if len(v.dims) == 0 {
+		return 0
+	}
+	return v.dims[0].Count()
+}
+
+// PushRow absorbs one row; its length must equal Dim.
+func (v *Vector) PushRow(row []float64) error {
+	if len(row) != len(v.dims) {
+		return fmt.Errorf("summary: row dim %d, vector dim %d", len(row), len(v.dims))
+	}
+	for i, x := range row {
+		v.dims[i].Push(x)
+	}
+	return nil
+}
+
+// Medians writes the per-coordinate ε-approximate medians into buf (reused
+// when it has the right length) and returns it.
+func (v *Vector) Medians(buf []float64) []float64 {
+	return v.Quantiles(buf, 0.5)
+}
+
+// Quantiles writes the per-coordinate ε-approximate q-th quantiles into buf
+// (reused when it has the right length) and returns it.
+func (v *Vector) Quantiles(buf []float64, q float64) []float64 {
+	out := buf
+	if len(out) != len(v.dims) {
+		out = make([]float64, len(v.dims))
+	}
+	for i, st := range v.dims {
+		out[i] = st.Query(q)
+	}
+	return out
+}
