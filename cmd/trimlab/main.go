@@ -1,27 +1,56 @@
 // Command trimlab runs any of the paper's experiments from the command
-// line and prints the same rows/series the paper reports.
+// line and prints the same rows/series the paper reports, and hosts the
+// distributed collector's processes.
 //
 // Usage:
 //
 //	trimlab -experiment fig4 [-scale quick|bench|paper] [-points N] [-seed S]
+//	trimlab worker -listen :7101
+//	trimlab coordinator -workers host1:7101,host2:7101 [-seed S] [-rounds N] [-batch N]
 //
 // Experiments: table1, table2, table3, table4, fig4, fig5, fig6, fig7,
-// fig8, fig9, variants, blackbox, sharded, all.
+// fig8, fig9, variants, blackbox, sharded, distributed, all.
+//
+// The coordinator/worker subcommands run the scalar collection game as a
+// real multi-process cluster: start one `trimlab worker` per machine (or
+// port), then point a `trimlab coordinator` at their addresses. The
+// coordinator also replays the identical game unsharded on the same seed
+// and verifies the final trim threshold drifted no more than the allowed
+// rank-space bound.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
+	"repro/internal/cluster"
+	"repro/internal/collect"
 	"repro/internal/experiments"
 	"repro/internal/game"
+	"repro/internal/stats"
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "worker":
+			if err := workerMain(os.Args[2:]); err != nil {
+				fatal(err)
+			}
+			return
+		case "coordinator":
+			if err := coordinatorMain(os.Args[2:]); err != nil {
+				fatal(err)
+			}
+			return
+		}
+	}
 	var (
-		exp    = flag.String("experiment", "all", "experiment to run: table1..table4, fig4..fig9, variants, all")
+		exp    = flag.String("experiment", "all", "experiment to run: table1..table4, fig4..fig9, variants, blackbox, sharded, distributed, all")
 		scale  = flag.String("scale", "quick", "effort: quick, bench, or paper")
 		points = flag.Int("points", 3, "attack-ratio points per interval (fig4/fig5)")
 		seed   = flag.Int64("seed", 1, "base RNG seed")
@@ -140,10 +169,18 @@ func main() {
 			res.Print(os.Stdout)
 			return nil
 		},
+		"distributed": func() error {
+			res, err := experiments.Distributed(sc, nil)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			return nil
+		},
 	}
 
 	order := []string{"table1", "table2", "table3", "table4",
-		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "variants", "blackbox", "sharded"}
+		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "variants", "blackbox", "sharded", "distributed"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -197,4 +234,122 @@ func timed(name string, run func() error) error {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "trimlab:", err)
 	os.Exit(1)
+}
+
+// workerMain is the `trimlab worker` subcommand: serve one cluster worker
+// until the coordinator sends the stop directive.
+func workerMain(args []string) error {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	var (
+		listen = fs.String("listen", ":7101", "address to serve the worker RPC on")
+		id     = fs.Int("id", 0, "worker id for log lines (shard order is set by the coordinator's -workers list)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w := cluster.NewWorker(*id)
+	fmt.Printf("trimlab worker %d: serving on %s\n", *id, *listen)
+	if err := cluster.ListenAndServe(*listen, w); err != nil {
+		return err
+	}
+	fmt.Printf("trimlab worker %d: stopped by coordinator\n", *id)
+	return nil
+}
+
+// coordinatorMain is the `trimlab coordinator` subcommand: run the scalar
+// collection game across TCP workers, then verify the final threshold
+// against an unsharded replay of the same seed.
+func coordinatorMain(args []string) error {
+	fs := flag.NewFlagSet("coordinator", flag.ExitOnError)
+	var (
+		workers = fs.String("workers", "", "comma-separated worker addresses (required; order = shard order)")
+		rounds  = fs.Int("rounds", 20, "game rounds")
+		batch   = fs.Int("batch", 20000, "honest arrivals per round")
+		ratio   = fs.Float64("ratio", 0.2, "attack ratio")
+		seed    = fs.Int64("seed", 1, "RNG seed (shared by the cluster run and the unsharded verification run)")
+		eps     = fs.Float64("eps", 0, "summary rank-error budget (0 = package default)")
+		bound   = fs.Float64("bound", 0.05, "allowed final-threshold drift vs the unsharded run, in reference-rank space")
+		wait    = fs.Duration("wait", 10*time.Second, "how long to retry dialing workers")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	addrs := strings.Split(*workers, ",")
+	if *workers == "" || len(addrs) == 0 {
+		return fmt.Errorf("coordinator: -workers is required (e.g. -workers host1:7101,host2:7101)")
+	}
+
+	cfg := func() (collect.Config, error) {
+		ref := stats.NormalSlice(stats.NewRand(*seed), 5000, 0, 1)
+		honest, err := collect.PoolSampler(ref)
+		if err != nil {
+			return collect.Config{}, err
+		}
+		sch, err := experiments.NewScheme(experiments.Baseline09, 0.9, 0.1)
+		if err != nil {
+			return collect.Config{}, err
+		}
+		return collect.Config{
+			Rounds: *rounds, Batch: *batch, AttackRatio: *ratio,
+			Reference: ref, Honest: honest,
+			Collector: sch.Collector, Adversary: sch.Adversary,
+			TrimOnBatch:    true,
+			SummaryEpsilon: *eps,
+			Rng:            stats.NewRand(*seed + 1),
+		}, nil
+	}
+
+	fmt.Printf("trimlab coordinator: dialing %d workers %v\n", len(addrs), addrs)
+	tr, err := cluster.Dial(addrs, *wait)
+	if err != nil {
+		return err
+	}
+	ccfg, err := cfg()
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	clustered, err := collect.RunCluster(collect.ClusterConfig{
+		Config:    ccfg,
+		Transport: tr,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "trimlab coordinator: "+format+"\n", a...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start).Round(time.Millisecond)
+
+	ucfg, err := cfg()
+	if err != nil {
+		return err
+	}
+	unsharded, err := collect.Run(ucfg)
+	if err != nil {
+		return err
+	}
+
+	refSorted := append([]float64(nil), ucfg.Reference...)
+	sort.Float64s(refSorted)
+	last := len(clustered.Board.Records) - 1
+	ct := clustered.Board.Records[last].ThresholdValue
+	ut := unsharded.Board.Records[last].ThresholdValue
+	drift := stats.PercentileRankSorted(refSorted, ct) - stats.PercentileRankSorted(refSorted, ut)
+	if drift < 0 {
+		drift = -drift
+	}
+
+	fmt.Printf("cluster game: %d rounds x batch %d over %d workers in %v (%d shards lost)\n",
+		*rounds, *batch, len(addrs), elapsed, clustered.LostShards)
+	fmt.Printf("  poison retained %.5f, honest lost %.5f, kept mean %.4f, kept p99 %.4f\n",
+		clustered.Board.PoisonRetention(), clustered.Board.HonestLoss(),
+		clustered.KeptMean(), clustered.KeptQuantile(0.99))
+	fmt.Printf("final threshold: cluster %.6f vs unsharded %.6f (rank drift %.5f, bound %.5f)\n",
+		ct, ut, drift, *bound)
+	if drift > *bound {
+		return fmt.Errorf("coordinator: final-threshold drift %.5f exceeds bound %.5f", drift, *bound)
+	}
+	fmt.Println("threshold drift within bound: OK")
+	return nil
 }

@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"math"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func call(t *testing.T, tr Transport, w int, d *wire.Directive) *wire.Report {
+	t.Helper()
+	out, err := tr.Call(w, wire.EncodeDirective(nil, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := wire.DecodeReport(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// One full worker round over the loopback: configure, summarize, classify.
+func TestWorkerRound(t *testing.T) {
+	tr := NewLoopback(1)
+	call(t, tr, 0, &wire.Directive{Op: wire.OpConfigure, Epsilon: 0.01})
+
+	values := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	rep := call(t, tr, 0, &wire.Directive{Op: wire.OpSummarize, Round: 1, Values: values, PoisonFrom: 8})
+	if rep.Count != len(values) || rep.ValueSum != 55 {
+		t.Fatalf("summarize report: count %d sum %v", rep.Count, rep.ValueSum)
+	}
+	if got := rep.Sum.Query(0.5); math.Abs(got-5) > 1.5 {
+		t.Fatalf("median of shard summary = %v", got)
+	}
+
+	rep = call(t, tr, 0, &wire.Directive{Op: wire.OpClassify, Round: 1, Threshold: 8.5})
+	want := wire.Counts{HonestKept: 8, HonestTrimmed: 0, PoisonKept: 0, PoisonTrimmed: 2}
+	// values 9,10 are poison (PoisonFrom 8) and above threshold 8.5.
+	if rep.Counts != want {
+		t.Fatalf("counts %+v, want %+v", rep.Counts, want)
+	}
+	if rep.KeptCount != 8 || rep.KeptSum != 36 {
+		t.Fatalf("kept aggregates: count %d sum %v", rep.KeptCount, rep.KeptSum)
+	}
+}
+
+// The row phase: distances from the shipped center, kept indices, and a
+// vector delta of the accepted rows.
+func TestWorkerRowRound(t *testing.T) {
+	tr := NewLoopback(1)
+	call(t, tr, 0, &wire.Directive{Op: wire.OpConfigure, Epsilon: 0.01})
+
+	rows := [][]float64{{0, 0}, {3, 4}, {6, 8}} // distances 0, 5, 10 from origin
+	rep := call(t, tr, 0, &wire.Directive{
+		Op: wire.OpSummarizeRows, Round: 1,
+		Rows: rows, Center: []float64{0, 0}, PoisonFrom: 2,
+	})
+	if rep.Count != 3 || rep.ValueSum != 15 {
+		t.Fatalf("distance aggregates: count %d sum %v", rep.Count, rep.ValueSum)
+	}
+
+	rep = call(t, tr, 0, &wire.Directive{Op: wire.OpClassify, Round: 1, Threshold: 6})
+	if got, want := rep.Counts, (wire.Counts{HonestKept: 2, PoisonTrimmed: 1}); got != want {
+		t.Fatalf("counts %+v, want %+v", got, want)
+	}
+	if len(rep.KeptIdx) != 2 || rep.KeptIdx[0] != 0 || rep.KeptIdx[1] != 1 {
+		t.Fatalf("kept indices %v", rep.KeptIdx)
+	}
+	if rep.Vec == nil || rep.Vec.Count != 2 || len(rep.Vec.Dims) != 2 {
+		t.Fatalf("vector delta %+v", rep.Vec)
+	}
+	// Kept rows (0,0) and (3,4): coordinate sums 3 and 4.
+	if rep.Vec.Sums[0] != 3 || rep.Vec.Sums[1] != 4 {
+		t.Fatalf("vector sums %v", rep.Vec.Sums)
+	}
+}
+
+// Protocol misuse is an error, not corrupted state.
+func TestWorkerPhaseErrors(t *testing.T) {
+	w := NewWorker(0)
+	if _, err := w.Handle(wire.EncodeDirective(nil, &wire.Directive{Op: wire.OpClassify, Round: 1})); err == nil {
+		t.Fatal("classify before summarize succeeded")
+	}
+	if _, err := w.Handle([]byte("not a directive")); err == nil {
+		t.Fatal("garbage request succeeded")
+	}
+	if _, err := w.Handle(wire.EncodeDirective(nil, &wire.Directive{Op: wire.OpSummarizeRows, Round: 1, Rows: [][]float64{{1}}})); err == nil {
+		t.Fatal("summarize-rows without center succeeded")
+	}
+}
+
+func TestLoopbackFailureInjection(t *testing.T) {
+	tr := NewLoopback(2)
+	tr.Fail(1)
+	if _, err := tr.Call(1, wire.EncodeDirective(nil, &wire.Directive{Op: wire.OpConfigure})); err == nil {
+		t.Fatal("failed worker answered")
+	}
+	if _, err := tr.Call(0, wire.EncodeDirective(nil, &wire.Directive{Op: wire.OpConfigure})); err != nil {
+		t.Fatalf("healthy worker errored: %v", err)
+	}
+	if _, err := tr.Call(7, nil); err == nil {
+		t.Fatal("out-of-range worker answered")
+	}
+}
+
+// TCP transport: a real socket round trip, worker shutdown on OpStop, and
+// dial retry behavior.
+func TestTCPServeAndDial(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorker(0)
+	served := make(chan error, 1)
+	go func() { served <- Serve(ln, w) }()
+
+	tr, err := Dial([]string{ln.Addr().String()}, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := tr.Call(0, wire.EncodeDirective(nil, &wire.Directive{Op: wire.OpConfigure, Epsilon: 0.02}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := wire.DecodeReport(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Epsilon != 0.02 {
+		t.Fatalf("configure ack epsilon %v", rep.Epsilon)
+	}
+	if _, err := tr.Call(0, wire.EncodeDirective(nil, &wire.Directive{Op: wire.OpStop})); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down after OpStop")
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDialUnreachable(t *testing.T) {
+	_, err := Dial([]string{"127.0.0.1:1"}, 50*time.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), "dial worker") {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Dial(nil, time.Second); err == nil {
+		t.Fatal("empty address list accepted")
+	}
+}

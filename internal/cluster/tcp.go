@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"time"
+)
+
+// rpcName is the net/rpc service name workers register under.
+const rpcName = "Worker"
+
+// Service is the net/rpc receiver wrapping a Worker: requests and replies
+// are opaque wire-encoded byte slices, so the RPC layer carries no schema
+// of its own — versioning lives entirely in internal/wire.
+type Service struct {
+	w *Worker
+}
+
+// Call handles one coordinator request.
+func (s *Service) Call(req []byte, resp *[]byte) error {
+	out, err := s.w.Handle(req)
+	if err != nil {
+		return err
+	}
+	*resp = out
+	return nil
+}
+
+// Serve runs a worker on an open listener until the worker is stopped
+// (OpStop) or the listener fails. Each coordinator connection is served on
+// its own goroutine; in practice one coordinator holds one connection.
+func Serve(ln net.Listener, w *Worker) error {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName(rpcName, &Service{w: w}); err != nil {
+		return err
+	}
+	go func() {
+		<-w.Done()
+		ln.Close()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-w.Done():
+				// Give the in-flight stop acknowledgement a moment to be
+				// written before the process exits.
+				time.Sleep(50 * time.Millisecond)
+				return nil
+			default:
+				return err
+			}
+		}
+		go srv.ServeConn(conn)
+	}
+}
+
+// ListenAndServe runs a worker on a TCP address — the body of the
+// `trimlab worker` subcommand.
+func ListenAndServe(addr string, w *Worker) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return Serve(ln, w)
+}
+
+// tcpTransport is the coordinator side: one net/rpc client per worker.
+type tcpTransport struct {
+	clients []*rpc.Client
+}
+
+// Dial connects to worker processes at the given addresses, retrying each
+// for up to wait (workers and coordinator typically start concurrently).
+// Worker index i is addrs[i] — address order is shard order, so the same
+// address list reproduces the same run.
+func Dial(addrs []string, wait time.Duration) (Transport, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("cluster: no worker addresses")
+	}
+	t := &tcpTransport{clients: make([]*rpc.Client, len(addrs))}
+	deadline := time.Now().Add(wait)
+	for i, addr := range addrs {
+		for {
+			c, err := rpc.Dial("tcp", addr)
+			if err == nil {
+				t.clients[i] = c
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Close()
+				return nil, fmt.Errorf("cluster: dial worker %d at %s: %w", i, addr, err)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	return t, nil
+}
+
+// Workers returns the worker count.
+func (t *tcpTransport) Workers() int { return len(t.clients) }
+
+// Call performs one synchronous RPC round trip to worker w.
+func (t *tcpTransport) Call(w int, req []byte) ([]byte, error) {
+	if w < 0 || w >= len(t.clients) || t.clients[w] == nil {
+		return nil, fmt.Errorf("cluster: no worker %d", w)
+	}
+	var resp []byte
+	if err := t.clients[w].Call(rpcName+".Call", req, &resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Close closes every client connection.
+func (t *tcpTransport) Close() error {
+	var first error
+	for _, c := range t.clients {
+		if c == nil {
+			continue
+		}
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

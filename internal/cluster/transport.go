@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Transport delivers one encoded request to a worker and returns its
+// encoded reply — the only primitive the coordinator needs. Workers are
+// addressed by index 0..Workers()-1; that index is the shard index, so a
+// transport's worker order determines the (deterministic) merge order at
+// the coordinator. Call must be safe for concurrent use across distinct
+// worker indices; a Call error means the worker is lost (the coordinator
+// drops the shard and continues, it never retries).
+type Transport interface {
+	Workers() int
+	Call(worker int, req []byte) ([]byte, error)
+	Close() error
+}
+
+// Loopback is the in-process transport: n workers in the same address
+// space, Call dispatching directly to Worker.Handle. Requests still cross
+// the full wire encoding, so loopback runs exercise exactly the bytes a
+// TCP run ships — it is both the deterministic test double and the
+// single-machine fan-out used by `trimlab -experiment distributed`.
+type Loopback struct {
+	workers []*Worker
+
+	mu     sync.Mutex
+	failed map[int]bool
+}
+
+// NewLoopback returns a loopback transport over n fresh workers.
+func NewLoopback(n int) *Loopback {
+	l := &Loopback{workers: make([]*Worker, n), failed: make(map[int]bool)}
+	for i := range l.workers {
+		l.workers[i] = NewWorker(i)
+	}
+	return l
+}
+
+// Workers returns the worker count.
+func (l *Loopback) Workers() int { return len(l.workers) }
+
+// Fail makes every subsequent Call to the given worker return an error —
+// the test hook for the coordinator's drop-and-continue failure handling.
+func (l *Loopback) Fail(worker int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.failed[worker] = true
+}
+
+// Call dispatches to the in-process worker.
+func (l *Loopback) Call(worker int, req []byte) ([]byte, error) {
+	if worker < 0 || worker >= len(l.workers) {
+		return nil, fmt.Errorf("cluster: no worker %d", worker)
+	}
+	l.mu.Lock()
+	dead := l.failed[worker]
+	l.mu.Unlock()
+	if dead {
+		return nil, fmt.Errorf("cluster: worker %d is down (injected failure)", worker)
+	}
+	return l.workers[worker].Handle(req)
+}
+
+// Close is a no-op for the loopback.
+func (l *Loopback) Close() error { return nil }

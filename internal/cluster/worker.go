@@ -1,0 +1,189 @@
+// Package cluster is the process-boundary layer of the collection games: a
+// coordinator/worker protocol in which workers hold one round's shard of
+// arrivals, ship ε-approximate summary deltas back to the coordinator, and
+// classify their shard against the trim threshold the coordinator resolves
+// from the merged summaries. All traffic is internal/wire messages, so the
+// same worker serves the in-process loopback transport (deterministic
+// tests, `trimlab -experiment distributed`) and the TCP/net-rpc transport
+// (`trimlab worker` / `trimlab coordinator`). The game loops themselves
+// live in internal/collect (RunCluster, RunClusterRows, RunClusterLDP);
+// this package knows nothing about strategies, boards or quality standards.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/stats"
+	"repro/internal/stats/summary"
+	"repro/internal/wire"
+)
+
+// Worker executes game shards. It is a request/reply state machine over
+// wire.Directive messages: Configure sets the sketch budget, Summarize (or
+// SummarizeRows) stores the round's shard and returns its summary delta,
+// Classify tallies the stored shard against the threshold and returns
+// counts plus kept-pool deltas, Stop releases the worker. One worker serves
+// one coordinator; Handle is serialized by an internal mutex so transports
+// may deliver from any goroutine.
+type Worker struct {
+	mu  sync.Mutex
+	id  int
+	eps float64
+
+	// Round state, valid between a Summarize and its Classify. held is the
+	// authoritative "a summarize happened" flag — an empty shard slice
+	// decodes to a nil dists, so nil-ness cannot stand in for it.
+	held       bool
+	round      int
+	dists      []float64   // scalar arrivals, or row distances from center
+	rows       [][]float64 // row game only
+	dim        int         // row game only: len(center)
+	poisonFrom int
+
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// NewWorker returns a worker with the given id (its shard index; echoed in
+// every report so the coordinator can merge in deterministic order).
+func NewWorker(id int) *Worker {
+	return &Worker{id: id, done: make(chan struct{})}
+}
+
+// Done is closed when the worker has handled OpStop — the signal for a
+// serving loop to shut down.
+func (w *Worker) Done() <-chan struct{} { return w.done }
+
+// Handle decodes one directive, executes it, and returns the encoded
+// report. Every error is a protocol error (bad bytes, out-of-order phases);
+// the worker's round state is only cleared by a successful Classify or a
+// new Summarize.
+func (w *Worker) Handle(req []byte) ([]byte, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+
+	d, err := wire.DecodeDirective(req)
+	if err != nil {
+		return nil, err
+	}
+	rep := &wire.Report{Round: d.Round, Worker: w.id}
+	switch d.Op {
+	case wire.OpConfigure:
+		w.eps = d.Epsilon
+		rep.Epsilon = w.eps
+
+	case wire.OpSummarize:
+		w.held = true
+		w.round = d.Round
+		w.dists = d.Values
+		w.rows = nil
+		w.dim = 0
+		w.poisonFrom = d.PoisonFrom
+		if err := w.summarize(rep); err != nil {
+			return nil, err
+		}
+
+	case wire.OpSummarizeRows:
+		if len(d.Center) == 0 {
+			return nil, fmt.Errorf("cluster: worker %d: summarize-rows without a center", w.id)
+		}
+		w.held = true
+		w.round = d.Round
+		w.rows = d.Rows
+		w.dim = len(d.Center)
+		w.poisonFrom = d.PoisonFrom
+		w.dists = make([]float64, len(d.Rows))
+		for i, row := range d.Rows {
+			if len(row) != w.dim {
+				return nil, fmt.Errorf("cluster: worker %d: row dim %d, center dim %d", w.id, len(row), w.dim)
+			}
+			w.dists[i] = stats.Euclidean(row, d.Center)
+		}
+		if err := w.summarize(rep); err != nil {
+			return nil, err
+		}
+
+	case wire.OpClassify:
+		if d.Round != w.round || !w.held {
+			return nil, fmt.Errorf("cluster: worker %d: classify round %d without summarize (held round %d)",
+				w.id, d.Round, w.round)
+		}
+		if err := w.classify(d.Threshold, rep); err != nil {
+			return nil, err
+		}
+		w.held, w.dists, w.rows, w.dim = false, nil, nil, 0
+
+	case wire.OpStop:
+		w.stopOnce.Do(func() { close(w.done) })
+
+	default:
+		return nil, fmt.Errorf("cluster: worker %d: unexpected op %d", w.id, d.Op)
+	}
+	return wire.EncodeReport(nil, rep), nil
+}
+
+// summarize builds the shard's summary of the held values. The stream is
+// sized exactly like collect.RunSharded's shard streams (hint = slice
+// length), so a loopback cluster reproduces RunSharded's merged summaries
+// bit for bit.
+func (w *Worker) summarize(rep *wire.Report) error {
+	sum, err := summary.New(w.eps, len(w.dists))
+	if err != nil {
+		return fmt.Errorf("cluster: worker %d: %w", w.id, err)
+	}
+	for _, v := range w.dists {
+		sum.Push(v)
+	}
+	rep.Epsilon = sum.Epsilon()
+	rep.Sum = sum.Snapshot()
+	rep.Count = sum.Count()
+	rep.ValueSum = sum.Sum()
+	return nil
+}
+
+// classify tallies the held shard against the threshold and builds the
+// kept-pool deltas: a kept-value summary (plus exact count/sum) always, and
+// for the row game the kept row indices and the accepted-row vector delta.
+func (w *Worker) classify(threshold float64, rep *wire.Report) error {
+	kept, err := summary.New(w.eps, len(w.dists))
+	if err != nil {
+		return fmt.Errorf("cluster: worker %d: %w", w.id, err)
+	}
+	var vec *summary.Vector
+	if w.rows != nil && w.dim > 0 {
+		if vec, err = summary.NewVector(w.dim, w.eps, len(w.rows)); err != nil {
+			return fmt.Errorf("cluster: worker %d: %w", w.id, err)
+		}
+	}
+	for i, v := range w.dists {
+		keep := v <= threshold
+		poison := i >= w.poisonFrom
+		switch {
+		case keep && poison:
+			rep.Counts.PoisonKept++
+		case keep:
+			rep.Counts.HonestKept++
+		case poison:
+			rep.Counts.PoisonTrimmed++
+		default:
+			rep.Counts.HonestTrimmed++
+		}
+		if !keep {
+			continue
+		}
+		kept.Push(v)
+		if vec != nil {
+			if err := vec.PushRow(w.rows[i]); err != nil {
+				return fmt.Errorf("cluster: worker %d: %w", w.id, err)
+			}
+			rep.KeptIdx = append(rep.KeptIdx, i)
+		}
+	}
+	rep.Epsilon = kept.Epsilon()
+	rep.Kept = kept.Snapshot()
+	rep.KeptCount = kept.Count()
+	rep.KeptSum = kept.Sum()
+	rep.Vec = wire.DeltaFromVector(vec)
+	return nil
+}

@@ -1,0 +1,321 @@
+package collect
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/stats"
+	"repro/internal/stats/summary"
+	"repro/internal/wire"
+)
+
+// ClusterConfig parameterizes a scalar collection game distributed over a
+// cluster.Transport: the same game as RunSharded, but each shard lives
+// behind a transport boundary (in-process loopback or TCP worker
+// processes). Arrival generation stays on the coordinator — it owns the
+// single RNG, so a run is reproducible given (seed, worker count) and, over
+// the loopback with the same worker count, reproduces RunSharded's board
+// record for record. Workers only ever see their slice of each round and
+// the resolved threshold; the coordinator only ever sees wire-encoded
+// summary deltas and counts.
+type ClusterConfig struct {
+	Config
+
+	// Transport connects the coordinator to its workers; its worker order
+	// is the shard order.
+	Transport cluster.Transport
+
+	// Logf receives shard-loss and lifecycle messages (fmt.Printf style);
+	// nil discards them. A worker whose call fails is dropped for the rest
+	// of the game and the game continues on the survivors — its slice of
+	// the round (summaries, counts, kept values) is lost, which shows up as
+	// short per-round tallies for that round.
+	Logf func(format string, args ...any)
+}
+
+// validateTransport is the transport check shared by every cluster game.
+func validateTransport(tr cluster.Transport) error {
+	if tr == nil {
+		return fmt.Errorf("collect: nil cluster transport")
+	}
+	if tr.Workers() < 1 {
+		return fmt.Errorf("collect: cluster transport has no workers")
+	}
+	return nil
+}
+
+func (c *ClusterConfig) validate() error {
+	if err := validateTransport(c.Transport); err != nil {
+		return err
+	}
+	if c.ExactQuantiles {
+		return fmt.Errorf("collect: cluster collection requires summaries (ExactQuantiles must be false)")
+	}
+	return c.Config.validate()
+}
+
+// workerPool tracks the live workers of one game and fans directives out to
+// them. Failures prune the pool (drop-and-continue): the merge order of the
+// survivors stays the transport's worker order, so runs remain
+// deterministic given the failure pattern.
+type workerPool struct {
+	tr    cluster.Transport
+	alive []int
+	lost  int
+	logf  func(format string, args ...any)
+}
+
+func newWorkerPool(tr cluster.Transport, logf func(string, ...any)) *workerPool {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	p := &workerPool{tr: tr, logf: logf}
+	for w := 0; w < tr.Workers(); w++ {
+		p.alive = append(p.alive, w)
+	}
+	return p
+}
+
+// callAll sends dirs[i] to the i-th live worker in parallel and returns the
+// decoded reports of the workers that answered, in shard order. Workers
+// that fail are logged and pruned; an empty pool is an error — the game
+// cannot continue with zero shards.
+func (p *workerPool) callAll(round int, phase string, dirs []*wire.Directive) ([]*wire.Report, error) {
+	reps := make([]*wire.Report, len(p.alive))
+	errs := make([]error, len(p.alive))
+	var wg sync.WaitGroup
+	for i := range p.alive {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out, err := p.tr.Call(p.alive[i], wire.EncodeDirective(nil, dirs[i]))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			reps[i], errs[i] = wire.DecodeReport(out)
+		}(i)
+	}
+	wg.Wait()
+
+	kept := reps[:0]
+	survivors := p.alive[:0]
+	for i, w := range p.alive {
+		if errs[i] != nil {
+			p.lost++
+			p.logf("collect: round %d: dropping worker %d after failed %s (shard lost): %v", round, w, phase, errs[i])
+			continue
+		}
+		// The transport index is authoritative (a TCP worker's self-id is
+		// whatever it was launched with); reports are keyed by it.
+		reps[i].Worker = w
+		kept = append(kept, reps[i])
+		survivors = append(survivors, w)
+	}
+	p.alive = survivors
+	if len(p.alive) == 0 {
+		return nil, fmt.Errorf("collect: all cluster workers lost by round %d", round)
+	}
+	return kept, nil
+}
+
+// configure broadcasts the sketch budget to every worker.
+func (p *workerPool) configure(eps float64) error {
+	dirs := make([]*wire.Directive, len(p.alive))
+	for i := range dirs {
+		dirs[i] = &wire.Directive{Op: wire.OpConfigure, Epsilon: eps}
+	}
+	_, err := p.callAll(0, "configure", dirs)
+	return err
+}
+
+// stop releases the workers (best effort: a worker that already died is
+// already logged) and closes the transport.
+func (p *workerPool) stop() {
+	for _, w := range p.alive {
+		if _, err := p.tr.Call(w, wire.EncodeDirective(nil, &wire.Directive{Op: wire.OpStop})); err != nil {
+			p.logf("collect: stopping worker %d: %v", w, err)
+		}
+	}
+	if err := p.tr.Close(); err != nil {
+		p.logf("collect: closing transport: %v", err)
+	}
+}
+
+// slicePoisonFrom maps the global poison start index onto one shard's
+// [lo, hi) slice: the index within the slice where poison begins (= slice
+// length when the slice is all honest).
+func slicePoisonFrom(poisonStart, lo, hi int) int {
+	pf := poisonStart - lo
+	if pf < 0 {
+		pf = 0
+	}
+	if pf > hi-lo {
+		pf = hi - lo
+	}
+	return pf
+}
+
+// scalarSummarizeDirs partitions a round's scalar arrivals across the live
+// workers and builds the phase-1 directives, returning the [lo, hi) bounds
+// each worker was handed, keyed by worker index (the scalar and LDP games
+// share this; the row game ships rows and a center instead).
+func (p *workerPool) scalarSummarizeDirs(round int, values []float64, poisonStart int) ([]*wire.Directive, map[int][2]int) {
+	dirs := make([]*wire.Directive, len(p.alive))
+	bounds := make(map[int][2]int, len(p.alive))
+	for i, w := range p.alive {
+		lo, hi := shardBounds(len(values), len(p.alive), i)
+		dirs[i] = &wire.Directive{
+			Op: wire.OpSummarize, Round: round,
+			Values:     values[lo:hi],
+			PoisonFrom: slicePoisonFrom(poisonStart, lo, hi),
+		}
+		bounds[w] = [2]int{lo, hi}
+	}
+	return dirs, bounds
+}
+
+// classifyDirs builds the phase-2 threshold broadcast for the live workers.
+func (p *workerPool) classifyDirs(round int, pct, threshold float64) []*wire.Directive {
+	dirs := make([]*wire.Directive, len(p.alive))
+	for i := range dirs {
+		dirs[i] = &wire.Directive{Op: wire.OpClassify, Round: round, Pct: pct, Threshold: threshold}
+	}
+	return dirs
+}
+
+// addCounts folds one shard's classification tallies into a round record.
+func addCounts(rec *RoundRecord, c wire.Counts) {
+	rec.HonestKept += c.HonestKept
+	rec.HonestTrimmed += c.HonestTrimmed
+	rec.PoisonKept += c.PoisonKept
+	rec.PoisonTrimmed += c.PoisonTrimmed
+}
+
+// mergeSummarizeReports folds shard summaries in shard order — the
+// ε-lossless merge (ε_merged = max ε_i) — and accumulates the exact
+// observation count and value sum the reports carry alongside.
+func mergeSummarizeReports(reps []*wire.Report) (merged *summary.Summary, count int, sum float64) {
+	merged = &summary.Summary{}
+	for _, rep := range reps {
+		if rep.Sum == nil {
+			continue
+		}
+		merged.Merge(rep.Sum)
+		count += rep.Count
+		sum += rep.ValueSum
+	}
+	return merged, count, sum
+}
+
+// RunCluster plays the scalar collection game across a worker cluster. See
+// ClusterConfig for the protocol split; per round it is two fan-outs: ship
+// value slices and merge the returned summary deltas, then broadcast the
+// resolved threshold and reduce the returned classification counts and
+// kept-pool deltas.
+func RunCluster(cfg ClusterConfig) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg.Collector.Reset()
+	cfg.Adversary.Reset()
+	ref := sortedCopy(cfg.Reference)
+
+	baseline := cleanBatch(cfg.Config)
+	var baselineQ float64
+	if cfg.Quality != nil {
+		baselineQ = cfg.Quality(baseline, ref)
+	} else {
+		baselineQ = ExcessMassQuality(baseline, ref)
+	}
+
+	poisonCount := cfg.poisonPerRound()
+	jscale := jitterScale(ref)
+	roundLen := cfg.Batch + poisonCount
+
+	res := &Result{}
+	var err error
+	if res.Received, err = summary.New(cfg.SummaryEpsilon, cfg.Rounds*roundLen); err != nil {
+		return nil, err
+	}
+	if res.Kept, err = summary.New(cfg.SummaryEpsilon, cfg.Rounds*roundLen); err != nil {
+		return nil, err
+	}
+
+	pool := newWorkerPool(cfg.Transport, cfg.Logf)
+	defer pool.stop()
+	if err := pool.configure(cfg.SummaryEpsilon); err != nil {
+		return nil, err
+	}
+
+	for r := 1; r <= cfg.Rounds; r++ {
+		thresholdPct := cfg.Collector.Threshold(r, res.Board.collectorView())
+		inject := cfg.Adversary.Injection(r, res.Board.adversaryView())
+
+		values, pctSum := drawArrivals(&cfg.Config, inject, ref, jscale, poisonCount)
+		poisonStart := cfg.Batch
+
+		// Phase 1: ship each live worker its contiguous slice; merge the
+		// returned summary deltas in shard order.
+		dirs, bounds := pool.scalarSummarizeDirs(r, values, poisonStart)
+		reps, err := pool.callAll(r, "summarize", dirs)
+		if err != nil {
+			return nil, err
+		}
+		merged, mCount, mSum := mergeSummarizeReports(reps)
+
+		var thresholdValue float64
+		if cfg.TrimOnBatch {
+			thresholdValue = merged.Query(thresholdPct)
+		} else {
+			thresholdValue = stats.QuantileSorted(ref, thresholdPct)
+		}
+
+		rec := RoundRecord{
+			Round:           r,
+			ThresholdPct:    thresholdPct,
+			ThresholdValue:  thresholdValue,
+			BaselineQuality: baselineQ,
+		}
+		if cfg.Quality != nil {
+			rec.Quality = cfg.Quality(values, ref)
+		} else {
+			rec.Quality = ExcessMassQualitySummary(merged, ref)
+		}
+		if poisonCount > 0 {
+			rec.MeanInjectionPct = pctSum / float64(poisonCount)
+		} else {
+			rec.MeanInjectionPct = math.NaN()
+		}
+
+		// Phase 2: broadcast the threshold; reduce counts and absorb the
+		// kept-pool deltas (exact counts/sums ride along, so the Kept
+		// estimators stay exact). KeepValues is rebuilt only from the
+		// slices of workers that answered, so a lost shard's values are
+		// consistently missing from tallies, Kept and KeptValues alike.
+		if reps, err = pool.callAll(r, "classify", pool.classifyDirs(r, thresholdPct, thresholdValue)); err != nil {
+			return nil, err
+		}
+		for _, rep := range reps {
+			addCounts(&rec, rep.Counts)
+			res.Kept.AbsorbCounted(rep.Kept, rep.KeptCount, rep.KeptSum)
+			if cfg.KeepValues {
+				b := bounds[rep.Worker]
+				for _, v := range values[b[0]:b[1]] {
+					if v <= thresholdValue {
+						res.KeptValues = append(res.KeptValues, v)
+					}
+				}
+			}
+		}
+		res.Received.AbsorbCounted(merged, mCount, mSum)
+		res.Board.Post(rec)
+		if cfg.OnRound != nil {
+			cfg.OnRound(rec)
+		}
+	}
+	res.LostShards = pool.lost
+	return res, nil
+}

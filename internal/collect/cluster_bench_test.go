@@ -1,0 +1,54 @@
+package collect
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/stats"
+)
+
+// BenchmarkClusterRound measures full game rounds over the loopback
+// cluster — the wire encode/decode and two-phase fan-out added on top of
+// BenchmarkRunSharded's raw goroutine fan-out, at the same heavy per-round
+// batch.
+//
+// Run with: go test ./internal/collect -bench=ClusterRound -benchmem
+//
+// Measured on the dev container (see EXPERIMENTS.md): ~98 ms/op at 4
+// workers and ~117 ms/op at 16 for 3 rounds of batch 100k, vs ~90 ms/op
+// for RunSharded at 4 shards — the wire hop (two slice copies and a
+// summary codec per shard-round) costs ~10% at 4 workers on loopback.
+func BenchmarkClusterRound(b *testing.B) {
+	for _, workers := range []int{4, 16} {
+		b.Run(fmt.Sprintf("Workers%d", workers), func(b *testing.B) {
+			ref := stats.NormalSlice(stats.NewRand(1), 5000, 0, 1)
+			honest, err := PoolSampler(ref)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				static, err := newStaticForBench()
+				if err != nil {
+					b.Fatal(err)
+				}
+				adv, err := newPointForBench()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := RunCluster(ClusterConfig{
+					Config: Config{
+						Rounds: 3, Batch: 100000, AttackRatio: 0.2,
+						Reference: ref, Honest: honest,
+						Collector: static, Adversary: adv,
+						TrimOnBatch: true,
+						Rng:         stats.NewRand(int64(i)),
+					},
+					Transport: cluster.NewLoopback(workers),
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

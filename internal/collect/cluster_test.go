@@ -1,0 +1,511 @@
+package collect
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/ldp"
+	"repro/internal/stats"
+	"repro/internal/trim"
+)
+
+func clusterConfig(t *testing.T, seed int64, workers int) ClusterConfig {
+	t.Helper()
+	return ClusterConfig{
+		Config:    baseConfig(t, seed),
+		Transport: cluster.NewLoopback(workers),
+	}
+}
+
+func TestRunClusterValidation(t *testing.T) {
+	bad := []func(*ClusterConfig){
+		func(c *ClusterConfig) { c.Transport = nil },
+		func(c *ClusterConfig) { c.Transport = cluster.NewLoopback(0) },
+		func(c *ClusterConfig) { c.ExactQuantiles = true },
+		func(c *ClusterConfig) { c.Rounds = 0 },
+		func(c *ClusterConfig) { c.Rng = nil },
+	}
+	for i, mutate := range bad {
+		cfg := clusterConfig(t, 30, 4)
+		mutate(&cfg)
+		if _, err := RunCluster(cfg); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+// The loopback cluster must reproduce the in-process sharded game exactly:
+// same seed, same shard count, same contiguous partition, same shard-order
+// merge — the wire encoding in between is bit-exact, so every resolved
+// threshold (and the whole board) is equal, not merely within ε.
+func TestRunClusterEqualsRunSharded(t *testing.T) {
+	const workers = 5
+	scfg := ShardedConfig{Config: baseConfig(t, 31), Shards: workers}
+	scfg.TrimOnBatch = true
+	sharded, err := RunSharded(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := clusterConfig(t, 31, workers)
+	ccfg.TrimOnBatch = true
+	clustered, err := RunCluster(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(clustered.Board.Records), len(sharded.Board.Records); got != want {
+		t.Fatalf("rounds: %d vs %d", got, want)
+	}
+	for i := range sharded.Board.Records {
+		if sharded.Board.Records[i] != clustered.Board.Records[i] {
+			t.Errorf("round %d diverged:\nsharded   %+v\nclustered %+v",
+				i+1, sharded.Board.Records[i], clustered.Board.Records[i])
+		}
+	}
+	if clustered.LostShards != 0 {
+		t.Errorf("lost shards = %d on a healthy cluster", clustered.LostShards)
+	}
+}
+
+// The cluster's thresholds must stay within the summary rank-error budget
+// of the unsharded game on the same seed — the acceptance bound of the
+// distributed collector, asserted deterministically over the loopback.
+func TestRunClusterThresholdWithinEpsilonOfRun(t *testing.T) {
+	cfg := baseConfig(t, 32)
+	cfg.TrimOnBatch = true
+	single, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := clusterConfig(t, 32, 4)
+	ccfg.TrimOnBatch = true
+	clustered, err := RunCluster(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSorted := sortedCopy(cfg.Reference)
+	for i := range single.Board.Records {
+		a, b := single.Board.Records[i], clustered.Board.Records[i]
+		if a.ThresholdPct != b.ThresholdPct {
+			t.Fatalf("round %d: strategies diverged", i+1)
+		}
+		ra := stats.PercentileRankSorted(refSorted, a.ThresholdValue)
+		rb := stats.PercentileRankSorted(refSorted, b.ThresholdValue)
+		if math.Abs(ra-rb) > 0.05 {
+			t.Errorf("round %d: threshold ranks %v vs %v diverged beyond the budget", i+1, ra, rb)
+		}
+	}
+}
+
+func TestRunClusterDeterministic(t *testing.T) {
+	run := func() *Result {
+		cfg := clusterConfig(t, 33, 4)
+		cfg.TrimOnBatch = true
+		res, err := RunCluster(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	for i := range a.Board.Records {
+		if a.Board.Records[i] != b.Board.Records[i] {
+			t.Fatalf("round %d diverged between identical seeds", i+1)
+		}
+	}
+}
+
+// Worker failure is drop-and-continue: the game completes on the
+// survivors, the loss is logged and counted, and only the failure round's
+// tallies run short (the lost shard's slice).
+func TestRunClusterWorkerLoss(t *testing.T) {
+	const workers = 4
+	lb := cluster.NewLoopback(workers)
+	var mu sync.Mutex
+	var logs []string
+	cfg := ClusterConfig{
+		Config:    baseConfig(t, 34),
+		Transport: lb,
+		Logf: func(format string, args ...any) {
+			mu.Lock()
+			defer mu.Unlock()
+			logs = append(logs, fmt.Sprintf(format, args...))
+		},
+	}
+	cfg.TrimOnBatch = true
+	failAt := cfg.Rounds / 2
+	rounds := 0
+	cfg.OnRound = func(RoundRecord) {
+		rounds++
+		if rounds == failAt {
+			lb.Fail(2)
+		}
+	}
+	res, err := RunCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LostShards != 1 {
+		t.Fatalf("LostShards = %d, want 1", res.LostShards)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(logs) == 0 || !strings.Contains(strings.Join(logs, "\n"), "dropping worker 2") {
+		t.Fatalf("shard loss not logged: %q", logs)
+	}
+	if got, want := len(res.Board.Records), cfg.Rounds; got != want {
+		t.Fatalf("game stopped early: %d/%d rounds", got, want)
+	}
+	for i, rec := range res.Board.Records {
+		total := rec.HonestKept + rec.HonestTrimmed
+		if i+1 <= failAt {
+			if total != cfg.Batch {
+				t.Errorf("round %d (healthy): honest tally %d, want %d", i+1, total, cfg.Batch)
+			}
+		} else if i+1 == failAt+1 {
+			if total >= cfg.Batch {
+				t.Errorf("failure round %d: honest tally %d not short of %d", i+1, total, cfg.Batch)
+			}
+		} else if total != cfg.Batch {
+			// Survivors repartition the full batch from the next round on.
+			t.Errorf("round %d (post-loss): honest tally %d, want %d", i+1, total, cfg.Batch)
+		}
+	}
+}
+
+// More workers than arrivals: some shards get empty slices every round.
+// Empty shards must complete both phases (regression: an empty Values
+// slice decodes to nil and once tripped the classify "no summarize" guard,
+// dropping healthy workers as lost shards).
+func TestRunClusterEmptyShards(t *testing.T) {
+	cfg := clusterConfig(t, 44, 8)
+	cfg.Batch = 3
+	cfg.AttackRatio = 0
+	cfg.TrimOnBatch = true
+	res, err := RunCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LostShards != 0 {
+		t.Fatalf("LostShards = %d on a healthy cluster with empty shards", res.LostShards)
+	}
+	for _, rec := range res.Board.Records {
+		if rec.HonestKept+rec.HonestTrimmed != cfg.Batch {
+			t.Fatalf("round %d: honest tally %d, want %d", rec.Round, rec.HonestKept+rec.HonestTrimmed, cfg.Batch)
+		}
+	}
+}
+
+// After a shard loss, the deprecated KeptValues buffer must stay
+// consistent with the Kept stream and the tallies: the lost slice is
+// missing from all three.
+func TestRunClusterWorkerLossKeptConsistency(t *testing.T) {
+	lb := cluster.NewLoopback(4)
+	cfg := ClusterConfig{Config: baseConfig(t, 45), Transport: lb}
+	cfg.TrimOnBatch = true
+	cfg.KeepValues = true
+	rounds := 0
+	cfg.OnRound = func(RoundRecord) {
+		rounds++
+		if rounds == cfg.Rounds/2 {
+			lb.Fail(1)
+		}
+	}
+	res, err := RunCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LostShards != 1 {
+		t.Fatalf("LostShards = %d, want 1", res.LostShards)
+	}
+	var tallied int
+	for _, rec := range res.Board.Records {
+		tallied += rec.HonestKept + rec.PoisonKept
+	}
+	if len(res.KeptValues) != tallied {
+		t.Errorf("KeptValues %d, tallies say %d", len(res.KeptValues), tallied)
+	}
+	if res.Kept.Count() != tallied {
+		t.Errorf("Kept stream count %d, tallies say %d", res.Kept.Count(), tallied)
+	}
+}
+
+func TestRunClusterAllWorkersLost(t *testing.T) {
+	lb := cluster.NewLoopback(2)
+	cfg := ClusterConfig{Config: baseConfig(t, 35), Transport: lb}
+	cfg.TrimOnBatch = true
+	cfg.OnRound = func(RoundRecord) {
+		lb.Fail(0)
+		lb.Fail(1)
+	}
+	if _, err := RunCluster(cfg); err == nil {
+		t.Fatal("game continued with zero workers")
+	}
+}
+
+// The cluster game over real TCP/net-rpc (in-process servers, real
+// sockets) must match the loopback run bit for bit: the transport cannot
+// influence the game.
+func TestRunClusterOverTCP(t *testing.T) {
+	const workers = 3
+	addrs := make([]string, workers)
+	for i := 0; i < workers; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		w := cluster.NewWorker(i)
+		go func() {
+			if err := cluster.Serve(ln, w); err != nil {
+				t.Errorf("worker serve: %v", err)
+			}
+		}()
+	}
+	tr, err := cluster.Dial(addrs, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := ClusterConfig{Config: baseConfig(t, 36), Transport: tr}
+	ccfg.TrimOnBatch = true
+	overTCP, err := RunCluster(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcfg := clusterConfig(t, 36, workers)
+	lcfg.TrimOnBatch = true
+	loopback, err := RunCluster(lcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range loopback.Board.Records {
+		if loopback.Board.Records[i] != overTCP.Board.Records[i] {
+			t.Errorf("round %d diverged between loopback and TCP", i+1)
+		}
+	}
+}
+
+// Kept-pool estimators: the summary-driven mean must match the buffered
+// pool exactly (exact running sums) and the quantiles within the ε budget.
+func TestKeptEstimatorsMatchBufferedPool(t *testing.T) {
+	cfg := baseConfig(t, 37)
+	cfg.TrimOnBatch = true
+	cfg.KeepValues = true
+	for name, run := range map[string]func() (*Result, error){
+		"run":     func() (*Result, error) { return Run(cfg) },
+		"sharded": func() (*Result, error) { return RunSharded(ShardedConfig{Config: cfg, Shards: 3}) },
+		"cluster": func() (*Result, error) {
+			return RunCluster(ClusterConfig{Config: cfg, Transport: cluster.NewLoopback(3)})
+		},
+	} {
+		cfg.Rng = stats.NewRand(38) // fresh but identical stream per engine
+		res, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Kept == nil {
+			t.Fatalf("%s: no kept summary", name)
+		}
+		if got, want := res.Kept.Count(), len(res.KeptValues); got != want {
+			t.Errorf("%s: kept count %d, buffered %d", name, got, want)
+		}
+		var sum float64
+		for _, v := range res.KeptValues {
+			sum += v
+		}
+		exactMean := sum / float64(len(res.KeptValues))
+		if math.Abs(res.KeptMean()-exactMean) > 1e-9*math.Abs(exactMean) {
+			t.Errorf("%s: KeptMean %v, exact %v", name, res.KeptMean(), exactMean)
+		}
+		sorted := sortedCopy(res.KeptValues)
+		for _, q := range []float64{0.1, 0.5, 0.9} {
+			got := res.KeptQuantile(q)
+			// Rank-space agreement within the budget plus slack.
+			r := stats.PercentileRankSorted(sorted, got)
+			if math.Abs(r-q) > 0.05 {
+				t.Errorf("%s: KeptQuantile(%v) = %v sits at rank %v of the buffered pool", name, q, got, r)
+			}
+		}
+	}
+}
+
+// The exact-mode fallback: with summaries disabled the estimators resolve
+// from the deprecated buffer.
+func TestKeptEstimatorsExactFallback(t *testing.T) {
+	cfg := baseConfig(t, 39)
+	cfg.TrimOnBatch = true
+	cfg.ExactQuantiles = true
+	cfg.KeepValues = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kept != nil {
+		t.Fatal("exact mode built a kept summary")
+	}
+	if math.IsNaN(res.KeptMean()) || math.IsNaN(res.KeptQuantile(0.5)) {
+		t.Fatal("fallback estimators returned NaN with a non-empty buffer")
+	}
+}
+
+// The sharded row game must agree with the unsharded row game on the
+// observable outcomes within the summary budget, and be deterministic.
+func TestRunShardedRowsAgreesWithRunRows(t *testing.T) {
+	mk := func() RowConfig {
+		d := dataset.VehicleN(stats.NewRand(40), 400)
+		static, err := trim.NewStatic("s", 0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		adv, err := attack.NewPoint("p", 0.99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return RowConfig{
+			Rounds: 5, Batch: 100, AttackRatio: 0.2,
+			Data: d, Collector: static, Adversary: adv,
+			PoisonLabel: -1,
+			Rng:         stats.NewRand(41),
+		}
+	}
+	single, err := RunRows(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := RunShardedRows(RowShardedConfig{RowConfig: mk(), Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(single.Board.PoisonRetention()-sharded.Board.PoisonRetention()) > 0.05 {
+		t.Errorf("retention %v (single) vs %v (sharded)",
+			single.Board.PoisonRetention(), sharded.Board.PoisonRetention())
+	}
+	if math.Abs(single.Board.HonestLoss()-sharded.Board.HonestLoss()) > 0.05 {
+		t.Errorf("loss %v (single) vs %v (sharded)",
+			single.Board.HonestLoss(), sharded.Board.HonestLoss())
+	}
+	var kept int
+	for _, rec := range sharded.Board.Records {
+		kept += rec.HonestKept + rec.PoisonKept
+	}
+	if got := sharded.Kept.Len(); got != kept {
+		t.Errorf("kept dataset %d rows, accounting says %d", got, kept)
+	}
+	again, err := RunShardedRows(RowShardedConfig{RowConfig: mk(), Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sharded.Board.Records {
+		if sharded.Board.Records[i] != again.Board.Records[i] {
+			t.Fatalf("round %d diverged between identical seeds", i+1)
+		}
+	}
+}
+
+// The sharded LDP game must agree with the unsharded LDP game on mean
+// estimate and retention within summary-budget tolerances, and be
+// deterministic.
+func TestRunShardedLDPAgreesWithRunLDP(t *testing.T) {
+	mk := func() LDPConfig {
+		inputs := make([]float64, 3000)
+		rng := stats.NewRand(42)
+		for i := range inputs {
+			inputs[i] = stats.Clamp(rng.NormFloat64()*0.3, -1, 1)
+		}
+		// Piecewise has continuous report support, so quantile thresholds
+		// are well-conditioned; Duchi's two-atom output would make the
+		// exact and ε-approximate 0.9-quantiles land on opposite atoms.
+		mech, err := ldp.NewPiecewise(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		static, err := trim.NewStatic("s", 0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		adv, err := attack.NewPoint("p", 0.99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return LDPConfig{
+			Rounds: 8, Batch: 400, AttackRatio: 0.2,
+			Inputs: inputs, Mechanism: mech,
+			Collector: static, Adversary: adv,
+			TrimOnBatch: true,
+			Rng:         stats.NewRand(43),
+		}
+	}
+	single, err := RunLDP(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := RunShardedLDP(LDPShardedConfig{LDPConfig: mk(), Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same seed, same arrivals; thresholds differ within ε, so the kept
+	// pools (and the mean estimates over them) stay close.
+	if math.Abs(single.MeanEstimate-sharded.MeanEstimate) > 0.1 {
+		t.Errorf("mean estimate %v (single) vs %v (sharded)", single.MeanEstimate, sharded.MeanEstimate)
+	}
+	if single.TrueMean != sharded.TrueMean {
+		t.Errorf("true mean diverged: %v vs %v (RNG streams out of sync)", single.TrueMean, sharded.TrueMean)
+	}
+	if math.Abs(single.Board.PoisonRetention()-sharded.Board.PoisonRetention()) > 0.05 {
+		t.Errorf("retention %v (single) vs %v (sharded)",
+			single.Board.PoisonRetention(), sharded.Board.PoisonRetention())
+	}
+	if len(sharded.AllReports) != 0 {
+		t.Errorf("sharded LDP pooled %d raw reports; should pool none", len(sharded.AllReports))
+	}
+	again, err := RunShardedLDP(LDPShardedConfig{LDPConfig: mk(), Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.MeanEstimate == 0 && sharded.MeanEstimate == 0 {
+		t.Error("degenerate zero estimates")
+	}
+	if sharded.MeanEstimate != again.MeanEstimate {
+		t.Fatalf("mean estimate diverged between identical seeds")
+	}
+}
+
+// RunClusterLDP must reject mechanisms whose mean estimate cannot be
+// reduced from (sum, count) aggregates.
+func TestRunClusterLDPRequiresSumEstimator(t *testing.T) {
+	cfg := LDPShardedConfig{Shards: 2}
+	cfg.LDPConfig = LDPConfig{
+		Rounds: 1, Batch: 10,
+		Inputs:    []float64{0.1, 0.2},
+		Mechanism: nonSumMech{},
+		Rng:       stats.NewRand(1),
+	}
+	static, err := trim.NewStatic("s", 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv, err := attack.NewPoint("p", 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Collector, cfg.Adversary = static, adv
+	if _, err := RunShardedLDP(cfg); err == nil || !strings.Contains(err.Error(), "SumMeanEstimator") {
+		t.Fatalf("err = %v, want SumMeanEstimator rejection", err)
+	}
+}
+
+// nonSumMech is a minimal mechanism without MeanEstimateFromSum.
+type nonSumMech struct{}
+
+func (nonSumMech) Perturb(rng *rand.Rand, x float64) float64 { return x }
+func (nonSumMech) OutputBounds() (float64, float64)          { return -1, 1 }
+func (nonSumMech) MeanEstimate(reports []float64) float64    { return stats.Mean(reports) }
+func (nonSumMech) Epsilon() float64                          { return 1 }

@@ -1,0 +1,192 @@
+package collect
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+
+	"repro/internal/cluster"
+	"repro/internal/ldp"
+	"repro/internal/stats"
+)
+
+// LDPClusterConfig parameterizes the privacy-preserving collection game
+// distributed over a cluster.Transport. The coordinator owns the RNG and
+// the mechanism (it perturbs honest inputs and runs the manipulation
+// attack); workers summarize and classify report slices exactly like the
+// scalar game. The mean estimate is reduced from the workers' exact
+// (kept sum, kept count) aggregates, so the mechanism must implement
+// ldp.SumMeanEstimator — no raw report ever returns from a worker.
+type LDPClusterConfig struct {
+	LDPConfig
+
+	// SummaryEpsilon is the rank-error budget of the per-round report
+	// summaries; summary.DefaultEpsilon when 0. (LDPConfig has no summary
+	// knob — the single-process game resolves thresholds exactly.)
+	SummaryEpsilon float64
+
+	// Transport connects the coordinator to its workers (shard order =
+	// worker order).
+	Transport cluster.Transport
+
+	// Logf receives shard-loss messages; nil discards. Failure semantics
+	// match ClusterConfig: drop-and-continue.
+	Logf func(format string, args ...any)
+
+	// KeepAllReports retains every report in LDPResult.AllReports (the
+	// EMF baseline consumes it). The coordinator generated the reports, so
+	// this costs memory but no extra traffic; leave false at scale.
+	KeepAllReports bool
+}
+
+func (c *LDPClusterConfig) validate() error {
+	if err := validateTransport(c.Transport); err != nil {
+		return err
+	}
+	if c.SummaryEpsilon < 0 || c.SummaryEpsilon >= 1 {
+		return fmt.Errorf("collect: summary epsilon = %v", c.SummaryEpsilon)
+	}
+	if err := c.LDPConfig.validate(); err != nil {
+		return err
+	}
+	if _, ok := c.Mechanism.(ldp.SumMeanEstimator); !ok {
+		return fmt.Errorf("collect: cluster LDP requires a sum-decomposable mean estimator (ldp.SumMeanEstimator); %T is not", c.Mechanism)
+	}
+	return nil
+}
+
+// RunClusterLDP plays the LDP collection game across a worker cluster.
+func RunClusterLDP(cfg LDPClusterConfig) (*LDPResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg.Collector.Reset()
+	cfg.Adversary.Reset()
+
+	inputsSorted := sortedCopy(cfg.Inputs)
+	poisonCount := int(math.Round(cfg.AttackRatio * float64(cfg.Batch)))
+
+	cleanReports := make([]float64, cfg.Batch)
+	for i := range cleanReports {
+		x := cfg.Inputs[cfg.Rng.Intn(len(cfg.Inputs))]
+		cleanReports[i] = cfg.Mechanism.Perturb(cfg.Rng, x)
+	}
+	refReports := sortedCopy(cleanReports)
+	baselineQ := ExcessMassQuality(cleanReports, refReports)
+
+	res := &LDPResult{}
+	var keptSum float64
+	var keptN int
+	var honestSum float64
+	var honestN int
+
+	pool := newWorkerPool(cfg.Transport, cfg.Logf)
+	defer pool.stop()
+	if err := pool.configure(cfg.SummaryEpsilon); err != nil {
+		return nil, err
+	}
+
+	for r := 1; r <= cfg.Rounds; r++ {
+		thresholdPct := cfg.Collector.Threshold(r, res.Board.collectorView())
+		inject := cfg.Adversary.Injection(r, res.Board.adversaryView())
+
+		reports := make([]float64, 0, cfg.Batch+poisonCount)
+		for i := 0; i < cfg.Batch; i++ {
+			x := cfg.Inputs[cfg.Rng.Intn(len(cfg.Inputs))]
+			honestSum += x
+			honestN++
+			reports = append(reports, cfg.Mechanism.Perturb(cfg.Rng, x))
+		}
+		var pctSum float64
+		poisonStart := len(reports)
+		for i := 0; i < poisonCount; i++ {
+			pct := inject(cfg.Rng)
+			pctSum += pct
+			forged := stats.QuantileSorted(inputsSorted, pct)
+			m, err := ldp.NewInputManipulator(cfg.Mechanism, forged)
+			if err != nil {
+				return nil, err
+			}
+			reports = append(reports, m.Report(cfg.Rng))
+		}
+
+		// Phase 1: ship report slices; merge the summary deltas.
+		dirs, _ := pool.scalarSummarizeDirs(r, reports, poisonStart)
+		reps, err := pool.callAll(r, "summarize", dirs)
+		if err != nil {
+			return nil, err
+		}
+		merged, _, _ := mergeSummarizeReports(reps)
+
+		var thresholdValue float64
+		if cfg.TrimOnBatch {
+			thresholdValue = merged.Query(thresholdPct)
+		} else {
+			thresholdValue = stats.QuantileSorted(refReports, thresholdPct)
+		}
+		rec := RoundRecord{
+			Round:           r,
+			ThresholdPct:    thresholdPct,
+			ThresholdValue:  thresholdValue,
+			Quality:         ExcessMassQualitySummary(merged, refReports),
+			BaselineQuality: baselineQ,
+		}
+		if poisonCount > 0 {
+			rec.MeanInjectionPct = pctSum / float64(poisonCount)
+		} else {
+			rec.MeanInjectionPct = math.NaN()
+		}
+
+		// Phase 2: broadcast the threshold; reduce counts and the exact
+		// kept aggregates the mean estimate is built from.
+		if reps, err = pool.callAll(r, "classify", pool.classifyDirs(r, thresholdPct, thresholdValue)); err != nil {
+			return nil, err
+		}
+		for _, rep := range reps {
+			addCounts(&rec, rep.Counts)
+			keptSum += rep.KeptSum
+			keptN += rep.KeptCount
+		}
+		if cfg.KeepAllReports {
+			res.AllReports = append(res.AllReports, reports...)
+		}
+		res.Board.Post(rec)
+	}
+	res.MeanEstimate = cfg.Mechanism.(ldp.SumMeanEstimator).MeanEstimateFromSum(keptSum, keptN)
+	if honestN > 0 {
+		res.TrueMean = honestSum / float64(honestN)
+	}
+	res.LostShards = pool.lost
+	return res, nil
+}
+
+// LDPShardedConfig parameterizes RunShardedLDP.
+type LDPShardedConfig struct {
+	LDPConfig
+
+	// SummaryEpsilon is the rank-error budget of the per-round report
+	// summaries; summary.DefaultEpsilon when 0.
+	SummaryEpsilon float64
+
+	// Shards is the number of in-process workers; GOMAXPROCS when 0.
+	Shards int
+}
+
+// RunShardedLDP plays the LDP collection game with per-round sharded report
+// summarization — the cluster game over the in-process loopback transport.
+// Unlike RunLDP it never pools raw reports: the mean estimate reduces the
+// workers' exact (sum, count) aggregates, so AllReports stays empty.
+func RunShardedLDP(cfg LDPShardedConfig) (*LDPResult, error) {
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("collect: shards = %d", cfg.Shards)
+	}
+	shards := cfg.Shards
+	if shards == 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	return RunClusterLDP(LDPClusterConfig{
+		LDPConfig:      cfg.LDPConfig,
+		SummaryEpsilon: cfg.SummaryEpsilon,
+		Transport:      cluster.NewLoopback(shards),
+	})
+}

@@ -1,0 +1,280 @@
+package collect
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+	"repro/internal/stats/summary"
+	"repro/internal/wire"
+)
+
+// RowClusterConfig parameterizes the row collection game distributed over a
+// cluster.Transport. The coordinator owns the RNG, the dataset, the clean
+// reference scale and the per-round injection; workers receive row slices
+// plus the current robust center, summarize distances, classify against the
+// broadcast threshold, and ship back counts, kept-row indices and the
+// per-coordinate summary.Vector delta of the rows they accepted. The
+// coordinator's robust center is maintained purely by absorbing those
+// mergeable vector deltas — it never recomputes a median from raw accepted
+// rows, which is what lets the accepted pool live on the workers at scale.
+type RowClusterConfig struct {
+	RowConfig
+
+	// Transport connects the coordinator to its workers (shard order =
+	// worker order).
+	Transport cluster.Transport
+
+	// Logf receives shard-loss messages; nil discards. Failure semantics
+	// match ClusterConfig: drop-and-continue, the lost shard's slice of
+	// the round (counts, kept rows, center delta) is gone.
+	Logf func(format string, args ...any)
+}
+
+func (c *RowClusterConfig) validate() error {
+	if err := validateTransport(c.Transport); err != nil {
+		return err
+	}
+	if c.ExactQuantiles {
+		return fmt.Errorf("collect: cluster collection requires summaries (ExactQuantiles must be false)")
+	}
+	return c.RowConfig.validate()
+}
+
+// RunClusterRows plays the row collection game across a worker cluster.
+func RunClusterRows(cfg RowClusterConfig) (*RowResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg.Collector.Reset()
+	cfg.Adversary.Reset()
+	quality := cfg.Quality
+
+	// Clean reference center and distance scale: one-time setup over clean
+	// data, identical to RunRows.
+	center := coordMedian(cfg.Data.X, nil)
+	dim := len(center)
+	refDistances := make([]float64, cfg.Data.Len())
+	for i, row := range cfg.Data.X {
+		refDistances[i] = stats.Euclidean(row, center)
+	}
+	refSorted := sortedCopy(refDistances)
+	var baselineQ float64
+	if quality != nil {
+		baselineQ = quality(sampleDistances(cfg.RowConfig, refSorted), refSorted)
+	} else {
+		baselineQ = ExcessMassQuality(sampleDistances(cfg.RowConfig, refSorted), refSorted)
+	}
+
+	poisonCount := int(math.Round(cfg.AttackRatio * float64(cfg.Batch)))
+	roundLen := cfg.Batch + poisonCount
+
+	res := &RowResult{Kept: &dataset.Dataset{
+		Name:     cfg.Data.Name + "-collected",
+		Clusters: cfg.Data.Clusters,
+	}}
+	if cfg.Data.Labeled() {
+		res.Kept.Y = []int{}
+	}
+
+	// The coordinator's view of the accepted pool is a summary.Vector fed
+	// exclusively by worker deltas (after the clean seed round X0, which
+	// the coordinator draws itself).
+	acceptedVec, err := summary.NewVector(dim, cfg.SummaryEpsilon, cfg.Batch*(cfg.Rounds+1))
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Batch; i++ {
+		if err := acceptedVec.PushRow(cfg.Data.X[cfg.Rng.Intn(cfg.Data.Len())]); err != nil {
+			return nil, err
+		}
+	}
+	refCentroid := append([]float64(nil), center...)
+
+	pool := newWorkerPool(cfg.Transport, cfg.Logf)
+	defer pool.stop()
+	if err := pool.configure(cfg.SummaryEpsilon); err != nil {
+		return nil, err
+	}
+
+	type arrival struct {
+		row    []float64
+		label  int
+		poison bool
+	}
+
+	for r := 1; r <= cfg.Rounds; r++ {
+		thresholdPct := cfg.Collector.Threshold(r, res.Board.collectorView())
+		inject := cfg.Adversary.Injection(r, res.Board.adversaryView())
+
+		arrivals := make([]arrival, 0, roundLen)
+		for i := 0; i < cfg.Batch; i++ {
+			j := cfg.Rng.Intn(cfg.Data.Len())
+			a := arrival{row: cfg.Data.X[j]}
+			if cfg.Data.Labeled() {
+				a.label = cfg.Data.Y[j]
+			}
+			arrivals = append(arrivals, a)
+		}
+
+		// Refresh the robust center from the absorbed deltas and summarize
+		// the clean distance scale against it (coordinator-local: the
+		// scale is over the collector's own clean dataset, not the
+		// arrival stream the workers hold).
+		refCentroid = acceptedVec.Medians(refCentroid)
+		scaleSum, err := summary.New(cfg.SummaryEpsilon, cfg.Data.Len())
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range cfg.Data.X {
+			scaleSum.Push(stats.Euclidean(row, refCentroid))
+		}
+		jscale := jitterRange(scaleSum.Min(), scaleSum.Max())
+
+		var pctSum float64
+		for i := 0; i < poisonCount; i++ {
+			pct := inject(cfg.Rng)
+			pctSum += pct
+			dist := scaleSum.Query(pct) + (cfg.Rng.Float64()-0.5)*jscale
+			if dist < 0 {
+				dist = 0
+			}
+			base := cfg.Data.X[cfg.Rng.Intn(cfg.Data.Len())]
+			row := poisonRow(refCentroid, base, dist)
+			label := cfg.PoisonLabel
+			if label < 0 && cfg.Data.Labeled() {
+				label = cfg.Rng.Intn(cfg.Data.Clusters)
+			}
+			arrivals = append(arrivals, arrival{row: row, label: label, poison: true})
+		}
+		poisonStart := cfg.Batch
+
+		// Phase 1: ship row slices plus the center; workers summarize
+		// their slice's distances. Record each worker's bounds so kept
+		// indices can be mapped back after the classify phase.
+		dirs := make([]*wire.Directive, len(pool.alive))
+		bounds := make(map[int][2]int, len(pool.alive))
+		for i, w := range pool.alive {
+			lo, hi := shardBounds(len(arrivals), len(pool.alive), i)
+			rows := make([][]float64, hi-lo)
+			for j := range rows {
+				rows[j] = arrivals[lo+j].row
+			}
+			dirs[i] = &wire.Directive{
+				Op: wire.OpSummarizeRows, Round: r,
+				Rows:       rows,
+				Center:     refCentroid,
+				PoisonFrom: slicePoisonFrom(poisonStart, lo, hi),
+			}
+			bounds[w] = [2]int{lo, hi}
+		}
+		reps, err := pool.callAll(r, "summarize", dirs)
+		if err != nil {
+			return nil, err
+		}
+		merged, _, _ := mergeSummarizeReports(reps)
+
+		var thresholdValue float64
+		if cfg.TrimOnBatch {
+			thresholdValue = merged.Query(thresholdPct)
+		} else {
+			thresholdValue = scaleSum.Query(thresholdPct)
+		}
+
+		rec := RoundRecord{
+			Round:           r,
+			ThresholdPct:    thresholdPct,
+			ThresholdValue:  thresholdValue,
+			BaselineQuality: baselineQ,
+		}
+		if quality != nil {
+			// A custom quality standard needs the raw distance slice; the
+			// coordinator recomputes it locally (it holds rows and center).
+			dists := make([]float64, len(arrivals))
+			for i, a := range arrivals {
+				dists[i] = stats.Euclidean(a.row, refCentroid)
+			}
+			rec.Quality = quality(dists, refSorted)
+		} else {
+			rec.Quality = ExcessMassQualitySummary(merged, refSorted)
+		}
+		if poisonCount > 0 {
+			rec.MeanInjectionPct = pctSum / float64(poisonCount)
+		} else {
+			rec.MeanInjectionPct = math.NaN()
+		}
+
+		// Phase 2: broadcast the threshold; workers classify, ship counts,
+		// kept-row indices and their accepted-row vector delta.
+		if reps, err = pool.callAll(r, "classify", pool.classifyDirs(r, thresholdPct, thresholdValue)); err != nil {
+			return nil, err
+		}
+		for _, rep := range reps {
+			addCounts(&rec, rep.Counts)
+
+			b, ok := bounds[rep.Worker]
+			if !ok {
+				pool.logf("collect: round %d: report from worker %d with no recorded bounds", r, rep.Worker)
+				continue
+			}
+			for _, idx := range rep.KeptIdx {
+				if idx < 0 || b[0]+idx >= b[1] {
+					return nil, fmt.Errorf("collect: round %d: worker %d kept index %d outside its slice", r, rep.Worker, idx)
+				}
+				a := arrivals[b[0]+idx]
+				res.Kept.X = append(res.Kept.X, append([]float64(nil), a.row...))
+				if res.Kept.Y != nil {
+					res.Kept.Y = append(res.Kept.Y, a.label)
+				}
+				if a.poison {
+					res.KeptPoison++
+				}
+			}
+			if rep.Vec != nil {
+				if len(rep.Vec.Dims) != dim {
+					pool.logf("collect: round %d: worker %d vector delta dim %d, want %d (dropped)",
+						r, rep.Worker, len(rep.Vec.Dims), dim)
+					continue
+				}
+				for i := 0; i < dim; i++ {
+					acceptedVec.Coord(i).AbsorbCounted(rep.Vec.Dims[i], rep.Vec.Count, rep.Vec.Sums[i])
+				}
+			}
+		}
+		res.Board.Post(rec)
+	}
+	res.LostShards = pool.lost
+	return res, nil
+}
+
+// RowShardedConfig parameterizes RunShardedRows.
+type RowShardedConfig struct {
+	RowConfig
+
+	// Shards is the number of in-process workers; GOMAXPROCS when 0. As
+	// with ShardedConfig, pin it explicitly for cross-machine
+	// reproducibility.
+	Shards int
+}
+
+// RunShardedRows plays the row collection game with per-round sharded
+// distance summarization and a robust center merged from per-shard
+// summary.Vector deltas. It is the cluster game over the in-process
+// loopback transport — the same wire messages and merge order as a TCP
+// run, one process.
+func RunShardedRows(cfg RowShardedConfig) (*RowResult, error) {
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("collect: shards = %d", cfg.Shards)
+	}
+	shards := cfg.Shards
+	if shards == 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	return RunClusterRows(RowClusterConfig{
+		RowConfig: cfg.RowConfig,
+		Transport: cluster.NewLoopback(shards),
+	})
+}

@@ -69,8 +69,12 @@ type LDPResult struct {
 	// Fig 9's MSE is measured against.
 	TrueMean float64
 	// AllReports pools every report (kept or trimmed) — the EMF baseline
-	// consumes this, since it filters rather than trims.
+	// consumes this, since it filters rather than trims. Cluster runs only
+	// fill it when LDPClusterConfig.KeepAllReports is set.
 	AllReports []float64
+	// LostShards counts workers dropped by a cluster run's failure
+	// handling (always 0 for in-process games).
+	LostShards int
 }
 
 // RunLDP plays the LDP collection game. The non-deterministic utility of §V

@@ -82,6 +82,9 @@ type RowResult struct {
 	Kept *dataset.Dataset
 	// KeptPoison counts poison rows that survived trimming.
 	KeptPoison int
+	// LostShards counts workers dropped by a cluster run's failure
+	// handling (always 0 for in-process games).
+	LostShards int
 }
 
 // acceptedCenter tracks the collector's robust reference center — the

@@ -70,8 +70,14 @@ type Config struct {
 	// per-game summaries; summary.DefaultEpsilon when 0.
 	SummaryEpsilon float64
 
-	// KeepValues retains every round's kept values in the result (needed
-	// when a downstream estimator consumes the pooled data).
+	// KeepValues retains every round's kept values in the result.
+	//
+	// Deprecated: mean/quantile consumers of the retained pool should read
+	// Result.KeptMean/KeptQuantile (and Result.Received for the full
+	// arrival stream), which are driven by the game's mergeable summaries
+	// and never buffer a value. KeepValues remains only for downstream
+	// estimators that genuinely need the raw retained values (anything not
+	// decomposable into sums and rank queries).
 	KeepValues bool
 
 	// OnRound, when non-nil, is invoked after each round is posted to the
@@ -117,15 +123,63 @@ func (c *Config) poisonPerRound() int {
 
 // Result of a scalar collection game.
 type Result struct {
-	Board      Board
-	KeptValues []float64 // pooled kept values, when Config.KeepValues
+	Board Board
+
+	// KeptValues pools the kept values, when Config.KeepValues.
+	//
+	// Deprecated: see Config.KeepValues — use KeptMean/KeptQuantile.
+	KeptValues []float64
 
 	// Received is the game-long mergeable summary of every value that
 	// arrived (honest and poison), built incrementally by absorbing each
 	// round's summary. Nil under ExactQuantiles. Downstream estimators can
-	// query any percentile of the full received stream from it without the
-	// engine having buffered a single value.
+	// query any percentile (Received.Query) or the mean (Received.Mean) of
+	// the full received stream from it without the engine having buffered
+	// a single value.
 	Received *summary.Stream
+
+	// Kept is the game-long mergeable summary of every retained value —
+	// the stream downstream mean/quantile estimators consume in place of
+	// KeptValues buffering. Nil under ExactQuantiles. Its count and sum
+	// are exact (cluster workers ship them alongside each sketch), so
+	// KeptMean is exact and KeptQuantile is within the summary ε.
+	Kept *summary.Stream
+
+	// LostShards counts workers dropped by a cluster run's failure
+	// handling (always 0 for in-process games): each loss means one
+	// shard's round slice went missing from the tallies of the round it
+	// died in.
+	LostShards int
+}
+
+// KeptMean estimates the mean of the retained pool: exact from the Kept
+// stream's running sum, falling back to the deprecated KeptValues buffer
+// under ExactQuantiles. NaN when nothing was kept or recorded.
+func (r *Result) KeptMean() float64 {
+	if r.Kept != nil {
+		return r.Kept.Mean()
+	}
+	if len(r.KeptValues) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range r.KeptValues {
+		sum += v
+	}
+	return sum / float64(len(r.KeptValues))
+}
+
+// KeptQuantile estimates the q-th quantile of the retained pool within the
+// summary ε, falling back to the deprecated KeptValues buffer under
+// ExactQuantiles. NaN when nothing was kept or recorded.
+func (r *Result) KeptQuantile(q float64) float64 {
+	if r.Kept != nil {
+		return r.Kept.Query(q)
+	}
+	if len(r.KeptValues) == 0 {
+		return math.NaN()
+	}
+	return stats.Quantile(r.KeptValues, q)
 }
 
 // drawArrivals draws one round's arrivals: cfg.Batch honest values followed
@@ -173,6 +227,9 @@ func Run(cfg Config) (*Result, error) {
 	if !cfg.ExactQuantiles {
 		var err error
 		if res.Received, err = summary.New(cfg.SummaryEpsilon, cfg.Rounds*roundLen); err != nil {
+			return nil, err
+		}
+		if res.Kept, err = summary.New(cfg.SummaryEpsilon, cfg.Rounds*roundLen); err != nil {
 			return nil, err
 		}
 	}
@@ -235,6 +292,9 @@ func Run(cfg Config) (*Result, error) {
 				rec.PoisonTrimmed++
 			default:
 				rec.HonestTrimmed++
+			}
+			if kept && res.Kept != nil {
+				res.Kept.Push(v)
 			}
 			if kept && cfg.KeepValues {
 				res.KeptValues = append(res.KeptValues, v)

@@ -78,10 +78,14 @@ func RunSharded(cfg ShardedConfig) (*Result, error) {
 	if res.Received, err = summary.New(cfg.SummaryEpsilon, cfg.Rounds*roundLen); err != nil {
 		return nil, err
 	}
+	if res.Kept, err = summary.New(cfg.SummaryEpsilon, cfg.Rounds*roundLen); err != nil {
+		return nil, err
+	}
 
 	type shardOut struct {
-		sum *summary.Stream
-		rec RoundRecord // per-shard kept/trimmed counts
+		sum  *summary.Stream
+		rec  RoundRecord // per-shard kept/trimmed counts
+		kept *summary.Stream
 	}
 	outs := make([]shardOut, shards)
 
@@ -151,21 +155,29 @@ func RunSharded(cfg ShardedConfig) (*Result, error) {
 			go func(s, lo, hi int) {
 				defer wg.Done()
 				var part RoundRecord
+				kept, serr := summary.New(cfg.SummaryEpsilon, hi-lo)
+				if serr != nil { // unreachable: epsilon validated above
+					panic(serr)
+				}
 				for i := lo; i < hi; i++ {
-					kept := values[i] <= thresholdValue
+					keep := values[i] <= thresholdValue
 					isPoison := i >= poisonStart
 					switch {
-					case kept && isPoison:
+					case keep && isPoison:
 						part.PoisonKept++
-					case kept:
+					case keep:
 						part.HonestKept++
 					case isPoison:
 						part.PoisonTrimmed++
 					default:
 						part.HonestTrimmed++
 					}
+					if keep {
+						kept.Push(values[i])
+					}
 				}
 				outs[s].rec = part
+				outs[s].kept = kept
 			}(s, lo, hi)
 		}
 		wg.Wait()
@@ -174,6 +186,7 @@ func RunSharded(cfg ShardedConfig) (*Result, error) {
 			rec.HonestTrimmed += outs[s].rec.HonestTrimmed
 			rec.PoisonKept += outs[s].rec.PoisonKept
 			rec.PoisonTrimmed += outs[s].rec.PoisonTrimmed
+			res.Kept.AbsorbStream(outs[s].kept)
 		}
 		if cfg.KeepValues {
 			for _, v := range values {
@@ -182,7 +195,15 @@ func RunSharded(cfg ShardedConfig) (*Result, error) {
 				}
 			}
 		}
-		res.Received.Absorb(merged)
+		// The shard streams carry exact counts and sums; ship them with the
+		// merged summary so the game-long estimators stay exact.
+		var mCount int
+		var mSum float64
+		for s := 0; s < shards; s++ {
+			mCount += outs[s].sum.Count()
+			mSum += outs[s].sum.Sum()
+		}
+		res.Received.AbsorbCounted(merged, mCount, mSum)
 		res.Board.Post(rec)
 		if cfg.OnRound != nil {
 			cfg.OnRound(rec)

@@ -47,3 +47,12 @@ func (d *Duchi) Perturb(rng *rand.Rand, x float64) float64 {
 func (d *Duchi) MeanEstimate(reports []float64) float64 {
 	return stats.Mean(reports)
 }
+
+// MeanEstimateFromSum implements SumMeanEstimator: the sample mean from the
+// shipped (sum, count) aggregate.
+func (d *Duchi) MeanEstimateFromSum(sum float64, n int) float64 {
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}

@@ -34,6 +34,18 @@ type Mechanism interface {
 	Epsilon() float64
 }
 
+// SumMeanEstimator is implemented by mechanisms whose MeanEstimate depends
+// on the reports only through their count and sum — true for Duchi and
+// Piecewise, whose reports are individually unbiased so the aggregate is
+// the sample mean. A distributed collector (internal/collect cluster games)
+// requires this capability: shards then only ship running sums and counts,
+// never raw reports.
+type SumMeanEstimator interface {
+	// MeanEstimateFromSum returns the mean estimate for n reports whose
+	// values sum to sum. Must equal MeanEstimate on the same reports.
+	MeanEstimateFromSum(sum float64, n int) float64
+}
+
 // checkEpsilon validates a privacy budget.
 func checkEpsilon(eps float64) error {
 	if !(eps > 0) || math.IsInf(eps, 0) || math.IsNaN(eps) {

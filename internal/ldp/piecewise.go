@@ -81,3 +81,12 @@ func (p *Piecewise) Density(x, t float64) float64 {
 func (p *Piecewise) MeanEstimate(reports []float64) float64 {
 	return stats.Mean(reports)
 }
+
+// MeanEstimateFromSum implements SumMeanEstimator: the sample mean from the
+// shipped (sum, count) aggregate.
+func (p *Piecewise) MeanEstimateFromSum(sum float64, n int) float64 {
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}

@@ -34,7 +34,8 @@ type Stream struct {
 	bufW   []float64
 	levels []*Summary // levels[l] == nil when the slot is empty
 
-	count    int // observations pushed (unweighted count)
+	count    int     // observations pushed (unweighted count)
+	sum      float64 // Σ value·weight of everything pushed/absorbed
 	min, max float64
 
 	cache *Summary // merged snapshot; invalidated by Push/Absorb
@@ -82,6 +83,7 @@ func (st *Stream) PushWeighted(v, w float64) {
 	}
 	st.cache = nil
 	st.count++
+	st.sum += v * w
 	if v < st.min {
 		st.min = v
 	}
@@ -142,15 +144,28 @@ func (st *Stream) carry(s *Summary) {
 // per-shard summaries produced elsewhere are absorbed by a coordinator
 // stream. The absorbed summary is carried through the levels like a block,
 // so the coordinator's error stays ≤ max(ε_self, ε_other) + ε_self.
+//
+// A bare summary does not carry its observation count or value sum, so both
+// are estimated (count from total weight — exact for unit-weight streams;
+// sum via ApproxSum). Callers that know the true values should use
+// AbsorbCounted (the wire report ships them alongside the summary).
 func (st *Stream) Absorb(s *Summary) {
 	if s == nil || s.Size() == 0 {
 		return
 	}
+	st.AbsorbCounted(s, int(math.Round(s.TotalWeight())), s.ApproxSum())
+}
+
+// AbsorbCounted merges a summary whose exact observation count and value sum
+// are known (shipped alongside it, as the cluster's wire reports do), so the
+// stream's Count and Mean stay exact across shard hops.
+func (st *Stream) AbsorbCounted(s *Summary, count int, sum float64) {
+	if s == nil || s.Size() == 0 {
+		return
+	}
 	st.cache = nil
-	// A summary does not carry its observation count, only its weight; for
-	// unit-weight streams the two coincide, and weight is the honest
-	// estimate otherwise. AbsorbStream overrides with the true count.
-	st.count += int(math.Round(s.TotalWeight()))
+	st.count += count
+	st.sum += sum
 	first, last := s.entries[0], s.entries[len(s.entries)-1]
 	if first.Value < st.min {
 		st.min = first.Value
@@ -163,14 +178,13 @@ func (st *Stream) Absorb(s *Summary) {
 	st.carry(c)
 }
 
-// AbsorbStream absorbs a whole other stream (its current snapshot).
+// AbsorbStream absorbs a whole other stream (its current snapshot), carrying
+// the exact count and sum over.
 func (st *Stream) AbsorbStream(other *Stream) {
 	if other == nil {
 		return
 	}
-	n := st.count
-	st.Absorb(other.Snapshot())
-	st.count = n + other.count // prefer the true observation count
+	st.AbsorbCounted(other.Snapshot(), other.count, other.sum)
 	if other.count > 0 {
 		if other.min < st.min {
 			st.min = other.min
@@ -221,6 +235,21 @@ func (st *Stream) Median() float64 { return st.Query(0.5) }
 // Count returns the number of observations pushed.
 func (st *Stream) Count() int { return st.count }
 
+// Sum returns the Σ value·weight of everything pushed. Exact for pushed and
+// AbsorbCounted/AbsorbStream input; estimated (ApproxSum) for bare Absorbs.
+func (st *Stream) Sum() float64 { return st.sum }
+
+// Mean returns the weighted mean of the stream (Sum/TotalWeight) — the
+// downstream mean estimator that replaces buffering raw values. NaN when
+// empty.
+func (st *Stream) Mean() float64 {
+	w := st.TotalWeight()
+	if w == 0 {
+		return math.NaN()
+	}
+	return st.sum / w
+}
+
 // TotalWeight returns the summarized total weight.
 func (st *Stream) TotalWeight() float64 { return st.Snapshot().TotalWeight() }
 
@@ -236,6 +265,7 @@ func (st *Stream) Reset() {
 	st.bufW = nil
 	st.levels = st.levels[:0]
 	st.count = 0
+	st.sum = 0
 	st.min = math.Inf(1)
 	st.max = math.Inf(-1)
 	st.cache = nil

@@ -23,6 +23,7 @@
 package summary
 
 import (
+	"fmt"
 	"math"
 	"sort"
 )
@@ -81,6 +82,54 @@ func FromUnsorted(values []float64) *Summary {
 	sorted := append([]float64(nil), values...)
 	sort.Float64s(sorted)
 	return FromSorted(sorted, nil)
+}
+
+// FromEntries reconstructs a summary from externally supplied entries — the
+// decode half of a serialized summary (internal/wire). It validates the
+// structural invariants every operation in this package relies on: values
+// strictly increasing and finite-ordered, weights positive, rank bounds
+// consistent (MaxRank ≥ MinRank + Weight) and monotone across entries. The
+// entries slice is copied.
+func FromEntries(entries []Entry) (*Summary, error) {
+	var prev Entry
+	for i, e := range entries {
+		if math.IsNaN(e.Value) {
+			return nil, fmt.Errorf("summary: entry %d: NaN value", i)
+		}
+		if !(e.Weight > 0) {
+			return nil, fmt.Errorf("summary: entry %d: weight %v", i, e.Weight)
+		}
+		if e.MinRank < 0 || e.MaxRank < e.MinRank+e.Weight {
+			return nil, fmt.Errorf("summary: entry %d: rank interval [%v, %v] inconsistent with weight %v",
+				i, e.MinRank, e.MaxRank, e.Weight)
+		}
+		if i > 0 {
+			if e.Value <= prev.Value {
+				return nil, fmt.Errorf("summary: entry %d: value %v not above predecessor %v", i, e.Value, prev.Value)
+			}
+			if e.MinRank < prev.MinRank || e.MaxRank < prev.MaxRank {
+				return nil, fmt.Errorf("summary: entry %d: rank bounds regress", i)
+			}
+		}
+		prev = e
+	}
+	return &Summary{entries: append([]Entry(nil), entries...)}, nil
+}
+
+// ApproxSum estimates the sum of the summarized stream (Σ value·weight) from
+// the surviving entries. Compression drops entries without reassigning their
+// weight, so the raw entry sum is scaled by TotalWeight/Σweights; the result
+// is exact for uncompressed summaries and within ε·W·range in general.
+func (s *Summary) ApproxSum() float64 {
+	var sw, vw float64
+	for _, e := range s.entries {
+		sw += e.Weight
+		vw += e.Value * e.Weight
+	}
+	if sw == 0 {
+		return 0
+	}
+	return vw * s.TotalWeight() / sw
 }
 
 // Clone returns a deep copy.

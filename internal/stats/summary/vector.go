@@ -31,6 +31,21 @@ func NewVector(dim int, eps float64, hint int) (*Vector, error) {
 // Dim returns the number of coordinates.
 func (v *Vector) Dim() int { return len(v.dims) }
 
+// Epsilon returns the rank-error budget the coordinate streams were built
+// with — exposed for the wire encoder, which must ship the budget alongside
+// the sketch so a receiver can account ε across encode/merge.
+func (v *Vector) Epsilon() float64 {
+	if len(v.dims) == 0 {
+		return 0
+	}
+	return v.dims[0].Epsilon()
+}
+
+// Coord returns the live stream of coordinate i (not a copy). The wire
+// encoder snapshots it; a merging coordinator absorbs per-coordinate shard
+// summaries into it. Callers must not retain it across a Reset.
+func (v *Vector) Coord(i int) *Stream { return v.dims[i] }
+
 // Count returns the number of rows pushed.
 func (v *Vector) Count() int {
 	if len(v.dims) == 0 {

@@ -1,0 +1,229 @@
+package wire
+
+import (
+	"fmt"
+
+	"repro/internal/stats/summary"
+)
+
+// Op is the coordinator → worker operation code inside a Directive.
+type Op byte
+
+// The protocol operations of format version 1. A round is two phases:
+// Summarize (ship arrivals, get summary deltas back) then Classify
+// (broadcast the resolved threshold, get counts and kept-pool deltas back).
+const (
+	OpConfigure     Op = 1 // set the worker's ε budget; no round payload
+	OpSummarize     Op = 2 // scalar arrivals: build the shard summary
+	OpSummarizeRows Op = 3 // row arrivals + center: summarize distances
+	OpClassify      Op = 4 // classify the held arrivals against Threshold
+	OpStop          Op = 5 // end of game; the worker may shut down
+)
+
+func (o Op) valid() bool { return o >= OpConfigure && o <= OpStop }
+
+// Counts are one shard's classification tallies for a round — the partial
+// RoundRecord the coordinator reduces across shards.
+type Counts struct {
+	HonestKept    int
+	HonestTrimmed int
+	PoisonKept    int
+	PoisonTrimmed int
+}
+
+// Report is one worker → coordinator message: the reply to every directive.
+// Which fields are populated depends on the phase — Sum/Count/ValueSum after
+// a summarize, Counts/Kept*/Vec after a classify. Exact counts and sums ride
+// alongside each sketch so the coordinator's Count/Mean estimators stay
+// exact across shard hops (summary.Stream.AbsorbCounted).
+type Report struct {
+	Round  int
+	Worker int
+
+	// Epsilon is the rank-error budget of the shipped sketches; the
+	// coordinator's merged budget is the max across shards.
+	Epsilon float64
+
+	// Summarize phase: the shard's summary of its slice of the round.
+	Sum      *summary.Summary
+	Count    int     // observations behind Sum (exact)
+	ValueSum float64 // Σ of summarized values (exact)
+
+	// Classify phase.
+	Counts    Counts
+	Kept      *summary.Summary // summary of the values this shard kept
+	KeptCount int
+	KeptSum   float64
+	KeptIdx   []int        // indices into the shard's slice that were kept (row game)
+	Vec       *VectorDelta // accepted-row vector delta (row game)
+}
+
+// EncodeReport serializes a shard report, appending to buf.
+func EncodeReport(buf []byte, rep *Report) []byte {
+	buf = appendHeader(buf, KindReport)
+	buf = appendU32(buf, uint32(rep.Round))
+	buf = appendU32(buf, uint32(rep.Worker))
+	buf = appendF64(buf, rep.Epsilon)
+	buf = appendU64(buf, uint64(rep.Count))
+	buf = appendF64(buf, rep.ValueSum)
+	buf = appendSummaryBlock(buf, rep.Sum)
+	buf = appendU64(buf, uint64(rep.Counts.HonestKept))
+	buf = appendU64(buf, uint64(rep.Counts.HonestTrimmed))
+	buf = appendU64(buf, uint64(rep.Counts.PoisonKept))
+	buf = appendU64(buf, uint64(rep.Counts.PoisonTrimmed))
+	buf = appendU64(buf, uint64(rep.KeptCount))
+	buf = appendF64(buf, rep.KeptSum)
+	buf = appendSummaryBlock(buf, rep.Kept)
+	buf = appendU32(buf, uint32(len(rep.KeptIdx)))
+	for _, i := range rep.KeptIdx {
+		buf = appendU32(buf, uint32(i))
+	}
+	if rep.Vec == nil {
+		buf = appendU32(buf, 0)
+	} else {
+		buf = appendVectorDelta(buf, rep.Vec)
+	}
+	return buf
+}
+
+// appendVectorDelta writes a decoded-form delta (the worker holds a live
+// vector, so it normally encodes via appendVectorBlock; this form exists so
+// Encode∘Decode round-trips a Report).
+func appendVectorDelta(buf []byte, d *VectorDelta) []byte {
+	buf = appendU32(buf, uint32(len(d.Dims)))
+	buf = appendF64(buf, d.Epsilon)
+	buf = appendU64(buf, uint64(d.Count))
+	for i := range d.Dims {
+		buf = appendF64(buf, d.Sums[i])
+		buf = appendSummaryBlock(buf, d.Dims[i])
+	}
+	return buf
+}
+
+// DecodeReport decodes an EncodeReport message.
+func DecodeReport(buf []byte) (*Report, error) {
+	payload, err := checkHeader(buf, KindReport)
+	if err != nil {
+		return nil, err
+	}
+	r := &reader{buf: payload}
+	rep := &Report{
+		Round:   int(r.u32("round")),
+		Worker:  int(r.u32("worker")),
+		Epsilon: r.f64("epsilon"),
+	}
+	rep.Count = int(r.u64("count"))
+	rep.ValueSum = r.f64("value sum")
+	if rep.Sum, err = readSummaryBlock(r); err != nil {
+		return nil, err
+	}
+	rep.Counts.HonestKept = int(r.u64("honest kept"))
+	rep.Counts.HonestTrimmed = int(r.u64("honest trimmed"))
+	rep.Counts.PoisonKept = int(r.u64("poison kept"))
+	rep.Counts.PoisonTrimmed = int(r.u64("poison trimmed"))
+	rep.KeptCount = int(r.u64("kept count"))
+	rep.KeptSum = r.f64("kept sum")
+	if rep.Kept, err = readSummaryBlock(r); err != nil {
+		return nil, err
+	}
+	if n := r.count("kept indices", 4); n > 0 {
+		rep.KeptIdx = make([]int, n)
+		for i := range rep.KeptIdx {
+			rep.KeptIdx[i] = int(r.u32("kept index"))
+		}
+	}
+	if rep.Vec, err = readVectorBlock(r); err != nil {
+		return nil, err
+	}
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// Directive is one coordinator → worker message. Which fields are meaningful
+// depends on Op: Configure carries Epsilon; Summarize carries Values and
+// PoisonFrom; SummarizeRows carries Rows, Center and PoisonFrom; Classify
+// carries Threshold (and Pct for the record); Stop carries nothing.
+type Directive struct {
+	Op    Op
+	Round int
+
+	Epsilon float64 // Configure: worker sketch budget
+
+	Values     []float64 // Summarize: the shard's slice of scalar arrivals
+	PoisonFrom int       // index in Values/Rows where poison starts (= len: none)
+
+	Rows   [][]float64 // SummarizeRows: the shard's slice of row arrivals
+	Center []float64   // SummarizeRows: current robust center
+
+	Pct       float64 // Classify: the percentile the threshold resolved from
+	Threshold float64 // Classify: resolved trim threshold (value domain)
+}
+
+// EncodeDirective serializes a directive, appending to buf.
+func EncodeDirective(buf []byte, d *Directive) []byte {
+	buf = appendHeader(buf, KindDirective)
+	buf = append(buf, byte(d.Op))
+	buf = appendU32(buf, uint32(d.Round))
+	buf = appendF64(buf, d.Epsilon)
+	buf = appendU32(buf, uint32(d.PoisonFrom))
+	buf = appendF64(buf, d.Pct)
+	buf = appendF64(buf, d.Threshold)
+	buf = appendF64s(buf, d.Values)
+	buf = appendU32(buf, uint32(len(d.Rows)))
+	dim := 0
+	if len(d.Rows) > 0 {
+		dim = len(d.Rows[0])
+	}
+	buf = appendU32(buf, uint32(dim))
+	for _, row := range d.Rows {
+		for _, v := range row {
+			buf = appendF64(buf, v)
+		}
+	}
+	buf = appendF64s(buf, d.Center)
+	return buf
+}
+
+// DecodeDirective decodes an EncodeDirective message.
+func DecodeDirective(buf []byte) (*Directive, error) {
+	payload, err := checkHeader(buf, KindDirective)
+	if err != nil {
+		return nil, err
+	}
+	r := &reader{buf: payload}
+	d := &Directive{
+		Op:    Op(r.u8("op")),
+		Round: int(r.u32("round")),
+	}
+	d.Epsilon = r.f64("epsilon")
+	d.PoisonFrom = int(r.u32("poison offset"))
+	d.Pct = r.f64("pct")
+	d.Threshold = r.f64("threshold")
+	d.Values = r.f64s("values")
+	nRows := r.count("rows", 4)
+	dim := int(r.u32("row dim"))
+	if r.err == nil && nRows > 0 {
+		if dim <= 0 || nRows*dim*8 > len(r.buf)-r.off {
+			r.fail("row elements")
+		} else {
+			d.Rows = make([][]float64, nRows)
+			flat := make([]float64, nRows*dim)
+			for i := range flat {
+				flat[i] = r.f64("row element")
+			}
+			for i := range d.Rows {
+				d.Rows[i] = flat[i*dim : (i+1)*dim : (i+1)*dim]
+			}
+		}
+	}
+	d.Center = r.f64s("center")
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	if !d.Op.valid() {
+		return nil, fmt.Errorf("wire: unknown directive op %d", d.Op)
+	}
+	return d, nil
+}

@@ -1,0 +1,184 @@
+// Package wire is the versioned, self-describing binary encoding that lets
+// collection-game summaries and cluster protocol messages cross process
+// boundaries. Every encoded message starts with the same four-byte header —
+//
+//	offset 0–1  magic "TQ" (0x54 0x51)
+//	offset 2    format version (currently 1)
+//	offset 3    payload kind (KindSummary, KindVector, KindReport, KindDirective)
+//
+// — followed by a little-endian payload. Decoders reject foreign bytes
+// (ErrMagic), payloads from a future format version (ErrVersion — forward
+// compatibility is explicit rejection, never silent misparsing), payloads of
+// the wrong kind (ErrKind), short payloads (ErrTruncated) and trailing
+// garbage. Encode∘Decode is the identity on every message type: float64
+// fields are shipped bit-exact, so a summary merged from decoded shard
+// summaries equals the summary merged from the originals — the property the
+// cluster's ε accounting rests on (DESIGN.md §6).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Version is the current wire-format version. Bump it when the payload
+// layout changes; decoders reject anything newer than what they know.
+const Version = 1
+
+const (
+	magic0 = 'T'
+	magic1 = 'Q'
+
+	headerSize = 4
+)
+
+// Kind tags the payload type carried after the header.
+type Kind byte
+
+// The four message kinds of format version 1.
+const (
+	KindSummary   Kind = 1 // one quantile summary
+	KindVector    Kind = 2 // per-coordinate summaries of a row stream
+	KindReport    Kind = 3 // worker → coordinator shard report
+	KindDirective Kind = 4 // coordinator → worker directive
+)
+
+// Decode errors. Wrapped with context; test with errors.Is.
+var (
+	ErrTruncated = errors.New("wire: truncated payload")
+	ErrMagic     = errors.New("wire: bad magic")
+	ErrVersion   = errors.New("wire: unsupported version")
+	ErrKind      = errors.New("wire: unexpected payload kind")
+)
+
+// appendHeader starts an encoded message.
+func appendHeader(buf []byte, k Kind) []byte {
+	return append(buf, magic0, magic1, Version, byte(k))
+}
+
+// checkHeader validates the four-byte header and returns the payload.
+func checkHeader(buf []byte, want Kind) ([]byte, error) {
+	if len(buf) < headerSize {
+		return nil, fmt.Errorf("%w: %d-byte message is shorter than the header", ErrTruncated, len(buf))
+	}
+	if buf[0] != magic0 || buf[1] != magic1 {
+		return nil, fmt.Errorf("%w: %#02x %#02x", ErrMagic, buf[0], buf[1])
+	}
+	if buf[2] > Version {
+		return nil, fmt.Errorf("%w: message version %d, decoder supports ≤ %d", ErrVersion, buf[2], Version)
+	}
+	if Kind(buf[3]) != want {
+		return nil, fmt.Errorf("%w: kind %d, want %d", ErrKind, buf[3], want)
+	}
+	return buf[headerSize:], nil
+}
+
+// appendU32/appendU64/appendF64 write little-endian scalars.
+func appendU32(buf []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(buf, v) }
+func appendU64(buf []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(buf, v) }
+func appendF64(buf []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+}
+
+// reader is a bounds-checked little-endian cursor over a payload. The first
+// failed read latches err; subsequent reads return zero values, so decoders
+// can read a whole struct and check err once.
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: reading %s at offset %d of %d", ErrTruncated, what, r.off, len(r.buf))
+	}
+}
+
+func (r *reader) u8(what string) byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+1 > len(r.buf) {
+		r.fail(what)
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u32(what string) uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+4 > len(r.buf) {
+		r.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.buf) {
+		r.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) f64(what string) float64 { return math.Float64frombits(r.u64(what)) }
+
+// count reads a u32 element count and verifies the remaining payload can
+// hold count elements of elemSize bytes, so corrupt counts fail with
+// ErrTruncated instead of attempting a huge allocation.
+func (r *reader) count(what string, elemSize int) int {
+	n := int(r.u32(what))
+	if r.err == nil && n*elemSize > len(r.buf)-r.off {
+		r.fail(what + " elements")
+	}
+	if r.err != nil {
+		return 0
+	}
+	return n
+}
+
+// finish rejects trailing bytes: a well-formed message is consumed exactly.
+func (r *reader) finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("wire: %d trailing bytes after payload", len(r.buf)-r.off)
+	}
+	return nil
+}
+
+func (r *reader) f64s(what string) []float64 {
+	n := r.count(what, 8)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.f64(what)
+	}
+	return out
+}
+
+func appendF64s(buf []byte, vs []float64) []byte {
+	buf = appendU32(buf, uint32(len(vs)))
+	for _, v := range vs {
+		buf = appendF64(buf, v)
+	}
+	return buf
+}

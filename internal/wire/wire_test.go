@@ -1,0 +1,270 @@
+package wire
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/stats/summary"
+)
+
+// randomSummary builds a summary from n draws of the named shape, compressed
+// to roughly b entries when b > 0 — covering the states a summary actually
+// crosses the wire in (fresh, merged, compressed).
+func randomSummary(t testing.TB, rng *rand.Rand, shape string, n, b int) *summary.Summary {
+	t.Helper()
+	values := make([]float64, n)
+	for i := range values {
+		switch shape {
+		case "uniform":
+			values[i] = rng.Float64()
+		case "heavy":
+			// Log-normal-ish heavy tail: occasional values orders of
+			// magnitude above the bulk.
+			values[i] = math.Exp(3 * rng.NormFloat64())
+		case "duplicate":
+			// Few distinct values, so entries carry weight > 1.
+			values[i] = float64(rng.Intn(7))
+		default:
+			t.Fatalf("unknown shape %q", shape)
+		}
+	}
+	s := summary.FromUnsorted(values)
+	if b > 0 {
+		s.Compress(b)
+	}
+	return s
+}
+
+func sameEntries(a, b *summary.Summary) bool {
+	if a == nil || b == nil {
+		return a.Size() == 0 && b.Size() == 0
+	}
+	return reflect.DeepEqual(a.Entries(), b.Entries())
+}
+
+// Wire round-trip identity: DecodeSummary(EncodeSummary(s)) reproduces the
+// entries bit-exactly for random summaries across distribution shapes and
+// compression levels.
+func TestSummaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, shape := range []string{"uniform", "heavy", "duplicate"} {
+		for trial := 0; trial < 20; trial++ {
+			n := 1 + rng.Intn(2000)
+			b := 0
+			if trial%2 == 1 {
+				b = 8 + rng.Intn(64)
+			}
+			s := randomSummary(t, rng, shape, n, b)
+			got, err := DecodeSummary(EncodeSummary(nil, s))
+			if err != nil {
+				t.Fatalf("%s trial %d: decode: %v", shape, trial, err)
+			}
+			if !sameEntries(s, got) {
+				t.Fatalf("%s trial %d: entries not identical after round trip", shape, trial)
+			}
+			// Bit-exact entries imply identical queries; spot-check anyway.
+			for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+				if a, b := s.Query(q), got.Query(q); a != b {
+					t.Fatalf("%s trial %d: Query(%v) %v != %v", shape, trial, q, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestSummaryRoundTripEmpty(t *testing.T) {
+	got, err := DecodeSummary(EncodeSummary(nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
+		t.Fatalf("nil summary decoded to %v", got)
+	}
+}
+
+func TestVectorRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vec, err := summary.NewVector(5, 0.01, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := make([]float64, 5)
+	for i := 0; i < 800; i++ {
+		for j := range row {
+			row[j] = rng.NormFloat64() * float64(j+1)
+		}
+		if err := vec.PushRow(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := DecodeVector(EncodeVector(nil, vec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Count != vec.Count() || d.Epsilon != vec.Epsilon() || len(d.Dims) != vec.Dim() {
+		t.Fatalf("meta mismatch: %+v", d)
+	}
+	for i := range d.Dims {
+		if !sameEntries(vec.Coord(i).Snapshot(), d.Dims[i]) {
+			t.Fatalf("coordinate %d entries not identical", i)
+		}
+		if d.Sums[i] != vec.Coord(i).Sum() {
+			t.Fatalf("coordinate %d sum %v != %v", i, d.Sums[i], vec.Coord(i).Sum())
+		}
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vec, err := summary.NewVector(3, 0.02, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := vec.PushRow([]float64{rng.Float64(), rng.NormFloat64(), float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reps := []*Report{
+		{}, // zero report (a bare ack)
+		{
+			Round: 7, Worker: 3, Epsilon: 0.01,
+			Sum: randomSummary(t, rng, "uniform", 500, 32), Count: 500, ValueSum: 123.456,
+		},
+		{
+			Round: 9, Worker: 1, Epsilon: 0.005,
+			Counts:    Counts{HonestKept: 10, HonestTrimmed: 2, PoisonKept: 1, PoisonTrimmed: 4},
+			Kept:      randomSummary(t, rng, "heavy", 300, 0),
+			KeptCount: 11, KeptSum: -9.5,
+			KeptIdx: []int{0, 3, 4, 9, 17},
+			Vec:     DeltaFromVector(vec),
+		},
+	}
+	for i, rep := range reps {
+		got, err := DecodeReport(EncodeReport(nil, rep))
+		if err != nil {
+			t.Fatalf("report %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(rep, got) {
+			t.Fatalf("report %d round trip mismatch:\n%+v\n%+v", i, rep, got)
+		}
+	}
+}
+
+func TestDirectiveRoundTrip(t *testing.T) {
+	dirs := []*Directive{
+		{Op: OpConfigure, Epsilon: 0.01},
+		{Op: OpSummarize, Round: 4, Values: []float64{1, 2, math.Pi, -7}, PoisonFrom: 3},
+		{
+			Op: OpSummarizeRows, Round: 5,
+			Rows:   [][]float64{{1, 2}, {3, 4}, {5, 6}},
+			Center: []float64{0.5, -0.5}, PoisonFrom: 2,
+		},
+		{Op: OpClassify, Round: 6, Pct: 0.9, Threshold: 1.234},
+		{Op: OpStop},
+	}
+	for i, d := range dirs {
+		got, err := DecodeDirective(EncodeDirective(nil, d))
+		if err != nil {
+			t.Fatalf("directive %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(d, got) {
+			t.Fatalf("directive %d round trip mismatch:\n%+v\n%+v", i, d, got)
+		}
+	}
+}
+
+// Every strict prefix of a valid message must be rejected, and the error for
+// payload-level cuts must be ErrTruncated — never a partial decode.
+func TestDecodeRejectsTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := randomSummary(t, rng, "uniform", 64, 16)
+	msgs := map[string][]byte{
+		"summary": EncodeSummary(nil, s),
+		"report": EncodeReport(nil, &Report{
+			Round: 1, Sum: s, Count: 64, ValueSum: 30, KeptIdx: []int{1, 2},
+		}),
+		"directive": EncodeDirective(nil, &Directive{
+			Op: OpSummarize, Round: 1, Values: []float64{1, 2, 3}, PoisonFrom: 1,
+		}),
+	}
+	decode := map[string]func([]byte) error{
+		"summary":   func(b []byte) error { _, err := DecodeSummary(b); return err },
+		"report":    func(b []byte) error { _, err := DecodeReport(b); return err },
+		"directive": func(b []byte) error { _, err := DecodeDirective(b); return err },
+	}
+	for name, msg := range msgs {
+		for cut := 0; cut < len(msg); cut++ {
+			err := decode[name](msg[:cut])
+			if err == nil {
+				t.Fatalf("%s truncated at %d/%d: decode succeeded", name, cut, len(msg))
+			}
+			if cut >= headerSize && !errors.Is(err, ErrTruncated) {
+				t.Fatalf("%s truncated at %d/%d: error %v, want ErrTruncated", name, cut, len(msg), err)
+			}
+		}
+		if err := decode[name](append(append([]byte(nil), msg...), 0)); err == nil {
+			t.Fatalf("%s with trailing byte: decode succeeded", name)
+		}
+	}
+}
+
+func TestDecodeRejectsWrongVersionMagicKind(t *testing.T) {
+	msg := EncodeSummary(nil, summary.FromUnsorted([]float64{1, 2, 3}))
+
+	future := append([]byte(nil), msg...)
+	future[2] = Version + 1
+	if _, err := DecodeSummary(future); !errors.Is(err, ErrVersion) {
+		t.Fatalf("future version: %v, want ErrVersion", err)
+	}
+
+	bad := append([]byte(nil), msg...)
+	bad[0] = 'X'
+	if _, err := DecodeSummary(bad); !errors.Is(err, ErrMagic) {
+		t.Fatalf("bad magic: %v, want ErrMagic", err)
+	}
+
+	if _, err := DecodeReport(msg); !errors.Is(err, ErrKind) {
+		t.Fatalf("kind mismatch: %v, want ErrKind", err)
+	}
+
+	// An older version (0) must still be accepted by a newer decoder.
+	old := append([]byte(nil), msg...)
+	old[2] = 0
+	if _, err := DecodeSummary(old); err != nil {
+		t.Fatalf("older version rejected: %v", err)
+	}
+}
+
+// A corrupt element count must fail cleanly instead of allocating gigabytes.
+func TestDecodeRejectsOversizedCount(t *testing.T) {
+	msg := EncodeSummary(nil, summary.FromUnsorted([]float64{1, 2, 3}))
+	msg[headerSize] = 0xff
+	msg[headerSize+1] = 0xff
+	msg[headerSize+2] = 0xff
+	msg[headerSize+3] = 0xff
+	if _, err := DecodeSummary(msg); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("oversized count: %v, want ErrTruncated", err)
+	}
+}
+
+// Structurally invalid entries (the bytes parse, the summary is broken) are
+// rejected by the FromEntries validation behind the decoder.
+func TestDecodeRejectsInvalidEntries(t *testing.T) {
+	s := summary.FromUnsorted([]float64{1, 2, 3})
+	msg := EncodeSummary(nil, s)
+	// Overwrite the second entry's value (offset: header + count + one
+	// entry + value field) with one below the first, breaking sort order.
+	off := headerSize + 4 + entrySize
+	le := msg[off : off+8]
+	for i := range le {
+		le[i] = 0
+	}
+	le[7] = 0xbf // float64(-1) high byte pattern: 0xbff0... — close enough: -0.0078125?
+	if _, err := DecodeSummary(msg); err == nil {
+		t.Fatal("out-of-order entries decoded successfully")
+	}
+}
