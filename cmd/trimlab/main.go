@@ -5,18 +5,30 @@
 // Usage:
 //
 //	trimlab -experiment fig4 [-scale quick|bench|paper] [-points N] [-seed S]
-//	trimlab worker -listen :7101
-//	trimlab coordinator -workers host1:7101,host2:7101 [-seed S] [-rounds N] [-batch N]
+//	trimlab worker -listen :7101 [-seed S]
+//	trimlab coordinator -workers host1:7101,host2:7101 [-seed S] [-local] [-rounds N] [-batch N]
 //
 // Experiments: table1, table2, table3, table4, fig4, fig5, fig6, fig7,
 // fig8, fig9, variants, blackbox, sharded, distributed, all.
 //
+// Every mode takes the same -seed flag (default 1, must be ≥ 1): the
+// experiment mode uses it as the base RNG seed (repetition seeds are
+// base + i), the coordinator as the game seed — in -local mode the master
+// seed every shard and round stream derives from. The worker accepts it
+// only for launch-script symmetry: a worker draws nothing of its own, its
+// per-round seeds arrive derived inside the coordinator's directives.
+//
 // The coordinator/worker subcommands run the scalar collection game as a
 // real multi-process cluster: start one `trimlab worker` per machine (or
-// port), then point a `trimlab coordinator` at their addresses. The
-// coordinator also replays the identical game unsharded on the same seed
-// and verifies the final trim threshold drifted no more than the allowed
-// rank-space bound.
+// port), then point a `trimlab coordinator` at their addresses. By default
+// the coordinator generates arrivals and ships raw slices, then replays
+// the identical game unsharded on the same seed and verifies the final
+// trim threshold drifted no more than the allowed rank-space bound. With
+// -local the cluster runs the shard-local data plane — workers generate
+// their own arrivals from derived seed streams, round directives are O(1)
+// — and the coordinator instead verifies the multi-process board against
+// the single-process sharded reference record for record, reporting its
+// per-round egress bytes.
 package main
 
 import (
@@ -53,9 +65,12 @@ func main() {
 		exp    = flag.String("experiment", "all", "experiment to run: table1..table4, fig4..fig9, variants, blackbox, sharded, distributed, all")
 		scale  = flag.String("scale", "quick", "effort: quick, bench, or paper")
 		points = flag.Int("points", 3, "attack-ratio points per interval (fig4/fig5)")
-		seed   = flag.Int64("seed", 1, "base RNG seed")
+		seed   = seedFlag(flag.CommandLine)
 	)
 	flag.Parse()
+	if err := validateSeed(*seed); err != nil {
+		fatal(err)
+	}
 
 	sc, err := scaleFor(*scale)
 	if err != nil {
@@ -236,6 +251,21 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// seedFlag registers the one -seed flag every trimlab mode shares; see the
+// command doc for its meaning per mode. Default 1.
+func seedFlag(fs *flag.FlagSet) *int64 {
+	return fs.Int64("seed", 1, "RNG seed (≥ 1; base seed for experiments, game/master seed for the coordinator, informational for workers)")
+}
+
+// validateSeed enforces the shared contract: repetition seeds are
+// base + i, so the base must be a positive integer.
+func validateSeed(s int64) error {
+	if s < 1 {
+		return fmt.Errorf("-seed %d: must be ≥ 1", s)
+	}
+	return nil
+}
+
 // workerMain is the `trimlab worker` subcommand: serve one cluster worker
 // until the coordinator sends the stop directive.
 func workerMain(args []string) error {
@@ -243,12 +273,16 @@ func workerMain(args []string) error {
 	var (
 		listen = fs.String("listen", ":7101", "address to serve the worker RPC on")
 		id     = fs.Int("id", 0, "worker id for log lines (shard order is set by the coordinator's -workers list)")
+		seed   = seedFlag(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := validateSeed(*seed); err != nil {
+		return err
+	}
 	w := cluster.NewWorker(*id)
-	fmt.Printf("trimlab worker %d: serving on %s\n", *id, *listen)
+	fmt.Printf("trimlab worker %d: serving on %s (seeds are derived by the coordinator; -seed is accepted for launch symmetry)\n", *id, *listen)
 	if err := cluster.ListenAndServe(*listen, w); err != nil {
 		return err
 	}
@@ -257,8 +291,10 @@ func workerMain(args []string) error {
 }
 
 // coordinatorMain is the `trimlab coordinator` subcommand: run the scalar
-// collection game across TCP workers, then verify the final threshold
-// against an unsharded replay of the same seed.
+// collection game across TCP workers, then verify it — against an
+// unsharded replay of the same seed (threshold-drift bound) by default, or
+// against the single-process shard-local reference (record for record) in
+// -local mode.
 func coordinatorMain(args []string) error {
 	fs := flag.NewFlagSet("coordinator", flag.ExitOnError)
 	var (
@@ -266,12 +302,16 @@ func coordinatorMain(args []string) error {
 		rounds  = fs.Int("rounds", 20, "game rounds")
 		batch   = fs.Int("batch", 20000, "honest arrivals per round")
 		ratio   = fs.Float64("ratio", 0.2, "attack ratio")
-		seed    = fs.Int64("seed", 1, "RNG seed (shared by the cluster run and the unsharded verification run)")
+		seed    = seedFlag(fs)
+		local   = fs.Bool("local", false, "shard-local data plane: workers generate their own arrivals from seeds derived off -seed; round directives are O(1)")
 		eps     = fs.Float64("eps", 0, "summary rank-error budget (0 = package default)")
-		bound   = fs.Float64("bound", 0.05, "allowed final-threshold drift vs the unsharded run, in reference-rank space")
+		bound   = fs.Float64("bound", 0.05, "allowed final-threshold drift vs the unsharded run, in reference-rank space (ignored with -local, which verifies exact equality)")
 		wait    = fs.Duration("wait", 10*time.Second, "how long to retry dialing workers")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := validateSeed(*seed); err != nil {
 		return err
 	}
 	addrs := strings.Split(*workers, ",")
@@ -281,22 +321,26 @@ func coordinatorMain(args []string) error {
 
 	cfg := func() (collect.Config, error) {
 		ref := stats.NormalSlice(stats.NewRand(*seed), 5000, 0, 1)
-		honest, err := collect.PoolSampler(ref)
-		if err != nil {
-			return collect.Config{}, err
-		}
 		sch, err := experiments.NewScheme(experiments.Baseline09, 0.9, 0.1)
 		if err != nil {
 			return collect.Config{}, err
 		}
-		return collect.Config{
+		c := collect.Config{
 			Rounds: *rounds, Batch: *batch, AttackRatio: *ratio,
-			Reference: ref, Honest: honest,
+			Reference: ref,
 			Collector: sch.Collector, Adversary: sch.Adversary,
 			TrimOnBatch:    true,
 			SummaryEpsilon: *eps,
-			Rng:            stats.NewRand(*seed + 1),
-		}, nil
+		}
+		if !*local {
+			honest, err := collect.PoolSampler(ref)
+			if err != nil {
+				return collect.Config{}, err
+			}
+			c.Honest = honest
+			c.Rng = stats.NewRand(*seed + 1)
+		}
+		return c, nil
 	}
 
 	fmt.Printf("trimlab coordinator: dialing %d workers %v\n", len(addrs), addrs)
@@ -308,10 +352,15 @@ func coordinatorMain(args []string) error {
 	if err != nil {
 		return err
 	}
+	var gen *collect.ShardGen
+	if *local {
+		gen = &collect.ShardGen{MasterSeed: *seed}
+	}
 	start := time.Now()
 	clustered, err := collect.RunCluster(collect.ClusterConfig{
 		Config:    ccfg,
 		Transport: tr,
+		Gen:       gen,
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, "trimlab coordinator: "+format+"\n", a...)
 		},
@@ -321,6 +370,38 @@ func coordinatorMain(args []string) error {
 	}
 	elapsed := time.Since(start).Round(time.Millisecond)
 
+	fmt.Printf("cluster game: %d rounds x batch %d over %d workers in %v (%d shards lost)\n",
+		*rounds, *batch, len(addrs), elapsed, clustered.LostShards)
+	fmt.Printf("  poison retained %.5f, honest lost %.5f, kept mean %.4f, kept p99 %.4f\n",
+		clustered.Board.PoisonRetention(), clustered.Board.HonestLoss(),
+		clustered.KeptMean(), clustered.KeptQuantile(0.99))
+	fmt.Printf("  coordinator egress: %d B total, %d B configure, %.0f B/round\n",
+		clustered.EgressBytes, clustered.EgressConfigBytes,
+		float64(clustered.EgressBytes-clustered.EgressConfigBytes)/float64(*rounds))
+
+	if *local {
+		// Shard-local verification: the multi-process run must reproduce
+		// the single-process sharded reference record for record.
+		rcfg, err := cfg()
+		if err != nil {
+			return err
+		}
+		reference, err := collect.RunSharded(collect.ShardedConfig{
+			Config: rcfg, Shards: len(addrs), Gen: gen,
+		})
+		if err != nil {
+			return err
+		}
+		for i := range reference.Board.Records {
+			if !reference.Board.Records[i].Equal(clustered.Board.Records[i]) {
+				return fmt.Errorf("coordinator: round %d diverged from the shard-local reference:\nreference %+v\ncluster   %+v",
+					i+1, reference.Board.Records[i], clustered.Board.Records[i])
+			}
+		}
+		fmt.Println("board matches the single-process shard-local reference record for record: OK")
+		return nil
+	}
+
 	ucfg, err := cfg()
 	if err != nil {
 		return err
@@ -329,7 +410,6 @@ func coordinatorMain(args []string) error {
 	if err != nil {
 		return err
 	}
-
 	refSorted := append([]float64(nil), ucfg.Reference...)
 	sort.Float64s(refSorted)
 	last := len(clustered.Board.Records) - 1
@@ -339,12 +419,6 @@ func coordinatorMain(args []string) error {
 	if drift < 0 {
 		drift = -drift
 	}
-
-	fmt.Printf("cluster game: %d rounds x batch %d over %d workers in %v (%d shards lost)\n",
-		*rounds, *batch, len(addrs), elapsed, clustered.LostShards)
-	fmt.Printf("  poison retained %.5f, honest lost %.5f, kept mean %.4f, kept p99 %.4f\n",
-		clustered.Board.PoisonRetention(), clustered.Board.HonestLoss(),
-		clustered.KeptMean(), clustered.KeptQuantile(0.99))
 	fmt.Printf("final threshold: cluster %.6f vs unsharded %.6f (rank drift %.5f, bound %.5f)\n",
 		ct, ut, drift, *bound)
 	if drift > *bound {

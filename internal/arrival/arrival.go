@@ -1,0 +1,124 @@
+// Package arrival is the shard-local data plane of the collection games:
+// deterministic arrival generators that draw one shard's slice of a round
+// — honest, injected and poisoned — from an RNG stream derived off a
+// master seed (stats.DeriveSeed). The same generator code runs inside the
+// single-process sharded engines (internal/collect) and inside cluster
+// workers (internal/cluster), which is what lets a loopback or TCP cluster
+// reproduce a single-process reference run record for record while the
+// coordinator ships only O(1) round directives (wire.GenSpec) instead of
+// O(batch) value slices. See DESIGN.md §7 for the seed-derivation and
+// draw-order contracts.
+package arrival
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/attack"
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+// Spec is the decoded per-round generation recipe: how many arrivals this
+// shard draws and from which injection distribution. It is the in-memory
+// form of the wire.GenSpec scalars.
+type Spec struct {
+	HonestN int
+	PoisonN int
+	Inject  attack.InjectionSpec
+	Jitter  float64 // tie-breaking jitter width on the percentile scale
+}
+
+func (s Spec) validate() error {
+	if s.HonestN < 0 || s.PoisonN < 0 {
+		return fmt.Errorf("arrival: negative counts %d/%d", s.HonestN, s.PoisonN)
+	}
+	if s.PoisonN > 0 {
+		return s.Inject.Validate()
+	}
+	return nil
+}
+
+// SpecToWire packs a spec and its derived seed into the wire form.
+func SpecToWire(seed int64, s Spec) *wire.GenSpec {
+	return &wire.GenSpec{
+		Seed:       seed,
+		HonestN:    s.HonestN,
+		PoisonN:    s.PoisonN,
+		InjectKind: byte(s.Inject.Kind),
+		InjectP:    s.Inject.P,
+		InjectLo:   s.Inject.Lo,
+		InjectHi:   s.Inject.Hi,
+		Jitter:     s.Jitter,
+	}
+}
+
+// SpecFromWire unpacks and validates a decoded wire.GenSpec — the worker-
+// side guard: a malformed generator directive is a protocol error, never a
+// silently skewed draw.
+func SpecFromWire(g *wire.GenSpec) (Spec, error) {
+	if g == nil {
+		return Spec{}, fmt.Errorf("arrival: directive carries no generator spec")
+	}
+	s := Spec{
+		HonestN: g.HonestN,
+		PoisonN: g.PoisonN,
+		Inject: attack.InjectionSpec{
+			Kind: attack.SpecKind(g.InjectKind),
+			P:    g.InjectP,
+			Lo:   g.InjectLo,
+			Hi:   g.InjectHi,
+		},
+		Jitter: g.Jitter,
+	}
+	if err := s.validate(); err != nil {
+		return Spec{}, err
+	}
+	if !(g.Jitter >= 0) || math.IsInf(g.Jitter, 0) {
+		return Spec{}, fmt.Errorf("arrival: jitter %v", g.Jitter)
+	}
+	return s, nil
+}
+
+// Scalar draws one shard's slice of a scalar round: honest values sampled
+// uniformly with replacement from Pool, then poison values placed at
+// injection percentiles of the sorted reference Ref (with tie-breaking
+// jitter). The draw order per arrival is part of the reproducibility
+// contract:
+//
+//	honest i:  one Intn (pool index)
+//	poison i:  Inject.Sample, then one Float64 (jitter)
+type Scalar struct {
+	Pool []float64 // honest pool; index order matters (Intn addressing)
+	Ref  []float64 // sorted clean reference (injection percentile scale)
+}
+
+func (g *Scalar) validate() error {
+	if g == nil || len(g.Pool) == 0 || len(g.Ref) == 0 {
+		return fmt.Errorf("arrival: scalar generator needs a pool and a reference")
+	}
+	return nil
+}
+
+// Draw generates the shard's arrivals for one round. Poison occupies the
+// tail: poisonFrom = s.HonestN. pctSum is the Σ of drawn injection
+// percentiles (the shard's share of the round's MeanInjectionPct).
+func (g *Scalar) Draw(rng *rand.Rand, s Spec) (values []float64, pctSum float64, err error) {
+	if err := g.validate(); err != nil {
+		return nil, 0, err
+	}
+	if err := s.validate(); err != nil {
+		return nil, 0, err
+	}
+	values = make([]float64, 0, s.HonestN+s.PoisonN)
+	for i := 0; i < s.HonestN; i++ {
+		values = append(values, g.Pool[rng.Intn(len(g.Pool))])
+	}
+	for i := 0; i < s.PoisonN; i++ {
+		pct := s.Inject.Sample(rng)
+		pctSum += pct
+		values = append(values, stats.QuantileSorted(g.Ref, pct)+(rng.Float64()-0.5)*s.Jitter)
+	}
+	return values, pctSum, nil
+}

@@ -1,0 +1,245 @@
+package arrival
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/ldp"
+	"repro/internal/stats"
+)
+
+func scalarSpec(honest, poison int) Spec {
+	return Spec{
+		HonestN: honest, PoisonN: poison,
+		Inject: attack.PointSpec(0.99),
+		Jitter: 1e-6,
+	}
+}
+
+func TestSpecWireRoundTrip(t *testing.T) {
+	s := Spec{
+		HonestN: 100, PoisonN: 20,
+		Inject: attack.InjectionSpec{Kind: attack.SpecMixture, P: 0.7, Lo: 0.9, Hi: 0.99},
+		Jitter: 0.5,
+	}
+	got, err := SpecFromWire(SpecToWire(42, s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Fatalf("round trip: %+v != %+v", got, s)
+	}
+	if SpecToWire(42, s).Seed != 42 {
+		t.Fatal("seed not carried")
+	}
+	if _, err := SpecFromWire(nil); err == nil {
+		t.Fatal("nil gen spec accepted")
+	}
+	bad := SpecToWire(1, s)
+	bad.InjectKind = 99
+	if _, err := SpecFromWire(bad); err == nil {
+		t.Fatal("bad inject kind accepted")
+	}
+	neg := SpecToWire(1, s)
+	neg.HonestN = -1
+	if _, err := SpecFromWire(neg); err == nil {
+		t.Fatal("negative count accepted")
+	}
+}
+
+func TestScalarDrawDeterministicAndShaped(t *testing.T) {
+	ref := stats.NormalSlice(stats.NewRand(1), 2000, 0, 1)
+	sorted := append([]float64(nil), ref...)
+	sort.Float64s(sorted)
+	g := &Scalar{Pool: ref, Ref: sorted}
+	spec := scalarSpec(300, 60)
+
+	a, pctA, err := g.Draw(stats.NewShardRand(7, 2, 3), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, pctB, err := g.Draw(stats.NewShardRand(7, 2, 3), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 360 || pctA != pctB {
+		t.Fatalf("draws diverged: %d values, pct %v vs %v", len(a), pctA, pctB)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("value %d diverged between identical seeds", i)
+		}
+	}
+	if math.Abs(pctA-0.99*60) > 1e-9 {
+		t.Fatalf("point injection pct sum %v, want %v", pctA, 0.99*60)
+	}
+	// Poison sits in the tail near the commanded percentile.
+	q99 := stats.QuantileSorted(sorted, 0.99)
+	for i := 300; i < 360; i++ {
+		if math.Abs(a[i]-q99) > 1e-3 {
+			t.Fatalf("poison %d at %v, want ≈ %v", i, a[i], q99)
+		}
+	}
+	// Different cells draw different arrivals.
+	c, _, err := g.Draw(stats.NewShardRand(7, 3, 3), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("distinct shards drew identical arrivals")
+	}
+}
+
+func TestScalarDrawValidation(t *testing.T) {
+	ok := &Scalar{Pool: []float64{1}, Ref: []float64{1}}
+	if _, _, err := ok.Draw(stats.NewRand(1), Spec{HonestN: -1}); err == nil {
+		t.Fatal("negative honest count accepted")
+	}
+	if _, _, err := ok.Draw(stats.NewRand(1), Spec{PoisonN: 1}); err == nil {
+		t.Fatal("poison without an injection spec accepted")
+	}
+	empty := &Scalar{}
+	if _, _, err := empty.Draw(stats.NewRand(1), scalarSpec(1, 0)); err == nil {
+		t.Fatal("unconfigured generator accepted")
+	}
+}
+
+func TestRowsDraw(t *testing.T) {
+	rng := stats.NewRand(2)
+	n, dim := 200, 3
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		x[i] = stats.NormalSlice(rng, dim, 0, 1)
+		y[i] = i % 4
+	}
+	g := &Rows{X: x, Y: y, Clusters: 4, PoisonLabel: -1}
+	center := []float64{0, 0, 0}
+	scaleQ := func(pct float64) float64 { return 1 + pct } // injective scale
+	spec := Spec{HonestN: 50, PoisonN: 10, Inject: attack.PointSpec(0.95), Jitter: 0}
+
+	rows, labels, pctSum, err := g.Draw(stats.NewShardRand(9, 0, 1), spec, center, scaleQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 60 || len(labels) != 60 {
+		t.Fatalf("drew %d rows / %d labels", len(rows), len(labels))
+	}
+	if math.Abs(pctSum-0.95*10) > 1e-9 {
+		t.Fatalf("pct sum %v", pctSum)
+	}
+	// Poison rows sit at the commanded distance exactly (jitter 0).
+	want := scaleQ(0.95)
+	for i := 50; i < 60; i++ {
+		if d := stats.Euclidean(rows[i], center); math.Abs(d-want) > 1e-9 {
+			t.Fatalf("poison row %d at distance %v, want %v", i, d, want)
+		}
+		if labels[i] < 0 || labels[i] >= 4 {
+			t.Fatalf("poison label %d outside classes", labels[i])
+		}
+	}
+	// Deterministic per cell.
+	again, _, _, err := g.Draw(stats.NewShardRand(9, 0, 1), spec, center, scaleQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		for j := range rows[i] {
+			if rows[i][j] != again[i][j] {
+				t.Fatalf("row %d diverged between identical seeds", i)
+			}
+		}
+	}
+	// Unlabeled dataset → nil labels.
+	gu := &Rows{X: x}
+	_, labels, _, err = gu.Draw(stats.NewShardRand(9, 0, 1), spec, center, scaleQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels != nil {
+		t.Fatal("unlabeled draw produced labels")
+	}
+}
+
+func TestLDPDraw(t *testing.T) {
+	rng := stats.NewRand(3)
+	pool := make([]float64, 1000)
+	for i := range pool {
+		pool[i] = stats.Clamp(rng.NormFloat64()*0.3, -1, 1)
+	}
+	mech, err := ldp.NewPiecewise(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewLDP(pool, mech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{HonestN: 400, PoisonN: 80, Inject: attack.PointSpec(0.99)}
+	a, inputSum, pctSum, err := g.Draw(stats.NewShardRand(4, 1, 2), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, inputSumB, _, err := g.Draw(stats.NewShardRand(4, 1, 2), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 480 || inputSum != inputSumB {
+		t.Fatalf("draws diverged: %d reports, input sums %v vs %v", len(a), inputSum, inputSumB)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("report %d diverged between identical seeds", i)
+		}
+	}
+	if math.Abs(pctSum-0.99*80) > 1e-9 {
+		t.Fatalf("pct sum %v", pctSum)
+	}
+	lo, hi := mech.OutputBounds()
+	for i, v := range a {
+		if v < lo || v > hi {
+			t.Fatalf("report %d = %v outside mechanism support [%v, %v]", i, v, lo, hi)
+		}
+	}
+}
+
+func TestMechWireCodec(t *testing.T) {
+	pw, _ := ldp.NewPiecewise(2)
+	du, _ := ldp.NewDuchi(1.5)
+	for _, m := range []ldp.Mechanism{pw, du} {
+		kind, eps, err := MechToWire(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := MechFromWire(kind, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Epsilon() != m.Epsilon() {
+			t.Fatalf("epsilon %v != %v", back.Epsilon(), m.Epsilon())
+		}
+		// Same code, same ε → identical perturbation stream.
+		a, b := stats.NewRand(5), stats.NewRand(5)
+		for i := 0; i < 50; i++ {
+			if m.Perturb(a, 0.25) != back.Perturb(b, 0.25) {
+				t.Fatal("reconstructed mechanism diverged")
+			}
+		}
+	}
+	if _, _, err := MechToWire(nonCodable{}); err == nil {
+		t.Fatal("non-codable mechanism accepted")
+	}
+	if _, err := MechFromWire(99, 1); err == nil {
+		t.Fatal("unknown mechanism code accepted")
+	}
+}
+
+type nonCodable struct{ ldp.Mechanism }

@@ -1,0 +1,103 @@
+package arrival
+
+import (
+	"fmt"
+	"sort"
+
+	"math/rand"
+
+	"repro/internal/ldp"
+	"repro/internal/stats"
+)
+
+// LDP mechanism codes of wire format version 2 — the mechanisms whose
+// construction is a pure function of (kind, ε) and can therefore be
+// re-instantiated identically on a worker. Mechanisms with richer state
+// (the EMF baseline's binned channel, the categorical GRR) are not
+// wire-codable; shard-local LDP games reject them at validation.
+const (
+	MechNone      byte = 0
+	MechPiecewise byte = 1
+	MechDuchi     byte = 2
+)
+
+// MechToWire returns the wire code of a mechanism, or an error when the
+// mechanism cannot be reconstructed from a code.
+func MechToWire(m ldp.Mechanism) (kind byte, eps float64, err error) {
+	switch m.(type) {
+	case *ldp.Piecewise:
+		return MechPiecewise, m.Epsilon(), nil
+	case *ldp.Duchi:
+		return MechDuchi, m.Epsilon(), nil
+	}
+	return MechNone, 0, fmt.Errorf("arrival: mechanism %T is not wire-codable", m)
+}
+
+// MechFromWire reconstructs a mechanism from its wire code.
+func MechFromWire(kind byte, eps float64) (ldp.Mechanism, error) {
+	switch kind {
+	case MechPiecewise:
+		return ldp.NewPiecewise(eps)
+	case MechDuchi:
+		return ldp.NewDuchi(eps)
+	}
+	return nil, fmt.Errorf("arrival: unknown mechanism code %d", kind)
+}
+
+// LDP draws one shard's slice of a privacy-preserving round: honest inputs
+// sampled from the clean pool and perturbed through the mechanism, then
+// input-manipulation poison (forge an input at a commanded percentile of
+// the clean input distribution, follow the protocol). The draw order per
+// arrival is part of the reproducibility contract:
+//
+//	honest i:  one Intn (pool index), then the mechanism's Perturb draws
+//	poison i:  Inject.Sample, then the mechanism's Perturb draws on the
+//	           forged input
+type LDP struct {
+	Pool   []float64 // clean input pool; index order matters (Intn addressing)
+	Mech   ldp.Mechanism
+	sorted []float64 // Pool sorted, for forged-input percentile resolution
+}
+
+// NewLDP builds the generator, sorting a private copy of the pool once.
+func NewLDP(pool []float64, mech ldp.Mechanism) (*LDP, error) {
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("arrival: LDP generator needs an input pool")
+	}
+	if mech == nil {
+		return nil, fmt.Errorf("arrival: LDP generator needs a mechanism")
+	}
+	sorted := append([]float64(nil), pool...)
+	sort.Float64s(sorted)
+	return &LDP{Pool: pool, Mech: mech, sorted: sorted}, nil
+}
+
+// Draw generates the shard's reports for one round. Poison occupies the
+// tail: poisonFrom = s.HonestN. inputSum is the Σ of honest inputs behind
+// the reports (the shard's share of the game's TrueMean); pctSum the Σ of
+// drawn injection percentiles.
+func (g *LDP) Draw(rng *rand.Rand, s Spec) (reports []float64, inputSum, pctSum float64, err error) {
+	if g == nil || g.Mech == nil || len(g.Pool) == 0 {
+		return nil, 0, 0, fmt.Errorf("arrival: LDP generator not configured")
+	}
+	if err := s.validate(); err != nil {
+		return nil, 0, 0, err
+	}
+	reports = make([]float64, 0, s.HonestN+s.PoisonN)
+	for i := 0; i < s.HonestN; i++ {
+		x := g.Pool[rng.Intn(len(g.Pool))]
+		inputSum += x
+		reports = append(reports, g.Mech.Perturb(rng, x))
+	}
+	for i := 0; i < s.PoisonN; i++ {
+		pct := s.Inject.Sample(rng)
+		pctSum += pct
+		forged := stats.QuantileSorted(g.sorted, pct)
+		m, err := ldp.NewInputManipulator(g.Mech, forged)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		reports = append(reports, m.Report(rng))
+	}
+	return reports, inputSum, pctSum, nil
+}

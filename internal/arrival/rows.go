@@ -1,0 +1,113 @@
+package arrival
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Rows draws one shard's slice of a row-game round: honest rows sampled
+// uniformly with replacement from the dataset, then poison rows rescaled to
+// commanded distance percentiles of the clean scale around the current
+// robust center. The draw order per arrival is part of the reproducibility
+// contract:
+//
+//	honest i:  one Intn (dataset index)
+//	poison i:  Inject.Sample, one Float64 (jitter), one Intn (base row),
+//	           and — when the dataset is labeled and PoisonLabel < 0 —
+//	           one Intn (random class)
+type Rows struct {
+	X [][]float64
+	Y []int // nil when unlabeled
+
+	Clusters    int // class count for random poison labels
+	PoisonLabel int // fixed poison label; −1: random existing class
+}
+
+// Labeled reports whether generated arrivals carry labels.
+func (g *Rows) Labeled() bool { return g != nil && g.Y != nil }
+
+func (g *Rows) validate() error {
+	if g == nil || len(g.X) == 0 {
+		return fmt.Errorf("arrival: row generator needs a dataset")
+	}
+	if g.Y != nil && len(g.Y) != len(g.X) {
+		return fmt.Errorf("arrival: %d labels for %d rows", len(g.Y), len(g.X))
+	}
+	if g.Y != nil && g.PoisonLabel < 0 && g.Clusters <= 0 {
+		return fmt.Errorf("arrival: random poison labels need a class count")
+	}
+	return nil
+}
+
+// Draw generates the shard's arrivals for one round. scaleQ resolves a
+// percentile on the clean distance scale (the merged per-shard scale
+// summary); center is the collector's current robust center. Poison
+// occupies the tail: poisonFrom = s.HonestN. labels is nil for unlabeled
+// datasets, else aligned with rows.
+func (g *Rows) Draw(rng *rand.Rand, s Spec, center []float64, scaleQ func(float64) float64) (rows [][]float64, labels []int, pctSum float64, err error) {
+	if err := g.validate(); err != nil {
+		return nil, nil, 0, err
+	}
+	if err := s.validate(); err != nil {
+		return nil, nil, 0, err
+	}
+	if len(center) == 0 {
+		return nil, nil, 0, fmt.Errorf("arrival: row generation without a center")
+	}
+	rows = make([][]float64, 0, s.HonestN+s.PoisonN)
+	if g.Labeled() {
+		labels = make([]int, 0, s.HonestN+s.PoisonN)
+	}
+	for i := 0; i < s.HonestN; i++ {
+		j := rng.Intn(len(g.X))
+		rows = append(rows, g.X[j])
+		if labels != nil {
+			labels = append(labels, g.Y[j])
+		}
+	}
+	for i := 0; i < s.PoisonN; i++ {
+		pct := s.Inject.Sample(rng)
+		pctSum += pct
+		dist := scaleQ(pct) + (rng.Float64()-0.5)*s.Jitter
+		if dist < 0 {
+			dist = 0
+		}
+		base := g.X[rng.Intn(len(g.X))]
+		rows = append(rows, PoisonRow(center, base, dist))
+		if labels != nil {
+			label := g.PoisonLabel
+			if label < 0 {
+				label = rng.Intn(g.Clusters)
+			}
+			labels = append(labels, label)
+		}
+	}
+	return rows, labels, pctSum, nil
+}
+
+// PoisonRow rescales an honest base row about the center so that its
+// distance from the center equals dist exactly — the evasive counterfeit
+// record of §III-A: the game-relevant quantity (distance) is coordinated,
+// everything else looks like data. Degenerate bases (at the center) fall
+// back to a unit offset in the first coordinate.
+func PoisonRow(center, base []float64, dist float64) []float64 {
+	row := make([]float64, len(center))
+	norm := 0.0
+	for i := range row {
+		row[i] = base[i] - center[i]
+		norm += row[i] * row[i]
+	}
+	norm = math.Sqrt(norm)
+	if norm == 0 {
+		row[0] = dist
+		for i := range center {
+			row[i] += center[i]
+		}
+		return row
+	}
+	for i := range row {
+		row[i] = center[i] + row[i]*dist/norm
+	}
+	return row
+}

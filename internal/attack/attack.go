@@ -66,10 +66,14 @@ func NewPoint(label string, pct float64) (*Point, error) {
 // Name implements Strategy.
 func (p *Point) Name() string { return p.Label }
 
+// InjectionSpec implements SpecInjector.
+func (p *Point) InjectionSpec(int, Observation) InjectionSpec {
+	return PointSpec(p.Pct)
+}
+
 // Injection implements Strategy.
-func (p *Point) Injection(int, Observation) func(*rand.Rand) float64 {
-	pct := p.Pct
-	return func(*rand.Rand) float64 { return pct }
+func (p *Point) Injection(r int, prev Observation) func(*rand.Rand) float64 {
+	return p.InjectionSpec(r, prev).Sampler()
 }
 
 // Reset implements Strategy.
@@ -99,10 +103,14 @@ func NewRange(label string, lo, hi float64) (*Range, error) {
 // Name implements Strategy.
 func (r *Range) Name() string { return r.Label }
 
+// InjectionSpec implements SpecInjector.
+func (r *Range) InjectionSpec(int, Observation) InjectionSpec {
+	return InjectionSpec{Kind: SpecUniform, Lo: r.Lo, Hi: r.Hi}
+}
+
 // Injection implements Strategy.
-func (r *Range) Injection(int, Observation) func(*rand.Rand) float64 {
-	lo, hi := r.Lo, r.Hi
-	return func(rng *rand.Rand) float64 { return lo + (hi-lo)*rng.Float64() }
+func (r *Range) Injection(round int, prev Observation) func(*rand.Rand) float64 {
+	return r.InjectionSpec(round, prev).Sampler()
 }
 
 // Reset implements Strategy.
@@ -131,13 +139,18 @@ func NewTracking(label string, initial, offset float64) (*Tracking, error) {
 // Name implements Strategy.
 func (t *Tracking) Name() string { return t.Label }
 
-// Injection implements Strategy.
-func (t *Tracking) Injection(r int, prev Observation) func(*rand.Rand) float64 {
+// InjectionSpec implements SpecInjector.
+func (t *Tracking) InjectionSpec(r int, prev Observation) InjectionSpec {
 	pct := t.Initial
 	if r > 1 {
 		pct = clampPct(prev.ThresholdPct + t.Offset)
 	}
-	return func(*rand.Rand) float64 { return pct }
+	return PointSpec(pct)
+}
+
+// Injection implements Strategy.
+func (t *Tracking) Injection(r int, prev Observation) func(*rand.Rand) float64 {
+	return t.InjectionSpec(r, prev).Sampler()
 }
 
 // Reset implements Strategy.

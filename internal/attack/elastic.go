@@ -39,15 +39,19 @@ func NewElastic(tth, k float64) (*Elastic, error) {
 // Name implements Strategy.
 func (e *Elastic) Name() string { return fmt.Sprintf("ElasticAdversary%.1f", e.K) }
 
-// Injection implements Strategy.
-func (e *Elastic) Injection(r int, prev Observation) func(*rand.Rand) float64 {
+// InjectionSpec implements SpecInjector.
+func (e *Elastic) InjectionSpec(r int, prev Observation) InjectionSpec {
 	if r <= 1 {
 		e.last = clampPct(e.Tth + 0.01)
 	} else if !math.IsNaN(prev.ThresholdPct) {
 		e.last = clampPct(e.Tth - 0.03 + e.K*(prev.ThresholdPct-e.Tth))
 	}
-	pct := e.last
-	return func(*rand.Rand) float64 { return pct }
+	return PointSpec(e.last)
+}
+
+// Injection implements Strategy.
+func (e *Elastic) Injection(r int, prev Observation) func(*rand.Rand) float64 {
+	return e.InjectionSpec(r, prev).Sampler()
 }
 
 // Reset implements Strategy.
@@ -75,15 +79,14 @@ func NewMixedP(p float64) (*MixedP, error) {
 // Name implements Strategy.
 func (m *MixedP) Name() string { return fmt.Sprintf("MixedP%.1f", m.P) }
 
+// InjectionSpec implements SpecInjector.
+func (m *MixedP) InjectionSpec(int, Observation) InjectionSpec {
+	return InjectionSpec{Kind: SpecMixture, P: m.P, Lo: m.LowPct, Hi: m.HighPct}
+}
+
 // Injection implements Strategy.
-func (m *MixedP) Injection(int, Observation) func(*rand.Rand) float64 {
-	p, hi, lo := m.P, m.HighPct, m.LowPct
-	return func(rng *rand.Rand) float64 {
-		if rng.Float64() < p {
-			return hi
-		}
-		return lo
-	}
+func (m *MixedP) Injection(r int, prev Observation) func(*rand.Rand) float64 {
+	return m.InjectionSpec(r, prev).Sampler()
 }
 
 // Reset implements Strategy.

@@ -87,16 +87,21 @@ func (p *Probing) Observe(survived bool) {
 	}
 }
 
-// Injection implements Strategy: probe at the bracket midpoint, backed off
-// by the safety margin.
-func (p *Probing) Injection(r int, prev Observation) func(*rand.Rand) float64 {
+// InjectionSpec implements SpecInjector: probe at the bracket midpoint,
+// backed off by the safety margin.
+func (p *Probing) InjectionSpec(int, Observation) InjectionSpec {
 	mid := (p.lo + p.hi) / 2
 	p.last = mid
 	pct := mid - p.Margin
 	if pct < 0 {
 		pct = 0
 	}
-	return func(*rand.Rand) float64 { return pct }
+	return PointSpec(pct)
+}
+
+// Injection implements Strategy.
+func (p *Probing) Injection(r int, prev Observation) func(*rand.Rand) float64 {
+	return p.InjectionSpec(r, prev).Sampler()
 }
 
 // Estimate returns the current bracket.

@@ -1,0 +1,102 @@
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SpecKind enumerates the closed-form injection distributions an
+// InjectionSpec can describe.
+type SpecKind byte
+
+// The three spec kinds. Every built-in strategy's per-round injection
+// distribution is one of these.
+const (
+	SpecPoint   SpecKind = 1 // all mass at Hi
+	SpecUniform SpecKind = 2 // uniform on [Lo, Hi]
+	SpecMixture SpecKind = 3 // Hi with probability P, else Lo
+)
+
+// InjectionSpec is a closed-form description of one round's injection
+// distribution — compact enough to cross a process boundary (a handful of
+// scalars on the wire), yet expressive enough for every built-in strategy.
+// It exists for the shard-local data plane: a coordinator that ships specs
+// instead of sampled values lets each shard draw its own poison from its
+// derived RNG stream, removing the O(poison) per-round hop.
+type InjectionSpec struct {
+	Kind   SpecKind
+	P      float64 // SpecMixture: probability of Hi
+	Lo, Hi float64
+}
+
+// PointSpec returns the point-mass spec at pct.
+func PointSpec(pct float64) InjectionSpec {
+	return InjectionSpec{Kind: SpecPoint, Hi: pct}
+}
+
+// Validate rejects malformed specs (the worker-side guard behind every
+// decoded generator directive).
+func (s InjectionSpec) Validate() error {
+	switch s.Kind {
+	case SpecPoint:
+		return validatePct("spec point", s.Hi)
+	case SpecUniform:
+		if err := validatePct("spec lo", s.Lo); err != nil {
+			return err
+		}
+		if err := validatePct("spec hi", s.Hi); err != nil {
+			return err
+		}
+		if s.Lo > s.Hi {
+			return fmt.Errorf("attack: spec range [%v, %v] inverted", s.Lo, s.Hi)
+		}
+		return nil
+	case SpecMixture:
+		if err := validatePct("spec mix probability", s.P); err != nil {
+			return err
+		}
+		if err := validatePct("spec lo", s.Lo); err != nil {
+			return err
+		}
+		return validatePct("spec hi", s.Hi)
+	}
+	return fmt.Errorf("attack: unknown injection spec kind %d", s.Kind)
+}
+
+// Sample draws one injection percentile. The RNG consumption per kind is
+// fixed (point: none, uniform and mixture: one Float64), which is what
+// makes a spec-driven shard reproduce a spec-driven reference run draw for
+// draw.
+func (s InjectionSpec) Sample(rng *rand.Rand) float64 {
+	switch s.Kind {
+	case SpecUniform:
+		return s.Lo + (s.Hi-s.Lo)*rng.Float64()
+	case SpecMixture:
+		if rng.Float64() < s.P {
+			return s.Hi
+		}
+		return s.Lo
+	default:
+		return s.Hi
+	}
+}
+
+// Sampler adapts the spec to the Strategy.Injection closure shape.
+func (s InjectionSpec) Sampler() func(*rand.Rand) float64 {
+	return s.Sample
+}
+
+// SpecInjector is implemented by strategies whose round-r injection
+// distribution has a closed form. The shard-local collection engines
+// require it (an opaque sampling closure cannot cross a process
+// boundary); every built-in strategy implements it, with Injection
+// derived from the spec so the two views cannot drift apart.
+//
+// InjectionSpec carries the same state-update semantics as Injection:
+// call exactly one of the two per round.
+type SpecInjector interface {
+	Strategy
+	// InjectionSpec returns the compact injection distribution for round
+	// r (1-based), given the observation of round r−1.
+	InjectionSpec(r int, prev Observation) InjectionSpec
+}

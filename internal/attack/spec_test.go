@@ -1,0 +1,106 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// Every built-in strategy must expose its injection distribution as a
+// compact spec — the capability the shard-local collection engines gate on.
+func TestBuiltinsImplementSpecInjector(t *testing.T) {
+	point, _ := NewPoint("p", 0.99)
+	rng, _ := NewRange("r", 0.9, 1)
+	track, _ := NewTracking("t", 0.89, -0.01)
+	elastic, _ := NewElastic(0.9, 0.5)
+	mixed, _ := NewMixedP(0.7)
+	probing, _ := NewProbing(0.5, 1, 0.01)
+	for _, s := range []Strategy{point, rng, track, elastic, mixed, probing} {
+		if _, ok := s.(SpecInjector); !ok {
+			t.Errorf("%s does not implement SpecInjector", s.Name())
+		}
+	}
+}
+
+// The spec and the closure views of one strategy must describe the same
+// distribution: identical RNG streams must produce identical samples.
+func TestSpecMatchesInjectionClosure(t *testing.T) {
+	mk := func() []SpecInjector {
+		point, _ := NewPoint("p", 0.99)
+		rng, _ := NewRange("r", 0.9, 1)
+		track, _ := NewTracking("t", 0.89, -0.01)
+		elastic, _ := NewElastic(0.9, 0.5)
+		mixed, _ := NewMixedP(0.7)
+		probing, _ := NewProbing(0.5, 1, 0.01)
+		return []SpecInjector{point, rng, track, elastic, mixed, probing}
+	}
+	specSide, closureSide := mk(), mk()
+	prev := Observation{Round: 1, ThresholdPct: 0.93}
+	for i := range specSide {
+		spec := specSide[i].InjectionSpec(2, prev)
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("%s: invalid spec: %v", specSide[i].Name(), err)
+		}
+		sample := closureSide[i].Injection(2, prev)
+		a, b := stats.NewRand(7), stats.NewRand(7)
+		for k := 0; k < 200; k++ {
+			if got, want := spec.Sample(a), sample(b); got != want {
+				t.Fatalf("%s: spec sample %v, closure sample %v (draw %d)",
+					specSide[i].Name(), got, want, k)
+			}
+		}
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []InjectionSpec{
+		{Kind: 0},
+		{Kind: SpecPoint, Hi: 1.2},
+		{Kind: SpecPoint, Hi: math.NaN()},
+		{Kind: SpecUniform, Lo: 0.9, Hi: 0.5},
+		{Kind: SpecUniform, Lo: -0.1, Hi: 0.5},
+		{Kind: SpecMixture, P: 2, Lo: 0.9, Hi: 0.99},
+		{Kind: 99, Hi: 0.5},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: spec %+v validated", i, s)
+		}
+	}
+	good := []InjectionSpec{
+		PointSpec(0.99),
+		{Kind: SpecUniform, Lo: 0.9, Hi: 1},
+		{Kind: SpecMixture, P: 0.7, Lo: 0.9, Hi: 0.99},
+	}
+	for i, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("case %d: %v", i, err)
+		}
+	}
+}
+
+func TestSpecSampleSupport(t *testing.T) {
+	rng := stats.NewRand(11)
+	u := InjectionSpec{Kind: SpecUniform, Lo: 0.9, Hi: 1}
+	for i := 0; i < 1000; i++ {
+		if v := u.Sample(rng); v < 0.9 || v > 1 {
+			t.Fatalf("uniform sample %v outside support", v)
+		}
+	}
+	m := InjectionSpec{Kind: SpecMixture, P: 0.5, Lo: 0.9, Hi: 0.99}
+	seenLo, seenHi := false, false
+	for i := 0; i < 1000; i++ {
+		switch m.Sample(rng) {
+		case 0.9:
+			seenLo = true
+		case 0.99:
+			seenHi = true
+		default:
+			t.Fatal("mixture sampled off-atom value")
+		}
+	}
+	if !seenLo || !seenHi {
+		t.Fatal("mixture did not visit both atoms")
+	}
+}

@@ -17,6 +17,11 @@ type Service struct {
 	w *Worker
 }
 
+// NewService wraps a worker for registration on a caller-owned RPC server
+// — failure-injection tests use it to control the lifecycle of individual
+// listeners and connections.
+func NewService(w *Worker) *Service { return &Service{w: w} }
+
 // Call handles one coordinator request.
 func (s *Service) Call(req []byte, resp *[]byte) error {
 	out, err := s.w.Handle(req)

@@ -2,44 +2,62 @@
 // coordinator/worker protocol in which workers hold one round's shard of
 // arrivals, ship ε-approximate summary deltas back to the coordinator, and
 // classify their shard against the trim threshold the coordinator resolves
-// from the merged summaries. All traffic is internal/wire messages, so the
-// same worker serves the in-process loopback transport (deterministic
-// tests, `trimlab -experiment distributed`) and the TCP/net-rpc transport
-// (`trimlab worker` / `trimlab coordinator`). The game loops themselves
-// live in internal/collect (RunCluster, RunClusterRows, RunClusterLDP);
-// this package knows nothing about strategies, boards or quality standards.
+// from the merged summaries. Workers obtain their shard either from the
+// coordinator (Summarize directives carrying raw slices) or — the
+// shard-local data plane of DESIGN.md §7 — by generating it themselves
+// from an O(1) Generate directive carrying a derived RNG seed and compact
+// parameters. All traffic is internal/wire messages, so the same worker
+// serves the in-process loopback transport (deterministic tests, `trimlab
+// -experiment distributed`) and the TCP/net-rpc transport (`trimlab
+// worker` / `trimlab coordinator`). The game loops themselves live in
+// internal/collect (RunCluster, RunClusterRows, RunClusterLDP); this
+// package knows nothing about strategies, boards or quality standards —
+// generation is pure data plane (internal/arrival).
 package cluster
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
+	"repro/internal/arrival"
 	"repro/internal/stats"
 	"repro/internal/stats/summary"
 	"repro/internal/wire"
 )
 
 // Worker executes game shards. It is a request/reply state machine over
-// wire.Directive messages: Configure sets the sketch budget, Summarize (or
-// SummarizeRows) stores the round's shard and returns its summary delta,
-// Classify tallies the stored shard against the threshold and returns
-// counts plus kept-pool deltas, Stop releases the worker. One worker serves
-// one coordinator; Handle is serialized by an internal mutex so transports
-// may deliver from any goroutine.
+// wire.Directive messages: Configure sets the sketch budget and installs
+// any shard-local generator state (honest pool, reference, dataset,
+// mechanism), Summarize/SummarizeRows store a coordinator-fed shard and
+// return its summary delta, Generate/GenerateRows draw the shard locally
+// from a derived seed, Scale summarizes a dataset range's distances from a
+// broadcast center, Classify tallies the stored shard against the
+// threshold and returns counts plus kept-pool deltas, Stop releases the
+// worker. One worker serves one coordinator; Handle is serialized by an
+// internal mutex so transports may deliver from any goroutine.
 type Worker struct {
 	mu  sync.Mutex
 	id  int
 	eps float64
 
-	// Round state, valid between a Summarize and its Classify. held is the
-	// authoritative "a summarize happened" flag — an empty shard slice
-	// decodes to a nil dists, so nil-ness cannot stand in for it.
+	// Shard-local data plane, installed by Configure.
+	scalarGen *arrival.Scalar
+	ldpGen    *arrival.LDP
+	rowGen    *arrival.Rows
+
+	// Round state, valid between a Summarize/Generate and its Classify.
+	// held is the authoritative "a summarize happened" flag — an empty
+	// shard slice decodes to a nil dists, so nil-ness cannot stand in for
+	// it.
 	held       bool
 	round      int
 	dists      []float64   // scalar arrivals, or row distances from center
 	rows       [][]float64 // row game only
+	labels     []int       // row game, shard-local generation only
 	dim        int         // row game only: len(center)
 	poisonFrom int
+	localRows  bool // classify ships kept rows (worker generated them)
 
 	stopOnce sync.Once
 	done     chan struct{}
@@ -58,7 +76,7 @@ func (w *Worker) Done() <-chan struct{} { return w.done }
 // Handle decodes one directive, executes it, and returns the encoded
 // report. Every error is a protocol error (bad bytes, out-of-order phases);
 // the worker's round state is only cleared by a successful Classify or a
-// new Summarize.
+// new Summarize/Generate.
 func (w *Worker) Handle(req []byte) ([]byte, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -70,16 +88,13 @@ func (w *Worker) Handle(req []byte) ([]byte, error) {
 	rep := &wire.Report{Round: d.Round, Worker: w.id}
 	switch d.Op {
 	case wire.OpConfigure:
-		w.eps = d.Epsilon
+		if err := w.configure(d); err != nil {
+			return nil, err
+		}
 		rep.Epsilon = w.eps
 
 	case wire.OpSummarize:
-		w.held = true
-		w.round = d.Round
-		w.dists = d.Values
-		w.rows = nil
-		w.dim = 0
-		w.poisonFrom = d.PoisonFrom
+		w.setHeld(d.Round, d.Values, nil, nil, 0, d.PoisonFrom, false)
 		if err := w.summarize(rep); err != nil {
 			return nil, err
 		}
@@ -88,19 +103,30 @@ func (w *Worker) Handle(req []byte) ([]byte, error) {
 		if len(d.Center) == 0 {
 			return nil, fmt.Errorf("cluster: worker %d: summarize-rows without a center", w.id)
 		}
-		w.held = true
-		w.round = d.Round
-		w.rows = d.Rows
-		w.dim = len(d.Center)
-		w.poisonFrom = d.PoisonFrom
-		w.dists = make([]float64, len(d.Rows))
+		dists := make([]float64, len(d.Rows))
 		for i, row := range d.Rows {
-			if len(row) != w.dim {
-				return nil, fmt.Errorf("cluster: worker %d: row dim %d, center dim %d", w.id, len(row), w.dim)
+			if len(row) != len(d.Center) {
+				return nil, fmt.Errorf("cluster: worker %d: row dim %d, center dim %d", w.id, len(row), len(d.Center))
 			}
-			w.dists[i] = stats.Euclidean(row, d.Center)
+			dists[i] = stats.Euclidean(row, d.Center)
 		}
+		w.setHeld(d.Round, dists, d.Rows, nil, len(d.Center), d.PoisonFrom, false)
 		if err := w.summarize(rep); err != nil {
+			return nil, err
+		}
+
+	case wire.OpGenerate:
+		if err := w.generate(d, rep); err != nil {
+			return nil, err
+		}
+
+	case wire.OpGenerateRows:
+		if err := w.generateRows(d, rep); err != nil {
+			return nil, err
+		}
+
+	case wire.OpScale:
+		if err := w.scale(d, rep); err != nil {
 			return nil, err
 		}
 
@@ -112,7 +138,7 @@ func (w *Worker) Handle(req []byte) ([]byte, error) {
 		if err := w.classify(d.Threshold, rep); err != nil {
 			return nil, err
 		}
-		w.held, w.dists, w.rows, w.dim = false, nil, nil, 0
+		w.held, w.dists, w.rows, w.labels, w.dim, w.localRows = false, nil, nil, nil, 0, false
 
 	case wire.OpStop:
 		w.stopOnce.Do(func() { close(w.done) })
@@ -121,6 +147,159 @@ func (w *Worker) Handle(req []byte) ([]byte, error) {
 		return nil, fmt.Errorf("cluster: worker %d: unexpected op %d", w.id, d.Op)
 	}
 	return wire.EncodeReport(nil, rep), nil
+}
+
+// configure installs the sketch budget and, for shard-local games, the
+// generator state: pool + reference (scalar), pool + mechanism (LDP), or
+// dataset rows + labels (row game). A coordinator-fed game ships only the
+// budget.
+func (w *Worker) configure(d *wire.Directive) error {
+	w.eps = d.Epsilon
+	w.scalarGen, w.ldpGen, w.rowGen = nil, nil, nil
+	switch {
+	case d.MechKind != arrival.MechNone:
+		mech, err := arrival.MechFromWire(d.MechKind, d.MechEps)
+		if err != nil {
+			return fmt.Errorf("cluster: worker %d: %w", w.id, err)
+		}
+		gen, err := arrival.NewLDP(d.Pool, mech)
+		if err != nil {
+			return fmt.Errorf("cluster: worker %d: %w", w.id, err)
+		}
+		w.ldpGen = gen
+	case len(d.Rows) > 0:
+		w.rowGen = &arrival.Rows{
+			X: d.Rows, Y: d.Labels,
+			Clusters: d.Clusters, PoisonLabel: d.PoisonLabel,
+		}
+	case len(d.Pool) > 0 || len(d.RefSorted) > 0:
+		if len(d.Pool) == 0 || len(d.RefSorted) == 0 {
+			return fmt.Errorf("cluster: worker %d: scalar generator needs pool and reference", w.id)
+		}
+		w.scalarGen = &arrival.Scalar{Pool: d.Pool, Ref: d.RefSorted}
+	}
+	return nil
+}
+
+// setHeld installs one round's shard.
+func (w *Worker) setHeld(round int, dists []float64, rows [][]float64, labels []int, dim, poisonFrom int, localRows bool) {
+	w.held = true
+	w.round = round
+	w.dists = dists
+	w.rows = rows
+	w.labels = labels
+	w.dim = dim
+	w.poisonFrom = poisonFrom
+	w.localRows = localRows
+}
+
+// generate draws the shard locally from the directive's seed and spec —
+// the scalar and LDP shard-local rounds (which generator runs was fixed at
+// configure time).
+func (w *Worker) generate(d *wire.Directive, rep *wire.Report) error {
+	spec, err := arrival.SpecFromWire(d.Gen)
+	if err != nil {
+		return fmt.Errorf("cluster: worker %d: %w", w.id, err)
+	}
+	rng := stats.NewRand(d.Gen.Seed)
+	var values []float64
+	switch {
+	case w.ldpGen != nil:
+		var inputSum, pctSum float64
+		if values, inputSum, pctSum, err = w.ldpGen.Draw(rng, spec); err != nil {
+			return fmt.Errorf("cluster: worker %d: %w", w.id, err)
+		}
+		rep.InputSum = inputSum
+		rep.PctSum = pctSum
+	case w.scalarGen != nil:
+		var pctSum float64
+		if values, pctSum, err = w.scalarGen.Draw(rng, spec); err != nil {
+			return fmt.Errorf("cluster: worker %d: %w", w.id, err)
+		}
+		rep.PctSum = pctSum
+	default:
+		return fmt.Errorf("cluster: worker %d: generate without a configured generator", w.id)
+	}
+	w.setHeld(d.Round, values, nil, nil, 0, spec.HonestN, false)
+	return w.summarize(rep)
+}
+
+// generateRows draws a row shard locally: the directive carries the
+// current center and the merged clean-scale summary poison percentiles
+// resolve against.
+func (w *Worker) generateRows(d *wire.Directive, rep *wire.Report) error {
+	if w.rowGen == nil {
+		return fmt.Errorf("cluster: worker %d: generate-rows without a configured dataset", w.id)
+	}
+	if len(d.Center) == 0 {
+		return fmt.Errorf("cluster: worker %d: generate-rows without a center", w.id)
+	}
+	spec, err := arrival.SpecFromWire(d.Gen)
+	if err != nil {
+		return fmt.Errorf("cluster: worker %d: %w", w.id, err)
+	}
+	if spec.PoisonN > 0 && (d.Gen.Scale == nil || d.Gen.Scale.Size() == 0) {
+		return fmt.Errorf("cluster: worker %d: generate-rows without a clean scale", w.id)
+	}
+	rng := stats.NewRand(d.Gen.Seed)
+	rows, labels, pctSum, err := w.rowGen.Draw(rng, spec, d.Center, func(pct float64) float64 {
+		return d.Gen.Scale.Query(pct)
+	})
+	if err != nil {
+		return fmt.Errorf("cluster: worker %d: %w", w.id, err)
+	}
+	dists := make([]float64, len(rows))
+	for i, row := range rows {
+		if len(row) != len(d.Center) {
+			return fmt.Errorf("cluster: worker %d: generated row dim %d, center dim %d", w.id, len(row), len(d.Center))
+		}
+		dists[i] = stats.Euclidean(row, d.Center)
+	}
+	w.setHeld(d.Round, dists, rows, labels, len(d.Center), spec.HonestN, true)
+	rep.PctSum = pctSum
+	return w.summarize(rep)
+}
+
+// scale summarizes the distances of the configured dataset's [Lo, Hi)
+// range from the broadcast center — one shard of the row game's
+// clean-scale pass. It does not touch the held round state: scale runs as
+// its own phase before generation.
+func (w *Worker) scale(d *wire.Directive, rep *wire.Report) error {
+	if w.rowGen == nil {
+		return fmt.Errorf("cluster: worker %d: scale without a configured dataset", w.id)
+	}
+	if len(d.Center) == 0 {
+		return fmt.Errorf("cluster: worker %d: scale without a center", w.id)
+	}
+	n := len(w.rowGen.X)
+	if d.Lo < 0 || d.Hi < d.Lo || d.Hi > n {
+		return fmt.Errorf("cluster: worker %d: scale range [%d, %d) outside dataset of %d", w.id, d.Lo, d.Hi, n)
+	}
+	sum, err := summary.New(w.eps, d.Hi-d.Lo)
+	if err != nil {
+		return fmt.Errorf("cluster: worker %d: %w", w.id, err)
+	}
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, row := range w.rowGen.X[d.Lo:d.Hi] {
+		if len(row) != len(d.Center) {
+			return fmt.Errorf("cluster: worker %d: dataset row dim %d, center dim %d", w.id, len(row), len(d.Center))
+		}
+		dist := stats.Euclidean(row, d.Center)
+		sum.Push(dist)
+		if dist < min {
+			min = dist
+		}
+		if dist > max {
+			max = dist
+		}
+	}
+	rep.Epsilon = sum.Epsilon()
+	rep.Sum = sum.Snapshot()
+	rep.Count = sum.Count()
+	rep.ValueSum = sum.Sum()
+	rep.ScaleMin = min
+	rep.ScaleMax = max
+	return nil
 }
 
 // summarize builds the shard's summary of the held values. The stream is
@@ -143,8 +322,11 @@ func (w *Worker) summarize(rep *wire.Report) error {
 }
 
 // classify tallies the held shard against the threshold and builds the
-// kept-pool deltas: a kept-value summary (plus exact count/sum) always, and
-// for the row game the kept row indices and the accepted-row vector delta.
+// kept-pool deltas: a kept-value summary (plus exact count/sum) always,
+// and for the row game the accepted-row vector delta plus either the kept
+// row indices (coordinator-fed rounds — the coordinator holds the rows) or
+// the kept rows and labels themselves (shard-local rounds — only the
+// worker ever held them).
 func (w *Worker) classify(threshold float64, rep *wire.Report) error {
 	kept, err := summary.New(w.eps, len(w.dists))
 	if err != nil {
@@ -177,7 +359,14 @@ func (w *Worker) classify(threshold float64, rep *wire.Report) error {
 			if err := vec.PushRow(w.rows[i]); err != nil {
 				return fmt.Errorf("cluster: worker %d: %w", w.id, err)
 			}
-			rep.KeptIdx = append(rep.KeptIdx, i)
+			if w.localRows {
+				rep.KeptRows = append(rep.KeptRows, w.rows[i])
+				if w.labels != nil {
+					rep.KeptLabels = append(rep.KeptLabels, w.labels[i])
+				}
+			} else {
+				rep.KeptIdx = append(rep.KeptIdx, i)
+			}
 		}
 	}
 	rep.Epsilon = kept.Epsilon()

@@ -38,6 +38,17 @@ type RoundRecord struct {
 	BaselineQuality float64 // Quality_Evaluation(X_0)
 }
 
+// Equal reports whether two records describe the identical round,
+// treating NaN MeanInjectionPct fields (a poison-free round) as equal —
+// struct comparison with == would report NaN != NaN and flag identical
+// boards as diverged. Record-for-record verifications use this.
+func (r RoundRecord) Equal(o RoundRecord) bool {
+	if math.IsNaN(r.MeanInjectionPct) && math.IsNaN(o.MeanInjectionPct) {
+		r.MeanInjectionPct, o.MeanInjectionPct = 0, 0
+	}
+	return r == o
+}
+
 // Board is the append-only public record of Fig 3 (steps 1 and 6).
 type Board struct {
 	Records []RoundRecord

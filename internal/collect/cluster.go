@@ -5,6 +5,8 @@ import (
 	"math"
 	"sync"
 
+	"repro/internal/arrival"
+	"repro/internal/attack"
 	"repro/internal/cluster"
 	"repro/internal/stats"
 	"repro/internal/stats/summary"
@@ -14,18 +16,29 @@ import (
 // ClusterConfig parameterizes a scalar collection game distributed over a
 // cluster.Transport: the same game as RunSharded, but each shard lives
 // behind a transport boundary (in-process loopback or TCP worker
-// processes). Arrival generation stays on the coordinator — it owns the
-// single RNG, so a run is reproducible given (seed, worker count) and, over
-// the loopback with the same worker count, reproduces RunSharded's board
-// record for record. Workers only ever see their slice of each round and
-// the resolved threshold; the coordinator only ever sees wire-encoded
-// summary deltas and counts.
+// processes). By default arrival generation stays on the coordinator — it
+// owns the single RNG, so a run is reproducible given (seed, worker count);
+// with a Gen each worker generates its own arrivals from derived seed
+// streams (DESIGN.md §7) and a run is a pure function of (master seed,
+// worker count). In either mode, over the loopback with the same worker
+// count the cluster reproduces RunSharded's board record for record.
+// Workers only ever see their shard of each round and the resolved
+// threshold; the coordinator only ever sees wire-encoded summary deltas
+// and counts.
 type ClusterConfig struct {
 	Config
 
 	// Transport connects the coordinator to its workers; its worker order
 	// is the shard order.
 	Transport cluster.Transport
+
+	// Gen, when non-nil, switches the cluster to the shard-local data
+	// plane: the configure fan-out ships the honest pool and reference
+	// once, and every round directive shrinks to an O(1) generator spec
+	// (derived seed + counts + injection parameters) — coordinator egress
+	// per round drops from O(batch) to O(workers). The run reproduces
+	// RunSharded with the same Gen and worker count record for record.
+	Gen *ShardGen
 
 	// Logf receives shard-loss and lifecycle messages (fmt.Printf style);
 	// nil discards them. A worker whose call fails is dropped for the rest
@@ -53,6 +66,12 @@ func (c *ClusterConfig) validate() error {
 	if c.ExactQuantiles {
 		return fmt.Errorf("collect: cluster collection requires summaries (ExactQuantiles must be false)")
 	}
+	if c.Gen != nil {
+		if _, err := specInjector(c.Adversary); err != nil {
+			return err
+		}
+		return c.Config.validateMode(true)
+	}
 	return c.Config.validate()
 }
 
@@ -65,6 +84,12 @@ type workerPool struct {
 	alive []int
 	lost  int
 	logf  func(format string, args ...any)
+
+	// egress counts every directive byte handed to the transport — the
+	// coordinator's outbound traffic; egressConfig is the one-time
+	// configure share of it (pool/reference/dataset shipping).
+	egress       int64
+	egressConfig int64
 }
 
 func newWorkerPool(tr cluster.Transport, logf func(string, ...any)) *workerPool {
@@ -85,12 +110,20 @@ func newWorkerPool(tr cluster.Transport, logf func(string, ...any)) *workerPool 
 func (p *workerPool) callAll(round int, phase string, dirs []*wire.Directive) ([]*wire.Report, error) {
 	reps := make([]*wire.Report, len(p.alive))
 	errs := make([]error, len(p.alive))
+	reqs := make([][]byte, len(p.alive))
+	for i := range p.alive {
+		reqs[i] = wire.EncodeDirective(nil, dirs[i])
+		p.egress += int64(len(reqs[i]))
+		if phase == "configure" {
+			p.egressConfig += int64(len(reqs[i]))
+		}
+	}
 	var wg sync.WaitGroup
 	for i := range p.alive {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			out, err := p.tr.Call(p.alive[i], wire.EncodeDirective(nil, dirs[i]))
+			out, err := p.tr.Call(p.alive[i], reqs[i])
 			if err != nil {
 				errs[i] = err
 				return
@@ -121,11 +154,14 @@ func (p *workerPool) callAll(round int, phase string, dirs []*wire.Directive) ([
 	return kept, nil
 }
 
-// configure broadcasts the sketch budget to every worker.
-func (p *workerPool) configure(eps float64) error {
+// configure broadcasts one directive template to every worker — the
+// sketch budget plus, for shard-local games, the one-time data-plane state
+// (pool, reference, dataset, mechanism).
+func (p *workerPool) configure(template wire.Directive) error {
+	template.Op = wire.OpConfigure
 	dirs := make([]*wire.Directive, len(p.alive))
 	for i := range dirs {
-		dirs[i] = &wire.Directive{Op: wire.OpConfigure, Epsilon: eps}
+		dirs[i] = &template
 	}
 	_, err := p.callAll(0, "configure", dirs)
 	return err
@@ -177,6 +213,21 @@ func (p *workerPool) scalarSummarizeDirs(round int, values []float64, poisonStar
 	return dirs, bounds
 }
 
+// generateDirs builds the shard-local phase-1 directives: one O(1)
+// generator spec per live worker, with the RNG seed derived per (slot,
+// round). It returns the spec each worker was handed, keyed by worker
+// index, so the coordinator can account poison and honest shares of the
+// workers that actually answered.
+func (p *workerPool) generateDirs(op wire.Op, round int, gen *ShardGen, specs []arrival.Spec) ([]*wire.Directive, map[int]arrival.Spec) {
+	dirs := make([]*wire.Directive, len(p.alive))
+	byWorker := make(map[int]arrival.Spec, len(p.alive))
+	for i, w := range p.alive {
+		dirs[i] = &wire.Directive{Op: op, Round: round, Gen: arrival.SpecToWire(gen.seed(i, round), specs[i])}
+		byWorker[w] = specs[i]
+	}
+	return dirs, byWorker
+}
+
 // classifyDirs builds the phase-2 threshold broadcast for the live workers.
 func (p *workerPool) classifyDirs(round int, pct, threshold float64) []*wire.Directive {
 	dirs := make([]*wire.Directive, len(p.alive))
@@ -211,10 +262,11 @@ func mergeSummarizeReports(reps []*wire.Report) (merged *summary.Summary, count 
 }
 
 // RunCluster plays the scalar collection game across a worker cluster. See
-// ClusterConfig for the protocol split; per round it is two fan-outs: ship
-// value slices and merge the returned summary deltas, then broadcast the
-// resolved threshold and reduce the returned classification counts and
-// kept-pool deltas.
+// ClusterConfig for the protocol split; per round it is two fan-outs:
+// obtain the shard summaries (ship value slices, or — under a ShardGen —
+// broadcast O(1) generator specs and let each worker draw its own slice)
+// and merge the returned deltas, then broadcast the resolved threshold and
+// reduce the returned classification counts and kept-pool deltas.
 func RunCluster(cfg ClusterConfig) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -223,7 +275,28 @@ func RunCluster(cfg ClusterConfig) (*Result, error) {
 	cfg.Adversary.Reset()
 	ref := sortedCopy(cfg.Reference)
 
-	baseline := cleanBatch(cfg.Config)
+	var genPool []float64
+	var si attack.SpecInjector
+	if cfg.Gen != nil {
+		genPool = cfg.Gen.Pool
+		if genPool == nil {
+			genPool = cfg.Reference
+		}
+		si, _ = specInjector(cfg.Adversary) // validated above
+	}
+
+	// Baseline quality: the same draw as RunSharded in the matching mode,
+	// so the boards stay comparable record for record.
+	var baseline []float64
+	if cfg.Gen != nil {
+		gen := &arrival.Scalar{Pool: genPool, Ref: ref}
+		var err error
+		if baseline, _, err = gen.Draw(cfg.Gen.preRand(), arrival.Spec{HonestN: cfg.Batch}); err != nil {
+			return nil, err
+		}
+	} else {
+		baseline = cleanBatch(cfg.Config)
+	}
 	var baselineQ float64
 	if cfg.Quality != nil {
 		baselineQ = cfg.Quality(baseline, ref)
@@ -246,23 +319,47 @@ func RunCluster(cfg ClusterConfig) (*Result, error) {
 
 	pool := newWorkerPool(cfg.Transport, cfg.Logf)
 	defer pool.stop()
-	if err := pool.configure(cfg.SummaryEpsilon); err != nil {
+	conf := wire.Directive{Epsilon: cfg.SummaryEpsilon}
+	if cfg.Gen != nil {
+		conf.Pool = genPool
+		conf.RefSorted = ref
+	}
+	if err := pool.configure(conf); err != nil {
 		return nil, err
 	}
 
 	for r := 1; r <= cfg.Rounds; r++ {
 		thresholdPct := cfg.Collector.Threshold(r, res.Board.collectorView())
-		inject := cfg.Adversary.Injection(r, res.Board.adversaryView())
 
-		values, pctSum := drawArrivals(&cfg.Config, inject, ref, jscale, poisonCount)
-		poisonStart := cfg.Batch
-
-		// Phase 1: ship each live worker its contiguous slice; merge the
-		// returned summary deltas in shard order.
-		dirs, bounds := pool.scalarSummarizeDirs(r, values, poisonStart)
-		reps, err := pool.callAll(r, "summarize", dirs)
-		if err != nil {
-			return nil, err
+		// Phase 1: obtain the shard summaries and merge the returned
+		// deltas in shard order.
+		var reps []*wire.Report
+		var values []float64           // coordinator-fed only
+		var bounds map[int][2]int      // coordinator-fed only
+		var specs map[int]arrival.Spec // shard-local only
+		var pctSum float64             // coordinator-fed: drawn here
+		var roundPoison = poisonCount  // poison behind the merged summary
+		if cfg.Gen != nil {
+			inject := si.InjectionSpec(r, res.Board.adversaryView())
+			dirs, byWorker := pool.generateDirs(wire.OpGenerate, r, cfg.Gen,
+				genSpecs(cfg.Batch, poisonCount, inject, jscale, len(pool.alive)))
+			specs = byWorker
+			if reps, err = pool.callAll(r, "generate", dirs); err != nil {
+				return nil, err
+			}
+			roundPoison = 0
+			for _, rep := range reps {
+				pctSum += rep.PctSum
+				roundPoison += specs[rep.Worker].PoisonN
+			}
+		} else {
+			inject := cfg.Adversary.Injection(r, res.Board.adversaryView())
+			values, pctSum = drawArrivals(&cfg.Config, inject, ref, jscale, poisonCount)
+			var dirs []*wire.Directive
+			dirs, bounds = pool.scalarSummarizeDirs(r, values, cfg.Batch)
+			if reps, err = pool.callAll(r, "summarize", dirs); err != nil {
+				return nil, err
+			}
 		}
 		merged, mCount, mSum := mergeSummarizeReports(reps)
 
@@ -279,13 +376,13 @@ func RunCluster(cfg ClusterConfig) (*Result, error) {
 			ThresholdValue:  thresholdValue,
 			BaselineQuality: baselineQ,
 		}
-		if cfg.Quality != nil {
+		if cfg.Quality != nil { // central generation only; rejected under Gen
 			rec.Quality = cfg.Quality(values, ref)
 		} else {
 			rec.Quality = ExcessMassQualitySummary(merged, ref)
 		}
-		if poisonCount > 0 {
-			rec.MeanInjectionPct = pctSum / float64(poisonCount)
+		if roundPoison > 0 {
+			rec.MeanInjectionPct = pctSum / float64(roundPoison)
 		} else {
 			rec.MeanInjectionPct = math.NaN()
 		}
@@ -317,5 +414,7 @@ func RunCluster(cfg ClusterConfig) (*Result, error) {
 		}
 	}
 	res.LostShards = pool.lost
+	res.EgressBytes = pool.egress
+	res.EgressConfigBytes = pool.egressConfig
 	return res, nil
 }

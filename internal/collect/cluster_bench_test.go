@@ -8,47 +8,70 @@ import (
 	"repro/internal/stats"
 )
 
-// BenchmarkClusterRound measures full game rounds over the loopback
-// cluster — the wire encode/decode and two-phase fan-out added on top of
-// BenchmarkRunSharded's raw goroutine fan-out, at the same heavy per-round
-// batch.
+// benchClusterRound runs full game rounds over the loopback cluster at the
+// heavy per-round batch shared by every engine benchmark, reporting the
+// coordinator's per-round directive egress alongside the timing.
+func benchClusterRound(b *testing.B, workers int, gen *ShardGen) {
+	ref := stats.NormalSlice(stats.NewRand(1), 5000, 0, 1)
+	honest, err := PoolSampler(ref)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var egressPerRound float64
+	for i := 0; i < b.N; i++ {
+		static, err := newStaticForBench()
+		if err != nil {
+			b.Fatal(err)
+		}
+		adv, err := newPointForBench()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := ClusterConfig{
+			Config: Config{
+				Rounds: 3, Batch: 100000, AttackRatio: 0.2,
+				Reference: ref,
+				Collector: static, Adversary: adv,
+				TrimOnBatch: true,
+			},
+			Transport: cluster.NewLoopback(workers),
+			Gen:       gen,
+		}
+		if gen == nil {
+			cfg.Honest = honest
+			cfg.Rng = stats.NewRand(int64(i))
+		}
+		res, err := RunCluster(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		egressPerRound = float64(res.EgressBytes-res.EgressConfigBytes) / float64(cfg.Rounds)
+	}
+	b.ReportMetric(egressPerRound, "egressB/round")
+}
+
+// BenchmarkClusterRound measures the coordinator-fed cluster — the wire
+// encode/decode and two-phase fan-out added on top of BenchmarkRunSharded's
+// raw goroutine fan-out. Every round ships the full batch: per-round egress
+// is O(batch) (~2.4 MB at batch 100k).
 //
 // Run with: go test ./internal/collect -bench=ClusterRound -benchmem
-//
-// Measured on the dev container (see EXPERIMENTS.md): ~98 ms/op at 4
-// workers and ~117 ms/op at 16 for 3 rounds of batch 100k, vs ~90 ms/op
-// for RunSharded at 4 shards — the wire hop (two slice copies and a
-// summary codec per shard-round) costs ~10% at 4 workers on loopback.
 func BenchmarkClusterRound(b *testing.B) {
 	for _, workers := range []int{4, 16} {
 		b.Run(fmt.Sprintf("Workers%d", workers), func(b *testing.B) {
-			ref := stats.NormalSlice(stats.NewRand(1), 5000, 0, 1)
-			honest, err := PoolSampler(ref)
-			if err != nil {
-				b.Fatal(err)
-			}
-			for i := 0; i < b.N; i++ {
-				static, err := newStaticForBench()
-				if err != nil {
-					b.Fatal(err)
-				}
-				adv, err := newPointForBench()
-				if err != nil {
-					b.Fatal(err)
-				}
-				if _, err := RunCluster(ClusterConfig{
-					Config: Config{
-						Rounds: 3, Batch: 100000, AttackRatio: 0.2,
-						Reference: ref, Honest: honest,
-						Collector: static, Adversary: adv,
-						TrimOnBatch: true,
-						Rng:         stats.NewRand(int64(i)),
-					},
-					Transport: cluster.NewLoopback(workers),
-				}); err != nil {
-					b.Fatal(err)
-				}
-			}
+			benchClusterRound(b, workers, nil)
+		})
+	}
+}
+
+// BenchmarkClusterRoundLocal measures the same game on the shard-local
+// data plane: workers generate their own arrivals from derived seed
+// streams, and the coordinator broadcasts O(1) seed directives — per-round
+// egress is O(workers) (a few hundred bytes), independent of the batch.
+func BenchmarkClusterRoundLocal(b *testing.B) {
+	for _, workers := range []int{4, 16} {
+		b.Run(fmt.Sprintf("Workers%d", workers), func(b *testing.B) {
+			benchClusterRound(b, workers, &ShardGen{MasterSeed: 1})
 		})
 	}
 }

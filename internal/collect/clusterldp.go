@@ -5,18 +5,27 @@ import (
 	"math"
 	"runtime"
 
+	"repro/internal/arrival"
+	"repro/internal/attack"
 	"repro/internal/cluster"
 	"repro/internal/ldp"
 	"repro/internal/stats"
+	"repro/internal/wire"
 )
 
 // LDPClusterConfig parameterizes the privacy-preserving collection game
-// distributed over a cluster.Transport. The coordinator owns the RNG and
-// the mechanism (it perturbs honest inputs and runs the manipulation
-// attack); workers summarize and classify report slices exactly like the
-// scalar game. The mean estimate is reduced from the workers' exact
-// (kept sum, kept count) aggregates, so the mechanism must implement
-// ldp.SumMeanEstimator — no raw report ever returns from a worker.
+// distributed over a cluster.Transport. By default the coordinator owns
+// the RNG and the mechanism (it perturbs honest inputs and runs the
+// manipulation attack) and workers summarize and classify report slices
+// exactly like the scalar game. With a Gen the data plane is shard-local:
+// the configure fan-out ships the clean input pool and the mechanism's
+// wire code once, and each worker perturbs its own honest draws and runs
+// its own input-manipulation poison from its derived seed stream — the
+// per-round directive is O(1). The mean estimate is reduced from the
+// workers' exact (kept sum, kept count) aggregates, so the mechanism must
+// implement ldp.SumMeanEstimator — no raw report ever returns from a
+// worker; shard-local mode additionally requires the mechanism to be
+// wire-codable (arrival.MechToWire).
 type LDPClusterConfig struct {
 	LDPConfig
 
@@ -29,13 +38,17 @@ type LDPClusterConfig struct {
 	// worker order).
 	Transport cluster.Transport
 
+	// Gen selects shard-local report generation (see ShardGen; Pool is
+	// ignored — inputs come from LDPConfig.Inputs).
+	Gen *ShardGen
+
 	// Logf receives shard-loss messages; nil discards. Failure semantics
 	// match ClusterConfig: drop-and-continue.
 	Logf func(format string, args ...any)
 
 	// KeepAllReports retains every report in LDPResult.AllReports (the
-	// EMF baseline consumes it). The coordinator generated the reports, so
-	// this costs memory but no extra traffic; leave false at scale.
+	// EMF baseline consumes it). Only the coordinator-fed mode can honor
+	// it (it generated the reports); shard-local validation rejects it.
 	KeepAllReports bool
 }
 
@@ -46,11 +59,22 @@ func (c *LDPClusterConfig) validate() error {
 	if c.SummaryEpsilon < 0 || c.SummaryEpsilon >= 1 {
 		return fmt.Errorf("collect: summary epsilon = %v", c.SummaryEpsilon)
 	}
-	if err := c.LDPConfig.validate(); err != nil {
+	if err := c.LDPConfig.validateMode(c.Gen != nil); err != nil {
 		return err
 	}
 	if _, ok := c.Mechanism.(ldp.SumMeanEstimator); !ok {
 		return fmt.Errorf("collect: cluster LDP requires a sum-decomposable mean estimator (ldp.SumMeanEstimator); %T is not", c.Mechanism)
+	}
+	if c.Gen != nil {
+		if _, err := specInjector(c.Adversary); err != nil {
+			return err
+		}
+		if _, _, err := arrival.MechToWire(c.Mechanism); err != nil {
+			return err
+		}
+		if c.KeepAllReports {
+			return fmt.Errorf("collect: shard-local LDP collection cannot pool raw reports (KeepAllReports)")
+		}
 	}
 	return nil
 }
@@ -63,13 +87,26 @@ func RunClusterLDP(cfg LDPClusterConfig) (*LDPResult, error) {
 	cfg.Collector.Reset()
 	cfg.Adversary.Reset()
 
+	var si attack.SpecInjector
+	if cfg.Gen != nil {
+		si, _ = specInjector(cfg.Adversary) // validated above
+	}
+
 	inputsSorted := sortedCopy(cfg.Inputs)
 	poisonCount := int(math.Round(cfg.AttackRatio * float64(cfg.Batch)))
 
+	// The report-space reference for quality evaluation: what clean
+	// perturbed traffic looks like. One synthetic clean round, drawn on
+	// the coordinator — from the derived pre-game stream in shard-local
+	// mode so the run stays a pure function of (master seed, workers).
+	preRng := cfg.Rng
+	if cfg.Gen != nil {
+		preRng = cfg.Gen.preRand()
+	}
 	cleanReports := make([]float64, cfg.Batch)
 	for i := range cleanReports {
-		x := cfg.Inputs[cfg.Rng.Intn(len(cfg.Inputs))]
-		cleanReports[i] = cfg.Mechanism.Perturb(cfg.Rng, x)
+		x := cfg.Inputs[preRng.Intn(len(cfg.Inputs))]
+		cleanReports[i] = cfg.Mechanism.Perturb(preRng, x)
 	}
 	refReports := sortedCopy(cleanReports)
 	baselineQ := ExcessMassQuality(cleanReports, refReports)
@@ -82,39 +119,69 @@ func RunClusterLDP(cfg LDPClusterConfig) (*LDPResult, error) {
 
 	pool := newWorkerPool(cfg.Transport, cfg.Logf)
 	defer pool.stop()
-	if err := pool.configure(cfg.SummaryEpsilon); err != nil {
+	conf := wire.Directive{Epsilon: cfg.SummaryEpsilon}
+	if cfg.Gen != nil {
+		kind, eps, err := arrival.MechToWire(cfg.Mechanism) // validated above
+		if err != nil {
+			return nil, err
+		}
+		conf.Pool = cfg.Inputs
+		conf.MechKind = kind
+		conf.MechEps = eps
+	}
+	if err := pool.configure(conf); err != nil {
 		return nil, err
 	}
 
 	for r := 1; r <= cfg.Rounds; r++ {
 		thresholdPct := cfg.Collector.Threshold(r, res.Board.collectorView())
-		inject := cfg.Adversary.Injection(r, res.Board.adversaryView())
 
-		reports := make([]float64, 0, cfg.Batch+poisonCount)
-		for i := 0; i < cfg.Batch; i++ {
-			x := cfg.Inputs[cfg.Rng.Intn(len(cfg.Inputs))]
-			honestSum += x
-			honestN++
-			reports = append(reports, cfg.Mechanism.Perturb(cfg.Rng, x))
-		}
+		// Phase 1: obtain each worker's report summary — by shard-local
+		// generation (workers perturb their own draws) or by shipping
+		// slices of coordinator-generated reports.
+		var reps []*wire.Report
+		var reports []float64
 		var pctSum float64
-		poisonStart := len(reports)
-		for i := 0; i < poisonCount; i++ {
-			pct := inject(cfg.Rng)
-			pctSum += pct
-			forged := stats.QuantileSorted(inputsSorted, pct)
-			m, err := ldp.NewInputManipulator(cfg.Mechanism, forged)
-			if err != nil {
+		var err error
+		roundPoison := poisonCount
+		if cfg.Gen != nil {
+			inject := si.InjectionSpec(r, res.Board.adversaryView())
+			dirs, byWorker := pool.generateDirs(wire.OpGenerate, r, cfg.Gen,
+				genSpecs(cfg.Batch, poisonCount, inject, 0, len(pool.alive)))
+			if reps, err = pool.callAll(r, "generate", dirs); err != nil {
 				return nil, err
 			}
-			reports = append(reports, m.Report(cfg.Rng))
-		}
-
-		// Phase 1: ship report slices; merge the summary deltas.
-		dirs, _ := pool.scalarSummarizeDirs(r, reports, poisonStart)
-		reps, err := pool.callAll(r, "summarize", dirs)
-		if err != nil {
-			return nil, err
+			roundPoison = 0
+			for _, rep := range reps {
+				pctSum += rep.PctSum
+				honestSum += rep.InputSum
+				honestN += byWorker[rep.Worker].HonestN
+				roundPoison += byWorker[rep.Worker].PoisonN
+			}
+		} else {
+			inject := cfg.Adversary.Injection(r, res.Board.adversaryView())
+			reports = make([]float64, 0, cfg.Batch+poisonCount)
+			for i := 0; i < cfg.Batch; i++ {
+				x := cfg.Inputs[cfg.Rng.Intn(len(cfg.Inputs))]
+				honestSum += x
+				honestN++
+				reports = append(reports, cfg.Mechanism.Perturb(cfg.Rng, x))
+			}
+			poisonStart := len(reports)
+			for i := 0; i < poisonCount; i++ {
+				pct := inject(cfg.Rng)
+				pctSum += pct
+				forged := stats.QuantileSorted(inputsSorted, pct)
+				m, merr := ldp.NewInputManipulator(cfg.Mechanism, forged)
+				if merr != nil {
+					return nil, merr
+				}
+				reports = append(reports, m.Report(cfg.Rng))
+			}
+			dirs, _ := pool.scalarSummarizeDirs(r, reports, poisonStart)
+			if reps, err = pool.callAll(r, "summarize", dirs); err != nil {
+				return nil, err
+			}
 		}
 		merged, _, _ := mergeSummarizeReports(reps)
 
@@ -131,8 +198,8 @@ func RunClusterLDP(cfg LDPClusterConfig) (*LDPResult, error) {
 			Quality:         ExcessMassQualitySummary(merged, refReports),
 			BaselineQuality: baselineQ,
 		}
-		if poisonCount > 0 {
-			rec.MeanInjectionPct = pctSum / float64(poisonCount)
+		if roundPoison > 0 {
+			rec.MeanInjectionPct = pctSum / float64(roundPoison)
 		} else {
 			rec.MeanInjectionPct = math.NaN()
 		}
@@ -157,6 +224,8 @@ func RunClusterLDP(cfg LDPClusterConfig) (*LDPResult, error) {
 		res.TrueMean = honestSum / float64(honestN)
 	}
 	res.LostShards = pool.lost
+	res.EgressBytes = pool.egress
+	res.EgressConfigBytes = pool.egressConfig
 	return res, nil
 }
 
@@ -170,6 +239,9 @@ type LDPShardedConfig struct {
 
 	// Shards is the number of in-process workers; GOMAXPROCS when 0.
 	Shards int
+
+	// Gen selects shard-local report generation (see LDPClusterConfig.Gen).
+	Gen *ShardGen
 }
 
 // RunShardedLDP plays the LDP collection game with per-round sharded report
@@ -188,5 +260,6 @@ func RunShardedLDP(cfg LDPShardedConfig) (*LDPResult, error) {
 		LDPConfig:      cfg.LDPConfig,
 		SummaryEpsilon: cfg.SummaryEpsilon,
 		Transport:      cluster.NewLoopback(shards),
+		Gen:            cfg.Gen,
 	})
 }

@@ -5,6 +5,8 @@ import (
 	"math"
 	"runtime"
 
+	"repro/internal/arrival"
+	"repro/internal/attack"
 	"repro/internal/cluster"
 	"repro/internal/dataset"
 	"repro/internal/stats"
@@ -13,14 +15,21 @@ import (
 )
 
 // RowClusterConfig parameterizes the row collection game distributed over a
-// cluster.Transport. The coordinator owns the RNG, the dataset, the clean
-// reference scale and the per-round injection; workers receive row slices
-// plus the current robust center, summarize distances, classify against the
-// broadcast threshold, and ship back counts, kept-row indices and the
+// cluster.Transport. The coordinator owns the dataset, the clean reference
+// and the round loop; workers hold a copy of the dataset (shipped once at
+// configure), run the per-round clean-scale pass over their dataset ranges,
+// summarize arrival distances, classify against the broadcast threshold,
+// and ship back counts, kept rows (or kept-row indices) and the
 // per-coordinate summary.Vector delta of the rows they accepted. The
 // coordinator's robust center is maintained purely by absorbing those
 // mergeable vector deltas — it never recomputes a median from raw accepted
 // rows, which is what lets the accepted pool live on the workers at scale.
+//
+// Generation is coordinator-fed by default (the coordinator draws arrivals
+// and ships row slices); with a Gen it is shard-local: each worker draws
+// its own rows from its derived seed stream and the per-round directive
+// shrinks to a generator spec plus the center and the merged clean-scale
+// summary — O(dim + 1/ε) per worker instead of O(batch · dim).
 type RowClusterConfig struct {
 	RowConfig
 
@@ -28,9 +37,14 @@ type RowClusterConfig struct {
 	// worker order).
 	Transport cluster.Transport
 
+	// Gen selects shard-local row generation (see ShardGen; Pool is
+	// ignored — rows come from the configured dataset).
+	Gen *ShardGen
+
 	// Logf receives shard-loss messages; nil discards. Failure semantics
 	// match ClusterConfig: drop-and-continue, the lost shard's slice of
-	// the round (counts, kept rows, center delta) is gone.
+	// the round (counts, kept rows, center delta) is gone, and its dataset
+	// range is missing from that round's clean scale.
 	Logf func(format string, args ...any)
 }
 
@@ -41,7 +55,42 @@ func (c *RowClusterConfig) validate() error {
 	if c.ExactQuantiles {
 		return fmt.Errorf("collect: cluster collection requires summaries (ExactQuantiles must be false)")
 	}
+	if c.Gen != nil {
+		if _, err := specInjector(c.Adversary); err != nil {
+			return err
+		}
+		return c.RowConfig.validateMode(true)
+	}
 	return c.RowConfig.validate()
+}
+
+// scaleDirs builds the clean-scale fan-out: each live worker summarizes
+// the distances of its dataset range from the broadcast center.
+func (p *workerPool) scaleDirs(round int, center []float64, dataLen int) []*wire.Directive {
+	dirs := make([]*wire.Directive, len(p.alive))
+	for i := range p.alive {
+		lo, hi := shardBounds(dataLen, len(p.alive), i)
+		dirs[i] = &wire.Directive{Op: wire.OpScale, Round: round, Center: center, Lo: lo, Hi: hi}
+	}
+	return dirs
+}
+
+// scaleRange reduces the exact distance extrema of the scale reports (the
+// jitter width derives from the merged range).
+func scaleRange(reps []*wire.Report) (min, max float64) {
+	min, max = math.Inf(1), math.Inf(-1)
+	for _, rep := range reps {
+		if rep.Count == 0 {
+			continue
+		}
+		if rep.ScaleMin < min {
+			min = rep.ScaleMin
+		}
+		if rep.ScaleMax > max {
+			max = rep.ScaleMax
+		}
+	}
+	return min, max
 }
 
 // RunClusterRows plays the row collection game across a worker cluster.
@@ -53,6 +102,11 @@ func RunClusterRows(cfg RowClusterConfig) (*RowResult, error) {
 	cfg.Adversary.Reset()
 	quality := cfg.Quality
 
+	var si attack.SpecInjector
+	if cfg.Gen != nil {
+		si, _ = specInjector(cfg.Adversary) // validated above
+	}
+
 	// Clean reference center and distance scale: one-time setup over clean
 	// data, identical to RunRows.
 	center := coordMedian(cfg.Data.X, nil)
@@ -62,11 +116,20 @@ func RunClusterRows(cfg RowClusterConfig) (*RowResult, error) {
 		refDistances[i] = stats.Euclidean(row, center)
 	}
 	refSorted := sortedCopy(refDistances)
+
+	// Pre-game coordinator draws: the clean baseline batch and the X0 seed
+	// of the accepted pool. Shard-local games use the derived pre-game
+	// stream so the whole run is a pure function of (master seed, workers).
+	preRng := cfg.Rng
+	if cfg.Gen != nil {
+		preRng = cfg.Gen.preRand()
+	}
+	baseline := sampleDistances(preRng, cfg.Batch, refSorted)
 	var baselineQ float64
 	if quality != nil {
-		baselineQ = quality(sampleDistances(cfg.RowConfig, refSorted), refSorted)
+		baselineQ = quality(baseline, refSorted)
 	} else {
-		baselineQ = ExcessMassQuality(sampleDistances(cfg.RowConfig, refSorted), refSorted)
+		baselineQ = ExcessMassQuality(baseline, refSorted)
 	}
 
 	poisonCount := int(math.Round(cfg.AttackRatio * float64(cfg.Batch)))
@@ -88,7 +151,7 @@ func RunClusterRows(cfg RowClusterConfig) (*RowResult, error) {
 		return nil, err
 	}
 	for i := 0; i < cfg.Batch; i++ {
-		if err := acceptedVec.PushRow(cfg.Data.X[cfg.Rng.Intn(cfg.Data.Len())]); err != nil {
+		if err := acceptedVec.PushRow(cfg.Data.X[preRng.Intn(cfg.Data.Len())]); err != nil {
 			return nil, err
 		}
 	}
@@ -96,11 +159,20 @@ func RunClusterRows(cfg RowClusterConfig) (*RowResult, error) {
 
 	pool := newWorkerPool(cfg.Transport, cfg.Logf)
 	defer pool.stop()
-	if err := pool.configure(cfg.SummaryEpsilon); err != nil {
+	conf := wire.Directive{
+		Epsilon:     cfg.SummaryEpsilon,
+		Rows:        cfg.Data.X,
+		Clusters:    cfg.Data.Clusters,
+		PoisonLabel: cfg.PoisonLabel,
+	}
+	if cfg.Data.Labeled() {
+		conf.Labels = cfg.Data.Y
+	}
+	if err := pool.configure(conf); err != nil {
 		return nil, err
 	}
 
-	type arrival struct {
+	type arrivalRow struct {
 		row    []float64
 		label  int
 		poison bool
@@ -108,72 +180,91 @@ func RunClusterRows(cfg RowClusterConfig) (*RowResult, error) {
 
 	for r := 1; r <= cfg.Rounds; r++ {
 		thresholdPct := cfg.Collector.Threshold(r, res.Board.collectorView())
-		inject := cfg.Adversary.Injection(r, res.Board.adversaryView())
 
-		arrivals := make([]arrival, 0, roundLen)
-		for i := 0; i < cfg.Batch; i++ {
-			j := cfg.Rng.Intn(cfg.Data.Len())
-			a := arrival{row: cfg.Data.X[j]}
-			if cfg.Data.Labeled() {
-				a.label = cfg.Data.Y[j]
-			}
-			arrivals = append(arrivals, a)
-		}
-
-		// Refresh the robust center from the absorbed deltas and summarize
-		// the clean distance scale against it (coordinator-local: the
-		// scale is over the collector's own clean dataset, not the
-		// arrival stream the workers hold).
+		// Phase 0: refresh the robust center from the absorbed deltas and
+		// fan the clean-scale pass out over the workers' dataset ranges —
+		// the scale is the distances of the collector's own clean dataset
+		// from the fresh center, merged ε-losslessly in shard order.
 		refCentroid = acceptedVec.Medians(refCentroid)
-		scaleSum, err := summary.New(cfg.SummaryEpsilon, cfg.Data.Len())
+		reps, err := pool.callAll(r, "scale", pool.scaleDirs(r, refCentroid, cfg.Data.Len()))
 		if err != nil {
 			return nil, err
 		}
-		for _, row := range cfg.Data.X {
-			scaleSum.Push(stats.Euclidean(row, refCentroid))
-		}
-		jscale := jitterRange(scaleSum.Min(), scaleSum.Max())
+		scaleSum, _, _ := mergeSummarizeReports(reps)
+		scaleMin, scaleMax := scaleRange(reps)
+		jscale := jitterRange(scaleMin, scaleMax)
 
+		// Phase 1: obtain each worker's arrival-distance summary — by
+		// shard-local generation from an O(1) spec, or by shipping slices
+		// of a centrally drawn batch.
+		var arrivals []arrivalRow // coordinator-fed only
+		var bounds map[int][2]int // coordinator-fed only
 		var pctSum float64
-		for i := 0; i < poisonCount; i++ {
-			pct := inject(cfg.Rng)
-			pctSum += pct
-			dist := scaleSum.Query(pct) + (cfg.Rng.Float64()-0.5)*jscale
-			if dist < 0 {
-				dist = 0
+		roundPoison := poisonCount
+		if cfg.Gen != nil {
+			inject := si.InjectionSpec(r, res.Board.adversaryView())
+			dirs, byWorker := pool.generateDirs(wire.OpGenerateRows, r, cfg.Gen,
+				genSpecs(cfg.Batch, poisonCount, inject, jscale, len(pool.alive)))
+			for _, d := range dirs {
+				d.Center = refCentroid
+				d.Gen.Scale = scaleSum
 			}
-			base := cfg.Data.X[cfg.Rng.Intn(cfg.Data.Len())]
-			row := poisonRow(refCentroid, base, dist)
-			label := cfg.PoisonLabel
-			if label < 0 && cfg.Data.Labeled() {
-				label = cfg.Rng.Intn(cfg.Data.Clusters)
+			if reps, err = pool.callAll(r, "generate", dirs); err != nil {
+				return nil, err
 			}
-			arrivals = append(arrivals, arrival{row: row, label: label, poison: true})
-		}
-		poisonStart := cfg.Batch
+			roundPoison = 0
+			for _, rep := range reps {
+				pctSum += rep.PctSum
+				roundPoison += byWorker[rep.Worker].PoisonN
+			}
+		} else {
+			arrivals = make([]arrivalRow, 0, roundLen)
+			for i := 0; i < cfg.Batch; i++ {
+				j := cfg.Rng.Intn(cfg.Data.Len())
+				a := arrivalRow{row: cfg.Data.X[j]}
+				if cfg.Data.Labeled() {
+					a.label = cfg.Data.Y[j]
+				}
+				arrivals = append(arrivals, a)
+			}
+			inject := cfg.Adversary.Injection(r, res.Board.adversaryView())
+			for i := 0; i < poisonCount; i++ {
+				pct := inject(cfg.Rng)
+				pctSum += pct
+				dist := scaleSum.Query(pct) + (cfg.Rng.Float64()-0.5)*jscale
+				if dist < 0 {
+					dist = 0
+				}
+				base := cfg.Data.X[cfg.Rng.Intn(cfg.Data.Len())]
+				row := arrival.PoisonRow(refCentroid, base, dist)
+				label := cfg.PoisonLabel
+				if label < 0 && cfg.Data.Labeled() {
+					label = cfg.Rng.Intn(cfg.Data.Clusters)
+				}
+				arrivals = append(arrivals, arrivalRow{row: row, label: label, poison: true})
+			}
 
-		// Phase 1: ship row slices plus the center; workers summarize
-		// their slice's distances. Record each worker's bounds so kept
-		// indices can be mapped back after the classify phase.
-		dirs := make([]*wire.Directive, len(pool.alive))
-		bounds := make(map[int][2]int, len(pool.alive))
-		for i, w := range pool.alive {
-			lo, hi := shardBounds(len(arrivals), len(pool.alive), i)
-			rows := make([][]float64, hi-lo)
-			for j := range rows {
-				rows[j] = arrivals[lo+j].row
+			// Ship row slices plus the center; record each worker's bounds
+			// so kept indices can be mapped back after the classify phase.
+			dirs := make([]*wire.Directive, len(pool.alive))
+			bounds = make(map[int][2]int, len(pool.alive))
+			for i, w := range pool.alive {
+				lo, hi := shardBounds(len(arrivals), len(pool.alive), i)
+				rows := make([][]float64, hi-lo)
+				for j := range rows {
+					rows[j] = arrivals[lo+j].row
+				}
+				dirs[i] = &wire.Directive{
+					Op: wire.OpSummarizeRows, Round: r,
+					Rows:       rows,
+					Center:     refCentroid,
+					PoisonFrom: slicePoisonFrom(cfg.Batch, lo, hi),
+				}
+				bounds[w] = [2]int{lo, hi}
 			}
-			dirs[i] = &wire.Directive{
-				Op: wire.OpSummarizeRows, Round: r,
-				Rows:       rows,
-				Center:     refCentroid,
-				PoisonFrom: slicePoisonFrom(poisonStart, lo, hi),
+			if reps, err = pool.callAll(r, "summarize", dirs); err != nil {
+				return nil, err
 			}
-			bounds[w] = [2]int{lo, hi}
-		}
-		reps, err := pool.callAll(r, "summarize", dirs)
-		if err != nil {
-			return nil, err
 		}
 		merged, _, _ := mergeSummarizeReports(reps)
 
@@ -190,7 +281,7 @@ func RunClusterRows(cfg RowClusterConfig) (*RowResult, error) {
 			ThresholdValue:  thresholdValue,
 			BaselineQuality: baselineQ,
 		}
-		if quality != nil {
+		if quality != nil { // central generation only; rejected under Gen
 			// A custom quality standard needs the raw distance slice; the
 			// coordinator recomputes it locally (it holds rows and center).
 			dists := make([]float64, len(arrivals))
@@ -201,36 +292,56 @@ func RunClusterRows(cfg RowClusterConfig) (*RowResult, error) {
 		} else {
 			rec.Quality = ExcessMassQualitySummary(merged, refSorted)
 		}
-		if poisonCount > 0 {
-			rec.MeanInjectionPct = pctSum / float64(poisonCount)
+		if roundPoison > 0 {
+			rec.MeanInjectionPct = pctSum / float64(roundPoison)
 		} else {
 			rec.MeanInjectionPct = math.NaN()
 		}
 
-		// Phase 2: broadcast the threshold; workers classify, ship counts,
-		// kept-row indices and their accepted-row vector delta.
+		// Phase 2: broadcast the threshold; workers classify and ship
+		// counts, their accepted-row vector delta, and the kept rows —
+		// as indices into the shipped slice (coordinator-fed) or as the
+		// rows themselves (shard-local: only the worker ever held them).
 		if reps, err = pool.callAll(r, "classify", pool.classifyDirs(r, thresholdPct, thresholdValue)); err != nil {
 			return nil, err
 		}
 		for _, rep := range reps {
 			addCounts(&rec, rep.Counts)
 
-			b, ok := bounds[rep.Worker]
-			if !ok {
-				pool.logf("collect: round %d: report from worker %d with no recorded bounds", r, rep.Worker)
-				continue
-			}
-			for _, idx := range rep.KeptIdx {
-				if idx < 0 || b[0]+idx >= b[1] {
-					return nil, fmt.Errorf("collect: round %d: worker %d kept index %d outside its slice", r, rep.Worker, idx)
+			if cfg.Gen != nil {
+				if res.Kept.Y != nil && len(rep.KeptLabels) != len(rep.KeptRows) {
+					return nil, fmt.Errorf("collect: round %d: worker %d shipped %d labels for %d kept rows",
+						r, rep.Worker, len(rep.KeptLabels), len(rep.KeptRows))
 				}
-				a := arrivals[b[0]+idx]
-				res.Kept.X = append(res.Kept.X, append([]float64(nil), a.row...))
+				for _, row := range rep.KeptRows {
+					if len(row) != dim {
+						return nil, fmt.Errorf("collect: round %d: worker %d kept row dim %d, want %d",
+							r, rep.Worker, len(row), dim)
+					}
+					res.Kept.X = append(res.Kept.X, row)
+				}
 				if res.Kept.Y != nil {
-					res.Kept.Y = append(res.Kept.Y, a.label)
+					res.Kept.Y = append(res.Kept.Y, rep.KeptLabels...)
 				}
-				if a.poison {
-					res.KeptPoison++
+				res.KeptPoison += rep.Counts.PoisonKept
+			} else {
+				b, ok := bounds[rep.Worker]
+				if !ok {
+					pool.logf("collect: round %d: report from worker %d with no recorded bounds", r, rep.Worker)
+					continue
+				}
+				for _, idx := range rep.KeptIdx {
+					if idx < 0 || b[0]+idx >= b[1] {
+						return nil, fmt.Errorf("collect: round %d: worker %d kept index %d outside its slice", r, rep.Worker, idx)
+					}
+					a := arrivals[b[0]+idx]
+					res.Kept.X = append(res.Kept.X, append([]float64(nil), a.row...))
+					if res.Kept.Y != nil {
+						res.Kept.Y = append(res.Kept.Y, a.label)
+					}
+					if a.poison {
+						res.KeptPoison++
+					}
 				}
 			}
 			if rep.Vec != nil {
@@ -247,6 +358,8 @@ func RunClusterRows(cfg RowClusterConfig) (*RowResult, error) {
 		res.Board.Post(rec)
 	}
 	res.LostShards = pool.lost
+	res.EgressBytes = pool.egress
+	res.EgressConfigBytes = pool.egressConfig
 	return res, nil
 }
 
@@ -258,13 +371,16 @@ type RowShardedConfig struct {
 	// with ShardedConfig, pin it explicitly for cross-machine
 	// reproducibility.
 	Shards int
+
+	// Gen selects shard-local row generation (see RowClusterConfig.Gen).
+	Gen *ShardGen
 }
 
 // RunShardedRows plays the row collection game with per-round sharded
-// distance summarization and a robust center merged from per-shard
-// summary.Vector deltas. It is the cluster game over the in-process
-// loopback transport — the same wire messages and merge order as a TCP
-// run, one process.
+// clean-scale and distance summarization and a robust center merged from
+// per-shard summary.Vector deltas. It is the cluster game over the
+// in-process loopback transport — the same wire messages and merge order
+// as a TCP run, one process.
 func RunShardedRows(cfg RowShardedConfig) (*RowResult, error) {
 	if cfg.Shards < 0 {
 		return nil, fmt.Errorf("collect: shards = %d", cfg.Shards)
@@ -276,5 +392,6 @@ func RunShardedRows(cfg RowShardedConfig) (*RowResult, error) {
 	return RunClusterRows(RowClusterConfig{
 		RowConfig: cfg.RowConfig,
 		Transport: cluster.NewLoopback(shards),
+		Gen:       cfg.Gen,
 	})
 }

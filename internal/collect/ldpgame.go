@@ -37,7 +37,11 @@ type LDPConfig struct {
 	Rng *rand.Rand
 }
 
-func (c *LDPConfig) validate() error {
+func (c *LDPConfig) validate() error { return c.validateMode(false) }
+
+// validateMode validates the config for central or shard-local generation;
+// see Config.validateMode for the shard-local constraints.
+func (c *LDPConfig) validateMode(shardLocal bool) error {
 	if c.Rounds <= 0 || c.Batch <= 0 {
 		return fmt.Errorf("collect: rounds %d / batch %d", c.Rounds, c.Batch)
 	}
@@ -53,7 +57,7 @@ func (c *LDPConfig) validate() error {
 	if c.Collector == nil || c.Adversary == nil {
 		return fmt.Errorf("collect: nil strategy")
 	}
-	if c.Rng == nil {
+	if !shardLocal && c.Rng == nil {
 		return fmt.Errorf("collect: nil rng")
 	}
 	return nil
@@ -75,6 +79,10 @@ type LDPResult struct {
 	// LostShards counts workers dropped by a cluster run's failure
 	// handling (always 0 for in-process games).
 	LostShards int
+	// EgressBytes / EgressConfigBytes: coordinator outbound directive
+	// traffic; see Result.
+	EgressBytes       int64
+	EgressConfigBytes int64
 }
 
 // RunLDP plays the LDP collection game. The non-deterministic utility of §V

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/arrival"
 	"repro/internal/attack"
 	"repro/internal/dataset"
 	"repro/internal/stats"
@@ -52,7 +53,11 @@ type RowConfig struct {
 	Rng *rand.Rand
 }
 
-func (c *RowConfig) validate() error {
+func (c *RowConfig) validate() error { return c.validateMode(false) }
+
+// validateMode validates the config for central or shard-local generation;
+// see Config.validateMode for the shard-local constraints.
+func (c *RowConfig) validateMode(shardLocal bool) error {
 	if c.Rounds <= 0 || c.Batch <= 0 {
 		return fmt.Errorf("collect: rounds %d / batch %d", c.Rounds, c.Batch)
 	}
@@ -67,6 +72,12 @@ func (c *RowConfig) validate() error {
 	}
 	if c.SummaryEpsilon < 0 || c.SummaryEpsilon >= 1 {
 		return fmt.Errorf("collect: summary epsilon = %v", c.SummaryEpsilon)
+	}
+	if shardLocal {
+		if c.Quality != nil {
+			return fmt.Errorf("collect: shard-local generation serves only summary-native quality standards (Quality must be nil)")
+		}
+		return nil
 	}
 	if c.Rng == nil {
 		return fmt.Errorf("collect: nil rng")
@@ -85,6 +96,10 @@ type RowResult struct {
 	// LostShards counts workers dropped by a cluster run's failure
 	// handling (always 0 for in-process games).
 	LostShards int
+	// EgressBytes / EgressConfigBytes: coordinator outbound directive
+	// traffic; see Result.
+	EgressBytes       int64
+	EgressConfigBytes int64
 }
 
 // acceptedCenter tracks the collector's robust reference center — the
@@ -150,7 +165,7 @@ func RunRows(cfg RowConfig) (*RowResult, error) {
 		refDistances[i] = stats.Euclidean(row, center)
 	}
 	refSorted := sortedCopy(refDistances)
-	baselineQ := quality(sampleDistances(cfg, refSorted), refSorted)
+	baselineQ := quality(sampleDistances(cfg.Rng, cfg.Batch, refSorted), refSorted)
 
 	poisonCount := int(math.Round(cfg.AttackRatio * float64(cfg.Batch)))
 
@@ -183,15 +198,15 @@ func RunRows(cfg RowConfig) (*RowResult, error) {
 		thresholdPct := cfg.Collector.Threshold(r, res.Board.collectorView())
 		inject := cfg.Adversary.Injection(r, res.Board.adversaryView())
 
-		type arrival struct {
+		type arrivalRow struct {
 			row    []float64
 			label  int
 			poison bool
 		}
-		arrivals := make([]arrival, 0, roundLen)
+		arrivals := make([]arrivalRow, 0, roundLen)
 		for i := 0; i < cfg.Batch; i++ {
 			j := cfg.Rng.Intn(cfg.Data.Len())
-			a := arrival{row: cfg.Data.X[j]}
+			a := arrivalRow{row: cfg.Data.X[j]}
 			if cfg.Data.Labeled() {
 				a.label = cfg.Data.Y[j]
 			}
@@ -244,12 +259,12 @@ func RunRows(cfg RowConfig) (*RowResult, error) {
 			// looks like data, the counterfeit-record analogue of the input
 			// manipulation attack.
 			base := cfg.Data.X[cfg.Rng.Intn(cfg.Data.Len())]
-			row := poisonRow(refCentroid, base, dist)
+			row := arrival.PoisonRow(refCentroid, base, dist)
 			label := cfg.PoisonLabel
 			if label < 0 && cfg.Data.Labeled() {
 				label = cfg.Rng.Intn(cfg.Data.Clusters)
 			}
-			arrivals = append(arrivals, arrival{row: row, label: label, poison: true})
+			arrivals = append(arrivals, arrivalRow{row: row, label: label, poison: true})
 		}
 		dists := make([]float64, len(arrivals))
 		var arrivalSum *summary.Stream
@@ -342,36 +357,14 @@ func coordMedian(rows [][]float64, buf []float64) []float64 {
 	return out
 }
 
-// poisonRow rescales an honest base row about the center so that its
-// distance from the center equals dist exactly. Degenerate bases (at the
-// center) fall back to a unit offset in the first coordinate.
-func poisonRow(center, base []float64, dist float64) []float64 {
-	row := make([]float64, len(center))
-	norm := 0.0
-	for i := range row {
-		row[i] = base[i] - center[i]
-		norm += row[i] * row[i]
-	}
-	norm = math.Sqrt(norm)
-	if norm == 0 {
-		row[0] = dist
-		for i := range center {
-			row[i] += center[i]
-		}
-		return row
-	}
-	for i := range row {
-		row[i] = center[i] + row[i]*dist/norm
-	}
-	return row
-}
-
-// sampleDistances draws one clean batch and returns its distances from the
-// clean centroid, for the baseline quality.
-func sampleDistances(cfg RowConfig, refSorted []float64) []float64 {
-	out := make([]float64, cfg.Batch)
+// sampleDistances draws one clean n-batch and returns its distances from
+// the clean centroid, for the baseline quality. The rng is the caller's
+// pre-game stream (the game RNG, or the derived (0, 0) cell in
+// shard-local runs).
+func sampleDistances(rng *rand.Rand, n int, refSorted []float64) []float64 {
+	out := make([]float64, n)
 	for i := range out {
-		out[i] = refSorted[cfg.Rng.Intn(len(refSorted))]
+		out[i] = refSorted[rng.Intn(len(refSorted))]
 	}
 	return out
 }

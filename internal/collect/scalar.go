@@ -88,7 +88,14 @@ type Config struct {
 	Rng *rand.Rand
 }
 
-func (c *Config) validate() error {
+func (c *Config) validate() error { return c.validateMode(false) }
+
+// validateMode validates the config for central (shardLocal = false) or
+// shard-local generation. The shard-local data plane ignores Honest and
+// Rng (shards sample the shared pool from derived streams) but cannot
+// serve slice-based quality standards or the deprecated KeepValues buffer
+// — the coordinator never holds raw values.
+func (c *Config) validateMode(shardLocal bool) error {
 	if c.Rounds <= 0 {
 		return fmt.Errorf("collect: rounds = %d", c.Rounds)
 	}
@@ -101,14 +108,23 @@ func (c *Config) validate() error {
 	if len(c.Reference) == 0 {
 		return fmt.Errorf("collect: empty reference distribution")
 	}
-	if c.Honest == nil {
-		return fmt.Errorf("collect: nil honest sampler")
-	}
 	if c.Collector == nil || c.Adversary == nil {
 		return fmt.Errorf("collect: nil strategy")
 	}
 	if c.SummaryEpsilon < 0 || c.SummaryEpsilon >= 1 {
 		return fmt.Errorf("collect: summary epsilon = %v", c.SummaryEpsilon)
+	}
+	if shardLocal {
+		if c.Quality != nil {
+			return fmt.Errorf("collect: shard-local generation serves only summary-native quality standards (Quality must be nil)")
+		}
+		if c.KeepValues {
+			return fmt.Errorf("collect: shard-local generation cannot populate the deprecated KeepValues buffer")
+		}
+		return nil
+	}
+	if c.Honest == nil {
+		return fmt.Errorf("collect: nil honest sampler")
 	}
 	if c.Rng == nil {
 		return fmt.Errorf("collect: nil rng")
@@ -150,6 +166,15 @@ type Result struct {
 	// shard's round slice went missing from the tallies of the round it
 	// died in.
 	LostShards int
+
+	// EgressBytes is the coordinator's total outbound directive traffic
+	// over the transport (configure + every round fan-out, before the
+	// final stop broadcast); EgressConfigBytes is the one-time configure
+	// share. Both are 0 for in-process games. Per-round data-plane egress
+	// is (EgressBytes − EgressConfigBytes) / rounds: O(batch) under
+	// coordinator-fed generation, O(workers) under a ShardGen.
+	EgressBytes       int64
+	EgressConfigBytes int64
 }
 
 // KeptMean estimates the mean of the retained pool: exact from the Kept

@@ -6,19 +6,21 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/arrival"
+	"repro/internal/attack"
 	"repro/internal/stats"
 	"repro/internal/stats/summary"
 )
 
 // ShardedConfig parameterizes a sharded scalar collection game: the same
-// game as Run, but each round's arrivals are fanned across Shards parallel
+// game as Run, but each round's arrivals are handled by Shards parallel
 // workers. Each worker builds an ε-approximate summary of its slice of the
 // stream; the coordinator merges the shard summaries (ε_merge = max ε_i) to
 // resolve the threshold and the quality score, then the workers classify
 // their slices against the shared threshold. No worker ever sees another
 // worker's values and the coordinator never sees raw values at all — the
 // concrete scale-out shape for a collector serving arrivals too heavy for
-// one machine. See DESIGN.md §5.
+// one machine. See DESIGN.md §5, and §7 for the shard-local data plane.
 type ShardedConfig struct {
 	Config
 
@@ -28,6 +30,13 @@ type ShardedConfig struct {
 	// cross-machine reproducibility; 0 ties the ε-level details of each
 	// run to the machine's core count.
 	Shards int
+
+	// Gen, when non-nil, switches the game to shard-local arrival
+	// generation: each shard draws its own slice of every round from a
+	// derived RNG stream instead of slicing one centrally drawn batch.
+	// RunSharded with a Gen is the single-process reference a loopback or
+	// TCP cluster run with the same Gen reproduces record for record.
+	Gen *ShardGen
 }
 
 func (c *ShardedConfig) validate() error {
@@ -37,14 +46,22 @@ func (c *ShardedConfig) validate() error {
 	if c.ExactQuantiles {
 		return fmt.Errorf("collect: sharded collection requires summaries (ExactQuantiles must be false)")
 	}
+	if c.Gen != nil {
+		if _, err := specInjector(c.Adversary); err != nil {
+			return err
+		}
+		return c.Config.validateMode(true)
+	}
 	return c.Config.validate()
 }
 
 // RunSharded plays the scalar collection game with per-round sharded
-// summary building. Arrival generation stays on the coordinator (it owns
-// the single RNG, so a run is reproducible given the seed and the shard
-// count); summary construction and trim classification run on the shard
-// workers.
+// summary building. Without a ShardGen, arrival generation stays on the
+// coordinator (it owns the single RNG, so a run is reproducible given the
+// seed and the shard count); with one, each shard generates its own
+// arrivals from its derived seed stream and the coordinator never touches
+// a raw value. Summary construction and trim classification always run on
+// the shard workers.
 func RunSharded(cfg ShardedConfig) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -57,11 +74,30 @@ func RunSharded(cfg ShardedConfig) (*Result, error) {
 	cfg.Adversary.Reset()
 	ref := sortedCopy(cfg.Reference)
 
-	// The baseline quality is scored the same way rounds are: from a
-	// summary of one clean batch (or the caller's slice standard when one
-	// is provided — the coordinator generated the values, so it can still
-	// run it; only the shard workers are value-blind).
-	baseline := cleanBatch(cfg.Config)
+	var gen *arrival.Scalar
+	var si attack.SpecInjector
+	if cfg.Gen != nil {
+		pool := cfg.Gen.Pool
+		if pool == nil {
+			pool = cfg.Reference
+		}
+		gen = &arrival.Scalar{Pool: pool, Ref: ref}
+		si, _ = specInjector(cfg.Adversary) // validated above
+	}
+
+	// The baseline quality is scored the same way rounds are: from one
+	// clean batch. Shard-local games draw it from the pool on the
+	// coordinator's pre-game stream (cell shard 0 / round 0); central
+	// games draw it from the honest sampler on the game RNG.
+	var baseline []float64
+	if gen != nil {
+		var err error
+		if baseline, _, err = gen.Draw(cfg.Gen.preRand(), arrival.Spec{HonestN: cfg.Batch}); err != nil {
+			return nil, err
+		}
+	} else {
+		baseline = cleanBatch(cfg.Config)
+	}
 	var baselineQ float64
 	if cfg.Quality != nil {
 		baselineQ = cfg.Quality(baseline, ref)
@@ -83,38 +119,82 @@ func RunSharded(cfg ShardedConfig) (*Result, error) {
 	}
 
 	type shardOut struct {
-		sum  *summary.Stream
-		rec  RoundRecord // per-shard kept/trimmed counts
-		kept *summary.Stream
+		values     []float64 // the shard's slice of the round's arrivals
+		poisonFrom int       // index in values where poison starts
+		pctSum     float64   // Σ injection percentiles this shard drew
+		sum        *summary.Stream
+		rec        RoundRecord // per-shard kept/trimmed counts
+		kept       *summary.Stream
+		err        error
 	}
 	outs := make([]shardOut, shards)
 
 	for r := 1; r <= cfg.Rounds; r++ {
 		thresholdPct := cfg.Collector.Threshold(r, res.Board.collectorView())
-		inject := cfg.Adversary.Injection(r, res.Board.adversaryView())
 
-		values, pctSum := drawArrivals(&cfg.Config, inject, ref, jscale, poisonCount)
-		poisonStart := cfg.Batch
-
-		// Phase 1: every shard summarizes its contiguous slice of the
-		// round's arrivals in parallel.
+		// Phase 1: every shard obtains and summarizes its slice of the
+		// round's arrivals in parallel — by local generation from its
+		// derived seed, or by slicing the centrally drawn batch.
+		var totalPct float64
 		var wg sync.WaitGroup
-		for s := 0; s < shards; s++ {
-			lo, hi := shardBounds(len(values), shards, s)
-			wg.Add(1)
-			go func(s, lo, hi int) {
-				defer wg.Done()
-				sum, serr := summary.New(cfg.SummaryEpsilon, hi-lo)
-				if serr != nil { // unreachable: epsilon validated above
-					panic(serr)
-				}
-				for _, v := range values[lo:hi] {
-					sum.Push(v)
-				}
-				outs[s] = shardOut{sum: sum}
-			}(s, lo, hi)
+		if gen != nil {
+			inject := si.InjectionSpec(r, res.Board.adversaryView())
+			specs := genSpecs(cfg.Batch, poisonCount, inject, jscale, shards)
+			for s := 0; s < shards; s++ {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					rng := stats.NewRand(cfg.Gen.seed(s, r))
+					values, pctSum, err := gen.Draw(rng, specs[s])
+					if err != nil {
+						outs[s] = shardOut{err: err}
+						return
+					}
+					sum, serr := summary.New(cfg.SummaryEpsilon, len(values))
+					if serr != nil { // unreachable: epsilon validated above
+						panic(serr)
+					}
+					for _, v := range values {
+						sum.Push(v)
+					}
+					outs[s] = shardOut{
+						values: values, poisonFrom: specs[s].HonestN,
+						pctSum: pctSum, sum: sum,
+					}
+				}(s)
+			}
+		} else {
+			inject := cfg.Adversary.Injection(r, res.Board.adversaryView())
+			values, pctSum := drawArrivals(&cfg.Config, inject, ref, jscale, poisonCount)
+			totalPct = pctSum
+			poisonStart := cfg.Batch
+			for s := 0; s < shards; s++ {
+				lo, hi := shardBounds(len(values), shards, s)
+				wg.Add(1)
+				go func(s, lo, hi int) {
+					defer wg.Done()
+					sum, serr := summary.New(cfg.SummaryEpsilon, hi-lo)
+					if serr != nil { // unreachable: epsilon validated above
+						panic(serr)
+					}
+					for _, v := range values[lo:hi] {
+						sum.Push(v)
+					}
+					outs[s] = shardOut{
+						values:     values[lo:hi],
+						poisonFrom: slicePoisonFrom(poisonStart, lo, hi),
+						sum:        sum,
+					}
+				}(s, lo, hi)
+			}
 		}
 		wg.Wait()
+		for s := 0; s < shards; s++ {
+			if outs[s].err != nil {
+				return nil, outs[s].err
+			}
+			totalPct += outs[s].pctSum
+		}
 
 		// Phase 2: the coordinator merges shard summaries in shard order
 		// (deterministic) and resolves threshold and quality from the
@@ -137,12 +217,16 @@ func RunSharded(cfg ShardedConfig) (*Result, error) {
 			BaselineQuality: baselineQ,
 		}
 		if cfg.Quality != nil {
-			rec.Quality = cfg.Quality(values, ref)
+			all := make([]float64, 0, roundLen)
+			for s := 0; s < shards; s++ {
+				all = append(all, outs[s].values...)
+			}
+			rec.Quality = cfg.Quality(all, ref)
 		} else {
 			rec.Quality = ExcessMassQualitySummary(merged, ref)
 		}
 		if poisonCount > 0 {
-			rec.MeanInjectionPct = pctSum / float64(poisonCount)
+			rec.MeanInjectionPct = totalPct / float64(poisonCount)
 		} else {
 			rec.MeanInjectionPct = math.NaN()
 		}
@@ -150,18 +234,17 @@ func RunSharded(cfg ShardedConfig) (*Result, error) {
 		// Phase 3: shards classify their slices against the shared
 		// threshold; the coordinator reduces the counts.
 		for s := 0; s < shards; s++ {
-			lo, hi := shardBounds(len(values), shards, s)
 			wg.Add(1)
-			go func(s, lo, hi int) {
+			go func(s int) {
 				defer wg.Done()
 				var part RoundRecord
-				kept, serr := summary.New(cfg.SummaryEpsilon, hi-lo)
+				kept, serr := summary.New(cfg.SummaryEpsilon, len(outs[s].values))
 				if serr != nil { // unreachable: epsilon validated above
 					panic(serr)
 				}
-				for i := lo; i < hi; i++ {
-					keep := values[i] <= thresholdValue
-					isPoison := i >= poisonStart
+				for i, v := range outs[s].values {
+					keep := v <= thresholdValue
+					isPoison := i >= outs[s].poisonFrom
 					switch {
 					case keep && isPoison:
 						part.PoisonKept++
@@ -173,12 +256,12 @@ func RunSharded(cfg ShardedConfig) (*Result, error) {
 						part.HonestTrimmed++
 					}
 					if keep {
-						kept.Push(values[i])
+						kept.Push(v)
 					}
 				}
 				outs[s].rec = part
 				outs[s].kept = kept
-			}(s, lo, hi)
+			}(s)
 		}
 		wg.Wait()
 		for s := 0; s < shards; s++ {
@@ -188,10 +271,12 @@ func RunSharded(cfg ShardedConfig) (*Result, error) {
 			rec.PoisonTrimmed += outs[s].rec.PoisonTrimmed
 			res.Kept.AbsorbStream(outs[s].kept)
 		}
-		if cfg.KeepValues {
-			for _, v := range values {
-				if v <= thresholdValue {
-					res.KeptValues = append(res.KeptValues, v)
+		if cfg.KeepValues { // central generation only; rejected under Gen
+			for s := 0; s < shards; s++ {
+				for _, v := range outs[s].values {
+					if v <= thresholdValue {
+						res.KeptValues = append(res.KeptValues, v)
+					}
 				}
 			}
 		}

@@ -37,7 +37,6 @@ func TestRunShardedConservation(t *testing.T) {
 	for _, shards := range []int{1, 3, 8} {
 		cfg := shardedConfig(t, 21, shards)
 		cfg.TrimOnBatch = true
-		cfg.KeepValues = true
 		res, err := RunSharded(cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -53,8 +52,11 @@ func TestRunShardedConservation(t *testing.T) {
 			}
 			kept += rec.HonestKept + rec.PoisonKept
 		}
-		if len(res.KeptValues) != kept {
-			t.Errorf("shards=%d: KeptValues %d, accounting %d", shards, len(res.KeptValues), kept)
+		// The Kept stream (not the deprecated KeptValues buffer) is the
+		// retained pool's record of truth; its exact count must match the
+		// tallies.
+		if res.Kept.Count() != kept {
+			t.Errorf("shards=%d: Kept count %d, accounting %d", shards, res.Kept.Count(), kept)
 		}
 		if res.Received == nil {
 			t.Fatalf("shards=%d: no received summary", shards)

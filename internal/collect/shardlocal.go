@@ -1,0 +1,77 @@
+package collect
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/arrival"
+	"repro/internal/attack"
+	"repro/internal/stats"
+)
+
+// ShardGen selects the shard-local data plane (DESIGN.md §7): when a
+// sharded or cluster config carries one, arrivals are no longer drawn by a
+// central generator and fanned out — each shard derives its own RNG stream
+// stats.NewRand(stats.DeriveSeed(MasterSeed, shard, round)) and draws its
+// slice of every round locally. A cluster coordinator then broadcasts an
+// O(1) round directive (seed material, counts, the injection spec, the
+// resolved threshold) instead of an O(batch) value slice, and a run is a
+// pure function of (MasterSeed, shard count).
+//
+// The mode trades generality for locality, enforced at validation:
+//
+//   - the adversary must implement attack.SpecInjector (an opaque sampling
+//     closure cannot cross a process boundary);
+//   - Config.Honest/Rng are ignored — honest draws sample the shared pool
+//     (Pool, defaulting to the game's reference/input pool/dataset);
+//   - Quality must be nil (the coordinator never sees raw values, so only
+//     summary-native standards apply);
+//   - the deprecated KeepValues buffer cannot be populated.
+type ShardGen struct {
+	// MasterSeed is the run's single seed. Shard and round streams derive
+	// from it; workers only ever learn derived seeds.
+	MasterSeed int64
+
+	// Pool overrides the honest pool shards sample from (scalar game
+	// only; index order is part of the reproducibility contract).
+	// Config.Reference when nil.
+	Pool []float64
+}
+
+// seed derives the RNG seed of one (shard, round) cell; round 0 / shard 0
+// is the coordinator's own pre-game stream (clean baseline draws).
+func (g *ShardGen) seed(shard, round int) int64 {
+	return stats.DeriveSeed(g.MasterSeed, shard, round)
+}
+
+// preRand returns the coordinator's pre-game stream.
+func (g *ShardGen) preRand() *rand.Rand { return stats.NewShardRand(g.MasterSeed, 0, 0) }
+
+// genSpecs splits one round's generation across n shards: shard s draws
+// the shardBounds share of the honest batch and of the poison budget, all
+// from the same injection spec. The split is the contract both the
+// single-process reference engines and the cluster coordinators follow, so
+// the two produce identical arrivals per shard slot.
+func genSpecs(batch, poison int, inject attack.InjectionSpec, jitter float64, n int) []arrival.Spec {
+	specs := make([]arrival.Spec, n)
+	for s := 0; s < n; s++ {
+		hLo, hHi := shardBounds(batch, n, s)
+		pLo, pHi := shardBounds(poison, n, s)
+		specs[s] = arrival.Spec{
+			HonestN: hHi - hLo,
+			PoisonN: pHi - pLo,
+			Inject:  inject,
+			Jitter:  jitter,
+		}
+	}
+	return specs
+}
+
+// specInjector asserts the shard-local capability of an adversary.
+func specInjector(adv attack.Strategy) (attack.SpecInjector, error) {
+	si, ok := adv.(attack.SpecInjector)
+	if !ok {
+		return nil, fmt.Errorf("collect: shard-local generation requires a spec-codable adversary (attack.SpecInjector); %T is not", adv)
+	}
+	return si, nil
+}

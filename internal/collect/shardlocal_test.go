@@ -1,0 +1,452 @@
+package collect
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/ldp"
+	"repro/internal/stats"
+	"repro/internal/trim"
+)
+
+// shardLocalConfig is baseConfig stripped of everything the shard-local
+// data plane does not need: the run must be a pure function of
+// (MasterSeed, shard count), so Honest and Rng stay nil on purpose.
+func shardLocalConfig(t *testing.T) Config {
+	t.Helper()
+	ref := reference(50, 5000)
+	static, err := trim.NewStatic("Static0.9", 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv, err := attack.NewRange("Baseline0.9", 0.9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Rounds:      10,
+		Batch:       500,
+		AttackRatio: 0.2,
+		Reference:   ref,
+		Collector:   static,
+		Adversary:   adv,
+		TrimOnBatch: true,
+	}
+}
+
+// The acceptance bar of the shard-local data plane: a loopback cluster
+// generating its own arrivals must reproduce the single-process sharded
+// reference run of the same game record for record, at 2 and 4 workers.
+func TestShardLocalClusterEqualsShardedReference(t *testing.T) {
+	for _, workers := range []int{2, 4} {
+		gen := &ShardGen{MasterSeed: 77}
+		reference, err := RunSharded(ShardedConfig{
+			Config: shardLocalConfig(t), Shards: workers, Gen: gen,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clustered, err := RunCluster(ClusterConfig{
+			Config:    shardLocalConfig(t),
+			Transport: cluster.NewLoopback(workers),
+			Gen:       gen,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := len(clustered.Board.Records), len(reference.Board.Records); got != want {
+			t.Fatalf("workers=%d: rounds %d vs %d", workers, got, want)
+		}
+		for i := range reference.Board.Records {
+			if reference.Board.Records[i] != clustered.Board.Records[i] {
+				t.Errorf("workers=%d round %d diverged:\nreference %+v\ncluster   %+v",
+					workers, i+1, reference.Board.Records[i], clustered.Board.Records[i])
+			}
+		}
+		if clustered.LostShards != 0 {
+			t.Errorf("workers=%d: lost shards on a healthy cluster", workers)
+		}
+	}
+}
+
+// Poison-free rounds record MeanInjectionPct = NaN, so record-for-record
+// verifications must go through RoundRecord.Equal — struct == would call
+// identical boards diverged (NaN != NaN).
+func TestShardLocalRecordEqualityWithoutPoison(t *testing.T) {
+	run := func(engine func(Config) (*Result, error)) *Result {
+		cfg := shardLocalConfig(t)
+		cfg.AttackRatio = 0
+		res, err := engine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	gen := &ShardGen{MasterSeed: 78}
+	reference := run(func(c Config) (*Result, error) {
+		return RunSharded(ShardedConfig{Config: c, Shards: 2, Gen: gen})
+	})
+	clustered := run(func(c Config) (*Result, error) {
+		return RunCluster(ClusterConfig{Config: c, Transport: cluster.NewLoopback(2), Gen: gen})
+	})
+	for i := range reference.Board.Records {
+		if !math.IsNaN(reference.Board.Records[i].MeanInjectionPct) {
+			t.Fatalf("round %d: poison-free round recorded injection pct", i+1)
+		}
+		if !reference.Board.Records[i].Equal(clustered.Board.Records[i]) {
+			t.Errorf("round %d: identical poison-free rounds not Equal", i+1)
+		}
+		if reference.Board.Records[i] == clustered.Board.Records[i] {
+			t.Errorf("round %d: struct == unexpectedly true on NaN fields (test premise broken)", i+1)
+		}
+	}
+	a := RoundRecord{Round: 1, MeanInjectionPct: 0.5}
+	b := RoundRecord{Round: 1, MeanInjectionPct: math.NaN()}
+	if a.Equal(b) {
+		t.Error("NaN treated equal to a real injection pct")
+	}
+}
+
+// A shard-local run is a pure function of (master seed, shard count):
+// identical inputs reproduce the board, a different master seed moves it.
+func TestShardLocalPureFunctionOfSeed(t *testing.T) {
+	run := func(seed int64) *Result {
+		res, err := RunSharded(ShardedConfig{
+			Config: shardLocalConfig(t), Shards: 4, Gen: &ShardGen{MasterSeed: seed},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b, c := run(5), run(5), run(6)
+	diverged := false
+	for i := range a.Board.Records {
+		if a.Board.Records[i] != b.Board.Records[i] {
+			t.Fatalf("round %d diverged between identical master seeds", i+1)
+		}
+		if a.Board.Records[i] != c.Board.Records[i] {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("different master seeds reproduced the identical board")
+	}
+}
+
+// Shard-local generation must agree with the centrally generated game on
+// the observable outcomes (different RNG streams, same distributions).
+// baseConfig and shardLocalConfig share the reference pool and collector;
+// the adversary is matched here.
+func TestShardLocalAgreesWithCentralStatistically(t *testing.T) {
+	centralCfg := baseConfig(t, 50) // P99 point adversary
+	centralCfg.Reference = reference(50, 5000)
+	centralCfg.TrimOnBatch = true
+	honest, err := PoolSampler(centralCfg.Reference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	centralCfg.Honest = honest
+	central, err := Run(centralCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	localCfg := shardLocalConfig(t)
+	adv, err := attack.NewPoint("P99", 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localCfg.Adversary = adv
+	local, err := RunSharded(ShardedConfig{Config: localCfg, Shards: 4, Gen: &ShardGen{MasterSeed: 52}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := central.Board.PoisonRetention(), local.Board.PoisonRetention(); math.Abs(a-b) > 0.05 {
+		t.Errorf("retention %v (central) vs %v (shard-local)", a, b)
+	}
+	if a, b := central.Board.HonestLoss(), local.Board.HonestLoss(); math.Abs(a-b) > 0.05 {
+		t.Errorf("honest loss %v (central) vs %v (shard-local)", a, b)
+	}
+}
+
+// opaque wraps a strategy, hiding its InjectionSpec — the shape of a
+// third-party adversary the shard-local engines must reject.
+type opaque struct{ attack.Strategy }
+
+func (o opaque) Injection(r int, prev attack.Observation) func(*rand.Rand) float64 {
+	return o.Strategy.Injection(r, prev)
+}
+
+func TestShardLocalValidation(t *testing.T) {
+	mk := func() ShardedConfig {
+		return ShardedConfig{Config: shardLocalConfig(t), Shards: 2, Gen: &ShardGen{MasterSeed: 1}}
+	}
+	bad := []func(*ShardedConfig){
+		func(c *ShardedConfig) { c.Quality = ExcessMassQuality },
+		func(c *ShardedConfig) { c.KeepValues = true },
+		func(c *ShardedConfig) { c.Adversary = opaque{c.Adversary} },
+		func(c *ShardedConfig) { c.Rounds = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := mk()
+		mutate(&cfg)
+		if _, err := RunSharded(cfg); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+	// Nil Honest and Rng are fine in shard-local mode — and required to be:
+	// the run may not depend on them.
+	if _, err := RunSharded(mk()); err != nil {
+		t.Fatalf("shard-local run with nil Honest/Rng: %v", err)
+	}
+	// Cluster validation mirrors it.
+	ccfg := ClusterConfig{Config: shardLocalConfig(t), Transport: cluster.NewLoopback(2), Gen: &ShardGen{MasterSeed: 1}}
+	ccfg.KeepValues = true
+	if _, err := RunCluster(ccfg); err == nil {
+		t.Error("cluster shard-local KeepValues should fail validation")
+	}
+}
+
+// Per-round coordinator egress must drop from O(batch) under slice
+// shipping to O(workers) under seed directives — the point of the
+// shard-local data plane.
+func TestShardLocalEgressOWorkers(t *testing.T) {
+	const workers = 4
+	fed, err := RunCluster(ClusterConfig{
+		Config: baseConfig(t, 53), Transport: cluster.NewLoopback(workers),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := RunCluster(ClusterConfig{
+		Config:    shardLocalConfig(t),
+		Transport: cluster.NewLoopback(workers),
+		Gen:       &ShardGen{MasterSeed: 54},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := shardLocalConfig(t)
+	rounds := int64(cfg.Rounds)
+	fedPerRound := (fed.EgressBytes - fed.EgressConfigBytes) / rounds
+	localPerRound := (local.EgressBytes - local.EgressConfigBytes) / rounds
+	// Coordinator-fed rounds ship every arrival: ≥ 8 bytes × (batch+poison).
+	if minimum := int64(8 * cfg.Batch); fedPerRound < minimum {
+		t.Errorf("coordinator-fed egress %d B/round, expected ≥ %d", fedPerRound, minimum)
+	}
+	// Shard-local rounds ship two fixed-size directives per worker.
+	if maximum := int64(workers * 1024); localPerRound > maximum {
+		t.Errorf("shard-local egress %d B/round, expected ≤ %d (O(workers))", localPerRound, maximum)
+	}
+	if local.EgressConfigBytes <= 0 {
+		t.Error("shard-local configure shipped no pool/reference")
+	}
+}
+
+// Worker loss under shard-local generation: drop-and-continue, with the
+// survivors re-deriving specs over the smaller pool so the full batch is
+// covered again from the next round on.
+func TestShardLocalWorkerLoss(t *testing.T) {
+	const workers = 4
+	lb := cluster.NewLoopback(workers)
+	cfg := ClusterConfig{
+		Config:    shardLocalConfig(t),
+		Transport: lb,
+		Gen:       &ShardGen{MasterSeed: 55},
+	}
+	failAt := cfg.Rounds / 2
+	rounds := 0
+	cfg.OnRound = func(RoundRecord) {
+		rounds++
+		if rounds == failAt {
+			lb.Fail(1)
+		}
+	}
+	res, err := RunCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LostShards != 1 {
+		t.Fatalf("LostShards = %d, want 1", res.LostShards)
+	}
+	for i, rec := range res.Board.Records {
+		total := rec.HonestKept + rec.HonestTrimmed
+		switch {
+		case i+1 <= failAt:
+			if total != cfg.Batch {
+				t.Errorf("round %d (healthy): honest tally %d, want %d", i+1, total, cfg.Batch)
+			}
+		case i+1 == failAt+1:
+			if total >= cfg.Batch {
+				t.Errorf("failure round %d: honest tally %d not short of %d", i+1, total, cfg.Batch)
+			}
+		default:
+			if total != cfg.Batch {
+				t.Errorf("round %d (post-loss): honest tally %d, want %d", i+1, total, cfg.Batch)
+			}
+		}
+	}
+}
+
+// Shard-local row game: deterministic, self-consistent, and within
+// tolerance of the coordinator-fed row game.
+func TestShardLocalRows(t *testing.T) {
+	mk := func() RowConfig {
+		d := dataset.VehicleN(stats.NewRand(60), 400)
+		static, err := trim.NewStatic("s", 0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		adv, err := attack.NewPoint("p", 0.99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return RowConfig{
+			Rounds: 5, Batch: 100, AttackRatio: 0.2,
+			Data: d, Collector: static, Adversary: adv,
+			PoisonLabel: -1,
+		}
+	}
+	runLocal := func() *RowResult {
+		res, err := RunShardedRows(RowShardedConfig{
+			RowConfig: mk(), Shards: 4, Gen: &ShardGen{MasterSeed: 61},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	local, again := runLocal(), runLocal()
+	for i := range local.Board.Records {
+		if local.Board.Records[i] != again.Board.Records[i] {
+			t.Fatalf("round %d diverged between identical master seeds", i+1)
+		}
+	}
+	var kept, poisonKept int
+	for _, rec := range local.Board.Records {
+		kept += rec.HonestKept + rec.PoisonKept
+		poisonKept += rec.PoisonKept
+	}
+	if got := local.Kept.Len(); got != kept {
+		t.Errorf("kept dataset %d rows, accounting says %d", got, kept)
+	}
+	if local.KeptPoison != poisonKept {
+		t.Errorf("KeptPoison %d, tallies say %d", local.KeptPoison, poisonKept)
+	}
+	if local.Kept.Y != nil && len(local.Kept.Y) != local.Kept.Len() {
+		t.Errorf("%d labels for %d kept rows", len(local.Kept.Y), local.Kept.Len())
+	}
+
+	fedCfg := mk()
+	fedCfg.Rng = stats.NewRand(62)
+	fed, err := RunShardedRows(RowShardedConfig{RowConfig: fedCfg, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := fed.Board.PoisonRetention(), local.Board.PoisonRetention(); math.Abs(a-b) > 0.05 {
+		t.Errorf("retention %v (fed) vs %v (shard-local)", a, b)
+	}
+	if a, b := fed.Board.HonestLoss(), local.Board.HonestLoss(); math.Abs(a-b) > 0.05 {
+		t.Errorf("honest loss %v (fed) vs %v (shard-local)", a, b)
+	}
+}
+
+// Shard-local LDP game: deterministic, mean estimate and true mean agree
+// with the coordinator-fed game within mechanism noise.
+func TestShardLocalLDP(t *testing.T) {
+	mkInputs := func() []float64 {
+		inputs := make([]float64, 3000)
+		rng := stats.NewRand(63)
+		for i := range inputs {
+			inputs[i] = stats.Clamp(rng.NormFloat64()*0.3, -1, 1)
+		}
+		return inputs
+	}
+	mk := func() LDPConfig {
+		mech, err := ldp.NewPiecewise(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		static, err := trim.NewStatic("s", 0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		adv, err := attack.NewPoint("p", 0.99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return LDPConfig{
+			Rounds: 8, Batch: 400, AttackRatio: 0.2,
+			Inputs: mkInputs(), Mechanism: mech,
+			Collector: static, Adversary: adv,
+			TrimOnBatch: true,
+		}
+	}
+	runLocal := func() *LDPResult {
+		res, err := RunShardedLDP(LDPShardedConfig{
+			LDPConfig: mk(), Shards: 4, Gen: &ShardGen{MasterSeed: 64},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	local, again := runLocal(), runLocal()
+	if local.MeanEstimate != again.MeanEstimate || local.TrueMean != again.TrueMean {
+		t.Fatal("shard-local LDP diverged between identical master seeds")
+	}
+	if len(local.AllReports) != 0 {
+		t.Errorf("shard-local LDP pooled %d raw reports", len(local.AllReports))
+	}
+	// TrueMean is reduced from worker input sums; it must sit near the
+	// pool mean (draws are uniform over the pool).
+	poolMean := stats.Mean(mkInputs())
+	if math.Abs(local.TrueMean-poolMean) > 0.05 {
+		t.Errorf("TrueMean %v far from pool mean %v", local.TrueMean, poolMean)
+	}
+	if math.Abs(local.MeanEstimate-local.TrueMean) > 0.25 {
+		t.Errorf("mean estimate %v far from true mean %v", local.MeanEstimate, local.TrueMean)
+	}
+
+	fedCfg := mk()
+	fedCfg.Rng = stats.NewRand(65)
+	fed, err := RunShardedLDP(LDPShardedConfig{LDPConfig: fedCfg, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fed.MeanEstimate-local.MeanEstimate) > 0.15 {
+		t.Errorf("mean estimate %v (fed) vs %v (shard-local)", fed.MeanEstimate, local.MeanEstimate)
+	}
+	if math.Abs(fed.Board.PoisonRetention()-local.Board.PoisonRetention()) > 0.05 {
+		t.Errorf("retention %v (fed) vs %v (shard-local)",
+			fed.Board.PoisonRetention(), local.Board.PoisonRetention())
+	}
+
+	// Non-codable mechanisms are rejected up front in shard-local mode.
+	badCfg := mk()
+	badCfg.Mechanism = sumButNotCodable{}
+	if _, err := RunShardedLDP(LDPShardedConfig{
+		LDPConfig: badCfg, Shards: 2, Gen: &ShardGen{MasterSeed: 1},
+	}); err == nil {
+		t.Error("non-codable mechanism accepted in shard-local mode")
+	}
+}
+
+// sumButNotCodable satisfies SumMeanEstimator but has no wire code.
+type sumButNotCodable struct{}
+
+func (sumButNotCodable) Perturb(rng *rand.Rand, x float64) float64 { return x }
+func (sumButNotCodable) OutputBounds() (float64, float64)          { return -1, 1 }
+func (sumButNotCodable) MeanEstimate(reports []float64) float64    { return stats.Mean(reports) }
+func (sumButNotCodable) Epsilon() float64                          { return 1 }
+func (sumButNotCodable) MeanEstimateFromSum(sum float64, n int) float64 {
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}

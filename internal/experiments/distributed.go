@@ -25,7 +25,10 @@ type DistributedRow struct {
 	// MaxRankDelta is the largest per-round threshold difference from the
 	// unsharded run, in reference-rank space — the observable cost of
 	// merging (possibly wire-hopped) shard summaries instead of
-	// summarizing centrally. Bounded by the summary ε budget.
+	// summarizing centrally. Bounded by the summary ε budget for variants
+	// that replay the identical arrivals; for shard-local variants (their
+	// arrivals come from derived per-shard streams, not the baseline's
+	// RNG) it additionally carries the batch sampling noise.
 	MaxRankDelta    float64
 	PoisonRetention float64
 	HonestLoss      float64
@@ -34,13 +37,23 @@ type DistributedRow struct {
 	// single retained value.
 	KeptMean float64
 	KeptP99  float64
+	// EgressPerRound is the coordinator's outbound directive traffic per
+	// round in bytes (0 for in-process variants); EgressConfig the
+	// one-time configure shipment. The shard-local variants are the point:
+	// per-round egress collapses from O(batch) to O(workers).
+	EgressPerRound float64
+	EgressConfig   float64
 }
 
 // DistributedResult compares the same heavy-batch scalar game run
-// unsharded, sharded in-process (goroutine fan-out) and across a loopback
-// worker cluster (full wire protocol, two fan-outs per round). It is the
-// reproduction's distributed-collector study: the cluster must track the
-// unsharded thresholds within ε while adding only the protocol overhead.
+// unsharded, sharded in-process (goroutine fan-out), across a loopback
+// worker cluster shipping raw slices (full wire protocol, two fan-outs per
+// round), and across the same cluster on the shard-local data plane
+// (workers generate their own arrivals from derived seed streams; the
+// coordinator ships O(1) seed directives). It is the reproduction's
+// distributed-collector study: the cluster must track the unsharded
+// thresholds within tolerance while the per-round coordinator egress
+// collapses.
 type DistributedResult struct {
 	Rounds      int
 	Batch       int
@@ -119,6 +132,8 @@ func Distributed(sc Scale, workerCounts []int) (*DistributedResult, error) {
 			HonestLoss:      out.Board.HonestLoss(),
 			KeptMean:        out.KeptMean(),
 			KeptP99:         out.KeptQuantile(0.99),
+			EgressPerRound:  float64(out.EgressBytes-out.EgressConfigBytes) / float64(rounds),
+			EgressConfig:    float64(out.EgressConfigBytes),
 		})
 	}
 
@@ -146,6 +161,24 @@ func Distributed(sc Scale, workerCounts []int) (*DistributedResult, error) {
 		}
 		record(fmt.Sprintf("cluster-%d", n), out, millis, baseline)
 	}
+	for _, n := range workerCounts {
+		out, millis, err := timed(func(cfg collect.Config) (*collect.Result, error) {
+			// Shard-local data plane: workers generate their own arrivals;
+			// the central Honest/Rng are unused (the run is a pure function
+			// of the master seed and the worker count).
+			cfg.Honest = nil
+			cfg.Rng = nil
+			return collect.RunCluster(collect.ClusterConfig{
+				Config:    cfg,
+				Transport: cluster.NewLoopback(n),
+				Gen:       &collect.ShardGen{MasterSeed: sc.Seed + 1},
+			})
+		})
+		if err != nil {
+			return nil, err
+		}
+		record(fmt.Sprintf("local-%d", n), out, millis, baseline)
+	}
 	return res, nil
 }
 
@@ -153,11 +186,13 @@ func Distributed(sc Scale, workerCounts []int) (*DistributedResult, error) {
 func (r *DistributedResult) Print(w io.Writer) {
 	fmt.Fprintf(w, "Distributed collection (batch %d, %d rounds, ratio %.2g, eps %.3g)\n",
 		r.Batch, r.Rounds, r.AttackRatio, r.Epsilon)
-	fmt.Fprintf(w, "%-12s %-9s %-9s %-15s %-14s %-11s %-10s %-10s\n",
-		"variant", "millis", "rounds/s", "max rank delta", "poison kept", "honest lost", "kept mean", "kept p99")
+	fmt.Fprintf(w, "%-12s %-9s %-9s %-15s %-14s %-11s %-10s %-10s %-14s %-12s\n",
+		"variant", "millis", "rounds/s", "max rank delta", "poison kept", "honest lost",
+		"kept mean", "kept p99", "egress B/round", "config B")
 	for _, row := range r.Rows {
-		fmt.Fprintf(w, "%-12s %-9.1f %-9.1f %-15.5f %-14.5f %-11.5f %-10.4f %-10.4f\n",
+		fmt.Fprintf(w, "%-12s %-9.1f %-9.1f %-15.5f %-14.5f %-11.5f %-10.4f %-10.4f %-14.0f %-12.0f\n",
 			row.Variant, row.Millis, row.RoundsPerSec, row.MaxRankDelta,
-			row.PoisonRetention, row.HonestLoss, row.KeptMean, row.KeptP99)
+			row.PoisonRetention, row.HonestLoss, row.KeptMean, row.KeptP99,
+			row.EgressPerRound, row.EgressConfig)
 	}
 }

@@ -9,18 +9,26 @@ import (
 // Op is the coordinator → worker operation code inside a Directive.
 type Op byte
 
-// The protocol operations of format version 1. A round is two phases:
-// Summarize (ship arrivals, get summary deltas back) then Classify
-// (broadcast the resolved threshold, get counts and kept-pool deltas back).
+// The protocol operations of format version 2. A coordinator-fed round is
+// two phases: Summarize (ship arrivals, get summary deltas back) then
+// Classify (broadcast the resolved threshold, get counts and kept-pool
+// deltas back). A shard-local round replaces the Summarize phase with
+// Generate: the directive carries a derived RNG seed plus compact
+// generation parameters instead of raw arrivals, and each worker draws its
+// own slice of the round locally (DESIGN.md §7). Scale fans the row game's
+// clean-scale pass out over worker-held dataset ranges.
 const (
-	OpConfigure     Op = 1 // set the worker's ε budget; no round payload
+	OpConfigure     Op = 1 // set the worker's ε budget and data-plane state
 	OpSummarize     Op = 2 // scalar arrivals: build the shard summary
 	OpSummarizeRows Op = 3 // row arrivals + center: summarize distances
 	OpClassify      Op = 4 // classify the held arrivals against Threshold
 	OpStop          Op = 5 // end of game; the worker may shut down
+	OpGenerate      Op = 6 // draw scalar/LDP arrivals locally from Gen, then summarize
+	OpGenerateRows  Op = 7 // draw row arrivals locally from Gen + Center, then summarize
+	OpScale         Op = 8 // summarize distances of dataset[Lo:Hi] from Center
 )
 
-func (o Op) valid() bool { return o >= OpConfigure && o <= OpStop }
+func (o Op) valid() bool { return o >= OpConfigure && o <= OpScale }
 
 // Counts are one shard's classification tallies for a round — the partial
 // RoundRecord the coordinator reduces across shards.
@@ -31,11 +39,40 @@ type Counts struct {
 	PoisonTrimmed int
 }
 
+// GenSpec is the compact generation recipe inside a Generate directive:
+// everything a worker needs to draw its shard of one round's arrivals from
+// a derived RNG stream. It is O(1) in the batch size — shipping it instead
+// of raw arrivals is what turns per-round coordinator egress from O(batch)
+// into O(workers).
+type GenSpec struct {
+	// Seed is the derived RNG seed of this (shard, round) cell
+	// (stats.DeriveSeed); the worker never learns the master seed.
+	Seed int64
+
+	HonestN int // honest arrivals this shard draws
+	PoisonN int // poison arrivals this shard draws (drawn after the honest)
+
+	// InjectKind/InjectP/InjectLo/InjectHi mirror attack.InjectionSpec —
+	// the closed-form injection distribution poison percentiles are drawn
+	// from.
+	InjectKind                  byte
+	InjectP, InjectLo, InjectHi float64
+
+	// Jitter is the tie-breaking jitter width of the percentile scale.
+	Jitter float64
+
+	// Scale is the merged clean-distance summary row-game poison
+	// percentiles resolve against (nil for the scalar and LDP games,
+	// which resolve on the reference configured once).
+	Scale *summary.Summary
+}
+
 // Report is one worker → coordinator message: the reply to every directive.
-// Which fields are populated depends on the phase — Sum/Count/ValueSum after
-// a summarize, Counts/Kept*/Vec after a classify. Exact counts and sums ride
-// alongside each sketch so the coordinator's Count/Mean estimators stay
-// exact across shard hops (summary.Stream.AbsorbCounted).
+// Which fields are populated depends on the phase — Sum/Count/ValueSum
+// (plus PctSum/InputSum after a local Generate, ScaleMin/ScaleMax after a
+// Scale) after a summarize, Counts/Kept*/Vec after a classify. Exact counts
+// and sums ride alongside each sketch so the coordinator's Count/Mean
+// estimators stay exact across shard hops (summary.Stream.AbsorbCounted).
 type Report struct {
 	Round  int
 	Worker int
@@ -44,18 +81,34 @@ type Report struct {
 	// coordinator's merged budget is the max across shards.
 	Epsilon float64
 
-	// Summarize phase: the shard's summary of its slice of the round.
+	// Summarize/Generate/Scale phase: the shard's summary of its slice.
 	Sum      *summary.Summary
 	Count    int     // observations behind Sum (exact)
 	ValueSum float64 // Σ of summarized values (exact)
+
+	// Generate phase (shard-local generation only).
+	PctSum   float64 // Σ injection percentiles this shard drew
+	InputSum float64 // LDP: Σ honest inputs behind the perturbed reports
+
+	// Scale phase: exact extrema of the summarized distances (the
+	// coordinator derives the jitter width from the merged range).
+	ScaleMin float64
+	ScaleMax float64
 
 	// Classify phase.
 	Counts    Counts
 	Kept      *summary.Summary // summary of the values this shard kept
 	KeptCount int
 	KeptSum   float64
-	KeptIdx   []int        // indices into the shard's slice that were kept (row game)
+	KeptIdx   []int        // indices into the shard's slice that were kept (coordinator-fed rows)
 	Vec       *VectorDelta // accepted-row vector delta (row game)
+
+	// Shard-local row game: the kept rows themselves (with labels when the
+	// dataset is labeled). The worker generated the arrivals, so the rows
+	// must flow back — collected data is the product of the game. This is
+	// ingress; coordinator egress stays O(1) per worker.
+	KeptRows   [][]float64
+	KeptLabels []int
 }
 
 // EncodeReport serializes a shard report, appending to buf.
@@ -67,6 +120,10 @@ func EncodeReport(buf []byte, rep *Report) []byte {
 	buf = appendU64(buf, uint64(rep.Count))
 	buf = appendF64(buf, rep.ValueSum)
 	buf = appendSummaryBlock(buf, rep.Sum)
+	buf = appendF64(buf, rep.PctSum)
+	buf = appendF64(buf, rep.InputSum)
+	buf = appendF64(buf, rep.ScaleMin)
+	buf = appendF64(buf, rep.ScaleMax)
 	buf = appendU64(buf, uint64(rep.Counts.HonestKept))
 	buf = appendU64(buf, uint64(rep.Counts.HonestTrimmed))
 	buf = appendU64(buf, uint64(rep.Counts.PoisonKept))
@@ -74,10 +131,9 @@ func EncodeReport(buf []byte, rep *Report) []byte {
 	buf = appendU64(buf, uint64(rep.KeptCount))
 	buf = appendF64(buf, rep.KeptSum)
 	buf = appendSummaryBlock(buf, rep.Kept)
-	buf = appendU32(buf, uint32(len(rep.KeptIdx)))
-	for _, i := range rep.KeptIdx {
-		buf = appendU32(buf, uint32(i))
-	}
+	buf = appendIntList(buf, rep.KeptIdx)
+	buf = appendRowsBlock(buf, rep.KeptRows)
+	buf = appendIntList(buf, rep.KeptLabels)
 	if rep.Vec == nil {
 		buf = appendU32(buf, 0)
 	} else {
@@ -117,6 +173,10 @@ func DecodeReport(buf []byte) (*Report, error) {
 	if rep.Sum, err = readSummaryBlock(r); err != nil {
 		return nil, err
 	}
+	rep.PctSum = r.f64("pct sum")
+	rep.InputSum = r.f64("input sum")
+	rep.ScaleMin = r.f64("scale min")
+	rep.ScaleMax = r.f64("scale max")
 	rep.Counts.HonestKept = int(r.u64("honest kept"))
 	rep.Counts.HonestTrimmed = int(r.u64("honest trimmed"))
 	rep.Counts.PoisonKept = int(r.u64("poison kept"))
@@ -126,12 +186,9 @@ func DecodeReport(buf []byte) (*Report, error) {
 	if rep.Kept, err = readSummaryBlock(r); err != nil {
 		return nil, err
 	}
-	if n := r.count("kept indices", 4); n > 0 {
-		rep.KeptIdx = make([]int, n)
-		for i := range rep.KeptIdx {
-			rep.KeptIdx[i] = int(r.u32("kept index"))
-		}
-	}
+	rep.KeptIdx = readIntList(r, "kept index")
+	rep.KeptRows = readRowsBlock(r, "kept row")
+	rep.KeptLabels = readIntList(r, "kept label")
 	if rep.Vec, err = readVectorBlock(r); err != nil {
 		return nil, err
 	}
@@ -141,10 +198,18 @@ func DecodeReport(buf []byte) (*Report, error) {
 	return rep, nil
 }
 
-// Directive is one coordinator → worker message. Which fields are meaningful
-// depends on Op: Configure carries Epsilon; Summarize carries Values and
-// PoisonFrom; SummarizeRows carries Rows, Center and PoisonFrom; Classify
-// carries Threshold (and Pct for the record); Stop carries nothing.
+// Directive is one coordinator → worker message. Which fields are
+// meaningful depends on Op:
+//
+//   - Configure carries Epsilon plus the one-time data-plane state of a
+//     shard-local game: Pool/RefSorted (scalar), Pool/MechKind/MechEps
+//     (LDP), or Rows/Labels/Clusters/PoisonLabel (row dataset).
+//   - Summarize carries Values and PoisonFrom; SummarizeRows carries Rows,
+//     Center and PoisonFrom (coordinator-fed generation).
+//   - Generate/GenerateRows carry Gen (and, for rows, Center) — the O(1)
+//     shard-local round directive.
+//   - Scale carries Center and the dataset range [Lo, Hi).
+//   - Classify carries Threshold (and Pct for the record); Stop nothing.
 type Directive struct {
 	Op    Op
 	Round int
@@ -154,11 +219,26 @@ type Directive struct {
 	Values     []float64 // Summarize: the shard's slice of scalar arrivals
 	PoisonFrom int       // index in Values/Rows where poison starts (= len: none)
 
-	Rows   [][]float64 // SummarizeRows: the shard's slice of row arrivals
-	Center []float64   // SummarizeRows: current robust center
+	Rows   [][]float64 // SummarizeRows: arrival slice; Configure: the dataset
+	Center []float64   // SummarizeRows/GenerateRows/Scale: current robust center
 
 	Pct       float64 // Classify: the percentile the threshold resolved from
 	Threshold float64 // Classify: resolved trim threshold (value domain)
+
+	// Configure, shard-local data plane.
+	Pool        []float64 // honest pool (scalar) / clean input pool (LDP)
+	RefSorted   []float64 // sorted clean reference (scalar percentile scale)
+	Labels      []int     // dataset labels (row game; nil when unlabeled)
+	Clusters    int       // row game: class count for random poison labels
+	PoisonLabel int       // row game: fixed poison label (−1: random class)
+	MechKind    byte      // LDP mechanism code (0: not an LDP game)
+	MechEps     float64   // LDP mechanism privacy budget
+
+	// Scale: the worker's dataset range for this round's clean-scale pass.
+	Lo, Hi int
+
+	// Generate/GenerateRows: the shard-local generation recipe.
+	Gen *GenSpec
 }
 
 // EncodeDirective serializes a directive, appending to buf.
@@ -171,18 +251,31 @@ func EncodeDirective(buf []byte, d *Directive) []byte {
 	buf = appendF64(buf, d.Pct)
 	buf = appendF64(buf, d.Threshold)
 	buf = appendF64s(buf, d.Values)
-	buf = appendU32(buf, uint32(len(d.Rows)))
-	dim := 0
-	if len(d.Rows) > 0 {
-		dim = len(d.Rows[0])
-	}
-	buf = appendU32(buf, uint32(dim))
-	for _, row := range d.Rows {
-		for _, v := range row {
-			buf = appendF64(buf, v)
-		}
-	}
+	buf = appendRowsBlock(buf, d.Rows)
 	buf = appendF64s(buf, d.Center)
+	buf = appendF64s(buf, d.Pool)
+	buf = appendF64s(buf, d.RefSorted)
+	buf = appendIntList(buf, d.Labels)
+	buf = appendU32(buf, uint32(d.Clusters))
+	buf = appendU64(buf, uint64(int64(d.PoisonLabel)))
+	buf = append(buf, d.MechKind)
+	buf = appendF64(buf, d.MechEps)
+	buf = appendU32(buf, uint32(d.Lo))
+	buf = appendU32(buf, uint32(d.Hi))
+	if d.Gen == nil {
+		buf = append(buf, 0)
+	} else {
+		buf = append(buf, 1)
+		buf = appendU64(buf, uint64(d.Gen.Seed))
+		buf = appendU32(buf, uint32(d.Gen.HonestN))
+		buf = appendU32(buf, uint32(d.Gen.PoisonN))
+		buf = append(buf, d.Gen.InjectKind)
+		buf = appendF64(buf, d.Gen.InjectP)
+		buf = appendF64(buf, d.Gen.InjectLo)
+		buf = appendF64(buf, d.Gen.InjectHi)
+		buf = appendF64(buf, d.Gen.Jitter)
+		buf = appendSummaryBlock(buf, d.Gen.Scale)
+	}
 	return buf
 }
 
@@ -202,23 +295,33 @@ func DecodeDirective(buf []byte) (*Directive, error) {
 	d.Pct = r.f64("pct")
 	d.Threshold = r.f64("threshold")
 	d.Values = r.f64s("values")
-	nRows := r.count("rows", 4)
-	dim := int(r.u32("row dim"))
-	if r.err == nil && nRows > 0 {
-		if dim <= 0 || nRows*dim*8 > len(r.buf)-r.off {
-			r.fail("row elements")
-		} else {
-			d.Rows = make([][]float64, nRows)
-			flat := make([]float64, nRows*dim)
-			for i := range flat {
-				flat[i] = r.f64("row element")
-			}
-			for i := range d.Rows {
-				d.Rows[i] = flat[i*dim : (i+1)*dim : (i+1)*dim]
-			}
-		}
-	}
+	d.Rows = readRowsBlock(r, "row")
 	d.Center = r.f64s("center")
+	d.Pool = r.f64s("pool")
+	d.RefSorted = r.f64s("reference")
+	d.Labels = readIntList(r, "label")
+	d.Clusters = int(r.u32("clusters"))
+	d.PoisonLabel = int(int64(r.u64("poison label")))
+	d.MechKind = r.u8("mechanism kind")
+	d.MechEps = r.f64("mechanism epsilon")
+	d.Lo = int(r.u32("scale lo"))
+	d.Hi = int(r.u32("scale hi"))
+	if r.u8("gen flag") == 1 {
+		g := &GenSpec{
+			Seed:       int64(r.u64("gen seed")),
+			HonestN:    int(r.u32("gen honest count")),
+			PoisonN:    int(r.u32("gen poison count")),
+			InjectKind: r.u8("gen inject kind"),
+			InjectP:    r.f64("gen inject p"),
+			InjectLo:   r.f64("gen inject lo"),
+			InjectHi:   r.f64("gen inject hi"),
+			Jitter:     r.f64("gen jitter"),
+		}
+		if g.Scale, err = readSummaryBlock(r); err != nil {
+			return nil, err
+		}
+		d.Gen = g
+	}
 	if err := r.finish(); err != nil {
 		return nil, err
 	}
@@ -226,4 +329,67 @@ func DecodeDirective(buf []byte) (*Directive, error) {
 		return nil, fmt.Errorf("wire: unknown directive op %d", d.Op)
 	}
 	return d, nil
+}
+
+// appendRowsBlock writes a row matrix: u32 row count, u32 dim, then the
+// elements row-major. Nil and empty both encode as count 0.
+func appendRowsBlock(buf []byte, rows [][]float64) []byte {
+	buf = appendU32(buf, uint32(len(rows)))
+	dim := 0
+	if len(rows) > 0 {
+		dim = len(rows[0])
+	}
+	buf = appendU32(buf, uint32(dim))
+	for _, row := range rows {
+		for _, v := range row {
+			buf = appendF64(buf, v)
+		}
+	}
+	return buf
+}
+
+// readRowsBlock reads a block written by appendRowsBlock. Row slices share
+// one backing array; a corrupt count or dim fails with ErrTruncated before
+// allocating.
+func readRowsBlock(r *reader, what string) [][]float64 {
+	nRows := r.count(what+" rows", 4)
+	dim := int(r.u32(what + " dim"))
+	if r.err != nil || nRows == 0 {
+		return nil
+	}
+	if dim <= 0 || nRows*dim*8 > len(r.buf)-r.off {
+		r.fail(what + " elements")
+		return nil
+	}
+	rows := make([][]float64, nRows)
+	flat := make([]float64, nRows*dim)
+	for i := range flat {
+		flat[i] = r.f64(what + " element")
+	}
+	for i := range rows {
+		rows[i] = flat[i*dim : (i+1)*dim : (i+1)*dim]
+	}
+	return rows
+}
+
+// appendIntList writes a u32-counted list of non-negative ints as u32s.
+func appendIntList(buf []byte, xs []int) []byte {
+	buf = appendU32(buf, uint32(len(xs)))
+	for _, x := range xs {
+		buf = appendU32(buf, uint32(x))
+	}
+	return buf
+}
+
+// readIntList reads a list written by appendIntList; empty decodes to nil.
+func readIntList(r *reader, what string) []int {
+	n := r.count(what, 4)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(r.u32(what))
+	}
+	return out
 }

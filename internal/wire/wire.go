@@ -7,10 +7,10 @@
 //	offset 3    payload kind (KindSummary, KindVector, KindReport, KindDirective)
 //
 // — followed by a little-endian payload. Decoders reject foreign bytes
-// (ErrMagic), payloads from a future format version (ErrVersion — forward
-// compatibility is explicit rejection, never silent misparsing), payloads of
-// the wrong kind (ErrKind), short payloads (ErrTruncated) and trailing
-// garbage. Encode∘Decode is the identity on every message type: float64
+// (ErrMagic), payloads from outside the supported version window
+// (ErrVersion — both a future format and a retired one are explicit
+// rejection, never silent misparsing), payloads of the wrong kind
+// (ErrKind), short payloads (ErrTruncated) and trailing garbage. Encode∘Decode is the identity on every message type: float64
 // fields are shipped bit-exact, so a summary merged from decoded shard
 // summaries equals the summary merged from the originals — the property the
 // cluster's ε accounting rests on (DESIGN.md §6).
@@ -25,7 +25,16 @@ import (
 
 // Version is the current wire-format version. Bump it when the payload
 // layout changes; decoders reject anything newer than what they know.
-const Version = 1
+//
+// Version history: 1 shipped raw arrival slices in every round directive;
+// 2 added the shard-local data plane (generator specs, scale ranges,
+// configure payloads, kept-row returns) with an incompatible layout.
+const Version = 2
+
+// MinVersion is the oldest format this decoder still parses. Version 1's
+// layout is incompatible with version 2, so it is retired: a mixed-version
+// cluster fails loudly at the configure fan-out instead of misparsing.
+const MinVersion = 2
 
 const (
 	magic0 = 'T'
@@ -66,8 +75,8 @@ func checkHeader(buf []byte, want Kind) ([]byte, error) {
 	if buf[0] != magic0 || buf[1] != magic1 {
 		return nil, fmt.Errorf("%w: %#02x %#02x", ErrMagic, buf[0], buf[1])
 	}
-	if buf[2] > Version {
-		return nil, fmt.Errorf("%w: message version %d, decoder supports ≤ %d", ErrVersion, buf[2], Version)
+	if buf[2] > Version || buf[2] < MinVersion {
+		return nil, fmt.Errorf("%w: message version %d, decoder supports %d–%d", ErrVersion, buf[2], MinVersion, Version)
 	}
 	if Kind(buf[3]) != want {
 		return nil, fmt.Errorf("%w: kind %d, want %d", ErrKind, buf[3], want)

@@ -142,6 +142,25 @@ func TestReportRoundTrip(t *testing.T) {
 			KeptIdx: []int{0, 3, 4, 9, 17},
 			Vec:     DeltaFromVector(vec),
 		},
+		{ // shard-local generate reply
+			Round: 3, Worker: 2, Epsilon: 0.01,
+			Sum: randomSummary(t, rng, "uniform", 200, 16), Count: 200, ValueSum: 55.5,
+			PctSum: 3.96, InputSum: -1.25,
+		},
+		{ // scale reply
+			Round: 4, Worker: 0, Epsilon: 0.01,
+			Sum: randomSummary(t, rng, "heavy", 100, 16), Count: 100, ValueSum: 9.75,
+			ScaleMin: 0.001, ScaleMax: 17.5,
+		},
+		{ // shard-local rows classify reply
+			Round: 5, Worker: 1, Epsilon: 0.02,
+			Counts:    Counts{HonestKept: 2, PoisonKept: 1},
+			Kept:      randomSummary(t, rng, "duplicate", 40, 0),
+			KeptCount: 3, KeptSum: 4.5,
+			KeptRows:   [][]float64{{1, 2}, {3, 4}, {5, 6}},
+			KeptLabels: []int{0, 2, 1},
+			Vec:        DeltaFromVector(vec),
+		},
 	}
 	for i, rep := range reps {
 		got, err := DecodeReport(EncodeReport(nil, rep))
@@ -165,6 +184,41 @@ func TestDirectiveRoundTrip(t *testing.T) {
 		},
 		{Op: OpClassify, Round: 6, Pct: 0.9, Threshold: 1.234},
 		{Op: OpStop},
+		{ // shard-local configure: scalar pool + reference
+			Op: OpConfigure, Epsilon: 0.01,
+			Pool:      []float64{3, 1, 2},
+			RefSorted: []float64{1, 2, 3},
+		},
+		{ // shard-local configure: LDP pool + mechanism
+			Op: OpConfigure, Epsilon: 0.02,
+			Pool:     []float64{-0.5, 0.5},
+			MechKind: 1, MechEps: 2,
+		},
+		{ // shard-local configure: row dataset
+			Op: OpConfigure, Epsilon: 0.01,
+			Rows:     [][]float64{{1, 2, 3}, {4, 5, 6}},
+			Labels:   []int{1, 0},
+			Clusters: 2, PoisonLabel: -1,
+		},
+		{ // scale pass over a dataset range
+			Op: OpScale, Round: 2, Center: []float64{0.1, 0.2, 0.3}, Lo: 10, Hi: 20,
+		},
+		{ // O(1) shard-local round directive
+			Op: OpGenerate, Round: 3,
+			Gen: &GenSpec{
+				Seed: -12345, HonestN: 250, PoisonN: 50,
+				InjectKind: 2, InjectP: 0.5, InjectLo: 0.9, InjectHi: 1,
+				Jitter: 1e-6,
+			},
+		},
+		{ // rows variant carries the center and the merged scale summary
+			Op: OpGenerateRows, Round: 4, Center: []float64{1, 2},
+			Gen: &GenSpec{
+				Seed: 99, HonestN: 100, PoisonN: 20,
+				InjectKind: 1, InjectHi: 0.99, Jitter: 0.001,
+				Scale: summary.FromUnsorted([]float64{0.5, 1.5, 2.5}),
+			},
+		},
 	}
 	for i, d := range dirs {
 		got, err := DecodeDirective(EncodeDirective(nil, d))
@@ -231,11 +285,13 @@ func TestDecodeRejectsWrongVersionMagicKind(t *testing.T) {
 		t.Fatalf("kind mismatch: %v, want ErrKind", err)
 	}
 
-	// An older version (0) must still be accepted by a newer decoder.
+	// A retired version (below MinVersion) must be rejected too: version 1
+	// messages have an incompatible layout, and silent misparsing is worse
+	// than a loud ErrVersion at the configure fan-out.
 	old := append([]byte(nil), msg...)
-	old[2] = 0
-	if _, err := DecodeSummary(old); err != nil {
-		t.Fatalf("older version rejected: %v", err)
+	old[2] = MinVersion - 1
+	if _, err := DecodeSummary(old); !errors.Is(err, ErrVersion) {
+		t.Fatalf("retired version: %v, want ErrVersion", err)
 	}
 }
 
