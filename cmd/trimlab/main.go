@@ -5,11 +5,21 @@
 // Usage:
 //
 //	trimlab -experiment fig4 [-scale quick|bench|paper] [-points N] [-seed S]
-//	trimlab worker -listen :7101 [-seed S]
+//	trimlab worker -listen :7101 [-seed S] [-rejoin]
 //	trimlab coordinator -workers host1:7101,host2:7101 [-seed S] [-local] [-rounds N] [-batch N]
+//	    [-heartbeat D] [-hb-timeout D] [-rejoin] [-checkpoint-dir DIR] [-checkpoint-every K] [-resume]
 //
 // Experiments: table1, table2, table3, table4, fig4, fig5, fig6, fig7,
-// fig8, fig9, variants, blackbox, sharded, distributed, all.
+// fig8, fig9, variants, blackbox, sharded, distributed, fleet, all.
+//
+// The fleet flags drive the supervision runtime (DESIGN.md §8): -heartbeat
+// starts background liveness probes over the game transport, -rejoin lets
+// the coordinator re-admit a lost worker at a round boundary (a re-spawned
+// `trimlab worker -rejoin` on the old address), -checkpoint-dir persists a
+// full coordinator snapshot every -checkpoint-every rounds, and -resume
+// restarts a killed coordinator from the latest snapshot — both re-join and
+// resume reproduce the uninterrupted shard-local reference record for
+// record outside the degraded window, which -local verifies.
 //
 // Every mode takes the same -seed flag (default 1, must be ≥ 1): the
 // experiment mode uses it as the base RNG seed (repetition seeds are
@@ -42,8 +52,10 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/collect"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/game"
 	"repro/internal/stats"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -192,10 +204,18 @@ func main() {
 			res.Print(os.Stdout)
 			return nil
 		},
+		"fleet": func() error {
+			res, err := experiments.FaultTolerance(sc, 0)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			return nil
+		},
 	}
 
 	order := []string{"table1", "table2", "table3", "table4",
-		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "variants", "blackbox", "sharded", "distributed"}
+		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "variants", "blackbox", "sharded", "distributed", "fleet"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -267,12 +287,16 @@ func validateSeed(s int64) error {
 }
 
 // workerMain is the `trimlab worker` subcommand: serve one cluster worker
-// until the coordinator sends the stop directive.
+// until the coordinator sends the stop directive. With -rejoin the worker
+// is a re-spawned replacement: it accepts the coordinator's mid-game
+// membership grant (Hello/Configure/Join) instead of refusing to be grafted
+// into a running game.
 func workerMain(args []string) error {
 	fs := flag.NewFlagSet("worker", flag.ExitOnError)
 	var (
 		listen = fs.String("listen", ":7101", "address to serve the worker RPC on")
 		id     = fs.Int("id", 0, "worker id for log lines (shard order is set by the coordinator's -workers list)")
+		rejoin = fs.Bool("rejoin", false, "accept a mid-game re-join (re-spawned replacement for a lost worker)")
 		seed   = seedFlag(fs)
 	)
 	if err := fs.Parse(args); err != nil {
@@ -282,7 +306,12 @@ func workerMain(args []string) error {
 		return err
 	}
 	w := cluster.NewWorker(*id)
-	fmt.Printf("trimlab worker %d: serving on %s (seeds are derived by the coordinator; -seed is accepted for launch symmetry)\n", *id, *listen)
+	mode := ""
+	if *rejoin {
+		w.AllowRejoin()
+		mode = ", re-join enabled"
+	}
+	fmt.Printf("trimlab worker %d: serving on %s (seeds are derived by the coordinator; -seed is accepted for launch symmetry%s)\n", *id, *listen, mode)
 	if err := cluster.ListenAndServe(*listen, w); err != nil {
 		return err
 	}
@@ -298,15 +327,21 @@ func workerMain(args []string) error {
 func coordinatorMain(args []string) error {
 	fs := flag.NewFlagSet("coordinator", flag.ExitOnError)
 	var (
-		workers = fs.String("workers", "", "comma-separated worker addresses (required; order = shard order)")
-		rounds  = fs.Int("rounds", 20, "game rounds")
-		batch   = fs.Int("batch", 20000, "honest arrivals per round")
-		ratio   = fs.Float64("ratio", 0.2, "attack ratio")
-		seed    = seedFlag(fs)
-		local   = fs.Bool("local", false, "shard-local data plane: workers generate their own arrivals from seeds derived off -seed; round directives are O(1)")
-		eps     = fs.Float64("eps", 0, "summary rank-error budget (0 = package default)")
-		bound   = fs.Float64("bound", 0.05, "allowed final-threshold drift vs the unsharded run, in reference-rank space (ignored with -local, which verifies exact equality)")
-		wait    = fs.Duration("wait", 10*time.Second, "how long to retry dialing workers")
+		workers   = fs.String("workers", "", "comma-separated worker addresses (required; order = shard order)")
+		rounds    = fs.Int("rounds", 20, "game rounds")
+		batch     = fs.Int("batch", 20000, "honest arrivals per round")
+		ratio     = fs.Float64("ratio", 0.2, "attack ratio")
+		seed      = seedFlag(fs)
+		local     = fs.Bool("local", false, "shard-local data plane: workers generate their own arrivals from seeds derived off -seed; round directives are O(1)")
+		eps       = fs.Float64("eps", 0, "summary rank-error budget (0 = package default)")
+		bound     = fs.Float64("bound", 0.05, "allowed final-threshold drift vs the unsharded run, in reference-rank space (ignored with -local, which verifies exact equality)")
+		wait      = fs.Duration("wait", 10*time.Second, "how long to retry dialing workers")
+		heartbeat = fs.Duration("heartbeat", 0, "fleet liveness-probe interval (0 disables the background monitor)")
+		hbTimeout = fs.Duration("hb-timeout", 0, "how long a worker may go uncontacted before a round-boundary drop (0 = 4x heartbeat)")
+		rejoin    = fs.Bool("rejoin", false, "fleet supervision: re-admit lost workers at round boundaries (re-spawn them with `trimlab worker -rejoin`)")
+		ckDir     = fs.String("checkpoint-dir", "", "persist a coordinator snapshot every -checkpoint-every rounds into this directory (requires -local)")
+		ckEvery   = fs.Int("checkpoint-every", 5, "rounds between checkpoints")
+		resume    = fs.Bool("resume", false, "resume the game from the latest snapshot in -checkpoint-dir (requires -local)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -317,6 +352,12 @@ func coordinatorMain(args []string) error {
 	addrs := strings.Split(*workers, ",")
 	if *workers == "" || len(addrs) == 0 {
 		return fmt.Errorf("coordinator: -workers is required (e.g. -workers host1:7101,host2:7101)")
+	}
+	if (*ckDir != "" || *resume) && !*local {
+		return fmt.Errorf("coordinator: checkpointing and resume require the shard-local data plane (-local)")
+	}
+	if *resume && *ckDir == "" {
+		return fmt.Errorf("coordinator: -resume needs -checkpoint-dir")
 	}
 
 	cfg := func() (collect.Config, error) {
@@ -343,6 +384,30 @@ func coordinatorMain(args []string) error {
 		return c, nil
 	}
 
+	logf := func(format string, a ...any) {
+		fmt.Fprintf(os.Stderr, "trimlab coordinator: "+format+"\n", a...)
+	}
+	var fcfg *fleet.Config
+	if *heartbeat > 0 || *rejoin {
+		fcfg = &fleet.Config{Heartbeat: *heartbeat, Timeout: *hbTimeout, Rejoin: *rejoin, Logf: logf}
+	}
+	var ck *fleet.Checkpointer
+	if *ckDir != "" {
+		var err error
+		if ck, err = fleet.NewCheckpointer(*ckDir, *ckEvery); err != nil {
+			return err
+		}
+	}
+	var snap *wire.Snapshot
+	if *resume {
+		var path string
+		var err error
+		if snap, path, err = fleet.LoadLatest(*ckDir); err != nil {
+			return err
+		}
+		fmt.Printf("trimlab coordinator: resuming from %s (round %d of %d)\n", path, snap.NextRound, *rounds)
+	}
+
 	fmt.Printf("trimlab coordinator: dialing %d workers %v\n", len(addrs), addrs)
 	tr, err := cluster.Dial(addrs, *wait)
 	if err != nil {
@@ -358,12 +423,13 @@ func coordinatorMain(args []string) error {
 	}
 	start := time.Now()
 	clustered, err := collect.RunCluster(collect.ClusterConfig{
-		Config:    ccfg,
-		Transport: tr,
-		Gen:       gen,
-		Logf: func(format string, a ...any) {
-			fmt.Fprintf(os.Stderr, "trimlab coordinator: "+format+"\n", a...)
-		},
+		Config:     ccfg,
+		Transport:  tr,
+		Gen:        gen,
+		Logf:       logf,
+		Fleet:      fcfg,
+		Checkpoint: ck,
+		Resume:     snap,
 	})
 	if err != nil {
 		return err
@@ -378,28 +444,16 @@ func coordinatorMain(args []string) error {
 	fmt.Printf("  coordinator egress: %d B total, %d B configure, %.0f B/round\n",
 		clustered.EgressBytes, clustered.EgressConfigBytes,
 		float64(clustered.EgressBytes-clustered.EgressConfigBytes)/float64(*rounds))
+	for _, l := range clustered.Losses {
+		fmt.Printf("  shard loss: round %d (%s): worker %d, honest range [%d, %d)\n",
+			l.Round, l.Phase, l.Worker, l.Lo, l.Hi)
+	}
+	for _, ev := range clustered.FleetEvents {
+		fmt.Printf("  fleet: epoch %d: %s worker %d, round %d\n", ev.Epoch, ev.Kind, ev.Worker, ev.Round)
+	}
 
 	if *local {
-		// Shard-local verification: the multi-process run must reproduce
-		// the single-process sharded reference record for record.
-		rcfg, err := cfg()
-		if err != nil {
-			return err
-		}
-		reference, err := collect.RunSharded(collect.ShardedConfig{
-			Config: rcfg, Shards: len(addrs), Gen: gen,
-		})
-		if err != nil {
-			return err
-		}
-		for i := range reference.Board.Records {
-			if !reference.Board.Records[i].Equal(clustered.Board.Records[i]) {
-				return fmt.Errorf("coordinator: round %d diverged from the shard-local reference:\nreference %+v\ncluster   %+v",
-					i+1, reference.Board.Records[i], clustered.Board.Records[i])
-			}
-		}
-		fmt.Println("board matches the single-process shard-local reference record for record: OK")
-		return nil
+		return verifyShardLocal(cfg, gen, clustered, len(addrs), *rounds, *rejoin)
 	}
 
 	ucfg, err := cfg()
@@ -410,6 +464,65 @@ func coordinatorMain(args []string) error {
 	if err != nil {
 		return err
 	}
+	return verifyThresholdDrift(ucfg, clustered, unsharded, *bound)
+}
+
+// verifyShardLocal checks a -local run against the single-process
+// shard-local reference record for record, skipping only the degraded
+// window of a supervised run — the rounds from the first shard loss up to
+// (but excluding) the round the membership became whole again. With -rejoin
+// a run that never became whole again fails the check: the operator asked
+// for recovery and did not get it.
+func verifyShardLocal(cfg func() (collect.Config, error), gen *collect.ShardGen, clustered *collect.Result, workers, rounds int, rejoin bool) error {
+	rcfg, err := cfg()
+	if err != nil {
+		return err
+	}
+	reference, err := collect.RunSharded(collect.ShardedConfig{
+		Config: rcfg, Shards: workers, Gen: gen,
+	})
+	if err != nil {
+		return err
+	}
+	if len(clustered.Losses) == 0 {
+		for i := range reference.Board.Records {
+			if !reference.Board.Records[i].Equal(clustered.Board.Records[i]) {
+				return fmt.Errorf("coordinator: round %d diverged from the shard-local reference:\nreference %+v\ncluster   %+v",
+					i+1, reference.Board.Records[i], clustered.Board.Records[i])
+			}
+		}
+		fmt.Println("board matches the single-process shard-local reference record for record: OK")
+		return nil
+	}
+	if rejoin && clustered.WholeSince == 0 {
+		return fmt.Errorf("coordinator: worker lost and never re-admitted (re-join requested): losses %+v", clustered.Losses)
+	}
+	firstLoss := clustered.Losses[0].Round
+	verified := 0
+	for i := range reference.Board.Records {
+		r := i + 1
+		if r >= firstLoss && (clustered.WholeSince == 0 || r < clustered.WholeSince) {
+			continue // degraded window: fewer live shards played this round
+		}
+		if !reference.Board.Records[i].Equal(clustered.Board.Records[i]) {
+			return fmt.Errorf("coordinator: round %d diverged from the shard-local reference outside the degraded window:\nreference %+v\ncluster   %+v",
+				r, reference.Board.Records[i], clustered.Board.Records[i])
+		}
+		verified++
+	}
+	if clustered.WholeSince > 0 {
+		fmt.Printf("pre-loss and post-recovery records (%d of %d, degraded window round %d-%d excluded) match the shard-local reference record for record: OK\n",
+			verified, rounds, firstLoss, clustered.WholeSince-1)
+	} else {
+		fmt.Printf("pre-loss records (%d of %d) match the shard-local reference record for record: OK (fleet ended degraded)\n",
+			verified, rounds)
+	}
+	return nil
+}
+
+// verifyThresholdDrift is the coordinator-fed acceptance check: final
+// threshold within the rank-space bound of the unsharded replay.
+func verifyThresholdDrift(ucfg collect.Config, clustered, unsharded *collect.Result, bound float64) error {
 	refSorted := append([]float64(nil), ucfg.Reference...)
 	sort.Float64s(refSorted)
 	last := len(clustered.Board.Records) - 1
@@ -420,9 +533,9 @@ func coordinatorMain(args []string) error {
 		drift = -drift
 	}
 	fmt.Printf("final threshold: cluster %.6f vs unsharded %.6f (rank drift %.5f, bound %.5f)\n",
-		ct, ut, drift, *bound)
-	if drift > *bound {
-		return fmt.Errorf("coordinator: final-threshold drift %.5f exceeds bound %.5f", drift, *bound)
+		ct, ut, drift, bound)
+	if drift > bound {
+		return fmt.Errorf("coordinator: final-threshold drift %.5f exceeds bound %.5f", drift, bound)
 	}
 	fmt.Println("threshold drift within bound: OK")
 	return nil

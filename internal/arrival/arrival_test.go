@@ -214,19 +214,20 @@ func TestLDPDraw(t *testing.T) {
 func TestMechWireCodec(t *testing.T) {
 	pw, _ := ldp.NewPiecewise(2)
 	du, _ := ldp.NewDuchi(1.5)
-	for _, m := range []ldp.Mechanism{pw, du} {
-		kind, eps, err := MechToWire(m)
+	grr, _ := ldp.NewGRRValue(1.2, 6)
+	for _, m := range []ldp.Mechanism{pw, du, grr} {
+		kind, eps, k, err := MechToWire(m)
 		if err != nil {
 			t.Fatal(err)
 		}
-		back, err := MechFromWire(kind, eps)
+		back, err := MechFromWire(kind, eps, k)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if back.Epsilon() != m.Epsilon() {
 			t.Fatalf("epsilon %v != %v", back.Epsilon(), m.Epsilon())
 		}
-		// Same code, same ε → identical perturbation stream.
+		// Same code, same ε (and arity) → identical perturbation stream.
 		a, b := stats.NewRand(5), stats.NewRand(5)
 		for i := 0; i < 50; i++ {
 			if m.Perturb(a, 0.25) != back.Perturb(b, 0.25) {
@@ -234,11 +235,17 @@ func TestMechWireCodec(t *testing.T) {
 			}
 		}
 	}
-	if _, _, err := MechToWire(nonCodable{}); err == nil {
+	if g, ok := any(grr).(interface{ K() int }); !ok || g.K() != 6 {
+		t.Fatal("GRR arity lost")
+	}
+	if _, _, _, err := MechToWire(nonCodable{}); err == nil {
 		t.Fatal("non-codable mechanism accepted")
 	}
-	if _, err := MechFromWire(99, 1); err == nil {
+	if _, err := MechFromWire(99, 1, 0); err == nil {
 		t.Fatal("unknown mechanism code accepted")
+	}
+	if _, err := MechFromWire(MechGRR, 1, 1); err == nil {
+		t.Fatal("GRR with one category accepted")
 	}
 }
 

@@ -10,36 +10,44 @@ import (
 	"repro/internal/stats"
 )
 
-// LDP mechanism codes of wire format version 2 — the mechanisms whose
-// construction is a pure function of (kind, ε) and can therefore be
-// re-instantiated identically on a worker. Mechanisms with richer state
-// (the EMF baseline's binned channel, the categorical GRR) are not
-// wire-codable; shard-local LDP games reject them at validation.
+// LDP mechanism codes of the wire format — the mechanisms whose
+// construction is a pure function of (kind, ε, arity) and can therefore be
+// re-instantiated identically on a worker. Piecewise and Duchi need only
+// (kind, ε); the categorical GRR additionally carries its category count k
+// (wire.Directive.MechK). Mechanisms with richer state (the EMF baseline's
+// binned channel) are not wire-codable; shard-local LDP games reject them
+// at validation.
 const (
 	MechNone      byte = 0
 	MechPiecewise byte = 1
 	MechDuchi     byte = 2
+	MechGRR       byte = 3
 )
 
-// MechToWire returns the wire code of a mechanism, or an error when the
-// mechanism cannot be reconstructed from a code.
-func MechToWire(m ldp.Mechanism) (kind byte, eps float64, err error) {
-	switch m.(type) {
+// MechToWire returns the wire code of a mechanism — (kind, ε, arity), with
+// arity 0 for the numeric mechanisms — or an error when the mechanism
+// cannot be reconstructed from a code.
+func MechToWire(m ldp.Mechanism) (kind byte, eps float64, k int, err error) {
+	switch g := m.(type) {
 	case *ldp.Piecewise:
-		return MechPiecewise, m.Epsilon(), nil
+		return MechPiecewise, m.Epsilon(), 0, nil
 	case *ldp.Duchi:
-		return MechDuchi, m.Epsilon(), nil
+		return MechDuchi, m.Epsilon(), 0, nil
+	case *ldp.GRRValue:
+		return MechGRR, g.Epsilon(), g.K(), nil
 	}
-	return MechNone, 0, fmt.Errorf("arrival: mechanism %T is not wire-codable", m)
+	return MechNone, 0, 0, fmt.Errorf("arrival: mechanism %T is not wire-codable", m)
 }
 
 // MechFromWire reconstructs a mechanism from its wire code.
-func MechFromWire(kind byte, eps float64) (ldp.Mechanism, error) {
+func MechFromWire(kind byte, eps float64, k int) (ldp.Mechanism, error) {
 	switch kind {
 	case MechPiecewise:
 		return ldp.NewPiecewise(eps)
 	case MechDuchi:
 		return ldp.NewDuchi(eps)
+	case MechGRR:
+		return ldp.NewGRRValue(eps, k)
 	}
 	return nil, fmt.Errorf("arrival: unknown mechanism code %d", kind)
 }

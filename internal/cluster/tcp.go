@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"net/rpc"
+	"sync"
 	"time"
 )
 
@@ -71,8 +72,13 @@ func ListenAndServe(addr string, w *Worker) error {
 	return Serve(ln, w)
 }
 
-// tcpTransport is the coordinator side: one net/rpc client per worker.
+// tcpTransport is the coordinator side: one net/rpc client per worker. The
+// address list is retained so a lost worker can be revived by re-dialing —
+// a re-spawned `trimlab worker -rejoin` process listens on the old address.
 type tcpTransport struct {
+	addrs []string
+
+	mu      sync.Mutex
 	clients []*rpc.Client
 }
 
@@ -84,7 +90,10 @@ func Dial(addrs []string, wait time.Duration) (Transport, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("cluster: no worker addresses")
 	}
-	t := &tcpTransport{clients: make([]*rpc.Client, len(addrs))}
+	t := &tcpTransport{
+		addrs:   append([]string(nil), addrs...),
+		clients: make([]*rpc.Client, len(addrs)),
+	}
 	deadline := time.Now().Add(wait)
 	for i, addr := range addrs {
 		for {
@@ -106,28 +115,64 @@ func Dial(addrs []string, wait time.Duration) (Transport, error) {
 // Workers returns the worker count.
 func (t *tcpTransport) Workers() int { return len(t.clients) }
 
-// Call performs one synchronous RPC round trip to worker w.
-func (t *tcpTransport) Call(w int, req []byte) ([]byte, error) {
+// client returns the current connection of worker w.
+func (t *tcpTransport) client(w int) (*rpc.Client, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if w < 0 || w >= len(t.clients) || t.clients[w] == nil {
 		return nil, fmt.Errorf("cluster: no worker %d", w)
 	}
+	return t.clients[w], nil
+}
+
+// Call performs one synchronous RPC round trip to worker w.
+func (t *tcpTransport) Call(w int, req []byte) ([]byte, error) {
+	c, err := t.client(w)
+	if err != nil {
+		return nil, err
+	}
 	var resp []byte
-	if err := t.clients[w].Call(rpcName+".Call", req, &resp); err != nil {
+	if err := c.Call(rpcName+".Call", req, &resp); err != nil {
 		return nil, err
 	}
 	return resp, nil
 }
 
+// Revive re-establishes the connection to worker w by dialing its original
+// address again (Reviver) — the TCP liveness hook behind worker re-join.
+// It fails fast while nothing listens there; on success the stale client is
+// replaced, so in-flight calls on the old connection still fail cleanly.
+func (t *tcpTransport) Revive(w int) error {
+	if w < 0 || w >= len(t.addrs) {
+		return fmt.Errorf("cluster: no worker %d", w)
+	}
+	c, err := rpc.Dial("tcp", t.addrs[w])
+	if err != nil {
+		return fmt.Errorf("cluster: revive worker %d at %s: %w", w, t.addrs[w], err)
+	}
+	t.mu.Lock()
+	old := t.clients[w]
+	t.clients[w] = c
+	t.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	return nil
+}
+
 // Close closes every client connection.
 func (t *tcpTransport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	var first error
-	for _, c := range t.clients {
+	for i, c := range t.clients {
 		if c == nil {
 			continue
 		}
 		if err := c.Close(); err != nil && first == nil {
 			first = err
 		}
+		t.clients[i] = nil
 	}
 	return first
 }

@@ -18,6 +18,18 @@ type Transport interface {
 	Close() error
 }
 
+// Reviver is the transport-level liveness hook of the fleet runtime
+// (DESIGN.md §8): transports that can re-establish the path to a lost
+// worker implement it. Revive succeeds only when a worker is actually
+// reachable again — a re-spawned process listening on the old address (TCP)
+// or a respawned in-process worker (loopback); while the worker is still
+// gone it returns an error and the supervisor retries at the next round
+// boundary. Reviving says nothing about the worker's game state: the
+// supervisor still runs the Hello/Configure/Join admission handshake.
+type Reviver interface {
+	Revive(worker int) error
+}
+
 // Loopback is the in-process transport: n workers in the same address
 // space, Call dispatching directly to Worker.Handle. Requests still cross
 // the full wire encoding, so loopback runs exercise exactly the bytes a
@@ -43,11 +55,43 @@ func NewLoopback(n int) *Loopback {
 func (l *Loopback) Workers() int { return len(l.workers) }
 
 // Fail makes every subsequent Call to the given worker return an error —
-// the test hook for the coordinator's drop-and-continue failure handling.
+// the test hook for the coordinator's drop-and-continue failure handling
+// (the loopback analogue of killing a worker process).
 func (l *Loopback) Fail(worker int) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.failed[worker] = true
+}
+
+// Respawn replaces a failed worker with a fresh, state-free one that
+// accepts a mid-game join — the loopback analogue of the operator
+// re-launching `trimlab worker -rejoin` on the old address. Until Respawn
+// is called, a failed worker stays unreachable and Revive keeps failing.
+func (l *Loopback) Respawn(worker int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if worker < 0 || worker >= len(l.workers) {
+		return
+	}
+	w := NewWorker(worker)
+	w.AllowRejoin()
+	l.workers[worker] = w
+	delete(l.failed, worker)
+}
+
+// Revive reports whether the worker is reachable again (Reviver). The
+// loopback has no connection to re-establish, so this is a pure liveness
+// check: an error while the slot is still failed, nil once respawned.
+func (l *Loopback) Revive(worker int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if worker < 0 || worker >= len(l.workers) {
+		return fmt.Errorf("cluster: no worker %d", worker)
+	}
+	if l.failed[worker] {
+		return fmt.Errorf("cluster: worker %d is down (injected failure)", worker)
+	}
+	return nil
 }
 
 // Call dispatches to the in-process worker.

@@ -41,9 +41,27 @@ type Worker struct {
 	id  int
 	eps float64
 
+	// Fleet runtime state (DESIGN.md §8). epoch is the membership epoch the
+	// worker was last admitted at (OpJoin), echoed in every report;
+	// configured reports whether data-plane state is installed (the
+	// Hello/Heartbeat reply field re-admission turns on); rejoin permits a
+	// mid-game Join (epoch > 0) for a cold replacement — a fresh worker
+	// launched without it refuses to be grafted into a running game, the
+	// guard behind `trimlab worker -rejoin`. helloConfigured stamps whether
+	// the worker already held state when the admission handshake's Hello
+	// arrived: a transient-partition survivor (configured before the
+	// handshake) may re-join without the flag — it is already part of the
+	// game — while a worker configured *by* the handshake is a cold spawn
+	// and needs the operator's explicit -rejoin.
+	epoch           int
+	configured      bool
+	rejoin          bool
+	helloConfigured bool
+
 	// Shard-local data plane, installed by Configure.
 	scalarGen *arrival.Scalar
 	ldpGen    *arrival.LDP
+	catGen    *arrival.Categorical
 	rowGen    *arrival.Rows
 
 	// Round state, valid between a Summarize/Generate and its Classify.
@@ -69,6 +87,17 @@ func NewWorker(id int) *Worker {
 	return &Worker{id: id, done: make(chan struct{})}
 }
 
+// AllowRejoin permits this worker to accept a mid-game membership grant
+// (OpJoin with a non-zero epoch) — the re-spawned replacement mode behind
+// `trimlab worker -rejoin`. Without it a fresh worker can only join a game
+// at its initial admission, which guards against an operator accidentally
+// pointing a replacement at the wrong running cluster.
+func (w *Worker) AllowRejoin() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.rejoin = true
+}
+
 // Done is closed when the worker has handled OpStop — the signal for a
 // serving loop to shut down.
 func (w *Worker) Done() <-chan struct{} { return w.done }
@@ -85,13 +114,35 @@ func (w *Worker) Handle(req []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep := &wire.Report{Round: d.Round, Worker: w.id}
+	rep := &wire.Report{Round: d.Round, Worker: w.id, Epoch: w.epoch, Configured: w.configured}
 	switch d.Op {
 	case wire.OpConfigure:
 		if err := w.configure(d); err != nil {
 			return nil, err
 		}
 		rep.Epsilon = w.eps
+		rep.Configured = w.configured
+
+	case wire.OpHeartbeat:
+		// Pure probe: echo liveness state (id, epoch, configured already on
+		// the report), mutate nothing.
+
+	case wire.OpHello:
+		// Admission handshake: the supervisor reads Configured to decide
+		// whether to re-ship the data-plane state before granting a Join.
+		// Stamp whether state predates this handshake — the distinction the
+		// Join guard turns on.
+		w.helloConfigured = w.configured
+
+	case wire.OpJoin:
+		if d.Epoch > 0 && !w.rejoin && !w.helloConfigured {
+			return nil, fmt.Errorf("cluster: worker %d: mid-game join (epoch %d) of a fresh worker refused; relaunch it with re-join enabled", w.id, d.Epoch)
+		}
+		if !w.configured {
+			return nil, fmt.Errorf("cluster: worker %d: join (epoch %d) before configure", w.id, d.Epoch)
+		}
+		w.epoch = d.Epoch
+		rep.Epoch = w.epoch
 
 	case wire.OpSummarize:
 		w.setHeld(d.Round, d.Values, nil, nil, 0, d.PoisonFrom, false)
@@ -150,15 +201,24 @@ func (w *Worker) Handle(req []byte) ([]byte, error) {
 }
 
 // configure installs the sketch budget and, for shard-local games, the
-// generator state: pool + reference (scalar), pool + mechanism (LDP), or
-// dataset rows + labels (row game). A coordinator-fed game ships only the
-// budget.
+// generator state: pool + reference (scalar), pool + mechanism (LDP,
+// categorical LDP), or dataset rows + labels (row game). A coordinator-fed
+// game ships only the budget. Re-configuring mid-game (the re-admission
+// path) discards any held round state: a re-joined worker starts cold at
+// the next round boundary.
 func (w *Worker) configure(d *wire.Directive) error {
 	w.eps = d.Epsilon
-	w.scalarGen, w.ldpGen, w.rowGen = nil, nil, nil
+	w.scalarGen, w.ldpGen, w.catGen, w.rowGen = nil, nil, nil, nil
+	w.held, w.dists, w.rows, w.labels, w.dim, w.localRows = false, nil, nil, nil, 0, false
 	switch {
+	case d.MechKind == arrival.MechGRR:
+		gen, err := arrival.NewCategoricalFromWire(d.Pool, d.MechEps, d.MechK)
+		if err != nil {
+			return fmt.Errorf("cluster: worker %d: %w", w.id, err)
+		}
+		w.catGen = gen
 	case d.MechKind != arrival.MechNone:
-		mech, err := arrival.MechFromWire(d.MechKind, d.MechEps)
+		mech, err := arrival.MechFromWire(d.MechKind, d.MechEps, d.MechK)
 		if err != nil {
 			return fmt.Errorf("cluster: worker %d: %w", w.id, err)
 		}
@@ -178,6 +238,7 @@ func (w *Worker) configure(d *wire.Directive) error {
 		}
 		w.scalarGen = &arrival.Scalar{Pool: d.Pool, Ref: d.RefSorted}
 	}
+	w.configured = true
 	return nil
 }
 
@@ -204,6 +265,13 @@ func (w *Worker) generate(d *wire.Directive, rep *wire.Report) error {
 	rng := stats.NewRand(d.Gen.Seed)
 	var values []float64
 	switch {
+	case w.catGen != nil:
+		var inputSum, pctSum float64
+		if values, inputSum, pctSum, err = w.catGen.Draw(rng, spec); err != nil {
+			return fmt.Errorf("cluster: worker %d: %w", w.id, err)
+		}
+		rep.InputSum = inputSum
+		rep.PctSum = pctSum
 	case w.ldpGen != nil:
 		var inputSum, pctSum float64
 		if values, inputSum, pctSum, err = w.ldpGen.Draw(rng, spec); err != nil {

@@ -1,0 +1,198 @@
+package collect
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/attack"
+	"repro/internal/fleet"
+	"repro/internal/stats/summary"
+	"repro/internal/trim"
+	"repro/internal/wire"
+)
+
+// Checkpointed resumable games (DESIGN.md §8). A shard-local scalar cluster
+// game is a pure function of (master seed, worker slot count), and its
+// coordinator state between rounds is compact: the public board, the
+// game-long Received/Kept streams, loss history, egress counters, and the
+// round index — which IS the RNG cell, since every draw derives from
+// (master seed, slot, round). A wire.Snapshot captures exactly that; the
+// strategies are not serialized but replayed deterministically over the
+// restored board, with the recorded thresholds double-checking the replay.
+
+// scalarSnapshot captures the coordinator state after round r was posted.
+func scalarSnapshot(cfg *ClusterConfig, res *Result, pool *workerPool, baselineQ float64, r int) *wire.Snapshot {
+	return &wire.Snapshot{
+		Game:         wire.SnapScalar,
+		Seed:         cfg.Gen.MasterSeed,
+		Rounds:       cfg.Rounds,
+		Batch:        cfg.Batch,
+		Ratio:        cfg.AttackRatio,
+		Epsilon:      cfg.SummaryEpsilon,
+		Workers:      cfg.Transport.Workers(),
+		NextRound:    r + 1,
+		Epoch:        len(pool.fleetLog()),
+		BaselineQ:    baselineQ,
+		Records:      recordsToSnap(res.Board.Records),
+		Losses:       lossesToSnap(pool.losses),
+		Events:       eventsToSnap(pool.fleetLog()),
+		Received:     res.Received.State(),
+		Kept:         res.Kept.State(),
+		Egress:       pool.egress,
+		EgressConfig: pool.egressConfig,
+	}
+}
+
+// restoreScalarSnapshot loads a snapshot into a fresh result and pool,
+// returning the round to resume at. The streams are rebuilt from their full
+// states, so every later estimate matches the uninterrupted run bit for
+// bit; the loss and membership history are restored so the resumed run
+// reports the same degraded windows (WholeSince) the original would have;
+// the egress counters continue from the snapshot (the resumed run's own
+// re-configure fan-out comes on top).
+func restoreScalarSnapshot(snap *wire.Snapshot, res *Result, pool *workerPool) (startRound int, err error) {
+	if res.Received, err = summary.FromState(snap.Received); err != nil {
+		return 0, fmt.Errorf("collect: resume received stream: %w", err)
+	}
+	if res.Kept, err = summary.FromState(snap.Kept); err != nil {
+		return 0, fmt.Errorf("collect: resume kept stream: %w", err)
+	}
+	res.Board = Board{Records: snapToRecords(snap.Records)}
+	pool.losses = snapToLosses(snap.Losses)
+	pool.priorEvents = snapToEvents(snap.Events)
+	// Slots that were down when the snapshot was cut were implicitly
+	// re-admitted by the resumed run's configure fan-out (it reaches every
+	// transport slot, and slots it could not reach are already dropped in
+	// the current membership) — record that as admissions at the resume
+	// round so the combined log stays consistent.
+	down := make(map[int]bool)
+	for _, ev := range pool.priorEvents {
+		switch ev.Kind {
+		case fleet.EventDrop:
+			down[ev.Worker] = true
+		case fleet.EventAdmit:
+			delete(down, ev.Worker)
+		}
+	}
+	for _, w := range pool.ms.Alive() {
+		if down[w] {
+			pool.priorEvents = append(pool.priorEvents, fleet.Event{
+				Kind: fleet.EventAdmit, Round: snap.NextRound, Worker: w,
+			})
+		}
+	}
+	pool.egress += snap.Egress
+	pool.egressConfig += snap.EgressConfig
+	return snap.NextRound, nil
+}
+
+// replayStrategies re-advances the collector's and adversary's internal
+// state over the restored board: round by round each strategy sees exactly
+// the observation it saw in the original run, so its state after the replay
+// equals its state at the checkpoint. The collector's replayed thresholds
+// are checked against the recorded ones — a mismatch means the strategy is
+// not a deterministic function of the board (or the wrong strategy was
+// configured) and the resume must not continue.
+func replayStrategies(collector trim.Strategy, si attack.SpecInjector, records []RoundRecord) error {
+	var replay Board
+	for _, rec := range records {
+		pct := collector.Threshold(rec.Round, replay.collectorView())
+		if pct != rec.ThresholdPct {
+			return fmt.Errorf("collect: resume replay diverged at round %d: collector threshold %v, recorded %v",
+				rec.Round, pct, rec.ThresholdPct)
+		}
+		si.InjectionSpec(rec.Round, replay.adversaryView())
+		replay.Post(rec)
+	}
+	return nil
+}
+
+// recordsToSnap/snapToRecords convert the public board. MeanInjectionPct is
+// float-bit faithful both ways (NaN marks a poison-free round).
+func recordsToSnap(records []RoundRecord) []wire.SnapRound {
+	out := make([]wire.SnapRound, len(records))
+	for i, r := range records {
+		out[i] = wire.SnapRound{
+			Round:            r.Round,
+			ThresholdPct:     r.ThresholdPct,
+			ThresholdValue:   r.ThresholdValue,
+			MeanInjectionPct: r.MeanInjectionPct,
+			HonestKept:       r.HonestKept,
+			HonestTrimmed:    r.HonestTrimmed,
+			PoisonKept:       r.PoisonKept,
+			PoisonTrimmed:    r.PoisonTrimmed,
+			Quality:          r.Quality,
+			BaselineQuality:  r.BaselineQuality,
+		}
+	}
+	return out
+}
+
+func snapToRecords(rounds []wire.SnapRound) []RoundRecord {
+	out := make([]RoundRecord, len(rounds))
+	for i, r := range rounds {
+		out[i] = RoundRecord{
+			Round:            r.Round,
+			ThresholdPct:     r.ThresholdPct,
+			ThresholdValue:   r.ThresholdValue,
+			MeanInjectionPct: r.MeanInjectionPct,
+			HonestKept:       r.HonestKept,
+			HonestTrimmed:    r.HonestTrimmed,
+			PoisonKept:       r.PoisonKept,
+			PoisonTrimmed:    r.PoisonTrimmed,
+			Quality:          r.Quality,
+			BaselineQuality:  r.BaselineQuality,
+		}
+	}
+	return out
+}
+
+func lossesToSnap(losses []ShardLoss) []wire.SnapLoss {
+	out := make([]wire.SnapLoss, len(losses))
+	for i, l := range losses {
+		out[i] = wire.SnapLoss{Round: l.Round, Worker: l.Worker, Lo: l.Lo, Hi: l.Hi, Phase: l.Phase}
+	}
+	return out
+}
+
+func snapToLosses(losses []wire.SnapLoss) []ShardLoss {
+	if len(losses) == 0 {
+		return nil
+	}
+	out := make([]ShardLoss, len(losses))
+	for i, l := range losses {
+		out[i] = ShardLoss{Round: l.Round, Worker: l.Worker, Lo: l.Lo, Hi: l.Hi, Phase: l.Phase}
+	}
+	return out
+}
+
+func eventsToSnap(events []fleet.Event) []wire.SnapEvent {
+	if len(events) == 0 {
+		return nil
+	}
+	out := make([]wire.SnapEvent, len(events))
+	for i, e := range events {
+		out[i] = wire.SnapEvent{Kind: byte(e.Kind), Epoch: e.Epoch, Round: e.Round, Worker: e.Worker}
+	}
+	return out
+}
+
+func snapToEvents(events []wire.SnapEvent) []fleet.Event {
+	if len(events) == 0 {
+		return nil
+	}
+	out := make([]fleet.Event, len(events))
+	for i, e := range events {
+		out[i] = fleet.Event{Kind: fleet.EventKind(e.Kind), Epoch: e.Epoch, Round: e.Round, Worker: e.Worker}
+	}
+	return out
+}
+
+// sameQuality compares baseline qualities bit for bit, treating NaN==NaN
+// (a degenerate quality standard could yield NaN on both sides).
+func sameQuality(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return a == b
+}

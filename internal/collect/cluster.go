@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/arrival"
 	"repro/internal/attack"
 	"repro/internal/cluster"
+	"repro/internal/fleet"
 	"repro/internal/stats"
 	"repro/internal/stats/summary"
 	"repro/internal/wire"
@@ -41,11 +43,36 @@ type ClusterConfig struct {
 	Gen *ShardGen
 
 	// Logf receives shard-loss and lifecycle messages (fmt.Printf style);
-	// nil discards them. A worker whose call fails is dropped for the rest
-	// of the game and the game continues on the survivors — its slice of
-	// the round (summaries, counts, kept values) is lost, which shows up as
-	// short per-round tallies for that round.
+	// nil discards them. A worker whose call fails is dropped and the game
+	// continues on the survivors — its slice of the round (summaries,
+	// counts, kept values) is lost, which shows up as short per-round
+	// tallies for that round. Without a Fleet config the drop is forever;
+	// with one, re-admission is the supervisor's business.
 	Logf func(format string, args ...any)
+
+	// Fleet enables the supervision runtime (internal/fleet, DESIGN.md §8):
+	// heartbeat liveness over the transport, an epoch-numbered membership
+	// view, and — with Fleet.Rejoin — re-admission of lost workers at round
+	// boundaries (transport Revive, then the Hello/Configure/Join
+	// handshake). Under a ShardGen, arrivals repartition deterministically
+	// over the live slot set, so a run that loses a worker and re-admits it
+	// matches the uninterrupted reference record for record from the first
+	// round the membership is whole again.
+	Fleet *fleet.Config
+
+	// Checkpoint, when non-nil, persists a wire-encoded Snapshot of the
+	// full coordinator game state every k rounds (fleet.Checkpointer).
+	// Requires a ShardGen: only a game that is a pure function of (master
+	// seed, slot count) can be resumed reproducibly.
+	Checkpoint *fleet.Checkpointer
+
+	// Resume restarts the game from a decoded checkpoint: the board, the
+	// game-long Received/Kept streams, loss history and egress counters are
+	// restored bit for bit, strategies are replayed over the restored board,
+	// and play continues at Snapshot.NextRound. The snapshot's
+	// configuration fingerprint must match this config. Requires the same
+	// ShardGen the checkpointing run used.
+	Resume *wire.Snapshot
 }
 
 // validateTransport is the transport check shared by every cluster game.
@@ -66,6 +93,14 @@ func (c *ClusterConfig) validate() error {
 	if c.ExactQuantiles {
 		return fmt.Errorf("collect: cluster collection requires summaries (ExactQuantiles must be false)")
 	}
+	if (c.Checkpoint != nil || c.Resume != nil) && c.Gen == nil {
+		return fmt.Errorf("collect: checkpoint/resume requires the shard-local data plane (a ShardGen)")
+	}
+	if c.Resume != nil {
+		if err := c.validateResume(); err != nil {
+			return err
+		}
+	}
 	if c.Gen != nil {
 		if _, err := specInjector(c.Adversary); err != nil {
 			return err
@@ -75,43 +110,187 @@ func (c *ClusterConfig) validate() error {
 	return c.Config.validate()
 }
 
-// workerPool tracks the live workers of one game and fans directives out to
-// them. Failures prune the pool (drop-and-continue): the merge order of the
-// survivors stays the transport's worker order, so runs remain
-// deterministic given the failure pattern.
+// validateResume pins the snapshot's configuration fingerprint to this
+// config: resuming a different game is an operator error, never a merge.
+func (c *ClusterConfig) validateResume() error {
+	s := c.Resume
+	if s.Game != wire.SnapScalar {
+		return fmt.Errorf("collect: snapshot is for game %d, not the scalar cluster game", s.Game)
+	}
+	if s.Seed != c.Gen.MasterSeed {
+		return fmt.Errorf("collect: snapshot master seed %d, config %d", s.Seed, c.Gen.MasterSeed)
+	}
+	if s.Rounds != c.Rounds || s.Batch != c.Batch {
+		return fmt.Errorf("collect: snapshot game %d rounds x batch %d, config %d x %d",
+			s.Rounds, s.Batch, c.Rounds, c.Batch)
+	}
+	if s.Ratio != c.AttackRatio {
+		return fmt.Errorf("collect: snapshot attack ratio %v, config %v", s.Ratio, c.AttackRatio)
+	}
+	if s.Epsilon != c.SummaryEpsilon {
+		return fmt.Errorf("collect: snapshot summary epsilon %v, config %v", s.Epsilon, c.SummaryEpsilon)
+	}
+	if s.Workers != c.Transport.Workers() {
+		return fmt.Errorf("collect: snapshot cut over %d worker slots, transport has %d",
+			s.Workers, c.Transport.Workers())
+	}
+	if s.NextRound > c.Rounds+1 {
+		return fmt.Errorf("collect: snapshot next round %d beyond the %d-round game", s.NextRound, c.Rounds)
+	}
+	if s.Received == nil || s.Kept == nil {
+		return fmt.Errorf("collect: snapshot carries no stream state")
+	}
+	return nil
+}
+
+// ShardLoss records one worker loss: the round and phase whose fan-in ran
+// short, and the [Lo, Hi) slice of that round's honest batch the slot held
+// (the data that went missing from the round's tallies). Lo == Hi for a
+// loss outside a data phase (configure, admission).
+type ShardLoss struct {
+	Round  int
+	Phase  string
+	Worker int
+	Lo, Hi int
+}
+
+// workerPool tracks the live workers of one game through an epoch-numbered
+// fleet.Membership and fans directives out to them. Failures prune the
+// membership (drop-and-continue): the merge order of the survivors stays
+// the transport's worker order, so runs remain deterministic given the
+// failure pattern. With a fleet supervisor attached, lost slots are offered
+// re-admission at round boundaries (beginRound).
 type workerPool struct {
-	tr    cluster.Transport
-	alive []int
-	lost  int
-	logf  func(format string, args ...any)
+	tr   cluster.Transport
+	ms   *fleet.Membership
+	sup  *fleet.Supervisor
+	logf func(format string, args ...any)
+
+	// conf is the saved configure template, re-shipped to re-joining
+	// workers whose state died with their process.
+	conf    wire.Directive
+	hasConf bool
+
+	// ranges maps each slot to its current round's honest-batch [lo, hi)
+	// share — the loss-report payload when a call to it fails.
+	ranges map[int][2]int
+
+	losses []ShardLoss
+
+	// priorEvents is the membership history restored from a resume
+	// snapshot; fleetLog()/wholeSince() report over the combined log.
+	priorEvents []fleet.Event
+
+	// callTimeout bounds every transport call when > 0 (fleet.Config
+	// .CallTimeout): a hung worker then counts as failed and is dropped
+	// instead of hanging the game.
+	callTimeout time.Duration
 
 	// egress counts every directive byte handed to the transport — the
-	// coordinator's outbound traffic; egressConfig is the one-time
-	// configure share of it (pool/reference/dataset shipping).
+	// coordinator's outbound traffic; egressConfig is the configure share
+	// of it (pool/reference/dataset shipping, including re-admission
+	// re-configures). Heartbeat probes are supervision-plane traffic and are
+	// not counted.
 	egress       int64
 	egressConfig int64
 }
 
-func newWorkerPool(tr cluster.Transport, logf func(string, ...any)) *workerPool {
+func newWorkerPool(tr cluster.Transport, logf func(string, ...any), fcfg *fleet.Config) *workerPool {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	p := &workerPool{tr: tr, logf: logf}
-	for w := 0; w < tr.Workers(); w++ {
-		p.alive = append(p.alive, w)
+	p := &workerPool{
+		tr:     tr,
+		ms:     fleet.NewMembership(tr.Workers()),
+		logf:   logf,
+		ranges: make(map[int][2]int),
+	}
+	if fcfg != nil {
+		cfg := *fcfg
+		if cfg.Logf == nil {
+			cfg.Logf = logf
+		}
+		p.callTimeout = cfg.CallTimeout
+		probe := func(w int) error {
+			_, err := tr.Call(w, wire.EncodeDirective(nil, &wire.Directive{Op: wire.OpHeartbeat}))
+			return err
+		}
+		var revive func(int) error
+		if rv, ok := tr.(cluster.Reviver); ok {
+			revive = rv.Revive
+		}
+		p.sup = fleet.NewSupervisor(tr.Workers(), cfg, probe, revive)
+		// The supervisor and the pool must share one membership view.
+		p.ms = p.sup.Membership()
 	}
 	return p
 }
 
+// alive returns the live slots in shard-slot order (shared; do not mutate).
+func (p *workerPool) alive() []int { return p.ms.Alive() }
+
+// lost returns the number of loss events so far.
+func (p *workerPool) lost() int { return len(p.losses) }
+
+// fleetLog returns the full membership event log — a resumed run's prior
+// history followed by this run's — with epochs renumbered by position (an
+// epoch IS its event count).
+func (p *workerPool) fleetLog() []fleet.Event {
+	cur := p.ms.Events()
+	if len(p.priorEvents) == 0 {
+		return cur
+	}
+	log := append(append([]fleet.Event(nil), p.priorEvents...), cur...)
+	for i := range log {
+		log[i].Epoch = i + 1
+	}
+	return log
+}
+
+// wholeSince reports over the combined log, so a resumed run's degraded
+// window stays visible to verification.
+func (p *workerPool) wholeSince() int {
+	if len(p.priorEvents) == 0 {
+		return p.ms.WholeSince()
+	}
+	return fleet.WholeSinceLog(p.ms.Slots(), p.fleetLog())
+}
+
+// callWorker is one transport round trip, bounded by the fleet call
+// timeout when one is configured (the abandoned goroutine of a timed-out
+// call exits when the transport call finally returns).
+func (p *workerPool) callWorker(w int, req []byte) ([]byte, error) {
+	if p.callTimeout <= 0 {
+		return p.tr.Call(w, req)
+	}
+	type result struct {
+		out []byte
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		out, err := p.tr.Call(w, req)
+		ch <- result{out, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.out, r.err
+	case <-time.After(p.callTimeout):
+		return nil, fmt.Errorf("collect: call to worker %d timed out after %v", w, p.callTimeout)
+	}
+}
+
 // callAll sends dirs[i] to the i-th live worker in parallel and returns the
 // decoded reports of the workers that answered, in shard order. Workers
-// that fail are logged and pruned; an empty pool is an error — the game
-// cannot continue with zero shards.
+// that fail are logged, recorded as shard losses and dropped from the
+// membership; an empty pool is an error — the game cannot continue with
+// zero shards.
 func (p *workerPool) callAll(round int, phase string, dirs []*wire.Directive) ([]*wire.Report, error) {
-	reps := make([]*wire.Report, len(p.alive))
-	errs := make([]error, len(p.alive))
-	reqs := make([][]byte, len(p.alive))
-	for i := range p.alive {
+	alive := append([]int(nil), p.alive()...)
+	reps := make([]*wire.Report, len(alive))
+	errs := make([]error, len(alive))
+	reqs := make([][]byte, len(alive))
+	for i := range alive {
 		reqs[i] = wire.EncodeDirective(nil, dirs[i])
 		p.egress += int64(len(reqs[i]))
 		if phase == "configure" {
@@ -119,11 +298,11 @@ func (p *workerPool) callAll(round int, phase string, dirs []*wire.Directive) ([
 		}
 	}
 	var wg sync.WaitGroup
-	for i := range p.alive {
+	for i := range alive {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			out, err := p.tr.Call(p.alive[i], reqs[i])
+			out, err := p.callWorker(alive[i], reqs[i])
 			if err != nil {
 				errs[i] = err
 				return
@@ -134,46 +313,124 @@ func (p *workerPool) callAll(round int, phase string, dirs []*wire.Directive) ([
 	wg.Wait()
 
 	kept := reps[:0]
-	survivors := p.alive[:0]
-	for i, w := range p.alive {
+	for i, w := range alive {
 		if errs[i] != nil {
-			p.lost++
-			p.logf("collect: round %d: dropping worker %d after failed %s (shard lost): %v", round, w, phase, errs[i])
+			p.drop(round, phase, w, errs[i])
 			continue
 		}
 		// The transport index is authoritative (a TCP worker's self-id is
 		// whatever it was launched with); reports are keyed by it.
 		reps[i].Worker = w
 		kept = append(kept, reps[i])
-		survivors = append(survivors, w)
+		if p.sup != nil {
+			p.sup.Observe(w)
+		}
 	}
-	p.alive = survivors
-	if len(p.alive) == 0 {
+	if len(p.alive()) == 0 {
 		return nil, fmt.Errorf("collect: all cluster workers lost by round %d", round)
 	}
 	return kept, nil
 }
 
-// configure broadcasts one directive template to every worker — the
-// sketch budget plus, for shard-local games, the one-time data-plane state
-// (pool, reference, dataset, mechanism).
-func (p *workerPool) configure(template wire.Directive) error {
-	template.Op = wire.OpConfigure
-	dirs := make([]*wire.Directive, len(p.alive))
-	for i := range dirs {
-		dirs[i] = &template
+// drop records one worker loss and removes the slot from the membership.
+func (p *workerPool) drop(round int, phase string, w int, err error) {
+	b := p.ranges[w]
+	p.losses = append(p.losses, ShardLoss{Round: round, Phase: phase, Worker: w, Lo: b[0], Hi: b[1]})
+	p.logf("collect: round %d: dropping worker %d after failed %s (shard [%d, %d) lost): %v",
+		round, w, phase, b[0], b[1], err)
+	if p.sup != nil {
+		p.sup.Drop(w, round)
+	} else {
+		p.ms.Drop(w, round)
 	}
-	_, err := p.callAll(0, "configure", dirs)
+}
+
+// beginRound applies the fleet supervision policy at a round boundary:
+// staleness drops, then re-admission of down slots via the
+// Hello/Configure/Join handshake. A no-op without a supervisor.
+func (p *workerPool) beginRound(round int) {
+	if p.sup == nil {
+		return
+	}
+	p.sup.BeginRound(round, func(w, epoch int) error { return p.admit(round, w, epoch) })
+}
+
+// admit runs the game-level re-admission handshake with one revived slot:
+// Hello asks for its state, Configure re-ships the data plane when the
+// state died with the old process (a cold re-spawn answers Configured =
+// false; a worker that survived a transient partition keeps its state and
+// skips the shipment), Join grants membership from the new epoch.
+// Admission traffic counts as egress (the configure share into
+// egressConfig); a failure at any step leaves the slot down.
+func (p *workerPool) admit(round, w, epoch int) error {
+	hello, err := p.call1(w, &wire.Directive{Op: wire.OpHello, Round: round}, false)
+	if err != nil {
+		return err
+	}
+	if !hello.Configured {
+		if !p.hasConf {
+			return fmt.Errorf("collect: no configure template saved")
+		}
+		conf := p.conf
+		if _, err := p.call1(w, &conf, true); err != nil {
+			return err
+		}
+	}
+	_, err = p.call1(w, &wire.Directive{Op: wire.OpJoin, Round: round, Epoch: epoch}, false)
 	return err
 }
 
+// call1 is one accounted directive round trip to a single worker.
+func (p *workerPool) call1(w int, d *wire.Directive, isConfig bool) (*wire.Report, error) {
+	req := wire.EncodeDirective(nil, d)
+	p.egress += int64(len(req))
+	if isConfig {
+		p.egressConfig += int64(len(req))
+	}
+	out, err := p.callWorker(w, req)
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeReport(out)
+}
+
+// configure broadcasts one directive template to every worker — the sketch
+// budget plus, for shard-local games, the one-time data-plane state (pool,
+// reference, dataset, mechanism) — and saves it for re-admissions. Under
+// fleet supervision the initial membership grant (Join, epoch 0) follows.
+func (p *workerPool) configure(template wire.Directive) error {
+	template.Op = wire.OpConfigure
+	p.conf = template
+	p.hasConf = true
+	dirs := make([]*wire.Directive, len(p.alive()))
+	for i := range dirs {
+		dirs[i] = &template
+	}
+	if _, err := p.callAll(0, "configure", dirs); err != nil {
+		return err
+	}
+	if p.sup != nil {
+		dirs = dirs[:0]
+		for range p.alive() {
+			dirs = append(dirs, &wire.Directive{Op: wire.OpJoin, Epoch: 0})
+		}
+		if _, err := p.callAll(0, "join", dirs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // stop releases the workers (best effort: a worker that already died is
-// already logged) and closes the transport.
+// already logged), stops the supervisor and closes the transport.
 func (p *workerPool) stop() {
-	for _, w := range p.alive {
-		if _, err := p.tr.Call(w, wire.EncodeDirective(nil, &wire.Directive{Op: wire.OpStop})); err != nil {
+	for _, w := range p.alive() {
+		if _, err := p.callWorker(w, wire.EncodeDirective(nil, &wire.Directive{Op: wire.OpStop})); err != nil {
 			p.logf("collect: stopping worker %d: %v", w, err)
 		}
+	}
+	if p.sup != nil {
+		p.sup.Close()
 	}
 	if err := p.tr.Close(); err != nil {
 		p.logf("collect: closing transport: %v", err)
@@ -194,15 +451,22 @@ func slicePoisonFrom(poisonStart, lo, hi int) int {
 	return pf
 }
 
+// setRanges records each live slot's honest-batch share for the round — the
+// loss-report payload should a call to it fail.
+func (p *workerPool) setRanges(bounds map[int][2]int) {
+	p.ranges = bounds
+}
+
 // scalarSummarizeDirs partitions a round's scalar arrivals across the live
 // workers and builds the phase-1 directives, returning the [lo, hi) bounds
 // each worker was handed, keyed by worker index (the scalar and LDP games
 // share this; the row game ships rows and a center instead).
 func (p *workerPool) scalarSummarizeDirs(round int, values []float64, poisonStart int) ([]*wire.Directive, map[int][2]int) {
-	dirs := make([]*wire.Directive, len(p.alive))
-	bounds := make(map[int][2]int, len(p.alive))
-	for i, w := range p.alive {
-		lo, hi := shardBounds(len(values), len(p.alive), i)
+	alive := p.alive()
+	dirs := make([]*wire.Directive, len(alive))
+	bounds := make(map[int][2]int, len(alive))
+	for i, w := range alive {
+		lo, hi := shardBounds(len(values), len(alive), i)
 		dirs[i] = &wire.Directive{
 			Op: wire.OpSummarize, Round: round,
 			Values:     values[lo:hi],
@@ -210,27 +474,36 @@ func (p *workerPool) scalarSummarizeDirs(round int, values []float64, poisonStar
 		}
 		bounds[w] = [2]int{lo, hi}
 	}
+	p.setRanges(bounds)
 	return dirs, bounds
 }
 
 // generateDirs builds the shard-local phase-1 directives: one O(1)
 // generator spec per live worker, with the RNG seed derived per (slot,
-// round). It returns the spec each worker was handed, keyed by worker
-// index, so the coordinator can account poison and honest shares of the
-// workers that actually answered.
-func (p *workerPool) generateDirs(op wire.Op, round int, gen *ShardGen, specs []arrival.Spec) ([]*wire.Directive, map[int]arrival.Spec) {
-	dirs := make([]*wire.Directive, len(p.alive))
-	byWorker := make(map[int]arrival.Spec, len(p.alive))
-	for i, w := range p.alive {
+// round) — the slot is the worker's position in the live set, which is what
+// repartitions the derived streams over any membership epoch. It returns
+// the spec each worker was handed, keyed by worker index, so the
+// coordinator can account poison and honest shares of the workers that
+// actually answered.
+func (p *workerPool) generateDirs(op wire.Op, round int, gen *ShardGen, batch int, specs []arrival.Spec) ([]*wire.Directive, map[int]arrival.Spec) {
+	alive := p.alive()
+	dirs := make([]*wire.Directive, len(alive))
+	byWorker := make(map[int]arrival.Spec, len(alive))
+	bounds := make(map[int][2]int, len(alive))
+	for i, w := range alive {
 		dirs[i] = &wire.Directive{Op: op, Round: round, Gen: arrival.SpecToWire(gen.seed(i, round), specs[i])}
 		byWorker[w] = specs[i]
+		lo, hi := shardBounds(batch, len(alive), i)
+		bounds[w] = [2]int{lo, hi}
 	}
+	p.setRanges(bounds)
 	return dirs, byWorker
 }
 
 // classifyDirs builds the phase-2 threshold broadcast for the live workers.
+// The phase-1 ranges stay registered: a classify loss loses the same slice.
 func (p *workerPool) classifyDirs(round int, pct, threshold float64) []*wire.Directive {
-	dirs := make([]*wire.Directive, len(p.alive))
+	dirs := make([]*wire.Directive, len(p.alive()))
 	for i := range dirs {
 		dirs[i] = &wire.Directive{Op: wire.OpClassify, Round: round, Pct: pct, Threshold: threshold}
 	}
@@ -317,7 +590,7 @@ func RunCluster(cfg ClusterConfig) (*Result, error) {
 		return nil, err
 	}
 
-	pool := newWorkerPool(cfg.Transport, cfg.Logf)
+	pool := newWorkerPool(cfg.Transport, cfg.Logf, cfg.Fleet)
 	defer pool.stop()
 	conf := wire.Directive{Epsilon: cfg.SummaryEpsilon}
 	if cfg.Gen != nil {
@@ -328,7 +601,24 @@ func RunCluster(cfg ClusterConfig) (*Result, error) {
 		return nil, err
 	}
 
-	for r := 1; r <= cfg.Rounds; r++ {
+	startRound := 1
+	if cfg.Resume != nil {
+		// The baseline re-derived above is the purity check: a snapshot cut
+		// from the same (master seed, pool) reproduces it bit for bit.
+		if !sameQuality(cfg.Resume.BaselineQ, baselineQ) {
+			return nil, fmt.Errorf("collect: snapshot baseline quality %v, recomputed %v (snapshot is from a different game)",
+				cfg.Resume.BaselineQ, baselineQ)
+		}
+		if startRound, err = restoreScalarSnapshot(cfg.Resume, res, pool); err != nil {
+			return nil, err
+		}
+		if err := replayStrategies(cfg.Collector, si, res.Board.Records); err != nil {
+			return nil, err
+		}
+	}
+
+	for r := startRound; r <= cfg.Rounds; r++ {
+		pool.beginRound(r)
 		thresholdPct := cfg.Collector.Threshold(r, res.Board.collectorView())
 
 		// Phase 1: obtain the shard summaries and merge the returned
@@ -341,8 +631,8 @@ func RunCluster(cfg ClusterConfig) (*Result, error) {
 		var roundPoison = poisonCount  // poison behind the merged summary
 		if cfg.Gen != nil {
 			inject := si.InjectionSpec(r, res.Board.adversaryView())
-			dirs, byWorker := pool.generateDirs(wire.OpGenerate, r, cfg.Gen,
-				genSpecs(cfg.Batch, poisonCount, inject, jscale, len(pool.alive)))
+			dirs, byWorker := pool.generateDirs(wire.OpGenerate, r, cfg.Gen, cfg.Batch,
+				genSpecs(cfg.Batch, poisonCount, inject, jscale, len(pool.alive())))
 			specs = byWorker
 			if reps, err = pool.callAll(r, "generate", dirs); err != nil {
 				return nil, err
@@ -412,9 +702,23 @@ func RunCluster(cfg ClusterConfig) (*Result, error) {
 		if cfg.OnRound != nil {
 			cfg.OnRound(rec)
 		}
+		if cfg.Checkpoint != nil && cfg.Checkpoint.Due(r) {
+			if _, err := cfg.Checkpoint.Write(scalarSnapshot(&cfg, res, pool, baselineQ, r)); err != nil {
+				return nil, err
+			}
+		}
 	}
-	res.LostShards = pool.lost
+	finishClusterResult(res, pool)
+	return res, nil
+}
+
+// finishClusterResult copies the pool's loss and membership accounting into
+// a result.
+func finishClusterResult(res *Result, pool *workerPool) {
+	res.LostShards = pool.lost()
+	res.Losses = pool.losses
+	res.FleetEvents = pool.fleetLog()
+	res.WholeSince = pool.wholeSince()
 	res.EgressBytes = pool.egress
 	res.EgressConfigBytes = pool.egressConfig
-	return res, nil
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/arrival"
 	"repro/internal/attack"
 	"repro/internal/cluster"
+	"repro/internal/fleet"
 	"repro/internal/ldp"
 	"repro/internal/stats"
 	"repro/internal/wire"
@@ -46,6 +47,10 @@ type LDPClusterConfig struct {
 	// match ClusterConfig: drop-and-continue.
 	Logf func(format string, args ...any)
 
+	// Fleet enables the supervision runtime — heartbeats, membership
+	// epochs, worker re-join at round boundaries. See ClusterConfig.Fleet.
+	Fleet *fleet.Config
+
 	// KeepAllReports retains every report in LDPResult.AllReports (the
 	// EMF baseline consumes it). Only the coordinator-fed mode can honor
 	// it (it generated the reports); shard-local validation rejects it.
@@ -69,7 +74,7 @@ func (c *LDPClusterConfig) validate() error {
 		if _, err := specInjector(c.Adversary); err != nil {
 			return err
 		}
-		if _, _, err := arrival.MechToWire(c.Mechanism); err != nil {
+		if _, _, _, err := arrival.MechToWire(c.Mechanism); err != nil {
 			return err
 		}
 		if c.KeepAllReports {
@@ -117,23 +122,25 @@ func RunClusterLDP(cfg LDPClusterConfig) (*LDPResult, error) {
 	var honestSum float64
 	var honestN int
 
-	pool := newWorkerPool(cfg.Transport, cfg.Logf)
+	pool := newWorkerPool(cfg.Transport, cfg.Logf, cfg.Fleet)
 	defer pool.stop()
 	conf := wire.Directive{Epsilon: cfg.SummaryEpsilon}
 	if cfg.Gen != nil {
-		kind, eps, err := arrival.MechToWire(cfg.Mechanism) // validated above
+		kind, eps, k, err := arrival.MechToWire(cfg.Mechanism) // validated above
 		if err != nil {
 			return nil, err
 		}
 		conf.Pool = cfg.Inputs
 		conf.MechKind = kind
 		conf.MechEps = eps
+		conf.MechK = k
 	}
 	if err := pool.configure(conf); err != nil {
 		return nil, err
 	}
 
 	for r := 1; r <= cfg.Rounds; r++ {
+		pool.beginRound(r)
 		thresholdPct := cfg.Collector.Threshold(r, res.Board.collectorView())
 
 		// Phase 1: obtain each worker's report summary — by shard-local
@@ -146,8 +153,8 @@ func RunClusterLDP(cfg LDPClusterConfig) (*LDPResult, error) {
 		roundPoison := poisonCount
 		if cfg.Gen != nil {
 			inject := si.InjectionSpec(r, res.Board.adversaryView())
-			dirs, byWorker := pool.generateDirs(wire.OpGenerate, r, cfg.Gen,
-				genSpecs(cfg.Batch, poisonCount, inject, 0, len(pool.alive)))
+			dirs, byWorker := pool.generateDirs(wire.OpGenerate, r, cfg.Gen, cfg.Batch,
+				genSpecs(cfg.Batch, poisonCount, inject, 0, len(pool.alive())))
 			if reps, err = pool.callAll(r, "generate", dirs); err != nil {
 				return nil, err
 			}
@@ -218,12 +225,18 @@ func RunClusterLDP(cfg LDPClusterConfig) (*LDPResult, error) {
 			res.AllReports = append(res.AllReports, reports...)
 		}
 		res.Board.Post(rec)
+		if cfg.OnRound != nil {
+			cfg.OnRound(rec)
+		}
 	}
 	res.MeanEstimate = cfg.Mechanism.(ldp.SumMeanEstimator).MeanEstimateFromSum(keptSum, keptN)
 	if honestN > 0 {
 		res.TrueMean = honestSum / float64(honestN)
 	}
-	res.LostShards = pool.lost
+	res.LostShards = pool.lost()
+	res.Losses = pool.losses
+	res.FleetEvents = pool.fleetLog()
+	res.WholeSince = pool.wholeSince()
 	res.EgressBytes = pool.egress
 	res.EgressConfigBytes = pool.egressConfig
 	return res, nil

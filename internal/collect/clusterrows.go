@@ -9,6 +9,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/cluster"
 	"repro/internal/dataset"
+	"repro/internal/fleet"
 	"repro/internal/stats"
 	"repro/internal/stats/summary"
 	"repro/internal/wire"
@@ -46,6 +47,14 @@ type RowClusterConfig struct {
 	// the round (counts, kept rows, center delta) is gone, and its dataset
 	// range is missing from that round's clean scale.
 	Logf func(format string, args ...any)
+
+	// Fleet enables the supervision runtime — heartbeats, membership
+	// epochs, worker re-join at round boundaries (the re-admission
+	// re-ships the dataset). See ClusterConfig.Fleet; note the row game's
+	// robust center carries history, so a degraded window shifts later
+	// centers within the summary budget rather than replaying exactly
+	// (DESIGN.md §8).
+	Fleet *fleet.Config
 }
 
 func (c *RowClusterConfig) validate() error {
@@ -67,11 +76,15 @@ func (c *RowClusterConfig) validate() error {
 // scaleDirs builds the clean-scale fan-out: each live worker summarizes
 // the distances of its dataset range from the broadcast center.
 func (p *workerPool) scaleDirs(round int, center []float64, dataLen int) []*wire.Directive {
-	dirs := make([]*wire.Directive, len(p.alive))
-	for i := range p.alive {
-		lo, hi := shardBounds(dataLen, len(p.alive), i)
+	alive := p.alive()
+	dirs := make([]*wire.Directive, len(alive))
+	bounds := make(map[int][2]int, len(alive))
+	for i, w := range alive {
+		lo, hi := shardBounds(dataLen, len(alive), i)
 		dirs[i] = &wire.Directive{Op: wire.OpScale, Round: round, Center: center, Lo: lo, Hi: hi}
+		bounds[w] = [2]int{lo, hi}
 	}
+	p.setRanges(bounds)
 	return dirs
 }
 
@@ -157,7 +170,7 @@ func RunClusterRows(cfg RowClusterConfig) (*RowResult, error) {
 	}
 	refCentroid := append([]float64(nil), center...)
 
-	pool := newWorkerPool(cfg.Transport, cfg.Logf)
+	pool := newWorkerPool(cfg.Transport, cfg.Logf, cfg.Fleet)
 	defer pool.stop()
 	conf := wire.Directive{
 		Epsilon:     cfg.SummaryEpsilon,
@@ -179,6 +192,7 @@ func RunClusterRows(cfg RowClusterConfig) (*RowResult, error) {
 	}
 
 	for r := 1; r <= cfg.Rounds; r++ {
+		pool.beginRound(r)
 		thresholdPct := cfg.Collector.Threshold(r, res.Board.collectorView())
 
 		// Phase 0: refresh the robust center from the absorbed deltas and
@@ -203,8 +217,8 @@ func RunClusterRows(cfg RowClusterConfig) (*RowResult, error) {
 		roundPoison := poisonCount
 		if cfg.Gen != nil {
 			inject := si.InjectionSpec(r, res.Board.adversaryView())
-			dirs, byWorker := pool.generateDirs(wire.OpGenerateRows, r, cfg.Gen,
-				genSpecs(cfg.Batch, poisonCount, inject, jscale, len(pool.alive)))
+			dirs, byWorker := pool.generateDirs(wire.OpGenerateRows, r, cfg.Gen, cfg.Batch,
+				genSpecs(cfg.Batch, poisonCount, inject, jscale, len(pool.alive())))
 			for _, d := range dirs {
 				d.Center = refCentroid
 				d.Gen.Scale = scaleSum
@@ -246,10 +260,11 @@ func RunClusterRows(cfg RowClusterConfig) (*RowResult, error) {
 
 			// Ship row slices plus the center; record each worker's bounds
 			// so kept indices can be mapped back after the classify phase.
-			dirs := make([]*wire.Directive, len(pool.alive))
-			bounds = make(map[int][2]int, len(pool.alive))
-			for i, w := range pool.alive {
-				lo, hi := shardBounds(len(arrivals), len(pool.alive), i)
+			alive := pool.alive()
+			dirs := make([]*wire.Directive, len(alive))
+			bounds = make(map[int][2]int, len(alive))
+			for i, w := range alive {
+				lo, hi := shardBounds(len(arrivals), len(alive), i)
 				rows := make([][]float64, hi-lo)
 				for j := range rows {
 					rows[j] = arrivals[lo+j].row
@@ -262,6 +277,7 @@ func RunClusterRows(cfg RowClusterConfig) (*RowResult, error) {
 				}
 				bounds[w] = [2]int{lo, hi}
 			}
+			pool.setRanges(bounds)
 			if reps, err = pool.callAll(r, "summarize", dirs); err != nil {
 				return nil, err
 			}
@@ -357,7 +373,10 @@ func RunClusterRows(cfg RowClusterConfig) (*RowResult, error) {
 		}
 		res.Board.Post(rec)
 	}
-	res.LostShards = pool.lost
+	res.LostShards = pool.lost()
+	res.Losses = pool.losses
+	res.FleetEvents = pool.fleetLog()
+	res.WholeSince = pool.wholeSince()
 	res.EgressBytes = pool.egress
 	res.EgressConfigBytes = pool.egressConfig
 	return res, nil

@@ -1,0 +1,138 @@
+package collect
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/cluster"
+	"repro/internal/fleet"
+	"repro/internal/ldp"
+	"repro/internal/stats"
+)
+
+// grrConfig is a shard-local categorical (GRR) collection game: inputs are
+// category indices, the mechanism the k-ary randomized-response channel.
+func grrConfig(t *testing.T, k int) LDPConfig {
+	t.Helper()
+	rng := stats.NewRand(47)
+	inputs := make([]float64, 2000)
+	for i := range inputs {
+		// Skewed categorical distribution over [0, k).
+		c := rng.Intn(k)
+		if rng.Float64() < 0.5 {
+			c = c / 2
+		}
+		inputs[i] = float64(c)
+	}
+	mech, err := ldp.NewGRRValue(3, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv, err := attack.NewRange("Baseline", 0.9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return LDPConfig{
+		Rounds: 6, Batch: 500, AttackRatio: 0.2,
+		Inputs: inputs, Mechanism: mech,
+		Collector: mustStatic(t, 0.95), Adversary: adv,
+		TrimOnBatch: true,
+	}
+}
+
+// The GRR channel runs the shard-local LDP data plane end to end: the
+// configure fan-out ships (pool, MechGRR, ε, k), workers re-instantiate the
+// channel and draw their own categorical reports, and the game is a pure
+// function of (master seed, worker count) — two identical runs match, and a
+// TCP cluster reproduces the loopback record for record.
+func TestShardLocalGRRCluster(t *testing.T) {
+	const workers = 4
+	gen := &ShardGen{MasterSeed: 48}
+	run := func() *LDPResult {
+		res, err := RunShardedLDP(LDPShardedConfig{
+			LDPConfig: grrConfig(t, 8), Shards: workers, Gen: gen,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.MeanEstimate != b.MeanEstimate || a.TrueMean != b.TrueMean {
+		t.Fatalf("identical seeds diverged: %v/%v vs %v/%v",
+			a.MeanEstimate, a.TrueMean, b.MeanEstimate, b.TrueMean)
+	}
+	for i := range a.Board.Records {
+		if !a.Board.Records[i].Equal(b.Board.Records[i]) {
+			t.Fatalf("round %d diverged between identical seeds", i+1)
+		}
+	}
+	// The trimmed mean estimate stays in the category domain's ballpark of
+	// the true mean (trimming the top 5% biases it low, the attack high).
+	if math.IsNaN(a.MeanEstimate) || math.Abs(a.MeanEstimate-a.TrueMean) > 1.5 {
+		t.Fatalf("mean estimate %v far from true mean %v", a.MeanEstimate, a.TrueMean)
+	}
+	if a.TrueMean <= 0 || a.TrueMean >= 7 {
+		t.Fatalf("degenerate true mean %v", a.TrueMean)
+	}
+
+	// Over real sockets: record for record the same game.
+	addrs := make([]string, workers)
+	for i := 0; i < workers; i++ {
+		w := startRestartableTCPWorker(t, i)
+		addrs[i] = w.addr
+	}
+	tr, err := cluster.Dial(addrs, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overTCP, err := RunClusterLDP(LDPClusterConfig{
+		LDPConfig: grrConfig(t, 8), Transport: tr, Gen: gen,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Board.Records {
+		if !a.Board.Records[i].Equal(overTCP.Board.Records[i]) {
+			t.Errorf("round %d diverged between loopback and TCP GRR runs", i+1)
+		}
+	}
+	if overTCP.MeanEstimate != a.MeanEstimate || overTCP.TrueMean != a.TrueMean {
+		t.Errorf("TCP estimates diverged: %v/%v vs %v/%v",
+			overTCP.MeanEstimate, overTCP.TrueMean, a.MeanEstimate, a.TrueMean)
+	}
+}
+
+// A GRR game survives worker loss and re-join like the numeric games.
+func TestShardLocalGRRRejoin(t *testing.T) {
+	const workers = 3
+	gen := &ShardGen{MasterSeed: 49}
+	reference, err := RunShardedLDP(LDPShardedConfig{
+		LDPConfig: grrConfig(t, 6), Shards: workers, Gen: gen,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := cluster.NewLoopback(workers)
+	cfg := LDPClusterConfig{
+		LDPConfig: grrConfig(t, 6),
+		Transport: lb,
+		Gen:       gen,
+		Fleet:     &fleet.Config{Rejoin: true},
+	}
+	cfg.OnRound = rejoinPattern(2, 3, func() { lb.Fail(0) }, func() { lb.Respawn(0) })
+	res, err := RunClusterLDP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WholeSince != 4 {
+		t.Fatalf("WholeSince = %d (events %+v)", res.WholeSince, res.FleetEvents)
+	}
+	for i := res.WholeSince - 1; i < cfg.Rounds; i++ {
+		if !reference.Board.Records[i].Equal(res.Board.Records[i]) {
+			t.Errorf("post-recovery round %d diverged", i+1)
+		}
+	}
+}

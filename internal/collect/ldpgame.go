@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"repro/internal/attack"
+	"repro/internal/fleet"
 	"repro/internal/ldp"
 	"repro/internal/stats"
 	"repro/internal/trim"
@@ -33,6 +34,10 @@ type LDPConfig struct {
 	// default resolves the threshold percentile on the clean perturbed
 	// report reference.
 	TrimOnBatch bool
+
+	// OnRound, when non-nil, is invoked after each round is posted to the
+	// board (monitoring, failure-injection tests); see Config.OnRound.
+	OnRound func(RoundRecord)
 
 	Rng *rand.Rand
 }
@@ -76,9 +81,13 @@ type LDPResult struct {
 	// consumes this, since it filters rather than trims. Cluster runs only
 	// fill it when LDPClusterConfig.KeepAllReports is set.
 	AllReports []float64
-	// LostShards counts workers dropped by a cluster run's failure
-	// handling (always 0 for in-process games).
-	LostShards int
+	// LostShards counts worker-loss events in a cluster run's failure
+	// handling (always 0 for in-process games); Losses, FleetEvents and
+	// WholeSince carry the detail — see Result.
+	LostShards  int
+	Losses      []ShardLoss
+	FleetEvents []fleet.Event
+	WholeSince  int
 	// EgressBytes / EgressConfigBytes: coordinator outbound directive
 	// traffic; see Result.
 	EgressBytes       int64
@@ -174,6 +183,9 @@ func RunLDP(cfg LDPConfig) (*LDPResult, error) {
 		}
 		res.AllReports = append(res.AllReports, reports...)
 		res.Board.Post(rec)
+		if cfg.OnRound != nil {
+			cfg.OnRound(rec)
+		}
 	}
 	res.MeanEstimate = cfg.Mechanism.MeanEstimate(kept)
 	if honestN > 0 {

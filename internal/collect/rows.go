@@ -8,6 +8,7 @@ import (
 	"repro/internal/arrival"
 	"repro/internal/attack"
 	"repro/internal/dataset"
+	"repro/internal/fleet"
 	"repro/internal/stats"
 	"repro/internal/stats/summary"
 	"repro/internal/trim"
@@ -93,9 +94,13 @@ type RowResult struct {
 	Kept *dataset.Dataset
 	// KeptPoison counts poison rows that survived trimming.
 	KeptPoison int
-	// LostShards counts workers dropped by a cluster run's failure
-	// handling (always 0 for in-process games).
-	LostShards int
+	// LostShards counts worker-loss events in a cluster run's failure
+	// handling (always 0 for in-process games); Losses, FleetEvents and
+	// WholeSince carry the detail — see Result.
+	LostShards  int
+	Losses      []ShardLoss
+	FleetEvents []fleet.Event
+	WholeSince  int
 	// EgressBytes / EgressConfigBytes: coordinator outbound directive
 	// traffic; see Result.
 	EgressBytes       int64

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFaultToleranceStudy(t *testing.T) {
+	res, err := FaultTolerance(Quick, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 variants", len(res.Rows))
+	}
+	byName := map[string]FaultToleranceRow{}
+	for _, row := range res.Rows {
+		byName[row.Variant] = row
+	}
+	if row := res.Rows[0]; row.Variant != "uninterrupted" || row.RoundsDiverged != 0 || row.KeptMeanDelta != 0 {
+		t.Fatalf("uninterrupted row = %+v", row)
+	}
+	kill := byName["kill-forever"]
+	if kill.LostRound == 0 || kill.WholeSince != 0 || kill.PostRecoveryMatch {
+		t.Fatalf("kill-forever row = %+v", kill)
+	}
+	if kill.RoundsDiverged == 0 {
+		t.Fatalf("permanent loss diverged nowhere: %+v", kill)
+	}
+	for _, name := range []string{"rejoin-j1", "rejoin-j3"} {
+		row, ok := byName[name]
+		if !ok {
+			t.Fatalf("missing variant %s", name)
+		}
+		if !row.PreLossMatch || !row.PostRecoveryMatch {
+			t.Fatalf("%s: pre/post match %v/%v (diverged %d rounds)",
+				name, row.PreLossMatch, row.PostRecoveryMatch, row.RoundsDiverged)
+		}
+		if row.RejoinRound == 0 || row.WholeSince != row.RejoinRound {
+			t.Fatalf("%s: rejoin %d whole since %d", name, row.RejoinRound, row.WholeSince)
+		}
+		if row.RoundsDiverged == 0 {
+			t.Fatalf("%s: degraded window left no trace (suspicious)", name)
+		}
+	}
+	var resume FaultToleranceRow
+	found := false
+	for name, row := range byName {
+		if len(name) > 6 && name[:7] == "resume-" {
+			resume, found = row, true
+		}
+	}
+	if !found {
+		t.Fatal("missing resume variant")
+	}
+	if resume.RoundsDiverged != 0 || resume.KeptMeanDelta != 0 {
+		t.Fatalf("resume not bit-identical: %+v", resume)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty print")
+	}
+}

@@ -1,0 +1,158 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// Monitor is the background heartbeat loop: on every tick it probes the
+// live workers via probe (refreshing their last-contact stamps, so a
+// worker that hangs without failing a call is eventually declared stale)
+// and the down workers via probeDown — a revive-then-probe composite, so a
+// re-spawned TCP replacement behind a dead client connection is still
+// noticed. The probe is one encoded OpHeartbeat round trip over the game
+// transport. The monitor never mutates membership itself: the supervisor
+// reads Stale and Recovered at round boundaries, keeping all membership
+// changes deterministic points of the game.
+type Monitor struct {
+	probe     func(worker int) error
+	probeDown func(worker int) error
+	interval  time.Duration
+	timeout   time.Duration
+	now       func() time.Time
+
+	mu        sync.Mutex
+	lastSeen  map[int]time.Time
+	down      map[int]bool
+	recovered map[int]bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// newMonitor starts the loop over the given slots. interval must be > 0;
+// probeDown defaults to probe when nil.
+func newMonitor(n int, cfg Config, probe, probeDown func(worker int) error) *Monitor {
+	if probeDown == nil {
+		probeDown = probe
+	}
+	m := &Monitor{
+		probe:     probe,
+		probeDown: probeDown,
+		interval:  cfg.Heartbeat,
+		timeout:   cfg.timeout(),
+		now:       cfg.now(),
+		lastSeen:  make(map[int]time.Time),
+		down:      make(map[int]bool),
+		recovered: make(map[int]bool),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	start := m.now()
+	for s := 0; s < n; s++ {
+		m.lastSeen[s] = start
+	}
+	go m.loop()
+	return m
+}
+
+// loop ticks until Close.
+func (m *Monitor) loop() {
+	defer close(m.done)
+	t := time.NewTicker(m.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+			m.sweep()
+		}
+	}
+}
+
+// sweep probes every tracked worker once.
+func (m *Monitor) sweep() {
+	m.mu.Lock()
+	var live, dead []int
+	for s := range m.lastSeen {
+		if m.down[s] {
+			dead = append(dead, s)
+		} else {
+			live = append(live, s)
+		}
+	}
+	m.mu.Unlock()
+
+	for _, s := range live {
+		if m.probe(s) == nil {
+			m.Observe(s)
+		}
+	}
+	for _, s := range dead {
+		if m.probeDown(s) == nil {
+			m.mu.Lock()
+			m.recovered[s] = true
+			m.mu.Unlock()
+		}
+	}
+}
+
+// Observe stamps a successful contact with a live worker (heartbeat or game
+// call).
+func (m *Monitor) Observe(worker int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.lastSeen[worker] = m.now()
+}
+
+// MarkDown moves a worker to the down set (its staleness no longer
+// evaluated; its recovery now probed).
+func (m *Monitor) MarkDown(worker int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.down[worker] = true
+	delete(m.recovered, worker)
+}
+
+// MarkLive moves a worker back to the live set after admission.
+func (m *Monitor) MarkLive(worker int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.down, worker)
+	delete(m.recovered, worker)
+	m.lastSeen[worker] = m.now()
+}
+
+// Stale returns the live workers whose last contact is older than the
+// timeout — candidates for a round-boundary drop.
+func (m *Monitor) Stale() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cutoff := m.now().Add(-m.timeout)
+	var stale []int
+	for s, seen := range m.lastSeen {
+		if !m.down[s] && seen.Before(cutoff) {
+			stale = append(stale, s)
+		}
+	}
+	return stale
+}
+
+// Recovered reports whether a down worker has answered a heartbeat since it
+// was marked down.
+func (m *Monitor) Recovered(worker int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.recovered[worker]
+}
+
+// Close stops the loop and waits for it to exit.
+func (m *Monitor) Close() {
+	select {
+	case <-m.stop:
+	default:
+		close(m.stop)
+	}
+	<-m.done
+}

@@ -1,0 +1,163 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+)
+
+// Supervisor glues the membership view, the heartbeat monitor and the
+// transport liveness hooks into the policy the game loops consume:
+//
+//   - failed game calls are reported through Drop (immediate: the round's
+//     fan-in already ran short);
+//   - staleness drops and re-admissions happen only in BeginRound, at the
+//     round boundary, so the live set — and with it the shard-slot
+//     partition of every round's arrivals — never changes mid-round.
+//
+// The probe is one OpHeartbeat round trip; revive is the transport's
+// Reviver hook (nil when the transport has none — re-admission then rests
+// on the probe alone, which suits the loopback). The admit callback runs
+// the game-level Hello/Configure/Join handshake.
+type Supervisor struct {
+	cfg    Config
+	ms     *Membership
+	probe  func(worker int) error
+	revive func(worker int) error
+	mon    *Monitor
+	logf   func(string, ...any)
+}
+
+// NewSupervisor builds the supervisor over n worker slots and starts the
+// background monitor when a heartbeat interval is configured.
+func NewSupervisor(n int, cfg Config, probe, revive func(worker int) error) *Supervisor {
+	s := &Supervisor{
+		cfg:    cfg,
+		ms:     NewMembership(n),
+		probe:  probe,
+		revive: revive,
+		logf:   cfg.logf(),
+	}
+	if cfg.Heartbeat > 0 {
+		timed := func(w int) error { return callTimeout(probe, w, cfg.timeout()) }
+		// Down-slot probes go through the transport's revive hook first: a
+		// re-spawned TCP worker sits behind a dead client connection until
+		// someone re-dials, and the monitor is that someone.
+		timedDown := timed
+		if revive != nil {
+			timedDown = func(w int) error {
+				return callTimeout(func(w int) error {
+					if err := revive(w); err != nil {
+						return err
+					}
+					return probe(w)
+				}, w, cfg.timeout())
+			}
+		}
+		s.mon = newMonitor(n, cfg, timed, timedDown)
+	}
+	return s
+}
+
+// Membership exposes the epoch-numbered view.
+func (s *Supervisor) Membership() *Membership { return s.ms }
+
+// Observe stamps a successful game call — liveness evidence that keeps the
+// staleness clock of a busy worker fresh without extra heartbeats.
+func (s *Supervisor) Observe(worker int) {
+	if s.mon != nil {
+		s.mon.Observe(worker)
+	}
+}
+
+// Drop removes a worker after a failed game call.
+func (s *Supervisor) Drop(worker, round int) {
+	s.ms.Drop(worker, round)
+	if s.mon != nil {
+		s.mon.MarkDown(worker)
+	}
+}
+
+// BeginRound applies membership changes for the round about to start:
+// live workers gone stale under the heartbeat timeout are dropped, and —
+// with Rejoin — every down slot is offered re-admission: revive the
+// transport path, then let the game run its admission handshake via admit
+// (called with the slot and the epoch the admission will create). A slot
+// whose revival or handshake fails stays down and is retried at the next
+// boundary.
+func (s *Supervisor) BeginRound(round int, admit func(worker, epoch int) error) {
+	if s.mon != nil {
+		for _, w := range s.mon.Stale() {
+			if !s.ms.Live(w) {
+				continue
+			}
+			s.logf("fleet: round %d: dropping worker %d (no contact within %v)", round, w, s.cfg.timeout())
+			s.Drop(w, round)
+		}
+	}
+	if !s.cfg.Rejoin {
+		return
+	}
+	for _, w := range s.ms.Down() {
+		if s.mon != nil && !s.mon.Recovered(w) {
+			// The background monitor owns recovery detection (its down
+			// probes revive + heartbeat); without its go-ahead, skip the
+			// boundary dial to a slot that is almost certainly still gone.
+			continue
+		}
+		if s.revive != nil {
+			if err := s.revive(w); err != nil {
+				continue // still gone; retry next boundary
+			}
+		}
+		if err := callTimeout(s.probe, w, s.probeWindow()); err != nil {
+			continue
+		}
+		epoch := s.ms.Epoch() + 1
+		if err := admit(w, epoch); err != nil {
+			s.logf("fleet: round %d: worker %d answered but re-admission failed: %v", round, w, err)
+			continue
+		}
+		if err := s.ms.Admit(w, round); err != nil {
+			s.logf("fleet: round %d: %v", round, err)
+			continue
+		}
+		if s.mon != nil {
+			s.mon.MarkLive(w)
+		}
+		s.logf("fleet: round %d: worker %d re-joined (epoch %d)", round, w, s.ms.Epoch())
+	}
+}
+
+// probeWindow bounds synchronous boundary probes: the heartbeat timeout
+// when configured, else a second — a boundary probe must never hang the
+// game.
+func (s *Supervisor) probeWindow() time.Duration {
+	if s.cfg.Heartbeat > 0 {
+		return s.cfg.timeout()
+	}
+	return time.Second
+}
+
+// Close stops the background monitor.
+func (s *Supervisor) Close() {
+	if s.mon != nil {
+		s.mon.Close()
+	}
+}
+
+// callTimeout runs fn(worker) with a deadline, so a hung worker cannot hang
+// the supervisor (the abandoned call's goroutine exits when the transport
+// call finally returns or fails).
+func callTimeout(fn func(int) error, worker int, d time.Duration) error {
+	if d <= 0 {
+		return fn(worker)
+	}
+	ch := make(chan error, 1)
+	go func() { ch <- fn(worker) }()
+	select {
+	case err := <-ch:
+		return err
+	case <-time.After(d):
+		return fmt.Errorf("fleet: call to worker %d timed out after %v", worker, d)
+	}
+}

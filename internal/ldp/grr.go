@@ -54,6 +54,87 @@ func (g *GRR) Perturb(rng *rand.Rand, v int) (int, error) {
 	return o, nil
 }
 
+// GRRValue adapts GRR to the numeric Mechanism interface over the ordinal
+// category domain {0, …, k−1}: inputs are category indices embedded in
+// float64 (rounded to the nearest category and clamped into the domain),
+// reports are the randomized category as float64. It is the mechanism shape
+// the collection games and the shard-local data plane consume — pure
+// function of (ε, k), so it is wire-codable (arrival.MechGRR) and a cluster
+// worker can re-instantiate it from two scalars.
+//
+// The mean inversion uses the channel's linearity on ordinal categories:
+// E[report | true = v] = p·v + q·(S − v) with S = Σ categories = k(k−1)/2,
+// so v̂ = (r̄ − q·S)/(p − q) is unbiased for the true category mean.
+type GRRValue struct {
+	g *GRR
+}
+
+// NewGRRValue builds the numeric adapter over a k-ary GRR.
+func NewGRRValue(eps float64, k int) (*GRRValue, error) {
+	g, err := NewGRR(eps, k)
+	if err != nil {
+		return nil, err
+	}
+	return &GRRValue{g: g}, nil
+}
+
+// Epsilon returns the privacy budget.
+func (m *GRRValue) Epsilon() float64 { return m.g.eps }
+
+// K returns the category count.
+func (m *GRRValue) K() int { return m.g.k }
+
+// InputBounds returns the category domain [0, k−1] — honest inputs and
+// forged manipulation inputs alike are clamped into it (Clamper).
+func (m *GRRValue) InputBounds() (lo, hi float64) { return 0, float64(m.g.k - 1) }
+
+// OutputBounds returns the report support [0, k−1].
+func (m *GRRValue) OutputBounds() (lo, hi float64) { return 0, float64(m.g.k - 1) }
+
+// ClampInput rounds x to the nearest category and clamps it into [0, k).
+func (m *GRRValue) ClampInput(x float64) float64 { return float64(m.category(x)) }
+
+// category rounds and clamps a float input to a category index.
+func (m *GRRValue) category(x float64) int {
+	v := int(math.Round(x))
+	if v < 0 {
+		v = 0
+	}
+	if v >= m.g.k {
+		v = m.g.k - 1
+	}
+	return v
+}
+
+// Perturb randomizes the category nearest to x through the GRR channel.
+func (m *GRRValue) Perturb(rng *rand.Rand, x float64) float64 {
+	out, err := m.g.Perturb(rng, m.category(x))
+	if err != nil { // unreachable: category() is always in [0, k)
+		panic(err)
+	}
+	return float64(out)
+}
+
+// MeanEstimate aggregates reports into an unbiased estimate of the true
+// category mean.
+func (m *GRRValue) MeanEstimate(reports []float64) float64 {
+	var sum float64
+	for _, r := range reports {
+		sum += r
+	}
+	return m.MeanEstimateFromSum(sum, len(reports))
+}
+
+// MeanEstimateFromSum is the sum-decomposable form of MeanEstimate — the
+// capability the distributed collector requires (SumMeanEstimator).
+func (m *GRRValue) MeanEstimateFromSum(sum float64, n int) float64 {
+	if n == 0 {
+		return math.NaN()
+	}
+	s := float64(m.g.k) * float64(m.g.k-1) / 2
+	return (sum/float64(n) - m.g.q*s) / (m.g.p - m.g.q)
+}
+
 // EstimateFrequencies inverts the randomized-response channel: given report
 // counts per category, return unbiased frequency estimates of the true
 // distribution. Estimates may fall slightly outside [0,1]; they are NOT

@@ -50,13 +50,19 @@ type InputManipulator struct {
 	input float64
 }
 
-// NewInputManipulator builds an attacker that pretends to hold input
-// (clamped to [−1, 1]) and follows the protocol.
+// NewInputManipulator builds an attacker that pretends to hold input —
+// clamped into the mechanism's honest input domain ([−1, 1] unless the
+// mechanism is an InputClamper) — and follows the protocol.
 func NewInputManipulator(mech Mechanism, input float64) (*InputManipulator, error) {
 	if mech == nil {
 		return nil, fmt.Errorf("ldp: nil mechanism")
 	}
-	return &InputManipulator{mech: mech, input: clampInput(input)}, nil
+	if c, ok := mech.(InputClamper); ok {
+		input = c.ClampInput(input)
+	} else {
+		input = clampInput(input)
+	}
+	return &InputManipulator{mech: mech, input: input}, nil
 }
 
 // Input returns the forged input value.

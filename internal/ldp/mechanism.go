@@ -46,6 +46,16 @@ type SumMeanEstimator interface {
 	MeanEstimateFromSum(sum float64, n int) float64
 }
 
+// InputClamper is implemented by mechanisms whose honest input domain is
+// not the default [−1, 1] — GRRValue's ordinal category domain {0, …, k−1},
+// for instance. The input-manipulation attack clamps its forged inputs
+// through it, so a forged "high percentile" input lands on a legal category
+// instead of being crushed into [−1, 1].
+type InputClamper interface {
+	// ClampInput forces x into the mechanism's honest input domain.
+	ClampInput(x float64) float64
+}
+
 // checkEpsilon validates a privacy budget.
 func checkEpsilon(eps float64) error {
 	if !(eps > 0) || math.IsInf(eps, 0) || math.IsNaN(eps) {

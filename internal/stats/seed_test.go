@@ -30,6 +30,75 @@ func TestDeriveSeedSeparatesCells(t *testing.T) {
 	}
 }
 
+// The repartitioning property the fleet runtime rests on (DESIGN.md §8): a
+// membership epoch of size m serves shard slots 0..m−1, so for every epoch
+// size 1..8 the slot streams must be (a) stable — slot s's stream at round
+// r depends only on (master, s, r), never on how many slots the epoch has,
+// so a re-admitted worker resumes exactly the stream the slot always had —
+// and (b) pairwise disjoint — no two (slot, round) cells share a seed or
+// produce overlapping draw prefixes, so repartitioning over survivors never
+// replays another slot's arrivals.
+func TestDeriveSeedRepartitionStableAndDisjoint(t *testing.T) {
+	const maxSlots, rounds, prefix = 8, 30, 8
+	for _, master := range []int64{1, 99, 1 << 40} {
+		// Stability across epoch sizes: record each slot stream once, then
+		// verify every epoch size m sees the identical prefix streams for
+		// its slots 0..m−1.
+		type cell struct{ slot, round int }
+		streams := make(map[cell][prefix]float64)
+		for s := 0; s < maxSlots; s++ {
+			for r := 1; r <= rounds; r++ {
+				var draws [prefix]float64
+				rng := NewShardRand(master, s, r)
+				for i := range draws {
+					draws[i] = rng.Float64()
+				}
+				streams[cell{s, r}] = draws
+			}
+		}
+		for m := 1; m <= maxSlots; m++ {
+			for s := 0; s < m; s++ {
+				r := 1 + (s+m)%rounds
+				var draws [prefix]float64
+				rng := NewShardRand(master, s, r)
+				for i := range draws {
+					draws[i] = rng.Float64()
+				}
+				if draws != streams[cell{s, r}] {
+					t.Fatalf("master %d epoch size %d: slot %d round %d stream not stable", master, m, s, r)
+				}
+			}
+		}
+		// Disjointness: distinct seeds and distinct draw prefixes across the
+		// whole (slot, round) grid, including the reserved coordinator cell
+		// (0, 0).
+		seeds := make(map[int64]cell)
+		prefixes := make(map[[prefix]float64]cell)
+		check := func(c cell) {
+			s := DeriveSeed(master, c.slot, c.round)
+			if prev, dup := seeds[s]; dup {
+				t.Fatalf("master %d: seed collision between %+v and %+v", master, prev, c)
+			}
+			seeds[s] = c
+			var draws [prefix]float64
+			rng := NewRand(s)
+			for i := range draws {
+				draws[i] = rng.Float64()
+			}
+			if prev, dup := prefixes[draws]; dup {
+				t.Fatalf("master %d: stream prefix collision between %+v and %+v", master, prev, c)
+			}
+			prefixes[draws] = c
+		}
+		check(cell{0, 0})
+		for s := 0; s < maxSlots; s++ {
+			for r := 1; r <= rounds; r++ {
+				check(cell{s, r})
+			}
+		}
+	}
+}
+
 func TestNewShardRandStreamsDecorrelated(t *testing.T) {
 	// Neighbouring cells must not produce shifted copies of one stream.
 	a := NewShardRand(1, 0, 1)

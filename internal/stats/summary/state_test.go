@@ -1,0 +1,149 @@
+package summary
+
+import (
+	"math"
+	"testing"
+
+	"math/rand"
+)
+
+// State→FromState is a bit-faithful fork: every observable of the restored
+// stream matches the original, and stays matching after both absorb the
+// same continuation — the property checkpointed coordinator resume rests
+// on.
+func TestStreamStateRoundTripContinues(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	st, err := New(0.01, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		st.Push(rng.NormFloat64())
+	}
+	// Leave a partial buffer and some weighted pushes in the state.
+	for i := 0; i < 37; i++ {
+		st.PushWeighted(rng.NormFloat64(), 2)
+	}
+
+	restored, err := FromState(st.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := func(stage string) {
+		t.Helper()
+		if st.Count() != restored.Count() || st.Sum() != restored.Sum() {
+			t.Fatalf("%s: count %d/%d sum %v/%v", stage, st.Count(), restored.Count(), st.Sum(), restored.Sum())
+		}
+		if st.Min() != restored.Min() || st.Max() != restored.Max() {
+			t.Fatalf("%s: min/max diverged", stage)
+		}
+		for q := 0.01; q < 1; q += 0.07 {
+			if st.Query(q) != restored.Query(q) {
+				t.Fatalf("%s: Query(%v) %v vs %v", stage, q, st.Query(q), restored.Query(q))
+			}
+		}
+		a, b := st.Snapshot().Entries(), restored.Snapshot().Entries()
+		if len(a) != len(b) {
+			t.Fatalf("%s: snapshot sizes %d vs %d", stage, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: snapshot entry %d diverged", stage, i)
+			}
+		}
+	}
+	same("after restore")
+
+	// Identical continuations stay identical (crossing flushes and carries).
+	cont := rand.New(rand.NewSource(4))
+	for i := 0; i < 3000; i++ {
+		v := cont.NormFloat64()
+		st.Push(v)
+		restored.Push(v)
+	}
+	other, err := New(0.02, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		other.Push(cont.NormFloat64())
+	}
+	st.AbsorbCounted(other.Snapshot(), other.Count(), other.Sum())
+	restored.AbsorbCounted(other.Snapshot(), other.Count(), other.Sum())
+	same("after continuation")
+}
+
+func TestStreamStateEmptyAndUnweighted(t *testing.T) {
+	st, err := New(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := st.State()
+	if s.BufW != nil {
+		t.Fatal("unit-weight stream state grew a weight buffer")
+	}
+	if !math.IsInf(s.Min, 1) || !math.IsInf(s.Max, -1) {
+		t.Fatal("empty extrema not infinite")
+	}
+	restored, err := FromState(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored.Push(1)
+	if restored.Count() != 1 || restored.Query(0.5) != 1 {
+		t.Fatal("restored empty stream broken")
+	}
+}
+
+// State() is a deep copy: mutating the live stream afterwards must not leak
+// into a state held for serialization.
+func TestStreamStateIsolation(t *testing.T) {
+	st, err := New(0.05, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		st.Push(float64(i))
+	}
+	s := st.State()
+	buf := append([]float64(nil), s.BufV...)
+	for i := 0; i < 500; i++ {
+		st.Push(float64(i))
+	}
+	for i := range buf {
+		if s.BufV[i] != buf[i] {
+			t.Fatal("state buffer mutated by later pushes")
+		}
+	}
+}
+
+func TestStreamStateValidation(t *testing.T) {
+	good := func() *StreamState {
+		st, err := New(0.05, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			st.Push(float64(i))
+		}
+		return st.State()
+	}
+	cases := map[string]func(*StreamState){
+		"nil":            nil,
+		"bad epsilon":    func(s *StreamState) { s.Epsilon = 1.5 },
+		"bad block size": func(s *StreamState) { s.BlockSize = 0 },
+		"overfull buf":   func(s *StreamState) { s.BufV = make([]float64, s.BlockSize) },
+		"weight skew":    func(s *StreamState) { s.BufW = make([]float64, len(s.BufV)+1) },
+		"negative count": func(s *StreamState) { s.Count = -1 },
+	}
+	for name, mutate := range cases {
+		var s *StreamState
+		if mutate != nil {
+			s = good()
+			mutate(s)
+		}
+		if _, err := FromState(s); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

@@ -259,6 +259,106 @@ func (st *Stream) Min() float64 { return st.min }
 // Max returns the exact maximum pushed value (−Inf when empty).
 func (st *Stream) Max() float64 { return st.max }
 
+// StreamState is the complete serializable state of a Stream: configuration,
+// exact counters, the raw push buffer and the level counter. Restoring it
+// with FromState yields a stream whose every subsequent observable —
+// Snapshot, Query, Count, Sum, Min, Max — is bit-identical to the original's,
+// including after further pushes and absorbs, which is what lets a
+// checkpointed coordinator resume a game mid-flight without perturbing its
+// kept-stream estimates (internal/fleet).
+type StreamState struct {
+	Epsilon   float64
+	BlockSize int
+	Count     int
+	Sum       float64
+	Min, Max  float64
+
+	// BufV/BufW mirror the raw push buffer; BufW is nil for unit-weight
+	// streams (the nil-ness is part of the state: it selects the hot
+	// unweighted sort path).
+	BufV []float64
+	BufW []float64
+
+	// Levels mirrors the binary counter; nil slots are empty levels and are
+	// significant (they decide where the next carry lands).
+	Levels []*Summary
+}
+
+// State deep-copies the stream's full state. The copy shares nothing with
+// the live stream, so it can be serialized (or held) while the stream keeps
+// absorbing.
+func (st *Stream) State() *StreamState {
+	s := &StreamState{
+		Epsilon:   st.eps,
+		BlockSize: st.blockSize,
+		Count:     st.count,
+		Sum:       st.sum,
+		Min:       st.min,
+		Max:       st.max,
+	}
+	if len(st.bufV) > 0 {
+		s.BufV = append([]float64(nil), st.bufV...)
+	}
+	if st.bufW != nil {
+		s.BufW = append([]float64(nil), st.bufW...)
+	}
+	for _, lv := range st.levels {
+		if lv == nil {
+			s.Levels = append(s.Levels, nil)
+			continue
+		}
+		s.Levels = append(s.Levels, lv.Clone())
+	}
+	return s
+}
+
+// FromState rebuilds a Stream from a State() copy (or a decoded wire
+// snapshot). The input is deep-copied; structural nonsense — a non-positive
+// block size, a weight buffer out of step with the value buffer, a buffer at
+// or past the flush point — is rejected rather than resumed.
+func FromState(s *StreamState) (*Stream, error) {
+	if s == nil {
+		return nil, fmt.Errorf("summary: nil stream state")
+	}
+	if s.Epsilon <= 0 || s.Epsilon >= 1 {
+		return nil, fmt.Errorf("summary: stream state epsilon %v outside (0, 1)", s.Epsilon)
+	}
+	if s.BlockSize <= 0 {
+		return nil, fmt.Errorf("summary: stream state block size %d", s.BlockSize)
+	}
+	if len(s.BufV) >= s.BlockSize {
+		return nil, fmt.Errorf("summary: stream state buffer %d at/past flush point %d", len(s.BufV), s.BlockSize)
+	}
+	if s.BufW != nil && len(s.BufW) != len(s.BufV) {
+		return nil, fmt.Errorf("summary: stream state weight buffer %d for %d values", len(s.BufW), len(s.BufV))
+	}
+	if s.Count < 0 {
+		return nil, fmt.Errorf("summary: stream state count %d", s.Count)
+	}
+	st := &Stream{
+		eps:       s.Epsilon,
+		blockSize: s.BlockSize,
+		bufV:      make([]float64, len(s.BufV), s.BlockSize),
+		count:     s.Count,
+		sum:       s.Sum,
+		min:       s.Min,
+		max:       s.Max,
+	}
+	copy(st.bufV, s.BufV)
+	if s.BufW != nil {
+		st.bufW = make([]float64, len(s.BufW), s.BlockSize)
+		copy(st.bufW, s.BufW)
+	}
+	for _, lv := range s.Levels {
+		if lv == nil {
+			st.levels = append(st.levels, nil)
+			continue
+		}
+		st.levels = append(st.levels, lv.Clone())
+	}
+	return st, nil
+}
+
 // Reset empties the stream, keeping its configuration.
 func (st *Stream) Reset() {
 	st.bufV = st.bufV[:0]

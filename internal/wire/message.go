@@ -9,26 +9,33 @@ import (
 // Op is the coordinator → worker operation code inside a Directive.
 type Op byte
 
-// The protocol operations of format version 2. A coordinator-fed round is
+// The protocol operations of format version 3. A coordinator-fed round is
 // two phases: Summarize (ship arrivals, get summary deltas back) then
 // Classify (broadcast the resolved threshold, get counts and kept-pool
 // deltas back). A shard-local round replaces the Summarize phase with
 // Generate: the directive carries a derived RNG seed plus compact
 // generation parameters instead of raw arrivals, and each worker draws its
 // own slice of the round locally (DESIGN.md §7). Scale fans the row game's
-// clean-scale pass out over worker-held dataset ranges.
+// clean-scale pass out over worker-held dataset ranges. Heartbeat, Hello
+// and Join belong to the fleet runtime (DESIGN.md §8): Heartbeat is the
+// supervisor's liveness probe, Hello the admission handshake that asks a
+// candidate worker for its state, and Join the membership grant that tells
+// an admitted worker which epoch it serves from.
 const (
-	OpConfigure     Op = 1 // set the worker's ε budget and data-plane state
-	OpSummarize     Op = 2 // scalar arrivals: build the shard summary
-	OpSummarizeRows Op = 3 // row arrivals + center: summarize distances
-	OpClassify      Op = 4 // classify the held arrivals against Threshold
-	OpStop          Op = 5 // end of game; the worker may shut down
-	OpGenerate      Op = 6 // draw scalar/LDP arrivals locally from Gen, then summarize
-	OpGenerateRows  Op = 7 // draw row arrivals locally from Gen + Center, then summarize
-	OpScale         Op = 8 // summarize distances of dataset[Lo:Hi] from Center
+	OpConfigure     Op = 1  // set the worker's ε budget and data-plane state
+	OpSummarize     Op = 2  // scalar arrivals: build the shard summary
+	OpSummarizeRows Op = 3  // row arrivals + center: summarize distances
+	OpClassify      Op = 4  // classify the held arrivals against Threshold
+	OpStop          Op = 5  // end of game; the worker may shut down
+	OpGenerate      Op = 6  // draw scalar/LDP arrivals locally from Gen, then summarize
+	OpGenerateRows  Op = 7  // draw row arrivals locally from Gen + Center, then summarize
+	OpScale         Op = 8  // summarize distances of dataset[Lo:Hi] from Center
+	OpHeartbeat     Op = 9  // liveness probe; reply echoes state, mutates nothing
+	OpHello         Op = 10 // admission handshake: report Configured, mutate nothing
+	OpJoin          Op = 11 // membership grant: serve shard slots from Epoch on
 )
 
-func (o Op) valid() bool { return o >= OpConfigure && o <= OpScale }
+func (o Op) valid() bool { return o >= OpConfigure && o <= OpJoin }
 
 // Counts are one shard's classification tallies for a round — the partial
 // RoundRecord the coordinator reduces across shards.
@@ -77,6 +84,17 @@ type Report struct {
 	Round  int
 	Worker int
 
+	// Epoch is the membership epoch the worker was last admitted at (OpJoin);
+	// 0 for workers of a game that never ran fleet supervision. Echoed in
+	// every report so a stale worker is detectable at the coordinator.
+	Epoch int
+
+	// Configured reports whether the worker holds data-plane state (set by
+	// Configure, lost by a crash) — the Hello/Heartbeat reply field the
+	// supervisor's re-admission decision turns on: a re-spawned worker
+	// answers false and is re-configured before it rejoins.
+	Configured bool
+
 	// Epsilon is the rank-error budget of the shipped sketches; the
 	// coordinator's merged budget is the max across shards.
 	Epsilon float64
@@ -116,6 +134,12 @@ func EncodeReport(buf []byte, rep *Report) []byte {
 	buf = appendHeader(buf, KindReport)
 	buf = appendU32(buf, uint32(rep.Round))
 	buf = appendU32(buf, uint32(rep.Worker))
+	buf = appendU32(buf, uint32(rep.Epoch))
+	if rep.Configured {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
 	buf = appendF64(buf, rep.Epsilon)
 	buf = appendU64(buf, uint64(rep.Count))
 	buf = appendF64(buf, rep.ValueSum)
@@ -164,9 +188,11 @@ func DecodeReport(buf []byte) (*Report, error) {
 	}
 	r := &reader{buf: payload}
 	rep := &Report{
-		Round:   int(r.u32("round")),
-		Worker:  int(r.u32("worker")),
-		Epsilon: r.f64("epsilon"),
+		Round:      int(r.u32("round")),
+		Worker:     int(r.u32("worker")),
+		Epoch:      int(r.u32("epoch")),
+		Configured: r.u8("configured") != 0,
+		Epsilon:    r.f64("epsilon"),
 	}
 	rep.Count = int(r.u64("count"))
 	rep.ValueSum = r.f64("value sum")
@@ -210,9 +236,14 @@ func DecodeReport(buf []byte) (*Report, error) {
 //     shard-local round directive.
 //   - Scale carries Center and the dataset range [Lo, Hi).
 //   - Classify carries Threshold (and Pct for the record); Stop nothing.
+//   - Heartbeat and Hello carry nothing beyond the op; Join carries Epoch.
 type Directive struct {
 	Op    Op
 	Round int
+
+	// Epoch is the membership epoch a Join grants (0 = the game's initial
+	// admission; a re-join mid-game always carries a later epoch).
+	Epoch int
 
 	Epsilon float64 // Configure: worker sketch budget
 
@@ -233,6 +264,7 @@ type Directive struct {
 	PoisonLabel int       // row game: fixed poison label (−1: random class)
 	MechKind    byte      // LDP mechanism code (0: not an LDP game)
 	MechEps     float64   // LDP mechanism privacy budget
+	MechK       int       // LDP mechanism arity (GRR category count; 0 otherwise)
 
 	// Scale: the worker's dataset range for this round's clean-scale pass.
 	Lo, Hi int
@@ -246,6 +278,7 @@ func EncodeDirective(buf []byte, d *Directive) []byte {
 	buf = appendHeader(buf, KindDirective)
 	buf = append(buf, byte(d.Op))
 	buf = appendU32(buf, uint32(d.Round))
+	buf = appendU32(buf, uint32(d.Epoch))
 	buf = appendF64(buf, d.Epsilon)
 	buf = appendU32(buf, uint32(d.PoisonFrom))
 	buf = appendF64(buf, d.Pct)
@@ -260,6 +293,7 @@ func EncodeDirective(buf []byte, d *Directive) []byte {
 	buf = appendU64(buf, uint64(int64(d.PoisonLabel)))
 	buf = append(buf, d.MechKind)
 	buf = appendF64(buf, d.MechEps)
+	buf = appendU32(buf, uint32(d.MechK))
 	buf = appendU32(buf, uint32(d.Lo))
 	buf = appendU32(buf, uint32(d.Hi))
 	if d.Gen == nil {
@@ -289,6 +323,7 @@ func DecodeDirective(buf []byte) (*Directive, error) {
 	d := &Directive{
 		Op:    Op(r.u8("op")),
 		Round: int(r.u32("round")),
+		Epoch: int(r.u32("epoch")),
 	}
 	d.Epsilon = r.f64("epsilon")
 	d.PoisonFrom = int(r.u32("poison offset"))
@@ -304,6 +339,7 @@ func DecodeDirective(buf []byte) (*Directive, error) {
 	d.PoisonLabel = int(int64(r.u64("poison label")))
 	d.MechKind = r.u8("mechanism kind")
 	d.MechEps = r.f64("mechanism epsilon")
+	d.MechK = int(r.u32("mechanism arity"))
 	d.Lo = int(r.u32("scale lo"))
 	d.Hi = int(r.u32("scale hi"))
 	if r.u8("gen flag") == 1 {

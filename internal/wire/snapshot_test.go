@@ -1,0 +1,169 @@
+package wire
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/stats/summary"
+)
+
+func testStreamState(t *testing.T, weighted bool, n int) *summary.StreamState {
+	t.Helper()
+	st, err := summary.New(0.02, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if weighted && i%3 == 0 {
+			st.PushWeighted(float64(i%97), 2)
+		} else {
+			st.Push(float64(i % 89))
+		}
+	}
+	return st.State()
+}
+
+func testSnapshot(t *testing.T) *Snapshot {
+	t.Helper()
+	return &Snapshot{
+		Game: SnapScalar,
+		Seed: -12345, Rounds: 20, Batch: 20000, Ratio: 0.2, Epsilon: 0.005,
+		Workers: 4, NextRound: 8, Epoch: 3, BaselineQ: 0.01234,
+		Records: []SnapRound{
+			{Round: 1, ThresholdPct: 0.9, ThresholdValue: 1.28, MeanInjectionPct: 0.95,
+				HonestKept: 18000, HonestTrimmed: 2000, PoisonKept: 100, PoisonTrimmed: 3900,
+				Quality: 0.02, BaselineQuality: 0.012},
+			{Round: 2, ThresholdPct: 0.9, ThresholdValue: 1.30, MeanInjectionPct: math.NaN(),
+				HonestKept: 18000, HonestTrimmed: 2000, Quality: 0.02, BaselineQuality: 0.012},
+			{Round: 3}, {Round: 4}, {Round: 5}, {Round: 6}, {Round: 7},
+		},
+		Losses: []SnapLoss{
+			{Round: 4, Worker: 2, Lo: 10000, Hi: 15000, Phase: "generate"},
+			{Round: 5, Worker: 0, Phase: "classify"},
+		},
+		Events: []SnapEvent{
+			{Kind: 1, Epoch: 1, Round: 4, Worker: 2},
+			{Kind: 2, Epoch: 2, Round: 6, Worker: 2},
+			{Kind: 1, Epoch: 3, Round: 5, Worker: 0},
+		},
+		Received:     testStreamState(t, false, 1200),
+		Kept:         testStreamState(t, true, 800),
+		Egress:       987654,
+		EgressConfig: 4321,
+	}
+}
+
+// Encode∘Decode is the identity on snapshots, including NaN record fields,
+// loss phase strings, weighted stream buffers and nil level slots.
+func TestSnapshotRoundTrip(t *testing.T) {
+	snap := testSnapshot(t)
+	raw := EncodeSnapshot(nil, snap)
+	back, err := DecodeSnapshot(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(EncodeSnapshot(nil, back)) != string(raw) {
+		t.Fatal("re-encoding the decoded snapshot changed bytes")
+	}
+	if back.Seed != snap.Seed || back.NextRound != snap.NextRound || back.Epoch != snap.Epoch {
+		t.Fatalf("scalars diverged: %+v", back)
+	}
+	if !math.IsNaN(back.Records[1].MeanInjectionPct) {
+		t.Fatal("NaN injection pct lost")
+	}
+	if back.Records[0] != snap.Records[0] {
+		t.Fatalf("record 0 diverged: %+v", back.Records[0])
+	}
+	if len(back.Losses) != 2 || back.Losses[0] != snap.Losses[0] || back.Losses[1].Phase != "classify" {
+		t.Fatalf("losses diverged: %+v", back.Losses)
+	}
+	if len(back.Events) != 3 || back.Events[1] != snap.Events[1] {
+		t.Fatalf("events diverged: %+v", back.Events)
+	}
+	// The stream states restore into working streams whose observables
+	// match streams restored from the originals.
+	for _, pair := range [][2]*summary.StreamState{
+		{snap.Received, back.Received}, {snap.Kept, back.Kept},
+	} {
+		a, err := summary.FromState(pair[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := summary.FromState(pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Count() != b.Count() || a.Sum() != b.Sum() {
+			t.Fatal("restored stream counters diverged across the wire")
+		}
+		for q := 0.05; q < 1; q += 0.1 {
+			if a.Query(q) != b.Query(q) {
+				t.Fatalf("restored stream Query(%v) diverged", q)
+			}
+		}
+	}
+}
+
+func TestSnapshotRejectsMalformed(t *testing.T) {
+	snap := testSnapshot(t)
+	raw := EncodeSnapshot(nil, snap)
+
+	if _, err := DecodeSnapshot(raw[:len(raw)-3]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated: %v", err)
+	}
+	if _, err := DecodeSnapshot(append(append([]byte(nil), raw...), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	wrongKind := append([]byte(nil), raw...)
+	wrongKind[3] = byte(KindReport)
+	if _, err := DecodeSnapshot(wrongKind); !errors.Is(err, ErrKind) {
+		t.Fatalf("kind: %v", err)
+	}
+
+	badGame := testSnapshot(t)
+	badGame.Game = 99
+	if _, err := DecodeSnapshot(EncodeSnapshot(nil, badGame)); err == nil {
+		t.Fatal("unknown game accepted")
+	}
+	badRound := testSnapshot(t)
+	badRound.NextRound = 3 // 7 records say otherwise
+	if _, err := DecodeSnapshot(EncodeSnapshot(nil, badRound)); err == nil {
+		t.Fatal("inconsistent next round accepted")
+	}
+}
+
+// The fleet fields of version 3 directives and reports survive the round
+// trip: epochs, the configured flag, heartbeat/hello/join ops, and the GRR
+// mechanism arity.
+func TestFleetFieldsRoundTrip(t *testing.T) {
+	for _, op := range []Op{OpHeartbeat, OpHello, OpJoin} {
+		d := &Directive{Op: op, Round: 7, Epoch: 5}
+		back, err := DecodeDirective(EncodeDirective(nil, d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Op != op || back.Round != 7 || back.Epoch != 5 {
+			t.Fatalf("op %d: %+v", op, back)
+		}
+	}
+	conf := &Directive{
+		Op: OpConfigure, Epsilon: 0.01,
+		Pool: []float64{0, 1, 2, 3}, MechKind: 3, MechEps: 2.5, MechK: 8,
+	}
+	back, err := DecodeDirective(EncodeDirective(nil, conf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.MechKind != 3 || back.MechEps != 2.5 || back.MechK != 8 {
+		t.Fatalf("mechanism fields diverged: %+v", back)
+	}
+	rep := &Report{Round: 3, Worker: 2, Epoch: 4, Configured: true, Epsilon: 0.01}
+	brep, err := DecodeReport(EncodeReport(nil, rep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if brep.Epoch != 4 || !brep.Configured || brep.Worker != 2 {
+		t.Fatalf("report fleet fields diverged: %+v", brep)
+	}
+}

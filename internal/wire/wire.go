@@ -28,13 +28,17 @@ import (
 //
 // Version history: 1 shipped raw arrival slices in every round directive;
 // 2 added the shard-local data plane (generator specs, scale ranges,
-// configure payloads, kept-row returns) with an incompatible layout.
-const Version = 2
+// configure payloads, kept-row returns) with an incompatible layout;
+// 3 added the fleet runtime (membership epochs in directives and reports,
+// Hello/Join/Heartbeat ops, coordinator snapshots) and the GRR mechanism
+// arity, again with an incompatible layout.
+const Version = 3
 
-// MinVersion is the oldest format this decoder still parses. Version 1's
-// layout is incompatible with version 2, so it is retired: a mixed-version
-// cluster fails loudly at the configure fan-out instead of misparsing.
-const MinVersion = 2
+// MinVersion is the oldest format this decoder still parses. Each version
+// so far changed the fixed layout of directives and reports, so its
+// predecessor is retired: a mixed-version cluster fails loudly at the
+// configure fan-out instead of misparsing.
+const MinVersion = 3
 
 const (
 	magic0 = 'T'
@@ -46,12 +50,14 @@ const (
 // Kind tags the payload type carried after the header.
 type Kind byte
 
-// The four message kinds of format version 1.
+// The message kinds. Summary through Directive shipped with format
+// version 1; Snapshot (a checkpointed coordinator game state) with 3.
 const (
 	KindSummary   Kind = 1 // one quantile summary
 	KindVector    Kind = 2 // per-coordinate summaries of a row stream
 	KindReport    Kind = 3 // worker → coordinator shard report
 	KindDirective Kind = 4 // coordinator → worker directive
+	KindSnapshot  Kind = 5 // checkpointed coordinator game state
 )
 
 // Decode errors. Wrapped with context; test with errors.Is.

@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Chaos smoke for the fleet runtime (DESIGN.md §8): real processes, real
+# sockets, real kill -9.
+#
+# Scenario A — worker kill + re-join: a TCP worker is killed mid-game and
+# re-spawned with `-rejoin` on its old address; the coordinator must
+# re-admit it at a round boundary and the run must match the uninterrupted
+# shard-local reference record for record outside the degraded window
+# (`-local` verifies and fails otherwise).
+#
+# Scenario B — coordinator kill + resume: the coordinator is killed
+# mid-game and restarted with `-resume`; it must finish from its latest
+# checkpoint and match the reference record for record.
+set -euo pipefail
+
+TRIMLAB="${TRIMLAB:-/tmp/trimlab-chaos}"
+WORKDIR="$(mktemp -d)"
+PORT0="${PORT0:-7401}"
+PORT1="${PORT1:-7402}"
+ROUNDS=150
+BATCH=100000
+SEED=7
+
+cleanup() {
+  pkill -P $$ 2>/dev/null || true
+}
+trap cleanup EXIT
+
+go build -o "$TRIMLAB" ./cmd/trimlab
+
+echo "== scenario A: worker kill + re-join =="
+"$TRIMLAB" worker -listen "127.0.0.1:$PORT0" -id 0 >"$WORKDIR/w0.log" 2>&1 &
+"$TRIMLAB" worker -listen "127.0.0.1:$PORT1" -id 1 >"$WORKDIR/w1.log" 2>&1 &
+W1_PID=$!
+"$TRIMLAB" coordinator -workers "127.0.0.1:$PORT0,127.0.0.1:$PORT1" \
+  -local -rejoin -heartbeat 100ms -rounds "$ROUNDS" -batch "$BATCH" -seed "$SEED" \
+  >"$WORKDIR/coordA.log" 2>&1 &
+COORD_PID=$!
+sleep 1.5
+kill -9 "$W1_PID"
+sleep 0.5
+"$TRIMLAB" worker -listen "127.0.0.1:$PORT1" -id 1 -rejoin >"$WORKDIR/w1b.log" 2>&1 &
+if ! wait "$COORD_PID"; then
+  echo "FAIL: coordinator exited non-zero after kill/re-join" >&2
+  cat "$WORKDIR/coordA.log" >&2
+  exit 1
+fi
+grep -q "re-joined" "$WORKDIR/coordA.log" || {
+  echo "FAIL: worker never re-joined (kill/respawn missed the game window?)" >&2
+  cat "$WORKDIR/coordA.log" >&2
+  exit 1
+}
+grep -q "match the shard-local reference record for record: OK" "$WORKDIR/coordA.log" || {
+  echo "FAIL: post-recovery records not verified" >&2
+  cat "$WORKDIR/coordA.log" >&2
+  exit 1
+}
+grep -E "re-joined|shard loss|records" "$WORKDIR/coordA.log"
+pkill -P $$ 2>/dev/null || true
+sleep 0.3
+
+echo "== scenario B: coordinator kill + resume =="
+CKPT="$WORKDIR/ckpt"
+"$TRIMLAB" worker -listen "127.0.0.1:$PORT0" -id 0 >"$WORKDIR/w0b.log" 2>&1 &
+"$TRIMLAB" worker -listen "127.0.0.1:$PORT1" -id 1 >"$WORKDIR/w1c.log" 2>&1 &
+"$TRIMLAB" coordinator -workers "127.0.0.1:$PORT0,127.0.0.1:$PORT1" \
+  -local -checkpoint-dir "$CKPT" -checkpoint-every 10 -rounds "$ROUNDS" -batch "$BATCH" -seed "$SEED" \
+  >"$WORKDIR/coordB1.log" 2>&1 &
+COORD_PID=$!
+sleep 2.5
+kill -9 "$COORD_PID" 2>/dev/null || true
+wait "$COORD_PID" 2>/dev/null || true
+ls "$CKPT"/checkpoint-*.tq >/dev/null 2>&1 || {
+  echo "FAIL: no checkpoints written before the coordinator was killed" >&2
+  cat "$WORKDIR/coordB1.log" >&2
+  exit 1
+}
+# The workers survive the dead coordinator; the resumed one redials them.
+if ! "$TRIMLAB" coordinator -workers "127.0.0.1:$PORT0,127.0.0.1:$PORT1" \
+  -local -checkpoint-dir "$CKPT" -resume -rounds "$ROUNDS" -batch "$BATCH" -seed "$SEED" \
+  >"$WORKDIR/coordB2.log" 2>&1; then
+  echo "FAIL: resumed coordinator exited non-zero" >&2
+  cat "$WORKDIR/coordB2.log" >&2
+  exit 1
+fi
+grep -q "resuming from" "$WORKDIR/coordB2.log" || {
+  echo "FAIL: coordinator did not resume from a checkpoint" >&2
+  cat "$WORKDIR/coordB2.log" >&2
+  exit 1
+}
+grep -q "board matches the single-process shard-local reference record for record: OK" "$WORKDIR/coordB2.log" || {
+  echo "FAIL: resumed board not verified against the reference" >&2
+  cat "$WORKDIR/coordB2.log" >&2
+  exit 1
+}
+grep -E "resuming|matches" "$WORKDIR/coordB2.log"
+
+echo "chaos smoke: OK"
