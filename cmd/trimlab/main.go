@@ -6,11 +6,18 @@
 //
 //	trimlab -experiment fig4 [-scale quick|bench|paper] [-points N] [-seed S]
 //	trimlab worker -listen :7101 [-seed S] [-rejoin]
-//	trimlab coordinator -workers host1:7101,host2:7101 [-seed S] [-local] [-rounds N] [-batch N]
+//	trimlab coordinator -workers host1:7101,host2:7101 [-seed S] [-local] [-pipeline] [-rounds N] [-batch N]
 //	    [-heartbeat D] [-hb-timeout D] [-rejoin] [-checkpoint-dir DIR] [-checkpoint-every K] [-resume]
 //
 // Experiments: table1, table2, table3, table4, fig4, fig5, fig6, fig7,
-// fig8, fig9, variants, blackbox, sharded, distributed, fleet, all.
+// fig8, fig9, variants, blackbox, sharded, distributed, fleet, pipeline,
+// all.
+//
+// -pipeline (requires -local) turns on the overlapped round schedule
+// (DESIGN.md §9): round r's classify broadcast carries round r+1's
+// generator specs, so a steady-state round costs one RTT instead of two.
+// The board is unchanged — the -local verification against the
+// single-process reference still demands record-for-record equality.
 //
 // The fleet flags drive the supervision runtime (DESIGN.md §8): -heartbeat
 // starts background liveness probes over the game transport, -rejoin lets
@@ -74,7 +81,7 @@ func main() {
 		}
 	}
 	var (
-		exp    = flag.String("experiment", "all", "experiment to run: table1..table4, fig4..fig9, variants, blackbox, sharded, distributed, all")
+		exp    = flag.String("experiment", "all", "experiment to run: table1..table4, fig4..fig9, variants, blackbox, sharded, distributed, fleet, pipeline, all")
 		scale  = flag.String("scale", "quick", "effort: quick, bench, or paper")
 		points = flag.Int("points", 3, "attack-ratio points per interval (fig4/fig5)")
 		seed   = seedFlag(flag.CommandLine)
@@ -212,10 +219,18 @@ func main() {
 			res.Print(os.Stdout)
 			return nil
 		},
+		"pipeline": func() error {
+			res, err := experiments.Pipelining(sc, nil, nil)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			return nil
+		},
 	}
 
 	order := []string{"table1", "table2", "table3", "table4",
-		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "variants", "blackbox", "sharded", "distributed", "fleet"}
+		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "variants", "blackbox", "sharded", "distributed", "fleet", "pipeline"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -333,6 +348,7 @@ func coordinatorMain(args []string) error {
 		ratio     = fs.Float64("ratio", 0.2, "attack ratio")
 		seed      = seedFlag(fs)
 		local     = fs.Bool("local", false, "shard-local data plane: workers generate their own arrivals from seeds derived off -seed; round directives are O(1)")
+		pipeline  = fs.Bool("pipeline", false, "overlapped round schedule: piggyback round r+1's generation onto round r's classify broadcast — one RTT per round (requires -local)")
 		eps       = fs.Float64("eps", 0, "summary rank-error budget (0 = package default)")
 		bound     = fs.Float64("bound", 0.05, "allowed final-threshold drift vs the unsharded run, in reference-rank space (ignored with -local, which verifies exact equality)")
 		wait      = fs.Duration("wait", 10*time.Second, "how long to retry dialing workers")
@@ -355,6 +371,9 @@ func coordinatorMain(args []string) error {
 	}
 	if (*ckDir != "" || *resume) && !*local {
 		return fmt.Errorf("coordinator: checkpointing and resume require the shard-local data plane (-local)")
+	}
+	if *pipeline && !*local {
+		return fmt.Errorf("coordinator: pipelined rounds require the shard-local data plane (-local)")
 	}
 	if *resume && *ckDir == "" {
 		return fmt.Errorf("coordinator: -resume needs -checkpoint-dir")
@@ -426,6 +445,7 @@ func coordinatorMain(args []string) error {
 		Config:     ccfg,
 		Transport:  tr,
 		Gen:        gen,
+		Pipeline:   *pipeline,
 		Logf:       logf,
 		Fleet:      fcfg,
 		Checkpoint: ck,
@@ -444,6 +464,11 @@ func coordinatorMain(args []string) error {
 	fmt.Printf("  coordinator egress: %d B total, %d B configure, %.0f B/round\n",
 		clustered.EgressBytes, clustered.EgressConfigBytes,
 		float64(clustered.EgressBytes-clustered.EgressConfigBytes)/float64(*rounds))
+	tm := clustered.Timing
+	fmt.Printf("  phase timing: summarize %v, generate %v, classify %v, configure %v, admission %v — %v/round over %d rounds\n",
+		tm.Summarize.Round(time.Millisecond), tm.Generate.Round(time.Millisecond),
+		tm.Classify.Round(time.Millisecond), tm.Configure.Round(time.Millisecond),
+		tm.Admission.Round(time.Millisecond), tm.PerRound().Round(time.Microsecond), tm.Rounds)
 	for _, l := range clustered.Losses {
 		fmt.Printf("  shard loss: round %d (%s): worker %d, honest range [%d, %d)\n",
 			l.Round, l.Phase, l.Worker, l.Lo, l.Hi)

@@ -1,0 +1,48 @@
+package cluster
+
+import "time"
+
+// WithDelay wraps a transport so every Call pays a fixed latency before it
+// is delivered — a deterministic stand-in for network round-trip time. It
+// exists so the RTT economics of protocol changes (notably the pipelined
+// round schedule, which halves the fan-outs per round) are testable and
+// benchmarkable on the loopback, without real sockets or flaky sleeps in
+// assertions: the delay is per call, calls within one fan-out run in
+// parallel, so a game's wall clock is ~(fan-outs × delay) regardless of
+// worker count.
+//
+// The wrapper forwards the Reviver hook only when the underlying transport
+// has one (Revive itself is not delayed — it is supervision-plane, not a
+// game RTT); a Reviver-less transport stays Reviver-less, so the fleet
+// supervisor's nil-revive probe path is preserved. A zero or negative
+// delay returns the transport unwrapped.
+func WithDelay(tr Transport, d time.Duration) Transport {
+	if d <= 0 {
+		return tr
+	}
+	del := &delayed{Transport: tr, d: d}
+	if rv, ok := tr.(Reviver); ok {
+		return &delayedReviver{delayed: del, rv: rv}
+	}
+	return del
+}
+
+type delayed struct {
+	Transport
+	d time.Duration
+}
+
+// Call sleeps the injected latency, then delivers.
+func (t *delayed) Call(worker int, req []byte) ([]byte, error) {
+	time.Sleep(t.d)
+	return t.Transport.Call(worker, req)
+}
+
+// delayedReviver is the wrapper for transports that can revive: it adds
+// the Reviver hook on top of delayed, forwarding undelayed.
+type delayedReviver struct {
+	*delayed
+	rv Reviver
+}
+
+func (t *delayedReviver) Revive(worker int) error { return t.rv.Revive(worker) }

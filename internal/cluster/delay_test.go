@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func TestWithDelayPassesThrough(t *testing.T) {
+	lb := NewLoopback(2)
+	tr := WithDelay(lb, time.Millisecond)
+	if tr.Workers() != 2 {
+		t.Fatalf("workers = %d", tr.Workers())
+	}
+	req := wire.EncodeDirective(nil, &wire.Directive{Op: wire.OpHeartbeat})
+	start := time.Now()
+	out, err := tr.Call(0, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < time.Millisecond {
+		t.Errorf("call returned in %v, before the injected delay", elapsed)
+	}
+	if _, err := wire.DecodeReport(out); err != nil {
+		t.Fatalf("reply did not decode: %v", err)
+	}
+
+	// The Reviver hook forwards to the wrapped transport.
+	rv, ok := tr.(Reviver)
+	if !ok {
+		t.Fatal("delayed transport lost the Reviver hook")
+	}
+	lb.Fail(1)
+	if err := rv.Revive(1); err == nil {
+		t.Error("revive of a failed worker succeeded")
+	}
+	lb.Respawn(1)
+	if err := rv.Revive(1); err != nil {
+		t.Errorf("revive after respawn: %v", err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithDelayZeroIsIdentity(t *testing.T) {
+	lb := NewLoopback(1)
+	if tr := WithDelay(lb, 0); tr != Transport(lb) {
+		t.Error("zero delay should return the transport unwrapped")
+	}
+}
+
+// noRevive hides the loopback's Reviver — the shape of a transport that
+// cannot re-establish worker paths.
+type noRevive struct{ Transport }
+
+// Wrapping a Reviver-less transport must not widen it into a Reviver: the
+// fleet supervisor treats a nil revive hook differently (it probes the
+// worker directly), and a hook that always errors would block re-admission.
+func TestWithDelayDoesNotWidenToReviver(t *testing.T) {
+	tr := WithDelay(noRevive{NewLoopback(1)}, time.Millisecond)
+	if _, ok := tr.(Reviver); ok {
+		t.Error("delayed wrapper invented a Reviver the transport does not have")
+	}
+}

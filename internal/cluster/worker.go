@@ -182,14 +182,25 @@ func (w *Worker) Handle(req []byte) ([]byte, error) {
 		}
 
 	case wire.OpClassify:
-		if d.Round != w.round || !w.held {
-			return nil, fmt.Errorf("cluster: worker %d: classify round %d without summarize (held round %d)",
-				w.id, d.Round, w.round)
-		}
-		if err := w.classify(d.Threshold, rep); err != nil {
+		if err := w.classifyHeld(d, rep); err != nil {
 			return nil, err
 		}
-		w.held, w.dists, w.rows, w.labels, w.dim, w.localRows = false, nil, nil, nil, 0, false
+
+	case wire.OpClassifyGenerate:
+		// The pipelined combined phase: classify the held round d.Round,
+		// then immediately draw round d.Round+1 from the piggybacked spec.
+		// The reply carries both (the field sets are disjoint); the worker
+		// then holds the generated slice as round d.Round+1, awaiting either
+		// its classify or — if the coordinator flushed the pipeline — a
+		// plain Generate that overwrites it.
+		if err := w.classifyHeld(d, rep); err != nil {
+			return nil, err
+		}
+		next := *d
+		next.Round = d.Round + 1
+		if err := w.generate(&next, rep); err != nil {
+			return nil, err
+		}
 
 	case wire.OpStop:
 		w.stopOnce.Do(func() { close(w.done) })
@@ -239,6 +250,21 @@ func (w *Worker) configure(d *wire.Directive) error {
 		w.scalarGen = &arrival.Scalar{Pool: d.Pool, Ref: d.RefSorted}
 	}
 	w.configured = true
+	return nil
+}
+
+// classifyHeld guards, classifies the held round against the directive's
+// threshold, and clears the round state — the shared body of OpClassify
+// and the classify half of OpClassifyGenerate.
+func (w *Worker) classifyHeld(d *wire.Directive, rep *wire.Report) error {
+	if d.Round != w.round || !w.held {
+		return fmt.Errorf("cluster: worker %d: classify round %d without summarize (held round %d)",
+			w.id, d.Round, w.round)
+	}
+	if err := w.classify(d.Threshold, rep); err != nil {
+		return err
+	}
+	w.held, w.dists, w.rows, w.labels, w.dim, w.localRows = false, nil, nil, nil, 0, false
 	return nil
 }
 

@@ -2,9 +2,6 @@ package collect
 
 import (
 	"fmt"
-	"math"
-	"sync"
-	"time"
 
 	"repro/internal/arrival"
 	"repro/internal/attack"
@@ -42,6 +39,17 @@ type ClusterConfig struct {
 	// RunSharded with the same Gen and worker count record for record.
 	Gen *ShardGen
 
+	// Pipeline enables the overlapped round schedule (DESIGN.md §9):
+	// round r's classify broadcast carries round r+1's generator specs
+	// (wire.OpClassifyGenerate), so workers overlap next-round generation
+	// with the current classify and a steady-state round costs one RTT
+	// instead of two. Requires a Gen — speculation is safe only in
+	// shard-local mode. The board is unchanged: a pipelined run reproduces
+	// the unpipelined run (and hence the RunSharded reference) record for
+	// record; membership changes, checkpoints and resume flush the pipeline
+	// at the round boundary, so the fleet invariants are preserved.
+	Pipeline bool
+
 	// Logf receives shard-loss and lifecycle messages (fmt.Printf style);
 	// nil discards them. A worker whose call fails is dropped and the game
 	// continues on the survivors — its slice of the round (summaries,
@@ -75,23 +83,15 @@ type ClusterConfig struct {
 	Resume *wire.Snapshot
 }
 
-// validateTransport is the transport check shared by every cluster game.
-func validateTransport(tr cluster.Transport) error {
-	if tr == nil {
-		return fmt.Errorf("collect: nil cluster transport")
-	}
-	if tr.Workers() < 1 {
-		return fmt.Errorf("collect: cluster transport has no workers")
-	}
-	return nil
-}
-
 func (c *ClusterConfig) validate() error {
 	if err := validateTransport(c.Transport); err != nil {
 		return err
 	}
 	if c.ExactQuantiles {
 		return fmt.Errorf("collect: cluster collection requires summaries (ExactQuantiles must be false)")
+	}
+	if err := validatePipeline(c.Pipeline, c.Gen); err != nil {
+		return err
 	}
 	if (c.Checkpoint != nil || c.Resume != nil) && c.Gen == nil {
 		return fmt.Errorf("collect: checkpoint/resume requires the shard-local data plane (a ShardGen)")
@@ -143,395 +143,79 @@ func (c *ClusterConfig) validateResume() error {
 	return nil
 }
 
-// ShardLoss records one worker loss: the round and phase whose fan-in ran
-// short, and the [Lo, Hi) slice of that round's honest batch the slot held
-// (the data that went missing from the round's tallies). Lo == Hi for a
-// loss outside a data phase (configure, admission).
-type ShardLoss struct {
-	Round  int
-	Phase  string
-	Worker int
-	Lo, Hi int
+// scalarGame adapts the scalar collection game to the round engine: scalar
+// arrivals, thresholds on the clean reference scale (or the batch), and a
+// kept-value stream.
+type scalarGame struct {
+	cfg     *ClusterConfig
+	res     *Result
+	ref     []float64 // sorted clean reference
+	genPool []float64 // shard-local honest pool (nil when coordinator-fed)
+	jscale  float64
+
+	// Coordinator-fed round state.
+	values []float64
+	bounds map[int][2]int
 }
 
-// workerPool tracks the live workers of one game through an epoch-numbered
-// fleet.Membership and fans directives out to them. Failures prune the
-// membership (drop-and-continue): the merge order of the survivors stays
-// the transport's worker order, so runs remain deterministic given the
-// failure pattern. With a fleet supervisor attached, lost slots are offered
-// re-admission at round boundaries (beginRound).
-type workerPool struct {
-	tr   cluster.Transport
-	ms   *fleet.Membership
-	sup  *fleet.Supervisor
-	logf func(format string, args ...any)
-
-	// conf is the saved configure template, re-shipped to re-joining
-	// workers whose state died with their process.
-	conf    wire.Directive
-	hasConf bool
-
-	// ranges maps each slot to its current round's honest-batch [lo, hi)
-	// share — the loss-report payload when a call to it fails.
-	ranges map[int][2]int
-
-	losses []ShardLoss
-
-	// priorEvents is the membership history restored from a resume
-	// snapshot; fleetLog()/wholeSince() report over the combined log.
-	priorEvents []fleet.Event
-
-	// callTimeout bounds every transport call when > 0 (fleet.Config
-	// .CallTimeout): a hung worker then counts as failed and is dropped
-	// instead of hanging the game.
-	callTimeout time.Duration
-
-	// egress counts every directive byte handed to the transport — the
-	// coordinator's outbound traffic; egressConfig is the configure share
-	// of it (pool/reference/dataset shipping, including re-admission
-	// re-configures). Heartbeat probes are supervision-plane traffic and are
-	// not counted.
-	egress       int64
-	egressConfig int64
+func (g *scalarGame) confDirective() wire.Directive {
+	conf := wire.Directive{Epsilon: g.cfg.SummaryEpsilon}
+	if g.cfg.Gen != nil {
+		conf.Pool = g.genPool
+		conf.RefSorted = g.ref
+	}
+	return conf
 }
 
-func newWorkerPool(tr cluster.Transport, logf func(string, ...any), fcfg *fleet.Config) *workerPool {
-	if logf == nil {
-		logf = func(string, ...any) {}
-	}
-	p := &workerPool{
-		tr:     tr,
-		ms:     fleet.NewMembership(tr.Workers()),
-		logf:   logf,
-		ranges: make(map[int][2]int),
-	}
-	if fcfg != nil {
-		cfg := *fcfg
-		if cfg.Logf == nil {
-			cfg.Logf = logf
-		}
-		p.callTimeout = cfg.CallTimeout
-		probe := func(w int) error {
-			_, err := tr.Call(w, wire.EncodeDirective(nil, &wire.Directive{Op: wire.OpHeartbeat}))
-			return err
-		}
-		var revive func(int) error
-		if rv, ok := tr.(cluster.Reviver); ok {
-			revive = rv.Revive
-		}
-		p.sup = fleet.NewSupervisor(tr.Workers(), cfg, probe, revive)
-		// The supervisor and the pool must share one membership view.
-		p.ms = p.sup.Membership()
-	}
-	return p
+func (g *scalarGame) preRound(*engine, int) error { return nil }
+func (g *scalarGame) genOp() wire.Op              { return wire.OpGenerate }
+func (g *scalarGame) jitter() float64             { return g.jscale }
+func (g *scalarGame) decorate(*wire.Directive)    {}
+func (g *scalarGame) speculative() bool           { return true }
+
+func (g *scalarGame) feed(en *engine, r int) ([]*wire.Directive, float64, error) {
+	inject := g.cfg.Adversary.Injection(r, g.res.Board.adversaryView())
+	values, pctSum := drawArrivals(&g.cfg.Config, inject, g.ref, g.jscale, en.poison)
+	dirs, bounds := en.pool.scalarSummarizeDirs(r, values, g.cfg.Batch)
+	g.values, g.bounds = values, bounds
+	return dirs, pctSum, nil
 }
 
-// alive returns the live slots in shard-slot order (shared; do not mutate).
-func (p *workerPool) alive() []int { return p.ms.Alive() }
+func (g *scalarGame) foldGen(*wire.Report, arrival.Spec) {}
 
-// lost returns the number of loss events so far.
-func (p *workerPool) lost() int { return len(p.losses) }
-
-// fleetLog returns the full membership event log — a resumed run's prior
-// history followed by this run's — with epochs renumbered by position (an
-// epoch IS its event count).
-func (p *workerPool) fleetLog() []fleet.Event {
-	cur := p.ms.Events()
-	if len(p.priorEvents) == 0 {
-		return cur
+func (g *scalarGame) threshold(pct float64, merged *summary.Summary) float64 {
+	if g.cfg.TrimOnBatch {
+		return merged.Query(pct)
 	}
-	log := append(append([]fleet.Event(nil), p.priorEvents...), cur...)
-	for i := range log {
-		log[i].Epoch = i + 1
-	}
-	return log
+	return stats.QuantileSorted(g.ref, pct)
 }
 
-// wholeSince reports over the combined log, so a resumed run's degraded
-// window stays visible to verification.
-func (p *workerPool) wholeSince() int {
-	if len(p.priorEvents) == 0 {
-		return p.ms.WholeSince()
+func (g *scalarGame) quality(merged *summary.Summary) float64 {
+	if g.cfg.Quality != nil { // central generation only; rejected under Gen
+		return g.cfg.Quality(g.values, g.ref)
 	}
-	return fleet.WholeSinceLog(p.ms.Slots(), p.fleetLog())
+	return ExcessMassQualitySummary(merged, g.ref)
 }
 
-// callWorker is one transport round trip, bounded by the fleet call
-// timeout when one is configured (the abandoned goroutine of a timed-out
-// call exits when the transport call finally returns).
-func (p *workerPool) callWorker(w int, req []byte) ([]byte, error) {
-	if p.callTimeout <= 0 {
-		return p.tr.Call(w, req)
-	}
-	type result struct {
-		out []byte
-		err error
-	}
-	ch := make(chan result, 1)
-	go func() {
-		out, err := p.tr.Call(w, req)
-		ch <- result{out, err}
-	}()
-	select {
-	case r := <-ch:
-		return r.out, r.err
-	case <-time.After(p.callTimeout):
-		return nil, fmt.Errorf("collect: call to worker %d timed out after %v", w, p.callTimeout)
-	}
-}
-
-// callAll sends dirs[i] to the i-th live worker in parallel and returns the
-// decoded reports of the workers that answered, in shard order. Workers
-// that fail are logged, recorded as shard losses and dropped from the
-// membership; an empty pool is an error — the game cannot continue with
-// zero shards.
-func (p *workerPool) callAll(round int, phase string, dirs []*wire.Directive) ([]*wire.Report, error) {
-	alive := append([]int(nil), p.alive()...)
-	reps := make([]*wire.Report, len(alive))
-	errs := make([]error, len(alive))
-	reqs := make([][]byte, len(alive))
-	for i := range alive {
-		reqs[i] = wire.EncodeDirective(nil, dirs[i])
-		p.egress += int64(len(reqs[i]))
-		if phase == "configure" {
-			p.egressConfig += int64(len(reqs[i]))
-		}
-	}
-	var wg sync.WaitGroup
-	for i := range alive {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			out, err := p.callWorker(alive[i], reqs[i])
-			if err != nil {
-				errs[i] = err
-				return
+// foldClassify absorbs the kept-pool deltas (exact counts/sums ride along,
+// so the Kept estimators stay exact). KeepValues is rebuilt only from the
+// slices of workers that answered, so a lost shard's values are
+// consistently missing from tallies, Kept and KeptValues alike.
+func (g *scalarGame) foldClassify(_ *engine, _ int, rec *RoundRecord, rep *wire.Report) error {
+	g.res.Kept.AbsorbCounted(rep.Kept, rep.KeptCount, rep.KeptSum)
+	if g.cfg.KeepValues {
+		b := g.bounds[rep.Worker]
+		for _, v := range g.values[b[0]:b[1]] {
+			if v <= rec.ThresholdValue {
+				g.res.KeptValues = append(g.res.KeptValues, v)
 			}
-			reps[i], errs[i] = wire.DecodeReport(out)
-		}(i)
-	}
-	wg.Wait()
-
-	kept := reps[:0]
-	for i, w := range alive {
-		if errs[i] != nil {
-			p.drop(round, phase, w, errs[i])
-			continue
-		}
-		// The transport index is authoritative (a TCP worker's self-id is
-		// whatever it was launched with); reports are keyed by it.
-		reps[i].Worker = w
-		kept = append(kept, reps[i])
-		if p.sup != nil {
-			p.sup.Observe(w)
-		}
-	}
-	if len(p.alive()) == 0 {
-		return nil, fmt.Errorf("collect: all cluster workers lost by round %d", round)
-	}
-	return kept, nil
-}
-
-// drop records one worker loss and removes the slot from the membership.
-func (p *workerPool) drop(round int, phase string, w int, err error) {
-	b := p.ranges[w]
-	p.losses = append(p.losses, ShardLoss{Round: round, Phase: phase, Worker: w, Lo: b[0], Hi: b[1]})
-	p.logf("collect: round %d: dropping worker %d after failed %s (shard [%d, %d) lost): %v",
-		round, w, phase, b[0], b[1], err)
-	if p.sup != nil {
-		p.sup.Drop(w, round)
-	} else {
-		p.ms.Drop(w, round)
-	}
-}
-
-// beginRound applies the fleet supervision policy at a round boundary:
-// staleness drops, then re-admission of down slots via the
-// Hello/Configure/Join handshake. A no-op without a supervisor.
-func (p *workerPool) beginRound(round int) {
-	if p.sup == nil {
-		return
-	}
-	p.sup.BeginRound(round, func(w, epoch int) error { return p.admit(round, w, epoch) })
-}
-
-// admit runs the game-level re-admission handshake with one revived slot:
-// Hello asks for its state, Configure re-ships the data plane when the
-// state died with the old process (a cold re-spawn answers Configured =
-// false; a worker that survived a transient partition keeps its state and
-// skips the shipment), Join grants membership from the new epoch.
-// Admission traffic counts as egress (the configure share into
-// egressConfig); a failure at any step leaves the slot down.
-func (p *workerPool) admit(round, w, epoch int) error {
-	hello, err := p.call1(w, &wire.Directive{Op: wire.OpHello, Round: round}, false)
-	if err != nil {
-		return err
-	}
-	if !hello.Configured {
-		if !p.hasConf {
-			return fmt.Errorf("collect: no configure template saved")
-		}
-		conf := p.conf
-		if _, err := p.call1(w, &conf, true); err != nil {
-			return err
-		}
-	}
-	_, err = p.call1(w, &wire.Directive{Op: wire.OpJoin, Round: round, Epoch: epoch}, false)
-	return err
-}
-
-// call1 is one accounted directive round trip to a single worker.
-func (p *workerPool) call1(w int, d *wire.Directive, isConfig bool) (*wire.Report, error) {
-	req := wire.EncodeDirective(nil, d)
-	p.egress += int64(len(req))
-	if isConfig {
-		p.egressConfig += int64(len(req))
-	}
-	out, err := p.callWorker(w, req)
-	if err != nil {
-		return nil, err
-	}
-	return wire.DecodeReport(out)
-}
-
-// configure broadcasts one directive template to every worker — the sketch
-// budget plus, for shard-local games, the one-time data-plane state (pool,
-// reference, dataset, mechanism) — and saves it for re-admissions. Under
-// fleet supervision the initial membership grant (Join, epoch 0) follows.
-func (p *workerPool) configure(template wire.Directive) error {
-	template.Op = wire.OpConfigure
-	p.conf = template
-	p.hasConf = true
-	dirs := make([]*wire.Directive, len(p.alive()))
-	for i := range dirs {
-		dirs[i] = &template
-	}
-	if _, err := p.callAll(0, "configure", dirs); err != nil {
-		return err
-	}
-	if p.sup != nil {
-		dirs = dirs[:0]
-		for range p.alive() {
-			dirs = append(dirs, &wire.Directive{Op: wire.OpJoin, Epoch: 0})
-		}
-		if _, err := p.callAll(0, "join", dirs); err != nil {
-			return err
 		}
 	}
 	return nil
 }
 
-// stop releases the workers (best effort: a worker that already died is
-// already logged), stops the supervisor and closes the transport.
-func (p *workerPool) stop() {
-	for _, w := range p.alive() {
-		if _, err := p.callWorker(w, wire.EncodeDirective(nil, &wire.Directive{Op: wire.OpStop})); err != nil {
-			p.logf("collect: stopping worker %d: %v", w, err)
-		}
-	}
-	if p.sup != nil {
-		p.sup.Close()
-	}
-	if err := p.tr.Close(); err != nil {
-		p.logf("collect: closing transport: %v", err)
-	}
-}
-
-// slicePoisonFrom maps the global poison start index onto one shard's
-// [lo, hi) slice: the index within the slice where poison begins (= slice
-// length when the slice is all honest).
-func slicePoisonFrom(poisonStart, lo, hi int) int {
-	pf := poisonStart - lo
-	if pf < 0 {
-		pf = 0
-	}
-	if pf > hi-lo {
-		pf = hi - lo
-	}
-	return pf
-}
-
-// setRanges records each live slot's honest-batch share for the round — the
-// loss-report payload should a call to it fail.
-func (p *workerPool) setRanges(bounds map[int][2]int) {
-	p.ranges = bounds
-}
-
-// scalarSummarizeDirs partitions a round's scalar arrivals across the live
-// workers and builds the phase-1 directives, returning the [lo, hi) bounds
-// each worker was handed, keyed by worker index (the scalar and LDP games
-// share this; the row game ships rows and a center instead).
-func (p *workerPool) scalarSummarizeDirs(round int, values []float64, poisonStart int) ([]*wire.Directive, map[int][2]int) {
-	alive := p.alive()
-	dirs := make([]*wire.Directive, len(alive))
-	bounds := make(map[int][2]int, len(alive))
-	for i, w := range alive {
-		lo, hi := shardBounds(len(values), len(alive), i)
-		dirs[i] = &wire.Directive{
-			Op: wire.OpSummarize, Round: round,
-			Values:     values[lo:hi],
-			PoisonFrom: slicePoisonFrom(poisonStart, lo, hi),
-		}
-		bounds[w] = [2]int{lo, hi}
-	}
-	p.setRanges(bounds)
-	return dirs, bounds
-}
-
-// generateDirs builds the shard-local phase-1 directives: one O(1)
-// generator spec per live worker, with the RNG seed derived per (slot,
-// round) — the slot is the worker's position in the live set, which is what
-// repartitions the derived streams over any membership epoch. It returns
-// the spec each worker was handed, keyed by worker index, so the
-// coordinator can account poison and honest shares of the workers that
-// actually answered.
-func (p *workerPool) generateDirs(op wire.Op, round int, gen *ShardGen, batch int, specs []arrival.Spec) ([]*wire.Directive, map[int]arrival.Spec) {
-	alive := p.alive()
-	dirs := make([]*wire.Directive, len(alive))
-	byWorker := make(map[int]arrival.Spec, len(alive))
-	bounds := make(map[int][2]int, len(alive))
-	for i, w := range alive {
-		dirs[i] = &wire.Directive{Op: op, Round: round, Gen: arrival.SpecToWire(gen.seed(i, round), specs[i])}
-		byWorker[w] = specs[i]
-		lo, hi := shardBounds(batch, len(alive), i)
-		bounds[w] = [2]int{lo, hi}
-	}
-	p.setRanges(bounds)
-	return dirs, byWorker
-}
-
-// classifyDirs builds the phase-2 threshold broadcast for the live workers.
-// The phase-1 ranges stay registered: a classify loss loses the same slice.
-func (p *workerPool) classifyDirs(round int, pct, threshold float64) []*wire.Directive {
-	dirs := make([]*wire.Directive, len(p.alive()))
-	for i := range dirs {
-		dirs[i] = &wire.Directive{Op: wire.OpClassify, Round: round, Pct: pct, Threshold: threshold}
-	}
-	return dirs
-}
-
-// addCounts folds one shard's classification tallies into a round record.
-func addCounts(rec *RoundRecord, c wire.Counts) {
-	rec.HonestKept += c.HonestKept
-	rec.HonestTrimmed += c.HonestTrimmed
-	rec.PoisonKept += c.PoisonKept
-	rec.PoisonTrimmed += c.PoisonTrimmed
-}
-
-// mergeSummarizeReports folds shard summaries in shard order — the
-// ε-lossless merge (ε_merged = max ε_i) — and accumulates the exact
-// observation count and value sum the reports carry alongside.
-func mergeSummarizeReports(reps []*wire.Report) (merged *summary.Summary, count int, sum float64) {
-	merged = &summary.Summary{}
-	for _, rep := range reps {
-		if rep.Sum == nil {
-			continue
-		}
-		merged.Merge(rep.Sum)
-		count += rep.Count
-		sum += rep.ValueSum
-	}
-	return merged, count, sum
+func (g *scalarGame) endRound(merged *summary.Summary, count int, sum float64) {
+	g.res.Received.AbsorbCounted(merged, count, sum)
 }
 
 // RunCluster plays the scalar collection game across a worker cluster. See
@@ -539,7 +223,9 @@ func mergeSummarizeReports(reps []*wire.Report) (merged *summary.Summary, count 
 // obtain the shard summaries (ship value slices, or — under a ShardGen —
 // broadcast O(1) generator specs and let each worker draw its own slice)
 // and merge the returned deltas, then broadcast the resolved threshold and
-// reduce the returned classification counts and kept-pool deltas.
+// reduce the returned classification counts and kept-pool deltas. With
+// Pipeline the two fan-outs of consecutive rounds overlap (one RTT per
+// steady-state round); the board is identical either way.
 func RunCluster(cfg ClusterConfig) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -577,10 +263,7 @@ func RunCluster(cfg ClusterConfig) (*Result, error) {
 		baselineQ = ExcessMassQuality(baseline, ref)
 	}
 
-	poisonCount := cfg.poisonPerRound()
-	jscale := jitterScale(ref)
-	roundLen := cfg.Batch + poisonCount
-
+	roundLen := cfg.Batch + cfg.poisonPerRound()
 	res := &Result{}
 	var err error
 	if res.Received, err = summary.New(cfg.SummaryEpsilon, cfg.Rounds*roundLen); err != nil {
@@ -592,133 +275,52 @@ func RunCluster(cfg ClusterConfig) (*Result, error) {
 
 	pool := newWorkerPool(cfg.Transport, cfg.Logf, cfg.Fleet)
 	defer pool.stop()
-	conf := wire.Directive{Epsilon: cfg.SummaryEpsilon}
-	if cfg.Gen != nil {
-		conf.Pool = genPool
-		conf.RefSorted = ref
+
+	en := &engine{
+		game: &scalarGame{
+			cfg: &cfg, res: res,
+			ref: ref, genPool: genPool, jscale: jitterScale(ref),
+		},
+		pool:      pool,
+		board:     &res.Board,
+		collector: cfg.Collector,
+		rounds:    cfg.Rounds,
+		batch:     cfg.Batch,
+		poison:    cfg.poisonPerRound(),
+		baselineQ: baselineQ,
+		gen:       cfg.Gen,
+		si:        si,
+		pipeline:  cfg.Pipeline,
+		onRound:   cfg.OnRound,
 	}
-	if err := pool.configure(conf); err != nil {
+	if cfg.Resume != nil {
+		en.resume = func() (int, error) {
+			// The baseline re-derived above is the purity check: a snapshot
+			// cut from the same (master seed, pool) reproduces it bit for bit.
+			if !sameQuality(cfg.Resume.BaselineQ, baselineQ) {
+				return 0, fmt.Errorf("collect: snapshot baseline quality %v, recomputed %v (snapshot is from a different game)",
+					cfg.Resume.BaselineQ, baselineQ)
+			}
+			start, err := restoreScalarSnapshot(cfg.Resume, res, pool)
+			if err != nil {
+				return 0, err
+			}
+			if err := replayStrategies(cfg.Collector, si, res.Board.Records); err != nil {
+				return 0, err
+			}
+			return start, nil
+		}
+	}
+	if cfg.Checkpoint != nil {
+		en.checkpointDue = cfg.Checkpoint.Due
+		en.checkpoint = func(r int) error {
+			_, err := cfg.Checkpoint.Write(scalarSnapshot(&cfg, res, pool, baselineQ, r))
+			return err
+		}
+	}
+	if err := en.run(); err != nil {
 		return nil, err
 	}
-
-	startRound := 1
-	if cfg.Resume != nil {
-		// The baseline re-derived above is the purity check: a snapshot cut
-		// from the same (master seed, pool) reproduces it bit for bit.
-		if !sameQuality(cfg.Resume.BaselineQ, baselineQ) {
-			return nil, fmt.Errorf("collect: snapshot baseline quality %v, recomputed %v (snapshot is from a different game)",
-				cfg.Resume.BaselineQ, baselineQ)
-		}
-		if startRound, err = restoreScalarSnapshot(cfg.Resume, res, pool); err != nil {
-			return nil, err
-		}
-		if err := replayStrategies(cfg.Collector, si, res.Board.Records); err != nil {
-			return nil, err
-		}
-	}
-
-	for r := startRound; r <= cfg.Rounds; r++ {
-		pool.beginRound(r)
-		thresholdPct := cfg.Collector.Threshold(r, res.Board.collectorView())
-
-		// Phase 1: obtain the shard summaries and merge the returned
-		// deltas in shard order.
-		var reps []*wire.Report
-		var values []float64           // coordinator-fed only
-		var bounds map[int][2]int      // coordinator-fed only
-		var specs map[int]arrival.Spec // shard-local only
-		var pctSum float64             // coordinator-fed: drawn here
-		var roundPoison = poisonCount  // poison behind the merged summary
-		if cfg.Gen != nil {
-			inject := si.InjectionSpec(r, res.Board.adversaryView())
-			dirs, byWorker := pool.generateDirs(wire.OpGenerate, r, cfg.Gen, cfg.Batch,
-				genSpecs(cfg.Batch, poisonCount, inject, jscale, len(pool.alive())))
-			specs = byWorker
-			if reps, err = pool.callAll(r, "generate", dirs); err != nil {
-				return nil, err
-			}
-			roundPoison = 0
-			for _, rep := range reps {
-				pctSum += rep.PctSum
-				roundPoison += specs[rep.Worker].PoisonN
-			}
-		} else {
-			inject := cfg.Adversary.Injection(r, res.Board.adversaryView())
-			values, pctSum = drawArrivals(&cfg.Config, inject, ref, jscale, poisonCount)
-			var dirs []*wire.Directive
-			dirs, bounds = pool.scalarSummarizeDirs(r, values, cfg.Batch)
-			if reps, err = pool.callAll(r, "summarize", dirs); err != nil {
-				return nil, err
-			}
-		}
-		merged, mCount, mSum := mergeSummarizeReports(reps)
-
-		var thresholdValue float64
-		if cfg.TrimOnBatch {
-			thresholdValue = merged.Query(thresholdPct)
-		} else {
-			thresholdValue = stats.QuantileSorted(ref, thresholdPct)
-		}
-
-		rec := RoundRecord{
-			Round:           r,
-			ThresholdPct:    thresholdPct,
-			ThresholdValue:  thresholdValue,
-			BaselineQuality: baselineQ,
-		}
-		if cfg.Quality != nil { // central generation only; rejected under Gen
-			rec.Quality = cfg.Quality(values, ref)
-		} else {
-			rec.Quality = ExcessMassQualitySummary(merged, ref)
-		}
-		if roundPoison > 0 {
-			rec.MeanInjectionPct = pctSum / float64(roundPoison)
-		} else {
-			rec.MeanInjectionPct = math.NaN()
-		}
-
-		// Phase 2: broadcast the threshold; reduce counts and absorb the
-		// kept-pool deltas (exact counts/sums ride along, so the Kept
-		// estimators stay exact). KeepValues is rebuilt only from the
-		// slices of workers that answered, so a lost shard's values are
-		// consistently missing from tallies, Kept and KeptValues alike.
-		if reps, err = pool.callAll(r, "classify", pool.classifyDirs(r, thresholdPct, thresholdValue)); err != nil {
-			return nil, err
-		}
-		for _, rep := range reps {
-			addCounts(&rec, rep.Counts)
-			res.Kept.AbsorbCounted(rep.Kept, rep.KeptCount, rep.KeptSum)
-			if cfg.KeepValues {
-				b := bounds[rep.Worker]
-				for _, v := range values[b[0]:b[1]] {
-					if v <= thresholdValue {
-						res.KeptValues = append(res.KeptValues, v)
-					}
-				}
-			}
-		}
-		res.Received.AbsorbCounted(merged, mCount, mSum)
-		res.Board.Post(rec)
-		if cfg.OnRound != nil {
-			cfg.OnRound(rec)
-		}
-		if cfg.Checkpoint != nil && cfg.Checkpoint.Due(r) {
-			if _, err := cfg.Checkpoint.Write(scalarSnapshot(&cfg, res, pool, baselineQ, r)); err != nil {
-				return nil, err
-			}
-		}
-	}
-	finishClusterResult(res, pool)
+	pool.finishStats(&res.ClusterStats)
 	return res, nil
-}
-
-// finishClusterResult copies the pool's loss and membership accounting into
-// a result.
-func finishClusterResult(res *Result, pool *workerPool) {
-	res.LostShards = pool.lost()
-	res.Losses = pool.losses
-	res.FleetEvents = pool.fleetLog()
-	res.WholeSince = pool.wholeSince()
-	res.EgressBytes = pool.egress
-	res.EgressConfigBytes = pool.egressConfig
 }

@@ -3,6 +3,7 @@ package collect
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/stats"
@@ -75,3 +76,50 @@ func BenchmarkClusterRoundLocal(b *testing.B) {
 		})
 	}
 }
+
+// benchClusterRoundLatency runs the latency-dominated shard-local game —
+// small batch, 5 ms injected per-call latency (cluster.WithDelay) — and
+// reports ms/round. This is the pair the pipelining claim rests on: the
+// unpipelined schedule pays two fan-out RTTs per round, the pipelined one
+// pays one (round r+1's generate rides on round r's classify), so under
+// injected latency the pipelined ms/round is ~half.
+func benchClusterRoundLatency(b *testing.B, pipeline bool) {
+	const rounds = 20
+	ref := stats.NormalSlice(stats.NewRand(1), 5000, 0, 1)
+	var perRound float64
+	for i := 0; i < b.N; i++ {
+		static, err := newStaticForBench()
+		if err != nil {
+			b.Fatal(err)
+		}
+		adv, err := newPointForBench()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := RunCluster(ClusterConfig{
+			Config: Config{
+				Rounds: rounds, Batch: 2000, AttackRatio: 0.2,
+				Reference: ref,
+				Collector: static, Adversary: adv,
+				TrimOnBatch: true,
+			},
+			Transport: cluster.WithDelay(cluster.NewLoopback(2), 5*time.Millisecond),
+			Gen:       &ShardGen{MasterSeed: 1},
+			Pipeline:  pipeline,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		perRound = float64(res.Timing.PerRound().Microseconds()) / 1000
+	}
+	b.ReportMetric(perRound, "ms/round")
+}
+
+// BenchmarkClusterRoundDelayed is the unpipelined half of the latency
+// pair: two 5 ms fan-outs per round (~10 ms/round floor).
+func BenchmarkClusterRoundDelayed(b *testing.B) { benchClusterRoundLatency(b, false) }
+
+// BenchmarkClusterRoundPipelined is the pipelined half: one combined
+// fan-out per steady-state round (~5 ms/round floor) — the ≥1.5× ms/round
+// win over BenchmarkClusterRoundDelayed claimed in EXPERIMENTS.md.
+func BenchmarkClusterRoundPipelined(b *testing.B) { benchClusterRoundLatency(b, true) }

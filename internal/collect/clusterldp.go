@@ -11,6 +11,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/ldp"
 	"repro/internal/stats"
+	"repro/internal/stats/summary"
 	"repro/internal/wire"
 )
 
@@ -43,6 +44,13 @@ type LDPClusterConfig struct {
 	// ignored — inputs come from LDPConfig.Inputs).
 	Gen *ShardGen
 
+	// Pipeline enables the overlapped round schedule: like the scalar game
+	// (see ClusterConfig.Pipeline), the LDP game's next-round generation
+	// depends only on derived seed streams and the published threshold, so
+	// round r+1's generate rides on round r's classify broadcast and the
+	// board is reproduced record for record. Requires a Gen.
+	Pipeline bool
+
 	// Logf receives shard-loss messages; nil discards. Failure semantics
 	// match ClusterConfig: drop-and-continue.
 	Logf func(format string, args ...any)
@@ -64,6 +72,9 @@ func (c *LDPClusterConfig) validate() error {
 	if c.SummaryEpsilon < 0 || c.SummaryEpsilon >= 1 {
 		return fmt.Errorf("collect: summary epsilon = %v", c.SummaryEpsilon)
 	}
+	if err := validatePipeline(c.Pipeline, c.Gen); err != nil {
+		return err
+	}
 	if err := c.LDPConfig.validateMode(c.Gen != nil); err != nil {
 		return err
 	}
@@ -84,6 +95,102 @@ func (c *LDPClusterConfig) validate() error {
 	return nil
 }
 
+// ldpGame adapts the LDP collection game to the round engine: perturbed
+// reports, thresholds on the clean perturbed reference, and exact
+// (sum, count) kept aggregates the mean estimate reduces from.
+type ldpGame struct {
+	cfg          *LDPClusterConfig
+	res          *LDPResult
+	inputsSorted []float64
+	refReports   []float64 // sorted clean perturbed reference
+
+	// Game-long aggregates.
+	keptSum   float64
+	keptN     int
+	honestSum float64
+	honestN   int
+
+	// Coordinator-fed round state.
+	reports []float64
+}
+
+func (g *ldpGame) confDirective() wire.Directive {
+	conf := wire.Directive{Epsilon: g.cfg.SummaryEpsilon}
+	if g.cfg.Gen != nil {
+		kind, eps, k, _ := arrival.MechToWire(g.cfg.Mechanism) // validated
+		conf.Pool = g.cfg.Inputs
+		conf.MechKind = kind
+		conf.MechEps = eps
+		conf.MechK = k
+	}
+	return conf
+}
+
+func (g *ldpGame) preRound(*engine, int) error { return nil }
+func (g *ldpGame) genOp() wire.Op              { return wire.OpGenerate }
+func (g *ldpGame) jitter() float64             { return 0 }
+func (g *ldpGame) decorate(*wire.Directive)    {}
+func (g *ldpGame) speculative() bool           { return true }
+
+func (g *ldpGame) feed(en *engine, r int) ([]*wire.Directive, float64, error) {
+	cfg := g.cfg
+	inject := cfg.Adversary.Injection(r, g.res.Board.adversaryView())
+	reports := make([]float64, 0, cfg.Batch+en.poison)
+	for i := 0; i < cfg.Batch; i++ {
+		x := cfg.Inputs[cfg.Rng.Intn(len(cfg.Inputs))]
+		g.honestSum += x
+		g.honestN++
+		reports = append(reports, cfg.Mechanism.Perturb(cfg.Rng, x))
+	}
+	var pctSum float64
+	poisonStart := len(reports)
+	for i := 0; i < en.poison; i++ {
+		pct := inject(cfg.Rng)
+		pctSum += pct
+		forged := stats.QuantileSorted(g.inputsSorted, pct)
+		m, err := ldp.NewInputManipulator(cfg.Mechanism, forged)
+		if err != nil {
+			return nil, 0, err
+		}
+		reports = append(reports, m.Report(cfg.Rng))
+	}
+	g.reports = reports
+	dirs, _ := en.pool.scalarSummarizeDirs(r, reports, poisonStart)
+	return dirs, pctSum, nil
+}
+
+// foldGen accumulates the exact honest-input aggregates behind a locally
+// generated shard — the TrueMean the estimate is measured against.
+func (g *ldpGame) foldGen(rep *wire.Report, spec arrival.Spec) {
+	g.honestSum += rep.InputSum
+	g.honestN += spec.HonestN
+}
+
+func (g *ldpGame) threshold(pct float64, merged *summary.Summary) float64 {
+	if g.cfg.TrimOnBatch {
+		return merged.Query(pct)
+	}
+	return stats.QuantileSorted(g.refReports, pct)
+}
+
+func (g *ldpGame) quality(merged *summary.Summary) float64 {
+	return ExcessMassQualitySummary(merged, g.refReports)
+}
+
+// foldClassify reduces the exact kept aggregates the mean estimate is
+// built from.
+func (g *ldpGame) foldClassify(_ *engine, _ int, _ *RoundRecord, rep *wire.Report) error {
+	g.keptSum += rep.KeptSum
+	g.keptN += rep.KeptCount
+	return nil
+}
+
+func (g *ldpGame) endRound(*summary.Summary, int, float64) {
+	if g.cfg.KeepAllReports { // coordinator-fed only; rejected under Gen
+		g.res.AllReports = append(g.res.AllReports, g.reports...)
+	}
+}
+
 // RunClusterLDP plays the LDP collection game across a worker cluster.
 func RunClusterLDP(cfg LDPClusterConfig) (*LDPResult, error) {
 	if err := cfg.validate(); err != nil {
@@ -96,9 +203,6 @@ func RunClusterLDP(cfg LDPClusterConfig) (*LDPResult, error) {
 	if cfg.Gen != nil {
 		si, _ = specInjector(cfg.Adversary) // validated above
 	}
-
-	inputsSorted := sortedCopy(cfg.Inputs)
-	poisonCount := int(math.Round(cfg.AttackRatio * float64(cfg.Batch)))
 
 	// The report-space reference for quality evaluation: what clean
 	// perturbed traffic looks like. One synthetic clean round, drawn on
@@ -117,128 +221,36 @@ func RunClusterLDP(cfg LDPClusterConfig) (*LDPResult, error) {
 	baselineQ := ExcessMassQuality(cleanReports, refReports)
 
 	res := &LDPResult{}
-	var keptSum float64
-	var keptN int
-	var honestSum float64
-	var honestN int
-
 	pool := newWorkerPool(cfg.Transport, cfg.Logf, cfg.Fleet)
 	defer pool.stop()
-	conf := wire.Directive{Epsilon: cfg.SummaryEpsilon}
-	if cfg.Gen != nil {
-		kind, eps, k, err := arrival.MechToWire(cfg.Mechanism) // validated above
-		if err != nil {
-			return nil, err
-		}
-		conf.Pool = cfg.Inputs
-		conf.MechKind = kind
-		conf.MechEps = eps
-		conf.MechK = k
+
+	g := &ldpGame{
+		cfg: &cfg, res: res,
+		inputsSorted: sortedCopy(cfg.Inputs),
+		refReports:   refReports,
 	}
-	if err := pool.configure(conf); err != nil {
+	en := &engine{
+		game:      g,
+		pool:      pool,
+		board:     &res.Board,
+		collector: cfg.Collector,
+		rounds:    cfg.Rounds,
+		batch:     cfg.Batch,
+		poison:    int(math.Round(cfg.AttackRatio * float64(cfg.Batch))),
+		baselineQ: baselineQ,
+		gen:       cfg.Gen,
+		si:        si,
+		pipeline:  cfg.Pipeline,
+		onRound:   cfg.OnRound,
+	}
+	if err := en.run(); err != nil {
 		return nil, err
 	}
-
-	for r := 1; r <= cfg.Rounds; r++ {
-		pool.beginRound(r)
-		thresholdPct := cfg.Collector.Threshold(r, res.Board.collectorView())
-
-		// Phase 1: obtain each worker's report summary — by shard-local
-		// generation (workers perturb their own draws) or by shipping
-		// slices of coordinator-generated reports.
-		var reps []*wire.Report
-		var reports []float64
-		var pctSum float64
-		var err error
-		roundPoison := poisonCount
-		if cfg.Gen != nil {
-			inject := si.InjectionSpec(r, res.Board.adversaryView())
-			dirs, byWorker := pool.generateDirs(wire.OpGenerate, r, cfg.Gen, cfg.Batch,
-				genSpecs(cfg.Batch, poisonCount, inject, 0, len(pool.alive())))
-			if reps, err = pool.callAll(r, "generate", dirs); err != nil {
-				return nil, err
-			}
-			roundPoison = 0
-			for _, rep := range reps {
-				pctSum += rep.PctSum
-				honestSum += rep.InputSum
-				honestN += byWorker[rep.Worker].HonestN
-				roundPoison += byWorker[rep.Worker].PoisonN
-			}
-		} else {
-			inject := cfg.Adversary.Injection(r, res.Board.adversaryView())
-			reports = make([]float64, 0, cfg.Batch+poisonCount)
-			for i := 0; i < cfg.Batch; i++ {
-				x := cfg.Inputs[cfg.Rng.Intn(len(cfg.Inputs))]
-				honestSum += x
-				honestN++
-				reports = append(reports, cfg.Mechanism.Perturb(cfg.Rng, x))
-			}
-			poisonStart := len(reports)
-			for i := 0; i < poisonCount; i++ {
-				pct := inject(cfg.Rng)
-				pctSum += pct
-				forged := stats.QuantileSorted(inputsSorted, pct)
-				m, merr := ldp.NewInputManipulator(cfg.Mechanism, forged)
-				if merr != nil {
-					return nil, merr
-				}
-				reports = append(reports, m.Report(cfg.Rng))
-			}
-			dirs, _ := pool.scalarSummarizeDirs(r, reports, poisonStart)
-			if reps, err = pool.callAll(r, "summarize", dirs); err != nil {
-				return nil, err
-			}
-		}
-		merged, _, _ := mergeSummarizeReports(reps)
-
-		var thresholdValue float64
-		if cfg.TrimOnBatch {
-			thresholdValue = merged.Query(thresholdPct)
-		} else {
-			thresholdValue = stats.QuantileSorted(refReports, thresholdPct)
-		}
-		rec := RoundRecord{
-			Round:           r,
-			ThresholdPct:    thresholdPct,
-			ThresholdValue:  thresholdValue,
-			Quality:         ExcessMassQualitySummary(merged, refReports),
-			BaselineQuality: baselineQ,
-		}
-		if roundPoison > 0 {
-			rec.MeanInjectionPct = pctSum / float64(roundPoison)
-		} else {
-			rec.MeanInjectionPct = math.NaN()
-		}
-
-		// Phase 2: broadcast the threshold; reduce counts and the exact
-		// kept aggregates the mean estimate is built from.
-		if reps, err = pool.callAll(r, "classify", pool.classifyDirs(r, thresholdPct, thresholdValue)); err != nil {
-			return nil, err
-		}
-		for _, rep := range reps {
-			addCounts(&rec, rep.Counts)
-			keptSum += rep.KeptSum
-			keptN += rep.KeptCount
-		}
-		if cfg.KeepAllReports {
-			res.AllReports = append(res.AllReports, reports...)
-		}
-		res.Board.Post(rec)
-		if cfg.OnRound != nil {
-			cfg.OnRound(rec)
-		}
+	res.MeanEstimate = cfg.Mechanism.(ldp.SumMeanEstimator).MeanEstimateFromSum(g.keptSum, g.keptN)
+	if g.honestN > 0 {
+		res.TrueMean = g.honestSum / float64(g.honestN)
 	}
-	res.MeanEstimate = cfg.Mechanism.(ldp.SumMeanEstimator).MeanEstimateFromSum(keptSum, keptN)
-	if honestN > 0 {
-		res.TrueMean = honestSum / float64(honestN)
-	}
-	res.LostShards = pool.lost()
-	res.Losses = pool.losses
-	res.FleetEvents = pool.fleetLog()
-	res.WholeSince = pool.wholeSince()
-	res.EgressBytes = pool.egress
-	res.EgressConfigBytes = pool.egressConfig
+	pool.finishStats(&res.ClusterStats)
 	return res, nil
 }
 

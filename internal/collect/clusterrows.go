@@ -42,6 +42,14 @@ type RowClusterConfig struct {
 	// ignored — rows come from the configured dataset).
 	Gen *ShardGen
 
+	// Pipeline is accepted for interface symmetry with ClusterConfig and
+	// validated the same way (requires a Gen), but the row game cannot
+	// overlap rounds: round r+1's generation needs the robust center
+	// refreshed from round r's accepted-row deltas, so the engine's
+	// pipeline flushes every round and the schedule — like the board — is
+	// identical to the unpipelined run. See DESIGN.md §9.
+	Pipeline bool
+
 	// Logf receives shard-loss messages; nil discards. Failure semantics
 	// match ClusterConfig: drop-and-continue, the lost shard's slice of
 	// the round (counts, kept rows, center delta) is gone, and its dataset
@@ -63,6 +71,9 @@ func (c *RowClusterConfig) validate() error {
 	}
 	if c.ExactQuantiles {
 		return fmt.Errorf("collect: cluster collection requires summaries (ExactQuantiles must be false)")
+	}
+	if err := validatePipeline(c.Pipeline, c.Gen); err != nil {
+		return err
 	}
 	if c.Gen != nil {
 		if _, err := specInjector(c.Adversary); err != nil {
@@ -106,14 +117,218 @@ func scaleRange(reps []*wire.Report) (min, max float64) {
 	return min, max
 }
 
-// RunClusterRows plays the row collection game across a worker cluster.
+// arrivalRow is one coordinator-drawn row arrival (coordinator-fed mode).
+type arrivalRow struct {
+	row    []float64
+	label  int
+	poison bool
+}
+
+// rowsGame adapts the row collection game to the round engine: a
+// clean-scale pre-phase, distance thresholds, and a kept pool of rows fed
+// by worker deltas.
+type rowsGame struct {
+	cfg       *RowClusterConfig
+	res       *RowResult
+	dim       int
+	refSorted []float64 // sorted clean distance reference
+
+	// The coordinator's view of the accepted pool: a summary.Vector fed
+	// exclusively by worker deltas (after the clean seed round X0).
+	acceptedVec *summary.Vector
+	refCentroid []float64
+
+	// Round state, refreshed by preRound / feed.
+	scaleSum *summary.Summary
+	jscale   float64
+	arrivals []arrivalRow // coordinator-fed only
+	bounds   map[int][2]int
+}
+
+func (g *rowsGame) confDirective() wire.Directive {
+	conf := wire.Directive{
+		Epsilon:     g.cfg.SummaryEpsilon,
+		Rows:        g.cfg.Data.X,
+		Clusters:    g.cfg.Data.Clusters,
+		PoisonLabel: g.cfg.PoisonLabel,
+	}
+	if g.cfg.Data.Labeled() {
+		conf.Labels = g.cfg.Data.Y
+	}
+	return conf
+}
+
+// preRound refreshes the robust center from the absorbed deltas and fans
+// the clean-scale pass out over the workers' dataset ranges — the scale is
+// the distances of the collector's own clean dataset from the fresh
+// center, merged ε-losslessly in shard order.
+func (g *rowsGame) preRound(en *engine, r int) error {
+	g.refCentroid = g.acceptedVec.Medians(g.refCentroid)
+	reps, err := en.pool.callAll(r, "scale", en.pool.scaleDirs(r, g.refCentroid, g.cfg.Data.Len()))
+	if err != nil {
+		return err
+	}
+	g.scaleSum, _, _ = mergeSummarizeReports(reps)
+	min, max := scaleRange(reps)
+	g.jscale = jitterRange(min, max)
+	return nil
+}
+
+func (g *rowsGame) genOp() wire.Op  { return wire.OpGenerateRows }
+func (g *rowsGame) jitter() float64 { return g.jscale }
+
+// decorate attaches the per-round row-generation state: the current robust
+// center and the merged clean-scale summary poison percentiles resolve
+// against.
+func (g *rowsGame) decorate(d *wire.Directive) {
+	d.Center = g.refCentroid
+	d.Gen.Scale = g.scaleSum
+}
+
+// speculative is false: round r+1's generation needs the center refreshed
+// from round r's accepted deltas, so there is nothing safe to piggyback.
+func (g *rowsGame) speculative() bool { return false }
+
+func (g *rowsGame) feed(en *engine, r int) ([]*wire.Directive, float64, error) {
+	cfg := g.cfg
+	arrivals := make([]arrivalRow, 0, cfg.Batch+en.poison)
+	for i := 0; i < cfg.Batch; i++ {
+		j := cfg.Rng.Intn(cfg.Data.Len())
+		a := arrivalRow{row: cfg.Data.X[j]}
+		if cfg.Data.Labeled() {
+			a.label = cfg.Data.Y[j]
+		}
+		arrivals = append(arrivals, a)
+	}
+	inject := cfg.Adversary.Injection(r, g.res.Board.adversaryView())
+	var pctSum float64
+	for i := 0; i < en.poison; i++ {
+		pct := inject(cfg.Rng)
+		pctSum += pct
+		dist := g.scaleSum.Query(pct) + (cfg.Rng.Float64()-0.5)*g.jscale
+		if dist < 0 {
+			dist = 0
+		}
+		base := cfg.Data.X[cfg.Rng.Intn(cfg.Data.Len())]
+		row := arrival.PoisonRow(g.refCentroid, base, dist)
+		label := cfg.PoisonLabel
+		if label < 0 && cfg.Data.Labeled() {
+			label = cfg.Rng.Intn(cfg.Data.Clusters)
+		}
+		arrivals = append(arrivals, arrivalRow{row: row, label: label, poison: true})
+	}
+
+	// Ship row slices plus the center; record each worker's bounds so kept
+	// indices can be mapped back after the classify phase.
+	alive := en.pool.alive()
+	dirs := make([]*wire.Directive, len(alive))
+	bounds := make(map[int][2]int, len(alive))
+	for i, w := range alive {
+		lo, hi := shardBounds(len(arrivals), len(alive), i)
+		rows := make([][]float64, hi-lo)
+		for j := range rows {
+			rows[j] = arrivals[lo+j].row
+		}
+		dirs[i] = &wire.Directive{
+			Op: wire.OpSummarizeRows, Round: r,
+			Rows:       rows,
+			Center:     g.refCentroid,
+			PoisonFrom: slicePoisonFrom(cfg.Batch, lo, hi),
+		}
+		bounds[w] = [2]int{lo, hi}
+	}
+	en.pool.setRanges(bounds)
+	g.arrivals, g.bounds = arrivals, bounds
+	return dirs, pctSum, nil
+}
+
+func (g *rowsGame) foldGen(*wire.Report, arrival.Spec) {}
+
+func (g *rowsGame) threshold(pct float64, merged *summary.Summary) float64 {
+	if g.cfg.TrimOnBatch {
+		return merged.Query(pct)
+	}
+	return g.scaleSum.Query(pct)
+}
+
+func (g *rowsGame) quality(merged *summary.Summary) float64 {
+	if g.cfg.Quality != nil { // central generation only; rejected under Gen
+		// A custom quality standard needs the raw distance slice; the
+		// coordinator recomputes it locally (it holds rows and center).
+		dists := make([]float64, len(g.arrivals))
+		for i, a := range g.arrivals {
+			dists[i] = stats.Euclidean(a.row, g.refCentroid)
+		}
+		return g.cfg.Quality(dists, g.refSorted)
+	}
+	return ExcessMassQualitySummary(merged, g.refSorted)
+}
+
+// foldClassify absorbs one worker's classify payload: the kept rows — as
+// indices into the shipped slice (coordinator-fed) or the rows themselves
+// (shard-local: only the worker ever held them) — and the accepted-row
+// vector delta the robust center is maintained from.
+func (g *rowsGame) foldClassify(en *engine, r int, _ *RoundRecord, rep *wire.Report) error {
+	if g.cfg.Gen != nil {
+		if g.res.Kept.Y != nil && len(rep.KeptLabels) != len(rep.KeptRows) {
+			return fmt.Errorf("collect: round %d: worker %d shipped %d labels for %d kept rows",
+				r, rep.Worker, len(rep.KeptLabels), len(rep.KeptRows))
+		}
+		for _, row := range rep.KeptRows {
+			if len(row) != g.dim {
+				return fmt.Errorf("collect: round %d: worker %d kept row dim %d, want %d",
+					r, rep.Worker, len(row), g.dim)
+			}
+			g.res.Kept.X = append(g.res.Kept.X, row)
+		}
+		if g.res.Kept.Y != nil {
+			g.res.Kept.Y = append(g.res.Kept.Y, rep.KeptLabels...)
+		}
+		g.res.KeptPoison += rep.Counts.PoisonKept
+	} else {
+		b, ok := g.bounds[rep.Worker]
+		if !ok {
+			en.pool.logf("collect: round %d: report from worker %d with no recorded bounds", r, rep.Worker)
+			return nil
+		}
+		for _, idx := range rep.KeptIdx {
+			if idx < 0 || b[0]+idx >= b[1] {
+				return fmt.Errorf("collect: round %d: worker %d kept index %d outside its slice", r, rep.Worker, idx)
+			}
+			a := g.arrivals[b[0]+idx]
+			g.res.Kept.X = append(g.res.Kept.X, append([]float64(nil), a.row...))
+			if g.res.Kept.Y != nil {
+				g.res.Kept.Y = append(g.res.Kept.Y, a.label)
+			}
+			if a.poison {
+				g.res.KeptPoison++
+			}
+		}
+	}
+	if rep.Vec != nil {
+		if len(rep.Vec.Dims) != g.dim {
+			en.pool.logf("collect: round %d: worker %d vector delta dim %d, want %d (dropped)",
+				r, rep.Worker, len(rep.Vec.Dims), g.dim)
+			return nil
+		}
+		for i := 0; i < g.dim; i++ {
+			g.acceptedVec.Coord(i).AbsorbCounted(rep.Vec.Dims[i], rep.Vec.Count, rep.Vec.Sums[i])
+		}
+	}
+	return nil
+}
+
+func (g *rowsGame) endRound(*summary.Summary, int, float64) {}
+
+// RunClusterRows plays the row collection game across a worker cluster:
+// three fan-outs per round (clean scale, summarize/generate, classify)
+// driven by the shared round engine.
 func RunClusterRows(cfg RowClusterConfig) (*RowResult, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	cfg.Collector.Reset()
 	cfg.Adversary.Reset()
-	quality := cfg.Quality
 
 	var si attack.SpecInjector
 	if cfg.Gen != nil {
@@ -139,14 +354,13 @@ func RunClusterRows(cfg RowClusterConfig) (*RowResult, error) {
 	}
 	baseline := sampleDistances(preRng, cfg.Batch, refSorted)
 	var baselineQ float64
-	if quality != nil {
-		baselineQ = quality(baseline, refSorted)
+	if cfg.Quality != nil {
+		baselineQ = cfg.Quality(baseline, refSorted)
 	} else {
 		baselineQ = ExcessMassQuality(baseline, refSorted)
 	}
 
 	poisonCount := int(math.Round(cfg.AttackRatio * float64(cfg.Batch)))
-	roundLen := cfg.Batch + poisonCount
 
 	res := &RowResult{Kept: &dataset.Dataset{
 		Name:     cfg.Data.Name + "-collected",
@@ -156,9 +370,6 @@ func RunClusterRows(cfg RowClusterConfig) (*RowResult, error) {
 		res.Kept.Y = []int{}
 	}
 
-	// The coordinator's view of the accepted pool is a summary.Vector fed
-	// exclusively by worker deltas (after the clean seed round X0, which
-	// the coordinator draws itself).
 	acceptedVec, err := summary.NewVector(dim, cfg.SummaryEpsilon, cfg.Batch*(cfg.Rounds+1))
 	if err != nil {
 		return nil, err
@@ -168,217 +379,32 @@ func RunClusterRows(cfg RowClusterConfig) (*RowResult, error) {
 			return nil, err
 		}
 	}
-	refCentroid := append([]float64(nil), center...)
 
 	pool := newWorkerPool(cfg.Transport, cfg.Logf, cfg.Fleet)
 	defer pool.stop()
-	conf := wire.Directive{
-		Epsilon:     cfg.SummaryEpsilon,
-		Rows:        cfg.Data.X,
-		Clusters:    cfg.Data.Clusters,
-		PoisonLabel: cfg.PoisonLabel,
+
+	en := &engine{
+		game: &rowsGame{
+			cfg: &cfg, res: res, dim: dim,
+			refSorted:   refSorted,
+			acceptedVec: acceptedVec,
+			refCentroid: append([]float64(nil), center...),
+		},
+		pool:      pool,
+		board:     &res.Board,
+		collector: cfg.Collector,
+		rounds:    cfg.Rounds,
+		batch:     cfg.Batch,
+		poison:    poisonCount,
+		baselineQ: baselineQ,
+		gen:       cfg.Gen,
+		si:        si,
+		pipeline:  cfg.Pipeline,
 	}
-	if cfg.Data.Labeled() {
-		conf.Labels = cfg.Data.Y
-	}
-	if err := pool.configure(conf); err != nil {
+	if err := en.run(); err != nil {
 		return nil, err
 	}
-
-	type arrivalRow struct {
-		row    []float64
-		label  int
-		poison bool
-	}
-
-	for r := 1; r <= cfg.Rounds; r++ {
-		pool.beginRound(r)
-		thresholdPct := cfg.Collector.Threshold(r, res.Board.collectorView())
-
-		// Phase 0: refresh the robust center from the absorbed deltas and
-		// fan the clean-scale pass out over the workers' dataset ranges —
-		// the scale is the distances of the collector's own clean dataset
-		// from the fresh center, merged ε-losslessly in shard order.
-		refCentroid = acceptedVec.Medians(refCentroid)
-		reps, err := pool.callAll(r, "scale", pool.scaleDirs(r, refCentroid, cfg.Data.Len()))
-		if err != nil {
-			return nil, err
-		}
-		scaleSum, _, _ := mergeSummarizeReports(reps)
-		scaleMin, scaleMax := scaleRange(reps)
-		jscale := jitterRange(scaleMin, scaleMax)
-
-		// Phase 1: obtain each worker's arrival-distance summary — by
-		// shard-local generation from an O(1) spec, or by shipping slices
-		// of a centrally drawn batch.
-		var arrivals []arrivalRow // coordinator-fed only
-		var bounds map[int][2]int // coordinator-fed only
-		var pctSum float64
-		roundPoison := poisonCount
-		if cfg.Gen != nil {
-			inject := si.InjectionSpec(r, res.Board.adversaryView())
-			dirs, byWorker := pool.generateDirs(wire.OpGenerateRows, r, cfg.Gen, cfg.Batch,
-				genSpecs(cfg.Batch, poisonCount, inject, jscale, len(pool.alive())))
-			for _, d := range dirs {
-				d.Center = refCentroid
-				d.Gen.Scale = scaleSum
-			}
-			if reps, err = pool.callAll(r, "generate", dirs); err != nil {
-				return nil, err
-			}
-			roundPoison = 0
-			for _, rep := range reps {
-				pctSum += rep.PctSum
-				roundPoison += byWorker[rep.Worker].PoisonN
-			}
-		} else {
-			arrivals = make([]arrivalRow, 0, roundLen)
-			for i := 0; i < cfg.Batch; i++ {
-				j := cfg.Rng.Intn(cfg.Data.Len())
-				a := arrivalRow{row: cfg.Data.X[j]}
-				if cfg.Data.Labeled() {
-					a.label = cfg.Data.Y[j]
-				}
-				arrivals = append(arrivals, a)
-			}
-			inject := cfg.Adversary.Injection(r, res.Board.adversaryView())
-			for i := 0; i < poisonCount; i++ {
-				pct := inject(cfg.Rng)
-				pctSum += pct
-				dist := scaleSum.Query(pct) + (cfg.Rng.Float64()-0.5)*jscale
-				if dist < 0 {
-					dist = 0
-				}
-				base := cfg.Data.X[cfg.Rng.Intn(cfg.Data.Len())]
-				row := arrival.PoisonRow(refCentroid, base, dist)
-				label := cfg.PoisonLabel
-				if label < 0 && cfg.Data.Labeled() {
-					label = cfg.Rng.Intn(cfg.Data.Clusters)
-				}
-				arrivals = append(arrivals, arrivalRow{row: row, label: label, poison: true})
-			}
-
-			// Ship row slices plus the center; record each worker's bounds
-			// so kept indices can be mapped back after the classify phase.
-			alive := pool.alive()
-			dirs := make([]*wire.Directive, len(alive))
-			bounds = make(map[int][2]int, len(alive))
-			for i, w := range alive {
-				lo, hi := shardBounds(len(arrivals), len(alive), i)
-				rows := make([][]float64, hi-lo)
-				for j := range rows {
-					rows[j] = arrivals[lo+j].row
-				}
-				dirs[i] = &wire.Directive{
-					Op: wire.OpSummarizeRows, Round: r,
-					Rows:       rows,
-					Center:     refCentroid,
-					PoisonFrom: slicePoisonFrom(cfg.Batch, lo, hi),
-				}
-				bounds[w] = [2]int{lo, hi}
-			}
-			pool.setRanges(bounds)
-			if reps, err = pool.callAll(r, "summarize", dirs); err != nil {
-				return nil, err
-			}
-		}
-		merged, _, _ := mergeSummarizeReports(reps)
-
-		var thresholdValue float64
-		if cfg.TrimOnBatch {
-			thresholdValue = merged.Query(thresholdPct)
-		} else {
-			thresholdValue = scaleSum.Query(thresholdPct)
-		}
-
-		rec := RoundRecord{
-			Round:           r,
-			ThresholdPct:    thresholdPct,
-			ThresholdValue:  thresholdValue,
-			BaselineQuality: baselineQ,
-		}
-		if quality != nil { // central generation only; rejected under Gen
-			// A custom quality standard needs the raw distance slice; the
-			// coordinator recomputes it locally (it holds rows and center).
-			dists := make([]float64, len(arrivals))
-			for i, a := range arrivals {
-				dists[i] = stats.Euclidean(a.row, refCentroid)
-			}
-			rec.Quality = quality(dists, refSorted)
-		} else {
-			rec.Quality = ExcessMassQualitySummary(merged, refSorted)
-		}
-		if roundPoison > 0 {
-			rec.MeanInjectionPct = pctSum / float64(roundPoison)
-		} else {
-			rec.MeanInjectionPct = math.NaN()
-		}
-
-		// Phase 2: broadcast the threshold; workers classify and ship
-		// counts, their accepted-row vector delta, and the kept rows —
-		// as indices into the shipped slice (coordinator-fed) or as the
-		// rows themselves (shard-local: only the worker ever held them).
-		if reps, err = pool.callAll(r, "classify", pool.classifyDirs(r, thresholdPct, thresholdValue)); err != nil {
-			return nil, err
-		}
-		for _, rep := range reps {
-			addCounts(&rec, rep.Counts)
-
-			if cfg.Gen != nil {
-				if res.Kept.Y != nil && len(rep.KeptLabels) != len(rep.KeptRows) {
-					return nil, fmt.Errorf("collect: round %d: worker %d shipped %d labels for %d kept rows",
-						r, rep.Worker, len(rep.KeptLabels), len(rep.KeptRows))
-				}
-				for _, row := range rep.KeptRows {
-					if len(row) != dim {
-						return nil, fmt.Errorf("collect: round %d: worker %d kept row dim %d, want %d",
-							r, rep.Worker, len(row), dim)
-					}
-					res.Kept.X = append(res.Kept.X, row)
-				}
-				if res.Kept.Y != nil {
-					res.Kept.Y = append(res.Kept.Y, rep.KeptLabels...)
-				}
-				res.KeptPoison += rep.Counts.PoisonKept
-			} else {
-				b, ok := bounds[rep.Worker]
-				if !ok {
-					pool.logf("collect: round %d: report from worker %d with no recorded bounds", r, rep.Worker)
-					continue
-				}
-				for _, idx := range rep.KeptIdx {
-					if idx < 0 || b[0]+idx >= b[1] {
-						return nil, fmt.Errorf("collect: round %d: worker %d kept index %d outside its slice", r, rep.Worker, idx)
-					}
-					a := arrivals[b[0]+idx]
-					res.Kept.X = append(res.Kept.X, append([]float64(nil), a.row...))
-					if res.Kept.Y != nil {
-						res.Kept.Y = append(res.Kept.Y, a.label)
-					}
-					if a.poison {
-						res.KeptPoison++
-					}
-				}
-			}
-			if rep.Vec != nil {
-				if len(rep.Vec.Dims) != dim {
-					pool.logf("collect: round %d: worker %d vector delta dim %d, want %d (dropped)",
-						r, rep.Worker, len(rep.Vec.Dims), dim)
-					continue
-				}
-				for i := 0; i < dim; i++ {
-					acceptedVec.Coord(i).AbsorbCounted(rep.Vec.Dims[i], rep.Vec.Count, rep.Vec.Sums[i])
-				}
-			}
-		}
-		res.Board.Post(rec)
-	}
-	res.LostShards = pool.lost()
-	res.Losses = pool.losses
-	res.FleetEvents = pool.fleetLog()
-	res.WholeSince = pool.wholeSince()
-	res.EgressBytes = pool.egress
-	res.EgressConfigBytes = pool.egressConfig
+	pool.finishStats(&res.ClusterStats)
 	return res, nil
 }
 

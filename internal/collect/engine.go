@@ -1,0 +1,836 @@
+package collect
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/arrival"
+	"repro/internal/attack"
+	"repro/internal/cluster"
+	"repro/internal/fleet"
+	"repro/internal/stats/summary"
+	"repro/internal/trim"
+	"repro/internal/wire"
+)
+
+// This file is the unified cluster round engine: one coordinator loop
+// serving all three collection games (scalar, rows, LDP) over a
+// cluster.Transport. The engine owns — exactly once — everything the
+// per-game loops used to duplicate: the worker pool and its fleet
+// supervision hooks, loss bookkeeping, egress and per-phase timing
+// accounting, checkpoint cadence, and the pipelined (overlapped) round
+// schedule. What differs between the games (directive payloads, threshold
+// semantics, kept-pool folding) plugs in through the Game interface.
+//
+// Pipelined rounds (DESIGN.md §9): a shard-local round is two fan-outs —
+// generate/summarize, then classify. Generation of round r+1 depends only
+// on derived seed streams and the adversary's view of round r, which is
+// {Round, ThresholdPct} — both fixed before round r's classify broadcast
+// goes out. With ClusterConfig.Pipeline the engine therefore piggybacks
+// round r+1's generator specs onto round r's classify broadcast
+// (wire.OpClassifyGenerate): the workers overlap next-round generation
+// with the current classify, the combined reply carries both payloads, and
+// a steady-state round costs one RTT instead of two. Speculation is
+// flushed — discarded and re-fanned as a plain Generate — whenever the
+// membership epoch changed between speculation and consumption (a worker
+// lost during the combined call, a boundary drop or re-admission), and is
+// skipped at checkpoint rounds so a snapshot always cuts a drained
+// pipeline. The injection spec of the speculated round is drawn exactly
+// once either way, so strategy state advances identically to an
+// unpipelined run and the boards match record for record.
+
+// Game adapts one collection game to the engine: the per-phase directive
+// builders and report folders that differ between the scalar, row and LDP
+// games. Round state a game needs across phases (drawn values, centers,
+// clean scales) lives on the implementation.
+type Game interface {
+	// confDirective is the configure template broadcast once at game start
+	// and re-shipped to re-admitted workers (the pool sets Op).
+	confDirective() wire.Directive
+
+	// preRound runs a game-specific fan-out that must precede the round's
+	// main phase (the row game's clean-scale pass); most games no-op.
+	preRound(en *engine, r int) error
+
+	// genOp is the shard-local phase-1 operation code.
+	genOp() wire.Op
+
+	// jitter is the tie-break jitter width generated poison percentiles
+	// resolve with, for the current round (valid after preRound).
+	jitter() float64
+
+	// decorate finishes one shard-local generate directive with per-round
+	// game state (the row game attaches the center and merged clean scale).
+	decorate(d *wire.Directive)
+
+	// feed draws one round centrally (coordinator-fed generation) and
+	// builds the phase-1 directives, registering loss ranges on the pool.
+	// It returns the summed injection percentile of the drawn poison.
+	feed(en *engine, r int) ([]*wire.Directive, float64, error)
+
+	// foldGen folds one shard-local phase-1 report beyond the engine's
+	// common accounting (the LDP game's honest-input aggregates).
+	foldGen(rep *wire.Report, spec arrival.Spec)
+
+	// threshold resolves the round's threshold percentile to a value.
+	threshold(pct float64, merged *summary.Summary) float64
+
+	// quality scores the round — from the merged summary, or from raw
+	// values the game retained during feed.
+	quality(merged *summary.Summary) float64
+
+	// foldClassify folds one classify report into the round record and the
+	// game's kept-pool state (the shared tallies are folded by the engine).
+	foldClassify(en *engine, r int, rec *RoundRecord, rep *wire.Report) error
+
+	// endRound absorbs the round's merged summary into game-long state.
+	endRound(merged *summary.Summary, count int, sum float64)
+
+	// speculative reports whether round r+1's generation depends only on
+	// round r's threshold percentile — never on its classify outcome — so
+	// the pipeline may piggyback it onto round r's classify broadcast. True
+	// for the scalar and LDP games; false for the row game, whose
+	// next-round generation needs the robust center refreshed from this
+	// round's accepted-row deltas (the pipeline then flushes every round
+	// and -pipeline is a documented no-op).
+	speculative() bool
+}
+
+// Timing is the coordinator's per-phase wall-clock account of a cluster
+// run: how long it sat blocked on each phase's fan-out, summed over the
+// game. Configure covers the one-time configure broadcast and initial
+// membership grant; Scale the row game's clean-scale pass; Summarize the
+// coordinator-fed phase-1 fan-outs; Generate the standalone shard-local
+// phase-1 fan-outs; Classify every threshold broadcast — including the
+// combined classify+generate broadcasts of a pipelined run, which is why
+// pipelining shows up as the Generate share collapsing into Classify;
+// Admission the re-admission handshakes of a supervised run.
+type Timing struct {
+	Configure time.Duration
+	Scale     time.Duration
+	Summarize time.Duration
+	Generate  time.Duration
+	Classify  time.Duration
+	Admission time.Duration
+
+	// Rounds is the number of rounds this run played (a resumed run counts
+	// only its own).
+	Rounds int
+}
+
+// DataPlane is the total round fan-out time: everything but the one-time
+// configure and the supervision-plane admissions.
+func (t Timing) DataPlane() time.Duration {
+	return t.Scale + t.Summarize + t.Generate + t.Classify
+}
+
+// PerRound is the average data-plane fan-out time per round played — the
+// number the pipelining study compares across transports and schedules.
+func (t Timing) PerRound() time.Duration {
+	if t.Rounds == 0 {
+		return 0
+	}
+	return t.DataPlane() / time.Duration(t.Rounds)
+}
+
+// add attributes one fan-out's duration by its phase label.
+func (t *Timing) add(phase string, d time.Duration) {
+	switch phase {
+	case "configure", "join":
+		t.Configure += d
+	case "scale":
+		t.Scale += d
+	case "summarize":
+		t.Summarize += d
+	case "generate":
+		t.Generate += d
+	case "classify", "classify+generate":
+		t.Classify += d
+	default:
+		t.Admission += d
+	}
+}
+
+// ClusterStats is the failure, membership, egress and timing account every
+// cluster game's result carries (embedded in Result, RowResult and
+// LDPResult). The engine fills it from the worker pool once, at game end;
+// all fields are zero for in-process games.
+type ClusterStats struct {
+	// LostShards counts worker-loss events in the run's failure handling:
+	// each loss means one shard's round slice went missing from the tallies
+	// of the round it died in. Losses carries the detail — round, phase and
+	// the honest-batch range each lost slot held.
+	LostShards int
+	Losses     []ShardLoss
+
+	// FleetEvents is the membership change log (drops and — under fleet
+	// supervision with re-join — admissions), each stamped with the epoch
+	// it created. WholeSince is the first round from which the live set has
+	// been continuously whole: 1 for an undisturbed run, 0 when the run
+	// ended degraded. From WholeSince on, a shard-local run's records match
+	// the uninterrupted reference record for record (given board-oblivious
+	// strategies; see DESIGN.md §8).
+	FleetEvents []fleet.Event
+	WholeSince  int
+
+	// EgressBytes is the coordinator's total outbound directive traffic
+	// over the transport (configure + every round fan-out, before the final
+	// stop broadcast); EgressConfigBytes is the one-time configure share.
+	// Per-round data-plane egress is (EgressBytes − EgressConfigBytes) /
+	// rounds: O(batch) under coordinator-fed generation, O(workers) under a
+	// ShardGen.
+	EgressBytes       int64
+	EgressConfigBytes int64
+
+	// Timing is the per-phase wall-clock account of the run's fan-outs.
+	Timing Timing
+}
+
+// ShardLoss records one worker loss: the round and phase whose fan-in ran
+// short, and the [Lo, Hi) slice of that round's honest batch the slot held
+// (the data that went missing from the round's tallies). Lo == Hi for a
+// loss outside a data phase (configure, admission).
+type ShardLoss struct {
+	Round  int
+	Phase  string
+	Worker int
+	Lo, Hi int
+}
+
+// validateTransport is the transport check shared by every cluster game.
+func validateTransport(tr cluster.Transport) error {
+	if tr == nil {
+		return fmt.Errorf("collect: nil cluster transport")
+	}
+	if tr.Workers() < 1 {
+		return fmt.Errorf("collect: cluster transport has no workers")
+	}
+	return nil
+}
+
+// validatePipeline is the pipelining precondition shared by every cluster
+// game: speculation is safe only in shard-local mode — a coordinator-fed
+// round's arrivals are drawn on the coordinator from a sequential RNG, so
+// overlapping rounds would reorder the stream.
+func validatePipeline(pipeline bool, gen *ShardGen) error {
+	if pipeline && gen == nil {
+		return fmt.Errorf("collect: pipelined rounds require the shard-local data plane (a ShardGen)")
+	}
+	return nil
+}
+
+// workerPool tracks the live workers of one game through an epoch-numbered
+// fleet.Membership and fans directives out to them. Failures prune the
+// membership (drop-and-continue): the merge order of the survivors stays
+// the transport's worker order, so runs remain deterministic given the
+// failure pattern. With a fleet supervisor attached, lost slots are offered
+// re-admission at round boundaries (beginRound).
+type workerPool struct {
+	tr   cluster.Transport
+	ms   *fleet.Membership
+	sup  *fleet.Supervisor
+	logf func(format string, args ...any)
+
+	// conf is the saved configure template, re-shipped to re-joining
+	// workers whose state died with their process.
+	conf    wire.Directive
+	hasConf bool
+
+	// ranges maps each slot to its current round's honest-batch [lo, hi)
+	// share — the loss-report payload when a call to it fails.
+	ranges map[int][2]int
+
+	losses []ShardLoss
+
+	// priorEvents is the membership history restored from a resume
+	// snapshot; fleetLog()/wholeSince() report over the combined log.
+	priorEvents []fleet.Event
+
+	// callTimeout bounds every transport call when > 0 (fleet.Config
+	// .CallTimeout): a hung worker then counts as failed and is dropped
+	// instead of hanging the game.
+	callTimeout time.Duration
+
+	// egress counts every directive byte handed to the transport — the
+	// coordinator's outbound traffic; egressConfig is the configure share
+	// of it (pool/reference/dataset shipping, including re-admission
+	// re-configures). Heartbeat probes are supervision-plane traffic and are
+	// not counted.
+	egress       int64
+	egressConfig int64
+
+	// timing accumulates the wall clock of every fan-out by phase.
+	timing Timing
+}
+
+func newWorkerPool(tr cluster.Transport, logf func(string, ...any), fcfg *fleet.Config) *workerPool {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	p := &workerPool{
+		tr:     tr,
+		ms:     fleet.NewMembership(tr.Workers()),
+		logf:   logf,
+		ranges: make(map[int][2]int),
+	}
+	if fcfg != nil {
+		cfg := *fcfg
+		if cfg.Logf == nil {
+			cfg.Logf = logf
+		}
+		p.callTimeout = cfg.CallTimeout
+		probe := func(w int) error {
+			_, err := tr.Call(w, wire.EncodeDirective(nil, &wire.Directive{Op: wire.OpHeartbeat}))
+			return err
+		}
+		var revive func(int) error
+		if rv, ok := tr.(cluster.Reviver); ok {
+			revive = rv.Revive
+		}
+		p.sup = fleet.NewSupervisor(tr.Workers(), cfg, probe, revive)
+		// The supervisor and the pool must share one membership view.
+		p.ms = p.sup.Membership()
+	}
+	return p
+}
+
+// alive returns the live slots in shard-slot order (shared; do not mutate).
+func (p *workerPool) alive() []int { return p.ms.Alive() }
+
+// epoch returns the current membership epoch — the pipeline's speculation
+// validity stamp: a pending round built under one epoch may only be
+// consumed under the same epoch.
+func (p *workerPool) epoch() int { return p.ms.Epoch() }
+
+// lost returns the number of loss events so far.
+func (p *workerPool) lost() int { return len(p.losses) }
+
+// fleetLog returns the full membership event log — a resumed run's prior
+// history followed by this run's — with epochs renumbered by position (an
+// epoch IS its event count).
+func (p *workerPool) fleetLog() []fleet.Event {
+	cur := p.ms.Events()
+	if len(p.priorEvents) == 0 {
+		return cur
+	}
+	log := append(append([]fleet.Event(nil), p.priorEvents...), cur...)
+	for i := range log {
+		log[i].Epoch = i + 1
+	}
+	return log
+}
+
+// wholeSince reports over the combined log, so a resumed run's degraded
+// window stays visible to verification.
+func (p *workerPool) wholeSince() int {
+	if len(p.priorEvents) == 0 {
+		return p.ms.WholeSince()
+	}
+	return fleet.WholeSinceLog(p.ms.Slots(), p.fleetLog())
+}
+
+// finishStats copies the pool's loss, membership, egress and timing
+// accounting into a result — once, at game end.
+func (p *workerPool) finishStats(s *ClusterStats) {
+	s.LostShards = p.lost()
+	s.Losses = p.losses
+	s.FleetEvents = p.fleetLog()
+	s.WholeSince = p.wholeSince()
+	s.EgressBytes = p.egress
+	s.EgressConfigBytes = p.egressConfig
+	s.Timing = p.timing
+}
+
+// callWorker is one transport round trip, bounded by the fleet call
+// timeout when one is configured (the abandoned goroutine of a timed-out
+// call exits when the transport call finally returns).
+func (p *workerPool) callWorker(w int, req []byte) ([]byte, error) {
+	if p.callTimeout <= 0 {
+		return p.tr.Call(w, req)
+	}
+	type result struct {
+		out []byte
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		out, err := p.tr.Call(w, req)
+		ch <- result{out, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.out, r.err
+	case <-time.After(p.callTimeout):
+		return nil, fmt.Errorf("collect: call to worker %d timed out after %v", w, p.callTimeout)
+	}
+}
+
+// callAll sends dirs[i] to the i-th live worker in parallel and returns the
+// decoded reports of the workers that answered, in shard order. Workers
+// that fail are logged, recorded as shard losses and dropped from the
+// membership; an empty pool is an error — the game cannot continue with
+// zero shards.
+func (p *workerPool) callAll(round int, phase string, dirs []*wire.Directive) ([]*wire.Report, error) {
+	start := time.Now()
+	defer func() { p.timing.add(phase, time.Since(start)) }()
+	alive := append([]int(nil), p.alive()...)
+	reps := make([]*wire.Report, len(alive))
+	errs := make([]error, len(alive))
+	reqs := make([][]byte, len(alive))
+	for i := range alive {
+		reqs[i] = wire.EncodeDirective(nil, dirs[i])
+		p.egress += int64(len(reqs[i]))
+		if phase == "configure" {
+			p.egressConfig += int64(len(reqs[i]))
+		}
+	}
+	var wg sync.WaitGroup
+	for i := range alive {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out, err := p.callWorker(alive[i], reqs[i])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			reps[i], errs[i] = wire.DecodeReport(out)
+		}(i)
+	}
+	wg.Wait()
+
+	kept := reps[:0]
+	for i, w := range alive {
+		if errs[i] != nil {
+			p.drop(round, phase, w, errs[i])
+			continue
+		}
+		// The transport index is authoritative (a TCP worker's self-id is
+		// whatever it was launched with); reports are keyed by it.
+		reps[i].Worker = w
+		kept = append(kept, reps[i])
+		if p.sup != nil {
+			p.sup.Observe(w)
+		}
+	}
+	if len(p.alive()) == 0 {
+		return nil, fmt.Errorf("collect: all cluster workers lost by round %d", round)
+	}
+	return kept, nil
+}
+
+// drop records one worker loss and removes the slot from the membership.
+func (p *workerPool) drop(round int, phase string, w int, err error) {
+	b := p.ranges[w]
+	p.losses = append(p.losses, ShardLoss{Round: round, Phase: phase, Worker: w, Lo: b[0], Hi: b[1]})
+	p.logf("collect: round %d: dropping worker %d after failed %s (shard [%d, %d) lost): %v",
+		round, w, phase, b[0], b[1], err)
+	if p.sup != nil {
+		p.sup.Drop(w, round)
+	} else {
+		p.ms.Drop(w, round)
+	}
+}
+
+// beginRound applies the fleet supervision policy at a round boundary:
+// staleness drops, then re-admission of down slots via the
+// Hello/Configure/Join handshake. A no-op without a supervisor.
+func (p *workerPool) beginRound(round int) {
+	if p.sup == nil {
+		return
+	}
+	p.sup.BeginRound(round, func(w, epoch int) error { return p.admit(round, w, epoch) })
+}
+
+// admit runs the game-level re-admission handshake with one revived slot:
+// Hello asks for its state, Configure re-ships the data plane when the
+// state died with the old process (a cold re-spawn answers Configured =
+// false; a worker that survived a transient partition keeps its state and
+// skips the shipment), Join grants membership from the new epoch.
+// Admission traffic counts as egress (the configure share into
+// egressConfig); a failure at any step leaves the slot down.
+func (p *workerPool) admit(round, w, epoch int) error {
+	start := time.Now()
+	defer func() { p.timing.add("admission", time.Since(start)) }()
+	hello, err := p.call1(w, &wire.Directive{Op: wire.OpHello, Round: round}, false)
+	if err != nil {
+		return err
+	}
+	if !hello.Configured {
+		if !p.hasConf {
+			return fmt.Errorf("collect: no configure template saved")
+		}
+		conf := p.conf
+		if _, err := p.call1(w, &conf, true); err != nil {
+			return err
+		}
+	}
+	_, err = p.call1(w, &wire.Directive{Op: wire.OpJoin, Round: round, Epoch: epoch}, false)
+	return err
+}
+
+// call1 is one accounted directive round trip to a single worker.
+func (p *workerPool) call1(w int, d *wire.Directive, isConfig bool) (*wire.Report, error) {
+	req := wire.EncodeDirective(nil, d)
+	p.egress += int64(len(req))
+	if isConfig {
+		p.egressConfig += int64(len(req))
+	}
+	out, err := p.callWorker(w, req)
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeReport(out)
+}
+
+// configure broadcasts one directive template to every worker — the sketch
+// budget plus, for shard-local games, the one-time data-plane state (pool,
+// reference, dataset, mechanism) — and saves it for re-admissions. Under
+// fleet supervision the initial membership grant (Join, epoch 0) follows.
+func (p *workerPool) configure(template wire.Directive) error {
+	template.Op = wire.OpConfigure
+	p.conf = template
+	p.hasConf = true
+	dirs := make([]*wire.Directive, len(p.alive()))
+	for i := range dirs {
+		dirs[i] = &template
+	}
+	if _, err := p.callAll(0, "configure", dirs); err != nil {
+		return err
+	}
+	if p.sup != nil {
+		dirs = dirs[:0]
+		for range p.alive() {
+			dirs = append(dirs, &wire.Directive{Op: wire.OpJoin, Epoch: 0})
+		}
+		if _, err := p.callAll(0, "join", dirs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stop releases the workers (best effort: a worker that already died is
+// already logged), stops the supervisor and closes the transport.
+func (p *workerPool) stop() {
+	for _, w := range p.alive() {
+		if _, err := p.callWorker(w, wire.EncodeDirective(nil, &wire.Directive{Op: wire.OpStop})); err != nil {
+			p.logf("collect: stopping worker %d: %v", w, err)
+		}
+	}
+	if p.sup != nil {
+		p.sup.Close()
+	}
+	if err := p.tr.Close(); err != nil {
+		p.logf("collect: closing transport: %v", err)
+	}
+}
+
+// slicePoisonFrom maps the global poison start index onto one shard's
+// [lo, hi) slice: the index within the slice where poison begins (= slice
+// length when the slice is all honest).
+func slicePoisonFrom(poisonStart, lo, hi int) int {
+	pf := poisonStart - lo
+	if pf < 0 {
+		pf = 0
+	}
+	if pf > hi-lo {
+		pf = hi - lo
+	}
+	return pf
+}
+
+// setRanges records each live slot's honest-batch share for the round — the
+// loss-report payload should a call to it fail.
+func (p *workerPool) setRanges(bounds map[int][2]int) {
+	p.ranges = bounds
+}
+
+// scalarSummarizeDirs partitions a round's scalar arrivals across the live
+// workers and builds the phase-1 directives, returning the [lo, hi) bounds
+// each worker was handed, keyed by worker index (the scalar and LDP games
+// share this; the row game ships rows and a center instead).
+func (p *workerPool) scalarSummarizeDirs(round int, values []float64, poisonStart int) ([]*wire.Directive, map[int][2]int) {
+	alive := p.alive()
+	dirs := make([]*wire.Directive, len(alive))
+	bounds := make(map[int][2]int, len(alive))
+	for i, w := range alive {
+		lo, hi := shardBounds(len(values), len(alive), i)
+		dirs[i] = &wire.Directive{
+			Op: wire.OpSummarize, Round: round,
+			Values:     values[lo:hi],
+			PoisonFrom: slicePoisonFrom(poisonStart, lo, hi),
+		}
+		bounds[w] = [2]int{lo, hi}
+	}
+	p.setRanges(bounds)
+	return dirs, bounds
+}
+
+// classifyDirs builds the phase-2 threshold broadcast for the live workers.
+// The phase-1 ranges stay registered: a classify loss loses the same slice.
+func (p *workerPool) classifyDirs(round int, pct, threshold float64) []*wire.Directive {
+	dirs := make([]*wire.Directive, len(p.alive()))
+	for i := range dirs {
+		dirs[i] = &wire.Directive{Op: wire.OpClassify, Round: round, Pct: pct, Threshold: threshold}
+	}
+	return dirs
+}
+
+// addCounts folds one shard's classification tallies into a round record.
+func addCounts(rec *RoundRecord, c wire.Counts) {
+	rec.HonestKept += c.HonestKept
+	rec.HonestTrimmed += c.HonestTrimmed
+	rec.PoisonKept += c.PoisonKept
+	rec.PoisonTrimmed += c.PoisonTrimmed
+}
+
+// mergeSummarizeReports folds shard summaries in shard order — the
+// ε-lossless merge (ε_merged = max ε_i) — and accumulates the exact
+// observation count and value sum the reports carry alongside.
+func mergeSummarizeReports(reps []*wire.Report) (merged *summary.Summary, count int, sum float64) {
+	merged = &summary.Summary{}
+	for _, rep := range reps {
+		if rep.Sum == nil {
+			continue
+		}
+		merged.Merge(rep.Sum)
+		count += rep.Count
+		sum += rep.ValueSum
+	}
+	return merged, count, sum
+}
+
+// pending is one speculated round of a pipelined run: the generate reports
+// that came back piggybacked on the previous classify broadcast, valid
+// while the membership epoch they were built under still holds.
+type pending struct {
+	inject   attack.InjectionSpec
+	reps     []*wire.Report
+	byWorker map[int]arrival.Spec
+	bounds   map[int][2]int
+	epoch    int
+}
+
+// engine drives one cluster game over a worker pool: the round loop, both
+// fan-outs per round, the record bookkeeping, and — when enabled — the
+// pipelined schedule. The per-game behavior plugs in through game.
+type engine struct {
+	game      Game
+	pool      *workerPool
+	board     *Board
+	collector trim.Strategy
+
+	rounds    int
+	batch     int
+	poison    int
+	baselineQ float64
+
+	// gen and si select shard-local generation (nil = coordinator-fed).
+	gen *ShardGen
+	si  attack.SpecInjector
+
+	// pipeline enables the overlapped round schedule (shard-local only).
+	pipeline bool
+
+	onRound func(RoundRecord)
+
+	// resume, when non-nil, restores a checkpointed game after the
+	// configure fan-out and returns the round to continue at.
+	resume func() (int, error)
+
+	// checkpointDue/checkpoint implement the snapshot cadence (scalar game
+	// only today); nil disables.
+	checkpointDue func(r int) bool
+	checkpoint    func(r int) error
+}
+
+// run plays the game: configure (and resume, if any), then the round loop.
+func (en *engine) run() error {
+	if err := en.pool.configure(en.game.confDirective()); err != nil {
+		return err
+	}
+	start := 1
+	if en.resume != nil {
+		var err error
+		if start, err = en.resume(); err != nil {
+			return err
+		}
+	}
+	var pend *pending
+	for r := start; r <= en.rounds; r++ {
+		en.pool.beginRound(r)
+		pct := en.collector.Threshold(r, en.board.collectorView())
+		if err := en.game.preRound(en, r); err != nil {
+			return err
+		}
+
+		// Phase 1: obtain the round's shard summaries — from the pipeline's
+		// speculative fan-out when it is still valid, else a fresh fan-out.
+		reps, byWorker, pctSum, err := en.phase1(r, &pend)
+		if err != nil {
+			return err
+		}
+		roundPoison := en.poison
+		if en.gen != nil {
+			roundPoison = 0
+			for _, rep := range reps {
+				spec := byWorker[rep.Worker]
+				pctSum += rep.PctSum
+				roundPoison += spec.PoisonN
+				en.game.foldGen(rep, spec)
+			}
+		}
+		merged, mCount, mSum := mergeSummarizeReports(reps)
+
+		rec := RoundRecord{
+			Round:           r,
+			ThresholdPct:    pct,
+			ThresholdValue:  en.game.threshold(pct, merged),
+			Quality:         en.game.quality(merged),
+			BaselineQuality: en.baselineQ,
+		}
+		if roundPoison > 0 {
+			rec.MeanInjectionPct = pctSum / float64(roundPoison)
+		} else {
+			rec.MeanInjectionPct = math.NaN()
+		}
+
+		// Phase 2: broadcast the threshold — with round r+1's generation
+		// piggybacked when the pipeline may speculate — and fold counts and
+		// kept-pool deltas.
+		creps, err := en.classifyRound(r, pct, rec.ThresholdValue, &pend)
+		if err != nil {
+			return err
+		}
+		for _, rep := range creps {
+			addCounts(&rec, rep.Counts)
+			if err := en.game.foldClassify(en, r, &rec, rep); err != nil {
+				return err
+			}
+		}
+		en.game.endRound(merged, mCount, mSum)
+		en.board.Post(rec)
+		en.pool.timing.Rounds++
+		if en.onRound != nil {
+			en.onRound(rec)
+		}
+		if en.checkpointDue != nil && en.checkpointDue(r) {
+			if err := en.checkpoint(r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// phase1 produces round r's summarize reports. Order of preference: consume
+// the speculated fan-out (no RTT), rebuild it from the already-drawn spec
+// after a flush, fan a fresh shard-local generate, or fan a coordinator-fed
+// summarize built by the game.
+func (en *engine) phase1(r int, pend **pending) ([]*wire.Report, map[int]arrival.Spec, float64, error) {
+	if p := *pend; p != nil {
+		*pend = nil
+		if p.epoch == en.pool.epoch() {
+			// The speculation is still valid: this round's phase 1 already
+			// rode on the previous classify broadcast.
+			en.pool.setRanges(p.bounds)
+			return p.reps, p.byWorker, 0, nil
+		}
+		// Flush: the membership changed between speculation and consumption
+		// (a worker lost during the combined call, or a boundary drop or
+		// re-admission). The injection spec was drawn exactly once already —
+		// rebuild the directives over the new live set and re-fan; workers
+		// overwrite their speculated round state.
+		reps, byWorker, err := en.generate(r, p.inject)
+		return reps, byWorker, 0, err
+	}
+	if en.gen != nil {
+		inject := en.si.InjectionSpec(r, en.board.adversaryView())
+		reps, byWorker, err := en.generate(r, inject)
+		return reps, byWorker, 0, err
+	}
+	dirs, pctSum, err := en.game.feed(en, r)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	reps, err := en.pool.callAll(r, "summarize", dirs)
+	return reps, nil, pctSum, err
+}
+
+// genDirs builds the shard-local phase-1 directives for round r from a
+// drawn injection spec: one O(1) generator spec per live worker, the RNG
+// seed derived per (slot, round) — the slot is the worker's position in the
+// live set, which is what repartitions the derived streams over any
+// membership epoch. Loss ranges are NOT registered here: a speculative
+// build must not clobber the in-flight round's ranges (the caller registers
+// them at consumption).
+func (en *engine) genDirs(r int, inject attack.InjectionSpec) ([]*wire.Directive, map[int]arrival.Spec, map[int][2]int) {
+	alive := en.pool.alive()
+	specs := genSpecs(en.batch, en.poison, inject, en.game.jitter(), len(alive))
+	dirs := make([]*wire.Directive, len(alive))
+	byWorker := make(map[int]arrival.Spec, len(alive))
+	bounds := make(map[int][2]int, len(alive))
+	for i, w := range alive {
+		dirs[i] = &wire.Directive{Op: en.game.genOp(), Round: r, Gen: arrival.SpecToWire(en.gen.seed(i, r), specs[i])}
+		en.game.decorate(dirs[i])
+		byWorker[w] = specs[i]
+		lo, hi := shardBounds(en.batch, len(alive), i)
+		bounds[w] = [2]int{lo, hi}
+	}
+	return dirs, byWorker, bounds
+}
+
+// generate fans a standalone shard-local phase 1 out for round r.
+func (en *engine) generate(r int, inject attack.InjectionSpec) ([]*wire.Report, map[int]arrival.Spec, error) {
+	dirs, byWorker, bounds := en.genDirs(r, inject)
+	en.pool.setRanges(bounds)
+	reps, err := en.pool.callAll(r, "generate", dirs)
+	return reps, byWorker, err
+}
+
+// classifyRound fans round r's threshold broadcast out. When the pipeline
+// may speculate, round r+1's generator specs ride along as a combined
+// OpClassifyGenerate and the replies (classify r + summarize r+1 in one)
+// are stashed in pend for the next iteration.
+func (en *engine) classifyRound(r int, pct, threshold float64, pend **pending) ([]*wire.Report, error) {
+	dirs := en.pool.classifyDirs(r, pct, threshold)
+	phase := "classify"
+	var next *pending
+	if en.speculate(r) {
+		// Draw round r+1's injection spec now: the adversary's view after
+		// round r is {Round, ThresholdPct}, both already fixed — identical
+		// to what an unpipelined run would pass after posting the record.
+		inject := en.si.InjectionSpec(r+1, attack.Observation{Round: r, ThresholdPct: pct})
+		gdirs, byWorker, bounds := en.genDirs(r+1, inject)
+		for i := range dirs {
+			dirs[i].Op = wire.OpClassifyGenerate
+			dirs[i].Gen = gdirs[i].Gen
+		}
+		// The epoch stamp is taken before the call: a worker lost during the
+		// combined broadcast bumps it and invalidates the speculation.
+		next = &pending{inject: inject, byWorker: byWorker, bounds: bounds, epoch: en.pool.epoch()}
+		phase = "classify+generate"
+	}
+	reps, err := en.pool.callAll(r, phase, dirs)
+	if err != nil {
+		return nil, err
+	}
+	if next != nil {
+		next.reps = reps
+		*pend = next
+	}
+	return reps, nil
+}
+
+// speculate reports whether round r+1's generation may ride on round r's
+// classify broadcast: the pipeline is on, the game is shard-local and
+// speculation-safe, a next round exists, and no checkpoint is due at this
+// boundary — checkpoints cut at a drained pipeline, so a resumed run
+// replays exactly what the checkpointing run did.
+func (en *engine) speculate(r int) bool {
+	return en.pipeline && en.gen != nil && en.game.speculative() && r < en.rounds &&
+		!(en.checkpointDue != nil && en.checkpointDue(r))
+}

@@ -6,7 +6,6 @@ import (
 	"math/rand"
 
 	"repro/internal/attack"
-	"repro/internal/fleet"
 	"repro/internal/ldp"
 	"repro/internal/stats"
 	"repro/internal/trim"
@@ -81,17 +80,9 @@ type LDPResult struct {
 	// consumes this, since it filters rather than trims. Cluster runs only
 	// fill it when LDPClusterConfig.KeepAllReports is set.
 	AllReports []float64
-	// LostShards counts worker-loss events in a cluster run's failure
-	// handling (always 0 for in-process games); Losses, FleetEvents and
-	// WholeSince carry the detail — see Result.
-	LostShards  int
-	Losses      []ShardLoss
-	FleetEvents []fleet.Event
-	WholeSince  int
-	// EgressBytes / EgressConfigBytes: coordinator outbound directive
-	// traffic; see Result.
-	EgressBytes       int64
-	EgressConfigBytes int64
+	// ClusterStats carries the loss, membership, egress and per-phase
+	// timing account of a cluster run (all zero for in-process games).
+	ClusterStats
 }
 
 // RunLDP plays the LDP collection game. The non-deterministic utility of §V

@@ -1,0 +1,397 @@
+package collect
+
+import (
+	"net"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/fleet"
+	"repro/internal/stats"
+)
+
+// countingTransport counts transport calls — the deterministic measure of
+// the pipelined schedule's RTT win (wall-clock assertions would flake).
+type countingTransport struct {
+	cluster.Transport
+	mu    sync.Mutex
+	calls int
+}
+
+func (c *countingTransport) Call(w int, req []byte) ([]byte, error) {
+	c.mu.Lock()
+	c.calls++
+	c.mu.Unlock()
+	return c.Transport.Call(w, req)
+}
+
+func (c *countingTransport) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls
+}
+
+// The acceptance bar of the pipelined schedule: a pipelined shard-local run
+// must reproduce the unpipelined run — and hence the single-process
+// RunSharded reference — record for record, with identical kept-stream
+// estimates, while making roughly half the transport calls (configure +
+// R+1 fan-outs instead of configure + 2R fan-outs).
+func TestPipelinedEqualsUnpipelinedScalar(t *testing.T) {
+	for _, workers := range []int{2, 4} {
+		gen := &ShardGen{MasterSeed: 90}
+		cfg := shardLocalConfig(t)
+
+		run := func(pipeline bool) (*Result, int) {
+			ct := &countingTransport{Transport: cluster.NewLoopback(workers)}
+			res, err := RunCluster(ClusterConfig{
+				Config:    cfg,
+				Transport: ct,
+				Gen:       gen,
+				Pipeline:  pipeline,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res, ct.count()
+		}
+		plain, plainCalls := run(false)
+		piped, pipedCalls := run(true)
+
+		for i := range plain.Board.Records {
+			if !plain.Board.Records[i].Equal(piped.Board.Records[i]) {
+				t.Errorf("workers=%d round %d diverged under -pipeline:\nplain %+v\npiped %+v",
+					workers, i+1, plain.Board.Records[i], piped.Board.Records[i])
+			}
+		}
+		if plain.Kept.Count() != piped.Kept.Count() || plain.Kept.Sum() != piped.Kept.Sum() {
+			t.Errorf("workers=%d: kept streams diverged under -pipeline", workers)
+		}
+		if plain.Received.Count() != piped.Received.Count() || plain.Received.Sum() != piped.Received.Sum() {
+			t.Errorf("workers=%d: received streams diverged under -pipeline", workers)
+		}
+
+		// Calls: configure + (generate + classify) per round + stop, vs
+		// configure + generate + combined×(R−1) + final classify + stop.
+		r := cfg.Rounds
+		if want := workers * (2*r + 2); plainCalls != want {
+			t.Errorf("workers=%d: unpipelined made %d calls, want %d", workers, plainCalls, want)
+		}
+		if want := workers * (r + 3); pipedCalls != want {
+			t.Errorf("workers=%d: pipelined made %d calls, want %d", workers, pipedCalls, want)
+		}
+
+		// Timing: the pipelined run's standalone Generate share collapses
+		// into the combined Classify broadcasts.
+		if piped.Timing.Rounds != r || plain.Timing.Rounds != r {
+			t.Errorf("workers=%d: timing rounds %d/%d, want %d", workers, piped.Timing.Rounds, plain.Timing.Rounds, r)
+		}
+		if plain.Timing.Generate <= 0 || plain.Timing.Classify <= 0 || piped.Timing.Classify <= 0 {
+			t.Errorf("workers=%d: zero phase timings: plain %+v piped %+v", workers, plain.Timing, piped.Timing)
+		}
+	}
+}
+
+// The LDP game pipelines the same way: records, mean estimate and the
+// honest-input aggregate behind TrueMean all reproduce exactly.
+func TestPipelinedEqualsUnpipelinedLDP(t *testing.T) {
+	gen := &ShardGen{MasterSeed: 91}
+	run := func(pipeline bool) *LDPResult {
+		res, err := RunClusterLDP(LDPClusterConfig{
+			LDPConfig: shardLocalLDPConfig(t),
+			Transport: cluster.NewLoopback(3),
+			Gen:       gen,
+			Pipeline:  pipeline,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain, piped := run(false), run(true)
+	for i := range plain.Board.Records {
+		if !plain.Board.Records[i].Equal(piped.Board.Records[i]) {
+			t.Errorf("round %d diverged under -pipeline", i+1)
+		}
+	}
+	if plain.MeanEstimate != piped.MeanEstimate || plain.TrueMean != piped.TrueMean {
+		t.Errorf("estimates diverged: mean %v/%v true %v/%v",
+			plain.MeanEstimate, piped.MeanEstimate, plain.TrueMean, piped.TrueMean)
+	}
+}
+
+// The row game accepts -pipeline but cannot overlap (its next-round
+// generation needs the center refreshed from this round's accepted
+// deltas), so the run — schedule included — is identical to unpipelined.
+func TestPipelinedRowsIsIdentitySchedule(t *testing.T) {
+	mk := func() RowConfig {
+		d := dataset.VehicleN(stats.NewRand(92), 300)
+		adv, err := attack.NewPoint("p", 0.99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return RowConfig{
+			Rounds: 5, Batch: 100, AttackRatio: 0.2,
+			Data: d, Collector: mustStatic(t, 0.9), Adversary: adv,
+			PoisonLabel: -1,
+		}
+	}
+	gen := &ShardGen{MasterSeed: 93}
+	run := func(pipeline bool) (*RowResult, int) {
+		ct := &countingTransport{Transport: cluster.NewLoopback(3)}
+		res, err := RunClusterRows(RowClusterConfig{
+			RowConfig: mk(),
+			Transport: ct,
+			Gen:       gen,
+			Pipeline:  pipeline,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, ct.count()
+	}
+	plain, plainCalls := run(false)
+	piped, pipedCalls := run(true)
+	for i := range plain.Board.Records {
+		if !plain.Board.Records[i].Equal(piped.Board.Records[i]) {
+			t.Errorf("round %d diverged under -pipeline", i+1)
+		}
+	}
+	if plainCalls != pipedCalls {
+		t.Errorf("row game schedule changed under -pipeline: %d vs %d calls", plainCalls, pipedCalls)
+	}
+	if got := len(piped.Kept.X); got != len(plain.Kept.X) {
+		t.Errorf("kept pool %d vs %d rows", got, len(plain.Kept.X))
+	}
+}
+
+// Pipelining requires the shard-local data plane on every game.
+func TestPipelineRequiresShardGen(t *testing.T) {
+	ccfg := clusterConfig(t, 94, 2)
+	ccfg.Pipeline = true
+	if _, err := RunCluster(ccfg); err == nil || !strings.Contains(err.Error(), "shard-local") {
+		t.Errorf("scalar: err = %v, want shard-local rejection", err)
+	}
+	lcfg := LDPClusterConfig{
+		LDPConfig: shardLocalLDPConfig(t),
+		Transport: cluster.NewLoopback(2),
+		Pipeline:  true,
+	}
+	lcfg.Rng = stats.NewRand(1)
+	if _, err := RunClusterLDP(lcfg); err == nil || !strings.Contains(err.Error(), "shard-local") {
+		t.Errorf("ldp: err = %v, want shard-local rejection", err)
+	}
+}
+
+// A pipelined run over real TCP sockets matches the single-process
+// RunSharded reference record for record — the combined op crosses the
+// wire like any other directive.
+func TestPipelinedOverTCPMatchesReference(t *testing.T) {
+	const workers = 3
+	gen := &ShardGen{MasterSeed: 95}
+	reference, err := RunSharded(ShardedConfig{
+		Config: shardLocalConfig(t), Shards: workers, Gen: gen,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	addrs := make([]string, workers)
+	for i := 0; i < workers; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		w := cluster.NewWorker(i)
+		go func() {
+			if err := cluster.Serve(ln, w); err != nil {
+				t.Errorf("worker serve: %v", err)
+			}
+		}()
+	}
+	tr, err := cluster.Dial(addrs, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	piped, err := RunCluster(ClusterConfig{
+		Config:    shardLocalConfig(t),
+		Transport: tr,
+		Gen:       gen,
+		Pipeline:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reference.Board.Records {
+		if !reference.Board.Records[i].Equal(piped.Board.Records[i]) {
+			t.Errorf("round %d diverged between reference and pipelined TCP run:\nreference %+v\npiped     %+v",
+				i+1, reference.Board.Records[i], piped.Board.Records[i])
+		}
+	}
+}
+
+// Kill/re-join under -pipeline: the speculation built under the old
+// membership epoch is flushed at the next boundary, the survivors
+// repartition exactly as an unpipelined run would, and the fleet invariant
+// holds — pre-loss and post-recovery records match the uninterrupted
+// reference record for record.
+func TestPipelinedRejoinMatchesReference(t *testing.T) {
+	const workers = 3
+	const failAfter, respawnAfter = 3, 5
+	gen := &ShardGen{MasterSeed: 96}
+
+	reference, err := RunSharded(ShardedConfig{
+		Config: shardLocalConfig(t), Shards: workers, Gen: gen,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lb := cluster.NewLoopback(workers)
+	cfg := ClusterConfig{
+		Config:    shardLocalConfig(t),
+		Transport: lb,
+		Gen:       gen,
+		Pipeline:  true,
+		Fleet:     &fleet.Config{Rejoin: true},
+	}
+	cfg.OnRound = rejoinPattern(failAfter, respawnAfter,
+		func() { lb.Fail(1) }, func() { lb.Respawn(1) })
+	res, err := RunCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The kill lands between the combined broadcast of round failAfter and
+	// the next one, so the loss surfaces at round failAfter+1's combined
+	// call; the speculated round failAfter+2 is flushed and re-fanned over
+	// the survivors.
+	if res.LostShards != 1 || len(res.Losses) != 1 {
+		t.Fatalf("LostShards %d, Losses %+v", res.LostShards, res.Losses)
+	}
+	loss := res.Losses[0]
+	lo, hi := shardBounds(cfg.Batch, workers, 1)
+	if loss.Round != failAfter+1 || loss.Worker != 1 || loss.Phase != "classify+generate" ||
+		loss.Lo != lo || loss.Hi != hi {
+		t.Fatalf("loss = %+v, want round %d worker 1 classify+generate [%d, %d)", loss, failAfter+1, lo, hi)
+	}
+	if res.WholeSince != respawnAfter+1 {
+		t.Fatalf("WholeSince = %d, want %d (events %+v)", res.WholeSince, respawnAfter+1, res.FleetEvents)
+	}
+
+	for i := 0; i < failAfter; i++ {
+		if !reference.Board.Records[i].Equal(res.Board.Records[i]) {
+			t.Errorf("pre-loss round %d diverged:\nreference %+v\npipelined %+v",
+				i+1, reference.Board.Records[i], res.Board.Records[i])
+		}
+	}
+	// The failure round's classify tallies run short (its summarize share
+	// was speculated before the kill, so only the classify slice is gone).
+	short := res.Board.Records[failAfter]
+	if short.HonestKept+short.HonestTrimmed >= cfg.Batch {
+		t.Errorf("failure round tally %d not short of %d", short.HonestKept+short.HonestTrimmed, cfg.Batch)
+	}
+	for i := res.WholeSince - 1; i < cfg.Rounds; i++ {
+		if !reference.Board.Records[i].Equal(res.Board.Records[i]) {
+			t.Errorf("post-recovery round %d diverged:\nreference %+v\npipelined %+v",
+				i+1, reference.Board.Records[i], res.Board.Records[i])
+		}
+	}
+}
+
+// Checkpoint/resume under -pipeline: checkpoints cut at a drained pipeline,
+// so a pipelined checkpointing run matches the unpipelined one bit for bit,
+// and a pipelined resume from any of its snapshots finishes identically.
+func TestPipelinedCheckpointResume(t *testing.T) {
+	const workers = 3
+	gen := &ShardGen{MasterSeed: 97}
+	dir := t.TempDir()
+	ck, err := fleet.NewCheckpointer(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	piped, err := RunCluster(ClusterConfig{
+		Config:     shardLocalConfig(t),
+		Transport:  cluster.NewLoopback(workers),
+		Gen:        gen,
+		Pipeline:   true,
+		Checkpoint: ck,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The pipelined checkpointing run equals the unpipelined plain run.
+	plain, err := RunCluster(ClusterConfig{
+		Config:    shardLocalConfig(t),
+		Transport: cluster.NewLoopback(workers),
+		Gen:       gen,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameFinalState(t, plain, piped)
+
+	// Resume — itself pipelined — from the earliest snapshot, so the
+	// longest possible pipelined window replays (rounds 4..10).
+	snap, err := fleet.Load(filepath.Join(dir, "checkpoint-000003.tq"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.NextRound != 4 {
+		t.Fatalf("snapshot next round %d, want 4", snap.NextRound)
+	}
+	resumed, err := RunCluster(ClusterConfig{
+		Config:    shardLocalConfig(t),
+		Transport: cluster.NewLoopback(workers),
+		Gen:       gen,
+		Pipeline:  true,
+		Resume:    snap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameFinalState(t, piped, resumed)
+}
+
+// The delay-injecting transport makes the RTT win observable without real
+// sockets: with a 2 ms per-call latency the pipelined run's data-plane
+// wall clock must undercut the unpipelined run's by a clear margin (the
+// sleep floor alone guarantees ~2× at these fan-out counts; the assertion
+// keeps slack for scheduler noise on a loaded machine).
+func TestPipelinedUndercutsDelayedUnpipelined(t *testing.T) {
+	gen := &ShardGen{MasterSeed: 98}
+	cfg := shardLocalConfig(t)
+	cfg.Batch = 100 // latency-dominated on purpose
+	run := func(pipeline bool) Timing {
+		res, err := RunCluster(ClusterConfig{
+			Config:    cfg,
+			Transport: cluster.WithDelay(cluster.NewLoopback(2), 2*time.Millisecond),
+			Gen:       gen,
+			Pipeline:  pipeline,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Timing
+	}
+	plain, piped := run(false), run(true)
+	if plain.DataPlane() <= 0 || piped.DataPlane() <= 0 {
+		t.Fatalf("empty timings: plain %+v piped %+v", plain, piped)
+	}
+	// Sleep floors: unpipelined ≥ 2R fan-outs × 2 ms, pipelined ≥ (R+1) ×
+	// 2 ms. Demand the pipelined run beat 3/4 of the unpipelined one —
+	// far above the expected ~1/2, immune to one-sided sleep jitter.
+	if piped.DataPlane() >= plain.DataPlane()*3/4 {
+		t.Errorf("pipelined data plane %v did not undercut unpipelined %v", piped.DataPlane(), plain.DataPlane())
+	}
+	if piped.PerRound() <= 0 {
+		t.Errorf("PerRound = %v", piped.PerRound())
+	}
+}

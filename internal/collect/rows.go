@@ -8,7 +8,6 @@ import (
 	"repro/internal/arrival"
 	"repro/internal/attack"
 	"repro/internal/dataset"
-	"repro/internal/fleet"
 	"repro/internal/stats"
 	"repro/internal/stats/summary"
 	"repro/internal/trim"
@@ -94,17 +93,9 @@ type RowResult struct {
 	Kept *dataset.Dataset
 	// KeptPoison counts poison rows that survived trimming.
 	KeptPoison int
-	// LostShards counts worker-loss events in a cluster run's failure
-	// handling (always 0 for in-process games); Losses, FleetEvents and
-	// WholeSince carry the detail — see Result.
-	LostShards  int
-	Losses      []ShardLoss
-	FleetEvents []fleet.Event
-	WholeSince  int
-	// EgressBytes / EgressConfigBytes: coordinator outbound directive
-	// traffic; see Result.
-	EgressBytes       int64
-	EgressConfigBytes int64
+	// ClusterStats carries the loss, membership, egress and per-phase
+	// timing account of a cluster run (all zero for in-process games).
+	ClusterStats
 }
 
 // acceptedCenter tracks the collector's robust reference center — the

@@ -6,7 +6,6 @@ import (
 	"math/rand"
 
 	"repro/internal/attack"
-	"repro/internal/fleet"
 	"repro/internal/stats"
 	"repro/internal/stats/summary"
 	"repro/internal/trim"
@@ -162,32 +161,9 @@ type Result struct {
 	// KeptMean is exact and KeptQuantile is within the summary ε.
 	Kept *summary.Stream
 
-	// LostShards counts worker-loss events in a cluster run's failure
-	// handling (always 0 for in-process games): each loss means one
-	// shard's round slice went missing from the tallies of the round it
-	// died in. Losses carries the detail — round, phase and the honest-
-	// batch range each lost slot held.
-	LostShards int
-	Losses     []ShardLoss
-
-	// FleetEvents is the membership change log (drops and — under fleet
-	// supervision with re-join — admissions), each stamped with the epoch
-	// it created. WholeSince is the first round from which the live set has
-	// been continuously whole: 1 for an undisturbed run, 0 when the run
-	// ended degraded. From WholeSince on, a shard-local run's records match
-	// the uninterrupted reference record for record (given board-oblivious
-	// strategies; see DESIGN.md §8).
-	FleetEvents []fleet.Event
-	WholeSince  int
-
-	// EgressBytes is the coordinator's total outbound directive traffic
-	// over the transport (configure + every round fan-out, before the
-	// final stop broadcast); EgressConfigBytes is the one-time configure
-	// share. Both are 0 for in-process games. Per-round data-plane egress
-	// is (EgressBytes − EgressConfigBytes) / rounds: O(batch) under
-	// coordinator-fed generation, O(workers) under a ShardGen.
-	EgressBytes       int64
-	EgressConfigBytes int64
+	// ClusterStats carries the loss, membership, egress and per-phase
+	// timing account of a cluster run (all zero for in-process games).
+	ClusterStats
 }
 
 // KeptMean estimates the mean of the retained pool: exact from the Kept

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/cluster"
+	"repro/internal/collect"
+	"repro/internal/stats"
+	"repro/internal/trim"
+)
+
+// PipelineRow is one (latency, workers) cell of the pipelining study: the
+// measured data-plane ms/round of the unpipelined and pipelined schedules
+// under an injected per-call latency, and the resulting speedup.
+type PipelineRow struct {
+	DelayMillis float64
+	Workers     int
+	PlainMillis float64 // unpipelined data-plane ms/round
+	PipedMillis float64 // pipelined data-plane ms/round
+	Speedup     float64 // PlainMillis / PipedMillis
+}
+
+// PipelineResult is the pipelined-rounds study (DESIGN.md §9): the
+// shard-local scalar cluster game run over a delay-injecting loopback
+// transport (cluster.WithDelay), unpipelined vs pipelined, across a grid
+// of injected latencies and worker counts. Every pipelined run is verified
+// record for record against its unpipelined twin before its timing is
+// reported — the speedup is only meaningful if the boards are identical.
+type PipelineResult struct {
+	Rounds int
+	Batch  int
+	Rows   []PipelineRow
+}
+
+// Pipelining runs the study. Defaults: 1/5/20 ms injected per-call
+// latency, 2 and 4 workers.
+func Pipelining(sc Scale, delays []time.Duration, workerCounts []int) (*PipelineResult, error) {
+	if len(delays) == 0 {
+		delays = []time.Duration{time.Millisecond, 5 * time.Millisecond, 20 * time.Millisecond}
+	}
+	if len(workerCounts) == 0 {
+		workerCounts = []int{2, 4}
+	}
+	rounds := sc.Rounds
+	batch := sc.Batch * 10 // latency-dominated on purpose: small per-shard work
+	ref := stats.NormalSlice(stats.NewRand(sc.Seed), 5000, 0, 1)
+
+	run := func(delay time.Duration, workers int, pipeline bool) (*collect.Result, error) {
+		static, err := trim.NewStatic("s", 0.9)
+		if err != nil {
+			return nil, err
+		}
+		adv, err := attack.NewRange("Baseline0.9", 0.9, 1)
+		if err != nil {
+			return nil, err
+		}
+		return collect.RunCluster(collect.ClusterConfig{
+			Config: collect.Config{
+				Rounds: rounds, Batch: batch, AttackRatio: 0.2,
+				Reference: ref,
+				Collector: static, Adversary: adv,
+				TrimOnBatch: true,
+			},
+			Transport: cluster.WithDelay(cluster.NewLoopback(workers), delay),
+			Gen:       &collect.ShardGen{MasterSeed: sc.Seed},
+			Pipeline:  pipeline,
+		})
+	}
+
+	res := &PipelineResult{Rounds: rounds, Batch: batch}
+	for _, delay := range delays {
+		for _, workers := range workerCounts {
+			plain, err := run(delay, workers, false)
+			if err != nil {
+				return nil, err
+			}
+			piped, err := run(delay, workers, true)
+			if err != nil {
+				return nil, err
+			}
+			for i := range plain.Board.Records {
+				if !plain.Board.Records[i].Equal(piped.Board.Records[i]) {
+					return nil, fmt.Errorf("experiments: pipelining diverged at delay %v workers %d round %d",
+						delay, workers, i+1)
+				}
+			}
+			pm := float64(plain.Timing.PerRound().Microseconds()) / 1000
+			qm := float64(piped.Timing.PerRound().Microseconds()) / 1000
+			row := PipelineRow{
+				DelayMillis: float64(delay.Microseconds()) / 1000,
+				Workers:     workers,
+				PlainMillis: pm,
+				PipedMillis: qm,
+			}
+			if qm > 0 {
+				row.Speedup = pm / qm
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// Print emits the study.
+func (r *PipelineResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Pipelined rounds (batch %d, %d rounds, shard-local, boards verified identical)\n", r.Batch, r.Rounds)
+	fmt.Fprintf(w, "%-10s %-8s %-16s %-16s %-8s\n",
+		"delay ms", "workers", "plain ms/round", "piped ms/round", "speedup")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-10.0f %-8d %-16.2f %-16.2f %-8.2f\n",
+			row.DelayMillis, row.Workers, row.PlainMillis, row.PipedMillis, row.Speedup)
+	}
+}

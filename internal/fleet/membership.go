@@ -34,7 +34,13 @@ func NewMembership(n int) *Membership {
 func (m *Membership) Slots() int { return m.n }
 
 // Epoch returns the current membership epoch: 0 at game start, incremented
-// by every drop and every admission.
+// by every drop and every admission. Besides naming the repartitioning
+// generation, the epoch is the validity stamp of the engine's pipelined
+// round schedule: a speculated round built under one epoch may only be
+// consumed under the same epoch — any membership change in between (a drop
+// mid-broadcast, a boundary drop or re-admission) forces the coordinator
+// to flush and re-fan the round over the new live set, which is what keeps
+// kill/rejoin runs record-for-record comparable under -pipeline.
 func (m *Membership) Epoch() int { return m.epoch }
 
 // Alive returns the live slots in shard-slot order. The slice is shared;

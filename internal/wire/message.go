@@ -9,7 +9,7 @@ import (
 // Op is the coordinator → worker operation code inside a Directive.
 type Op byte
 
-// The protocol operations of format version 3. A coordinator-fed round is
+// The protocol operations of format version 4. A coordinator-fed round is
 // two phases: Summarize (ship arrivals, get summary deltas back) then
 // Classify (broadcast the resolved threshold, get counts and kept-pool
 // deltas back). A shard-local round replaces the Summarize phase with
@@ -21,21 +21,29 @@ type Op byte
 // supervisor's liveness probe, Hello the admission handshake that asks a
 // candidate worker for its state, and Join the membership grant that tells
 // an admitted worker which epoch it serves from.
+//
+// ClassifyGenerate is the pipelined round schedule (DESIGN.md §9): one
+// broadcast that classifies the held round (Round, Threshold) and then
+// draws the NEXT round's shard locally from Gen — the worker holds the
+// generated slice as round Round+1 and its reply carries both the classify
+// tallies of round Round and the summarize delta of round Round+1, so a
+// steady-state shard-local round costs one RTT instead of two.
 const (
-	OpConfigure     Op = 1  // set the worker's ε budget and data-plane state
-	OpSummarize     Op = 2  // scalar arrivals: build the shard summary
-	OpSummarizeRows Op = 3  // row arrivals + center: summarize distances
-	OpClassify      Op = 4  // classify the held arrivals against Threshold
-	OpStop          Op = 5  // end of game; the worker may shut down
-	OpGenerate      Op = 6  // draw scalar/LDP arrivals locally from Gen, then summarize
-	OpGenerateRows  Op = 7  // draw row arrivals locally from Gen + Center, then summarize
-	OpScale         Op = 8  // summarize distances of dataset[Lo:Hi] from Center
-	OpHeartbeat     Op = 9  // liveness probe; reply echoes state, mutates nothing
-	OpHello         Op = 10 // admission handshake: report Configured, mutate nothing
-	OpJoin          Op = 11 // membership grant: serve shard slots from Epoch on
+	OpConfigure        Op = 1  // set the worker's ε budget and data-plane state
+	OpSummarize        Op = 2  // scalar arrivals: build the shard summary
+	OpSummarizeRows    Op = 3  // row arrivals + center: summarize distances
+	OpClassify         Op = 4  // classify the held arrivals against Threshold
+	OpStop             Op = 5  // end of game; the worker may shut down
+	OpGenerate         Op = 6  // draw scalar/LDP arrivals locally from Gen, then summarize
+	OpGenerateRows     Op = 7  // draw row arrivals locally from Gen + Center, then summarize
+	OpScale            Op = 8  // summarize distances of dataset[Lo:Hi] from Center
+	OpHeartbeat        Op = 9  // liveness probe; reply echoes state, mutates nothing
+	OpHello            Op = 10 // admission handshake: report Configured, mutate nothing
+	OpJoin             Op = 11 // membership grant: serve shard slots from Epoch on
+	OpClassifyGenerate Op = 12 // classify round Round, then generate round Round+1 from Gen
 )
 
-func (o Op) valid() bool { return o >= OpConfigure && o <= OpJoin }
+func (o Op) valid() bool { return o >= OpConfigure && o <= OpClassifyGenerate }
 
 // Counts are one shard's classification tallies for a round — the partial
 // RoundRecord the coordinator reduces across shards.

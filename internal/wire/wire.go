@@ -31,14 +31,17 @@ import (
 // configure payloads, kept-row returns) with an incompatible layout;
 // 3 added the fleet runtime (membership epochs in directives and reports,
 // Hello/Join/Heartbeat ops, coordinator snapshots) and the GRR mechanism
-// arity, again with an incompatible layout.
-const Version = 3
+// arity, again with an incompatible layout; 4 added the pipelined round
+// schedule's combined ClassifyGenerate op (round r's threshold broadcast
+// carrying round r+1's generator spec, so the two phases share one RTT).
+const Version = 4
 
 // MinVersion is the oldest format this decoder still parses. Each version
-// so far changed the fixed layout of directives and reports, so its
-// predecessor is retired: a mixed-version cluster fails loudly at the
-// configure fan-out instead of misparsing.
-const MinVersion = 3
+// so far changed the protocol contract (layout, or — v4 — an op an older
+// worker would reject mid-game), so its predecessor is retired: a
+// mixed-version cluster fails loudly at the configure fan-out instead of
+// misparsing or dying rounds later.
+const MinVersion = 4
 
 const (
 	magic0 = 'T'

@@ -219,6 +219,13 @@ func TestDirectiveRoundTrip(t *testing.T) {
 				Scale: summary.FromUnsorted([]float64{0.5, 1.5, 2.5}),
 			},
 		},
+		{ // pipelined combined op: classify round 5, generate round 6
+			Op: OpClassifyGenerate, Round: 5, Pct: 0.9, Threshold: 1.5,
+			Gen: &GenSpec{
+				Seed: 7, HonestN: 100, PoisonN: 20,
+				InjectKind: 1, InjectHi: 0.99, Jitter: 1e-6,
+			},
+		},
 	}
 	for i, d := range dirs {
 		got, err := DecodeDirective(EncodeDirective(nil, d))

@@ -11,6 +11,11 @@
 # Scenario B — coordinator kill + resume: the coordinator is killed
 # mid-game and restarted with `-resume`; it must finish from its latest
 # checkpoint and match the reference record for record.
+#
+# COORD_FLAGS adds extra coordinator flags to every run — CI runs the
+# whole script a second time with COORD_FLAGS=-pipeline so the overlapped
+# round schedule survives the same kill -9 chaos (speculation must flush at
+# the membership change and the -local verification must still pass).
 set -euo pipefail
 
 TRIMLAB="${TRIMLAB:-/tmp/trimlab-chaos}"
@@ -20,6 +25,7 @@ PORT1="${PORT1:-7402}"
 ROUNDS=150
 BATCH=100000
 SEED=7
+COORD_FLAGS="${COORD_FLAGS:-}"
 
 cleanup() {
   pkill -P $$ 2>/dev/null || true
@@ -33,7 +39,7 @@ echo "== scenario A: worker kill + re-join =="
 "$TRIMLAB" worker -listen "127.0.0.1:$PORT1" -id 1 >"$WORKDIR/w1.log" 2>&1 &
 W1_PID=$!
 "$TRIMLAB" coordinator -workers "127.0.0.1:$PORT0,127.0.0.1:$PORT1" \
-  -local -rejoin -heartbeat 100ms -rounds "$ROUNDS" -batch "$BATCH" -seed "$SEED" \
+  -local -rejoin -heartbeat 100ms -rounds "$ROUNDS" -batch "$BATCH" -seed "$SEED" $COORD_FLAGS \
   >"$WORKDIR/coordA.log" 2>&1 &
 COORD_PID=$!
 sleep 1.5
@@ -64,7 +70,7 @@ CKPT="$WORKDIR/ckpt"
 "$TRIMLAB" worker -listen "127.0.0.1:$PORT0" -id 0 >"$WORKDIR/w0b.log" 2>&1 &
 "$TRIMLAB" worker -listen "127.0.0.1:$PORT1" -id 1 >"$WORKDIR/w1c.log" 2>&1 &
 "$TRIMLAB" coordinator -workers "127.0.0.1:$PORT0,127.0.0.1:$PORT1" \
-  -local -checkpoint-dir "$CKPT" -checkpoint-every 10 -rounds "$ROUNDS" -batch "$BATCH" -seed "$SEED" \
+  -local -checkpoint-dir "$CKPT" -checkpoint-every 10 -rounds "$ROUNDS" -batch "$BATCH" -seed "$SEED" $COORD_FLAGS \
   >"$WORKDIR/coordB1.log" 2>&1 &
 COORD_PID=$!
 sleep 2.5
@@ -77,7 +83,7 @@ ls "$CKPT"/checkpoint-*.tq >/dev/null 2>&1 || {
 }
 # The workers survive the dead coordinator; the resumed one redials them.
 if ! "$TRIMLAB" coordinator -workers "127.0.0.1:$PORT0,127.0.0.1:$PORT1" \
-  -local -checkpoint-dir "$CKPT" -resume -rounds "$ROUNDS" -batch "$BATCH" -seed "$SEED" \
+  -local -checkpoint-dir "$CKPT" -resume -rounds "$ROUNDS" -batch "$BATCH" -seed "$SEED" $COORD_FLAGS \
   >"$WORKDIR/coordB2.log" 2>&1; then
   echo "FAIL: resumed coordinator exited non-zero" >&2
   cat "$WORKDIR/coordB2.log" >&2
