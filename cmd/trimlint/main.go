@@ -1,0 +1,151 @@
+// Command trimlint runs the repo's custom go/analysis suite — the
+// machine-enforced determinism, wire-versioning, and enum-exhaustiveness
+// invariants (DESIGN.md §10) — over package patterns:
+//
+//	go run ./cmd/trimlint ./...        # lint; nonzero exit on any diagnostic
+//	go run ./cmd/trimlint -fix ./...   # regenerate internal/wire/wire.lock, then lint
+//
+// The binary is double-faced: invoked with package patterns it re-executes
+// itself as `go vet -vettool=<self> <patterns>`, letting the go command do
+// package loading, caching, and export data; invoked by go vet (with -V,
+// -flags, or a *.cfg file) it speaks the unitchecker protocol. That keeps
+// the offline dependency surface to the vendored go/analysis core — no
+// go/packages, no module proxy.
+//
+// Suppressions use `//trimlint:allow <analyzer> <reason>` on or above the
+// offending line; an allow without a known analyzer name or a reason is
+// itself a diagnostic.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/trimlint"
+	"repro/internal/analysis/wirever"
+)
+
+func main() {
+	if vetProtocol(os.Args[1:]) {
+		unitchecker.Main(trimlint.Analyzers()...) // does not return
+	}
+
+	fix := flag.Bool("fix", false, "regenerate internal/wire/wire.lock from the current payload surface before linting")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: trimlint [-fix] [package patterns]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	if *fix {
+		if err := writeLock(); err != nil {
+			fmt.Fprintf(os.Stderr, "trimlint: -fix: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trimlint: %v\n", err)
+		os.Exit(2)
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, patterns...)...)
+	cmd.Stdout, cmd.Stderr, cmd.Stdin = os.Stdout, os.Stderr, os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "trimlint: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+// vetProtocol reports whether the arguments are a go vet driver
+// invocation (-V=full / -flags handshake or a unitchecker *.cfg file)
+// rather than user-facing package patterns.
+func vetProtocol(args []string) bool {
+	for _, a := range args {
+		if a == "-flags" || strings.HasPrefix(a, "-V") || strings.HasSuffix(a, ".cfg") {
+			return true
+		}
+	}
+	return false
+}
+
+// wireDir is where the lock lives, relative to the module root (the
+// working directory — trimlint runs from the repo root, as CI and
+// scripts/lint.sh do).
+const wireDir = "internal/wire"
+
+// writeLock regenerates wire.lock from the type-checked wire package. It
+// refuses to overwrite a lock whose surface changed while wire.Version
+// stayed put: the fix path must not launder an unbumped payload change.
+func writeLock() error {
+	modPath, err := modulePath("go.mod")
+	if err != nil {
+		return err
+	}
+	root, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	loader := load.New(load.ModuleResolver(modPath, root))
+	pkg, err := loader.Load(modPath + "/" + wireDir)
+	if err != nil {
+		return err
+	}
+	content, err := wirever.Lock(pkg.Types)
+	if err != nil {
+		return err
+	}
+	lockPath := filepath.Join(root, wireDir, wirever.LockName)
+	if old, err := os.ReadFile(lockPath); err == nil {
+		if lock, err := wirever.ParseLock(old); err == nil {
+			cur, _ := wirever.ParseLock([]byte(content))
+			if lock.Version == cur.Version && !equal(lock.Surface, cur.Surface) {
+				return fmt.Errorf("wire payload surface changed but wire.Version is still %d; bump Version (and MinVersion) first, then re-run -fix", cur.Version)
+			}
+		}
+	}
+	if err := os.WriteFile(lockPath, []byte(content), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "trimlint: wrote %s\n", filepath.Join(wireDir, wirever.LockName))
+	return nil
+}
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("run from the module root: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("no module line in %s", gomod)
+}
+
+func equal(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

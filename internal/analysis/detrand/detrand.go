@@ -1,0 +1,138 @@
+// Package detrand enforces the derived-seed randomness discipline that
+// record-for-record cluster reproducibility rests on (DESIGN.md §7): a run
+// must be a pure function of (master seed, shard count), so all randomness
+// has to flow from a stats.DeriveSeed-derived *rand.Rand and all scheduling
+// has to be round-structured rather than wall-clock-structured.
+//
+// It reports three classes of violation:
+//
+//   - calls to the global math/rand (or math/rand/v2) top-level draw
+//     functions — rand.Intn, rand.Float64, rand.Shuffle, … — which consume
+//     the process-global source and make the draw sequence depend on
+//     whatever else ran first;
+//   - time-derived seeds: a rand.New/rand.NewSource/… construction whose
+//     argument expression contains a time.Now call;
+//   - bare time.Now calls outside the whitelisted timing packages
+//     (-detrand.timepkgs, default the fleet heartbeat clock). Measurement
+//     code elsewhere opts out per call site with
+//     //trimlint:allow detrand <reason>. Test files are exempt from the
+//     time.Now rule (deadlines and timing assertions are not part of the
+//     reproducibility surface) but not from the global-rand rules.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"repro/internal/analysis/directive"
+)
+
+const name = "detrand"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      "forbid global math/rand draws, time-derived seeds, and time.Now outside whitelisted timing code",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+var timePkgs string
+
+func init() {
+	Analyzer.Flags.StringVar(&timePkgs, "timepkgs", "repro/internal/fleet",
+		"comma-separated package paths (exact or prefix/) where bare time.Now is allowed")
+}
+
+// constructors are the math/rand functions that build a source or
+// generator rather than draw from the global one. They are legal — that
+// is how a derived seed becomes a *rand.Rand — unless seeded from time.
+var constructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func randPkg(path string) bool { return path == "math/rand" || path == "math/rand/v2" }
+
+func whitelisted(path string) bool {
+	for _, entry := range strings.Split(timePkgs, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		if path == entry || strings.HasPrefix(path, entry+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	idx := directive.New(pass)
+
+	report := func(pos ast.Node, format string, args ...interface{}) {
+		if idx.Allows(pos.Pos(), name) {
+			return
+		}
+		pass.Reportf(pos.Pos(), format, args...)
+	}
+
+	// time.Now calls consumed by a seed-construction diagnostic: the
+	// preorder walk visits the constructor call before its arguments, so
+	// marking here prevents a duplicate bare-time.Now report below.
+	seedTime := make(map[*ast.CallExpr]bool)
+
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return
+		}
+		sig, _ := fn.Type().(*types.Signature)
+		if sig == nil || sig.Recv() != nil {
+			return // methods (e.g. (*rand.Rand).Intn) are the sanctioned path
+		}
+		path, fname := fn.Pkg().Path(), fn.Name()
+		switch {
+		case randPkg(path) && !constructors[fname]:
+			report(call, "global math/rand.%s draws from the process-global source; all randomness must flow from a stats.DeriveSeed-derived *rand.Rand", fname)
+		case randPkg(path) && constructors[fname]:
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(n ast.Node) bool {
+					inner, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if f, ok := typeutil.Callee(pass.TypesInfo, inner).(*types.Func); ok &&
+						f.Pkg() != nil && f.Pkg().Path() == "time" && f.Name() == "Now" {
+						seedTime[inner] = true
+						report(call, "rand.%s seeded from time.Now: seeds must derive from the master seed (stats.DeriveSeed), never the clock", fname)
+					}
+					return true
+				})
+			}
+		case path == "time" && fname == "Now":
+			if seedTime[call] {
+				return
+			}
+			file := pass.Fset.Position(call.Pos()).Filename
+			if strings.HasSuffix(file, "_test.go") {
+				return
+			}
+			if whitelisted(pass.Pkg.Path()) {
+				return
+			}
+			report(call, "time.Now outside the whitelisted timing packages (%s) makes behavior wall-clock-dependent; derive schedule from rounds, or annotate measurement code with //trimlint:allow detrand <reason>", timePkgs)
+		}
+	})
+	return nil, nil
+}

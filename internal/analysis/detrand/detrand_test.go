@@ -1,0 +1,23 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(t), detrand.Analyzer, "a")
+}
+
+// TestWhitelistedPackage checks the -timepkgs escape hatch: bare time.Now
+// in a whitelisted package is silent, global rand still is not.
+func TestWhitelistedPackage(t *testing.T) {
+	old := detrand.Analyzer.Flags.Lookup("timepkgs").Value.String()
+	if err := detrand.Analyzer.Flags.Set("timepkgs", "repro/internal/fleet,fleetlike"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = detrand.Analyzer.Flags.Set("timepkgs", old) })
+	analyzertest.Run(t, analyzertest.TestData(t), detrand.Analyzer, "fleetlike")
+}

@@ -1,0 +1,43 @@
+// Package a exercises the detrand analyzer: global math/rand draws,
+// time-derived seeds, bare time.Now, and the sanctioned derived-seed
+// paths that must stay silent.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globals() {
+	_ = rand.Intn(10)                  // want `global math/rand\.Intn draws from the process-global source`
+	_ = rand.Float64()                 // want `global math/rand\.Float64 draws from the process-global source`
+	rand.Shuffle(3, func(i, j int) {}) // want `global math/rand\.Shuffle draws from the process-global source`
+}
+
+func timeSeed() *rand.Rand {
+	src := rand.NewSource(time.Now().UnixNano()) // want `rand\.NewSource seeded from time\.Now`
+	return rand.New(src)
+}
+
+func clock() time.Time {
+	return time.Now() // want `time\.Now outside the whitelisted timing packages`
+}
+
+func allowedClock() time.Time {
+	return time.Now() //trimlint:allow detrand measurement only, never feeds game state
+}
+
+func missingReason() int {
+	//trimlint:allow detrand
+	return rand.Intn(3) // want `global math/rand\.Intn draws from the process-global source`
+}
+
+// good: drawing through an explicitly seeded generator is the sanctioned
+// path — methods on *rand.Rand are never flagged.
+func good(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	if rng.Intn(2) == 0 {
+		return rng.Float64()
+	}
+	return rng.NormFloat64()
+}

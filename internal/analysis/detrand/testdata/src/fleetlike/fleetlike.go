@@ -1,0 +1,16 @@
+// Package fleetlike stands in for a whitelisted timing package
+// (-detrand.timepkgs): bare time.Now is allowed here, global rand is not.
+package fleetlike
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clock() time.Time {
+	return time.Now() // ok: package is whitelisted in the test
+}
+
+func still() int {
+	return rand.Intn(2) // want `global math/rand\.Intn draws from the process-global source`
+}

@@ -1,0 +1,89 @@
+package directive_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/directive"
+	"repro/internal/analysis/load"
+)
+
+// loadA loads the testdata package. Want comments cannot be used here: a
+// line comment runs to end of line, so a want annotation appended to a
+// directive would be parsed as part of the directive itself.
+func loadA(t *testing.T) (*load.Loader, *load.Package) {
+	t.Helper()
+	loader := load.New(func(path string) (string, bool) {
+		if path == "a" {
+			return "testdata/src/a", true
+		}
+		return "", false
+	})
+	pkg, err := loader.Load("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loader, pkg
+}
+
+func TestValidator(t *testing.T) {
+	loader, pkg := loadA(t)
+	diags, err := analyzertest.RunPass(directive.Analyzer, loader.Fset, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// line in a.go → required message fragment
+	want := map[int]string{
+		10: "missing its reason",
+		13: "needs an analyzer name and a reason",
+		16: `unknown analyzer "nosuchanalyzer"`,
+		19: `unknown trimlint directive "suppress"`,
+	}
+	got := make(map[int]string)
+	for _, d := range diags {
+		pos := loader.Fset.Position(d.Pos)
+		got[pos.Line] = d.Message
+	}
+	for line, frag := range want {
+		msg, ok := got[line]
+		if !ok {
+			t.Errorf("line %d: expected a diagnostic containing %q, got none", line, frag)
+			continue
+		}
+		if !strings.Contains(msg, frag) {
+			t.Errorf("line %d: diagnostic %q does not contain %q", line, msg, frag)
+		}
+		delete(got, line)
+	}
+	for line, msg := range got {
+		t.Errorf("line %d: unexpected diagnostic %q", line, msg)
+	}
+}
+
+// TestIndex checks that only the well-formed directive suppresses, and
+// that it covers both its own line and the line directly below.
+func TestIndex(t *testing.T) {
+	loader, pkg := loadA(t)
+	idx := directive.NewFiles(loader.Fset, pkg.Files)
+	file := loader.Fset.File(pkg.Files[0].Pos())
+	at := func(line int, analyzer string) bool {
+		return idx.Allows(file.LineStart(line), analyzer)
+	}
+	if !at(7, "detrand") || !at(8, "detrand") {
+		t.Error("well-formed allow on line 7 should cover lines 7 and 8")
+	}
+	if at(9, "detrand") {
+		t.Error("allow on line 7 must not reach line 9")
+	}
+	if at(7, "maporder") {
+		t.Error("allow names detrand only; maporder must not be suppressed")
+	}
+	for _, line := range []int{10, 11, 13, 14, 16, 17, 19, 20} {
+		for name := range directive.Known {
+			if at(line, name) {
+				t.Errorf("malformed directive near line %d suppresses %s; it must suppress nothing", line, name)
+			}
+		}
+	}
+}

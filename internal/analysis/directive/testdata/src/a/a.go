@@ -1,0 +1,20 @@
+// Package a holds malformed and well-formed trimlint directives for the
+// validator test. Expectations live in directive_test.go rather than in
+// want comments: a line comment runs to the end of the line, so a want
+// annotation appended to a directive would become part of its reason.
+package a
+
+//trimlint:allow detrand a well-formed directive with a reason
+func good() {}
+
+//trimlint:allow detrand
+func missingReason() {}
+
+//trimlint:allow
+func missingName() {}
+
+//trimlint:allow nosuchanalyzer the analyzer name is not in the suite
+func unknownAnalyzer() {}
+
+//trimlint:suppress detrand a verb the tool does not recognize
+func unknownVerb() {}

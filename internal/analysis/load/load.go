@@ -1,0 +1,161 @@
+// Package load is a minimal type-checked package loader for the trimlint
+// tooling: the analyzertest harness loads GOPATH-style testdata trees
+// with it, and `trimlint -fix` loads the real wire package to regenerate
+// wire.lock. It resolves non-stdlib import paths through a caller-
+// supplied function and falls back to the source importer for the
+// standard library, so it works without a module proxy, a build cache, or
+// golang.org/x/tools/go/packages (which the offline toolchain does not
+// vendor).
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package. Stdlib packages imported
+// through the fallback importer carry only Types.
+type Package struct {
+	Path  string
+	Dir   string
+	Types *types.Package
+	Files []*ast.File
+	Info  *types.Info
+}
+
+// Loader loads and caches packages over one FileSet.
+type Loader struct {
+	Fset *token.FileSet
+
+	// Resolve maps an import path to a source directory; returning false
+	// delegates the path to the stdlib source importer.
+	Resolve func(path string) (dir string, ok bool)
+
+	std  types.Importer
+	pkgs map[string]*Package
+}
+
+// New returns a Loader over a fresh FileSet.
+func New(resolve func(string) (string, bool)) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		Resolve: resolve,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+	}
+}
+
+// ModuleResolver resolves import paths inside a single module rooted at
+// dir with the given module path — the shape `trimlint -fix` needs.
+func ModuleResolver(modPath, dir string) func(string) (string, bool) {
+	return func(path string) (string, bool) {
+		if path == modPath {
+			return dir, true
+		}
+		if rest, ok := strings.CutPrefix(path, modPath+"/"); ok {
+			return filepath.Join(dir, filepath.FromSlash(rest)), true
+		}
+		return "", false
+	}
+}
+
+// Load returns the type-checked package at the import path, loading its
+// resolvable imports recursively.
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("load: import cycle through %s", path)
+		}
+		return p, nil
+	}
+	dir, ok := l.Resolve(path)
+	if !ok {
+		tp, err := l.std.Import(path)
+		if err != nil {
+			return nil, fmt.Errorf("load: stdlib import %s: %w", path, err)
+		}
+		p := &Package{Path: path, Types: tp}
+		l.pkgs[path] = p
+		return p, nil
+	}
+	l.pkgs[path] = nil // cycle marker
+
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: importerFunc(func(p string) (*types.Package, error) {
+			dep, err := l.Load(p)
+			if err != nil {
+				return nil, err
+			}
+			return dep.Types, nil
+		}),
+		Error: func(err error) { errs = append(errs, err) },
+	}
+	tp, _ := conf.Check(path, l.Fset, files, info)
+	if len(errs) > 0 {
+		msgs := make([]string, 0, len(errs))
+		for _, e := range errs {
+			msgs = append(msgs, e.Error())
+		}
+		return nil, fmt.Errorf("load: type errors in %s:\n\t%s", path, strings.Join(msgs, "\n\t"))
+	}
+	p := &Package{Path: path, Dir: dir, Types: tp, Files: files, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// parseDir parses the non-test .go files of dir in sorted order, with
+// comments (the directive index needs them).
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("load: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("load: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load: %w", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

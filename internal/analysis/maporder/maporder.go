@@ -1,0 +1,217 @@
+// Package maporder flags the classic silent nondeterminism: ranging over a
+// map while doing something order-sensitive with each element. Go
+// randomizes map iteration order per run, so a loop body that writes to a
+// wire encoder, feeds a summary merge, or appends to a slice that outlives
+// the loop produces a different byte stream / merge tree / element order
+// every execution — exactly the property the record-for-record cluster
+// equality tests cannot tolerate (DESIGN.md §6–§7).
+//
+// Three order-sensitive sinks are recognized inside a map-range body:
+//
+//   - any call into the wire package (-maporder.wirepkgs): encoded bytes
+//     would depend on iteration order;
+//   - merge-class method calls (Push, Absorb, AbsorbCounted, Merge, Add)
+//     on types from the summary package (-maporder.summarypkgs): the GK
+//     compression tree depends on insertion order;
+//   - append to a slice declared outside the loop — unless the slice is
+//     passed to a sort.*/slices.* call later in the same block, which is
+//     the canonical deterministic-iteration fix (collect keys, sort,
+//     iterate sorted).
+//
+// Genuinely commutative loops opt out with //trimlint:allow maporder.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"repro/internal/analysis/directive"
+)
+
+const name = "maporder"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      "flag map iteration whose body writes to wire encoders, summary merges, or slices that outlive the loop",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+var (
+	wirePkgs    string
+	summaryPkgs string
+)
+
+func init() {
+	Analyzer.Flags.StringVar(&wirePkgs, "wirepkgs", "repro/internal/wire",
+		"comma-separated packages whose calls are order-sensitive encoders")
+	Analyzer.Flags.StringVar(&summaryPkgs, "summarypkgs", "repro/internal/stats/summary",
+		"comma-separated packages whose merge-class methods are order-sensitive")
+}
+
+// mergeNames are the summary-package methods whose result depends on call
+// order (GK insertion/merge operations).
+var mergeNames = map[string]bool{
+	"Push": true, "Absorb": true, "AbsorbCounted": true, "Merge": true, "Add": true,
+}
+
+func pkgListed(list, path string) bool {
+	for _, entry := range strings.Split(list, ",") {
+		if entry = strings.TrimSpace(entry); entry != "" && path == entry {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	idx := directive.New(pass)
+
+	report := func(n ast.Node, format string, args ...interface{}) {
+		if !idx.Allows(n.Pos(), name) {
+			pass.Reportf(n.Pos(), format, args...)
+		}
+	}
+
+	ins.WithStack([]ast.Node{(*ast.RangeStmt)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		rs := n.(*ast.RangeStmt)
+		tv, ok := pass.TypesInfo.Types[rs.X]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		after := stmtsAfter(rs, stack)
+
+		ast.Inspect(rs.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// append to a slice that outlives the loop.
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+				if _, builtin := pass.TypesInfo.Uses[id].(*types.Builtin); builtin && len(call.Args) > 0 {
+					if obj := rootObject(pass, call.Args[0]); obj != nil && declaredOutside(obj, rs) && !sortedLater(pass, obj, after) {
+						report(call, "append to %s (declared outside the loop) while ranging over a map: element order is random per run; sort %s afterwards or iterate sorted keys", obj.Name(), obj.Name())
+					}
+				}
+				return true
+			}
+			fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if pkgListed(wirePkgs, fn.Pkg().Path()) {
+				report(call, "%s.%s inside a map range: encoded bytes would depend on map iteration order; iterate sorted keys", fn.Pkg().Name(), fn.Name())
+				return true
+			}
+			if sig, _ := fn.Type().(*types.Signature); sig != nil && sig.Recv() != nil && mergeNames[fn.Name()] {
+				if rp := recvPkgPath(sig); rp != "" && pkgListed(summaryPkgs, rp) {
+					report(call, "%s.%s inside a map range: the summary's compression tree depends on insertion order; iterate sorted keys", fn.Pkg().Name(), fn.Name())
+				}
+			}
+			return true
+		})
+		return true
+	})
+	return nil, nil
+}
+
+// recvPkgPath returns the package path of a method's receiver type, or ""
+// when the receiver is unnamed.
+func recvPkgPath(sig *types.Signature) string {
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := types.Unalias(t).(*types.Named); ok && named.Obj().Pkg() != nil {
+		return named.Obj().Pkg().Path()
+	}
+	return ""
+}
+
+// rootObject resolves the variable an append writes through: a plain
+// identifier or the field/variable at the leaf of a selector.
+func rootObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.ObjectOf(e)
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.ObjectOf(e.Sel)
+	}
+	return nil
+}
+
+func declaredOutside(obj types.Object, rs *ast.RangeStmt) bool {
+	return obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+}
+
+// stmtsAfter returns the statements following rs in its enclosing block,
+// where a post-loop sort would make the collected order deterministic.
+func stmtsAfter(rs *ast.RangeStmt, stack []ast.Node) []ast.Stmt {
+	if len(stack) < 2 {
+		return nil
+	}
+	var list []ast.Stmt
+	switch parent := stack[len(stack)-2].(type) {
+	case *ast.BlockStmt:
+		list = parent.List
+	case *ast.CaseClause:
+		list = parent.Body
+	case *ast.CommClause:
+		list = parent.Body
+	default:
+		return nil
+	}
+	for i, s := range list {
+		if s == ast.Stmt(rs) {
+			return list[i+1:]
+		}
+	}
+	return nil
+}
+
+// sortedLater reports whether a sort.* or slices.* call mentioning obj
+// appears in the statements after the loop.
+func sortedLater(pass *analysis.Pass, obj types.Object, after []ast.Stmt) bool {
+	for _, s := range after {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(n ast.Node) bool {
+					if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+						found = true
+					}
+					return !found
+				})
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

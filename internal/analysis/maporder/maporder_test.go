@@ -1,0 +1,24 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	setFlag(t, "wirepkgs", "wire")
+	setFlag(t, "summarypkgs", "summary")
+	analyzertest.Run(t, analyzertest.TestData(t), maporder.Analyzer, "a")
+}
+
+func setFlag(t *testing.T, name, value string) {
+	t.Helper()
+	f := maporder.Analyzer.Flags.Lookup(name)
+	old := f.Value.String()
+	if err := maporder.Analyzer.Flags.Set(name, value); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = maporder.Analyzer.Flags.Set(name, old) })
+}

@@ -1,0 +1,75 @@
+// Package a exercises the maporder analyzer: order-sensitive sinks inside
+// map ranges, the sort-after fix, and the allow escape hatch.
+package a
+
+import (
+	"sort"
+
+	"summary"
+	"wire"
+)
+
+func encode(m map[uint32]float64, buf []byte) []byte {
+	for k := range m {
+		buf = wire.AppendU32(buf, k) // want `wire\.AppendU32 inside a map range: encoded bytes would depend on map iteration order`
+	}
+	return buf
+}
+
+func leak(m map[int]bool) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k) // want `append to out \(declared outside the loop\) while ranging over a map`
+	}
+	return out
+}
+
+func merge(m map[string]float64, s *summary.Stream) {
+	for _, v := range m {
+		s.Push(v) // want `summary\.Push inside a map range: the summary's compression tree depends on insertion order`
+	}
+}
+
+// sortedKeys is the canonical fix: collect, sort, iterate — the post-loop
+// sort makes the append order immaterial.
+func sortedKeys(m map[int]bool) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// commutative opts out: summing is order-independent and the author says so.
+func commutative(m map[string]float64, s *summary.Stream) {
+	for _, v := range m {
+		s.Push(v) //trimlint:allow maporder single stream, values commute under this merge
+	}
+}
+
+// inner appends to a loop-local slice: not flagged, it cannot leak map order.
+func local(m map[int]bool) int {
+	n := 0
+	for k := range m {
+		var tmp []int
+		tmp = append(tmp, k)
+		n += len(tmp)
+	}
+	return n
+}
+
+// observe is not merge-class: reading per-element stats is fine.
+func observe(m map[string]float64, s *summary.Stream) {
+	for _, v := range m {
+		s.Observe(v)
+	}
+}
+
+// slices are fine to range over.
+func overSlice(xs []float64, buf []byte) []byte {
+	for _, x := range xs {
+		buf = wire.AppendF64(buf, x)
+	}
+	return buf
+}

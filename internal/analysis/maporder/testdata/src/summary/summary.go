@@ -1,0 +1,9 @@
+// Package summary is a stand-in for the repo's GK summary: merge-class
+// methods are order-sensitive.
+package summary
+
+type Stream struct{ n int }
+
+func (s *Stream) Push(v float64)    { s.n++ }
+func (s *Stream) Absorb(o *Stream)  { s.n += o.n }
+func (s *Stream) Observe(v float64) { s.n++ } // not merge-class

@@ -1,0 +1,13 @@
+// Package wire is a stand-in for the repo's wire codec: any call into it
+// from inside a map range is order-sensitive.
+package wire
+
+import "encoding/binary"
+
+func AppendU32(buf []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(buf, v)
+}
+
+func AppendF64(buf []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, uint64(v))
+}

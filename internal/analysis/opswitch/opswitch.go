@@ -1,0 +1,174 @@
+// Package opswitch enforces enum exhaustiveness for the repo's const
+// groups — wire.Op*, wire.Kind*, arrival.Mech*, fleet.Event*,
+// attack.Spec* and any future group shaped like them. A new opcode or
+// event kind that a dispatch switch silently falls through is exactly the
+// class of bug that surfaces as a hung round or a misparsed payload three
+// layers away, so every switch over such a type must either enumerate
+// every constant or carry a non-empty default that handles the unknown
+// value (typically by returning an error).
+//
+// A type counts as an enum when it is a named basic (integer or string)
+// type declared in a package matching -opswitch.within (default: this
+// module) with at least two package-level constants of that exact type.
+// Constants are matched by value, so aliases of the same code count as
+// covering it. Switches with non-constant case expressions are skipped —
+// they are guards, not dispatches. Type switches are out of scope.
+//
+// Deliberate partial switches opt out with //trimlint:allow opswitch.
+package opswitch
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"repro/internal/analysis/directive"
+)
+
+const name = "opswitch"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      "require switches over enum-like const groups to handle every constant or default to an error",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+var within string
+
+func init() {
+	Analyzer.Flags.StringVar(&within, "within", "repro",
+		"comma-separated package path prefixes whose named types are checked for enum exhaustiveness")
+}
+
+func withinMatch(path string) bool {
+	for _, entry := range strings.Split(within, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		if path == entry || strings.HasPrefix(path, entry+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	idx := directive.New(pass)
+
+	ins.Preorder([]ast.Node{(*ast.SwitchStmt)(nil)}, func(n ast.Node) {
+		sw := n.(*ast.SwitchStmt)
+		if sw.Tag == nil {
+			return
+		}
+		tv, ok := pass.TypesInfo.Types[sw.Tag]
+		if !ok || tv.Type == nil {
+			return
+		}
+		named, ok := types.Unalias(tv.Type).(*types.Named)
+		if !ok {
+			return
+		}
+		basic, ok := named.Underlying().(*types.Basic)
+		if !ok || basic.Info()&(types.IsInteger|types.IsString) == 0 {
+			return
+		}
+		obj := named.Obj()
+		if obj.Pkg() == nil || !withinMatch(obj.Pkg().Path()) {
+			return
+		}
+		members := enumMembers(obj.Pkg(), named)
+		if len(members) < 2 {
+			return
+		}
+
+		covered := make(map[string]bool)
+		var hasDefault, defaultEmpty, bail bool
+		for _, stmt := range sw.Body.List {
+			cc := stmt.(*ast.CaseClause)
+			if cc.List == nil {
+				hasDefault = true
+				defaultEmpty = len(cc.Body) == 0
+				continue
+			}
+			for _, e := range cc.List {
+				etv, ok := pass.TypesInfo.Types[e]
+				if !ok || etv.Value == nil {
+					bail = true // non-constant case: a guard, not a dispatch
+					break
+				}
+				covered[etv.Value.ExactString()] = true
+			}
+		}
+		if bail {
+			return
+		}
+
+		var missing []string
+		for _, m := range members {
+			if !covered[m.val] {
+				missing = append(missing, m.name)
+			}
+		}
+		if len(missing) == 0 {
+			return
+		}
+		if idx.Allows(sw.Pos(), name) {
+			return
+		}
+		tname := fmt.Sprintf("%s.%s", obj.Pkg().Name(), obj.Name())
+		if obj.Pkg() == pass.Pkg {
+			tname = obj.Name()
+		}
+		switch {
+		case !hasDefault:
+			pass.Reportf(sw.Pos(), "switch over %s misses %s and has no default: handle every constant or add a default that returns an error", tname, strings.Join(missing, ", "))
+		case defaultEmpty:
+			pass.Reportf(sw.Pos(), "switch over %s hides missing cases (%s) behind an empty default: handle them or make the default return an error", tname, strings.Join(missing, ", "))
+		}
+	})
+	return nil, nil
+}
+
+type member struct{ name, val string }
+
+// enumMembers lists the package-level constants declared with exactly the
+// named type, keyed by constant value so aliases collapse. For the
+// package under analysis the scope includes unexported constants; for
+// imported packages only the exported surface is visible, which matches
+// what a cross-package switch can name anyway.
+func enumMembers(pkg *types.Package, t *types.Named) []member {
+	var ms []member
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), t) {
+			continue
+		}
+		ms = append(ms, member{name: c.Name(), val: c.Val().ExactString()})
+	}
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].val != ms[j].val {
+			return ms[i].val < ms[j].val
+		}
+		return ms[i].name < ms[j].name
+	})
+	// Collapse aliases: one missing report per distinct value.
+	out := ms[:0]
+	seen := make(map[string]bool)
+	for _, m := range ms {
+		if !seen[m.val] {
+			seen[m.val] = true
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,18 @@
+package opswitch_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/opswitch"
+)
+
+func TestOpswitch(t *testing.T) {
+	f := opswitch.Analyzer.Flags.Lookup("within")
+	old := f.Value.String()
+	if err := opswitch.Analyzer.Flags.Set("within", "enums,uses"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = opswitch.Analyzer.Flags.Set("within", old) })
+	analyzertest.Run(t, analyzertest.TestData(t), opswitch.Analyzer, "enums", "uses")
+}

@@ -1,0 +1,105 @@
+// Package enums exercises opswitch within one package: missing cases,
+// empty defaults, exhaustive switches, error-returning defaults, aliases,
+// guards, and the allow escape hatch.
+package enums
+
+import "errors"
+
+type Op byte
+
+const (
+	OpA Op = 1
+	OpB Op = 2
+	OpC Op = 3
+
+	// OpLast aliases OpC: covering either covers the value.
+	OpLast Op = 3
+)
+
+func missing(o Op) int {
+	switch o { // want `switch over Op misses OpC and has no default`
+	case OpA:
+		return 1
+	case OpB:
+		return 2
+	}
+	return 0
+}
+
+func emptyDefault(o Op) int {
+	switch o { // want `switch over Op hides missing cases \(OpC\) behind an empty default`
+	case OpA, OpB:
+		return 1
+	default:
+	}
+	return 0
+}
+
+func exhaustive(o Op) int {
+	switch o {
+	case OpA:
+		return 1
+	case OpB:
+		return 2
+	case OpLast: // alias of OpC: covers it
+		return 3
+	}
+	return 0
+}
+
+func defaulted(o Op) error {
+	switch o {
+	case OpA:
+		return nil
+	default:
+		return errors.New("unknown op")
+	}
+}
+
+func allowed(o Op) int {
+	//trimlint:allow opswitch only OpA is meaningful on this path
+	switch o {
+	case OpA:
+		return 1
+	}
+	return 0
+}
+
+// guard has a non-constant case: a comparison, not a dispatch.
+func guard(o, other Op) bool {
+	switch o {
+	case other:
+		return true
+	}
+	return false
+}
+
+// twoValued is too small to be an enum? No — two constants is the
+// threshold, so it is checked.
+type Flag byte
+
+const (
+	FlagOn  Flag = 1
+	FlagOff Flag = 2
+)
+
+func flagMissing(f Flag) bool {
+	switch f { // want `switch over Flag misses FlagOff and has no default`
+	case FlagOn:
+		return true
+	}
+	return false
+}
+
+// Solo has a single constant: not an enum, never checked.
+type Solo byte
+
+const SoloOnly Solo = 1
+
+func solo(s Solo) bool {
+	switch s {
+	case SoloOnly:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,21 @@
+// Package uses exercises opswitch across a package boundary: the enum's
+// constant set is read from the imported package's exported scope.
+package uses
+
+import "enums"
+
+func dispatch(o enums.Op) int {
+	switch o { // want `switch over enums\.Op misses OpB, OpC and has no default`
+	case enums.OpA:
+		return 1
+	}
+	return 0
+}
+
+func full(o enums.Op) int {
+	switch o {
+	case enums.OpA, enums.OpB, enums.OpC:
+		return 1
+	}
+	return 0
+}

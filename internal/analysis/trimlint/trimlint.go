@@ -1,0 +1,29 @@
+// Package trimlint is the registry of the repo's custom go/analysis
+// suite (DESIGN.md §10): the analyzers that machine-enforce the
+// invariants record-for-record reproducibility rests on. cmd/trimlint
+// runs them over ./... via the go vet driver; each is independently
+// testable with the analyzertest harness.
+package trimlint
+
+import (
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/detrand"
+	"repro/internal/analysis/directive"
+	"repro/internal/analysis/maporder"
+	"repro/internal/analysis/opswitch"
+	"repro/internal/analysis/wirever"
+)
+
+// Analyzers returns the suite in a fixed order: the directive validator
+// first (a malformed suppression must surface even when nothing else
+// fires), then the invariant analyzers.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		directive.Analyzer,
+		detrand.Analyzer,
+		maporder.Analyzer,
+		opswitch.Analyzer,
+		wirever.Analyzer,
+	}
+}

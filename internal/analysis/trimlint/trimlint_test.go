@@ -1,0 +1,41 @@
+package trimlint_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/directive"
+	"repro/internal/analysis/trimlint"
+)
+
+// TestRegistryMatchesDirectives pins the suite roster to directive.Known:
+// an analyzer that cannot be named in an allow directive would be
+// unsuppressable, and a Known entry with no analyzer would let authors
+// write directives that suppress nothing.
+func TestRegistryMatchesDirectives(t *testing.T) {
+	suite := make(map[string]bool)
+	for _, a := range trimlint.Analyzers() {
+		if a.Name == directive.Analyzer.Name {
+			continue // the directive validator polices suppressions, it has none itself
+		}
+		suite[a.Name] = true
+		if !directive.Known[a.Name] {
+			t.Errorf("analyzer %s is in the suite but not in directive.Known: its diagnostics could never be suppressed", a.Name)
+		}
+	}
+	for name := range directive.Known {
+		if !suite[name] {
+			t.Errorf("directive.Known lists %s but no such analyzer is in the suite: allows naming it would silently do nothing", name)
+		}
+	}
+	if len(suite) != 4 {
+		t.Errorf("suite has %d analyzers besides the directive validator, want 4", len(suite))
+	}
+}
+
+func TestDocsNonEmpty(t *testing.T) {
+	for _, a := range trimlint.Analyzers() {
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no Doc; go vet -vettool help output would be blank", a.Name)
+		}
+	}
+}

@@ -1,0 +1,11 @@
+// Package wirebad changed its payload surface (Report grew field B) but
+// kept Version at 2: the invariant violation wirever exists to catch.
+package wirebad
+
+const Version = 2 // want `wire payload surface changed .* but wire\.Version is still 2`
+const MinVersion = 2
+
+type Report struct {
+	A int
+	B int
+}

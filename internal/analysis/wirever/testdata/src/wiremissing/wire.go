@@ -1,0 +1,7 @@
+// Package wiremissing has no committed lock at all.
+package wiremissing
+
+const Version = 1 // want `wire payload surface has no committed fingerprint`
+const MinVersion = 1
+
+type Report struct{ A int }

@@ -1,0 +1,12 @@
+// Package wireok is in sync with its lock: no diagnostics.
+package wireok
+
+const Version = 1
+const MinVersion = 1
+
+type Op byte
+
+const (
+	OpA Op = 1
+	OpB Op = 2
+)

@@ -1,0 +1,9 @@
+// Package wirestale bumped Version to 3 but did not regenerate the lock.
+package wirestale
+
+const Version = 3 // want `wire\.lock is stale \(lock: version 2, min 2; package: version 3, min 2\)`
+const MinVersion = 2
+
+type Kind byte
+
+const KindA Kind = 1

@@ -1,0 +1,268 @@
+// Package wirever machine-enforces the wire-versioning discipline from
+// PRs 2–5: every payload change bumps wire.Version (and retires the old
+// format via MinVersion), so a mixed-version cluster fails loudly at
+// configure instead of misparsing rounds later.
+//
+// The committed file internal/wire/wire.lock records the package's
+// payload surface — every exported constant and the field layout of every
+// exported struct — together with the Version/MinVersion in force when it
+// was generated. The analyzer recomputes the surface from the typed
+// package and fails when:
+//
+//   - the surface changed while Version stayed put (the invariant
+//     violation: a payload change without a version bump), or
+//   - Version moved but the lock was not regenerated (a stale lock would
+//     mask the next real violation), or
+//   - the lock is missing or unparseable.
+//
+// `go run ./cmd/trimlint -fix ./...` regenerates the lock — and refuses
+// to when the surface changed but Version did not, so the fix path cannot
+// be used to launder an unbumped change. The surface listing is plain
+// text: a payload change shows up as a reviewable wire.lock diff in the
+// same commit that bumps Version.
+//
+// The fingerprint is the *declared* surface; an encoding change that
+// keeps the struct shape (say, shipping a count as u64 instead of u32)
+// is still on the reviewer. Structs and constants are how every payload
+// change so far has manifested.
+package wirever
+
+import (
+	"fmt"
+	"go/constant"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/directive"
+)
+
+// LockName is the committed fingerprint file, living next to the wire
+// package's sources.
+const LockName = "wire.lock"
+
+const name = "wirever"
+
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc:  "fail when the wire payload surface changes without a wire.Version bump (fingerprint in wire.lock)",
+	Run:  run,
+}
+
+var wirePkg string
+
+func init() {
+	Analyzer.Flags.StringVar(&wirePkg, "pkg", "repro/internal/wire",
+		"comma-separated package paths checked against their wire.lock")
+}
+
+func matches(path string) bool {
+	for _, entry := range strings.Split(wirePkg, ",") {
+		if entry = strings.TrimSpace(entry); entry != "" && path == entry {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !matches(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	idx := directive.New(pass)
+
+	verObj, ver, err := versionConst(pass.Pkg, "Version")
+	if err != nil {
+		pass.Reportf(pass.Files[0].Package, "wirever: %v", err)
+		return nil, nil
+	}
+	_, minver, err := versionConst(pass.Pkg, "MinVersion")
+	if err != nil {
+		pass.Reportf(pass.Files[0].Package, "wirever: %v", err)
+		return nil, nil
+	}
+	report := func(format string, args ...interface{}) {
+		if !idx.Allows(verObj.Pos(), name) {
+			pass.Reportf(verObj.Pos(), format, args...)
+		}
+	}
+
+	dir := filepath.Dir(pass.Fset.Position(verObj.Pos()).Filename)
+	raw, err := os.ReadFile(filepath.Join(dir, LockName))
+	if err != nil {
+		report("wire payload surface has no committed fingerprint (%v): run `go run ./cmd/trimlint -fix ./...` and commit %s", err, LockName)
+		return nil, nil
+	}
+	lock, err := ParseLock(raw)
+	if err != nil {
+		report("%s is unparseable (%v): regenerate with `go run ./cmd/trimlint -fix ./...`", LockName, err)
+		return nil, nil
+	}
+
+	surface := Surface(pass.Pkg)
+	surfaceEqual := equal(surface, lock.Surface)
+	switch {
+	case surfaceEqual && ver == lock.Version && minver == lock.MinVersion:
+		// In sync.
+	case !surfaceEqual && ver == lock.Version:
+		report("wire payload surface changed (%s) but wire.Version is still %d: bump Version, retire the old format via MinVersion, and regenerate %s with `go run ./cmd/trimlint -fix ./...`",
+			firstDiff(lock.Surface, surface), ver, LockName)
+	default:
+		report("%s is stale (lock: version %d, min %d; package: version %d, min %d): regenerate with `go run ./cmd/trimlint -fix ./...`",
+			LockName, lock.Version, lock.MinVersion, ver, minver)
+	}
+	return nil, nil
+}
+
+func versionConst(pkg *types.Package, name string) (*types.Const, int, error) {
+	c, ok := pkg.Scope().Lookup(name).(*types.Const)
+	if !ok {
+		return nil, 0, fmt.Errorf("package %s must declare a %s constant", pkg.Path(), name)
+	}
+	v, ok := constant.Int64Val(c.Val())
+	if !ok {
+		return nil, 0, fmt.Errorf("%s must be an integer constant", name)
+	}
+	return c, int(v), nil
+}
+
+// Surface lists the package's exported payload-shaping declarations, one
+// line per constant and per struct field, in a deterministic order. The
+// Version/MinVersion constants themselves are excluded: they are the
+// counter, not the surface.
+func Surface(pkg *types.Package) []string {
+	qual := types.RelativeTo(pkg)
+	var lines []string
+	scope := pkg.Scope()
+	names := scope.Names()
+	sort.Strings(names)
+	for _, name := range names {
+		obj := scope.Lookup(name)
+		if !obj.Exported() || name == "Version" || name == "MinVersion" {
+			continue
+		}
+		switch obj := obj.(type) {
+		case *types.Const:
+			lines = append(lines, fmt.Sprintf("const %s %s = %s",
+				name, types.TypeString(obj.Type(), qual), obj.Val().ExactString()))
+		case *types.TypeName:
+			if obj.IsAlias() {
+				lines = append(lines, fmt.Sprintf("type %s = %s", name, types.TypeString(obj.Type(), qual)))
+				continue
+			}
+			named, ok := obj.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if st, ok := named.Underlying().(*types.Struct); ok {
+				lines = append(lines, fmt.Sprintf("type %s struct", name))
+				for i := 0; i < st.NumFields(); i++ {
+					f := st.Field(i)
+					lines = append(lines, fmt.Sprintf("\t%s %s", f.Name(), types.TypeString(f.Type(), qual)))
+				}
+			} else {
+				lines = append(lines, fmt.Sprintf("type %s %s", name, types.TypeString(named.Underlying(), qual)))
+			}
+		}
+	}
+	return lines
+}
+
+// LockData is a parsed wire.lock.
+type LockData struct {
+	Version    int
+	MinVersion int
+	Surface    []string
+}
+
+// Lock renders the committed fingerprint for a wire package.
+func Lock(pkg *types.Package) (string, error) {
+	_, ver, err := versionConst(pkg, "Version")
+	if err != nil {
+		return "", err
+	}
+	_, minver, err := versionConst(pkg, "MinVersion")
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("# wire.lock — committed fingerprint of the wire payload surface\n")
+	b.WriteString("# (exported constants and struct layouts). trimlint's wirever\n")
+	b.WriteString("# analyzer fails the build when this file disagrees with the\n")
+	b.WriteString("# package: bump wire.Version on every payload change, then\n")
+	b.WriteString("# regenerate with:  go run ./cmd/trimlint -fix ./...\n")
+	fmt.Fprintf(&b, "version %d\n", ver)
+	fmt.Fprintf(&b, "minversion %d\n", minver)
+	for _, line := range Surface(pkg) {
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// ParseLock reads a lock file back.
+func ParseLock(raw []byte) (*LockData, error) {
+	lock := &LockData{Version: -1, MinVersion: -1}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(line, "#") || (strings.TrimSpace(line) == "" && lock.Surface == nil) {
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "version "); ok && lock.Version < 0 {
+			n, err := strconv.Atoi(strings.TrimSpace(v))
+			if err != nil {
+				return nil, fmt.Errorf("bad version line %q", line)
+			}
+			lock.Version = n
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "minversion "); ok && lock.MinVersion < 0 {
+			n, err := strconv.Atoi(strings.TrimSpace(v))
+			if err != nil {
+				return nil, fmt.Errorf("bad minversion line %q", line)
+			}
+			lock.MinVersion = n
+			continue
+		}
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		lock.Surface = append(lock.Surface, line)
+	}
+	if lock.Version < 0 || lock.MinVersion < 0 {
+		return nil, fmt.Errorf("missing version/minversion header")
+	}
+	return lock, nil
+}
+
+func equal(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// firstDiff describes the first disagreement between the locked and the
+// current surface, compactly enough for a one-line diagnostic.
+func firstDiff(lock, cur []string) string {
+	for i := 0; i < len(lock) || i < len(cur); i++ {
+		switch {
+		case i >= len(lock):
+			return fmt.Sprintf("new: %q", strings.TrimSpace(cur[i]))
+		case i >= len(cur):
+			return fmt.Sprintf("removed: %q", strings.TrimSpace(lock[i]))
+		case lock[i] != cur[i]:
+			return fmt.Sprintf("lock has %q, package has %q", strings.TrimSpace(lock[i]), strings.TrimSpace(cur[i]))
+		}
+	}
+	return "surfaces identical"
+}

@@ -1,0 +1,54 @@
+package wirever_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/wirever"
+)
+
+func TestWirever(t *testing.T) {
+	f := wirever.Analyzer.Flags.Lookup("pkg")
+	old := f.Value.String()
+	if err := wirever.Analyzer.Flags.Set("pkg", "wirebad,wirestale,wireok,wiremissing,wireallow"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = wirever.Analyzer.Flags.Set("pkg", old) })
+	analyzertest.Run(t, analyzertest.TestData(t), wirever.Analyzer,
+		"wirebad", "wirestale", "wireok", "wiremissing", "wireallow")
+}
+
+// TestLockRoundTrip checks that Lock output parses back to the surface it
+// rendered — the property -fix and the analyzer rely on to agree.
+func TestLockRoundTrip(t *testing.T) {
+	loader := load.New(func(path string) (string, bool) {
+		if path == "wireok" {
+			return "testdata/src/wireok", true
+		}
+		return "", false
+	})
+	pkg, err := loader.Load("wireok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	content, err := wirever.Lock(pkg.Types)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lock, err := wirever.ParseLock([]byte(content))
+	if err != nil {
+		t.Fatalf("ParseLock on Lock output: %v", err)
+	}
+	if lock.Version != 1 || lock.MinVersion != 1 {
+		t.Errorf("round trip version = %d/%d, want 1/1", lock.Version, lock.MinVersion)
+	}
+	want := wirever.Surface(pkg.Types)
+	if strings.Join(lock.Surface, "\n") != strings.Join(want, "\n") {
+		t.Errorf("round trip surface:\n%s\nwant:\n%s", strings.Join(lock.Surface, "\n"), strings.Join(want, "\n"))
+	}
+	if len(want) == 0 {
+		t.Error("surface is empty; expected Op type and constants")
+	}
+}

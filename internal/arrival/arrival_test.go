@@ -241,7 +241,7 @@ func TestMechWireCodec(t *testing.T) {
 	if _, _, _, err := MechToWire(nonCodable{}); err == nil {
 		t.Fatal("non-codable mechanism accepted")
 	}
-	if _, err := MechFromWire(99, 1, 0); err == nil {
+	if _, err := MechFromWire(Mech(99), 1, 0); err == nil {
 		t.Fatal("unknown mechanism code accepted")
 	}
 	if _, err := MechFromWire(MechGRR, 1, 1); err == nil {

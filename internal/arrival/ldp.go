@@ -10,24 +10,29 @@ import (
 	"repro/internal/stats"
 )
 
-// LDP mechanism codes of the wire format — the mechanisms whose
+// Mech is an LDP mechanism code of the wire format — the mechanisms whose
 // construction is a pure function of (kind, ε, arity) and can therefore be
 // re-instantiated identically on a worker. Piecewise and Duchi need only
 // (kind, ε); the categorical GRR additionally carries its category count k
 // (wire.Directive.MechK). Mechanisms with richer state (the EMF baseline's
 // binned channel) are not wire-codable; shard-local LDP games reject them
-// at validation.
+// at validation. The named type makes mechanism dispatches visible to the
+// opswitch exhaustiveness analyzer: adding a code without handling it in
+// every switch is a lint failure, not a runtime surprise.
+type Mech byte
+
+// The wire-codable mechanism codes. MechNone marks a non-LDP game.
 const (
-	MechNone      byte = 0
-	MechPiecewise byte = 1
-	MechDuchi     byte = 2
-	MechGRR       byte = 3
+	MechNone      Mech = 0
+	MechPiecewise Mech = 1
+	MechDuchi     Mech = 2
+	MechGRR       Mech = 3
 )
 
 // MechToWire returns the wire code of a mechanism — (kind, ε, arity), with
 // arity 0 for the numeric mechanisms — or an error when the mechanism
 // cannot be reconstructed from a code.
-func MechToWire(m ldp.Mechanism) (kind byte, eps float64, k int, err error) {
+func MechToWire(m ldp.Mechanism) (kind Mech, eps float64, k int, err error) {
 	switch g := m.(type) {
 	case *ldp.Piecewise:
 		return MechPiecewise, m.Epsilon(), 0, nil
@@ -40,7 +45,7 @@ func MechToWire(m ldp.Mechanism) (kind byte, eps float64, k int, err error) {
 }
 
 // MechFromWire reconstructs a mechanism from its wire code.
-func MechFromWire(kind byte, eps float64, k int) (ldp.Mechanism, error) {
+func MechFromWire(kind Mech, eps float64, k int) (ldp.Mechanism, error) {
 	switch kind {
 	case MechPiecewise:
 		return ldp.NewPiecewise(eps)
@@ -48,8 +53,11 @@ func MechFromWire(kind byte, eps float64, k int) (ldp.Mechanism, error) {
 		return ldp.NewDuchi(eps)
 	case MechGRR:
 		return ldp.NewGRRValue(eps, k)
+	case MechNone:
+		return nil, fmt.Errorf("arrival: mechanism code MechNone marks a non-LDP game; nothing to reconstruct")
+	default:
+		return nil, fmt.Errorf("arrival: unknown mechanism code %d", kind)
 	}
-	return nil, fmt.Errorf("arrival: unknown mechanism code %d", kind)
 }
 
 // LDP draws one shard's slice of a privacy-preserving round: honest inputs

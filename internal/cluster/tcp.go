@@ -94,7 +94,7 @@ func Dial(addrs []string, wait time.Duration) (Transport, error) {
 		addrs:   append([]string(nil), addrs...),
 		clients: make([]*rpc.Client, len(addrs)),
 	}
-	deadline := time.Now().Add(wait)
+	deadline := time.Now().Add(wait) //trimlint:allow detrand dial-retry deadline during transport setup, before any game round
 	for i, addr := range addrs {
 		for {
 			c, err := rpc.Dial("tcp", addr)
@@ -102,7 +102,7 @@ func Dial(addrs []string, wait time.Duration) (Transport, error) {
 				t.clients[i] = c
 				break
 			}
-			if time.Now().After(deadline) {
+			if time.Now().After(deadline) { //trimlint:allow detrand dial-retry deadline during transport setup, before any game round
 				t.Close()
 				return nil, fmt.Errorf("cluster: dial worker %d at %s: %w", i, addr, err)
 			}

@@ -222,14 +222,14 @@ func (w *Worker) configure(d *wire.Directive) error {
 	w.scalarGen, w.ldpGen, w.catGen, w.rowGen = nil, nil, nil, nil
 	w.held, w.dists, w.rows, w.labels, w.dim, w.localRows = false, nil, nil, nil, 0, false
 	switch {
-	case d.MechKind == arrival.MechGRR:
+	case arrival.Mech(d.MechKind) == arrival.MechGRR:
 		gen, err := arrival.NewCategoricalFromWire(d.Pool, d.MechEps, d.MechK)
 		if err != nil {
 			return fmt.Errorf("cluster: worker %d: %w", w.id, err)
 		}
 		w.catGen = gen
-	case d.MechKind != arrival.MechNone:
-		mech, err := arrival.MechFromWire(d.MechKind, d.MechEps, d.MechK)
+	case arrival.Mech(d.MechKind) != arrival.MechNone:
+		mech, err := arrival.MechFromWire(arrival.Mech(d.MechKind), d.MechEps, d.MechK)
 		if err != nil {
 			return fmt.Errorf("cluster: worker %d: %w", w.id, err)
 		}

@@ -119,7 +119,7 @@ func (g *ldpGame) confDirective() wire.Directive {
 	if g.cfg.Gen != nil {
 		kind, eps, k, _ := arrival.MechToWire(g.cfg.Mechanism) // validated
 		conf.Pool = g.cfg.Inputs
-		conf.MechKind = kind
+		conf.MechKind = byte(kind)
 		conf.MechEps = eps
 		conf.MechK = k
 	}

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"sort"
 	"sync"
 	"time"
 )
@@ -83,6 +84,10 @@ func (m *Monitor) sweep() {
 		}
 	}
 	m.mu.Unlock()
+	// Probe in slot order: map iteration order would make the probe (and
+	// therefore Observe/recovery) sequence differ run to run.
+	sort.Ints(live)
+	sort.Ints(dead)
 
 	for _, s := range live {
 		if m.probe(s) == nil {
@@ -136,6 +141,10 @@ func (m *Monitor) Stale() []int {
 			stale = append(stale, s)
 		}
 	}
+	// Slot order, not map order: the supervisor drops stale workers in
+	// this sequence, and each drop bumps the membership epoch — the drop
+	// order is part of the reproducible record.
+	sort.Ints(stale)
 	return stale
 }
 
