@@ -53,6 +53,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -61,6 +62,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fleet"
 	"repro/internal/game"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/wire"
 )
@@ -272,12 +274,12 @@ func fig9Grids(scale string) (ratios, epsilons []float64) {
 }
 
 func timed(name string, run func() error) error {
-	start := time.Now() //trimlint:allow detrand wall-clock timing of a finished experiment, not game behavior
+	start := obs.Now()
 	fmt.Printf("=== %s ===\n", name)
 	if err := run(); err != nil {
 		return fmt.Errorf("%s: %w", name, err)
 	}
-	fmt.Printf("--- %s done in %v\n", name, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("--- %s done in %v\n", name, obs.Since(start).Round(time.Millisecond))
 	return nil
 }
 
@@ -358,6 +360,8 @@ func coordinatorMain(args []string) error {
 		ckDir     = fs.String("checkpoint-dir", "", "persist a coordinator snapshot every -checkpoint-every rounds into this directory (requires -local)")
 		ckEvery   = fs.Int("checkpoint-every", 5, "rounds between checkpoints")
 		resume    = fs.Bool("resume", false, "resume the game from the latest snapshot in -checkpoint-dir (requires -local)")
+		obsAddr   = fs.String("obs-addr", "", "serve the observability endpoint on this address while the game runs: /metrics (Prometheus text), /events (structured event ring, NDJSON), /debug/pprof/")
+		obsEvents = fs.String("obs-events", "", "append every structured event to this file as JSON lines")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -406,9 +410,34 @@ func coordinatorMain(args []string) error {
 	logf := func(format string, a ...any) {
 		fmt.Fprintf(os.Stderr, "trimlab coordinator: "+format+"\n", a...)
 	}
+
+	// Observability is always collected (the handles are cheap and the
+	// instrumentation is provably side-effect-free); -obs-addr only decides
+	// whether it is additionally served over HTTP while the game runs.
+	met := obs.NewRegistry()
+	ring := obs.NewRing(256)
+	sinks := []obs.Sink{obs.PrintfSink(logf), ring.Sink()}
+	if *obsEvents != "" {
+		f, err := os.OpenFile(*obsEvents, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("coordinator: -obs-events: %w", err)
+		}
+		defer f.Close()
+		sinks = append(sinks, obs.JSONL(f))
+	}
+	olog := obs.NewLogger(sinks...)
+	if *obsAddr != "" {
+		ep, err := obs.Serve(*obsAddr, met, ring)
+		if err != nil {
+			return fmt.Errorf("coordinator: -obs-addr: %w", err)
+		}
+		defer ep.Close()
+		fmt.Printf("trimlab coordinator: observability on http://%s/ (/metrics, /events, /debug/pprof/)\n", ep.Addr)
+	}
+
 	var fcfg *fleet.Config
 	if *heartbeat > 0 || *rejoin {
-		fcfg = &fleet.Config{Heartbeat: *heartbeat, Timeout: *hbTimeout, Rejoin: *rejoin, Logf: logf}
+		fcfg = &fleet.Config{Heartbeat: *heartbeat, Timeout: *hbTimeout, Rejoin: *rejoin, Log: olog}
 	}
 	var ck *fleet.Checkpointer
 	if *ckDir != "" {
@@ -440,13 +469,14 @@ func coordinatorMain(args []string) error {
 	if *local {
 		gen = &collect.ShardGen{MasterSeed: *seed}
 	}
-	start := time.Now() //trimlint:allow detrand wall-clock timing printed beside the run report
+	start := obs.Now()
 	clustered, err := collect.RunCluster(collect.ClusterConfig{
 		Config:     ccfg,
 		Transport:  tr,
 		Gen:        gen,
 		Pipeline:   *pipeline,
-		Logf:       logf,
+		Log:        olog,
+		Metrics:    met,
 		Fleet:      fcfg,
 		Checkpoint: ck,
 		Resume:     snap,
@@ -454,7 +484,7 @@ func coordinatorMain(args []string) error {
 	if err != nil {
 		return err
 	}
-	elapsed := time.Since(start).Round(time.Millisecond)
+	elapsed := obs.Since(start).Round(time.Millisecond)
 
 	fmt.Printf("cluster game: %d rounds x batch %d over %d workers in %v (%d shards lost)\n",
 		*rounds, *batch, len(addrs), elapsed, clustered.LostShards)
@@ -476,6 +506,7 @@ func coordinatorMain(args []string) error {
 	for _, ev := range clustered.FleetEvents {
 		fmt.Printf("  fleet: epoch %d: %s worker %d, round %d\n", ev.Epoch, ev.Kind, ev.Worker, ev.Round)
 	}
+	printObsSummary(met, len(addrs))
 
 	if *local {
 		return verifyShardLocal(cfg, gen, clustered, len(addrs), *rounds, *rejoin)
@@ -490,6 +521,74 @@ func coordinatorMain(args []string) error {
 		return err
 	}
 	return verifyThresholdDrift(ucfg, clustered, unsharded, *bound)
+}
+
+// printObsSummary digests the run's metrics registry into the end-of-run
+// report: per-phase fan-out latency quantiles from the
+// trimlab_phase_seconds histograms (with the network share where workers
+// reported busy time), and a straggler ranking of the workers by mean
+// busy time per answered call.
+func printObsSummary(met *obs.Registry, workers int) {
+	phases := []string{"configure", "join", "scale", "generate", "summarize", "classify", "classify+generate", "admission"}
+	header := false
+	for _, ph := range phases {
+		h := met.Histogram("trimlab_phase_seconds", obs.TimeBuckets, "phase", ph)
+		if h.Count() == 0 {
+			continue
+		}
+		if !header {
+			fmt.Println("  phase latency (coordinator fan-out, p50/p99 from fixed-bucket histograms):")
+			header = true
+		}
+		line := fmt.Sprintf("    %-18s n=%-4d p50 %-9v p99 %v",
+			ph, h.Count(), quantileDuration(h, 0.5), quantileDuration(h, 0.99))
+		if net := met.Histogram("trimlab_phase_net_seconds", obs.TimeBuckets, "phase", ph); net.Count() > 0 {
+			line += fmt.Sprintf("  (net p50 %v)", quantileDuration(net, 0.5))
+		}
+		fmt.Println(line)
+	}
+
+	type row struct {
+		worker int
+		calls  int64
+		busy   time.Duration
+	}
+	var rows []row
+	for w := 0; w < workers; w++ {
+		ws := strconv.Itoa(w)
+		calls := met.Counter("trimlab_worker_calls_total", "worker", ws).Value()
+		if calls == 0 {
+			continue
+		}
+		var busy int64
+		for _, ph := range []string{"generate", "summarize", "classify"} {
+			busy += met.Counter("trimlab_worker_phase_nanos_total", "phase", ph, "worker", ws).Value()
+		}
+		rows = append(rows, row{worker: w, calls: calls, busy: time.Duration(busy)})
+	}
+	if len(rows) == 0 {
+		return
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		mi := rows[i].busy / time.Duration(rows[i].calls)
+		mj := rows[j].busy / time.Duration(rows[j].calls)
+		if mi != mj {
+			return mi > mj
+		}
+		return rows[i].worker < rows[j].worker
+	})
+	fmt.Println("  worker busy time (straggler ranking, busiest mean first):")
+	for _, r := range rows {
+		mean := r.busy / time.Duration(r.calls)
+		fmt.Printf("    worker %d: %v over %d calls (%v/call)\n",
+			r.worker, r.busy.Round(time.Microsecond), r.calls, mean.Round(time.Microsecond))
+	}
+}
+
+// quantileDuration rounds a histogram quantile (seconds) to a printable
+// duration.
+func quantileDuration(h *obs.Histogram, q float64) time.Duration {
+	return time.Duration(h.Quantile(q) * float64(time.Second)).Round(time.Microsecond)
 }
 
 // verifyShardLocal checks a -local run against the single-process

@@ -13,8 +13,9 @@
 //   - time-derived seeds: a rand.New/rand.NewSource/… construction whose
 //     argument expression contains a time.Now call;
 //   - bare time.Now calls outside the whitelisted timing packages
-//     (-detrand.timepkgs, default the fleet heartbeat clock). Measurement
-//     code elsewhere opts out per call site with
+//     (-detrand.timepkgs, default the fleet heartbeat clock and the obs
+//     measurement clock). Measurement code elsewhere opts out per call
+//     site with
 //     //trimlint:allow detrand <reason>. Test files are exempt from the
 //     time.Now rule (deadlines and timing assertions are not part of the
 //     reproducibility surface) but not from the global-rand rules.
@@ -45,7 +46,7 @@ var Analyzer = &analysis.Analyzer{
 var timePkgs string
 
 func init() {
-	Analyzer.Flags.StringVar(&timePkgs, "timepkgs", "repro/internal/fleet",
+	Analyzer.Flags.StringVar(&timePkgs, "timepkgs", "repro/internal/fleet,repro/internal/obs",
 		"comma-separated package paths (exact or prefix/) where bare time.Now is allowed")
 }
 

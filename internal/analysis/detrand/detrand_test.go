@@ -21,3 +21,20 @@ func TestWhitelistedPackage(t *testing.T) {
 	t.Cleanup(func() { _ = detrand.Analyzer.Flags.Set("timepkgs", old) })
 	analyzertest.Run(t, analyzertest.TestData(t), detrand.Analyzer, "fleetlike")
 }
+
+// TestDefaultWhitelist pins the shipped -timepkgs default: the fleet
+// heartbeat clock and the obs measurement clock, nothing else. The obslike
+// package exercises the obs half by mapping it onto the default via Set —
+// proving a package whose path matches the default needs no directives.
+func TestDefaultWhitelist(t *testing.T) {
+	def := detrand.Analyzer.Flags.Lookup("timepkgs").DefValue
+	if def != "repro/internal/fleet,repro/internal/obs" {
+		t.Fatalf("default -timepkgs = %q, want the fleet and obs clocks", def)
+	}
+	old := detrand.Analyzer.Flags.Lookup("timepkgs").Value.String()
+	if err := detrand.Analyzer.Flags.Set("timepkgs", def+",obslike"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = detrand.Analyzer.Flags.Set("timepkgs", old) })
+	analyzertest.Run(t, analyzertest.TestData(t), detrand.Analyzer, "obslike")
+}

@@ -1,0 +1,18 @@
+// Package obslike stands in for the observability measurement clock
+// (repro/internal/obs), which the default -detrand.timepkgs whitelists:
+// bare time.Now is allowed there without per-site directives, global rand
+// still is not.
+package obslike
+
+import (
+	"math/rand"
+	"time"
+)
+
+func now() time.Time {
+	return time.Now() // ok: obs is whitelisted by default
+}
+
+func still() int {
+	return rand.Intn(2) // want `global math/rand\.Intn draws from the process-global source`
+}

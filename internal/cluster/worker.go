@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"repro/internal/arrival"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/stats/summary"
 	"repro/internal/wire"
@@ -114,7 +115,7 @@ func (w *Worker) Handle(req []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep := &wire.Report{Round: d.Round, Worker: w.id, Epoch: w.epoch, Configured: w.configured}
+	rep := &wire.Report{Round: d.Round, Worker: w.id, Epoch: w.epoch, Configured: w.configured, Trace: d.Trace}
 	switch d.Op {
 	case wire.OpConfigure:
 		if err := w.configure(d); err != nil {
@@ -284,6 +285,7 @@ func (w *Worker) setHeld(round int, dists []float64, rows [][]float64, labels []
 // the scalar and LDP shard-local rounds (which generator runs was fixed at
 // configure time).
 func (w *Worker) generate(d *wire.Directive, rep *wire.Report) error {
+	start := obs.Now()
 	spec, err := arrival.SpecFromWire(d.Gen)
 	if err != nil {
 		return fmt.Errorf("cluster: worker %d: %w", w.id, err)
@@ -315,6 +317,7 @@ func (w *Worker) generate(d *wire.Directive, rep *wire.Report) error {
 		return fmt.Errorf("cluster: worker %d: generate without a configured generator", w.id)
 	}
 	w.setHeld(d.Round, values, nil, nil, 0, spec.HonestN, false)
+	rep.GenerateNanos += obs.Since(start).Nanoseconds()
 	return w.summarize(rep)
 }
 
@@ -328,6 +331,7 @@ func (w *Worker) generateRows(d *wire.Directive, rep *wire.Report) error {
 	if len(d.Center) == 0 {
 		return fmt.Errorf("cluster: worker %d: generate-rows without a center", w.id)
 	}
+	start := obs.Now()
 	spec, err := arrival.SpecFromWire(d.Gen)
 	if err != nil {
 		return fmt.Errorf("cluster: worker %d: %w", w.id, err)
@@ -351,6 +355,7 @@ func (w *Worker) generateRows(d *wire.Directive, rep *wire.Report) error {
 	}
 	w.setHeld(d.Round, dists, rows, labels, len(d.Center), spec.HonestN, true)
 	rep.PctSum = pctSum
+	rep.GenerateNanos += obs.Since(start).Nanoseconds()
 	return w.summarize(rep)
 }
 
@@ -369,6 +374,7 @@ func (w *Worker) scale(d *wire.Directive, rep *wire.Report) error {
 	if d.Lo < 0 || d.Hi < d.Lo || d.Hi > n {
 		return fmt.Errorf("cluster: worker %d: scale range [%d, %d) outside dataset of %d", w.id, d.Lo, d.Hi, n)
 	}
+	start := obs.Now()
 	sum, err := summary.New(w.eps, d.Hi-d.Lo)
 	if err != nil {
 		return fmt.Errorf("cluster: worker %d: %w", w.id, err)
@@ -393,6 +399,7 @@ func (w *Worker) scale(d *wire.Directive, rep *wire.Report) error {
 	rep.ValueSum = sum.Sum()
 	rep.ScaleMin = min
 	rep.ScaleMax = max
+	rep.SummarizeNanos += obs.Since(start).Nanoseconds()
 	return nil
 }
 
@@ -401,6 +408,7 @@ func (w *Worker) scale(d *wire.Directive, rep *wire.Report) error {
 // length), so a loopback cluster reproduces RunSharded's merged summaries
 // bit for bit.
 func (w *Worker) summarize(rep *wire.Report) error {
+	start := obs.Now()
 	sum, err := summary.New(w.eps, len(w.dists))
 	if err != nil {
 		return fmt.Errorf("cluster: worker %d: %w", w.id, err)
@@ -412,6 +420,7 @@ func (w *Worker) summarize(rep *wire.Report) error {
 	rep.Sum = sum.Snapshot()
 	rep.Count = sum.Count()
 	rep.ValueSum = sum.Sum()
+	rep.SummarizeNanos += obs.Since(start).Nanoseconds()
 	return nil
 }
 
@@ -422,6 +431,7 @@ func (w *Worker) summarize(rep *wire.Report) error {
 // the kept rows and labels themselves (shard-local rounds — only the
 // worker ever held them).
 func (w *Worker) classify(threshold float64, rep *wire.Report) error {
+	start := obs.Now()
 	kept, err := summary.New(w.eps, len(w.dists))
 	if err != nil {
 		return fmt.Errorf("cluster: worker %d: %w", w.id, err)
@@ -468,5 +478,6 @@ func (w *Worker) classify(threshold float64, rep *wire.Report) error {
 	rep.KeptCount = kept.Count()
 	rep.KeptSum = kept.Sum()
 	rep.Vec = wire.DeltaFromVector(vec)
+	rep.ClassifyNanos += obs.Since(start).Nanoseconds()
 	return nil
 }

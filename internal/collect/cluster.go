@@ -7,6 +7,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/cluster"
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/stats/summary"
 	"repro/internal/wire"
@@ -50,13 +51,20 @@ type ClusterConfig struct {
 	// at the round boundary, so the fleet invariants are preserved.
 	Pipeline bool
 
-	// Logf receives shard-loss and lifecycle messages (fmt.Printf style);
-	// nil discards them. A worker whose call fails is dropped and the game
-	// continues on the survivors — its slice of the round (summaries,
-	// counts, kept values) is lost, which shows up as short per-round
-	// tallies for that round. Without a Fleet config the drop is forever;
-	// with one, re-admission is the supervisor's business.
-	Logf func(format string, args ...any)
+	// Log receives shard-loss and lifecycle events (typed obs events plus
+	// a printf adapter for free-form lines); nil discards them. A worker
+	// whose call fails is dropped and the game continues on the survivors —
+	// its slice of the round (summaries, counts, kept values) is lost,
+	// which shows up as short per-round tallies for that round. Without a
+	// Fleet config the drop is forever; with one, re-admission is the
+	// supervisor's business.
+	Log *obs.Logger
+
+	// Metrics, when non-nil, receives the run's live metrics (phase
+	// latency histograms, per-worker timings, egress/loss/round counters —
+	// DESIGN.md §11). Purely observational: an instrumented run reproduces
+	// a bare run record for record.
+	Metrics *obs.Registry
 
 	// Fleet enables the supervision runtime (internal/fleet, DESIGN.md §8):
 	// heartbeat liveness over the transport, an epoch-numbered membership
@@ -273,7 +281,7 @@ func RunCluster(cfg ClusterConfig) (*Result, error) {
 		return nil, err
 	}
 
-	pool := newWorkerPool(cfg.Transport, cfg.Logf, cfg.Fleet)
+	pool := newWorkerPool(cfg.Transport, cfg.Log, cfg.Metrics, cfg.Fleet)
 	defer pool.stop()
 
 	en := &engine{
@@ -314,8 +322,13 @@ func RunCluster(cfg ClusterConfig) (*Result, error) {
 	if cfg.Checkpoint != nil {
 		en.checkpointDue = cfg.Checkpoint.Due
 		en.checkpoint = func(r int) error {
-			_, err := cfg.Checkpoint.Write(scalarSnapshot(&cfg, res, pool, baselineQ, r))
-			return err
+			path, err := cfg.Checkpoint.Write(scalarSnapshot(&cfg, res, pool, baselineQ, r))
+			if err != nil {
+				return err
+			}
+			pool.log.Checkpoint(r, path)
+			pool.met.Counter("trimlab_checkpoints_total").Inc()
+			return nil
 		}
 	}
 	if err := en.run(); err != nil {

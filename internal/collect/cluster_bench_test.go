@@ -6,13 +6,17 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
 // benchClusterRound runs full game rounds over the loopback cluster at the
 // heavy per-round batch shared by every engine benchmark, reporting the
-// coordinator's per-round directive egress alongside the timing.
-func benchClusterRound(b *testing.B, workers int, gen *ShardGen) {
+// coordinator's per-round directive egress alongside the timing. With
+// withObs the full observability stack rides along — metrics registry,
+// event logger, ring — so BenchmarkClusterRoundObs prices the
+// instrumentation against the unobserved BenchmarkClusterRound.
+func benchClusterRound(b *testing.B, workers int, gen *ShardGen, withObs bool) {
 	ref := stats.NormalSlice(stats.NewRand(1), 5000, 0, 1)
 	honest, err := PoolSampler(ref)
 	if err != nil {
@@ -38,6 +42,11 @@ func benchClusterRound(b *testing.B, workers int, gen *ShardGen) {
 			Transport: cluster.NewLoopback(workers),
 			Gen:       gen,
 		}
+		if withObs {
+			ring := obs.NewRing(256)
+			cfg.Log = obs.NewLogger(ring.Sink())
+			cfg.Metrics = obs.NewRegistry()
+		}
 		if gen == nil {
 			cfg.Honest = honest
 			cfg.Rng = stats.NewRand(int64(i))
@@ -60,7 +69,19 @@ func benchClusterRound(b *testing.B, workers int, gen *ShardGen) {
 func BenchmarkClusterRound(b *testing.B) {
 	for _, workers := range []int{4, 16} {
 		b.Run(fmt.Sprintf("Workers%d", workers), func(b *testing.B) {
-			benchClusterRound(b, workers, nil)
+			benchClusterRound(b, workers, nil, false)
+		})
+	}
+}
+
+// BenchmarkClusterRoundObs is BenchmarkClusterRound with the full
+// observability stack attached (registry + logger + ring). The CI overhead
+// gate (scripts/obs_overhead.sh) compares it against the unobserved
+// baseline and fails if instrumentation costs more than a few percent.
+func BenchmarkClusterRoundObs(b *testing.B) {
+	for _, workers := range []int{4, 16} {
+		b.Run(fmt.Sprintf("Workers%d", workers), func(b *testing.B) {
+			benchClusterRound(b, workers, nil, true)
 		})
 	}
 }
@@ -72,7 +93,7 @@ func BenchmarkClusterRound(b *testing.B) {
 func BenchmarkClusterRoundLocal(b *testing.B) {
 	for _, workers := range []int{4, 16} {
 		b.Run(fmt.Sprintf("Workers%d", workers), func(b *testing.B) {
-			benchClusterRound(b, workers, &ShardGen{MasterSeed: 1})
+			benchClusterRound(b, workers, &ShardGen{MasterSeed: 1}, false)
 		})
 	}
 }

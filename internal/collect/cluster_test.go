@@ -14,6 +14,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dataset"
 	"repro/internal/ldp"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/trim"
 )
@@ -134,11 +135,11 @@ func TestRunClusterWorkerLoss(t *testing.T) {
 	cfg := ClusterConfig{
 		Config:    baseConfig(t, 34),
 		Transport: lb,
-		Logf: func(format string, args ...any) {
+		Log: obs.NewLogger(obs.PrintfSink(func(format string, args ...any) {
 			mu.Lock()
 			defer mu.Unlock()
 			logs = append(logs, fmt.Sprintf(format, args...))
-		},
+		})),
 	}
 	cfg.TrimOnBatch = true
 	failAt := cfg.Rounds / 2

@@ -10,6 +10,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/fleet"
 	"repro/internal/ldp"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/stats/summary"
 	"repro/internal/wire"
@@ -51,9 +52,13 @@ type LDPClusterConfig struct {
 	// board is reproduced record for record. Requires a Gen.
 	Pipeline bool
 
-	// Logf receives shard-loss messages; nil discards. Failure semantics
-	// match ClusterConfig: drop-and-continue.
-	Logf func(format string, args ...any)
+	// Log receives shard-loss and lifecycle events; nil discards. Failure
+	// semantics match ClusterConfig: drop-and-continue.
+	Log *obs.Logger
+
+	// Metrics, when non-nil, receives the run's live metrics. See
+	// ClusterConfig.Metrics.
+	Metrics *obs.Registry
 
 	// Fleet enables the supervision runtime — heartbeats, membership
 	// epochs, worker re-join at round boundaries. See ClusterConfig.Fleet.
@@ -221,7 +226,7 @@ func RunClusterLDP(cfg LDPClusterConfig) (*LDPResult, error) {
 	baselineQ := ExcessMassQuality(cleanReports, refReports)
 
 	res := &LDPResult{}
-	pool := newWorkerPool(cfg.Transport, cfg.Logf, cfg.Fleet)
+	pool := newWorkerPool(cfg.Transport, cfg.Log, cfg.Metrics, cfg.Fleet)
 	defer pool.stop()
 
 	g := &ldpGame{

@@ -10,6 +10,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dataset"
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/stats/summary"
 	"repro/internal/wire"
@@ -50,11 +51,15 @@ type RowClusterConfig struct {
 	// identical to the unpipelined run. See DESIGN.md §9.
 	Pipeline bool
 
-	// Logf receives shard-loss messages; nil discards. Failure semantics
-	// match ClusterConfig: drop-and-continue, the lost shard's slice of
-	// the round (counts, kept rows, center delta) is gone, and its dataset
-	// range is missing from that round's clean scale.
-	Logf func(format string, args ...any)
+	// Log receives shard-loss and lifecycle events; nil discards. Failure
+	// semantics match ClusterConfig: drop-and-continue, the lost shard's
+	// slice of the round (counts, kept rows, center delta) is gone, and
+	// its dataset range is missing from that round's clean scale.
+	Log *obs.Logger
+
+	// Metrics, when non-nil, receives the run's live metrics. See
+	// ClusterConfig.Metrics.
+	Metrics *obs.Registry
 
 	// Fleet enables the supervision runtime — heartbeats, membership
 	// epochs, worker re-join at round boundaries (the re-admission
@@ -288,7 +293,7 @@ func (g *rowsGame) foldClassify(en *engine, r int, _ *RoundRecord, rep *wire.Rep
 	} else {
 		b, ok := g.bounds[rep.Worker]
 		if !ok {
-			en.pool.logf("collect: round %d: report from worker %d with no recorded bounds", r, rep.Worker)
+			en.pool.log.Logf("collect: round %d: report from worker %d with no recorded bounds", r, rep.Worker)
 			return nil
 		}
 		for _, idx := range rep.KeptIdx {
@@ -307,7 +312,7 @@ func (g *rowsGame) foldClassify(en *engine, r int, _ *RoundRecord, rep *wire.Rep
 	}
 	if rep.Vec != nil {
 		if len(rep.Vec.Dims) != g.dim {
-			en.pool.logf("collect: round %d: worker %d vector delta dim %d, want %d (dropped)",
+			en.pool.log.Logf("collect: round %d: worker %d vector delta dim %d, want %d (dropped)",
 				r, rep.Worker, len(rep.Vec.Dims), g.dim)
 			return nil
 		}
@@ -380,7 +385,7 @@ func RunClusterRows(cfg RowClusterConfig) (*RowResult, error) {
 		}
 	}
 
-	pool := newWorkerPool(cfg.Transport, cfg.Logf, cfg.Fleet)
+	pool := newWorkerPool(cfg.Transport, cfg.Log, cfg.Metrics, cfg.Fleet)
 	defer pool.stop()
 
 	en := &engine{

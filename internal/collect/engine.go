@@ -3,6 +3,7 @@ package collect
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"sync"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/cluster"
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/stats/summary"
 	"repro/internal/trim"
 	"repro/internal/wire"
@@ -228,10 +230,15 @@ func validatePipeline(pipeline bool, gen *ShardGen) error {
 // failure pattern. With a fleet supervisor attached, lost slots are offered
 // re-admission at round boundaries (beginRound).
 type workerPool struct {
-	tr   cluster.Transport
-	ms   *fleet.Membership
-	sup  *fleet.Supervisor
-	logf func(format string, args ...any)
+	tr  cluster.Transport
+	ms  *fleet.Membership
+	sup *fleet.Supervisor
+
+	// log and met are the observability handles (DESIGN.md §11). Both are
+	// nil-receiver safe, so "observability off" needs no guards anywhere in
+	// the engine — and cannot affect game state either way.
+	log *obs.Logger
+	met *obs.Registry
 
 	// conf is the saved configure template, re-shipped to re-joining
 	// workers whose state died with their process.
@@ -265,20 +272,18 @@ type workerPool struct {
 	timing Timing
 }
 
-func newWorkerPool(tr cluster.Transport, logf func(string, ...any), fcfg *fleet.Config) *workerPool {
-	if logf == nil {
-		logf = func(string, ...any) {}
-	}
+func newWorkerPool(tr cluster.Transport, log *obs.Logger, met *obs.Registry, fcfg *fleet.Config) *workerPool {
 	p := &workerPool{
 		tr:     tr,
 		ms:     fleet.NewMembership(tr.Workers()),
-		logf:   logf,
+		log:    log,
+		met:    met,
 		ranges: make(map[int][2]int),
 	}
 	if fcfg != nil {
 		cfg := *fcfg
-		if cfg.Logf == nil {
-			cfg.Logf = logf
+		if cfg.Log == nil {
+			cfg.Log = log
 		}
 		p.callTimeout = cfg.CallTimeout
 		probe := func(w int) error {
@@ -372,18 +377,36 @@ func (p *workerPool) callWorker(w int, req []byte) ([]byte, error) {
 // that fail are logged, recorded as shard losses and dropped from the
 // membership; an empty pool is an error — the game cannot continue with
 // zero shards.
+//
+// Every directive is stamped with the round's trace ID (a pure function of
+// the round number, so tracing never perturbs determinism); the replies'
+// phase timings feed the per-worker straggler metrics, and the busiest
+// worker's share is subtracted from the fan-out elapsed time to estimate
+// the coordinator+network share (trimlab_phase_net_seconds).
 func (p *workerPool) callAll(round int, phase string, dirs []*wire.Directive) ([]*wire.Report, error) {
-	start := time.Now() //trimlint:allow detrand per-phase timing stats (Result.Timing); never feeds game state
-	defer func() { p.timing.add(phase, time.Since(start)) }()
+	start := obs.Now()
+	var maxBusy time.Duration
+	defer func() {
+		elapsed := obs.Since(start)
+		p.timing.add(phase, elapsed)
+		p.met.Histogram("trimlab_phase_seconds", obs.TimeBuckets, "phase", phase).Observe(elapsed.Seconds())
+		if net := elapsed - maxBusy; maxBusy > 0 && net > 0 {
+			p.met.Histogram("trimlab_phase_net_seconds", obs.TimeBuckets, "phase", phase).Observe(net.Seconds())
+		}
+	}()
+	trace := obs.TraceID(round)
 	alive := append([]int(nil), p.alive()...)
 	reps := make([]*wire.Report, len(alive))
 	errs := make([]error, len(alive))
 	reqs := make([][]byte, len(alive))
 	for i := range alive {
+		dirs[i].Trace = trace
 		reqs[i] = wire.EncodeDirective(nil, dirs[i])
 		p.egress += int64(len(reqs[i]))
+		p.met.Counter("trimlab_egress_bytes_total").Add(int64(len(reqs[i])))
 		if phase == "configure" {
 			p.egressConfig += int64(len(reqs[i]))
+			p.met.Counter("trimlab_egress_config_bytes_total").Add(int64(len(reqs[i])))
 		}
 	}
 	var wg sync.WaitGroup
@@ -411,6 +434,9 @@ func (p *workerPool) callAll(round int, phase string, dirs []*wire.Directive) ([
 		// whatever it was launched with); reports are keyed by it.
 		reps[i].Worker = w
 		kept = append(kept, reps[i])
+		if busy := p.recordWorker(w, reps[i]); busy > maxBusy {
+			maxBusy = busy
+		}
 		if p.sup != nil {
 			p.sup.Observe(w)
 		}
@@ -421,17 +447,40 @@ func (p *workerPool) callAll(round int, phase string, dirs []*wire.Directive) ([
 	return kept, nil
 }
 
+// recordWorker feeds one reply's phase timings into the per-worker metrics
+// and returns the worker's total busy time for this call — the straggler
+// signal callAll nets out of the fan-out elapsed time.
+func (p *workerPool) recordWorker(w int, rep *wire.Report) time.Duration {
+	busy := time.Duration(rep.GenerateNanos + rep.SummarizeNanos + rep.ClassifyNanos)
+	if p.met == nil {
+		return busy
+	}
+	ws := strconv.Itoa(w)
+	p.met.Counter("trimlab_worker_calls_total", "worker", ws).Inc()
+	if rep.GenerateNanos > 0 {
+		p.met.Counter("trimlab_worker_phase_nanos_total", "phase", "generate", "worker", ws).Add(rep.GenerateNanos)
+	}
+	if rep.SummarizeNanos > 0 {
+		p.met.Counter("trimlab_worker_phase_nanos_total", "phase", "summarize", "worker", ws).Add(rep.SummarizeNanos)
+	}
+	if rep.ClassifyNanos > 0 {
+		p.met.Counter("trimlab_worker_phase_nanos_total", "phase", "classify", "worker", ws).Add(rep.ClassifyNanos)
+	}
+	return busy
+}
+
 // drop records one worker loss and removes the slot from the membership.
 func (p *workerPool) drop(round int, phase string, w int, err error) {
 	b := p.ranges[w]
 	p.losses = append(p.losses, ShardLoss{Round: round, Phase: phase, Worker: w, Lo: b[0], Hi: b[1]})
-	p.logf("collect: round %d: dropping worker %d after failed %s (shard [%d, %d) lost): %v",
-		round, w, phase, b[0], b[1], err)
+	p.log.ShardLoss(round, phase, w, b[0], b[1], err)
+	p.met.Counter("trimlab_shard_loss_total").Inc()
 	if p.sup != nil {
 		p.sup.Drop(w, round)
 	} else {
 		p.ms.Drop(w, round)
 	}
+	p.met.Gauge("trimlab_fleet_epoch").Set(float64(p.ms.Epoch()))
 }
 
 // beginRound applies the fleet supervision policy at a round boundary:
@@ -452,8 +501,8 @@ func (p *workerPool) beginRound(round int) {
 // Admission traffic counts as egress (the configure share into
 // egressConfig); a failure at any step leaves the slot down.
 func (p *workerPool) admit(round, w, epoch int) error {
-	start := time.Now() //trimlint:allow detrand admission timing stats (Result.Timing); never feeds game state
-	defer func() { p.timing.add("admission", time.Since(start)) }()
+	start := obs.Now()
+	defer func() { p.timing.add("admission", obs.Since(start)) }()
 	hello, err := p.call1(w, &wire.Directive{Op: wire.OpHello, Round: round}, false)
 	if err != nil {
 		return err
@@ -467,16 +516,23 @@ func (p *workerPool) admit(round, w, epoch int) error {
 			return err
 		}
 	}
-	_, err = p.call1(w, &wire.Directive{Op: wire.OpJoin, Round: round, Epoch: epoch}, false)
-	return err
+	if _, err := p.call1(w, &wire.Directive{Op: wire.OpJoin, Round: round, Epoch: epoch}, false); err != nil {
+		return err
+	}
+	p.met.Counter("trimlab_worker_rejoin_total").Inc()
+	p.met.Gauge("trimlab_fleet_epoch").Set(float64(epoch))
+	return nil
 }
 
 // call1 is one accounted directive round trip to a single worker.
 func (p *workerPool) call1(w int, d *wire.Directive, isConfig bool) (*wire.Report, error) {
+	d.Trace = obs.TraceID(d.Round)
 	req := wire.EncodeDirective(nil, d)
 	p.egress += int64(len(req))
+	p.met.Counter("trimlab_egress_bytes_total").Add(int64(len(req)))
 	if isConfig {
 		p.egressConfig += int64(len(req))
+		p.met.Counter("trimlab_egress_config_bytes_total").Add(int64(len(req)))
 	}
 	out, err := p.callWorker(w, req)
 	if err != nil {
@@ -517,14 +573,14 @@ func (p *workerPool) configure(template wire.Directive) error {
 func (p *workerPool) stop() {
 	for _, w := range p.alive() {
 		if _, err := p.callWorker(w, wire.EncodeDirective(nil, &wire.Directive{Op: wire.OpStop})); err != nil {
-			p.logf("collect: stopping worker %d: %v", w, err)
+			p.log.Logf("collect: stopping worker %d: %v", w, err)
 		}
 	}
 	if p.sup != nil {
 		p.sup.Close()
 	}
 	if err := p.tr.Close(); err != nil {
-		p.logf("collect: closing transport: %v", err)
+		p.log.Logf("collect: closing transport: %v", err)
 	}
 }
 
@@ -714,6 +770,7 @@ func (en *engine) run() error {
 		en.game.endRound(merged, mCount, mSum)
 		en.board.Post(rec)
 		en.pool.timing.Rounds++
+		en.observeRound(rec)
 		if en.onRound != nil {
 			en.onRound(rec)
 		}
@@ -724,6 +781,25 @@ func (en *engine) run() error {
 		}
 	}
 	return nil
+}
+
+// observeRound publishes one posted round record to the metrics registry:
+// live gauges for the current round and threshold, running totals for the
+// kept/trimmed tallies. Read-only over the record — metrics never feed
+// game state.
+func (en *engine) observeRound(rec RoundRecord) {
+	met := en.pool.met
+	if met == nil {
+		return
+	}
+	met.Counter("trimlab_rounds_total").Inc()
+	met.Gauge("trimlab_round").Set(float64(rec.Round))
+	met.Gauge("trimlab_threshold_pct").Set(rec.ThresholdPct)
+	met.Gauge("trimlab_threshold_value").Set(rec.ThresholdValue)
+	met.Counter("trimlab_honest_kept_total").Add(int64(rec.HonestKept))
+	met.Counter("trimlab_honest_trimmed_total").Add(int64(rec.HonestTrimmed))
+	met.Counter("trimlab_poison_kept_total").Add(int64(rec.PoisonKept))
+	met.Counter("trimlab_poison_trimmed_total").Add(int64(rec.PoisonTrimmed))
 }
 
 // phase1 produces round r's summarize reports. Order of preference: consume
@@ -744,6 +820,8 @@ func (en *engine) phase1(r int, pend **pending) ([]*wire.Report, map[int]arrival
 		// re-admission). The injection spec was drawn exactly once already —
 		// rebuild the directives over the new live set and re-fan; workers
 		// overwrite their speculated round state.
+		en.pool.log.PipelineFlush(r, p.epoch, en.pool.epoch())
+		en.pool.met.Counter("trimlab_pipeline_flush_total").Inc()
 		reps, byWorker, err := en.generate(r, p.inject)
 		return reps, byWorker, 0, err
 	}

@@ -1,0 +1,142 @@
+package collect
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// fullObs builds a logger and registry exercising every sink path — the
+// instrumented run must not merely tolerate observability, it must produce
+// it — and returns them with the ring for assertions.
+func fullObs() (*obs.Logger, *obs.Registry, *obs.Ring) {
+	ring := obs.NewRing(64)
+	log := obs.NewLogger(ring.Sink(), obs.JSONL(io.Discard))
+	return log, obs.NewRegistry(), ring
+}
+
+// The determinism contract of the observability layer (DESIGN.md §11):
+// instrumentation is measurement only. A scalar shard-local cluster run
+// with the full obs stack attached — logger, ring, JSONL sink, metrics
+// registry — reproduces the unobserved run record for record, with
+// identical egress, plain and pipelined alike.
+func TestObsOnOffScalarRecordIdentical(t *testing.T) {
+	for _, pipeline := range []bool{false, true} {
+		gen := &ShardGen{MasterSeed: 201}
+		run := func(log *obs.Logger, met *obs.Registry) *Result {
+			res, err := RunCluster(ClusterConfig{
+				Config:    shardLocalConfig(t),
+				Transport: cluster.NewLoopback(3),
+				Gen:       gen,
+				Pipeline:  pipeline,
+				Log:       log,
+				Metrics:   met,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		off := run(nil, nil)
+		log, met, _ := fullObs()
+		on := run(log, met)
+
+		if len(on.Board.Records) != len(off.Board.Records) {
+			t.Fatalf("pipeline=%v: rounds %d vs %d", pipeline, len(on.Board.Records), len(off.Board.Records))
+		}
+		for i := range off.Board.Records {
+			if !off.Board.Records[i].Equal(on.Board.Records[i]) {
+				t.Errorf("pipeline=%v: round %d diverged under observability:\noff %+v\non  %+v",
+					pipeline, i+1, off.Board.Records[i], on.Board.Records[i])
+			}
+		}
+		if on.EgressBytes != off.EgressBytes || on.EgressConfigBytes != off.EgressConfigBytes {
+			t.Errorf("pipeline=%v: egress changed under observability: %d/%d vs %d/%d bytes",
+				pipeline, on.EgressBytes, on.EgressConfigBytes, off.EgressBytes, off.EgressConfigBytes)
+		}
+		if got := met.Counter("trimlab_rounds_total").Value(); got != int64(len(on.Board.Records)) {
+			t.Errorf("pipeline=%v: trimlab_rounds_total = %d, want %d", pipeline, got, len(on.Board.Records))
+		}
+		if met.Histogram("trimlab_phase_seconds", obs.TimeBuckets, "phase", "classify").Count() == 0 &&
+			met.Histogram("trimlab_phase_seconds", obs.TimeBuckets, "phase", "classify+generate").Count() == 0 {
+			t.Errorf("pipeline=%v: no classify phase observations recorded", pipeline)
+		}
+	}
+}
+
+// The row game under the same contract.
+func TestObsOnOffRowsRecordIdentical(t *testing.T) {
+	mk := func() RowConfig {
+		d := dataset.VehicleN(stats.NewRand(202), 300)
+		adv, err := attack.NewPoint("p", 0.99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return RowConfig{
+			Rounds: 5, Batch: 100, AttackRatio: 0.2,
+			Data: d, Collector: mustStatic(t, 0.9), Adversary: adv,
+			PoisonLabel: -1,
+		}
+	}
+	gen := &ShardGen{MasterSeed: 203}
+	run := func(log *obs.Logger, met *obs.Registry) *RowResult {
+		res, err := RunClusterRows(RowClusterConfig{
+			RowConfig: mk(),
+			Transport: cluster.NewLoopback(3),
+			Gen:       gen,
+			Log:       log,
+			Metrics:   met,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	off := run(nil, nil)
+	log, met, _ := fullObs()
+	on := run(log, met)
+	for i := range off.Board.Records {
+		if !off.Board.Records[i].Equal(on.Board.Records[i]) {
+			t.Errorf("round %d diverged under observability", i+1)
+		}
+	}
+	if len(on.Kept.X) != len(off.Kept.X) {
+		t.Errorf("kept pool %d vs %d rows under observability", len(on.Kept.X), len(off.Kept.X))
+	}
+}
+
+// The LDP game under the same contract: board, mean estimate, and true
+// mean all reproduce exactly with the obs stack attached.
+func TestObsOnOffLDPRecordIdentical(t *testing.T) {
+	gen := &ShardGen{MasterSeed: 204}
+	run := func(log *obs.Logger, met *obs.Registry) *LDPResult {
+		res, err := RunClusterLDP(LDPClusterConfig{
+			LDPConfig: shardLocalLDPConfig(t),
+			Transport: cluster.NewLoopback(3),
+			Gen:       gen,
+			Log:       log,
+			Metrics:   met,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	off := run(nil, nil)
+	log, met, _ := fullObs()
+	on := run(log, met)
+	for i := range off.Board.Records {
+		if !off.Board.Records[i].Equal(on.Board.Records[i]) {
+			t.Errorf("round %d diverged under observability", i+1)
+		}
+	}
+	if on.MeanEstimate != off.MeanEstimate || on.TrueMean != off.TrueMean {
+		t.Errorf("estimates diverged under observability: mean %v/%v true %v/%v",
+			on.MeanEstimate, off.MeanEstimate, on.TrueMean, off.TrueMean)
+	}
+}

@@ -4,11 +4,11 @@ import (
 	"fmt"
 	"io"
 	"sort"
-	"time"
 
 	"repro/internal/attack"
 	"repro/internal/cluster"
 	"repro/internal/collect"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/stats/summary"
 	"repro/internal/trim"
@@ -107,9 +107,9 @@ func Distributed(sc Scale, workerCounts []int) (*DistributedResult, error) {
 		if err != nil {
 			return nil, 0, err
 		}
-		start := time.Now() //trimlint:allow detrand wall-clock column of the experiment table
+		start := obs.Now()
 		out, err := run(cfg)
-		return out, float64(time.Since(start).Microseconds()) / 1000, err
+		return out, float64(obs.Since(start).Microseconds()) / 1000, err
 	}
 
 	record := func(variant string, out *collect.Result, millis float64, baseline *collect.Result) {

@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"io"
 	"sort"
-	"time"
 
 	"repro/internal/attack"
 	"repro/internal/collect"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/stats/summary"
 	"repro/internal/trim"
@@ -84,9 +84,9 @@ func Sharded(sc Scale, shardCounts []int) (*ShardedResult, error) {
 			},
 			Shards: shards,
 		}
-		start := time.Now() //trimlint:allow detrand wall-clock column of the experiment table
+		start := obs.Now()
 		out, err := collect.RunSharded(cfg)
-		return out, float64(time.Since(start).Microseconds()) / 1000, err
+		return out, float64(obs.Since(start).Microseconds()) / 1000, err
 	}
 
 	baseline, baseMillis, err := run(1)

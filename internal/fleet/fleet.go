@@ -23,7 +23,11 @@
 //     board and kept-stream estimates.
 package fleet
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/obs"
+)
 
 // Config parameterizes fleet supervision of one cluster game.
 type Config struct {
@@ -54,9 +58,10 @@ type Config struct {
 	// above the slowest round you expect).
 	CallTimeout time.Duration
 
-	// Logf receives supervision lifecycle messages (fmt.Printf style); nil
-	// discards them.
-	Logf func(format string, args ...any)
+	// Log receives supervision lifecycle events (typed obs events for
+	// drops and re-admissions, free-form lines otherwise); nil discards
+	// them (obs.Logger methods are nil-receiver safe).
+	Log *obs.Logger
 
 	// Now is the clock; time.Now when nil (tests inject a fake).
 	Now func() time.Time
@@ -68,14 +73,6 @@ func (c Config) timeout() time.Duration {
 		return c.Timeout
 	}
 	return 4 * c.Heartbeat
-}
-
-// logf resolves the sink.
-func (c Config) logf() func(string, ...any) {
-	if c.Logf != nil {
-		return c.Logf
-	}
-	return func(string, ...any) {}
 }
 
 // now resolves the clock.

@@ -3,6 +3,8 @@ package fleet
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Supervisor glues the membership view, the heartbeat monitor and the
@@ -24,7 +26,7 @@ type Supervisor struct {
 	probe  func(worker int) error
 	revive func(worker int) error
 	mon    *Monitor
-	logf   func(string, ...any)
+	log    *obs.Logger
 }
 
 // NewSupervisor builds the supervisor over n worker slots and starts the
@@ -35,7 +37,7 @@ func NewSupervisor(n int, cfg Config, probe, revive func(worker int) error) *Sup
 		ms:     NewMembership(n),
 		probe:  probe,
 		revive: revive,
-		logf:   cfg.logf(),
+		log:    cfg.Log,
 	}
 	if cfg.Heartbeat > 0 {
 		timed := func(w int) error { return callTimeout(probe, w, cfg.timeout()) }
@@ -90,8 +92,8 @@ func (s *Supervisor) BeginRound(round int, admit func(worker, epoch int) error) 
 			if !s.ms.Live(w) {
 				continue
 			}
-			s.logf("fleet: round %d: dropping worker %d (no contact within %v)", round, w, s.cfg.timeout())
 			s.Drop(w, round)
+			s.log.FleetDrop(round, w, s.ms.Epoch(), fmt.Sprintf("no contact within %v", s.cfg.timeout()))
 		}
 	}
 	if !s.cfg.Rejoin {
@@ -114,17 +116,17 @@ func (s *Supervisor) BeginRound(round int, admit func(worker, epoch int) error) 
 		}
 		epoch := s.ms.Epoch() + 1
 		if err := admit(w, epoch); err != nil {
-			s.logf("fleet: round %d: worker %d answered but re-admission failed: %v", round, w, err)
+			s.log.Logf("fleet: round %d: worker %d answered but re-admission failed: %v", round, w, err)
 			continue
 		}
 		if err := s.ms.Admit(w, round); err != nil {
-			s.logf("fleet: round %d: %v", round, err)
+			s.log.Logf("fleet: round %d: %v", round, err)
 			continue
 		}
 		if s.mon != nil {
 			s.mon.MarkLive(w)
 		}
-		s.logf("fleet: round %d: worker %d re-joined (epoch %d)", round, w, s.ms.Epoch())
+		s.log.FleetAdmit(round, w, s.ms.Epoch())
 	}
 }
 

@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// EventKind tags a structured event.
+type EventKind byte
+
+// The event kinds: free-form log lines plus the typed lifecycle events of
+// a cluster run (DESIGN.md §11).
+const (
+	EventLog           EventKind = 1 // printf-adapter line (Logf)
+	EventShardLoss     EventKind = 2 // a worker's call failed; its shard slice is lost
+	EventFleetDrop     EventKind = 3 // membership: a slot left the live set (epoch bump)
+	EventFleetAdmit    EventKind = 4 // membership: a slot re-joined (epoch bump)
+	EventCheckpoint    EventKind = 5 // a coordinator snapshot was persisted
+	EventPipelineFlush EventKind = 6 // speculated round discarded (epoch changed)
+)
+
+// String names the kind (the JSON encoding of the field).
+func (k EventKind) String() string {
+	switch k {
+	case EventLog:
+		return "log"
+	case EventShardLoss:
+		return "shard-loss"
+	case EventFleetDrop:
+		return "fleet-drop"
+	case EventFleetAdmit:
+		return "fleet-admit"
+	case EventCheckpoint:
+		return "checkpoint"
+	case EventPipelineFlush:
+		return "pipeline-flush"
+	}
+	return "unknown"
+}
+
+// MarshalJSON encodes the kind by name, so event streams read without a
+// code table.
+func (k EventKind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// UnmarshalJSON decodes a kind name.
+func (k *EventKind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	for _, kind := range []EventKind{EventLog, EventShardLoss, EventFleetDrop,
+		EventFleetAdmit, EventCheckpoint, EventPipelineFlush} {
+		if kind.String() == s {
+			*k = kind
+			return nil
+		}
+	}
+	return fmt.Errorf("obs: unknown event kind %q", s)
+}
+
+// Event is one structured log entry. Seq is a per-logger sequence number
+// (strictly increasing, so sinks can order events without trusting the
+// clock); Worker is -1 when the event is not about one worker; Msg is the
+// human rendering every emitter also fills, so a printf sink prints the
+// same line the old Logf plumbing did.
+type Event struct {
+	Seq    uint64    `json:"seq"`
+	Time   time.Time `json:"time"`
+	Kind   EventKind `json:"kind"`
+	Round  int       `json:"round"`
+	Worker int       `json:"worker"`
+	Epoch  int       `json:"epoch"`
+	Msg    string    `json:"msg,omitempty"`
+}
+
+// String returns the human rendering.
+func (e Event) String() string {
+	if e.Msg != "" {
+		return e.Msg
+	}
+	return fmt.Sprintf("%s: round %d, worker %d, epoch %d", e.Kind, e.Round, e.Worker, e.Epoch)
+}
+
+// Sink consumes events. Sinks are invoked under the logger's mutex, in
+// emission order; a slow sink slows the logger, never reorders it.
+type Sink func(Event)
+
+// Logger is the typed event log that replaces printf-callback plumbing: a
+// sequence-stamped fan-out to sinks, with one typed emitter per lifecycle
+// event and a printf adapter (Logf) for free-form lines. A nil *Logger
+// discards everything, so instrumented code needs no guards.
+type Logger struct {
+	mu    sync.Mutex
+	seq   uint64
+	sinks []Sink
+}
+
+// NewLogger builds a logger over the given sinks (nil sinks are skipped).
+func NewLogger(sinks ...Sink) *Logger {
+	l := &Logger{}
+	for _, s := range sinks {
+		if s != nil {
+			l.sinks = append(l.sinks, s)
+		}
+	}
+	return l
+}
+
+// Emit stamps the event (sequence, time) and fans it out.
+func (l *Logger) Emit(e Event) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	e.Seq = l.seq
+	e.Time = Now()
+	for _, s := range l.sinks {
+		s(e)
+	}
+}
+
+// Logf is the printf adapter: call sites that used to take a
+// `func(format string, args ...any)` keep their formatting and emit an
+// EventLog line.
+func (l *Logger) Logf(format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.Emit(Event{Kind: EventLog, Worker: -1, Msg: fmt.Sprintf(format, args...)})
+}
+
+// ShardLoss records a worker whose call failed mid-phase: its [lo, hi)
+// slice of the round's honest batch is missing from the tallies.
+func (l *Logger) ShardLoss(round int, phase string, worker, lo, hi int, err error) {
+	if l == nil {
+		return
+	}
+	l.Emit(Event{
+		Kind: EventShardLoss, Round: round, Worker: worker, Epoch: -1,
+		Msg: fmt.Sprintf("collect: round %d: dropping worker %d after failed %s (shard [%d, %d) lost): %v",
+			round, worker, phase, lo, hi, err),
+	})
+}
+
+// FleetDrop records a membership drop (the epoch in force after it).
+func (l *Logger) FleetDrop(round, worker, epoch int, reason string) {
+	if l == nil {
+		return
+	}
+	l.Emit(Event{
+		Kind: EventFleetDrop, Round: round, Worker: worker, Epoch: epoch,
+		Msg: fmt.Sprintf("fleet: round %d: dropping worker %d (%s)", round, worker, reason),
+	})
+}
+
+// FleetAdmit records a successful (re-)admission and the epoch it created.
+func (l *Logger) FleetAdmit(round, worker, epoch int) {
+	if l == nil {
+		return
+	}
+	l.Emit(Event{
+		Kind: EventFleetAdmit, Round: round, Worker: worker, Epoch: epoch,
+		Msg: fmt.Sprintf("fleet: round %d: worker %d re-joined (epoch %d)", round, worker, epoch),
+	})
+}
+
+// Checkpoint records a persisted coordinator snapshot.
+func (l *Logger) Checkpoint(round int, path string) {
+	if l == nil {
+		return
+	}
+	l.Emit(Event{
+		Kind: EventCheckpoint, Round: round, Worker: -1, Epoch: -1,
+		Msg: fmt.Sprintf("collect: round %d: checkpoint written to %s", round, path),
+	})
+}
+
+// PipelineFlush records a discarded speculated round: it was built under
+// specEpoch and the membership has since moved to epoch.
+func (l *Logger) PipelineFlush(round, specEpoch, epoch int) {
+	if l == nil {
+		return
+	}
+	l.Emit(Event{
+		Kind: EventPipelineFlush, Round: round, Worker: -1, Epoch: epoch,
+		Msg: fmt.Sprintf("collect: round %d: pipeline flushed (speculated under epoch %d, membership now epoch %d)",
+			round, specEpoch, epoch),
+	})
+}
+
+// JSONL returns a sink that appends one JSON object per line to w — the
+// durable event-log format (`trimlab coordinator -obs-events`).
+func JSONL(w io.Writer) Sink {
+	enc := json.NewEncoder(w)
+	return func(e Event) { _ = enc.Encode(e) }
+}
+
+// PrintfSink adapts an old-style printf callback into a sink: every event
+// is forwarded as its human rendering, so call sites that used to receive
+// Logf lines (a test collecting strings, trimlab's stderr prefixer) see
+// the same text they always did.
+func PrintfSink(logf func(format string, args ...any)) Sink {
+	if logf == nil {
+		return nil
+	}
+	return func(e Event) { logf("%s", e.String()) }
+}
+
+// Ring is a fixed-capacity event buffer — the recent-history view behind
+// the /events endpoint. The sink keeps the newest n events; Events
+// returns them oldest-first.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []Event
+	next int
+	full bool
+}
+
+// NewRing returns a ring holding the most recent n events (n ≥ 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]Event, n)}
+}
+
+// Sink returns the ring's recording sink.
+func (r *Ring) Sink() Sink {
+	if r == nil {
+		return nil
+	}
+	return func(e Event) {
+		r.mu.Lock()
+		r.buf[r.next] = e
+		r.next = (r.next + 1) % len(r.buf)
+		if r.next == 0 {
+			r.full = true
+		}
+		r.mu.Unlock()
+	}
+}
+
+// Events returns a copy of the buffered events, oldest first.
+func (r *Ring) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLoggerSequenceAndFanOut(t *testing.T) {
+	var a, b []Event
+	l := NewLogger(func(e Event) { a = append(a, e) }, func(e Event) { b = append(b, e) })
+	l.ShardLoss(3, "summarize", 2, 100, 200, fmt.Errorf("boom"))
+	l.FleetAdmit(5, 2, 4)
+	l.Logf("round %d done", 5)
+
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("fan-out lengths = %d, %d, want 3, 3", len(a), len(b))
+	}
+	for i, e := range a {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+		if e.Time.IsZero() {
+			t.Fatalf("event %d has zero time", i)
+		}
+	}
+	wantLoss := "collect: round 3: dropping worker 2 after failed summarize (shard [100, 200) lost): boom"
+	if a[0].Kind != EventShardLoss || a[0].Msg != wantLoss {
+		t.Fatalf("shard-loss event = %+v, want msg %q", a[0], wantLoss)
+	}
+	wantAdmit := "fleet: round 5: worker 2 re-joined (epoch 4)"
+	if a[1].Kind != EventFleetAdmit || a[1].Msg != wantAdmit || a[1].Worker != 2 || a[1].Epoch != 4 {
+		t.Fatalf("admit event = %+v, want msg %q", a[1], wantAdmit)
+	}
+	if a[2].Kind != EventLog || a[2].Msg != "round 5 done" {
+		t.Fatalf("log event = %+v", a[2])
+	}
+}
+
+func TestNilLoggerIsNoOp(t *testing.T) {
+	var l *Logger
+	l.Emit(Event{Kind: EventLog})
+	l.Logf("ignored %d", 1)
+	l.ShardLoss(0, "generate", 0, 0, 0, nil)
+	l.FleetDrop(0, 0, 0, "x")
+	l.FleetAdmit(0, 0, 0)
+	l.Checkpoint(0, "p")
+	l.PipelineFlush(0, 0, 0)
+}
+
+func TestPrintfSinkKeepsLegacyText(t *testing.T) {
+	var lines []string
+	l := NewLogger(PrintfSink(func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}))
+	l.ShardLoss(7, "classify", 1, 0, 50, fmt.Errorf("conn reset"))
+	l.FleetDrop(7, 1, 3, "no contact within 100ms")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	if want := "collect: round 7: dropping worker 1 after failed classify (shard [0, 50) lost): conn reset"; lines[0] != want {
+		t.Fatalf("line 0 = %q, want %q", lines[0], want)
+	}
+	if !strings.Contains(lines[1], "dropping worker 1") {
+		t.Fatalf("line 1 = %q, want a dropping-worker line", lines[1])
+	}
+	if PrintfSink(nil) != nil {
+		t.Fatalf("PrintfSink(nil) should be nil")
+	}
+}
+
+func TestJSONLSinkRoundTrips(t *testing.T) {
+	var buf strings.Builder
+	l := NewLogger(JSONL(&buf))
+	l.Checkpoint(12, "/tmp/ck/round12.snap")
+	l.PipelineFlush(13, 2, 3)
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d JSONL lines, want 2", len(lines))
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if e.Kind != EventCheckpoint || e.Round != 12 || e.Seq != 1 {
+		t.Fatalf("decoded event = %+v", e)
+	}
+	if !strings.Contains(lines[0], `"kind":"checkpoint"`) {
+		t.Fatalf("kind not encoded by name: %s", lines[0])
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &e); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if e.Kind != EventPipelineFlush || e.Epoch != 3 {
+		t.Fatalf("decoded event = %+v", e)
+	}
+}
+
+func TestEventKindJSONUnknown(t *testing.T) {
+	var k EventKind
+	if err := json.Unmarshal([]byte(`"no-such-kind"`), &k); err == nil {
+		t.Fatalf("unknown kind decoded without error")
+	}
+	if EventKind(200).String() != "unknown" {
+		t.Fatalf("out-of-range kind should stringify as unknown")
+	}
+}
+
+func TestRingKeepsNewestOldestFirst(t *testing.T) {
+	r := NewRing(3)
+	l := NewLogger(r.Sink())
+	for i := 1; i <= 5; i++ {
+		l.Logf("event %d", i)
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("ring holds %d events, want 3", len(evs))
+	}
+	for i, want := range []string{"event 3", "event 4", "event 5"} {
+		if evs[i].Msg != want {
+			t.Fatalf("ring[%d] = %q, want %q", i, evs[i].Msg, want)
+		}
+	}
+	if evs[0].Seq >= evs[1].Seq || evs[1].Seq >= evs[2].Seq {
+		t.Fatalf("ring not in sequence order: %v", evs)
+	}
+
+	// Partial fill returns only what was recorded.
+	r2 := NewRing(8)
+	l2 := NewLogger(r2.Sink())
+	l2.Logf("only")
+	if evs := r2.Events(); len(evs) != 1 || evs[0].Msg != "only" {
+		t.Fatalf("partial ring = %v", evs)
+	}
+
+	var nilRing *Ring
+	if nilRing.Sink() != nil || nilRing.Events() != nil {
+		t.Fatalf("nil ring should be inert")
+	}
+}
+
+// TestLoggerConcurrency exercises emit + ring reads under -race.
+func TestLoggerConcurrency(t *testing.T) {
+	ring := NewRing(64)
+	l := NewLogger(ring.Sink())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Logf("g%d i%d", g, i)
+				if i%25 == 0 {
+					_ = ring.Events()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	evs := ring.Events()
+	if len(evs) != 64 {
+		t.Fatalf("ring holds %d events, want 64", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("ring seq gap at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}

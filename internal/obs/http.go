@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewMux builds the observability HTTP handler: /metrics (Prometheus text
+// exposition from reg), /events (the ring buffer as NDJSON, oldest
+// first), and the standard net/http/pprof tree under /debug/pprof/. A nil
+// registry or ring serves empty bodies rather than errors, so the
+// endpoint's shape is stable regardless of what is wired up.
+func NewMux(reg *Registry, ring *Ring) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for _, e := range ring.Events() {
+			_ = enc.Encode(e)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Endpoint is a live observability HTTP server.
+type Endpoint struct {
+	// Addr is the bound listen address (useful when the requested port
+	// was 0).
+	Addr string
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr and serves the observability mux in a background
+// goroutine until Close.
+func Serve(addr string, reg *Registry, ring *Ring) (*Endpoint, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: NewMux(reg, ring)}
+	ep := &Endpoint{Addr: ln.Addr().String(), ln: ln, srv: srv}
+	go func() { _ = srv.Serve(ln) }()
+	return ep, nil
+}
+
+// Close stops the server and releases the listener.
+func (e *Endpoint) Close() error {
+	if e == nil {
+		return nil
+	}
+	return e.srv.Close()
+}

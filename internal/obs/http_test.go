@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestEndpointServesMetricsEventsPprof(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("trimlab_rounds_total").Add(9)
+	reg.Histogram("trimlab_phase_seconds", TimeBuckets, "phase", "summarize").Observe(0.002)
+	ring := NewRing(16)
+	log := NewLogger(ring.Sink())
+	log.FleetAdmit(4, 1, 2)
+	log.ShardLoss(5, "summarize", 3, 10, 20, io.ErrUnexpectedEOF)
+
+	ep, err := Serve("127.0.0.1:0", reg, ring)
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer ep.Close()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + ep.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	metrics, ctype := get("/metrics")
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("/metrics content type = %q", ctype)
+	}
+	for _, want := range []string{
+		"# TYPE trimlab_rounds_total counter",
+		"trimlab_rounds_total 9",
+		`trimlab_phase_seconds_count{phase="summarize"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	events, _ := get("/events")
+	lines := strings.Split(strings.TrimSpace(events), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("/events returned %d lines, want 2:\n%s", len(lines), events)
+	}
+	if !strings.Contains(lines[0], "re-joined") || !strings.Contains(lines[1], "shard") {
+		t.Fatalf("/events not oldest-first:\n%s", events)
+	}
+
+	if pprofIndex, _ := get("/debug/pprof/"); !strings.Contains(pprofIndex, "goroutine") {
+		t.Fatalf("/debug/pprof/ index missing profiles:\n%.300s", pprofIndex)
+	}
+}

@@ -1,0 +1,48 @@
+// Package obs is the observability layer of the distributed collection
+// games (DESIGN.md §11): a dependency-free metrics registry (counters,
+// gauges, fixed-bucket histograms with a Prometheus text exposition), a
+// structured event log with pluggable sinks (JSONL, ring buffer, printf
+// forwarding), deterministic per-round trace IDs, and the HTTP endpoint
+// that serves /metrics, /events and net/http/pprof from a live
+// coordinator.
+//
+// The contract that makes the layer safe to leave on everywhere: nothing
+// in this package ever feeds game state. Every handle is nil-receiver
+// safe — a nil *Registry or *Logger turns every call into a no-op — so
+// "observability off" is the zero value, and the record-for-record
+// equality tests in internal/collect can assert that an instrumented run
+// reproduces the bare run exactly. Trace IDs derive from the round number
+// alone (no clock, no RNG), so they are identical across runs of the same
+// seed.
+//
+// This package is the sanctioned home of the measurement clock: it is
+// whitelisted in the detrand analyzer's -detrand.timepkgs (alongside
+// internal/fleet's heartbeat clock), so measurement call sites use
+// obs.Now/obs.Since instead of scattering //trimlint:allow directives.
+package obs
+
+import "time"
+
+// Now is the measurement clock: wall-clock readings for latency and
+// event timestamps. Never derive schedule or game behavior from it.
+func Now() time.Time { return time.Now() }
+
+// Since returns the elapsed wall clock since a Now() reading.
+func Since(start time.Time) time.Duration { return time.Since(start) }
+
+// TraceID mints the trace ID of one game round: the coordinator stamps it
+// into every directive of the round (wire.Directive.Trace) and workers
+// echo it in their reports, so per-worker phase timings join back to the
+// round they measured. The ID is a splitmix64 finalizer of the round
+// number — a pure function of the round, with no clock and no RNG draw —
+// so identical runs mint identical traces and tracing cannot perturb the
+// (master seed, shard count) determinism contract.
+func TraceID(round int) uint64 {
+	x := uint64(round) + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

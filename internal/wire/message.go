@@ -97,6 +97,19 @@ type Report struct {
 	// every report so a stale worker is detectable at the coordinator.
 	Epoch int
 
+	// Trace echoes Directive.Trace — the coordinator-minted round trace ID —
+	// so phase timings join back to the round fan-out they measured.
+	Trace uint64
+
+	// GenerateNanos/SummarizeNanos/ClassifyNanos are the worker-side
+	// wall-clock spent in each phase of this directive, in nanoseconds.
+	// Purely observational: the coordinator subtracts the busiest worker
+	// from the fan-out elapsed time to estimate the network share and rank
+	// stragglers (DESIGN.md §11). A ClassifyGenerate reply fills all three.
+	GenerateNanos  int64
+	SummarizeNanos int64
+	ClassifyNanos  int64
+
 	// Configured reports whether the worker holds data-plane state (set by
 	// Configure, lost by a crash) — the Hello/Heartbeat reply field the
 	// supervisor's re-admission decision turns on: a re-spawned worker
@@ -143,6 +156,10 @@ func EncodeReport(buf []byte, rep *Report) []byte {
 	buf = appendU32(buf, uint32(rep.Round))
 	buf = appendU32(buf, uint32(rep.Worker))
 	buf = appendU32(buf, uint32(rep.Epoch))
+	buf = appendU64(buf, rep.Trace)
+	buf = appendU64(buf, uint64(rep.GenerateNanos))
+	buf = appendU64(buf, uint64(rep.SummarizeNanos))
+	buf = appendU64(buf, uint64(rep.ClassifyNanos))
 	if rep.Configured {
 		buf = append(buf, 1)
 	} else {
@@ -196,11 +213,15 @@ func DecodeReport(buf []byte) (*Report, error) {
 	}
 	r := &reader{buf: payload}
 	rep := &Report{
-		Round:      int(r.u32("round")),
-		Worker:     int(r.u32("worker")),
-		Epoch:      int(r.u32("epoch")),
-		Configured: r.u8("configured") != 0,
-		Epsilon:    r.f64("epsilon"),
+		Round:          int(r.u32("round")),
+		Worker:         int(r.u32("worker")),
+		Epoch:          int(r.u32("epoch")),
+		Trace:          r.u64("trace"),
+		GenerateNanos:  int64(r.u64("generate nanos")),
+		SummarizeNanos: int64(r.u64("summarize nanos")),
+		ClassifyNanos:  int64(r.u64("classify nanos")),
+		Configured:     r.u8("configured") != 0,
+		Epsilon:        r.f64("epsilon"),
 	}
 	rep.Count = int(r.u64("count"))
 	rep.ValueSum = r.f64("value sum")
@@ -253,6 +274,12 @@ type Directive struct {
 	// admission; a re-join mid-game always carries a later epoch).
 	Epoch int
 
+	// Trace is the round's trace ID (obs.TraceID: a pure function of the
+	// round number), minted once per fan-out at the coordinator and echoed
+	// by every report, so per-worker phase timings attribute to the round
+	// that measured them. 0 when the coordinator runs without tracing.
+	Trace uint64
+
 	Epsilon float64 // Configure: worker sketch budget
 
 	Values     []float64 // Summarize: the shard's slice of scalar arrivals
@@ -287,6 +314,7 @@ func EncodeDirective(buf []byte, d *Directive) []byte {
 	buf = append(buf, byte(d.Op))
 	buf = appendU32(buf, uint32(d.Round))
 	buf = appendU32(buf, uint32(d.Epoch))
+	buf = appendU64(buf, d.Trace)
 	buf = appendF64(buf, d.Epsilon)
 	buf = appendU32(buf, uint32(d.PoisonFrom))
 	buf = appendF64(buf, d.Pct)
@@ -332,6 +360,7 @@ func DecodeDirective(buf []byte) (*Directive, error) {
 		Op:    Op(r.u8("op")),
 		Round: int(r.u32("round")),
 		Epoch: int(r.u32("epoch")),
+		Trace: r.u64("trace"),
 	}
 	d.Epsilon = r.f64("epsilon")
 	d.PoisonFrom = int(r.u32("poison offset"))

@@ -3,7 +3,7 @@
 // boundaries. Every encoded message starts with the same four-byte header —
 //
 //	offset 0–1  magic "TQ" (0x54 0x51)
-//	offset 2    format version (currently 1)
+//	offset 2    format version
 //	offset 3    payload kind (KindSummary, KindVector, KindReport, KindDirective)
 //
 // — followed by a little-endian payload. Decoders reject foreign bytes
@@ -33,15 +33,19 @@ import (
 // Hello/Join/Heartbeat ops, coordinator snapshots) and the GRR mechanism
 // arity, again with an incompatible layout; 4 added the pipelined round
 // schedule's combined ClassifyGenerate op (round r's threshold broadcast
-// carrying round r+1's generator spec, so the two phases share one RTT).
-const Version = 4
+// carrying round r+1's generator spec, so the two phases share one RTT);
+// 5 added round tracing (the coordinator-minted Trace ID in every
+// directive, echoed by reports) and per-phase worker timings in reports
+// (GenerateNanos/SummarizeNanos/ClassifyNanos), so the coordinator can
+// attribute round wall-clock to itself, the network, and each worker.
+const Version = 5
 
 // MinVersion is the oldest format this decoder still parses. Each version
 // so far changed the protocol contract (layout, or — v4 — an op an older
 // worker would reject mid-game), so its predecessor is retired: a
 // mixed-version cluster fails loudly at the configure fan-out instead of
 // misparsing or dying rounds later.
-const MinVersion = 4
+const MinVersion = 5
 
 const (
 	magic0 = 'T'

@@ -161,6 +161,13 @@ func TestReportRoundTrip(t *testing.T) {
 			KeptLabels: []int{0, 2, 1},
 			Vec:        DeltaFromVector(vec),
 		},
+		{ // v5: trace echo + per-phase timings (a ClassifyGenerate reply fills all three)
+			Round: 11, Worker: 2, Epoch: 3, Epsilon: 0.01,
+			Trace:         0x9e3779b97f4a7c15,
+			GenerateNanos: 1_250_000, SummarizeNanos: 640_000, ClassifyNanos: 87_500,
+			Sum: randomSummary(t, rng, "uniform", 64, 16), Count: 64, ValueSum: 12.5,
+			Counts: Counts{HonestKept: 60, HonestTrimmed: 4},
+		},
 	}
 	for i, rep := range reps {
 		got, err := DecodeReport(EncodeReport(nil, rep))
@@ -225,6 +232,10 @@ func TestDirectiveRoundTrip(t *testing.T) {
 				Seed: 7, HonestN: 100, PoisonN: 20,
 				InjectKind: 1, InjectHi: 0.99, Jitter: 1e-6,
 			},
+		},
+		{ // v5: traced round fan-out
+			Op: OpClassify, Round: 8, Epoch: 2, Pct: 0.95, Threshold: 2.5,
+			Trace: 0xbf58476d1ce4e5b9,
 		},
 	}
 	for i, d := range dirs {

@@ -16,16 +16,40 @@
 # whole script a second time with COORD_FLAGS=-pipeline so the overlapped
 # round schedule survives the same kill -9 chaos (speculation must flush at
 # the membership change and the -local verification must still pass).
+#
+# Scenario A also exercises the observability endpoint mid-chaos: the
+# coordinator serves -obs-addr, and while the game is still running the
+# script scrapes /metrics until trimlab_shard_loss_total goes nonzero and
+# /events until the fleet-admit (re-join) event lands — then asserts the
+# event ring shows the loss strictly before the re-admission.
 set -euo pipefail
 
 TRIMLAB="${TRIMLAB:-/tmp/trimlab-chaos}"
 WORKDIR="$(mktemp -d)"
 PORT0="${PORT0:-7401}"
 PORT1="${PORT1:-7402}"
+OBS_PORT="${OBS_PORT:-7403}"
 ROUNDS=150
 BATCH=100000
 SEED=7
 COORD_FLAGS="${COORD_FLAGS:-}"
+OBS_URL="http://127.0.0.1:$OBS_PORT"
+
+# poll_obs PATH PATTERN LABEL: curl $OBS_URL$PATH until a line matches
+# PATTERN (extended regex) or ~20 s pass — the coordinator must still be
+# mid-game, so a timeout means the signal never surfaced live.
+poll_obs() {
+  local path="$1" pattern="$2" label="$3" i
+  for i in $(seq 1 100); do
+    if curl -fsS "$OBS_URL$path" 2>/dev/null | grep -Eq "$pattern"; then
+      return 0
+    fi
+    sleep 0.2
+  done
+  echo "FAIL: $label never appeared on $path while the game ran" >&2
+  curl -fsS "$OBS_URL$path" >&2 2>/dev/null || true
+  return 1
+}
 
 cleanup() {
   pkill -P $$ 2>/dev/null || true
@@ -39,13 +63,30 @@ echo "== scenario A: worker kill + re-join =="
 "$TRIMLAB" worker -listen "127.0.0.1:$PORT1" -id 1 >"$WORKDIR/w1.log" 2>&1 &
 W1_PID=$!
 "$TRIMLAB" coordinator -workers "127.0.0.1:$PORT0,127.0.0.1:$PORT1" \
-  -local -rejoin -heartbeat 100ms -rounds "$ROUNDS" -batch "$BATCH" -seed "$SEED" $COORD_FLAGS \
+  -local -rejoin -heartbeat 100ms -rounds "$ROUNDS" -batch "$BATCH" -seed "$SEED" \
+  -obs-addr "127.0.0.1:$OBS_PORT" $COORD_FLAGS \
   >"$WORKDIR/coordA.log" 2>&1 &
 COORD_PID=$!
 sleep 1.5
 kill -9 "$W1_PID"
 sleep 0.5
 "$TRIMLAB" worker -listen "127.0.0.1:$PORT1" -id 1 -rejoin >"$WORKDIR/w1b.log" 2>&1 &
+if command -v curl >/dev/null 2>&1; then
+  echo "-- scraping $OBS_URL mid-game"
+  poll_obs /metrics '^trimlab_shard_loss_total [1-9]' "nonzero trimlab_shard_loss_total"
+  poll_obs /events '"kind":"fleet-admit"' "fleet-admit (re-join) event"
+  curl -fsS "$OBS_URL/events" >"$WORKDIR/events.ndjson"
+  loss_line="$(grep -n '"kind":"shard-loss"' "$WORKDIR/events.ndjson" | head -1 | cut -d: -f1)"
+  admit_line="$(grep -n '"kind":"fleet-admit"' "$WORKDIR/events.ndjson" | head -1 | cut -d: -f1)"
+  if [ -z "$loss_line" ] || [ -z "$admit_line" ] || [ "$loss_line" -ge "$admit_line" ]; then
+    echo "FAIL: event ring does not show shard-loss (line ${loss_line:-none}) before fleet-admit (line ${admit_line:-none})" >&2
+    cat "$WORKDIR/events.ndjson" >&2
+    exit 1
+  fi
+  echo "-- /metrics and /events live: shard loss observed, then re-join (events $loss_line < $admit_line)"
+else
+  echo "curl not installed; skipping the mid-game /metrics + /events scrape" >&2
+fi
 if ! wait "$COORD_PID"; then
   echo "FAIL: coordinator exited non-zero after kill/re-join" >&2
   cat "$WORKDIR/coordA.log" >&2

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Observability overhead gate: the instrumented cluster round
+# (BenchmarkClusterRoundObs — registry + logger + ring attached) must cost
+# within OBS_OVERHEAD_MAX (default 1.03, i.e. ≤ 3%) of the unobserved
+# BenchmarkClusterRound. Both benchmarks run interleaved -count times and
+# the minima are compared — the min is the noise-robust estimator for a
+# "how fast can this go" ratio on shared CI hardware.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OBS_OVERHEAD_MAX="${OBS_OVERHEAD_MAX:-1.03}"
+COUNT="${COUNT:-6}"
+BENCHTIME="${BENCHTIME:-2x}"
+OUT="$(mktemp)"
+
+go test ./internal/collect -run=NONE \
+  -bench='^BenchmarkClusterRound(Obs)?$/Workers4' \
+  -benchtime="$BENCHTIME" -count="$COUNT" | tee "$OUT"
+
+awk -v max="$OBS_OVERHEAD_MAX" '
+  $1 ~ /^BenchmarkClusterRoundObs\// { if (obs == 0 || $3 < obs) obs = $3 }
+  $1 ~ /^BenchmarkClusterRound\//    { if (base == 0 || $3 < base) base = $3 }
+  END {
+    if (base == 0 || obs == 0) {
+      print "FAIL: missing benchmark results (base=" base ", obs=" obs ")" > "/dev/stderr"
+      exit 1
+    }
+    ratio = obs / base
+    printf "obs overhead: baseline %d ns/op, instrumented %d ns/op, ratio %.4f (max %s)\n", base, obs, ratio, max
+    if (ratio > max) {
+      print "FAIL: instrumentation overhead exceeds the budget" > "/dev/stderr"
+      exit 1
+    }
+  }' "$OUT"
+
+echo "obs overhead: OK"
