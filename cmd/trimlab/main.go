@@ -7,6 +7,7 @@
 //	trimlab -experiment fig4 [-scale quick|bench|paper] [-points N] [-seed S]
 //	trimlab worker -listen :7101 [-seed S] [-rejoin]
 //	trimlab coordinator -workers host1:7101,host2:7101 [-seed S] [-local] [-pipeline] [-rounds N] [-batch N]
+//	    [-subshards C] [-focus-tighten T] [-focus-width W]
 //	    [-heartbeat D] [-hb-timeout D] [-rejoin] [-checkpoint-dir DIR] [-checkpoint-every K] [-resume]
 //
 // Experiments: table1, table2, table3, table4, fig4, fig5, fig6, fig7,
@@ -18,6 +19,15 @@
 // generator specs, so a steady-state round costs one RTT instead of two.
 // The board is unchanged — the -local verification against the
 // single-process reference still demands record-for-record equality.
+//
+// -subshards C (requires -local) splits each worker's generation into C
+// per-core sub-shards drawn and summarized in parallel goroutines and
+// merged locally, so a worker saturates its cores instead of one
+// (DESIGN.md §12). The board equals the flat (workers · C)-shard reference,
+// which the -local verification checks. -focus-tighten T (with optional
+// -focus-width W) makes the summaries keep T× denser rank coverage around
+// the trim threshold, spending the fixed summary budget where the game
+// actually queries.
 //
 // The fleet flags drive the supervision runtime (DESIGN.md §8): -heartbeat
 // starts background liveness probes over the game transport, -rejoin lets
@@ -351,6 +361,9 @@ func coordinatorMain(args []string) error {
 		seed      = seedFlag(fs)
 		local     = fs.Bool("local", false, "shard-local data plane: workers generate their own arrivals from seeds derived off -seed; round directives are O(1)")
 		pipeline  = fs.Bool("pipeline", false, "overlapped round schedule: piggyback round r+1's generation onto round r's classify broadcast — one RTT per round (requires -local)")
+		subshards = fs.Int("subshards", 1, "per-core sub-shards per worker: each worker generates and summarizes C sub-shards in parallel goroutines and merges locally (requires -local); the board equals the flat workers x C reference")
+		focusT    = fs.Int("focus-tighten", 0, "adaptive summary focus: keep Tx denser rank coverage around the trim threshold (0/1 = off)")
+		focusW    = fs.Float64("focus-width", 0, "half-width of the focus rank window (0 = default ±0.05)")
 		eps       = fs.Float64("eps", 0, "summary rank-error budget (0 = package default)")
 		bound     = fs.Float64("bound", 0.05, "allowed final-threshold drift vs the unsharded run, in reference-rank space (ignored with -local, which verifies exact equality)")
 		wait      = fs.Duration("wait", 10*time.Second, "how long to retry dialing workers")
@@ -379,6 +392,9 @@ func coordinatorMain(args []string) error {
 	if *pipeline && !*local {
 		return fmt.Errorf("coordinator: pipelined rounds require the shard-local data plane (-local)")
 	}
+	if *subshards > 1 && !*local {
+		return fmt.Errorf("coordinator: sub-shards require the shard-local data plane (-local)")
+	}
 	if *resume && *ckDir == "" {
 		return fmt.Errorf("coordinator: -resume needs -checkpoint-dir")
 	}
@@ -395,6 +411,8 @@ func coordinatorMain(args []string) error {
 			Collector: sch.Collector, Adversary: sch.Adversary,
 			TrimOnBatch:    true,
 			SummaryEpsilon: *eps,
+			FocusTighten:   *focusT,
+			FocusWidth:     *focusW,
 		}
 		if !*local {
 			honest, err := collect.PoolSampler(ref)
@@ -474,6 +492,7 @@ func coordinatorMain(args []string) error {
 		Config:     ccfg,
 		Transport:  tr,
 		Gen:        gen,
+		SubShards:  *subshards,
 		Pipeline:   *pipeline,
 		Log:        olog,
 		Metrics:    met,
@@ -509,7 +528,13 @@ func coordinatorMain(args []string) error {
 	printObsSummary(met, len(addrs))
 
 	if *local {
-		return verifyShardLocal(cfg, gen, clustered, len(addrs), *rounds, *rejoin)
+		// The flat reference layout: a worker running C sub-shards occupies
+		// C flat shard slots, so the reference plays workers x C shards.
+		flat := len(addrs)
+		if *subshards > 1 {
+			flat *= *subshards
+		}
+		return verifyShardLocal(cfg, gen, clustered, flat, *rounds, *rejoin)
 	}
 
 	ucfg, err := cfg()
@@ -544,6 +569,23 @@ func printObsSummary(met *obs.Registry, workers int) {
 			ph, h.Count(), quantileDuration(h, 0.5), quantileDuration(h, 0.99))
 		if net := met.Histogram("trimlab_phase_net_seconds", obs.TimeBuckets, "phase", ph); net.Count() > 0 {
 			line += fmt.Sprintf("  (net p50 %v)", quantileDuration(net, 0.5))
+		}
+		fmt.Println(line)
+	}
+
+	// Summary ingest digest (DESIGN.md §12): the run-long exact point count
+	// the worker sketches absorbed, and the aggregate throughput over the
+	// workers' summarize busy time.
+	if pts := met.Counter("trimlab_ingest_points_total").Value(); pts > 0 {
+		var sumNanos int64
+		for w := 0; w < workers; w++ {
+			sumNanos += met.Counter("trimlab_worker_phase_nanos_total",
+				"phase", "summarize", "worker", strconv.Itoa(w)).Value()
+		}
+		line := fmt.Sprintf("  summary ingest: %d points", pts)
+		if sumNanos > 0 {
+			line += fmt.Sprintf(" at %.2f Mpts/s of worker summarize time",
+				float64(pts)*1e3/float64(sumNanos))
 		}
 		fmt.Println(line)
 	}

@@ -11,6 +11,14 @@ func TestDetrand(t *testing.T) {
 	analyzertest.Run(t, analyzertest.TestData(t), detrand.Analyzer, "a")
 }
 
+// TestPooledBuffers pins the analyzer's behavior on sync.Pool-recycled
+// scratch code (the summary batch-ingest pattern): pool traffic and
+// injected-generator draws are silent, while global draws, wall-clock
+// stamps, and time seeds inside pooled code are still flagged.
+func TestPooledBuffers(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(t), detrand.Analyzer, "poollike")
+}
+
 // TestWhitelistedPackage checks the -timepkgs escape hatch: bare time.Now
 // in a whitelisted package is silent, global rand still is not.
 func TestWhitelistedPackage(t *testing.T) {

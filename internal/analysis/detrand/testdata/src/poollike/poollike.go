@@ -1,0 +1,49 @@
+// Package poollike mirrors the pooled-buffer ingest code (summary's batch
+// scratch pools): sync.Pool recycling is deterministic-safe on its own, so
+// the analyzer must stay silent on get/put and on draws through an injected
+// generator — and still flag pooled code that reaches for the global source
+// or the wall clock (e.g. jittering a flush, stamping a buffer).
+package poollike
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+var scratch = sync.Pool{New: func() any { s := make([]float64, 0, 1024); return &s }}
+
+// good: pooled buffers filled through an explicitly seeded generator —
+// neither the pool traffic nor the rng methods are the analyzer's business.
+func fillPooled(rng *rand.Rand, n int) []float64 {
+	bp := scratch.Get().(*[]float64)
+	buf := (*bp)[:0]
+	for i := 0; i < n; i++ {
+		buf = append(buf, rng.Float64())
+	}
+	out := append([]float64(nil), buf...)
+	*bp = buf
+	scratch.Put(bp)
+	return out
+}
+
+// bad: a pooled flush jittered off the process-global source makes chunk
+// boundaries depend on whatever else drew first.
+func jitteredFlush() int {
+	bp := scratch.Get().(*[]float64)
+	defer scratch.Put(bp)
+	return len(*bp) + rand.Intn(8) // want `global math/rand\.Intn draws from the process-global source`
+}
+
+// bad: stamping pooled buffers with the wall clock smuggles scheduling
+// nondeterminism into the data path.
+func stampedBuffer() (time.Time, *[]float64) {
+	bp := scratch.Get().(*[]float64)
+	return time.Now(), bp // want `time\.Now outside the whitelisted timing packages`
+}
+
+// bad: seeding a per-buffer generator from time reintroduces the exact
+// irreproducibility the derived-seed scheme exists to kill.
+func pooledRng() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `rand\.New seeded from time\.Now` `rand\.NewSource seeded from time\.Now`
+}

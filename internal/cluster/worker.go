@@ -18,6 +18,8 @@ package cluster
 import (
 	"fmt"
 	"math"
+	"math/rand"
+	"runtime"
 	"sync"
 
 	"repro/internal/arrival"
@@ -69,17 +71,31 @@ type Worker struct {
 	// held is the authoritative "a summarize happened" flag — an empty
 	// shard slice decodes to a nil dists, so nil-ness cannot stand in for
 	// it.
-	held       bool
-	round      int
-	dists      []float64   // scalar arrivals, or row distances from center
-	rows       [][]float64 // row game only
-	labels     []int       // row game, shard-local generation only
-	dim        int         // row game only: len(center)
-	poisonFrom int
-	localRows  bool // classify ships kept rows (worker generated them)
+	held      bool
+	round     int
+	dists     []float64   // scalar arrivals, or row distances from center
+	rows      [][]float64 // row game only
+	labels    []int       // row game, shard-local generation only
+	dim       int         // row game only: len(center)
+	poison    []poisonSeg // poison layout of dists (sub-shards concatenate)
+	localRows bool        // classify ships kept rows (worker generated them)
 
 	stopOnce sync.Once
 	done     chan struct{}
+}
+
+// poisonSeg marks one sub-shard's slice of the held round: the segment
+// starts at start and is poison from poisonFrom on (both absolute indices
+// into dists). A single-shard round is one segment {0, poisonFrom}; a
+// sub-sharded generate concatenates one segment per sub, each honest-first.
+type poisonSeg struct {
+	start      int
+	poisonFrom int
+}
+
+// singleSeg is the legacy poison layout: one honest prefix, poison tail.
+func singleSeg(poisonFrom int) []poisonSeg {
+	return []poisonSeg{{start: 0, poisonFrom: poisonFrom}}
 }
 
 // NewWorker returns a worker with the given id (its shard index; echoed in
@@ -146,8 +162,8 @@ func (w *Worker) Handle(req []byte) ([]byte, error) {
 		rep.Epoch = w.epoch
 
 	case wire.OpSummarize:
-		w.setHeld(d.Round, d.Values, nil, nil, 0, d.PoisonFrom, false)
-		if err := w.summarize(rep); err != nil {
+		w.setHeld(d.Round, d.Values, nil, nil, 0, singleSeg(d.PoisonFrom), false)
+		if err := w.summarize(d, rep); err != nil {
 			return nil, err
 		}
 
@@ -162,8 +178,8 @@ func (w *Worker) Handle(req []byte) ([]byte, error) {
 			}
 			dists[i] = stats.Euclidean(row, d.Center)
 		}
-		w.setHeld(d.Round, dists, d.Rows, nil, len(d.Center), d.PoisonFrom, false)
-		if err := w.summarize(rep); err != nil {
+		w.setHeld(d.Round, dists, d.Rows, nil, len(d.Center), singleSeg(d.PoisonFrom), false)
+		if err := w.summarize(d, rep); err != nil {
 			return nil, err
 		}
 
@@ -221,7 +237,7 @@ func (w *Worker) Handle(req []byte) ([]byte, error) {
 func (w *Worker) configure(d *wire.Directive) error {
 	w.eps = d.Epsilon
 	w.scalarGen, w.ldpGen, w.catGen, w.rowGen = nil, nil, nil, nil
-	w.held, w.dists, w.rows, w.labels, w.dim, w.localRows = false, nil, nil, nil, 0, false
+	w.held, w.dists, w.rows, w.labels, w.dim, w.poison, w.localRows = false, nil, nil, nil, 0, nil, false
 	switch {
 	case arrival.Mech(d.MechKind) == arrival.MechGRR:
 		gen, err := arrival.NewCategoricalFromWire(d.Pool, d.MechEps, d.MechK)
@@ -265,65 +281,189 @@ func (w *Worker) classifyHeld(d *wire.Directive, rep *wire.Report) error {
 	if err := w.classify(d.Threshold, rep); err != nil {
 		return err
 	}
-	w.held, w.dists, w.rows, w.labels, w.dim, w.localRows = false, nil, nil, nil, 0, false
+	w.held, w.dists, w.rows, w.labels, w.dim, w.poison, w.localRows = false, nil, nil, nil, 0, nil, false
 	return nil
 }
 
 // setHeld installs one round's shard.
-func (w *Worker) setHeld(round int, dists []float64, rows [][]float64, labels []int, dim, poisonFrom int, localRows bool) {
+func (w *Worker) setHeld(round int, dists []float64, rows [][]float64, labels []int, dim int, poison []poisonSeg, localRows bool) {
 	w.held = true
 	w.round = round
 	w.dists = dists
 	w.rows = rows
 	w.labels = labels
 	w.dim = dim
-	w.poisonFrom = poisonFrom
+	w.poison = poison
 	w.localRows = localRows
+}
+
+// focusStream applies the directive's adaptive-ε focus window (wire v6) to
+// a freshly built stream: when the coordinator announced a trim-threshold
+// window, the worker keeps FocusTighten× denser rank coverage around it.
+// Tighten ≤ 1 — every pre-v6 directive — is a no-op.
+func focusStream(st *summary.Stream, d *wire.Directive) {
+	if d.FocusTighten > 1 {
+		st.SetFocus(d.FocusPct, d.FocusWidth, d.FocusTighten)
+	}
+}
+
+// subSlices resolves a sub-sharded generator spec: the per-sub specs (the
+// aggregate spec's injection parameters with each sub's own seed and
+// counts) and a consistency check that the sub counts add up to the
+// aggregate the directive announced.
+func subSlices(d *wire.Directive, agg arrival.Spec) ([]arrival.Spec, error) {
+	subs := d.Gen.Subs
+	specs := make([]arrival.Spec, len(subs))
+	var honest, poison int
+	for c, sub := range subs {
+		s := agg
+		s.HonestN, s.PoisonN = sub.HonestN, sub.PoisonN
+		specs[c] = s
+		honest += sub.HonestN
+		poison += sub.PoisonN
+	}
+	if honest != agg.HonestN || poison != agg.PoisonN {
+		return nil, fmt.Errorf("cluster: sub-shard counts %d/%d do not add up to the aggregate spec %d/%d",
+			honest, poison, agg.HonestN, agg.PoisonN)
+	}
+	return specs, nil
+}
+
+// draw dispatches one spec to the configured scalar-valued generator.
+// inputSum is zero for the plain scalar game (its reports never carry one).
+func (w *Worker) draw(rng *rand.Rand, spec arrival.Spec) (values []float64, inputSum, pctSum float64, err error) {
+	switch {
+	case w.catGen != nil:
+		return w.catGen.Draw(rng, spec)
+	case w.ldpGen != nil:
+		return w.ldpGen.Draw(rng, spec)
+	case w.scalarGen != nil:
+		values, pctSum, err = w.scalarGen.Draw(rng, spec)
+		return values, 0, pctSum, err
+	default:
+		return nil, 0, 0, fmt.Errorf("cluster: worker %d: generate without a configured generator", w.id)
+	}
 }
 
 // generate draws the shard locally from the directive's seed and spec —
 // the scalar and LDP shard-local rounds (which generator runs was fixed at
-// configure time).
+// configure time). A directive carrying sub-shard specs (wire v6) splits
+// the draw across per-core goroutines instead; see generateSubs.
 func (w *Worker) generate(d *wire.Directive, rep *wire.Report) error {
-	start := obs.Now()
 	spec, err := arrival.SpecFromWire(d.Gen)
 	if err != nil {
 		return fmt.Errorf("cluster: worker %d: %w", w.id, err)
 	}
-	rng := stats.NewRand(d.Gen.Seed)
-	var values []float64
-	switch {
-	case w.catGen != nil:
-		var inputSum, pctSum float64
-		if values, inputSum, pctSum, err = w.catGen.Draw(rng, spec); err != nil {
-			return fmt.Errorf("cluster: worker %d: %w", w.id, err)
-		}
-		rep.InputSum = inputSum
-		rep.PctSum = pctSum
-	case w.ldpGen != nil:
-		var inputSum, pctSum float64
-		if values, inputSum, pctSum, err = w.ldpGen.Draw(rng, spec); err != nil {
-			return fmt.Errorf("cluster: worker %d: %w", w.id, err)
-		}
-		rep.InputSum = inputSum
-		rep.PctSum = pctSum
-	case w.scalarGen != nil:
-		var pctSum float64
-		if values, pctSum, err = w.scalarGen.Draw(rng, spec); err != nil {
-			return fmt.Errorf("cluster: worker %d: %w", w.id, err)
-		}
-		rep.PctSum = pctSum
-	default:
-		return fmt.Errorf("cluster: worker %d: generate without a configured generator", w.id)
+	if len(d.Gen.Subs) > 0 {
+		return w.generateSubs(d, rep, spec)
 	}
-	w.setHeld(d.Round, values, nil, nil, 0, spec.HonestN, false)
+	start := obs.Now()
+	values, inputSum, pctSum, err := w.draw(stats.NewRand(d.Gen.Seed), spec)
+	if err != nil {
+		return fmt.Errorf("cluster: worker %d: %w", w.id, err)
+	}
+	rep.InputSum = inputSum
+	rep.PctSum = pctSum
+	w.setHeld(d.Round, values, nil, nil, 0, singleSeg(spec.HonestN), false)
 	rep.GenerateNanos += obs.Since(start).Nanoseconds()
-	return w.summarize(rep)
+	return w.summarize(d, rep)
+}
+
+// generateSubs is the per-core generate path: each sub-shard is an
+// independent (seed, counts) slice of the worker's slot, drawn and then
+// summarized on its own goroutine, with every fold over the subs done
+// sequentially in sub order afterwards — so the report is a pure function
+// of the directive, independent of goroutine scheduling, and a W×C
+// cluster's merged summaries match a flat W·C-shard reference (the subs
+// sit at slots worker·C…worker·C+C−1 of the same flat seed space).
+func (w *Worker) generateSubs(d *wire.Directive, rep *wire.Report, agg arrival.Spec) error {
+	specs, err := subSlices(d, agg)
+	if err != nil {
+		return fmt.Errorf("cluster: worker %d: %w", w.id, err)
+	}
+	start := obs.Now()
+	type subDraw struct {
+		values           []float64
+		inputSum, pctSum float64
+		err              error
+	}
+	draws := make([]subDraw, len(specs))
+	var wg sync.WaitGroup
+	for c := range specs {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			o := &draws[c]
+			o.values, o.inputSum, o.pctSum, o.err = w.draw(stats.NewRand(d.Gen.Subs[c].Seed), specs[c])
+		}(c)
+	}
+	wg.Wait()
+	total := 0
+	for c := range draws {
+		if draws[c].err != nil {
+			return fmt.Errorf("cluster: worker %d: sub %d: %w", w.id, c, draws[c].err)
+		}
+		total += len(draws[c].values)
+	}
+	dists := make([]float64, 0, total)
+	segs := make([]poisonSeg, len(specs))
+	chunks := make([][]float64, len(specs))
+	rep.PctSums = make([]float64, len(specs))
+	for c := range draws {
+		segs[c] = poisonSeg{start: len(dists), poisonFrom: len(dists) + specs[c].HonestN}
+		dists = append(dists, draws[c].values...)
+		chunks[c] = draws[c].values
+		rep.PctSums[c] = draws[c].pctSum
+		rep.PctSum += draws[c].pctSum
+		rep.InputSum += draws[c].inputSum
+	}
+	w.setHeld(d.Round, dists, nil, nil, 0, segs, false)
+	rep.GenerateNanos += obs.Since(start).Nanoseconds()
+	return w.summarizeChunks(d, rep, chunks)
+}
+
+// summarizeChunks is the summarize half of a sub-sharded generate: one
+// stream per sub, each fed through the pooled batch path on its own
+// goroutine, folded into one merged delta strictly in sub order.
+func (w *Worker) summarizeChunks(d *wire.Directive, rep *wire.Report, chunks [][]float64) error {
+	start := obs.Now()
+	sums := make([]*summary.Stream, len(chunks))
+	errs := make([]error, len(chunks))
+	var wg sync.WaitGroup
+	for c := range chunks {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			st, err := summary.New(w.eps, len(chunks[c]))
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			focusStream(st, d)
+			st.PushBatch(chunks[c])
+			sums[c] = st
+		}(c)
+	}
+	wg.Wait()
+	merged := &summary.Summary{}
+	for c, st := range sums {
+		if errs[c] != nil {
+			return fmt.Errorf("cluster: worker %d: sub %d: %w", w.id, c, errs[c])
+		}
+		merged.Merge(st.Snapshot())
+		rep.Count += st.Count()
+		rep.ValueSum += st.Sum()
+	}
+	rep.Epsilon = sums[0].Epsilon()
+	rep.Sum = merged
+	rep.SummarizeNanos += obs.Since(start).Nanoseconds()
+	return nil
 }
 
 // generateRows draws a row shard locally: the directive carries the
 // current center and the merged clean-scale summary poison percentiles
-// resolve against.
+// resolve against. Sub-sharded directives split the draw across per-core
+// goroutines like the scalar path.
 func (w *Worker) generateRows(d *wire.Directive, rep *wire.Report) error {
 	if w.rowGen == nil {
 		return fmt.Errorf("cluster: worker %d: generate-rows without a configured dataset", w.id)
@@ -331,7 +471,6 @@ func (w *Worker) generateRows(d *wire.Directive, rep *wire.Report) error {
 	if len(d.Center) == 0 {
 		return fmt.Errorf("cluster: worker %d: generate-rows without a center", w.id)
 	}
-	start := obs.Now()
 	spec, err := arrival.SpecFromWire(d.Gen)
 	if err != nil {
 		return fmt.Errorf("cluster: worker %d: %w", w.id, err)
@@ -339,6 +478,10 @@ func (w *Worker) generateRows(d *wire.Directive, rep *wire.Report) error {
 	if spec.PoisonN > 0 && (d.Gen.Scale == nil || d.Gen.Scale.Size() == 0) {
 		return fmt.Errorf("cluster: worker %d: generate-rows without a clean scale", w.id)
 	}
+	if len(d.Gen.Subs) > 0 {
+		return w.generateRowsSubs(d, rep, spec)
+	}
+	start := obs.Now()
 	rng := stats.NewRand(d.Gen.Seed)
 	rows, labels, pctSum, err := w.rowGen.Draw(rng, spec, d.Center, func(pct float64) float64 {
 		return d.Gen.Scale.Query(pct)
@@ -353,10 +496,78 @@ func (w *Worker) generateRows(d *wire.Directive, rep *wire.Report) error {
 		}
 		dists[i] = stats.Euclidean(row, d.Center)
 	}
-	w.setHeld(d.Round, dists, rows, labels, len(d.Center), spec.HonestN, true)
+	w.setHeld(d.Round, dists, rows, labels, len(d.Center), singleSeg(spec.HonestN), true)
 	rep.PctSum = pctSum
 	rep.GenerateNanos += obs.Since(start).Nanoseconds()
-	return w.summarize(rep)
+	return w.summarize(d, rep)
+}
+
+// generateRowsSubs is generateSubs for the row game: per-sub draws against
+// the shared center and clean scale (Summary.Query is a pure read, so the
+// subs may resolve poison percentiles concurrently), concatenated in sub
+// order with per-sub summaries folded the same way.
+func (w *Worker) generateRowsSubs(d *wire.Directive, rep *wire.Report, agg arrival.Spec) error {
+	specs, err := subSlices(d, agg)
+	if err != nil {
+		return fmt.Errorf("cluster: worker %d: %w", w.id, err)
+	}
+	start := obs.Now()
+	scaleQ := func(pct float64) float64 { return d.Gen.Scale.Query(pct) }
+	type subDraw struct {
+		rows   [][]float64
+		labels []int
+		dists  []float64
+		pctSum float64
+		err    error
+	}
+	draws := make([]subDraw, len(specs))
+	var wg sync.WaitGroup
+	for c := range specs {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			o := &draws[c]
+			rng := stats.NewRand(d.Gen.Subs[c].Seed)
+			o.rows, o.labels, o.pctSum, o.err = w.rowGen.Draw(rng, specs[c], d.Center, scaleQ)
+			if o.err != nil {
+				return
+			}
+			o.dists = make([]float64, len(o.rows))
+			for i, row := range o.rows {
+				if len(row) != len(d.Center) {
+					o.err = fmt.Errorf("generated row dim %d, center dim %d", len(row), len(d.Center))
+					return
+				}
+				o.dists[i] = stats.Euclidean(row, d.Center)
+			}
+		}(c)
+	}
+	wg.Wait()
+	total := 0
+	for c := range draws {
+		if draws[c].err != nil {
+			return fmt.Errorf("cluster: worker %d: sub %d: %w", w.id, c, draws[c].err)
+		}
+		total += len(draws[c].rows)
+	}
+	dists := make([]float64, 0, total)
+	rows := make([][]float64, 0, total)
+	labels := make([]int, 0, total)
+	segs := make([]poisonSeg, len(specs))
+	chunks := make([][]float64, len(specs))
+	rep.PctSums = make([]float64, len(specs))
+	for c := range draws {
+		segs[c] = poisonSeg{start: len(dists), poisonFrom: len(dists) + specs[c].HonestN}
+		dists = append(dists, draws[c].dists...)
+		rows = append(rows, draws[c].rows...)
+		labels = append(labels, draws[c].labels...)
+		chunks[c] = draws[c].dists
+		rep.PctSums[c] = draws[c].pctSum
+		rep.PctSum += draws[c].pctSum
+	}
+	w.setHeld(d.Round, dists, rows, labels, len(d.Center), segs, true)
+	rep.GenerateNanos += obs.Since(start).Nanoseconds()
+	return w.summarizeChunks(d, rep, chunks)
 }
 
 // scale summarizes the distances of the configured dataset's [Lo, Hi)
@@ -375,17 +586,47 @@ func (w *Worker) scale(d *wire.Directive, rep *wire.Report) error {
 		return fmt.Errorf("cluster: worker %d: scale range [%d, %d) outside dataset of %d", w.id, d.Lo, d.Hi, n)
 	}
 	start := obs.Now()
-	sum, err := summary.New(w.eps, d.Hi-d.Lo)
+	// Distance computation is embarrassingly parallel (each slot writes its
+	// own index); the stream ingest stays sequential via one PushBatch so
+	// the sketch is independent of the chunking.
+	rows := w.rowGen.X[d.Lo:d.Hi]
+	dists := make([]float64, len(rows))
+	par := runtime.GOMAXPROCS(0)
+	if par > len(rows) {
+		par = len(rows)
+	}
+	if par < 1 {
+		par = 1
+	}
+	errs := make([]error, par)
+	var wg sync.WaitGroup
+	for k := 0; k < par; k++ {
+		lo, hi := len(rows)*k/par, len(rows)*(k+1)/par
+		wg.Add(1)
+		go func(k, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				if len(rows[i]) != len(d.Center) {
+					errs[k] = fmt.Errorf("cluster: worker %d: dataset row dim %d, center dim %d", w.id, len(rows[i]), len(d.Center))
+					return
+				}
+				dists[i] = stats.Euclidean(rows[i], d.Center)
+			}
+		}(k, lo, hi)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	sum, err := summary.New(w.eps, len(dists))
 	if err != nil {
 		return fmt.Errorf("cluster: worker %d: %w", w.id, err)
 	}
+	sum.PushBatch(dists)
 	min, max := math.Inf(1), math.Inf(-1)
-	for _, row := range w.rowGen.X[d.Lo:d.Hi] {
-		if len(row) != len(d.Center) {
-			return fmt.Errorf("cluster: worker %d: dataset row dim %d, center dim %d", w.id, len(row), len(d.Center))
-		}
-		dist := stats.Euclidean(row, d.Center)
-		sum.Push(dist)
+	for _, dist := range dists {
 		if dist < min {
 			min = dist
 		}
@@ -403,19 +644,19 @@ func (w *Worker) scale(d *wire.Directive, rep *wire.Report) error {
 	return nil
 }
 
-// summarize builds the shard's summary of the held values. The stream is
-// sized exactly like collect.RunSharded's shard streams (hint = slice
-// length), so a loopback cluster reproduces RunSharded's merged summaries
-// bit for bit.
-func (w *Worker) summarize(rep *wire.Report) error {
+// summarize builds the shard's summary of the held values through the
+// pooled batch path. The stream is sized exactly like collect.RunSharded's
+// shard streams (hint = slice length) and RunSharded ingests through the
+// same PushBatch call with the same focus window, so a loopback cluster
+// reproduces RunSharded's merged summaries bit for bit.
+func (w *Worker) summarize(d *wire.Directive, rep *wire.Report) error {
 	start := obs.Now()
 	sum, err := summary.New(w.eps, len(w.dists))
 	if err != nil {
 		return fmt.Errorf("cluster: worker %d: %w", w.id, err)
 	}
-	for _, v := range w.dists {
-		sum.Push(v)
-	}
+	focusStream(sum, d)
+	sum.PushBatch(w.dists)
 	rep.Epsilon = sum.Epsilon()
 	rep.Sum = sum.Snapshot()
 	rep.Count = sum.Count()
@@ -442,9 +683,13 @@ func (w *Worker) classify(threshold float64, rep *wire.Report) error {
 			return fmt.Errorf("cluster: worker %d: %w", w.id, err)
 		}
 	}
+	si := 0
 	for i, v := range w.dists {
 		keep := v <= threshold
-		poison := i >= w.poisonFrom
+		for si+1 < len(w.poison) && i >= w.poison[si+1].start {
+			si++
+		}
+		poison := len(w.poison) > 0 && i >= w.poison[si].poisonFrom
 		switch {
 		case keep && poison:
 			rep.Counts.PoisonKept++

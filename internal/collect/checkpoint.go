@@ -22,6 +22,7 @@ import (
 
 // scalarSnapshot captures the coordinator state after round r was posted.
 func scalarSnapshot(cfg *ClusterConfig, res *Result, pool *workerPool, baselineQ float64, r int) *wire.Snapshot {
+	ft, fw := focusParams(cfg.FocusTighten, cfg.FocusWidth)
 	return &wire.Snapshot{
 		Game:         wire.SnapScalar,
 		Seed:         cfg.Gen.MasterSeed,
@@ -30,6 +31,9 @@ func scalarSnapshot(cfg *ClusterConfig, res *Result, pool *workerPool, baselineQ
 		Ratio:        cfg.AttackRatio,
 		Epsilon:      cfg.SummaryEpsilon,
 		Workers:      cfg.Transport.Workers(),
+		SubShards:    cfg.subShards(),
+		FocusTighten: ft,
+		FocusWidth:   fw,
 		NextRound:    r + 1,
 		Epoch:        len(pool.fleetLog()),
 		BaselineQ:    baselineQ,

@@ -40,6 +40,16 @@ type ClusterConfig struct {
 	// RunSharded with the same Gen and worker count record for record.
 	Gen *ShardGen
 
+	// SubShards splits each worker's per-round generation into this many
+	// independently seeded sub-shards, drawn and summarized on parallel
+	// goroutines and folded locally in sub order (wire v6, DESIGN.md §12) —
+	// per-core parallelism inside each worker process on top of the
+	// per-worker parallelism across the cluster. Requires a Gen (the subs
+	// are cells of the flat derived-seed space); ≤ 1 means one shard per
+	// worker. The board is shape-invariant: a W-worker run with C sub-shards
+	// reproduces a flat (W·C)-shard RunSharded reference record for record.
+	SubShards int
+
 	// Pipeline enables the overlapped round schedule (DESIGN.md §9):
 	// round r's classify broadcast carries round r+1's generator specs
 	// (wire.OpClassifyGenerate), so workers overlap next-round generation
@@ -101,6 +111,9 @@ func (c *ClusterConfig) validate() error {
 	if err := validatePipeline(c.Pipeline, c.Gen); err != nil {
 		return err
 	}
+	if err := validateScaleKnobs(c.SubShards, c.Gen, c.FocusTighten, c.FocusWidth); err != nil {
+		return err
+	}
 	if (c.Checkpoint != nil || c.Resume != nil) && c.Gen == nil {
 		return fmt.Errorf("collect: checkpoint/resume requires the shard-local data plane (a ShardGen)")
 	}
@@ -142,6 +155,12 @@ func (c *ClusterConfig) validateResume() error {
 		return fmt.Errorf("collect: snapshot cut over %d worker slots, transport has %d",
 			s.Workers, c.Transport.Workers())
 	}
+	if s.SubShards != c.subShards() {
+		return fmt.Errorf("collect: snapshot cut at %d sub-shards per worker, config %d", s.SubShards, c.subShards())
+	}
+	if ft, fw := focusParams(c.FocusTighten, c.FocusWidth); s.FocusTighten != ft || s.FocusWidth != fw {
+		return fmt.Errorf("collect: snapshot focus %d× / ±%v, config %d× / ±%v", s.FocusTighten, s.FocusWidth, ft, fw)
+	}
 	if s.NextRound > c.Rounds+1 {
 		return fmt.Errorf("collect: snapshot next round %d beyond the %d-round game", s.NextRound, c.Rounds)
 	}
@@ -149,6 +168,14 @@ func (c *ClusterConfig) validateResume() error {
 		return fmt.Errorf("collect: snapshot carries no stream state")
 	}
 	return nil
+}
+
+// subShards normalizes the sub-shard knob: 0 and 1 are the same layout.
+func (c *ClusterConfig) subShards() int {
+	if c.SubShards < 1 {
+		return 1
+	}
+	return c.SubShards
 }
 
 // scalarGame adapts the scalar collection game to the round engine: scalar
@@ -284,22 +311,26 @@ func RunCluster(cfg ClusterConfig) (*Result, error) {
 	pool := newWorkerPool(cfg.Transport, cfg.Log, cfg.Metrics, cfg.Fleet)
 	defer pool.stop()
 
+	ft, fw := focusParams(cfg.FocusTighten, cfg.FocusWidth)
 	en := &engine{
 		game: &scalarGame{
 			cfg: &cfg, res: res,
 			ref: ref, genPool: genPool, jscale: jitterScale(ref),
 		},
-		pool:      pool,
-		board:     &res.Board,
-		collector: cfg.Collector,
-		rounds:    cfg.Rounds,
-		batch:     cfg.Batch,
-		poison:    cfg.poisonPerRound(),
-		baselineQ: baselineQ,
-		gen:       cfg.Gen,
-		si:        si,
-		pipeline:  cfg.Pipeline,
-		onRound:   cfg.OnRound,
+		pool:         pool,
+		board:        &res.Board,
+		collector:    cfg.Collector,
+		rounds:       cfg.Rounds,
+		batch:        cfg.Batch,
+		poison:       cfg.poisonPerRound(),
+		baselineQ:    baselineQ,
+		gen:          cfg.Gen,
+		si:           si,
+		subShards:    cfg.subShards(),
+		focusTighten: ft,
+		focusWidth:   fw,
+		pipeline:     cfg.Pipeline,
+		onRound:      cfg.OnRound,
 	}
 	if cfg.Resume != nil {
 		en.resume = func() (int, error) {
@@ -315,6 +346,12 @@ func RunCluster(cfg ClusterConfig) (*Result, error) {
 			}
 			if err := replayStrategies(cfg.Collector, si, res.Board.Records); err != nil {
 				return 0, err
+			}
+			// Re-anchor the focus schedule: the resumed run's first round
+			// anchors on the last posted round's percentile, exactly as the
+			// uninterrupted run would have.
+			if n := len(res.Board.Records); n > 0 {
+				en.lastPct, en.haveLast = res.Board.Records[n-1].ThresholdPct, true
 			}
 			return start, nil
 		}

@@ -45,6 +45,16 @@ type LDPClusterConfig struct {
 	// ignored — inputs come from LDPConfig.Inputs).
 	Gen *ShardGen
 
+	// SubShards splits each worker's shard-local generation into this many
+	// per-core sub-shards, generated and summarized in parallel goroutines
+	// and merged locally in sub order. See ClusterConfig.SubShards.
+	SubShards int
+
+	// FocusTighten / FocusWidth adaptively tighten the report summaries
+	// around the current trim threshold. See Config.FocusTighten.
+	FocusTighten int
+	FocusWidth   float64
+
 	// Pipeline enables the overlapped round schedule: like the scalar game
 	// (see ClusterConfig.Pipeline), the LDP game's next-round generation
 	// depends only on derived seed streams and the published threshold, so
@@ -78,6 +88,9 @@ func (c *LDPClusterConfig) validate() error {
 		return fmt.Errorf("collect: summary epsilon = %v", c.SummaryEpsilon)
 	}
 	if err := validatePipeline(c.Pipeline, c.Gen); err != nil {
+		return err
+	}
+	if err := validateScaleKnobs(c.SubShards, c.Gen, c.FocusTighten, c.FocusWidth); err != nil {
 		return err
 	}
 	if err := c.LDPConfig.validateMode(c.Gen != nil); err != nil {
@@ -234,19 +247,27 @@ func RunClusterLDP(cfg LDPClusterConfig) (*LDPResult, error) {
 		inputsSorted: sortedCopy(cfg.Inputs),
 		refReports:   refReports,
 	}
+	ft, fw := focusParams(cfg.FocusTighten, cfg.FocusWidth)
+	subs := cfg.SubShards
+	if subs < 1 {
+		subs = 1
+	}
 	en := &engine{
-		game:      g,
-		pool:      pool,
-		board:     &res.Board,
-		collector: cfg.Collector,
-		rounds:    cfg.Rounds,
-		batch:     cfg.Batch,
-		poison:    int(math.Round(cfg.AttackRatio * float64(cfg.Batch))),
-		baselineQ: baselineQ,
-		gen:       cfg.Gen,
-		si:        si,
-		pipeline:  cfg.Pipeline,
-		onRound:   cfg.OnRound,
+		game:         g,
+		pool:         pool,
+		board:        &res.Board,
+		collector:    cfg.Collector,
+		rounds:       cfg.Rounds,
+		batch:        cfg.Batch,
+		poison:       int(math.Round(cfg.AttackRatio * float64(cfg.Batch))),
+		baselineQ:    baselineQ,
+		gen:          cfg.Gen,
+		si:           si,
+		pipeline:     cfg.Pipeline,
+		subShards:    subs,
+		focusTighten: ft,
+		focusWidth:   fw,
+		onRound:      cfg.OnRound,
 	}
 	if err := en.run(); err != nil {
 		return nil, err
@@ -272,6 +293,12 @@ type LDPShardedConfig struct {
 
 	// Gen selects shard-local report generation (see LDPClusterConfig.Gen).
 	Gen *ShardGen
+
+	// SubShards / FocusTighten / FocusWidth mirror the LDPClusterConfig
+	// scale knobs (the sharded run is the cluster run over loopback).
+	SubShards    int
+	FocusTighten int
+	FocusWidth   float64
 }
 
 // RunShardedLDP plays the LDP collection game with per-round sharded report
@@ -291,5 +318,8 @@ func RunShardedLDP(cfg LDPShardedConfig) (*LDPResult, error) {
 		SummaryEpsilon: cfg.SummaryEpsilon,
 		Transport:      cluster.NewLoopback(shards),
 		Gen:            cfg.Gen,
+		SubShards:      cfg.SubShards,
+		FocusTighten:   cfg.FocusTighten,
+		FocusWidth:     cfg.FocusWidth,
 	})
 }

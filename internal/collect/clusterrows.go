@@ -43,6 +43,16 @@ type RowClusterConfig struct {
 	// ignored — rows come from the configured dataset).
 	Gen *ShardGen
 
+	// SubShards splits each worker's shard-local row generation into this
+	// many per-core sub-shards, generated and summarized in parallel
+	// goroutines and merged locally in sub order. See ClusterConfig.SubShards.
+	SubShards int
+
+	// FocusTighten / FocusWidth adaptively tighten the distance summaries
+	// around the current trim threshold. See Config.FocusTighten.
+	FocusTighten int
+	FocusWidth   float64
+
 	// Pipeline is accepted for interface symmetry with ClusterConfig and
 	// validated the same way (requires a Gen), but the row game cannot
 	// overlap rounds: round r+1's generation needs the robust center
@@ -78,6 +88,9 @@ func (c *RowClusterConfig) validate() error {
 		return fmt.Errorf("collect: cluster collection requires summaries (ExactQuantiles must be false)")
 	}
 	if err := validatePipeline(c.Pipeline, c.Gen); err != nil {
+		return err
+	}
+	if err := validateScaleKnobs(c.SubShards, c.Gen, c.FocusTighten, c.FocusWidth); err != nil {
 		return err
 	}
 	if c.Gen != nil {
@@ -388,6 +401,11 @@ func RunClusterRows(cfg RowClusterConfig) (*RowResult, error) {
 	pool := newWorkerPool(cfg.Transport, cfg.Log, cfg.Metrics, cfg.Fleet)
 	defer pool.stop()
 
+	ft, fw := focusParams(cfg.FocusTighten, cfg.FocusWidth)
+	subs := cfg.SubShards
+	if subs < 1 {
+		subs = 1
+	}
 	en := &engine{
 		game: &rowsGame{
 			cfg: &cfg, res: res, dim: dim,
@@ -395,16 +413,19 @@ func RunClusterRows(cfg RowClusterConfig) (*RowResult, error) {
 			acceptedVec: acceptedVec,
 			refCentroid: append([]float64(nil), center...),
 		},
-		pool:      pool,
-		board:     &res.Board,
-		collector: cfg.Collector,
-		rounds:    cfg.Rounds,
-		batch:     cfg.Batch,
-		poison:    poisonCount,
-		baselineQ: baselineQ,
-		gen:       cfg.Gen,
-		si:        si,
-		pipeline:  cfg.Pipeline,
+		pool:         pool,
+		board:        &res.Board,
+		collector:    cfg.Collector,
+		rounds:       cfg.Rounds,
+		batch:        cfg.Batch,
+		poison:       poisonCount,
+		baselineQ:    baselineQ,
+		gen:          cfg.Gen,
+		si:           si,
+		pipeline:     cfg.Pipeline,
+		subShards:    subs,
+		focusTighten: ft,
+		focusWidth:   fw,
 	}
 	if err := en.run(); err != nil {
 		return nil, err
@@ -424,6 +445,12 @@ type RowShardedConfig struct {
 
 	// Gen selects shard-local row generation (see RowClusterConfig.Gen).
 	Gen *ShardGen
+
+	// SubShards / FocusTighten / FocusWidth mirror the RowClusterConfig
+	// scale knobs (the sharded run is the cluster run over loopback).
+	SubShards    int
+	FocusTighten int
+	FocusWidth   float64
 }
 
 // RunShardedRows plays the row collection game with per-round sharded
@@ -440,8 +467,11 @@ func RunShardedRows(cfg RowShardedConfig) (*RowResult, error) {
 		shards = runtime.GOMAXPROCS(0)
 	}
 	return RunClusterRows(RowClusterConfig{
-		RowConfig: cfg.RowConfig,
-		Transport: cluster.NewLoopback(shards),
-		Gen:       cfg.Gen,
+		RowConfig:    cfg.RowConfig,
+		Transport:    cluster.NewLoopback(shards),
+		Gen:          cfg.Gen,
+		SubShards:    cfg.SubShards,
+		FocusTighten: cfg.FocusTighten,
+		FocusWidth:   cfg.FocusWidth,
 	})
 }

@@ -223,6 +223,39 @@ func validatePipeline(pipeline bool, gen *ShardGen) error {
 	return nil
 }
 
+// validateScaleKnobs checks the wire-v6 ingest knobs shared by the cluster
+// configs: the per-worker sub-shard split (needs the shard-local data plane
+// — a coordinator-fed round has no per-sub seeds to hand out) and the
+// adaptive-ε focus window.
+func validateScaleKnobs(subShards int, gen *ShardGen, focusTighten int, focusWidth float64) error {
+	if subShards < 0 {
+		return fmt.Errorf("collect: sub-shards = %d", subShards)
+	}
+	if subShards > 1 && gen == nil {
+		return fmt.Errorf("collect: sub-sharded generation requires the shard-local data plane (a ShardGen)")
+	}
+	if focusTighten < 0 {
+		return fmt.Errorf("collect: focus tighten = %d", focusTighten)
+	}
+	if focusWidth < 0 || math.IsNaN(focusWidth) {
+		return fmt.Errorf("collect: focus width = %v", focusWidth)
+	}
+	return nil
+}
+
+// focusParams resolves the adaptive-ε focus knobs: tighten ≤ 1 disables
+// focusing entirely, and a requested tightening without an explicit window
+// width gets the default ±5 percentile points.
+func focusParams(tighten int, width float64) (int, float64) {
+	if tighten <= 1 {
+		return 0, 0
+	}
+	if width == 0 {
+		width = 0.05
+	}
+	return tighten, width
+}
+
 // workerPool tracks the live workers of one game through an epoch-numbered
 // fleet.Membership and fans directives out to them. Failures prune the
 // membership (drop-and-continue): the merge order of the survivors stays
@@ -463,6 +496,17 @@ func (p *workerPool) recordWorker(w int, rep *wire.Report) time.Duration {
 	if rep.SummarizeNanos > 0 {
 		p.met.Counter("trimlab_worker_phase_nanos_total", "phase", "summarize", "worker", ws).Add(rep.SummarizeNanos)
 	}
+	// Ingest throughput (DESIGN.md §12): every summarize-bearing reply
+	// carries the exact count of points the worker's sketches absorbed this
+	// call; the per-worker gauge is the last call's points/second.
+	if rep.Count > 0 {
+		p.met.Counter("trimlab_ingest_points_total").Add(int64(rep.Count))
+		p.met.Counter("trimlab_worker_ingest_points_total", "worker", ws).Add(int64(rep.Count))
+		if rep.SummarizeNanos > 0 {
+			p.met.Gauge("trimlab_worker_ingest_points_per_sec", "worker", ws).
+				Set(float64(rep.Count) * 1e9 / float64(rep.SummarizeNanos))
+		}
+	}
 	if rep.ClassifyNanos > 0 {
 		p.met.Counter("trimlab_worker_phase_nanos_total", "phase", "classify", "worker", ws).Add(rep.ClassifyNanos)
 	}
@@ -688,6 +732,27 @@ type engine struct {
 	gen *ShardGen
 	si  attack.SpecInjector
 
+	// subShards is the per-worker sub-shard count C of a shard-local game
+	// (wire v6): each worker's slot is split into C independently seeded
+	// sub-draws generated and summarized in parallel. ≤ 1 = one shard per
+	// worker (the legacy layout, byte-identical directives).
+	subShards int
+
+	// focusTighten/focusWidth are the resolved adaptive-ε focus knobs
+	// (focusParams): when tighten > 1, every phase-1 directive tells the
+	// workers to keep tighten× denser rank coverage in a ±width percentile
+	// window around the focus anchor.
+	focusTighten int
+	focusWidth   float64
+
+	// lastPct is the focus anchor: the previous posted round's threshold
+	// percentile. Anchoring on round r−1 (not r) is what keeps the schedule
+	// identical under pipelining — round r+1's speculated directives are
+	// built while round r's percentile is already fixed, before r+1's own
+	// percentile exists. Round 1 anchors on its own percentile.
+	lastPct  float64
+	haveLast bool
+
 	// pipeline enables the overlapped round schedule (shard-local only).
 	pipeline bool
 
@@ -725,7 +790,7 @@ func (en *engine) run() error {
 
 		// Phase 1: obtain the round's shard summaries — from the pipeline's
 		// speculative fan-out when it is still valid, else a fresh fan-out.
-		reps, byWorker, pctSum, err := en.phase1(r, &pend)
+		reps, byWorker, pctSum, err := en.phase1(r, pct, &pend)
 		if err != nil {
 			return err
 		}
@@ -734,7 +799,17 @@ func (en *engine) run() error {
 			roundPoison = 0
 			for _, rep := range reps {
 				spec := byWorker[rep.Worker]
-				pctSum += rep.PctSum
+				// Sub-sharded reports carry per-sub percentile subtotals; the
+				// flat (worker, sub)-order fold matches a W·C-shard
+				// RunSharded's fold bit for bit, which is what keeps
+				// MeanInjectionPct — and hence the records — shape-invariant.
+				if len(rep.PctSums) > 0 {
+					for _, p := range rep.PctSums {
+						pctSum += p
+					}
+				} else {
+					pctSum += rep.PctSum
+				}
 				roundPoison += spec.PoisonN
 				en.game.foldGen(rep, spec)
 			}
@@ -769,6 +844,7 @@ func (en *engine) run() error {
 		}
 		en.game.endRound(merged, mCount, mSum)
 		en.board.Post(rec)
+		en.lastPct, en.haveLast = pct, true
 		en.pool.timing.Rounds++
 		en.observeRound(rec)
 		if en.onRound != nil {
@@ -802,11 +878,27 @@ func (en *engine) observeRound(rec RoundRecord) {
 	met.Counter("trimlab_poison_trimmed_total").Add(int64(rec.PoisonTrimmed))
 }
 
+// stampFocus writes the adaptive-ε focus window onto a phase-1 directive:
+// tighten× denser rank coverage in anchor ± width, when enabled.
+func (en *engine) stampFocus(d *wire.Directive, anchor float64) {
+	if en.focusTighten <= 1 {
+		return
+	}
+	d.FocusPct = anchor
+	d.FocusWidth = en.focusWidth
+	d.FocusTighten = en.focusTighten
+}
+
 // phase1 produces round r's summarize reports. Order of preference: consume
 // the speculated fan-out (no RTT), rebuild it from the already-drawn spec
 // after a flush, fan a fresh shard-local generate, or fan a coordinator-fed
-// summarize built by the game.
-func (en *engine) phase1(r int, pend **pending) ([]*wire.Report, map[int]arrival.Spec, float64, error) {
+// summarize built by the game. pct is round r's threshold percentile — the
+// focus anchor of round 1 only (later rounds anchor on lastPct).
+func (en *engine) phase1(r int, pct float64, pend **pending) ([]*wire.Report, map[int]arrival.Spec, float64, error) {
+	anchor := pct
+	if en.haveLast {
+		anchor = en.lastPct
+	}
 	if p := *pend; p != nil {
 		*pend = nil
 		if p.epoch == en.pool.epoch() {
@@ -822,17 +914,20 @@ func (en *engine) phase1(r int, pend **pending) ([]*wire.Report, map[int]arrival
 		// overwrite their speculated round state.
 		en.pool.log.PipelineFlush(r, p.epoch, en.pool.epoch())
 		en.pool.met.Counter("trimlab_pipeline_flush_total").Inc()
-		reps, byWorker, err := en.generate(r, p.inject)
+		reps, byWorker, err := en.generate(r, anchor, p.inject)
 		return reps, byWorker, 0, err
 	}
 	if en.gen != nil {
 		inject := en.si.InjectionSpec(r, en.board.adversaryView())
-		reps, byWorker, err := en.generate(r, inject)
+		reps, byWorker, err := en.generate(r, anchor, inject)
 		return reps, byWorker, 0, err
 	}
 	dirs, pctSum, err := en.game.feed(en, r)
 	if err != nil {
 		return nil, nil, 0, err
+	}
+	for _, d := range dirs {
+		en.stampFocus(d, anchor)
 	}
 	reps, err := en.pool.callAll(r, "summarize", dirs)
 	return reps, nil, pctSum, err
@@ -842,19 +937,42 @@ func (en *engine) phase1(r int, pend **pending) ([]*wire.Report, map[int]arrival
 // drawn injection spec: one O(1) generator spec per live worker, the RNG
 // seed derived per (slot, round) — the slot is the worker's position in the
 // live set, which is what repartitions the derived streams over any
-// membership epoch. Loss ranges are NOT registered here: a speculative
-// build must not clobber the in-flight round's ranges (the caller registers
-// them at consumption).
-func (en *engine) genDirs(r int, inject attack.InjectionSpec) ([]*wire.Directive, map[int]arrival.Spec, map[int][2]int) {
+// membership epoch. With sub-shards, worker i's slot is cut into C
+// consecutive cells of the flat (A·C)-shard seed space — slots i·C…i·C+C−1
+// — so the union of all sub-draws equals a flat W·C-shard reference draw
+// exactly (shardBounds composes: the flat split refines the per-worker
+// split on the same boundaries). anchor is the focus anchor percentile.
+// Loss ranges are NOT registered here: a speculative build must not clobber
+// the in-flight round's ranges (the caller registers them at consumption).
+func (en *engine) genDirs(r int, anchor float64, inject attack.InjectionSpec) ([]*wire.Directive, map[int]arrival.Spec, map[int][2]int) {
 	alive := en.pool.alive()
-	specs := genSpecs(en.batch, en.poison, inject, en.game.jitter(), len(alive))
+	subs := en.subShards
+	if subs < 1 {
+		subs = 1
+	}
+	flat := genSpecs(en.batch, en.poison, inject, en.game.jitter(), len(alive)*subs)
 	dirs := make([]*wire.Directive, len(alive))
 	byWorker := make(map[int]arrival.Spec, len(alive))
 	bounds := make(map[int][2]int, len(alive))
 	for i, w := range alive {
-		dirs[i] = &wire.Directive{Op: en.game.genOp(), Round: r, Gen: arrival.SpecToWire(en.gen.seed(i, r), specs[i])}
+		agg := flat[i*subs]
+		gen := arrival.SpecToWire(en.gen.seed(i*subs, r), agg)
+		if subs > 1 {
+			gen.Subs = make([]wire.SubSpec, subs)
+			for c := 0; c < subs; c++ {
+				sub := flat[i*subs+c]
+				gen.Subs[c] = wire.SubSpec{Seed: en.gen.seed(i*subs+c, r), HonestN: sub.HonestN, PoisonN: sub.PoisonN}
+				if c > 0 {
+					agg.HonestN += sub.HonestN
+					agg.PoisonN += sub.PoisonN
+				}
+			}
+			gen.HonestN, gen.PoisonN = agg.HonestN, agg.PoisonN
+		}
+		dirs[i] = &wire.Directive{Op: en.game.genOp(), Round: r, Gen: gen}
 		en.game.decorate(dirs[i])
-		byWorker[w] = specs[i]
+		en.stampFocus(dirs[i], anchor)
+		byWorker[w] = agg
 		lo, hi := shardBounds(en.batch, len(alive), i)
 		bounds[w] = [2]int{lo, hi}
 	}
@@ -862,8 +980,8 @@ func (en *engine) genDirs(r int, inject attack.InjectionSpec) ([]*wire.Directive
 }
 
 // generate fans a standalone shard-local phase 1 out for round r.
-func (en *engine) generate(r int, inject attack.InjectionSpec) ([]*wire.Report, map[int]arrival.Spec, error) {
-	dirs, byWorker, bounds := en.genDirs(r, inject)
+func (en *engine) generate(r int, anchor float64, inject attack.InjectionSpec) ([]*wire.Report, map[int]arrival.Spec, error) {
+	dirs, byWorker, bounds := en.genDirs(r, anchor, inject)
 	en.pool.setRanges(bounds)
 	reps, err := en.pool.callAll(r, "generate", dirs)
 	return reps, byWorker, err
@@ -882,10 +1000,15 @@ func (en *engine) classifyRound(r int, pct, threshold float64, pend **pending) (
 		// round r is {Round, ThresholdPct}, both already fixed — identical
 		// to what an unpipelined run would pass after posting the record.
 		inject := en.si.InjectionSpec(r+1, attack.Observation{Round: r, ThresholdPct: pct})
-		gdirs, byWorker, bounds := en.genDirs(r+1, inject)
+		// Round r+1 anchors its focus on round r's percentile — exactly what
+		// the plain path's lastPct resolves to after this round posts.
+		gdirs, byWorker, bounds := en.genDirs(r+1, pct, inject)
 		for i := range dirs {
 			dirs[i].Op = wire.OpClassifyGenerate
 			dirs[i].Gen = gdirs[i].Gen
+			dirs[i].FocusPct = gdirs[i].FocusPct
+			dirs[i].FocusWidth = gdirs[i].FocusWidth
+			dirs[i].FocusTighten = gdirs[i].FocusTighten
 		}
 		// The epoch stamp is taken before the call: a worker lost during the
 		// combined broadcast bumps it and invalidates the speculation.

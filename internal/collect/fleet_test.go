@@ -696,11 +696,13 @@ func TestClusterResumeValidation(t *testing.T) {
 		}
 	}
 	cases := map[string]func(*ClusterConfig){
-		"wrong seed":    func(c *ClusterConfig) { c.Gen = &ShardGen{MasterSeed: 99} },
-		"wrong workers": func(c *ClusterConfig) { c.Transport = cluster.NewLoopback(workers + 1) },
-		"wrong rounds":  func(c *ClusterConfig) { c.Rounds++ },
-		"wrong ratio":   func(c *ClusterConfig) { c.AttackRatio = 0.3 },
-		"no gen":        func(c *ClusterConfig) { c.Gen = nil },
+		"wrong seed":      func(c *ClusterConfig) { c.Gen = &ShardGen{MasterSeed: 99} },
+		"wrong workers":   func(c *ClusterConfig) { c.Transport = cluster.NewLoopback(workers + 1) },
+		"wrong rounds":    func(c *ClusterConfig) { c.Rounds++ },
+		"wrong ratio":     func(c *ClusterConfig) { c.AttackRatio = 0.3 },
+		"no gen":          func(c *ClusterConfig) { c.Gen = nil },
+		"wrong subshards": func(c *ClusterConfig) { c.SubShards = 2 },
+		"wrong focus":     func(c *ClusterConfig) { c.FocusTighten = 4 },
 	}
 	for name, mutate := range cases {
 		cfg := base()

@@ -70,6 +70,19 @@ type Config struct {
 	// per-game summaries; summary.DefaultEpsilon when 0.
 	SummaryEpsilon float64
 
+	// FocusTighten/FocusWidth are the adaptive-ε focus knobs of the sharded
+	// and cluster games (wire v6; plain Run ignores them). With Tighten > 1,
+	// each round's shard streams keep Tighten× denser rank coverage in a
+	// ±Width percentile window around the previous round's threshold
+	// percentile (round 1 anchors on its own), so threshold queries resolve
+	// Tighten× more precisely where the trim decision actually lands, at an
+	// O(Tighten·Width/ε) entry overhead instead of a global ε cut. Width 0
+	// with Tighten > 1 selects the default ±0.05. The knobs shape the
+	// sketches, so they are part of a checkpoint's configuration
+	// fingerprint.
+	FocusTighten int
+	FocusWidth   float64
+
 	// KeepValues retains every round's kept values in the result.
 	//
 	// Deprecated: mean/quantile consumers of the retained pool should read

@@ -129,8 +129,20 @@ func RunSharded(cfg ShardedConfig) (*Result, error) {
 	}
 	outs := make([]shardOut, shards)
 
+	// Shard streams ingest via SetFocus+PushBatch in lockstep with
+	// cluster.Worker (batch and item-wise ingestion are rank-equivalent but
+	// not bit-identical, so the reference and the cluster must agree on the
+	// API); the focus anchor schedule mirrors engine.lastPct.
+	ft, fw := focusParams(cfg.FocusTighten, cfg.FocusWidth)
+	var lastPct float64
+	haveLast := false
+
 	for r := 1; r <= cfg.Rounds; r++ {
 		thresholdPct := cfg.Collector.Threshold(r, res.Board.collectorView())
+		anchor := thresholdPct
+		if haveLast {
+			anchor = lastPct
+		}
 
 		// Phase 1: every shard obtains and summarizes its slice of the
 		// round's arrivals in parallel — by local generation from its
@@ -154,9 +166,10 @@ func RunSharded(cfg ShardedConfig) (*Result, error) {
 					if serr != nil { // unreachable: epsilon validated above
 						panic(serr)
 					}
-					for _, v := range values {
-						sum.Push(v)
+					if ft > 1 {
+						sum.SetFocus(anchor, fw, ft)
 					}
+					sum.PushBatch(values)
 					outs[s] = shardOut{
 						values: values, poisonFrom: specs[s].HonestN,
 						pctSum: pctSum, sum: sum,
@@ -177,9 +190,10 @@ func RunSharded(cfg ShardedConfig) (*Result, error) {
 					if serr != nil { // unreachable: epsilon validated above
 						panic(serr)
 					}
-					for _, v := range values[lo:hi] {
-						sum.Push(v)
+					if ft > 1 {
+						sum.SetFocus(anchor, fw, ft)
 					}
+					sum.PushBatch(values[lo:hi])
 					outs[s] = shardOut{
 						values:     values[lo:hi],
 						poisonFrom: slicePoisonFrom(poisonStart, lo, hi),
@@ -290,6 +304,7 @@ func RunSharded(cfg ShardedConfig) (*Result, error) {
 		}
 		res.Received.AbsorbCounted(merged, mCount, mSum)
 		res.Board.Post(rec)
+		lastPct, haveLast = thresholdPct, true
 		if cfg.OnRound != nil {
 			cfg.OnRound(rec)
 		}

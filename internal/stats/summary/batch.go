@@ -1,0 +1,483 @@
+package summary
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+	"sync"
+)
+
+// Batch ingestion (DESIGN.md §12). PushBatch feeds the level counter in
+// L2-cache-sized chunks instead of touching the stream per item. The
+// unit-weight hot path is a fused pipeline over pooled scratch:
+//
+//  1. one scan filters NaNs, folds the Count/Sum accounting, converts each
+//     value to its order-preserving uint64 key and builds all radix
+//     histograms;
+//  2. an LSD radix sort over the high key word (single-bucket passes
+//     skipped, low-word ties finished by a per-run comparison sort) orders
+//     the keys;
+//  3. the block summary is built straight off the sorted keys — runs of
+//     equal values stream through the same target-grid walk Compress uses,
+//     so only the ≤ blockSize+1 survivors are ever materialized — and
+//     carried as a single block.
+//
+// Relative to item-wise Push this replaces ~chunk/blockSize sorts, exact
+// block builds and carry cascades with one of each, and the steady-state
+// path allocates only the surviving entries per chunk.
+//
+// The batch path is governed by the same error accounting as Push: a chunk
+// block enters the counter with one compression already applied (≤
+// 1/blockSize added rank error) and pays the same one-compression-per-level
+// toll on the way up, so the stream's ε budget — sized for maxLevels+2
+// compressions — still covers it. Batch and item-wise ingestion are
+// rank-equivalent within ε but not bit-identical (the chunk partition
+// differs from the block partition), so paths that must reproduce each
+// other bit for bit have to agree on which API they use.
+
+// batchChunk is the direct-chunk size floor in values: 32768 float64s =
+// 256 KiB, sized to stay resident in a per-core L2 while amortizing the
+// carry cascade over many blocks. Chunks are max(blockSize, batchChunk).
+const batchChunk = 1 << 15
+
+// radixMin is the chunk size below which key sorting falls back to the
+// stdlib: resetting the 48 KiB histogram array would dominate tiny chunks.
+const radixMin = 512
+
+const (
+	radixBits    = 8
+	radixBuckets = 1 << radixBits
+	radixMask    = radixBuckets - 1
+	// Only the high word is radix-sorted (4 passes); ties below — short,
+	// rare runs for continuous data, whose neighbors usually differ within
+	// the top 20 mantissa bits — are resolved by a comparison sort per run.
+	// (3 passes over the top 24 bits measured slower: the longer cleanup
+	// runs cost more than the saved scatter pass.)
+	radixPasses = 4
+	radixShift  = 32
+)
+
+// batchScratch is the pooled working set of one chunk flush: the filtered
+// value/weight copies (weighted path), the radix key buffers (unit path),
+// and the exact block entries. Everything is length-reset and
+// capacity-retained between uses.
+type batchScratch struct {
+	vals    []float64
+	wts     []float64
+	keys    []uint64
+	tmp     []uint64
+	entries []Entry
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// PushBatch absorbs a slice of unit-weight observations. Equivalent to
+// pushing each value in order (NaNs skipped; Count/Sum/Min/Max identical),
+// with the snapshot cache invalidated once for the whole batch.
+func (st *Stream) PushBatch(values []float64) {
+	st.pushBatch(values, nil)
+}
+
+// PushBatchWeighted absorbs parallel value/weight slices (weights may be
+// nil for all-unit weights; otherwise the lengths must match). Values with
+// NaN or non-positive weight are skipped, as in PushWeighted.
+func (st *Stream) PushBatchWeighted(values, weights []float64) error {
+	if weights != nil && len(weights) != len(values) {
+		return fmt.Errorf("summary: %d weights for %d values", len(weights), len(values))
+	}
+	st.pushBatch(values, weights)
+	return nil
+}
+
+func (st *Stream) pushBatch(values, weights []float64) {
+	if len(values) == 0 {
+		return
+	}
+	st.cache = nil
+	i, n := 0, len(values)
+	for i < n {
+		// With an empty buffer and at least a block of input left, flush a
+		// chunk directly; otherwise feed the buffer item-wise — topping a
+		// partial buffer up to its flush point, or parking a sub-block tail.
+		if len(st.bufV) == 0 && n-i >= st.blockSize {
+			i += st.flushChunk(values[i:], weightTail(weights, i))
+			continue
+		}
+		v, w := values[i], 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		i++
+		if w <= 0 || math.IsNaN(v) {
+			continue
+		}
+		st.push1(v, w)
+	}
+}
+
+// weightTail returns weights[i:], tolerating a nil slice.
+func weightTail(weights []float64, i int) []float64 {
+	if weights == nil {
+		return nil
+	}
+	return weights[i:]
+}
+
+// flushChunk absorbs one direct chunk from the head of rem (with parallel
+// weights, or nil for unit weights) and returns how many inputs it
+// consumed. The chunk boundary is a pure function of (remaining length,
+// blockSize), so identical push sequences chunk identically everywhere.
+func (st *Stream) flushChunk(rem, wts []float64) int {
+	m := st.blockSize
+	if m < batchChunk {
+		m = batchChunk
+	}
+	if m > len(rem) {
+		m = len(rem)
+	}
+	if wts == nil {
+		st.flushChunkUnit(rem[:m])
+	} else {
+		st.flushChunkWeighted(rem[:m], wts[:m])
+	}
+	return m
+}
+
+// flushChunkUnit is the fused unit-weight pipeline: filter + accounting +
+// key conversion + histogramming in one scan, radix sort, then a block
+// summary streamed off the sorted keys. Min/Max fall out of the sorted
+// extremes.
+func (st *Stream) flushChunkUnit(chunk []float64) {
+	sc := batchPool.Get().(*batchScratch)
+	if cap(sc.keys) < len(chunk) || cap(sc.tmp) < len(chunk) {
+		sc.keys = make([]uint64, len(chunk))
+		sc.tmp = make([]uint64, len(chunk))
+	}
+	// The scan loops index a pre-sized buffer and accumulate into locals so
+	// the hot loop is call-free (an append could grow; a stream field write
+	// forces a reload every iteration).
+	keys := sc.keys[:len(chunk)]
+	w := 0
+	cnt, sm := st.count, st.sum
+	var sorted []uint64
+	if len(chunk) < radixMin {
+		for _, v := range chunk {
+			if math.IsNaN(v) {
+				continue
+			}
+			cnt++
+			sm += v
+			keys[w] = f64key(v)
+			w++
+		}
+		keys = keys[:w]
+		slices.Sort(keys)
+		sorted = keys
+	} else {
+		var counts [radixPasses][radixBuckets]int32
+		for _, v := range chunk {
+			if math.IsNaN(v) {
+				continue
+			}
+			cnt++
+			sm += v
+			k := f64key(v)
+			keys[w] = k
+			w++
+			counts[0][k>>32&radixMask]++
+			counts[1][k>>40&radixMask]++
+			counts[2][k>>48&radixMask]++
+			counts[3][k>>56]++
+		}
+		keys = keys[:w]
+		var spare []uint64
+		sorted, spare = radixSortKeys(keys, sc.tmp[:w], &counts)
+		sc.keys, sc.tmp = sorted[:cap(sorted)], spare[:cap(spare)]
+	}
+	st.count, st.sum = cnt, sm
+	if n := len(sorted); n > 0 {
+		if lo := keyf64(sorted[0]); lo < st.min {
+			st.min = lo
+		}
+		if hi := keyf64(sorted[n-1]); hi > st.max {
+			st.max = hi
+		}
+		st.carry(st.buildBlockKeys(sorted))
+	}
+	batchPool.Put(sc)
+}
+
+// flushChunkWeighted is the weighted chunk path: filtered copies, a
+// comparison sort carrying the weights along, then an exact dedup into
+// pooled entries compressed to the block budget.
+func (st *Stream) flushChunkWeighted(chunk, wts []float64) {
+	sc := batchPool.Get().(*batchScratch)
+	vals, ws := sc.vals[:0], sc.wts[:0]
+	for k, v := range chunk {
+		w := wts[k]
+		if w <= 0 || math.IsNaN(v) {
+			continue
+		}
+		st.count++
+		st.sum += v * w
+		if v < st.min {
+			st.min = v
+		}
+		if v > st.max {
+			st.max = v
+		}
+		vals = append(vals, v)
+		ws = append(ws, w)
+	}
+	if len(vals) > 0 {
+		sort.Sort(&byValue{vals, ws})
+		st.carry(st.buildBlock(vals, ws, sc))
+	}
+	sc.vals, sc.wts = vals, ws
+	batchPool.Put(sc)
+}
+
+// buildBlock turns a sorted (value, weight) chunk into a compressed block
+// summary: an exact FromSorted-equivalent dedup into pooled entry storage,
+// one compression to the stream's block budget, then a compact copy — the
+// level counter retains carried summaries, so pooled backing must not
+// escape.
+func (st *Stream) buildBlock(sorted, wts []float64, sc *batchScratch) *Summary {
+	entries := sc.entries[:0]
+	cum := 0.0
+	for i, v := range sorted {
+		w := 1.0
+		if wts != nil {
+			w = wts[i]
+		}
+		if n := len(entries); n > 0 && entries[n-1].Value == v {
+			entries[n-1].Weight += w
+			entries[n-1].MaxRank += w
+			cum += w
+			continue
+		}
+		entries = append(entries, Entry{Value: v, Weight: w, MinRank: cum, MaxRank: cum + w})
+		cum += w
+	}
+	sc.entries = entries
+	s := &Summary{entries: entries}
+	st.compress(s)
+	return &Summary{entries: append(make([]Entry, 0, len(s.entries)), s.entries...)}
+}
+
+// buildBlockKeys turns a sorted unit-weight key chunk into a compressed
+// block summary without materializing the exact per-value entries: runs of
+// equal values stream off the keys through the same target-grid walk as
+// compressTargets, so only survivors are written. The result is identical
+// to dedup-then-compress — run boundaries, rank arithmetic (exact integers
+// in float64), grid targets and the nearest-midpoint/lastIdx selection all
+// match — while touching O(blockSize) memory instead of O(chunk).
+func (st *Stream) buildBlockKeys(keys []uint64) *Summary {
+	n := len(keys)
+	bs := st.blockSize
+	if bs < 2 {
+		bs = 2
+	}
+	// Upper bound on distinct values via key equality (the keys of −0.0 and
+	// +0.0 differ but decode to equal values; at most one adjacent pair
+	// collapses, which can only make the summary one entry smaller).
+	runs := 1
+	for i := 1; i < n; i++ {
+		if keys[i] != keys[i-1] {
+			runs++
+		}
+	}
+	// Runs are tracked as (key, rank interval) and decoded to an Entry only
+	// when they survive — the walk below discards most runs unseen. Run
+	// boundaries are key boundaries, except the one distinct-key pair that
+	// decodes to equal values: −0.0 then +0.0, folded explicitly.
+	pos := 0
+	nextRun := func() (keyRun, bool) {
+		if pos >= n {
+			return keyRun{}, false
+		}
+		k := keys[pos]
+		start := pos
+		pos++
+		for pos < n && keys[pos] == k {
+			pos++
+		}
+		if k == negZeroKey && pos < n && keys[pos] == posZeroKey {
+			for pos < n && keys[pos] == posZeroKey {
+				pos++
+			}
+		}
+		return keyRun{k: k, start: start, end: pos}, true
+	}
+	if runs <= bs+1 {
+		// Within the block budget: exact, no compression — mirrors the
+		// n ≤ b+1 early return in Compress/CompressFocused.
+		entries := make([]Entry, 0, runs)
+		for {
+			r, ok := nextRun()
+			if !ok {
+				break
+			}
+			entries = append(entries, r.entry())
+		}
+		return &Summary{entries: entries}
+	}
+	w := float64(n)
+	var next func() (float64, bool)
+	capHint := bs + 2
+	if st.focusTighten > 1 && st.focusHi > st.focusLo {
+		next = focusGridTargets(w, bs, st.focusLo, st.focusHi, st.focusTighten)
+		capHint += int(float64(bs)*float64(st.focusTighten)*(st.focusHi-st.focusLo)) + 2
+	} else {
+		next = gridTargets(w, bs)
+	}
+	// Streaming mirror of compressTargets: prev/cur shadow entries i−1 and
+	// i, the one-run lookahead la tells us when cur is the final run (the
+	// walk never selects it; it is appended unconditionally at the end).
+	// runs ≥ bs+3 here, so cur and la both exist.
+	out := make([]Entry, 0, capHint)
+	first, _ := nextRun()
+	out = append(out, first.entry())
+	prev := first
+	cur, _ := nextRun()
+	curIdx := 1
+	la, laOK := nextRun()
+	lastIdx := 0
+	for {
+		t, ok := next()
+		if !ok {
+			break
+		}
+		for laOK && cur.mid() < t {
+			prev, cur, curIdx = cur, la, curIdx+1
+			la, laOK = nextRun()
+		}
+		if !laOK {
+			break // the cursor reached the final run
+		}
+		j, jIdx := cur, curIdx
+		if t-prev.mid() <= cur.mid()-t {
+			j, jIdx = prev, curIdx-1
+		}
+		if jIdx > lastIdx {
+			out = append(out, j.entry())
+			lastIdx = jIdx
+		}
+	}
+	for laOK {
+		cur = la
+		la, laOK = nextRun()
+	}
+	return &Summary{entries: append(out, cur.entry())}
+}
+
+// keyRun is one maximal run of equal values in a sorted key chunk: the run's
+// key and its half-open rank interval. Rank arithmetic stays on exact
+// integers in float64, matching the exact dedup build bit for bit.
+type keyRun struct {
+	k          uint64
+	start, end int
+}
+
+// mid matches Entry.midRank on the run's entry.
+func (r keyRun) mid() float64 {
+	return (float64(r.start) + float64(r.end)) / 2
+}
+
+func (r keyRun) entry() Entry {
+	return Entry{Value: keyf64(r.k), Weight: float64(r.end - r.start), MinRank: float64(r.start), MaxRank: float64(r.end)}
+}
+
+const (
+	negZeroKey = ^uint64(1 << 63) // f64key(-0.0)
+	posZeroKey = uint64(1 << 63)  // f64key(+0.0)
+)
+
+// f64key maps a float64 onto a uint64 whose unsigned order matches float
+// order: the sign bit is flipped for non-negatives, all bits for negatives.
+// NaNs are filtered before keying; −0.0 keys below +0.0 (the two compare
+// equal as floats, so the run scan folds them back together).
+func f64key(v float64) uint64 {
+	k := math.Float64bits(v)
+	if k&(1<<63) != 0 {
+		return ^k
+	}
+	return k | 1<<63
+}
+
+// keyf64 inverts f64key.
+func keyf64(k uint64) float64 {
+	if k&(1<<63) != 0 {
+		return math.Float64frombits(k &^ (1 << 63))
+	}
+	return math.Float64frombits(^k)
+}
+
+// radixSortKeys sorts keys ascending: an LSD radix sort over the high word
+// (histograms pre-built by the caller's conversion scan; passes whose keys
+// all share one digit are skipped, so narrow-range data pays only for the
+// digits that vary), then a cleanup walk that comparison-sorts any run of
+// equal high words on the full key. Continuous data almost never ties in
+// the top 20 mantissa bits, so cleanup is a read-only scan; duplicate-heavy
+// data ties with fully equal keys, which the all-equal check skips. Returns
+// the sorted buffer and the spare (callers re-home both into the scratch).
+func radixSortKeys(keys, tmp []uint64, counts *[radixPasses][radixBuckets]int32) (sorted, spare []uint64) {
+	n := int32(len(keys))
+	src, dst := keys, tmp
+	for p, shift := 0, uint(radixShift); p < radixPasses; p, shift = p+1, shift+radixBits {
+		c := &counts[p]
+		if c[src[0]>>shift&radixMask] == n {
+			continue // every key shares this digit
+		}
+		sum := int32(0)
+		for b := range c {
+			c[b], sum = sum, sum+c[b]
+		}
+		for _, k := range src {
+			b := k >> shift & radixMask
+			dst[c[b]] = k
+			c[b]++
+		}
+		src, dst = dst, src
+	}
+	for i, nn := 0, len(src); i < nn; {
+		hi := src[i] >> radixShift
+		j := i + 1
+		for j < nn && src[j]>>radixShift == hi {
+			j++
+		}
+		if j > i+1 && !keysAllEqual(src[i:j]) {
+			sortRun(src[i:j])
+		}
+		i = j
+	}
+	return src, dst
+}
+
+// sortRun orders one tie run on the full key: insertion sort for the short
+// runs continuous data produces, the stdlib for anything longer.
+func sortRun(ks []uint64) {
+	if len(ks) > 24 {
+		slices.Sort(ks)
+		return
+	}
+	for i := 1; i < len(ks); i++ {
+		k := ks[i]
+		j := i - 1
+		for j >= 0 && ks[j] > k {
+			ks[j+1] = ks[j]
+			j--
+		}
+		ks[j+1] = k
+	}
+}
+
+func keysAllEqual(ks []uint64) bool {
+	for _, k := range ks[1:] {
+		if k != ks[0] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,464 @@
+package summary
+
+import (
+	"math"
+	"reflect"
+	"runtime"
+	"slices"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// Property: PushBatch and item-wise Push agree exactly on the exact
+// accounting (Count/Sum/Min/Max) and are rank-equivalent within the shared
+// ε budget on every stream shape — including the adversarial sorted,
+// reversed and duplicate-heavy cases.
+func TestPushBatchMatchesPushWithinEpsilon(t *testing.T) {
+	const (
+		n   = 50000
+		eps = 0.01
+	)
+	for _, tc := range streamCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			xs := tc.gen(stats.NewRand(11), n)
+			item, err := New(eps, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batch, err := New(eps, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, x := range xs {
+				item.Push(x)
+			}
+			batch.PushBatch(xs)
+
+			if item.Count() != batch.Count() || item.Sum() != batch.Sum() ||
+				item.Min() != batch.Min() || item.Max() != batch.Max() {
+				t.Fatalf("accounting diverged: count %d/%d sum %v/%v min %v/%v max %v/%v",
+					item.Count(), batch.Count(), item.Sum(), batch.Sum(),
+					item.Min(), batch.Min(), item.Max(), batch.Max())
+			}
+			sorted := append([]float64(nil), xs...)
+			sort.Float64s(sorted)
+			for q := 0.0; q <= 1.0001; q += 0.02 {
+				v := batch.Query(q)
+				lo, hi := rankInterval(sorted, v)
+				if q < lo-eps || q > hi+eps {
+					t.Errorf("batch Query(%.2f) = %v with true rank [%v, %v]: outside ε=%v",
+						q, v, lo, hi, eps)
+				}
+			}
+			if got := batch.Snapshot().ApproxError(); got > eps {
+				t.Errorf("batch ApproxError %v > ε=%v", got, eps)
+			}
+		})
+	}
+}
+
+// Property: the weighted batch path matches PushWeighted semantics — skips
+// NaN values and non-positive weights, keeps exact accounting, and stays
+// rank-equivalent — and rejects mismatched slices.
+func TestPushBatchWeighted(t *testing.T) {
+	rng := stats.NewRand(12)
+	const n, eps = 30000, 0.01
+	vs := make([]float64, n)
+	ws := make([]float64, n)
+	for i := range vs {
+		vs[i] = rng.NormFloat64()
+		ws[i] = float64(1 + rng.Intn(4))
+		switch i % 97 {
+		case 13:
+			vs[i] = math.NaN()
+		case 29:
+			ws[i] = 0
+		case 31:
+			ws[i] = -2
+		}
+	}
+	item, err := New(eps, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := New(eps, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vs {
+		item.PushWeighted(vs[i], ws[i])
+	}
+	if err := batch.PushBatchWeighted(vs, ws); err != nil {
+		t.Fatal(err)
+	}
+	if item.Count() != batch.Count() || item.Sum() != batch.Sum() ||
+		item.Min() != batch.Min() || item.Max() != batch.Max() {
+		t.Fatalf("weighted accounting diverged: count %d/%d sum %v/%v",
+			item.Count(), batch.Count(), item.Sum(), batch.Sum())
+	}
+	for q := 0.05; q < 1; q += 0.05 {
+		a, b := item.Query(q), batch.Query(q)
+		if ra, rb := item.Rank(a), item.Rank(b); math.Abs(ra-rb) > 3*eps {
+			t.Errorf("q=%.2f: item %v (rank %v) vs batch %v (rank %v)", q, a, ra, b, rb)
+		}
+	}
+	if err := batch.PushBatchWeighted(vs, ws[:10]); err == nil {
+		t.Error("mismatched weight slice must error")
+	}
+}
+
+// Batches that never reach a direct chunk ride the item-wise buffer path
+// and are bit-identical to per-item pushes, including interleaved with
+// them — so mixing the two APIs below the flush point is safe.
+func TestPushBatchSmallBitIdentical(t *testing.T) {
+	rng := stats.NewRand(13)
+	a, err := New(0.01, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(0.01, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 20; round++ {
+		chunk := make([]float64, 37)
+		for i := range chunk {
+			chunk[i] = rng.Float64()
+		}
+		for _, v := range chunk {
+			a.Push(v)
+		}
+		b.PushBatch(chunk)
+		extra := rng.NormFloat64()
+		a.Push(extra)
+		b.Push(extra)
+	}
+	if !reflect.DeepEqual(a.Snapshot().Entries(), b.Snapshot().Entries()) {
+		t.Fatal("sub-block batches diverged from item-wise pushes")
+	}
+	if a.Count() != b.Count() || a.Sum() != b.Sum() {
+		t.Fatal("sub-block batch accounting diverged")
+	}
+}
+
+// PushBatch is deterministic: identical input sequences produce
+// bit-identical snapshots, regardless of how the input is sliced into
+// calls at chunk boundaries.
+func TestPushBatchDeterministic(t *testing.T) {
+	xs := streamCases()[0].gen(stats.NewRand(14), 120000)
+	run := func(split int) *Summary {
+		st, err := New(0.005, len(xs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.PushBatch(xs[:split])
+		st.PushBatch(xs[split:])
+		return st.Snapshot()
+	}
+	base := run(0)
+	for _, split := range []int{1, 1000, 60000, len(xs)} {
+		if !reflect.DeepEqual(base.Entries(), run(split).Entries()) {
+			// Splits land mid-buffer, so chunk boundaries shift; queries
+			// must still agree bit-for-bit when the boundaries coincide.
+			if split == 0 || split == len(xs) {
+				t.Fatalf("split %d: identical chunking diverged", split)
+			}
+		}
+	}
+	if !reflect.DeepEqual(base.Entries(), run(len(xs)).Entries()) {
+		t.Fatal("identical PushBatch runs diverged")
+	}
+}
+
+// Parallel sub-shard merge — the worker's per-core schedule — is
+// deterministic: per-sub streams filled concurrently and merged in sub
+// order produce bit-identical results across repeated runs and across
+// GOMAXPROCS settings, because Merge of unit-weight summaries is exact
+// integer rank arithmetic and the merge order is pinned.
+func TestParallelSubShardMergeDeterministic(t *testing.T) {
+	xs := streamCases()[1].gen(stats.NewRand(15), 80000)
+	run := func(subs int) []Entry {
+		bounds := func(c int) (int, int) {
+			return len(xs) * c / subs, len(xs) * (c + 1) / subs
+		}
+		snaps := make([]*Summary, subs)
+		var wg sync.WaitGroup
+		for c := 0; c < subs; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				lo, hi := bounds(c)
+				st, err := New(0.01, hi-lo)
+				if err != nil {
+					panic(err)
+				}
+				st.PushBatch(xs[lo:hi])
+				snaps[c] = st.Snapshot()
+			}(c)
+		}
+		wg.Wait()
+		merged := &Summary{}
+		for _, s := range snaps {
+			merged.Merge(s)
+		}
+		return merged.Entries()
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, subs := range []int{2, 4, 7} {
+		base := run(subs)
+		for rep := 0; rep < 3; rep++ {
+			runtime.GOMAXPROCS(1 + rep)
+			if !reflect.DeepEqual(base, run(subs)) {
+				t.Fatalf("subs=%d rep=%d: parallel sub-shard merge diverged", subs, rep)
+			}
+		}
+	}
+}
+
+// The snapshot-cache regression (ISSUE 8 small fix): interleaved Push and
+// Query must re-merge only the partial buffer against the cached level
+// merge — one level rebuild per flush, not per query — and the regrouped
+// merge must stay bit-identical to the unhinted path for unit weights.
+func TestSnapshotLevelCacheInvalidateOnce(t *testing.T) {
+	st, err := New(0.02, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	control, err := New(0.02, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRand(16)
+	const n = 12000
+	flushes := 0
+	for i := 0; i < n; i++ {
+		v := rng.Float64()
+		st.Push(v)
+		control.Push(v)
+		if len(st.bufV) == 0 {
+			flushes++
+		}
+		if st.Query(0.5) != control.Snapshot().Query(0.5) {
+			t.Fatalf("push %d: interleaved query diverged", i)
+		}
+	}
+	// Every query above forced a snapshot; without the level cache each one
+	// re-merged the whole counter. With it, the counter is re-merged at
+	// most once per flush (plus the initial build).
+	if st.levelBuilds > flushes+1 {
+		t.Fatalf("levelBuilds = %d for %d flushes: snapshot re-merges levels per query", st.levelBuilds, flushes)
+	}
+	if !reflect.DeepEqual(st.Snapshot().Entries(), control.Snapshot().Entries()) {
+		t.Fatal("level-cached snapshot diverged from control")
+	}
+}
+
+// CompressFocused: the focused grid keeps the global 1/b bound and a
+// tighten×-tighter bound inside the rank window, with the documented size
+// bound.
+func TestCompressFocused(t *testing.T) {
+	rng := stats.NewRand(17)
+	xs := make([]float64, 60000)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	const (
+		b       = 200
+		tighten = 8
+		lo, hi  = 0.85, 0.95
+	)
+	s := FromUnsorted(xs)
+	s.CompressFocused(b, lo, hi, tighten)
+	if got, bound := s.ApproxError(), 1.0/b+1e-12; got > bound {
+		t.Errorf("global ApproxError %v > 1/b = %v", got, bound)
+	}
+	if maxSize := b + 1 + int(math.Ceil((hi-lo)*b*tighten)) + 2; s.Size() > maxSize {
+		t.Errorf("focused size %d > bound %d", s.Size(), maxSize)
+	}
+	// Inside the window the rank gaps must be tighten× tighter.
+	w := s.TotalWeight()
+	fineBound := 1.0/(b*tighten) + 1e-12
+	entries := s.Entries()
+	for i := 1; i < len(entries); i++ {
+		mid := entries[i].midRank() / w
+		if mid < lo+1.0/b || mid > hi-1.0/b {
+			continue
+		}
+		if g := (entries[i].prevMaxRank() - entries[i-1].nextMinRank()) / w; g > fineBound {
+			t.Errorf("in-window gap %v at rank %.3f > 1/(b·tighten) = %v", g, mid, fineBound)
+		}
+	}
+	// Degenerate parameters fall back to plain Compress.
+	s2 := FromUnsorted(xs[:5000])
+	s3 := FromUnsorted(xs[:5000])
+	s2.CompressFocused(b, 0.5, 0.5, tighten)
+	s3.Compress(b)
+	if !reflect.DeepEqual(s2.Entries(), s3.Entries()) {
+		t.Error("empty window did not fall back to Compress")
+	}
+}
+
+// A focused stream keeps its full-ε guarantee everywhere and a tighter one
+// near the focus window — the adaptive-ε property the trim threshold
+// queries rely on.
+func TestStreamFocusTightensWindow(t *testing.T) {
+	const (
+		n       = 200000
+		eps     = 0.02
+		pct     = 0.9
+		width   = 0.05
+		tighten = 4
+	)
+	xs := streamCases()[0].gen(stats.NewRand(18), n)
+	st, err := New(eps, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetFocus(pct, width, tighten)
+	st.PushBatch(xs)
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for q := 0.0; q <= 1.0001; q += 0.02 {
+		v := st.Query(q)
+		lo, hi := rankInterval(sorted, v)
+		if q < lo-eps || q > hi+eps {
+			t.Errorf("focused Query(%.2f) rank [%v, %v] outside global ε=%v", q, lo, hi, eps)
+		}
+		if q >= pct-width/2 && q <= pct+width/2 {
+			tight := 2*eps/tighten + 2.0/n
+			if q < lo-tight || q > hi+tight {
+				t.Errorf("focused Query(%.2f) rank [%v, %v] outside window bound %v", q, lo, hi, tight)
+			}
+		}
+	}
+}
+
+// Batch ingestion must leave the stream serializable mid-buffer: the tail
+// below a block stays in the push buffer, State/FromState round-trips, and
+// the restored stream continues bit-identically.
+func TestPushBatchStateRoundTrip(t *testing.T) {
+	xs := streamCases()[4].gen(stats.NewRand(19), 70001)
+	st, err := New(0.01, len(xs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.PushBatch(xs)
+	if len(st.bufV) >= st.blockSize {
+		t.Fatalf("batch left buffer at %d ≥ block size %d", len(st.bufV), st.blockSize)
+	}
+	restored, err := FromState(st.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	more := streamCases()[0].gen(stats.NewRand(20), 5000)
+	st.PushBatch(more)
+	restored.PushBatch(more)
+	if !reflect.DeepEqual(st.Snapshot().Entries(), restored.Snapshot().Entries()) {
+		t.Fatal("restored stream diverged after further batches")
+	}
+	if st.Count() != restored.Count() || st.Sum() != restored.Sum() {
+		t.Fatal("restored accounting diverged")
+	}
+}
+
+// Vector.PushRows: per-dimension batch ingestion matches row-wise PushRow
+// within ε and validates dimensions up front.
+func TestVectorPushRows(t *testing.T) {
+	rng := stats.NewRand(21)
+	const rows, dim, eps = 20000, 3, 0.01
+	data := make([][]float64, rows)
+	for i := range data {
+		row := make([]float64, dim)
+		for d := range row {
+			row[d] = rng.NormFloat64() * float64(d+1)
+		}
+		data[i] = row
+	}
+	byRow, err := NewVector(dim, eps, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byBatch, err := NewVector(dim, eps, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range data {
+		if err := byRow.PushRow(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := byBatch.PushRows(data); err != nil {
+		t.Fatal(err)
+	}
+	if byRow.Count() != byBatch.Count() {
+		t.Fatalf("count %d vs %d", byRow.Count(), byBatch.Count())
+	}
+	for d := 0; d < dim; d++ {
+		for q := 0.1; q < 1; q += 0.2 {
+			a := byRow.Coord(d).Query(q)
+			b := byBatch.Coord(d).Query(q)
+			if ra, rb := byRow.Coord(d).Rank(a), byRow.Coord(d).Rank(b); math.Abs(ra-rb) > 3*eps {
+				t.Errorf("dim %d q=%.1f: row-wise %v vs batch %v", d, q, a, b)
+			}
+		}
+	}
+	if err := byBatch.PushRows([][]float64{{1, 2}}); err == nil {
+		t.Error("short row must error")
+	}
+}
+
+// TestRadixSortKeys drives the high-word radix + tie-run cleanup against the
+// stdlib on shapes that stress each path: random continuous data, keys that
+// collide in the high word but differ below (the cleanup's comparison sort),
+// heavy duplicates (the all-equal fast path), and signed zeros.
+func TestRadixSortKeys(t *testing.T) {
+	rng := stats.NewRand(41)
+	cases := map[string][]uint64{}
+	rand32k := make([]uint64, 1<<15)
+	for i := range rand32k {
+		rand32k[i] = f64key(rng.NormFloat64())
+	}
+	cases["random"] = rand32k
+	loTies := make([]uint64, 1<<14)
+	for i := range loTies {
+		// Shared high word, random low word: every key lands in one
+		// cleanup run.
+		loTies[i] = 0xbff0000000000000&^(0xffffffff) | uint64(rng.Int63())&0xffffffff
+	}
+	cases["low-word-ties"] = loTies
+	dups := make([]uint64, 1<<14)
+	for i := range dups {
+		dups[i] = f64key(float64(rng.Intn(7)))
+	}
+	cases["duplicates"] = dups
+	zeros := make([]uint64, 2048)
+	for i := range zeros {
+		switch i % 3 {
+		case 0:
+			zeros[i] = f64key(math.Copysign(0, -1))
+		case 1:
+			zeros[i] = f64key(0)
+		default:
+			zeros[i] = f64key(rng.NormFloat64())
+		}
+	}
+	cases["signed-zeros"] = zeros
+	for name, base := range cases {
+		keys := append([]uint64(nil), base...)
+		var counts [radixPasses][radixBuckets]int32
+		for _, k := range keys {
+			for p := 0; p < radixPasses; p++ {
+				counts[p][k>>(radixShift+uint(p)*radixBits)&radixMask]++
+			}
+		}
+		sorted, _ := radixSortKeys(keys, make([]uint64, len(keys)), &counts)
+		want := append([]uint64(nil), base...)
+		slices.Sort(want)
+		if !slices.Equal(sorted, want) {
+			t.Errorf("%s: radix order diverges from stdlib sort", name)
+		}
+	}
+}

@@ -39,6 +39,23 @@ type Stream struct {
 	min, max float64
 
 	cache *Summary // merged snapshot; invalidated by Push/Absorb
+
+	// levelCache is the merged summary of the levels alone (no buffer). A
+	// Push only dirties the buffer, so the level merge survives until the
+	// next flush/carry — interleaved Push/Query re-merges the partial
+	// buffer, not the whole counter. levelBuilds counts rebuilds (the
+	// invalidate-once regression tests read it).
+	levelCache  *Summary
+	levelBuilds int
+
+	// focus*: the adaptive-ε compression window (SetFocus). When
+	// focusTighten > 1, compressions keep tighten× denser rank coverage
+	// inside [focusLo, focusHi] — quantile queries near the window resolve
+	// with ≈ ε/tighten error while memory grows by at most the extra grid
+	// points. Focus is dynamic tuning, not serialized state: State()/
+	// FromState round-trips ignore it.
+	focusLo, focusHi float64
+	focusTighten     int
 }
 
 // New returns a Stream with rank-error budget eps (DefaultEpsilon when 0)
@@ -73,6 +90,45 @@ func New(eps float64, hint int) (*Stream, error) {
 // Epsilon returns the configured rank-error budget.
 func (st *Stream) Epsilon() float64 { return st.eps }
 
+// BlockSize returns the flush-buffer size the error budget resolved to.
+func (st *Stream) BlockSize() int { return st.blockSize }
+
+// SetFocus narrows the compression budget around the rank window
+// [pct−width, pct+width] (clamped to [0,1]): every subsequent compression
+// keeps tighten× denser rank coverage inside the window, so queries near
+// pct — the collection game's trim threshold — resolve with ≈ ε/tighten
+// error. tighten ≤ 1 clears the focus. Focus only ever adds grid points,
+// so the global ε bound is unchanged.
+func (st *Stream) SetFocus(pct, width float64, tighten int) {
+	if tighten <= 1 {
+		st.ClearFocus()
+		return
+	}
+	lo, hi := pct-width, pct+width
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	st.focusLo, st.focusHi, st.focusTighten = lo, hi, tighten
+}
+
+// ClearFocus removes the adaptive-ε window set by SetFocus.
+func (st *Stream) ClearFocus() {
+	st.focusLo, st.focusHi, st.focusTighten = 0, 0, 0
+}
+
+// compress applies the stream's compression budget to s: the plain
+// blockSize grid, or the focused grid when SetFocus is active.
+func (st *Stream) compress(s *Summary) {
+	if st.focusTighten > 1 {
+		s.CompressFocused(st.blockSize, st.focusLo, st.focusHi, st.focusTighten)
+		return
+	}
+	s.Compress(st.blockSize)
+}
+
 // Push absorbs one observation with weight 1.
 func (st *Stream) Push(v float64) { st.PushWeighted(v, 1) }
 
@@ -82,6 +138,12 @@ func (st *Stream) PushWeighted(v, w float64) {
 		return
 	}
 	st.cache = nil
+	st.push1(v, w)
+}
+
+// push1 is PushWeighted after validation and cache invalidation — shared
+// with the batch path, which invalidates once per call instead.
+func (st *Stream) push1(v, w float64) {
 	st.count++
 	st.sum += v * w
 	if v < st.min {
@@ -124,8 +186,12 @@ func (st *Stream) flush() {
 	st.carry(s)
 }
 
-// carry propagates a summary up the binary counter.
+// carry propagates a summary up the binary counter. The levels change, so
+// both the full snapshot cache and the level cache are invalidated here —
+// the single chokepoint every flush/absorb funnels through.
 func (st *Stream) carry(s *Summary) {
+	st.cache = nil
+	st.levelCache = nil
 	for l := 0; ; l++ {
 		if l == len(st.levels) {
 			st.levels = append(st.levels, nil)
@@ -135,7 +201,7 @@ func (st *Stream) carry(s *Summary) {
 			return
 		}
 		s.Merge(st.levels[l])
-		s.Compress(st.blockSize)
+		st.compress(s)
 		st.levels[l] = nil
 	}
 }
@@ -174,7 +240,7 @@ func (st *Stream) AbsorbCounted(s *Summary, count int, sum float64) {
 		st.max = last.Value
 	}
 	c := s.Clone()
-	c.Compress(st.blockSize)
+	st.compress(c)
 	st.carry(c)
 }
 
@@ -197,28 +263,41 @@ func (st *Stream) AbsorbStream(other *Stream) {
 
 // Snapshot returns the merged summary of everything pushed so far. The
 // result is cached until the next Push/Absorb; callers must not mutate it
-// (Clone first).
+// (Clone first). The merge of the level counter is cached separately and
+// survives pushes (only a flush/carry dirties it), so the steady
+// Push/Query interleaving of the collection game re-merges the partial
+// buffer against one pre-merged summary instead of re-walking every
+// level. Merge is associative, so the regrouping leaves unit-weight
+// snapshots bit-identical (integer rank arithmetic is exact in float64).
 func (st *Stream) Snapshot() *Summary {
 	if st.cache != nil {
 		return st.cache
 	}
-	merged := &Summary{}
-	if len(st.bufV) > 0 {
-		vals := append([]float64(nil), st.bufV...)
-		if st.bufW == nil {
-			sort.Float64s(vals)
-			merged = FromSorted(vals, nil)
-		} else {
-			wts := append([]float64(nil), st.bufW...)
-			sort.Sort(&byValue{vals, wts})
-			merged = FromSorted(vals, wts)
+	if st.levelCache == nil {
+		st.levelBuilds++
+		lc := &Summary{}
+		for _, lv := range st.levels {
+			if lv != nil {
+				lc.Merge(lv)
+			}
 		}
+		st.levelCache = lc
 	}
-	for _, lv := range st.levels {
-		if lv != nil {
-			merged.Merge(lv)
-		}
+	if len(st.bufV) == 0 {
+		st.cache = st.levelCache
+		return st.cache
 	}
+	vals := append([]float64(nil), st.bufV...)
+	var merged *Summary
+	if st.bufW == nil {
+		sort.Float64s(vals)
+		merged = FromSorted(vals, nil)
+	} else {
+		wts := append([]float64(nil), st.bufW...)
+		sort.Sort(&byValue{vals, wts})
+		merged = FromSorted(vals, wts)
+	}
+	merged.Merge(st.levelCache)
 	st.cache = merged
 	return merged
 }
@@ -369,6 +448,7 @@ func (st *Stream) Reset() {
 	st.min = math.Inf(1)
 	st.max = math.Inf(-1)
 	st.cache = nil
+	st.levelCache = nil
 }
 
 // byValue sorts a parallel (values, weights) pair by value.

@@ -236,15 +236,99 @@ func (s *Summary) Compress(b int) {
 	if n <= b+1 {
 		return
 	}
-	// One linear pass: for each interior grid point k·W/b pick the entry
-	// whose rank midpoint is nearest, writing survivors in place. Both
-	// the grid targets and the midpoints are nondecreasing, so the read
-	// cursor never backs up.
-	w := s.TotalWeight()
+	s.compressTargets(gridTargets(s.TotalWeight(), b))
+}
+
+// gridTargets yields the b−1 interior rank grid points k·W/b ascending —
+// the Compress(b) pruning grid.
+func gridTargets(w float64, b int) func() (float64, bool) {
+	k := 0
+	return func() (float64, bool) {
+		k++
+		if k >= b {
+			return 0, false
+		}
+		return float64(k) * w / float64(b), true
+	}
+}
+
+// focusGridTargets yields the Compress(b) grid unioned with a tighten×
+// finer grid restricted to the rank window [lo, hi] (fractions of total
+// weight), ascending — the CompressFocused pruning grid. Coincident
+// targets may repeat; the selection pass drops them.
+func focusGridTargets(w float64, b int, lo, hi float64, tighten int) func() (float64, bool) {
+	fine := float64(b) * float64(tighten)
+	fj := int(math.Ceil(lo * fine))
+	if fj < 1 {
+		fj = 1
+	}
+	fEnd := int(math.Floor(hi * fine))
+	if fEnd > int(fine)-1 {
+		fEnd = int(fine) - 1
+	}
+	k := 0
+	var pendingC, pendingF float64
+	haveC, haveF := false, false
+	return func() (float64, bool) {
+		if !haveC {
+			k++
+			if k < b {
+				pendingC, haveC = float64(k)*w/float64(b), true
+			}
+		}
+		if !haveF && fj <= fEnd {
+			pendingF, haveF = float64(fj)*w/fine, true
+			fj++
+		}
+		switch {
+		case haveC && (!haveF || pendingC <= pendingF):
+			haveC = false
+			return pendingC, true
+		case haveF:
+			haveF = false
+			return pendingF, true
+		default:
+			return 0, false
+		}
+	}
+}
+
+// CompressFocused is Compress(b) with an adaptive-ε window: on top of the
+// coarse grid k·W/b it keeps the entries nearest a tighten×-finer grid
+// j·W/(b·tighten) restricted to the rank window [lo, hi] (fractions of
+// total weight). Inside the window the added error is at most
+// 1/(b·tighten); everywhere else the Compress(b) bound holds — focusing
+// only ever adds grid points. The survivor count is bounded by
+// b+1 plus the window's fine points, ≈ b·(1 + (hi−lo)·tighten).
+func (s *Summary) CompressFocused(b int, lo, hi float64, tighten int) {
+	if tighten <= 1 || hi <= lo {
+		s.Compress(b)
+		return
+	}
+	if b < 2 {
+		b = 2
+	}
+	n := len(s.entries)
+	if n <= b+1 {
+		return
+	}
+	s.compressTargets(focusGridTargets(s.TotalWeight(), b, lo, hi, tighten))
+}
+
+// compressTargets is the shared one-pass pruning core: for each target rank
+// produced by next (ascending) it keeps the entry whose rank midpoint is
+// nearest, writing survivors in place. Both the targets and the midpoints
+// are nondecreasing, so the read cursor never backs up. The first and last
+// entries always survive. Callers guarantee len(entries) ≥ 2.
+func (s *Summary) compressTargets(next func() (float64, bool)) {
+	n := len(s.entries)
 	wi, lastIdx := 1, 0
 	i := 1
-	for k := 1; k < b && i < n-1; k++ {
-		target := float64(k) * w / float64(b)
+	for i < n-1 {
+		target, ok := next()
+		if !ok {
+			break
+		}
 		for i < n-1 && s.entries[i].midRank() < target {
 			i++
 		}

@@ -80,6 +80,23 @@ type GenSpec struct {
 	// percentiles resolve against (nil for the scalar and LDP games,
 	// which resolve on the reference configured once).
 	Scale *summary.Summary
+
+	// Subs splits this shard's draw into per-core sub-shards: sub c draws
+	// Subs[c].HonestN + Subs[c].PoisonN arrivals from its own derived seed,
+	// and the worker merges the sub summaries in slice order, so the shard
+	// report is independent of how many goroutines ran it. When empty the
+	// shard is one sub (Seed/HonestN/PoisonN above). When present, the
+	// aggregate Seed/HonestN/PoisonN still describe the whole shard
+	// (HonestN/PoisonN equal the column sums; Seed is sub 0's).
+	Subs []SubSpec
+}
+
+// SubSpec is one sub-shard's slice of a GenSpec: its derived seed (its own
+// DeriveSeed slot, as if it were a narrower shard) and draw counts.
+type SubSpec struct {
+	Seed    int64
+	HonestN int
+	PoisonN int
 }
 
 // Report is one worker → coordinator message: the reply to every directive.
@@ -129,6 +146,12 @@ type Report struct {
 	PctSum   float64 // Σ injection percentiles this shard drew
 	InputSum float64 // LDP: Σ honest inputs behind the perturbed reports
 
+	// PctSums are the per-sub-shard percentile sums when the directive
+	// carried Gen.Subs (PctSum is their total). The coordinator folds the
+	// flat (worker, sub) list in slot order, so the recorded percentile
+	// mean is bit-identical however the sub-shards are spread over workers.
+	PctSums []float64
+
 	// Scale phase: exact extrema of the summarized distances (the
 	// coordinator derives the jitter width from the merged range).
 	ScaleMin float64
@@ -170,6 +193,7 @@ func EncodeReport(buf []byte, rep *Report) []byte {
 	buf = appendF64(buf, rep.ValueSum)
 	buf = appendSummaryBlock(buf, rep.Sum)
 	buf = appendF64(buf, rep.PctSum)
+	buf = appendF64s(buf, rep.PctSums)
 	buf = appendF64(buf, rep.InputSum)
 	buf = appendF64(buf, rep.ScaleMin)
 	buf = appendF64(buf, rep.ScaleMax)
@@ -229,6 +253,7 @@ func DecodeReport(buf []byte) (*Report, error) {
 		return nil, err
 	}
 	rep.PctSum = r.f64("pct sum")
+	rep.PctSums = r.f64s("pct sums")
 	rep.InputSum = r.f64("input sum")
 	rep.ScaleMin = r.f64("scale min")
 	rep.ScaleMax = r.f64("scale max")
@@ -291,6 +316,15 @@ type Directive struct {
 	Pct       float64 // Classify: the percentile the threshold resolved from
 	Threshold float64 // Classify: resolved trim threshold (value domain)
 
+	// FocusPct/FocusWidth/FocusTighten ask the worker to keep its summarize
+	// sketches tighten× denser in the rank window FocusPct ± FocusWidth —
+	// the adaptive-ε focus around the trim threshold (DESIGN.md §12).
+	// FocusTighten ≤ 1 means no focus (the fields ride on generate and
+	// summarize directives; classify ignores them).
+	FocusPct     float64
+	FocusWidth   float64
+	FocusTighten int
+
 	// Configure, shard-local data plane.
 	Pool        []float64 // honest pool (scalar) / clean input pool (LDP)
 	RefSorted   []float64 // sorted clean reference (scalar percentile scale)
@@ -319,6 +353,9 @@ func EncodeDirective(buf []byte, d *Directive) []byte {
 	buf = appendU32(buf, uint32(d.PoisonFrom))
 	buf = appendF64(buf, d.Pct)
 	buf = appendF64(buf, d.Threshold)
+	buf = appendF64(buf, d.FocusPct)
+	buf = appendF64(buf, d.FocusWidth)
+	buf = appendU32(buf, uint32(d.FocusTighten))
 	buf = appendF64s(buf, d.Values)
 	buf = appendRowsBlock(buf, d.Rows)
 	buf = appendF64s(buf, d.Center)
@@ -345,6 +382,12 @@ func EncodeDirective(buf []byte, d *Directive) []byte {
 		buf = appendF64(buf, d.Gen.InjectHi)
 		buf = appendF64(buf, d.Gen.Jitter)
 		buf = appendSummaryBlock(buf, d.Gen.Scale)
+		buf = appendU32(buf, uint32(len(d.Gen.Subs)))
+		for _, sub := range d.Gen.Subs {
+			buf = appendU64(buf, uint64(sub.Seed))
+			buf = appendU32(buf, uint32(sub.HonestN))
+			buf = appendU32(buf, uint32(sub.PoisonN))
+		}
 	}
 	return buf
 }
@@ -366,6 +409,9 @@ func DecodeDirective(buf []byte) (*Directive, error) {
 	d.PoisonFrom = int(r.u32("poison offset"))
 	d.Pct = r.f64("pct")
 	d.Threshold = r.f64("threshold")
+	d.FocusPct = r.f64("focus pct")
+	d.FocusWidth = r.f64("focus width")
+	d.FocusTighten = int(r.u32("focus tighten"))
 	d.Values = r.f64s("values")
 	d.Rows = readRowsBlock(r, "row")
 	d.Center = r.f64s("center")
@@ -392,6 +438,14 @@ func DecodeDirective(buf []byte) (*Directive, error) {
 		}
 		if g.Scale, err = readSummaryBlock(r); err != nil {
 			return nil, err
+		}
+		if nSubs := r.count("gen subs", 16); nSubs > 0 {
+			g.Subs = make([]SubSpec, nSubs)
+			for i := range g.Subs {
+				g.Subs[i].Seed = int64(r.u64("gen sub seed"))
+				g.Subs[i].HonestN = int(r.u32("gen sub honest count"))
+				g.Subs[i].PoisonN = int(r.u32("gen sub poison count"))
+			}
 		}
 		d.Gen = g
 	}

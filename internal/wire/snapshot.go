@@ -66,6 +66,14 @@ type Snapshot struct {
 	Epsilon float64 // summary rank-error budget
 	Workers int     // transport slot count
 
+	// SubShards/FocusTighten/FocusWidth extend the fingerprint (wire v6):
+	// sub-shard count per worker and the adaptive-ε focus knobs. Both change
+	// the generated stream and the sketch contents, so a resume under
+	// different values must be rejected like any other mismatch.
+	SubShards    int
+	FocusTighten int
+	FocusWidth   float64
+
 	// NextRound is the first round the resumed coordinator plays; the
 	// snapshot was written after round NextRound−1 was posted. Epoch is the
 	// membership epoch in force when the snapshot was cut.
@@ -100,6 +108,9 @@ func EncodeSnapshot(buf []byte, s *Snapshot) []byte {
 	buf = appendF64(buf, s.Ratio)
 	buf = appendF64(buf, s.Epsilon)
 	buf = appendU32(buf, uint32(s.Workers))
+	buf = appendU32(buf, uint32(s.SubShards))
+	buf = appendU32(buf, uint32(s.FocusTighten))
+	buf = appendF64(buf, s.FocusWidth)
 	buf = appendU32(buf, uint32(s.NextRound))
 	buf = appendU32(buf, uint32(s.Epoch))
 	buf = appendF64(buf, s.BaselineQ)
@@ -146,16 +157,19 @@ func DecodeSnapshot(buf []byte) (*Snapshot, error) {
 	}
 	r := &reader{buf: payload}
 	s := &Snapshot{
-		Game:      SnapGame(r.u8("game")),
-		Seed:      int64(r.u64("seed")),
-		Rounds:    int(r.u32("rounds")),
-		Batch:     int(r.u32("batch")),
-		Ratio:     r.f64("ratio"),
-		Epsilon:   r.f64("epsilon"),
-		Workers:   int(r.u32("workers")),
-		NextRound: int(r.u32("next round")),
-		Epoch:     int(r.u32("epoch")),
-		BaselineQ: r.f64("baseline quality"),
+		Game:         SnapGame(r.u8("game")),
+		Seed:         int64(r.u64("seed")),
+		Rounds:       int(r.u32("rounds")),
+		Batch:        int(r.u32("batch")),
+		Ratio:        r.f64("ratio"),
+		Epsilon:      r.f64("epsilon"),
+		Workers:      int(r.u32("workers")),
+		SubShards:    int(r.u32("sub shards")),
+		FocusTighten: int(r.u32("focus tighten")),
+		FocusWidth:   r.f64("focus width"),
+		NextRound:    int(r.u32("next round")),
+		Epoch:        int(r.u32("epoch")),
+		BaselineQ:    r.f64("baseline quality"),
 	}
 	// Each record is exactly its fixed 76-byte body.
 	nRec := r.count("records", 76)

@@ -29,7 +29,8 @@ func testSnapshot(t *testing.T) *Snapshot {
 	return &Snapshot{
 		Game: SnapScalar,
 		Seed: -12345, Rounds: 20, Batch: 20000, Ratio: 0.2, Epsilon: 0.005,
-		Workers: 4, NextRound: 8, Epoch: 3, BaselineQ: 0.01234,
+		Workers: 4, SubShards: 2, FocusTighten: 8, FocusWidth: 0.05,
+		NextRound: 8, Epoch: 3, BaselineQ: 0.01234,
 		Records: []SnapRound{
 			{Round: 1, ThresholdPct: 0.9, ThresholdValue: 1.28, MeanInjectionPct: 0.95,
 				HonestKept: 18000, HonestTrimmed: 2000, PoisonKept: 100, PoisonTrimmed: 3900,
@@ -68,6 +69,9 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	}
 	if back.Seed != snap.Seed || back.NextRound != snap.NextRound || back.Epoch != snap.Epoch {
 		t.Fatalf("scalars diverged: %+v", back)
+	}
+	if back.SubShards != snap.SubShards || back.FocusTighten != snap.FocusTighten || back.FocusWidth != snap.FocusWidth {
+		t.Fatalf("v6 fingerprint diverged: %+v", back)
 	}
 	if !math.IsNaN(back.Records[1].MeanInjectionPct) {
 		t.Fatal("NaN injection pct lost")

@@ -37,15 +37,21 @@ import (
 // 5 added round tracing (the coordinator-minted Trace ID in every
 // directive, echoed by reports) and per-phase worker timings in reports
 // (GenerateNanos/SummarizeNanos/ClassifyNanos), so the coordinator can
-// attribute round wall-clock to itself, the network, and each worker.
-const Version = 5
+// attribute round wall-clock to itself, the network, and each worker;
+// 6 added per-core worker parallelism and the adaptive-ε focus window:
+// generate directives may carry per-sub-shard seed slots (GenSpec.Subs)
+// whose reports answer with per-sub percentile sums (Report.PctSums),
+// directives carry the trim-threshold focus window
+// (FocusPct/FocusWidth/FocusTighten) workers tighten their sketches
+// around, and snapshots fingerprint SubShards and the focus knobs.
+const Version = 6
 
 // MinVersion is the oldest format this decoder still parses. Each version
 // so far changed the protocol contract (layout, or — v4 — an op an older
 // worker would reject mid-game), so its predecessor is retired: a
 // mixed-version cluster fails loudly at the configure fan-out instead of
 // misparsing or dying rounds later.
-const MinVersion = 5
+const MinVersion = 6
 
 const (
 	magic0 = 'T'

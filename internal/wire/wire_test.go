@@ -168,6 +168,11 @@ func TestReportRoundTrip(t *testing.T) {
 			Sum: randomSummary(t, rng, "uniform", 64, 16), Count: 64, ValueSum: 12.5,
 			Counts: Counts{HonestKept: 60, HonestTrimmed: 4},
 		},
+		{ // v6: sub-sharded generate reply with per-sub percentile sums
+			Round: 12, Worker: 1, Epsilon: 0.01,
+			Sum: randomSummary(t, rng, "uniform", 128, 16), Count: 128, ValueSum: 64.25,
+			PctSum: 5.5, PctSums: []float64{1.25, 1.75, 2.5},
+		},
 	}
 	for i, rep := range reps {
 		got, err := DecodeReport(EncodeReport(nil, rep))
@@ -236,6 +241,19 @@ func TestDirectiveRoundTrip(t *testing.T) {
 		{ // v5: traced round fan-out
 			Op: OpClassify, Round: 8, Epoch: 2, Pct: 0.95, Threshold: 2.5,
 			Trace: 0xbf58476d1ce4e5b9,
+		},
+		{ // v6: sub-sharded generate with the adaptive-ε focus window
+			Op: OpClassifyGenerate, Round: 9, Pct: 0.9, Threshold: 1.75,
+			FocusPct: 0.9, FocusWidth: 0.05, FocusTighten: 8,
+			Gen: &GenSpec{
+				Seed: 42, HonestN: 300, PoisonN: 60,
+				InjectKind: 1, InjectHi: 0.99, Jitter: 1e-6,
+				Subs: []SubSpec{
+					{Seed: 42, HonestN: 100, PoisonN: 20},
+					{Seed: 43, HonestN: 100, PoisonN: 20},
+					{Seed: 44, HonestN: 100, PoisonN: 20},
+				},
+			},
 		},
 	}
 	for i, d := range dirs {
