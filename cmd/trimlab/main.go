@@ -6,6 +6,7 @@
 //
 //	trimlab -experiment fig4 [-scale quick|bench|paper] [-points N] [-seed S]
 //	trimlab worker -listen :7101 [-seed S] [-rejoin]
+//	trimlab aggregator -listen :7201 -children host1:7101,host2:7101 [-rejoin] [-compress B]
 //	trimlab coordinator -workers host1:7101,host2:7101 [-seed S] [-local] [-pipeline] [-rounds N] [-batch N]
 //	    [-subshards C] [-focus-tighten T] [-focus-width W]
 //	    [-heartbeat D] [-hb-timeout D] [-rejoin] [-checkpoint-dir DIR] [-checkpoint-every K] [-resume]
@@ -47,7 +48,14 @@
 //
 // The coordinator/worker subcommands run the scalar collection game as a
 // real multi-process cluster: start one `trimlab worker` per machine (or
-// port), then point a `trimlab coordinator` at their addresses. By default
+// port), then point a `trimlab coordinator` at their addresses. For wide
+// fleets, interpose `trimlab aggregator` processes (DESIGN.md §13): each
+// aggregator dials a group of workers (or deeper aggregators) as its
+// -children and serves the merged subtree upstream, so the coordinator's
+// -workers list names only the tree's top slots and its per-round merge
+// stays O(fan-in) instead of O(fleet). The tier requires -local (a
+// coordinator-fed shard cannot be split across a subtree); the board is
+// verified against the flat reference over the tree's total leaf count. By default
 // the coordinator generates arrivals and ships raw slices, then replays
 // the identical game unsharded on the same seed and verifies the final
 // trim threshold drifted no more than the allowed rank-space bound. With
@@ -67,6 +75,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/agg"
 	"repro/internal/cluster"
 	"repro/internal/collect"
 	"repro/internal/experiments"
@@ -82,6 +91,11 @@ func main() {
 		switch os.Args[1] {
 		case "worker":
 			if err := workerMain(os.Args[2:]); err != nil {
+				fatal(err)
+			}
+			return
+		case "aggregator":
+			if err := aggregatorMain(os.Args[2:]); err != nil {
 				fatal(err)
 			}
 			return
@@ -346,6 +360,54 @@ func workerMain(args []string) error {
 	return nil
 }
 
+// aggregatorMain is the `trimlab aggregator` subcommand: one interior merge
+// node of the aggregator tier (DESIGN.md §13). It dials its children —
+// workers or deeper aggregators, address order = leaf order — merges their
+// per-round reports, and serves the combined subtree report on -listen
+// until the coordinator's stop directive arrives through the tree.
+func aggregatorMain(args []string) error {
+	fs := flag.NewFlagSet("aggregator", flag.ExitOnError)
+	var (
+		listen   = fs.String("listen", ":7201", "address to serve the aggregator RPC on")
+		children = fs.String("children", "", "comma-separated child addresses (required; order = leaf order; workers or deeper aggregators)")
+		id       = fs.Int("id", 0, "aggregator id for log lines")
+		wait     = fs.Duration("wait", 10*time.Second, "how long to retry dialing children")
+		rejoin   = fs.Bool("rejoin", false, "accept a mid-game re-join (re-spawned replacement for a lost aggregator over the same children)")
+		compress = fs.Int("compress", 0, "recompression budget b: forward merged sketches of at most b+1 entries, adding at most 1/b rank error per level (0 = lossless; pair with the coordinator's -eps set to the per-level split)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *children == "" {
+		return fmt.Errorf("aggregator: -children is required (e.g. -children host1:7101,host2:7101)")
+	}
+	addrs := strings.Split(*children, ",")
+	fmt.Printf("trimlab aggregator %d: dialing %d children %v\n", *id, len(addrs), addrs)
+	kids, err := agg.DialChildren(addrs, *wait)
+	if err != nil {
+		return err
+	}
+	node, err := agg.NewNode(*id, kids...)
+	if err != nil {
+		return err
+	}
+	mode := ""
+	if *rejoin {
+		node.AllowRejoin()
+		mode = ", re-join enabled"
+	}
+	if *compress > 0 {
+		node.SetCompress(*compress)
+		mode += fmt.Sprintf(", recompressing to ≤ %d entries", *compress+1)
+	}
+	fmt.Printf("trimlab aggregator %d: serving %d leaves on %s%s\n", *id, node.Leaves(), *listen, mode)
+	if err := cluster.ListenAndServe(*listen, node); err != nil {
+		return err
+	}
+	fmt.Printf("trimlab aggregator %d: stopped by coordinator\n", *id)
+	return nil
+}
+
 // coordinatorMain is the `trimlab coordinator` subcommand: run the scalar
 // collection game across TCP workers, then verify it — against an
 // unsharded replay of the same seed (threshold-drift bound) by default, or
@@ -518,6 +580,16 @@ func coordinatorMain(args []string) error {
 		tm.Summarize.Round(time.Millisecond), tm.Generate.Round(time.Millisecond),
 		tm.Classify.Round(time.Millisecond), tm.Configure.Round(time.Millisecond),
 		tm.Admission.Round(time.Millisecond), tm.PerRound().Round(time.Microsecond), tm.Rounds)
+	if clustered.TreeHeight > 0 {
+		fmt.Printf("  merge topology: %d leaves behind %d slots, height %d; coordinator merge %v (%v/round)\n",
+			clustered.TreeLeaves, len(addrs), clustered.TreeHeight,
+			tm.Merge.Round(time.Millisecond),
+			(tm.Merge / time.Duration(max(tm.Rounds, 1))).Round(time.Microsecond))
+	} else {
+		fmt.Printf("  coordinator merge: %v total, %v/round\n",
+			tm.Merge.Round(time.Millisecond),
+			(tm.Merge / time.Duration(max(tm.Rounds, 1))).Round(time.Microsecond))
+	}
 	for _, l := range clustered.Losses {
 		fmt.Printf("  shard loss: round %d (%s): worker %d, honest range [%d, %d)\n",
 			l.Round, l.Phase, l.Worker, l.Lo, l.Hi)
@@ -528,9 +600,18 @@ func coordinatorMain(args []string) error {
 	printObsSummary(met, len(addrs))
 
 	if *local {
-		// The flat reference layout: a worker running C sub-shards occupies
-		// C flat shard slots, so the reference plays workers x C shards.
-		flat := len(addrs)
+		// The flat reference layout: the tree's total leaf count (learned by
+		// the coordinator from the replies), each leaf running C sub-shards
+		// in C flat slots. A flat fleet that ended short of workers reports
+		// end-of-run leaves below len(addrs); the launch width is the
+		// reference there. A TREE fleet that ended short of leaves has no
+		// wire-visible launch width — verification then runs over the
+		// end-of-run width and reports the pre-loss rounds as divergence,
+		// which is the loud failure an operator should see.
+		flat := clustered.TreeLeaves
+		if flat < len(addrs) {
+			flat = len(addrs)
+		}
 		if *subshards > 1 {
 			flat *= *subshards
 		}
@@ -571,6 +652,22 @@ func printObsSummary(met *obs.Registry, workers int) {
 			line += fmt.Sprintf("  (net p50 %v)", quantileDuration(net, 0.5))
 		}
 		fmt.Println(line)
+	}
+
+	// Aggregator-tier digest (DESIGN.md §13): per-level merge latency up the
+	// tree (level 1 is just above the leaves) — levels are contiguous, so
+	// the first silent level ends the walk.
+	for lvl := 1; ; lvl++ {
+		h := met.Histogram("trimlab_agg_merge_seconds", obs.TimeBuckets, "level", strconv.Itoa(lvl))
+		if h.Count() == 0 {
+			break
+		}
+		if lvl == 1 {
+			fmt.Printf("  aggregator tier: %.0f leaves, height %.0f\n",
+				met.Gauge("trimlab_tree_leaves").Value(), met.Gauge("trimlab_tree_height").Value())
+		}
+		fmt.Printf("    level %d merge      n=%-4d p50 %-9v p99 %v\n",
+			lvl, h.Count(), quantileDuration(h, 0.5), quantileDuration(h, 0.99))
 	}
 
 	// Summary ingest digest (DESIGN.md §12): the run-long exact point count

@@ -1,0 +1,547 @@
+// Package agg is the aggregator tier of the cluster runtime (DESIGN.md
+// §13): interior merge nodes between the coordinator and its leaf workers.
+// A Node owns a subtree of worker slots, fans every coordinator directive
+// out to its children, merges their per-round reports locally, and forwards
+// ONE combined report upstream — so the coordinator's per-round merge work
+// drops from O(W) to O(fan-in) while the board stays record-for-record
+// identical to the flat fleet (summary merges are associative, per-cell
+// percentile subtotals and per-leaf vector deltas ride through unmerged).
+//
+// A Node implements cluster.Handler, so the same node serves the in-process
+// Tree transport (deterministic tests) and a `trimlab aggregator` TCP
+// process (cluster.ListenAndServe). The coordinator needs no topology flag:
+// every reply carries the subtree's live leaf count and height (wire v7)
+// and the engine discovers the shape from the configure replies.
+package agg
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/stats/summary"
+	"repro/internal/wire"
+)
+
+// Child is one downstream subtree: a plain worker, a deeper aggregator, or
+// a remote process behind a dialed connection. Call ships one encoded
+// directive and returns the encoded report; an error means the subtree is
+// lost — the node drops the child for good and carries on with the
+// survivors, exactly like the coordinator's drop-and-continue handling.
+type Child interface {
+	Call(req []byte) ([]byte, error)
+}
+
+// handlerChild adapts an in-process cluster.Handler (a Worker or a deeper
+// Node) to a Child.
+type handlerChild struct{ h cluster.Handler }
+
+func (c handlerChild) Call(req []byte) ([]byte, error) { return c.h.Handle(req) }
+
+// HandlerChild wraps an in-process handler as a Child.
+func HandlerChild(h cluster.Handler) Child { return handlerChild{h: h} }
+
+// transportChild addresses one slot of a cluster.Transport.
+type transportChild struct {
+	t cluster.Transport
+	i int
+}
+
+func (c transportChild) Call(req []byte) ([]byte, error) { return c.t.Call(c.i, req) }
+
+// DialChildren connects to child processes (workers or deeper aggregators)
+// at the given addresses, retrying each for up to wait — the fan-in side of
+// `trimlab aggregator`. Address order is leaf order.
+func DialChildren(addrs []string, wait time.Duration) ([]Child, error) {
+	t, err := cluster.Dial(addrs, wait)
+	if err != nil {
+		return nil, err
+	}
+	children := make([]Child, len(addrs))
+	for i := range children {
+		children[i] = transportChild{t: t, i: i}
+	}
+	return children, nil
+}
+
+// LevelEpsilon splits a run's summary budget ε across a tree of the given
+// height so the end-to-end rank error still meets ε: the leaves and each of
+// the height merge levels get ε/(height+1) — leaves sketch at the split
+// budget, and an aggregator level that recompresses (SetCompress with
+// b = ceil((height+1)/ε)) adds at most ε/(height+1) per level (Summary.
+// Compress: ε' = ε + 1/b). Height 0 (a flat fleet) returns ε unchanged.
+func LevelEpsilon(eps float64, height int) float64 {
+	if height < 1 {
+		return eps
+	}
+	return eps / float64(height+1)
+}
+
+// CompressBudget is the per-level recompression budget matching
+// LevelEpsilon: b entries keep the per-level error within ε/(height+1).
+func CompressBudget(eps float64, height int) int {
+	if height < 1 || eps <= 0 {
+		return 0
+	}
+	return int(math.Ceil(float64(height+1) / eps))
+}
+
+// Node is one aggregator: a cluster.Handler that stands for a subtree of
+// worker slots. Handle decodes the coordinator's directive, splits it
+// positionally among its children (generator sub-shard cells and scale cuts
+// slice by child leaf counts; everything else broadcasts verbatim), fans
+// out in parallel, and merges the replies strictly in child order — child
+// order is leaf order, so every order-sensitive fold at the coordinator
+// sees the same sequence a flat fleet would produce.
+type Node struct {
+	mu       sync.Mutex
+	id       int
+	children []Child
+	live     []bool
+	leaves   []int // live leaf count behind each child (last reply)
+	heights  []int
+
+	// compress, when > 0, recompresses the merged summarize/kept sketches
+	// to at most compress+1 entries before forwarding — the per-level ε
+	// trade of LevelEpsilon/CompressBudget. Zero (the default) forwards the
+	// lossless merge, which is what keeps tree boards bit-identical to flat
+	// ones at the same leaf budget.
+	compress int
+
+	// Fleet runtime state, mirroring cluster.Worker: the admission epoch,
+	// whether a configure has been forwarded, and the re-join guards.
+	epoch           int
+	hasConf         bool
+	rejoin          bool
+	helloConfigured bool
+
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// NewNode builds an aggregator over its children (child order = leaf
+// order), probing each with a TreeInfo directive to learn the subtree
+// shape. Construction requires every child reachable; at run time lost
+// children are dropped and reported as lost leaves instead.
+func NewNode(id int, children ...Child) (*Node, error) {
+	if len(children) == 0 {
+		return nil, fmt.Errorf("agg: node %d: no children", id)
+	}
+	n := &Node{
+		id:       id,
+		children: children,
+		live:     make([]bool, len(children)),
+		leaves:   make([]int, len(children)),
+		heights:  make([]int, len(children)),
+		done:     make(chan struct{}),
+	}
+	probe := wire.EncodeDirective(nil, &wire.Directive{Op: wire.OpTreeInfo})
+	for i, c := range children {
+		raw, err := c.Call(probe)
+		if err != nil {
+			return nil, fmt.Errorf("agg: node %d: probe child %d: %w", id, i, err)
+		}
+		rep, err := wire.DecodeReport(raw)
+		if err != nil {
+			return nil, fmt.Errorf("agg: node %d: probe child %d: %w", id, i, err)
+		}
+		n.live[i] = true
+		n.leaves[i] = leavesOf(rep)
+		n.heights[i] = rep.Height
+	}
+	return n, nil
+}
+
+// AllowRejoin permits this node to accept a mid-game membership grant — the
+// re-spawned replacement mode behind `trimlab aggregator -rejoin`, mirroring
+// Worker.AllowRejoin.
+func (n *Node) AllowRejoin() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.rejoin = true
+}
+
+// SetCompress bounds the merged summarize/kept sketches this node forwards
+// to at most b+1 entries (Summary.Compress), trading ≤ 1/b extra rank error
+// per level for bounded upstream payloads; b ≤ 0 restores the lossless
+// default. Pair with LevelEpsilon/CompressBudget to keep the end-to-end
+// budget at the flat run's ε.
+func (n *Node) SetCompress(b int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if b < 0 {
+		b = 0
+	}
+	n.compress = b
+}
+
+// Done is closed once the node has handled OpStop.
+func (n *Node) Done() <-chan struct{} { return n.done }
+
+// Leaves returns the live leaf-worker count behind this node.
+func (n *Node) Leaves() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.totalLeaves()
+}
+
+func (n *Node) totalLeaves() int {
+	total := 0
+	for i, l := range n.leaves {
+		if n.live[i] {
+			total += l
+		}
+	}
+	return total
+}
+
+func leavesOf(rep *wire.Report) int {
+	if rep.Leaves < 1 {
+		return 1 // pre-tier replies never set it; a plain worker is one leaf
+	}
+	return rep.Leaves
+}
+
+// Handle decodes one directive, fans it out to the live children, and
+// returns the merged subtree report. It fails only when the directive is
+// undecodable, violates the protocol (a coordinator-fed shard cannot be
+// split across a subtree), or the whole subtree is gone — a partial loss is
+// reported in-band as LostLeaves on an otherwise ordinary report, so the
+// coordinator charges the lost shards without dropping the slot.
+func (n *Node) Handle(req []byte) ([]byte, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+
+	d, err := wire.DecodeDirective(req)
+	if err != nil {
+		return nil, err
+	}
+	switch d.Op {
+	case wire.OpSummarize, wire.OpSummarizeRows:
+		return nil, fmt.Errorf("agg: node %d: op %d carries a coordinator-fed shard, which cannot be split across a subtree; aggregator trees require the shard-local data plane", n.id, d.Op)
+	case wire.OpHello:
+		n.helloConfigured = n.hasConf
+	case wire.OpJoin:
+		if d.Epoch > 0 && !n.rejoin && !n.helloConfigured {
+			return nil, fmt.Errorf("agg: node %d: mid-game join (epoch %d) of a fresh aggregator refused; relaunch it with re-join enabled", n.id, d.Epoch)
+		}
+		if !n.hasConf {
+			return nil, fmt.Errorf("agg: node %d: join (epoch %d) before configure", n.id, d.Epoch)
+		}
+	case wire.OpConfigure, wire.OpStop, wire.OpHeartbeat, wire.OpTreeInfo,
+		wire.OpScale, wire.OpGenerate, wire.OpGenerateRows, wire.OpClassify,
+		wire.OpClassifyGenerate:
+		// No node-side pre-check before the fan-out.
+	}
+
+	reqs, err := n.split(d, req)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := n.fanout(d, reqs)
+	if err != nil {
+		return nil, err
+	}
+
+	switch d.Op {
+	case wire.OpConfigure:
+		n.hasConf = true
+	case wire.OpJoin:
+		n.epoch = d.Epoch
+		rep.Epoch = n.epoch
+	case wire.OpStop:
+		n.stopOnce.Do(func() { close(n.done) })
+	case wire.OpHello, wire.OpHeartbeat, wire.OpTreeInfo, wire.OpSummarize,
+		wire.OpSummarizeRows, wire.OpScale, wire.OpGenerate, wire.OpGenerateRows,
+		wire.OpClassify, wire.OpClassifyGenerate:
+		// No node-side state transition after the fan-out.
+	}
+	// The subtree is configured only when the node itself has seen a
+	// configure AND every live child reports state — the field the
+	// supervisor's re-admission decision reads from Hello/Heartbeat replies.
+	rep.Configured = rep.Configured && n.hasConf
+	return wire.EncodeReport(nil, rep), nil
+}
+
+// split builds the per-child request list (aligned with n.children; dead
+// children get nil). Broadcast ops forward the raw request bytes — a leaf
+// worker then receives exactly the bytes a flat coordinator would have sent
+// it. Generate-family ops slice the directive's sub-shard cells, and Scale
+// its per-leaf cuts, positionally by child leaf counts.
+func (n *Node) split(d *wire.Directive, raw []byte) ([][]byte, error) {
+	reqs := make([][]byte, len(n.children))
+	switch d.Op {
+	case wire.OpGenerate, wire.OpGenerateRows, wire.OpClassifyGenerate:
+		return n.splitGen(d, raw)
+	case wire.OpScale:
+		return n.splitScale(d, raw)
+	default:
+		for i := range n.children {
+			if n.live[i] {
+				reqs[i] = raw
+			}
+		}
+		return reqs, nil
+	}
+}
+
+// splitGen slices Gen.Subs — the flat per-(leaf, sub-shard) cell list of
+// this subtree — into per-child runs of leaves·C consecutive cells. A child
+// receiving one cell gets a plain directive (Seed/HonestN/PoisonN, no Subs):
+// byte-identical to what a flat coordinator sends a 1-leaf worker.
+func (n *Node) splitGen(d *wire.Directive, raw []byte) ([][]byte, error) {
+	reqs := make([][]byte, len(n.children))
+	total := n.totalLeaves()
+	if d.Gen == nil {
+		return nil, fmt.Errorf("agg: node %d: op %d without a generator spec", n.id, d.Op)
+	}
+	if len(d.Gen.Subs) == 0 {
+		// One cell for the whole subtree: only a single-leaf subtree can
+		// serve it, and its one worker takes the directive as-is.
+		if total != 1 {
+			return nil, fmt.Errorf("agg: node %d: one generator cell for %d leaves", n.id, total)
+		}
+		for i := range n.children {
+			if n.live[i] {
+				reqs[i] = raw
+			}
+		}
+		return reqs, nil
+	}
+	if total < 1 || len(d.Gen.Subs)%total != 0 {
+		return nil, fmt.Errorf("agg: node %d: %d generator cells do not divide over %d leaves", n.id, len(d.Gen.Subs), total)
+	}
+	per := len(d.Gen.Subs) / total
+	off := 0
+	for i := range n.children {
+		if !n.live[i] {
+			continue
+		}
+		cells := d.Gen.Subs[off*per : (off+n.leaves[i])*per]
+		off += n.leaves[i]
+		cd := *d
+		g := *d.Gen
+		g.Seed = cells[0].Seed
+		g.HonestN, g.PoisonN = 0, 0
+		for _, c := range cells {
+			g.HonestN += c.HonestN
+			g.PoisonN += c.PoisonN
+		}
+		if len(cells) > 1 {
+			g.Subs = cells
+		} else {
+			g.Subs = nil
+		}
+		cd.Gen = &g
+		cd.Cuts = nil
+		reqs[i] = wire.EncodeDirective(nil, &cd)
+	}
+	return reqs, nil
+}
+
+// splitScale slices the directive's per-leaf dataset cuts: child i with l
+// leaves takes the cut segment covering its leaves, as Lo/Hi when it is a
+// single leaf and as a narrower Cuts list when it aggregates further down.
+func (n *Node) splitScale(d *wire.Directive, raw []byte) ([][]byte, error) {
+	reqs := make([][]byte, len(n.children))
+	total := n.totalLeaves()
+	if len(d.Cuts) == 0 {
+		if total != 1 {
+			return nil, fmt.Errorf("agg: node %d: scale range without per-leaf cuts for %d leaves", n.id, total)
+		}
+		for i := range n.children {
+			if n.live[i] {
+				reqs[i] = raw
+			}
+		}
+		return reqs, nil
+	}
+	if len(d.Cuts) != total+1 {
+		return nil, fmt.Errorf("agg: node %d: %d scale cuts for %d leaves", n.id, len(d.Cuts), total)
+	}
+	off := 0
+	for i := range n.children {
+		if !n.live[i] {
+			continue
+		}
+		seg := d.Cuts[off : off+n.leaves[i]+1]
+		off += n.leaves[i]
+		cd := *d
+		cd.Lo, cd.Hi = seg[0], seg[len(seg)-1]
+		if n.leaves[i] > 1 {
+			cd.Cuts = seg
+		} else {
+			cd.Cuts = nil
+		}
+		reqs[i] = wire.EncodeDirective(nil, &cd)
+	}
+	return reqs, nil
+}
+
+// fanout delivers the per-child requests in parallel and merges the replies
+// strictly in child order. A child whose call fails is dropped for good and
+// its pre-call leaf offsets are reported as LostLeaves; deeper losses arrive
+// as the child's own LostLeaves and are remapped into this fan-out's leaf
+// offset space.
+func (n *Node) fanout(d *wire.Directive, reqs [][]byte) (*wire.Report, error) {
+	type outcome struct {
+		rep *wire.Report
+		err error
+	}
+	replies := make([]outcome, len(n.children))
+	var wg sync.WaitGroup
+	for i := range n.children {
+		if reqs[i] == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			raw, err := n.children[i].Call(reqs[i])
+			if err != nil {
+				replies[i].err = err
+				return
+			}
+			replies[i].rep, replies[i].err = wire.DecodeReport(raw)
+		}(i)
+	}
+	wg.Wait()
+
+	start := obs.Now()
+	out := &wire.Report{Round: d.Round, Worker: n.id, Epoch: n.epoch, Trace: d.Trace}
+	if d.Op == wire.OpScale {
+		out.ScaleMin, out.ScaleMax = math.Inf(1), math.Inf(-1)
+	}
+	genOp := d.Op == wire.OpGenerate || d.Op == wire.OpGenerateRows || d.Op == wire.OpClassifyGenerate
+	var mergeNanos []int64
+	confAll := true
+	anyLive := false
+	maxHeight := 0
+	off := 0
+	for i := range n.children {
+		if reqs[i] == nil {
+			continue
+		}
+		pre := n.leaves[i]
+		if replies[i].err != nil {
+			// The whole child subtree is gone: charge every leaf it covered
+			// in this fan-out and drop it from all later rounds.
+			n.live[i] = false
+			n.leaves[i] = 0
+			for l := 0; l < pre; l++ {
+				out.LostLeaves = append(out.LostLeaves, off+l)
+			}
+			off += pre
+			continue
+		}
+		rep := replies[i].rep
+		anyLive = true
+		n.mergeChild(d, out, rep, genOp)
+		for _, rel := range rep.LostLeaves {
+			out.LostLeaves = append(out.LostLeaves, off+rel)
+		}
+		off += pre
+		n.leaves[i] = leavesOf(rep)
+		n.heights[i] = rep.Height
+		if rep.Height > maxHeight {
+			maxHeight = rep.Height
+		}
+		for lvl, v := range rep.MergeNanos {
+			if lvl >= len(mergeNanos) {
+				mergeNanos = append(mergeNanos, v)
+			} else if v > mergeNanos[lvl] {
+				mergeNanos[lvl] = v
+			}
+		}
+		confAll = confAll && rep.Configured
+	}
+	if !anyLive {
+		return nil, fmt.Errorf("agg: node %d: every child subtree is lost", n.id)
+	}
+	if d.Op == wire.OpScale && out.Count == 0 {
+		out.ScaleMin, out.ScaleMax = 0, 0 // all ranges empty; match a fresh report
+	}
+	if n.compress > 0 {
+		if out.Sum != nil {
+			out.Sum.Compress(n.compress)
+		}
+		if out.Kept != nil {
+			out.Kept.Compress(n.compress)
+		}
+	}
+	out.Leaves = n.totalLeaves()
+	out.Height = maxHeight + 1
+	out.Configured = confAll
+	out.MergeNanos = append(mergeNanos, obs.Since(start).Nanoseconds())
+	return out, nil
+}
+
+// mergeChild folds one child reply into the subtree report. Associative
+// folds (summary merges, integer tallies, extrema, straggler maxima) merge
+// here; order-sensitive float sequences (per-cell percentile subtotals,
+// per-leaf vector deltas) concatenate in leaf order so the coordinator
+// folds the exact sequence a flat fleet would have produced.
+func (n *Node) mergeChild(d *wire.Directive, out, rep *wire.Report, genOp bool) {
+	if rep.Epsilon > out.Epsilon {
+		out.Epsilon = rep.Epsilon
+	}
+	if rep.Sum != nil {
+		if out.Sum == nil {
+			out.Sum = &summary.Summary{}
+		}
+		out.Sum.Merge(rep.Sum)
+	}
+	out.Count += rep.Count
+	out.ValueSum += rep.ValueSum
+	out.PctSum += rep.PctSum
+	out.InputSum += rep.InputSum
+	if genOp {
+		if len(rep.PctSums) > 0 {
+			out.PctSums = append(out.PctSums, rep.PctSums...)
+		} else {
+			out.PctSums = append(out.PctSums, rep.PctSum)
+		}
+	}
+	if d.Op == wire.OpScale && rep.Count > 0 {
+		if rep.ScaleMin < out.ScaleMin {
+			out.ScaleMin = rep.ScaleMin
+		}
+		if rep.ScaleMax > out.ScaleMax {
+			out.ScaleMax = rep.ScaleMax
+		}
+	}
+	out.Counts.HonestKept += rep.Counts.HonestKept
+	out.Counts.HonestTrimmed += rep.Counts.HonestTrimmed
+	out.Counts.PoisonKept += rep.Counts.PoisonKept
+	out.Counts.PoisonTrimmed += rep.Counts.PoisonTrimmed
+	out.KeptCount += rep.KeptCount
+	out.KeptSum += rep.KeptSum
+	if rep.Kept != nil {
+		if out.Kept == nil {
+			out.Kept = &summary.Summary{}
+		}
+		out.Kept.Merge(rep.Kept)
+	}
+	out.KeptRows = append(out.KeptRows, rep.KeptRows...)
+	out.KeptLabels = append(out.KeptLabels, rep.KeptLabels...)
+	if len(rep.Vecs) > 0 {
+		out.Vecs = append(out.Vecs, rep.Vecs...)
+	} else if rep.Vec != nil {
+		out.Vecs = append(out.Vecs, rep.Vec)
+	}
+	// Children ran in parallel: the straggler is the subtree's critical
+	// path, so phase timings fold by max (the coordinator's network-share
+	// estimate subtracts the busiest worker).
+	if rep.GenerateNanos > out.GenerateNanos {
+		out.GenerateNanos = rep.GenerateNanos
+	}
+	if rep.SummarizeNanos > out.SummarizeNanos {
+		out.SummarizeNanos = rep.SummarizeNanos
+	}
+	if rep.ClassifyNanos > out.ClassifyNanos {
+		out.ClassifyNanos = rep.ClassifyNanos
+	}
+}

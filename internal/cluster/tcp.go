@@ -11,21 +11,22 @@ import (
 // rpcName is the net/rpc service name workers register under.
 const rpcName = "Worker"
 
-// Service is the net/rpc receiver wrapping a Worker: requests and replies
-// are opaque wire-encoded byte slices, so the RPC layer carries no schema
-// of its own — versioning lives entirely in internal/wire.
+// Service is the net/rpc receiver wrapping a Handler (a Worker or an
+// aggregator node): requests and replies are opaque wire-encoded byte
+// slices, so the RPC layer carries no schema of its own — versioning lives
+// entirely in internal/wire.
 type Service struct {
-	w *Worker
+	h Handler
 }
 
-// NewService wraps a worker for registration on a caller-owned RPC server
+// NewService wraps a handler for registration on a caller-owned RPC server
 // — failure-injection tests use it to control the lifecycle of individual
 // listeners and connections.
-func NewService(w *Worker) *Service { return &Service{w: w} }
+func NewService(h Handler) *Service { return &Service{h: h} }
 
 // Call handles one coordinator request.
 func (s *Service) Call(req []byte, resp *[]byte) error {
-	out, err := s.w.Handle(req)
+	out, err := s.h.Handle(req)
 	if err != nil {
 		return err
 	}
@@ -33,23 +34,23 @@ func (s *Service) Call(req []byte, resp *[]byte) error {
 	return nil
 }
 
-// Serve runs a worker on an open listener until the worker is stopped
-// (OpStop) or the listener fails. Each coordinator connection is served on
+// Serve runs a protocol handler on an open listener until it is stopped
+// (OpStop) or the listener fails. Each upstream connection is served on
 // its own goroutine; in practice one coordinator holds one connection.
-func Serve(ln net.Listener, w *Worker) error {
+func Serve(ln net.Listener, h Handler) error {
 	srv := rpc.NewServer()
-	if err := srv.RegisterName(rpcName, &Service{w: w}); err != nil {
+	if err := srv.RegisterName(rpcName, &Service{h: h}); err != nil {
 		return err
 	}
 	go func() {
-		<-w.Done()
+		<-h.Done()
 		ln.Close()
 	}()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			select {
-			case <-w.Done():
+			case <-h.Done():
 				// Give the in-flight stop acknowledgement a moment to be
 				// written before the process exits.
 				time.Sleep(50 * time.Millisecond)
@@ -62,14 +63,14 @@ func Serve(ln net.Listener, w *Worker) error {
 	}
 }
 
-// ListenAndServe runs a worker on a TCP address — the body of the
-// `trimlab worker` subcommand.
-func ListenAndServe(addr string, w *Worker) error {
+// ListenAndServe runs a protocol handler on a TCP address — the body of the
+// `trimlab worker` and `trimlab aggregator` subcommands.
+func ListenAndServe(addr string, h Handler) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	return Serve(ln, w)
+	return Serve(ln, h)
 }
 
 // tcpTransport is the coordinator side: one net/rpc client per worker. The

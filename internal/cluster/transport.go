@@ -18,6 +18,26 @@ type Transport interface {
 	Close() error
 }
 
+// Handler serves the worker side of the protocol: one encoded request in,
+// one encoded reply out, plus a Done channel that closes when the handler
+// has been stopped (OpStop). Worker implements it, and so does an
+// aggregator node (internal/agg) — anything a Transport can point at.
+type Handler interface {
+	Handle(req []byte) ([]byte, error)
+	Done() <-chan struct{}
+}
+
+// Grower is the transport-level elasticity hook: transports that can add
+// fresh worker slots mid-game implement it. Grow appends k new slots at the
+// TAIL of the worker order — existing indices keep their positions, so the
+// derived per-slot seed streams of the incumbent shards are untouched and
+// only new streams open (stats.DeriveSeed is stable under slot-count
+// growth). The new slots hold no game state; the coordinator runs the
+// Hello/Configure/Join admission handshake before they serve a round.
+type Grower interface {
+	Grow(k int) error
+}
+
 // Reviver is the transport-level liveness hook of the fleet runtime
 // (DESIGN.md §8): transports that can re-establish the path to a lost
 // worker implement it. Revive succeeds only when a worker is actually
@@ -52,7 +72,11 @@ func NewLoopback(n int) *Loopback {
 }
 
 // Workers returns the worker count.
-func (l *Loopback) Workers() int { return len(l.workers) }
+func (l *Loopback) Workers() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.workers)
+}
 
 // Fail makes every subsequent Call to the given worker return an error —
 // the test hook for the coordinator's drop-and-continue failure handling
@@ -94,18 +118,35 @@ func (l *Loopback) Revive(worker int) error {
 	return nil
 }
 
-// Call dispatches to the in-process worker.
-func (l *Loopback) Call(worker int, req []byte) ([]byte, error) {
-	if worker < 0 || worker >= len(l.workers) {
-		return nil, fmt.Errorf("cluster: no worker %d", worker)
+// Grow appends k fresh in-process workers at the tail of the worker order
+// (Grower). The new workers accept a mid-game join, like a respawned slot.
+func (l *Loopback) Grow(k int) error {
+	if k <= 0 {
+		return fmt.Errorf("cluster: grow by %d workers", k)
 	}
 	l.mu.Lock()
-	dead := l.failed[worker]
+	defer l.mu.Unlock()
+	for i := 0; i < k; i++ {
+		w := NewWorker(len(l.workers))
+		w.AllowRejoin()
+		l.workers = append(l.workers, w)
+	}
+	return nil
+}
+
+// Call dispatches to the in-process worker.
+func (l *Loopback) Call(worker int, req []byte) ([]byte, error) {
+	l.mu.Lock()
+	if worker < 0 || worker >= len(l.workers) {
+		l.mu.Unlock()
+		return nil, fmt.Errorf("cluster: no worker %d", worker)
+	}
+	w, dead := l.workers[worker], l.failed[worker]
 	l.mu.Unlock()
 	if dead {
 		return nil, fmt.Errorf("cluster: worker %d is down (injected failure)", worker)
 	}
-	return l.workers[worker].Handle(req)
+	return w.Handle(req)
 }
 
 // Close is a no-op for the loopback.

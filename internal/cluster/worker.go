@@ -219,6 +219,10 @@ func (w *Worker) Handle(req []byte) ([]byte, error) {
 			return nil, err
 		}
 
+	case wire.OpTreeInfo:
+		// Topology probe: a plain worker is a subtree of one leaf, height 0.
+		rep.Leaves = 1
+
 	case wire.OpStop:
 		w.stopOnce.Do(func() { close(w.done) })
 

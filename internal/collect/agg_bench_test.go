@@ -1,0 +1,87 @@
+package collect
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/cluster"
+	"repro/internal/stats"
+)
+
+// benchMergeFanin runs the shard-local game over the given transport and
+// reports the coordinator's own per-round merge share (Timing.Merge) — the
+// serial fold the aggregator tier exists to keep flat as the fleet widens.
+// Flat-W makes the coordinator fold W per-slot reports; a tree keeps the
+// fold at the top-level fan-in no matter how many leaves sit below it. The
+// total batch is fixed, so the merged entry volume is identical across
+// shapes and the metric isolates the fan-in-dependent fold overhead.
+func benchMergeFanin(b *testing.B, tr cluster.Transport, leaves int) {
+	const rounds = 4
+	ref := stats.NormalSlice(stats.NewRand(1), 5000, 0, 1)
+	var mergePerRound float64
+	for i := 0; i < b.N; i++ {
+		static, err := newStaticForBench()
+		if err != nil {
+			b.Fatal(err)
+		}
+		adv, err := newPointForBench()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := RunCluster(ClusterConfig{
+			Config: Config{
+				Rounds: rounds, Batch: 100000, AttackRatio: 0.2,
+				Reference: ref,
+				Collector: static, Adversary: adv,
+				TrimOnBatch: true,
+			},
+			Transport: tr,
+			Gen:       &ShardGen{MasterSeed: 1},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.TreeLeaves != leaves {
+			b.Fatalf("run covered %d leaves, want %d", res.TreeLeaves, leaves)
+		}
+		mergePerRound = float64(res.Timing.Merge.Nanoseconds()) / rounds
+	}
+	b.ReportMetric(mergePerRound, "merge-ns/round")
+}
+
+// BenchmarkMergeFanin is the engine behind the CI wide-fleet gate
+// (scripts/fanin_bench.sh): the coordinator merge per round for a 64-leaf
+// fan-in-4 tree (4 top slots, height 2) must stay within a small constant
+// of the flat 4-worker baseline, while Flat64 shows the O(W) fold the tier
+// removes. All three shapes play the identical total batch.
+//
+// Run with: go test ./internal/collect -bench=MergeFanin -benchtime=2x
+func BenchmarkMergeFanin(b *testing.B) {
+	b.Run("Flat4", func(b *testing.B) {
+		benchMergeFanin(b, cluster.NewLoopback(4), 4)
+	})
+	b.Run("Flat64", func(b *testing.B) {
+		benchMergeFanin(b, cluster.NewLoopback(64), 64)
+	})
+	b.Run("Tree64", func(b *testing.B) {
+		tree, err := agg.NewTree(64, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchMergeFanin(b, tree, 64)
+	})
+	for _, leaves := range []int{128, 256} {
+		leaves := leaves
+		b.Run(fmt.Sprintf("Tree%d", leaves), func(b *testing.B) {
+			if testing.Short() {
+				b.Skip("wide tree shapes are for the scaling study, not -short runs")
+			}
+			tree, err := agg.NewTree(leaves, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchMergeFanin(b, tree, leaves)
+		})
+	}
+}

@@ -76,6 +76,9 @@ func restoreScalarSnapshot(snap *wire.Snapshot, res *Result, pool *workerPool) (
 			down[ev.Worker] = true
 		case fleet.EventAdmit:
 			delete(down, ev.Worker)
+		case fleet.EventGrow:
+			// Elastic runs refuse checkpointing (ClusterConfig.validate), so
+			// a restored log never carries growth; nothing to track.
 		}
 	}
 	for _, w := range pool.ms.Alive() {

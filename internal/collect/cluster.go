@@ -99,6 +99,26 @@ type ClusterConfig struct {
 	// configuration fingerprint must match this config. Requires the same
 	// ShardGen the checkpointing run used.
 	Resume *wire.Snapshot
+
+	// Elastic admits new worker slots mid-game (DESIGN.md §13): before
+	// playing each step's round the transport is grown by Add fresh tail
+	// slots, which join through the usual Hello/Configure/Join handshake and
+	// serve from that round on. Existing slots keep their ids and therefore
+	// their derived seed streams — growth only opens new streams — so a run
+	// that grows by k before round 1 reproduces the (W+k)-worker run record
+	// for record, and a mid-game grow matches it from the grow round on.
+	// Requires the shard-local data plane (a ShardGen) and a transport
+	// implementing cluster.Grower; incompatible with Fleet supervision,
+	// checkpointing and resume. Steps must be in strictly ascending round
+	// order with Add > 0.
+	Elastic []GrowStep
+}
+
+// GrowStep is one elastic-fleet growth event: open Add new worker slots
+// before playing Round.
+type GrowStep struct {
+	Round int
+	Add   int
 }
 
 func (c *ClusterConfig) validate() error {
@@ -122,6 +142,9 @@ func (c *ClusterConfig) validate() error {
 			return err
 		}
 	}
+	if err := c.validateElastic(); err != nil {
+		return err
+	}
 	if c.Gen != nil {
 		if _, err := specInjector(c.Adversary); err != nil {
 			return err
@@ -129,6 +152,39 @@ func (c *ClusterConfig) validate() error {
 		return c.Config.validateMode(true)
 	}
 	return c.Config.validate()
+}
+
+// validateElastic checks the growth schedule against the run modes that can
+// host it: only the shard-local data plane repartitions deterministically
+// over a wider slot set, and a growing slot space has no stable fingerprint
+// for supervision epochs or snapshots to pin.
+func (c *ClusterConfig) validateElastic() error {
+	if len(c.Elastic) == 0 {
+		return nil
+	}
+	if c.Gen == nil {
+		return fmt.Errorf("collect: elastic growth requires the shard-local data plane (a ShardGen)")
+	}
+	if _, ok := c.Transport.(cluster.Grower); !ok {
+		return fmt.Errorf("collect: elastic growth requires a transport implementing cluster.Grower")
+	}
+	if c.Fleet != nil || c.Checkpoint != nil || c.Resume != nil {
+		return fmt.Errorf("collect: elastic growth is incompatible with fleet supervision, checkpoint and resume")
+	}
+	last := 0
+	for _, s := range c.Elastic {
+		if s.Round < 1 || s.Round > c.Rounds {
+			return fmt.Errorf("collect: elastic step at round %d outside the %d-round game", s.Round, c.Rounds)
+		}
+		if s.Round <= last {
+			return fmt.Errorf("collect: elastic steps must be in strictly ascending round order")
+		}
+		if s.Add <= 0 {
+			return fmt.Errorf("collect: elastic step at round %d adds %d workers", s.Round, s.Add)
+		}
+		last = s.Round
+	}
+	return nil
 }
 
 // validateResume pins the snapshot's configuration fingerprint to this
@@ -331,6 +387,7 @@ func RunCluster(cfg ClusterConfig) (*Result, error) {
 		focusWidth:   fw,
 		pipeline:     cfg.Pipeline,
 		onRound:      cfg.OnRound,
+		elastic:      cfg.Elastic,
 	}
 	if cfg.Resume != nil {
 		en.resume = func() (int, error) {

@@ -102,16 +102,34 @@ func (c *RowClusterConfig) validate() error {
 	return c.RowConfig.validate()
 }
 
-// scaleDirs builds the clean-scale fan-out: each live worker summarizes
-// the distances of its dataset range from the broadcast center.
+// scaleDirs builds the clean-scale fan-out: each live leaf worker
+// summarizes the distances of its dataset range from the broadcast center.
+// The dataset is cut per LEAF (shardBounds over the live leaf count), so
+// the merged scale is identical however the leaves are grouped: a plain
+// worker slot gets its one range as Lo/Hi, an aggregator slot gets its
+// leaves' consecutive ranges as Cuts to slice among its children.
 func (p *workerPool) scaleDirs(round int, center []float64, dataLen int) []*wire.Directive {
 	alive := p.alive()
+	leavesTotal := p.totalLeaves()
 	dirs := make([]*wire.Directive, len(alive))
-	bounds := make(map[int][2]int, len(alive))
+	bounds := make(map[int][][2]int, len(alive))
+	off := 0
 	for i, w := range alive {
-		lo, hi := shardBounds(dataLen, len(alive), i)
-		dirs[i] = &wire.Directive{Op: wire.OpScale, Round: round, Center: center, Lo: lo, Hi: hi}
-		bounds[w] = [2]int{lo, hi}
+		l := p.leavesOf(w)
+		cuts := make([]int, l+1)
+		bs := make([][2]int, l)
+		for j := 0; j < l; j++ {
+			lo, hi := shardBounds(dataLen, leavesTotal, off+j)
+			cuts[j], cuts[j+1] = lo, hi
+			bs[j] = [2]int{lo, hi}
+		}
+		d := &wire.Directive{Op: wire.OpScale, Round: round, Center: center, Lo: cuts[0], Hi: cuts[l]}
+		if l > 1 {
+			d.Cuts = cuts
+		}
+		dirs[i] = d
+		bounds[w] = bs
+		off += l
 	}
 	p.setRanges(bounds)
 	return dirs
@@ -255,7 +273,7 @@ func (g *rowsGame) feed(en *engine, r int) ([]*wire.Directive, float64, error) {
 		}
 		bounds[w] = [2]int{lo, hi}
 	}
-	en.pool.setRanges(bounds)
+	en.pool.setFlatRanges(bounds)
 	g.arrivals, g.bounds = arrivals, bounds
 	return dirs, pctSum, nil
 }
@@ -323,14 +341,22 @@ func (g *rowsGame) foldClassify(en *engine, r int, _ *RoundRecord, rep *wire.Rep
 			}
 		}
 	}
-	if rep.Vec != nil {
-		if len(rep.Vec.Dims) != g.dim {
+	// An aggregator forwards its leaves' deltas concatenated in leaf order
+	// (Report.Vecs) instead of merging them: AbsorbCounted compresses per
+	// absorbed delta, so only absorbing exactly one delta per leaf — in
+	// leaf order — keeps the center bit-identical to the flat fleet's.
+	deltas := rep.Vecs
+	if len(deltas) == 0 && rep.Vec != nil {
+		deltas = []*wire.VectorDelta{rep.Vec}
+	}
+	for _, d := range deltas {
+		if len(d.Dims) != g.dim {
 			en.pool.log.Logf("collect: round %d: worker %d vector delta dim %d, want %d (dropped)",
-				r, rep.Worker, len(rep.Vec.Dims), g.dim)
-			return nil
+				r, rep.Worker, len(d.Dims), g.dim)
+			continue
 		}
 		for i := 0; i < g.dim; i++ {
-			g.acceptedVec.Coord(i).AbsorbCounted(rep.Vec.Dims[i], rep.Vec.Count, rep.Vec.Sums[i])
+			g.acceptedVec.Coord(i).AbsorbCounted(d.Dims[i], d.Count, d.Sums[i])
 		}
 	}
 	return nil

@@ -117,6 +117,15 @@ type Timing struct {
 	Classify  time.Duration
 	Admission time.Duration
 
+	// Merge is the coordinator's own per-round merge work: folding the
+	// phase-1 report summaries it received into the round summary. This is
+	// the serial O(fan-in) share an aggregator tier exists to keep flat as
+	// the fleet widens (DESIGN.md §13) — the CI wide-fleet gate compares it
+	// across fan-ins. Not part of DataPlane (it is coordinator CPU, not
+	// fan-out blocking; it is measured inside the round loop between the
+	// two fan-outs).
+	Merge time.Duration
+
 	// Rounds is the number of rounds this run played (a resumed run counts
 	// only its own).
 	Rounds int
@@ -176,6 +185,15 @@ type ClusterStats struct {
 	// strategies; see DESIGN.md §8).
 	FleetEvents []fleet.Event
 	WholeSince  int
+
+	// TreeLeaves and TreeHeight describe the merge topology at game end:
+	// the total live leaf-worker count behind the coordinator's direct
+	// slots, and the maximum merge-graph height above the leaves (0 for a
+	// flat fleet, where every slot is a worker and TreeLeaves equals the
+	// live worker count). An aggregator tier makes TreeLeaves ≫ direct
+	// slots (DESIGN.md §13).
+	TreeLeaves int
+	TreeHeight int
 
 	// EgressBytes is the coordinator's total outbound directive traffic
 	// over the transport (configure + every round fan-out, before the final
@@ -278,9 +296,24 @@ type workerPool struct {
 	conf    wire.Directive
 	hasConf bool
 
-	// ranges maps each slot to its current round's honest-batch [lo, hi)
-	// share — the loss-report payload when a call to it fails.
-	ranges map[int][2]int
+	// ranges maps each slot to the per-leaf honest-batch [lo, hi) shares it
+	// holds this round — the loss-report payload when a call to it fails. A
+	// plain worker slot holds one range; an aggregator slot holds one per
+	// live leaf of its subtree, in the subtree's leaf order, so a lost
+	// subtree is recorded as one ShardLoss per shard it held.
+	ranges map[int][][2]int
+
+	// leaves/heights map each slot to the live leaf-worker count and merge
+	// height behind it (1 and 0 for a plain worker), learned from configure
+	// replies and refreshed from every reply — the coordinator never needs
+	// to be told it is talking to an aggregator. topo counts leaf-topology
+	// changes; together with the membership epoch it is the pipeline's
+	// speculation validity stamp (a subtree leaf lost mid-call repartitions
+	// the next round even though the coordinator's own membership is
+	// unchanged).
+	leaves  map[int]int
+	heights map[int]int
+	topo    int
 
 	losses []ShardLoss
 
@@ -307,11 +340,13 @@ type workerPool struct {
 
 func newWorkerPool(tr cluster.Transport, log *obs.Logger, met *obs.Registry, fcfg *fleet.Config) *workerPool {
 	p := &workerPool{
-		tr:     tr,
-		ms:     fleet.NewMembership(tr.Workers()),
-		log:    log,
-		met:    met,
-		ranges: make(map[int][2]int),
+		tr:      tr,
+		ms:      fleet.NewMembership(tr.Workers()),
+		log:     log,
+		met:     met,
+		ranges:  make(map[int][][2]int),
+		leaves:  make(map[int]int),
+		heights: make(map[int]int),
 	}
 	if fcfg != nil {
 		cfg := *fcfg
@@ -344,6 +379,97 @@ func (p *workerPool) epoch() int { return p.ms.Epoch() }
 
 // lost returns the number of loss events so far.
 func (p *workerPool) lost() int { return len(p.losses) }
+
+// leavesOf returns the live leaf-worker count behind slot w: 1 until a
+// reply said otherwise (a plain worker never says otherwise).
+func (p *workerPool) leavesOf(w int) int {
+	if n, ok := p.leaves[w]; ok && n > 0 {
+		return n
+	}
+	return 1
+}
+
+// totalLeaves is the live leaf-worker count across the fleet — the shard
+// count the derived seed space partitions over this round.
+func (p *workerPool) totalLeaves() int {
+	t := 0
+	for _, w := range p.alive() {
+		t += p.leavesOf(w)
+	}
+	return t
+}
+
+// treeHeight is the maximum merge-graph height above the leaves (0: flat).
+func (p *workerPool) treeHeight() int {
+	h := 0
+	for _, w := range p.alive() {
+		if hh := p.heights[w]; hh > h {
+			h = hh
+		}
+	}
+	return h
+}
+
+// treed reports whether any live slot fronts an aggregator subtree.
+func (p *workerPool) treed() bool {
+	for _, w := range p.alive() {
+		if p.leavesOf(w) > 1 || p.heights[w] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// noteShape refreshes slot w's subtree shape from a reply, bumping the
+// topology stamp — and with it the pipeline's validity — on any change.
+// Replies that never fill the shape fields (Leaves 0) mean a plain worker.
+func (p *workerPool) noteShape(w int, rep *wire.Report) {
+	leaves := rep.Leaves
+	if leaves < 1 {
+		leaves = 1
+	}
+	if p.leavesOf(w) == leaves && p.heights[w] == rep.Height {
+		return
+	}
+	p.leaves[w] = leaves
+	p.heights[w] = rep.Height
+	p.topo++
+	p.met.Gauge("trimlab_tree_leaves").Set(float64(p.totalLeaves()))
+	p.met.Gauge("trimlab_tree_height").Set(float64(p.treeHeight()))
+}
+
+// noteLosses records the shard losses a reply reports from below an
+// aggregator (Report.LostLeaves): the slot itself answered, but some leaves
+// of its subtree did not, and their shards went missing from this round's
+// tallies. Each lost leaf offset indexes the per-leaf ranges the slot was
+// handed; the consumed entries are deleted so the offsets of a later phase
+// of the same round still index correctly.
+func (p *workerPool) noteLosses(round int, phase string, w int, rep *wire.Report) {
+	if len(rep.LostLeaves) == 0 {
+		return
+	}
+	b := p.ranges[w]
+	lost := make(map[int]bool, len(rep.LostLeaves))
+	for _, rel := range rep.LostLeaves {
+		lost[rel] = true
+		var lo, hi int
+		if rel >= 0 && rel < len(b) {
+			lo, hi = b[rel][0], b[rel][1]
+		}
+		p.losses = append(p.losses, ShardLoss{Round: round, Phase: phase, Worker: w, Lo: lo, Hi: hi})
+		p.log.ShardLoss(round, phase, w, lo, hi, fmt.Errorf("collect: aggregator %d lost subtree leaf %d", w, rel))
+		p.met.Counter("trimlab_shard_loss_total").Inc()
+	}
+	if len(b) > 0 {
+		kept := make([][2]int, 0, len(b))
+		for i, r := range b {
+			if !lost[i] {
+				kept = append(kept, r)
+			}
+		}
+		p.ranges[w] = kept
+	}
+}
 
 // fleetLog returns the full membership event log — a resumed run's prior
 // history followed by this run's — with epochs renumbered by position (an
@@ -378,6 +504,8 @@ func (p *workerPool) finishStats(s *ClusterStats) {
 	s.WholeSince = p.wholeSince()
 	s.EgressBytes = p.egress
 	s.EgressConfigBytes = p.egressConfig
+	s.TreeLeaves = p.totalLeaves()
+	s.TreeHeight = p.treeHeight()
 	s.Timing = p.timing
 }
 
@@ -467,6 +595,8 @@ func (p *workerPool) callAll(round int, phase string, dirs []*wire.Directive) ([
 		// whatever it was launched with); reports are keyed by it.
 		reps[i].Worker = w
 		kept = append(kept, reps[i])
+		p.noteLosses(round, phase, w, reps[i])
+		p.noteShape(w, reps[i])
 		if busy := p.recordWorker(w, reps[i]); busy > maxBusy {
 			maxBusy = busy
 		}
@@ -510,21 +640,35 @@ func (p *workerPool) recordWorker(w int, rep *wire.Report) time.Duration {
 	if rep.ClassifyNanos > 0 {
 		p.met.Counter("trimlab_worker_phase_nanos_total", "phase", "classify", "worker", ws).Add(rep.ClassifyNanos)
 	}
+	// Per-level aggregator merge timings (DESIGN.md §13): MergeNanos[l] is
+	// the slowest merge at tree level l+1 on this reply's path.
+	for lvl, n := range rep.MergeNanos {
+		p.met.Histogram("trimlab_agg_merge_seconds", obs.TimeBuckets, "level", strconv.Itoa(lvl+1)).
+			Observe(float64(n) / 1e9)
+	}
 	return busy
 }
 
-// drop records one worker loss and removes the slot from the membership.
+// drop records one worker-slot loss and removes the slot from the
+// membership. An aggregator slot takes its whole subtree down with it: one
+// ShardLoss per leaf range it held this round.
 func (p *workerPool) drop(round int, phase string, w int, err error) {
-	b := p.ranges[w]
-	p.losses = append(p.losses, ShardLoss{Round: round, Phase: phase, Worker: w, Lo: b[0], Hi: b[1]})
-	p.log.ShardLoss(round, phase, w, b[0], b[1], err)
-	p.met.Counter("trimlab_shard_loss_total").Inc()
+	bs := p.ranges[w]
+	if len(bs) == 0 {
+		bs = [][2]int{{0, 0}} // loss outside a data phase: no range held
+	}
+	for _, b := range bs {
+		p.losses = append(p.losses, ShardLoss{Round: round, Phase: phase, Worker: w, Lo: b[0], Hi: b[1]})
+		p.log.ShardLoss(round, phase, w, b[0], b[1], err)
+		p.met.Counter("trimlab_shard_loss_total").Inc()
+	}
 	if p.sup != nil {
 		p.sup.Drop(w, round)
 	} else {
 		p.ms.Drop(w, round)
 	}
 	p.met.Gauge("trimlab_fleet_epoch").Set(float64(p.ms.Epoch()))
+	p.met.Gauge("trimlab_tree_leaves").Set(float64(p.totalLeaves()))
 }
 
 // beginRound applies the fleet supervision policy at a round boundary:
@@ -560,9 +704,12 @@ func (p *workerPool) admit(round, w, epoch int) error {
 			return err
 		}
 	}
-	if _, err := p.call1(w, &wire.Directive{Op: wire.OpJoin, Round: round, Epoch: epoch}, false); err != nil {
+	joined, err := p.call1(w, &wire.Directive{Op: wire.OpJoin, Round: round, Epoch: epoch}, false)
+	if err != nil {
 		return err
 	}
+	// An admitted aggregator brings its whole (revived) subtree back.
+	p.noteShape(w, joined)
 	p.met.Counter("trimlab_worker_rejoin_total").Inc()
 	p.met.Gauge("trimlab_fleet_epoch").Set(float64(epoch))
 	return nil
@@ -642,10 +789,21 @@ func slicePoisonFrom(poisonStart, lo, hi int) int {
 	return pf
 }
 
-// setRanges records each live slot's honest-batch share for the round — the
-// loss-report payload should a call to it fail.
-func (p *workerPool) setRanges(bounds map[int][2]int) {
+// setRanges records each live slot's per-leaf honest-batch shares for the
+// round — the loss-report payload should a call to it (or a subtree leaf
+// below it) fail.
+func (p *workerPool) setRanges(bounds map[int][][2]int) {
 	p.ranges = bounds
+}
+
+// setFlatRanges is setRanges for the coordinator-fed phases, where every
+// slot holds exactly one range.
+func (p *workerPool) setFlatRanges(bounds map[int][2]int) {
+	ranges := make(map[int][][2]int, len(bounds))
+	for w, b := range bounds {
+		ranges[w] = [][2]int{b}
+	}
+	p.ranges = ranges
 }
 
 // scalarSummarizeDirs partitions a round's scalar arrivals across the live
@@ -665,7 +823,7 @@ func (p *workerPool) scalarSummarizeDirs(round int, values []float64, poisonStar
 		}
 		bounds[w] = [2]int{lo, hi}
 	}
-	p.setRanges(bounds)
+	p.setFlatRanges(bounds)
 	return dirs, bounds
 }
 
@@ -703,15 +861,41 @@ func mergeSummarizeReports(reps []*wire.Report) (merged *summary.Summary, count 
 	return merged, count, sum
 }
 
+// genShare is the generation accounting behind one top-level slot: the
+// aggregate spec over all cells its subtree draws, plus the per-cell specs
+// (leaf-major, sub-shards within a leaf) so a partial subtree loss reported
+// back by an aggregator can be subtracted out of the round's expectations.
+type genShare struct {
+	spec  arrival.Spec
+	cells []arrival.Spec
+}
+
+// lessLost returns the aggregate spec minus the cells of the lost leaves
+// (subs cells per leaf).
+func (g genShare) lessLost(lostLeaves []int, subs int) arrival.Spec {
+	spec := g.spec
+	for _, rel := range lostLeaves {
+		for c := 0; c < subs; c++ {
+			if idx := rel*subs + c; idx >= 0 && idx < len(g.cells) {
+				spec.HonestN -= g.cells[idx].HonestN
+				spec.PoisonN -= g.cells[idx].PoisonN
+			}
+		}
+	}
+	return spec
+}
+
 // pending is one speculated round of a pipelined run: the generate reports
 // that came back piggybacked on the previous classify broadcast, valid
-// while the membership epoch they were built under still holds.
+// while the membership epoch AND the leaf topology they were built under
+// still hold.
 type pending struct {
 	inject   attack.InjectionSpec
 	reps     []*wire.Report
-	byWorker map[int]arrival.Spec
-	bounds   map[int][2]int
+	byWorker map[int]genShare
+	bounds   map[int][][2]int
 	epoch    int
+	topo     int
 }
 
 // engine drives one cluster game over a worker pool: the round loop, both
@@ -756,6 +940,13 @@ type engine struct {
 	// pipeline enables the overlapped round schedule (shard-local only).
 	pipeline bool
 
+	// elastic is the remaining fleet-growth schedule (ClusterConfig
+	// .Elastic, validated ascending): at the top of round Round, Add fresh
+	// worker slots are appended to the transport and admitted before the
+	// fan-out, so the round repartitions the derived seed space over the
+	// wider fleet exactly as a game started at that width would.
+	elastic []GrowStep
+
 	onRound func(RoundRecord)
 
 	// resume, when non-nil, restores a checkpointed game after the
@@ -773,6 +964,9 @@ func (en *engine) run() error {
 	if err := en.pool.configure(en.game.confDirective()); err != nil {
 		return err
 	}
+	if en.pool.treed() && en.gen == nil {
+		return fmt.Errorf("collect: aggregator subtrees require the shard-local data plane (a ShardGen) — a coordinator-fed phase cannot be split below a slot")
+	}
 	start := 1
 	if en.resume != nil {
 		var err error
@@ -782,6 +976,13 @@ func (en *engine) run() error {
 	}
 	var pend *pending
 	for r := start; r <= en.rounds; r++ {
+		for len(en.elastic) > 0 && en.elastic[0].Round == r {
+			step := en.elastic[0]
+			en.elastic = en.elastic[1:]
+			if err := en.growFleet(r, step.Add); err != nil {
+				return err
+			}
+		}
 		en.pool.beginRound(r)
 		pct := en.collector.Threshold(r, en.board.collectorView())
 		if err := en.game.preRound(en, r); err != nil {
@@ -798,9 +999,11 @@ func (en *engine) run() error {
 		if en.gen != nil {
 			roundPoison = 0
 			for _, rep := range reps {
-				spec := byWorker[rep.Worker]
-				// Sub-sharded reports carry per-sub percentile subtotals; the
-				// flat (worker, sub)-order fold matches a W·C-shard
+				// A partial subtree reply covers fewer cells than directed:
+				// subtract the lost leaves' cells from the expectations.
+				spec := byWorker[rep.Worker].lessLost(rep.LostLeaves, en.subShards)
+				// Sub-sharded and aggregated reports carry per-cell percentile
+				// subtotals; the flat cell-order fold matches an L·C-shard
 				// RunSharded's fold bit for bit, which is what keeps
 				// MeanInjectionPct — and hence the records — shape-invariant.
 				if len(rep.PctSums) > 0 {
@@ -814,7 +1017,11 @@ func (en *engine) run() error {
 				en.game.foldGen(rep, spec)
 			}
 		}
+		mergeStart := obs.Now()
 		merged, mCount, mSum := mergeSummarizeReports(reps)
+		mergeD := obs.Since(mergeStart)
+		en.pool.timing.Merge += mergeD
+		en.pool.met.Histogram("trimlab_coord_merge_seconds", obs.TimeBuckets).Observe(mergeD.Seconds())
 
 		rec := RoundRecord{
 			Round:           r,
@@ -894,14 +1101,14 @@ func (en *engine) stampFocus(d *wire.Directive, anchor float64) {
 // after a flush, fan a fresh shard-local generate, or fan a coordinator-fed
 // summarize built by the game. pct is round r's threshold percentile — the
 // focus anchor of round 1 only (later rounds anchor on lastPct).
-func (en *engine) phase1(r int, pct float64, pend **pending) ([]*wire.Report, map[int]arrival.Spec, float64, error) {
+func (en *engine) phase1(r int, pct float64, pend **pending) ([]*wire.Report, map[int]genShare, float64, error) {
 	anchor := pct
 	if en.haveLast {
 		anchor = en.lastPct
 	}
 	if p := *pend; p != nil {
 		*pend = nil
-		if p.epoch == en.pool.epoch() {
+		if p.epoch == en.pool.epoch() && p.topo == en.pool.topo {
 			// The speculation is still valid: this round's phase 1 already
 			// rode on the previous classify broadcast.
 			en.pool.setRanges(p.bounds)
@@ -934,37 +1141,48 @@ func (en *engine) phase1(r int, pct float64, pend **pending) ([]*wire.Report, ma
 }
 
 // genDirs builds the shard-local phase-1 directives for round r from a
-// drawn injection spec: one O(1) generator spec per live worker, the RNG
-// seed derived per (slot, round) — the slot is the worker's position in the
-// live set, which is what repartitions the derived streams over any
-// membership epoch. With sub-shards, worker i's slot is cut into C
-// consecutive cells of the flat (A·C)-shard seed space — slots i·C…i·C+C−1
-// — so the union of all sub-draws equals a flat W·C-shard reference draw
-// exactly (shardBounds composes: the flat split refines the per-worker
-// split on the same boundaries). anchor is the focus anchor percentile.
-// Loss ranges are NOT registered here: a speculative build must not clobber
-// the in-flight round's ranges (the caller registers them at consumption).
-func (en *engine) genDirs(r int, anchor float64, inject attack.InjectionSpec) ([]*wire.Directive, map[int]arrival.Spec, map[int][2]int) {
+// drawn injection spec: one O(1) generator spec per live slot, the RNG
+// seeds derived per (leaf cell, round). The flat seed space has one cell
+// per (leaf, sub-shard), L·C cells in all, cut on shardBounds — so the
+// union of all draws equals a flat L·C-shard reference draw exactly
+// (shardBounds composes: the flat split refines every coarser split on the
+// same boundaries). A flat fleet is the L = live-worker-count special case
+// and produces byte-identical v6 directives; an aggregator slot fronting l
+// leaves receives its l·C consecutive cells as Gen.Subs and splits them
+// positionally among its children, leaf workers receiving exactly C (and
+// plain single-cell directives when C = 1). anchor is the focus anchor
+// percentile. Loss ranges are NOT registered here: a speculative build must
+// not clobber the in-flight round's ranges (the caller registers them at
+// consumption).
+func (en *engine) genDirs(r int, anchor float64, inject attack.InjectionSpec) ([]*wire.Directive, map[int]genShare, map[int][][2]int) {
 	alive := en.pool.alive()
 	subs := en.subShards
 	if subs < 1 {
 		subs = 1
 	}
-	flat := genSpecs(en.batch, en.poison, inject, en.game.jitter(), len(alive)*subs)
-	dirs := make([]*wire.Directive, len(alive))
-	byWorker := make(map[int]arrival.Spec, len(alive))
-	bounds := make(map[int][2]int, len(alive))
+	leafCount := make([]int, len(alive))
+	leavesTotal := 0
 	for i, w := range alive {
-		agg := flat[i*subs]
-		gen := arrival.SpecToWire(en.gen.seed(i*subs, r), agg)
-		if subs > 1 {
-			gen.Subs = make([]wire.SubSpec, subs)
-			for c := 0; c < subs; c++ {
-				sub := flat[i*subs+c]
-				gen.Subs[c] = wire.SubSpec{Seed: en.gen.seed(i*subs+c, r), HonestN: sub.HonestN, PoisonN: sub.PoisonN}
+		leafCount[i] = en.pool.leavesOf(w)
+		leavesTotal += leafCount[i]
+	}
+	flat := genSpecs(en.batch, en.poison, inject, en.game.jitter(), leavesTotal*subs)
+	dirs := make([]*wire.Directive, len(alive))
+	byWorker := make(map[int]genShare, len(alive))
+	bounds := make(map[int][][2]int, len(alive))
+	off := 0 // leaf offset of slot i in the flat leaf order
+	for i, w := range alive {
+		l := leafCount[i]
+		cells := flat[off*subs : (off+l)*subs]
+		agg := cells[0]
+		gen := arrival.SpecToWire(en.gen.seed(off*subs, r), agg)
+		if len(cells) > 1 {
+			gen.Subs = make([]wire.SubSpec, len(cells))
+			for c := range cells {
+				gen.Subs[c] = wire.SubSpec{Seed: en.gen.seed((off*subs)+c, r), HonestN: cells[c].HonestN, PoisonN: cells[c].PoisonN}
 				if c > 0 {
-					agg.HonestN += sub.HonestN
-					agg.PoisonN += sub.PoisonN
+					agg.HonestN += cells[c].HonestN
+					agg.PoisonN += cells[c].PoisonN
 				}
 			}
 			gen.HonestN, gen.PoisonN = agg.HonestN, agg.PoisonN
@@ -972,19 +1190,55 @@ func (en *engine) genDirs(r int, anchor float64, inject attack.InjectionSpec) ([
 		dirs[i] = &wire.Directive{Op: en.game.genOp(), Round: r, Gen: gen}
 		en.game.decorate(dirs[i])
 		en.stampFocus(dirs[i], anchor)
-		byWorker[w] = agg
-		lo, hi := shardBounds(en.batch, len(alive), i)
-		bounds[w] = [2]int{lo, hi}
+		byWorker[w] = genShare{spec: agg, cells: cells}
+		bs := make([][2]int, l)
+		for j := 0; j < l; j++ {
+			lo, hi := shardBounds(en.batch, leavesTotal, off+j)
+			bs[j] = [2]int{lo, hi}
+		}
+		bounds[w] = bs
+		off += l
 	}
 	return dirs, byWorker, bounds
 }
 
 // generate fans a standalone shard-local phase 1 out for round r.
-func (en *engine) generate(r int, anchor float64, inject attack.InjectionSpec) ([]*wire.Report, map[int]arrival.Spec, error) {
+func (en *engine) generate(r int, anchor float64, inject attack.InjectionSpec) ([]*wire.Report, map[int]genShare, error) {
 	dirs, byWorker, bounds := en.genDirs(r, anchor, inject)
 	en.pool.setRanges(bounds)
 	reps, err := en.pool.callAll(r, "generate", dirs)
 	return reps, byWorker, err
+}
+
+// growFleet extends the fleet by k brand-new slots at a round boundary
+// (the elastic-fleet epoch boundary, DESIGN.md §13): the transport appends
+// the slots, the membership opens them under a new epoch — flushing any
+// speculated round built over the old width — and each new slot runs the
+// standard admission handshake before round r's fan-out. A slot that fails
+// admission is dropped like any other loss; the survivors serve from round
+// r, which therefore repartitions the derived seed space exactly as a game
+// started at the wider width would.
+func (en *engine) growFleet(r, k int) error {
+	g, ok := en.pool.tr.(cluster.Grower)
+	if !ok {
+		return fmt.Errorf("collect: transport %T cannot grow", en.pool.tr)
+	}
+	if err := g.Grow(k); err != nil {
+		return err
+	}
+	base := en.pool.ms.Slots()
+	if err := en.pool.ms.Grow(k, r); err != nil {
+		return err
+	}
+	epoch := en.pool.epoch()
+	for s := base; s < base+k; s++ {
+		if err := en.pool.admit(r, s, epoch); err != nil {
+			en.pool.drop(r, "grow", s, err)
+		}
+	}
+	en.pool.log.Logf("collect: round %d: fleet grown by %d to %d slots (epoch %d)", r, k, en.pool.ms.Slots(), epoch)
+	en.pool.met.Gauge("trimlab_tree_leaves").Set(float64(en.pool.totalLeaves()))
+	return nil
 }
 
 // classifyRound fans round r's threshold broadcast out. When the pipeline
@@ -1010,9 +1264,10 @@ func (en *engine) classifyRound(r int, pct, threshold float64, pend **pending) (
 			dirs[i].FocusWidth = gdirs[i].FocusWidth
 			dirs[i].FocusTighten = gdirs[i].FocusTighten
 		}
-		// The epoch stamp is taken before the call: a worker lost during the
-		// combined broadcast bumps it and invalidates the speculation.
-		next = &pending{inject: inject, byWorker: byWorker, bounds: bounds, epoch: en.pool.epoch()}
+		// The epoch and topology stamps are taken before the call: a worker
+		// (or subtree leaf) lost during the combined broadcast bumps one of
+		// them and invalidates the speculation.
+		next = &pending{inject: inject, byWorker: byWorker, bounds: bounds, epoch: en.pool.epoch(), topo: en.pool.topo}
 		phase = "classify+generate"
 	}
 	reps, err := en.pool.callAll(r, phase, dirs)

@@ -86,10 +86,11 @@ func (c Config) now() func() time.Time {
 // EventKind tags a membership event.
 type EventKind byte
 
-// The two membership events.
+// The membership events.
 const (
 	EventDrop  EventKind = 1 // a slot left the live set
 	EventAdmit EventKind = 2 // a slot (re-)entered the live set
+	EventGrow  EventKind = 3 // a brand-new slot extended the slot space (elastic fleet)
 )
 
 // String names the kind.
@@ -99,6 +100,8 @@ func (k EventKind) String() string {
 		return "drop"
 	case EventAdmit:
 		return "admit"
+	case EventGrow:
+		return "grow"
 	}
 	return "unknown"
 }

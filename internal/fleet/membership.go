@@ -106,6 +106,27 @@ func (m *Membership) Admit(slot, round int) error {
 	return nil
 }
 
+// Grow extends the slot space by k brand-new live slots appended at the
+// tail (the elastic-fleet epoch boundary). Existing slots keep their ids —
+// and therefore their derived per-slot seed streams — so growth only opens
+// new streams; round is the first round the new slots serve. The epoch
+// bumps once per grow, which is what flushes a pipelined round speculated
+// over the old width.
+func (m *Membership) Grow(k, round int) error {
+	if k <= 0 {
+		return fmt.Errorf("fleet: grow by %d slots", k)
+	}
+	m.epoch++
+	for i := 0; i < k; i++ {
+		s := m.n + i
+		m.alive = append(m.alive, s)
+		m.live = append(m.live, true)
+		m.events = append(m.events, Event{Kind: EventGrow, Epoch: m.epoch, Round: round, Worker: s})
+	}
+	m.n += k
+	return nil
+}
+
 // Events returns the membership change log in order. The slice is shared;
 // callers must not mutate it.
 func (m *Membership) Events() []Event { return m.events }
@@ -137,6 +158,13 @@ func WholeSinceLog(n int, events []Event) int {
 			delete(down, ev.Worker)
 			if len(down) == 0 {
 				// The admission that restored wholeness serves from ev.Round.
+				since = ev.Round
+			}
+		case EventGrow:
+			// A new slot serves from ev.Round, so the (wider) fleet has only
+			// been whole in its current shape from there; if slots are down,
+			// the admission that restores wholeness will re-stamp since.
+			if len(down) == 0 {
 				since = ev.Round
 			}
 		}

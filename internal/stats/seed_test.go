@@ -99,6 +99,51 @@ func TestDeriveSeedRepartitionStableAndDisjoint(t *testing.T) {
 	}
 }
 
+// The elastic-fleet extension of the repartition property (DESIGN.md §13):
+// under an arbitrary grow/shrink schedule — the slot width changing round
+// to round as slots are opened, lost, and re-admitted — every live slot
+// still draws exactly the stream the (master, slot, round) cell always had,
+// and no two cells touched anywhere in the schedule overlap. Growth only
+// opens new streams and churn never moves an existing one, which is what
+// lets a grown run match the wider flat reference from the grow round on.
+func TestDeriveSeedGrowShrinkScheduleStableAndDisjoint(t *testing.T) {
+	const prefix = 8
+	// Slot widths per round: grow 4→6→8, shrink to 5 (losses), regrow to 8.
+	schedule := []int{4, 4, 6, 6, 8, 5, 5, 8, 8, 8}
+	for _, master := range []int64{7, 1 << 33} {
+		type cell struct{ slot, round int }
+		draw := func(c cell) [prefix]float64 {
+			var draws [prefix]float64
+			rng := NewShardRand(master, c.slot, c.round)
+			for i := range draws {
+				draws[i] = rng.Float64()
+			}
+			return draws
+		}
+		// Reference streams for the widest slot space, recorded up front.
+		want := make(map[cell][prefix]float64)
+		for r := 1; r <= len(schedule); r++ {
+			for s := 0; s < 8; s++ {
+				want[cell{s, r}] = draw(cell{s, r})
+			}
+		}
+		seen := make(map[[prefix]float64]cell)
+		for r := 1; r <= len(schedule); r++ {
+			for s := 0; s < schedule[r-1]; s++ {
+				c := cell{s, r}
+				got := draw(c)
+				if got != want[c] {
+					t.Fatalf("master %d: slot %d round %d stream moved under the schedule", master, s, r)
+				}
+				if prev, dup := seen[got]; dup {
+					t.Fatalf("master %d: stream collision between %+v and %+v", master, prev, c)
+				}
+				seen[got] = c
+			}
+		}
+	}
+}
+
 func TestNewShardRandStreamsDecorrelated(t *testing.T) {
 	// Neighbouring cells must not produce shifted copies of one stream.
 	a := NewShardRand(1, 0, 1)

@@ -1,0 +1,91 @@
+package summary
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// entriesEqual reports bit-exact equality of two summaries' entry lists —
+// the equality the aggregator tier (internal/agg) depends on.
+func entriesEqual(a, b *Summary) bool {
+	ae, be := a.Entries(), b.Entries()
+	if len(ae) != len(be) {
+		return false
+	}
+	for i := range ae {
+		if ae[i] != be[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// The aggregator tier regroups the coordinator's flat left-fold of worker
+// summaries into an arbitrary merge tree, and the record-for-record
+// invariants of DESIGN.md §13 rest on that regrouping being bit-exact: for
+// unit-weight streams every rank bound is an integer-valued float far below
+// 2^53, Merge only ever adds rank bounds of disjoint streams, and float64
+// addition of such integers is exact in any grouping. This test locks the
+// property — merging k per-shard summaries left-to-right, right-to-left,
+// pairwise bottom-up and in fan-in-f groups must produce identical entries.
+func TestMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for _, tc := range streamCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			const shards = 16
+			parts := make([]*Summary, shards)
+			for i := range parts {
+				parts[i] = FromUnsorted(tc.gen(rng, 200+rng.Intn(100)))
+			}
+			clone := func() []*Summary {
+				out := make([]*Summary, len(parts))
+				for i, p := range parts {
+					out[i] = p.Clone()
+				}
+				return out
+			}
+
+			// Reference: the coordinator's flat left fold.
+			flat := clone()
+			ref := flat[0]
+			for _, p := range flat[1:] {
+				ref.Merge(p)
+			}
+
+			// Right-to-left fold.
+			rtl := clone()
+			acc := rtl[len(rtl)-1]
+			for i := len(rtl) - 2; i >= 0; i-- {
+				rtl[i].Merge(acc)
+				acc = rtl[i]
+			}
+			if !entriesEqual(ref, acc) {
+				t.Error("right-to-left fold diverged from the flat left fold")
+			}
+
+			// Fan-in-f trees: merge consecutive groups of f, level by level —
+			// exactly what a height-h aggregator tier does.
+			for _, fanin := range []int{2, 3, 4, 8} {
+				cur := clone()
+				for len(cur) > 1 {
+					var next []*Summary
+					for lo := 0; lo < len(cur); lo += fanin {
+						hi := lo + fanin
+						if hi > len(cur) {
+							hi = len(cur)
+						}
+						g := cur[lo]
+						for _, p := range cur[lo+1 : hi] {
+							g.Merge(p)
+						}
+						next = append(next, g)
+					}
+					cur = next
+				}
+				if !entriesEqual(ref, cur[0]) {
+					t.Errorf("fan-in-%d tree merge diverged from the flat left fold", fanin)
+				}
+			}
+		})
+	}
+}

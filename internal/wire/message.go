@@ -41,9 +41,10 @@ const (
 	OpHello            Op = 10 // admission handshake: report Configured, mutate nothing
 	OpJoin             Op = 11 // membership grant: serve shard slots from Epoch on
 	OpClassifyGenerate Op = 12 // classify round Round, then generate round Round+1 from Gen
+	OpTreeInfo         Op = 13 // topology probe: report subtree Leaves/Height, mutate nothing
 )
 
-func (o Op) valid() bool { return o >= OpConfigure && o <= OpClassifyGenerate }
+func (o Op) valid() bool { return o >= OpConfigure && o <= OpTreeInfo }
 
 // Counts are one shard's classification tallies for a round — the partial
 // RoundRecord the coordinator reduces across shards.
@@ -171,6 +172,31 @@ type Report struct {
 	// ingress; coordinator egress stays O(1) per worker.
 	KeptRows   [][]float64
 	KeptLabels []int
+
+	// Aggregator tier (DESIGN.md §13). A report forwarded by an aggregator
+	// stands for a whole subtree of worker slots:
+	//
+	//   - Leaves is the live leaf-worker count behind this report (a plain
+	//     worker reports 1; decoders treat 0 as 1 for compatibility with
+	//     replies that never set it, e.g. Stop).
+	//   - Height is the merge-graph height above the leaves (worker: 0).
+	//   - LostLeaves lists leaf offsets — relative to the leaf order this
+	//     directive's fan-out covered — whose shards were lost mid-call
+	//     (a dead child subtree, or a grandchild loss remapped upward).
+	//   - Vecs are the concatenated per-leaf accepted-row vector deltas in
+	//     leaf order. Aggregators concatenate rather than merge so the
+	//     coordinator absorbs exactly one delta per leaf, in leaf order —
+	//     Stream.AbsorbCounted compresses per absorbed delta, so only
+	//     per-leaf absorption keeps the robust center bit-identical to the
+	//     flat run. (Vec stays the single-worker field.)
+	//   - MergeNanos[l] is the merge wall-clock at tree level l+1 (leaf-most
+	//     aggregator level first): each aggregator folds its children's
+	//     lists element-wise by max and appends its own merge time.
+	Leaves     int
+	Height     int
+	LostLeaves []int
+	Vecs       []*VectorDelta
+	MergeNanos []int64
 }
 
 // EncodeReport serializes a shard report, appending to buf.
@@ -211,6 +237,17 @@ func EncodeReport(buf []byte, rep *Report) []byte {
 		buf = appendU32(buf, 0)
 	} else {
 		buf = appendVectorDelta(buf, rep.Vec)
+	}
+	buf = appendU32(buf, uint32(rep.Leaves))
+	buf = appendU32(buf, uint32(rep.Height))
+	buf = appendIntList(buf, rep.LostLeaves)
+	buf = appendU32(buf, uint32(len(rep.Vecs)))
+	for _, d := range rep.Vecs {
+		buf = appendVectorDelta(buf, d)
+	}
+	buf = appendU32(buf, uint32(len(rep.MergeNanos)))
+	for _, n := range rep.MergeNanos {
+		buf = appendU64(buf, uint64(n))
 	}
 	return buf
 }
@@ -271,6 +308,26 @@ func DecodeReport(buf []byte) (*Report, error) {
 	rep.KeptLabels = readIntList(r, "kept label")
 	if rep.Vec, err = readVectorBlock(r); err != nil {
 		return nil, err
+	}
+	rep.Leaves = int(r.u32("leaves"))
+	rep.Height = int(r.u32("height"))
+	rep.LostLeaves = readIntList(r, "lost leaf")
+	if nVecs := r.count("leaf vectors", 16); nVecs > 0 {
+		rep.Vecs = make([]*VectorDelta, nVecs)
+		for i := range rep.Vecs {
+			if rep.Vecs[i], err = readVectorBlock(r); err != nil {
+				return nil, err
+			}
+			if rep.Vecs[i] == nil {
+				return nil, fmt.Errorf("wire: empty leaf vector delta %d of %d", i, nVecs)
+			}
+		}
+	}
+	if nMerge := r.count("merge nanos", 8); nMerge > 0 {
+		rep.MergeNanos = make([]int64, nMerge)
+		for i := range rep.MergeNanos {
+			rep.MergeNanos[i] = int64(r.u64("merge nanos"))
+		}
 	}
 	if err := r.finish(); err != nil {
 		return nil, err
@@ -340,6 +397,13 @@ type Directive struct {
 
 	// Generate/GenerateRows: the shard-local generation recipe.
 	Gen *GenSpec
+
+	// Cuts are the per-leaf dataset boundaries of a Scale directive sent to
+	// an aggregator subtree: leaf i of the subtree scales [Cuts[i], Cuts[i+1])
+	// (so len(Cuts) = leaves+1, Lo = Cuts[0], Hi = Cuts[len-1]). The
+	// aggregator slices Cuts positionally among its children; a plain worker
+	// directive omits it and uses Lo/Hi. Nil everywhere else.
+	Cuts []int
 }
 
 // EncodeDirective serializes a directive, appending to buf.
@@ -389,6 +453,7 @@ func EncodeDirective(buf []byte, d *Directive) []byte {
 			buf = appendU32(buf, uint32(sub.PoisonN))
 		}
 	}
+	buf = appendIntList(buf, d.Cuts)
 	return buf
 }
 
@@ -449,6 +514,7 @@ func DecodeDirective(buf []byte) (*Directive, error) {
 		}
 		d.Gen = g
 	}
+	d.Cuts = readIntList(r, "leaf cut")
 	if err := r.finish(); err != nil {
 		return nil, err
 	}

@@ -43,15 +43,20 @@ import (
 // whose reports answer with per-sub percentile sums (Report.PctSums),
 // directives carry the trim-threshold focus window
 // (FocusPct/FocusWidth/FocusTighten) workers tighten their sketches
-// around, and snapshots fingerprint SubShards and the focus knobs.
-const Version = 6
+// around, and snapshots fingerprint SubShards and the focus knobs;
+// 7 added the aggregator tier: a TreeInfo topology probe op, per-leaf
+// dataset cuts on scale directives (Directive.Cuts), and subtree-shaped
+// report fields (Leaves/Height/LostLeaves, concatenated per-leaf vector
+// deltas in Vecs, and per-level merge timings in MergeNanos) so a report
+// can stand for a whole subtree of worker slots instead of one worker.
+const Version = 7
 
 // MinVersion is the oldest format this decoder still parses. Each version
 // so far changed the protocol contract (layout, or — v4 — an op an older
 // worker would reject mid-game), so its predecessor is retired: a
 // mixed-version cluster fails loudly at the configure fan-out instead of
 // misparsing or dying rounds later.
-const MinVersion = 6
+const MinVersion = 7
 
 const (
 	magic0 = 'T'

@@ -173,6 +173,14 @@ func TestReportRoundTrip(t *testing.T) {
 			Sum: randomSummary(t, rng, "uniform", 128, 16), Count: 128, ValueSum: 64.25,
 			PctSum: 5.5, PctSums: []float64{1.25, 1.75, 2.5},
 		},
+		{ // v7: aggregated subtree reply with losses and per-level merge timings
+			Round: 13, Worker: 0, Epsilon: 0.01,
+			Sum: randomSummary(t, rng, "heavy", 256, 16), Count: 256, ValueSum: 19.5,
+			PctSum: 2.5, PctSums: []float64{0.5, 0.75, 1.25},
+			Leaves: 3, Height: 2, LostLeaves: []int{1, 3},
+			Vecs:       []*VectorDelta{DeltaFromVector(vec), DeltaFromVector(vec)},
+			MergeNanos: []int64{40_000, 125_000},
+		},
 	}
 	for i, rep := range reps {
 		got, err := DecodeReport(EncodeReport(nil, rep))
@@ -241,6 +249,11 @@ func TestDirectiveRoundTrip(t *testing.T) {
 		{ // v5: traced round fan-out
 			Op: OpClassify, Round: 8, Epoch: 2, Pct: 0.95, Threshold: 2.5,
 			Trace: 0xbf58476d1ce4e5b9,
+		},
+		{Op: OpTreeInfo}, // v7: topology probe
+		{ // v7: scale over an aggregator subtree carries per-leaf cuts
+			Op: OpScale, Round: 6, Center: []float64{0.1, 0.2}, Lo: 0, Hi: 40,
+			Cuts: []int{0, 10, 20, 30, 40},
 		},
 		{ // v6: sub-sharded generate with the adaptive-ε focus window
 			Op: OpClassifyGenerate, Round: 9, Pct: 0.9, Threshold: 1.75,

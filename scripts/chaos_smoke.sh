@@ -12,6 +12,15 @@
 # mid-game and restarted with `-resume`; it must finish from its latest
 # checkpoint and match the reference record for record.
 #
+# Scenario C — mid-tree aggregator kill + re-join (DESIGN.md §13): eight
+# TCP workers sit behind two `trimlab aggregator` processes and the
+# coordinator talks only to the aggregators. One aggregator is killed -9
+# mid-game — the coordinator must charge all four of that subtree's leaves
+# as per-leaf shard losses — and a fresh aggregator re-spawned with
+# `-rejoin` on the old address (re-dialling the still-running workers)
+# must be re-admitted at a round boundary, after which `-local` verifies
+# the post-recovery records against the flat 8-shard reference.
+#
 # COORD_FLAGS adds extra coordinator flags to every run — CI runs the
 # whole script a second time with COORD_FLAGS=-pipeline so the overlapped
 # round schedule survives the same kill -9 chaos (speculation must flush at
@@ -141,5 +150,63 @@ grep -q "board matches the single-process shard-local reference record for recor
   exit 1
 }
 grep -E "resuming|matches" "$WORKDIR/coordB2.log"
+pkill -P $$ 2>/dev/null || true
+sleep 0.3
+
+echo "== scenario C: mid-tree aggregator kill + re-join =="
+AGG_PORT0="${AGG_PORT0:-7404}"
+AGG_PORT1="${AGG_PORT1:-7405}"
+LEAF_BASE="${LEAF_BASE:-7411}"
+KIDS0="" KIDS1=""
+for i in $(seq 0 7); do
+  "$TRIMLAB" worker -listen "127.0.0.1:$((LEAF_BASE + i))" -id "$i" >"$WORKDIR/leaf$i.log" 2>&1 &
+  if [ "$i" -lt 4 ]; then
+    KIDS0="$KIDS0${KIDS0:+,}127.0.0.1:$((LEAF_BASE + i))"
+  else
+    KIDS1="$KIDS1${KIDS1:+,}127.0.0.1:$((LEAF_BASE + i))"
+  fi
+done
+"$TRIMLAB" aggregator -listen "127.0.0.1:$AGG_PORT0" -id 0 -children "$KIDS0" >"$WORKDIR/agg0.log" 2>&1 &
+"$TRIMLAB" aggregator -listen "127.0.0.1:$AGG_PORT1" -id 1 -children "$KIDS1" >"$WORKDIR/agg1.log" 2>&1 &
+AGG1_PID=$!
+"$TRIMLAB" coordinator -workers "127.0.0.1:$AGG_PORT0,127.0.0.1:$AGG_PORT1" \
+  -local -rejoin -heartbeat 100ms -rounds "$ROUNDS" -batch "$BATCH" -seed "$SEED" $COORD_FLAGS \
+  >"$WORKDIR/coordC.log" 2>&1 &
+COORD_PID=$!
+sleep 1.5
+kill -9 "$AGG1_PID"
+sleep 0.5
+# The subtree's workers survived the dead aggregator; the re-spawned one
+# re-dials them and re-joins the game on the old address.
+"$TRIMLAB" aggregator -listen "127.0.0.1:$AGG_PORT1" -id 1 -children "$KIDS1" -rejoin \
+  >"$WORKDIR/agg1b.log" 2>&1 &
+if ! wait "$COORD_PID"; then
+  echo "FAIL: coordinator exited non-zero after the aggregator kill/re-join" >&2
+  cat "$WORKDIR/coordC.log" >&2
+  exit 1
+fi
+grep -q "merge topology: 8 leaves behind 2 slots, height 1" "$WORKDIR/coordC.log" || {
+  echo "FAIL: coordinator never reported the 8-leaf/2-slot tree topology" >&2
+  cat "$WORKDIR/coordC.log" >&2
+  exit 1
+}
+# Killing one aggregator loses its whole 4-leaf subtree, charged per leaf.
+LOSSES="$(grep -c "shard loss: round" "$WORKDIR/coordC.log" || true)"
+if [ "$LOSSES" -lt 4 ]; then
+  echo "FAIL: expected >=4 per-leaf shard losses from the dead subtree, saw $LOSSES" >&2
+  cat "$WORKDIR/coordC.log" >&2
+  exit 1
+fi
+grep -q "re-joined" "$WORKDIR/coordC.log" || {
+  echo "FAIL: the re-spawned aggregator never re-joined" >&2
+  cat "$WORKDIR/coordC.log" >&2
+  exit 1
+}
+grep -q "match the shard-local reference record for record: OK" "$WORKDIR/coordC.log" || {
+  echo "FAIL: post-recovery records not verified against the flat reference" >&2
+  cat "$WORKDIR/coordC.log" >&2
+  exit 1
+}
+grep -E "merge topology|re-joined|shard loss: round 2|records" "$WORKDIR/coordC.log"
 
 echo "chaos smoke: OK"
