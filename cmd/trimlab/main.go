@@ -5,8 +5,8 @@
 // Usage:
 //
 //	trimlab -experiment fig4 [-scale quick|bench|paper] [-points N] [-seed S]
-//	trimlab worker -listen :7101 [-seed S] [-rejoin]
-//	trimlab aggregator -listen :7201 -children host1:7101,host2:7101 [-rejoin] [-compress B]
+//	trimlab worker -listen :7101 [-seed S] [-rejoin] [-spill-dir D]
+//	trimlab aggregator -listen :7201 -children host1:7101,host2:7101 [-rejoin] [-compress B] [-obs-addr :9301]
 //	trimlab coordinator -workers host1:7101,host2:7101 [-seed S] [-local] [-pipeline] [-rounds N] [-batch N]
 //	    [-subshards C] [-focus-tighten T] [-focus-width W]
 //	    [-heartbeat D] [-hb-timeout D] [-rejoin] [-checkpoint-dir DIR] [-checkpoint-every K] [-resume]
@@ -38,6 +38,13 @@
 // restarts a killed coordinator from the latest snapshot — both re-join and
 // resume reproduce the uninterrupted shard-local reference record for
 // record outside the degraded window, which -local verifies.
+//
+// In the row game the kept rows live on the workers (DESIGN.md §14): the
+// coordinator sees only per-coordinate center deltas and per-leaf pool
+// totals each round. `trimlab worker -spill-dir D` backs that pool with
+// segment files under D so it survives a kill — a re-spawned
+// `-rejoin -spill-dir D` worker recovers it, and a coordinator -resume
+// rolls every pool back to the snapshot's manifest before replaying.
 //
 // Every mode takes the same -seed flag (default 1, must be ≥ 1): the
 // experiment mode uses it as the base RNG seed (repetition seeds are
@@ -82,6 +89,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/game"
 	"repro/internal/obs"
+	"repro/internal/rowstore"
 	"repro/internal/stats"
 	"repro/internal/wire"
 )
@@ -335,10 +343,11 @@ func validateSeed(s int64) error {
 func workerMain(args []string) error {
 	fs := flag.NewFlagSet("worker", flag.ExitOnError)
 	var (
-		listen = fs.String("listen", ":7101", "address to serve the worker RPC on")
-		id     = fs.Int("id", 0, "worker id for log lines (shard order is set by the coordinator's -workers list)")
-		rejoin = fs.Bool("rejoin", false, "accept a mid-game re-join (re-spawned replacement for a lost worker)")
-		seed   = seedFlag(fs)
+		listen   = fs.String("listen", ":7101", "address to serve the worker RPC on")
+		id       = fs.Int("id", 0, "worker id for log lines (shard order is set by the coordinator's -workers list)")
+		rejoin   = fs.Bool("rejoin", false, "accept a mid-game re-join (re-spawned replacement for a lost worker)")
+		spillDir = fs.String("spill-dir", "", "directory for the file-backed kept-row pool (row game): kept rows spill to segment files instead of memory and survive a kill — pair with -rejoin so the re-spawned worker recovers its pool and the coordinator's -resume can roll it back")
+		seed     = seedFlag(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -351,6 +360,13 @@ func workerMain(args []string) error {
 	if *rejoin {
 		w.AllowRejoin()
 		mode = ", re-join enabled"
+	}
+	if *spillDir != "" {
+		dir := *spillDir
+		w.SetPoolOpener(func() (rowstore.Pool, error) {
+			return rowstore.OpenSpill(dir, rowstore.SpillConfig{})
+		})
+		mode += fmt.Sprintf(", kept rows spill to %s", dir)
 	}
 	fmt.Printf("trimlab worker %d: serving on %s (seeds are derived by the coordinator; -seed is accepted for launch symmetry%s)\n", *id, *listen, mode)
 	if err := cluster.ListenAndServe(*listen, w); err != nil {
@@ -374,6 +390,7 @@ func aggregatorMain(args []string) error {
 		wait     = fs.Duration("wait", 10*time.Second, "how long to retry dialing children")
 		rejoin   = fs.Bool("rejoin", false, "accept a mid-game re-join (re-spawned replacement for a lost aggregator over the same children)")
 		compress = fs.Int("compress", 0, "recompression budget b: forward merged sketches of at most b+1 entries, adding at most 1/b rank error per level (0 = lossless; pair with the coordinator's -eps set to the per-level split)")
+		obsAddr  = fs.String("obs-addr", "", "serve the node's observability endpoint on this address while it runs: /metrics (Prometheus text), /debug/pprof/")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -399,6 +416,16 @@ func aggregatorMain(args []string) error {
 	if *compress > 0 {
 		node.SetCompress(*compress)
 		mode += fmt.Sprintf(", recompressing to ≤ %d entries", *compress+1)
+	}
+	if *obsAddr != "" {
+		met := obs.NewRegistry()
+		node.SetMetrics(met)
+		ep, err := obs.Serve(*obsAddr, met, nil)
+		if err != nil {
+			return fmt.Errorf("aggregator: -obs-addr: %w", err)
+		}
+		defer ep.Close()
+		fmt.Printf("trimlab aggregator %d: observability on http://%s/ (/metrics, /debug/pprof/)\n", *id, ep.Addr)
 	}
 	fmt.Printf("trimlab aggregator %d: serving %d leaves on %s%s\n", *id, node.Leaves(), *listen, mode)
 	if err := cluster.ListenAndServe(*listen, node); err != nil {

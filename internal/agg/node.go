@@ -118,6 +118,11 @@ type Node struct {
 	rejoin          bool
 	helloConfigured bool
 
+	// met, when set, receives the node's live counters (directives
+	// handled, merge time, children lost) for the `trimlab aggregator
+	// -obs-addr` endpoint; nil-safe like every obs handle.
+	met *obs.Registry
+
 	stopOnce sync.Once
 	done     chan struct{}
 }
@@ -178,6 +183,14 @@ func (n *Node) SetCompress(b int) {
 	n.compress = b
 }
 
+// SetMetrics attaches a live metrics registry (nil detaches) — the
+// counters `trimlab aggregator -obs-addr` serves over /metrics.
+func (n *Node) SetMetrics(met *obs.Registry) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.met = met
+}
+
 // Done is closed once the node has handled OpStop.
 func (n *Node) Done() <-chan struct{} { return n.done }
 
@@ -233,7 +246,7 @@ func (n *Node) Handle(req []byte) ([]byte, error) {
 		}
 	case wire.OpConfigure, wire.OpStop, wire.OpHeartbeat, wire.OpTreeInfo,
 		wire.OpScale, wire.OpGenerate, wire.OpGenerateRows, wire.OpClassify,
-		wire.OpClassifyGenerate:
+		wire.OpClassifyGenerate, wire.OpFetchRows, wire.OpPoolTrim:
 		// No node-side pre-check before the fan-out.
 	}
 
@@ -256,7 +269,7 @@ func (n *Node) Handle(req []byte) ([]byte, error) {
 		n.stopOnce.Do(func() { close(n.done) })
 	case wire.OpHello, wire.OpHeartbeat, wire.OpTreeInfo, wire.OpSummarize,
 		wire.OpSummarizeRows, wire.OpScale, wire.OpGenerate, wire.OpGenerateRows,
-		wire.OpClassify, wire.OpClassifyGenerate:
+		wire.OpClassify, wire.OpClassifyGenerate, wire.OpFetchRows, wire.OpPoolTrim:
 		// No node-side state transition after the fan-out.
 	}
 	// The subtree is configured only when the node itself has seen a
@@ -269,8 +282,9 @@ func (n *Node) Handle(req []byte) ([]byte, error) {
 // split builds the per-child request list (aligned with n.children; dead
 // children get nil). Broadcast ops forward the raw request bytes — a leaf
 // worker then receives exactly the bytes a flat coordinator would have sent
-// it. Generate-family ops slice the directive's sub-shard cells, and Scale
-// its per-leaf cuts, positionally by child leaf counts.
+// it. Generate-family ops slice the directive's sub-shard cells, Scale and
+// PoolTrim their per-leaf cuts, positionally by child leaf counts; a
+// FetchRows routes to the one child owning the addressed leaf.
 func (n *Node) split(d *wire.Directive, raw []byte) ([][]byte, error) {
 	reqs := make([][]byte, len(n.children))
 	switch d.Op {
@@ -278,6 +292,10 @@ func (n *Node) split(d *wire.Directive, raw []byte) ([][]byte, error) {
 		return n.splitGen(d, raw)
 	case wire.OpScale:
 		return n.splitScale(d, raw)
+	case wire.OpFetchRows:
+		return n.splitFetch(d)
+	case wire.OpPoolTrim:
+		return n.splitTrim(d)
 	default:
 		for i := range n.children {
 			if n.live[i] {
@@ -286,6 +304,50 @@ func (n *Node) split(d *wire.Directive, raw []byte) ([][]byte, error) {
 		}
 		return reqs, nil
 	}
+}
+
+// splitFetch routes a kept-row page request to the single child owning the
+// addressed leaf, rebasing Leaf into the child subtree's leaf order. The
+// reply's page passes through fanout's concatenation untouched — exactly
+// one child replies, so the node never accumulates pool contents.
+func (n *Node) splitFetch(d *wire.Directive) ([][]byte, error) {
+	reqs := make([][]byte, len(n.children))
+	off := 0
+	for i := range n.children {
+		if !n.live[i] {
+			continue
+		}
+		if d.Leaf < off+n.leaves[i] {
+			cd := *d
+			cd.Leaf = d.Leaf - off
+			reqs[i] = wire.EncodeDirective(nil, &cd)
+			return reqs, nil
+		}
+		off += n.leaves[i]
+	}
+	return nil, fmt.Errorf("agg: node %d: fetch-rows leaf %d beyond %d live leaves", n.id, d.Leaf, off)
+}
+
+// splitTrim slices the per-leaf pool row targets (Cuts, len = leaves)
+// positionally by child leaf counts, like splitScale without the shared
+// boundary element.
+func (n *Node) splitTrim(d *wire.Directive) ([][]byte, error) {
+	reqs := make([][]byte, len(n.children))
+	total := n.totalLeaves()
+	if len(d.Cuts) != total {
+		return nil, fmt.Errorf("agg: node %d: %d pool-trim targets for %d leaves", n.id, len(d.Cuts), total)
+	}
+	off := 0
+	for i := range n.children {
+		if !n.live[i] {
+			continue
+		}
+		cd := *d
+		cd.Cuts = d.Cuts[off : off+n.leaves[i]]
+		off += n.leaves[i]
+		reqs[i] = wire.EncodeDirective(nil, &cd)
+	}
+	return reqs, nil
 }
 
 // splitGen slices Gen.Subs — the flat per-(leaf, sub-shard) cell list of
@@ -315,13 +377,15 @@ func (n *Node) splitGen(d *wire.Directive, raw []byte) ([][]byte, error) {
 		return nil, fmt.Errorf("agg: node %d: %d generator cells do not divide over %d leaves", n.id, len(d.Gen.Subs), total)
 	}
 	per := len(d.Gen.Subs) / total
+	if len(d.ScaleCenter) > 0 && len(d.Cuts) != total+1 {
+		return nil, fmt.Errorf("agg: node %d: %d piggybacked scale cuts for %d leaves", n.id, len(d.Cuts), total)
+	}
 	off := 0
 	for i := range n.children {
 		if !n.live[i] {
 			continue
 		}
 		cells := d.Gen.Subs[off*per : (off+n.leaves[i])*per]
-		off += n.leaves[i]
 		cd := *d
 		g := *d.Gen
 		g.Seed = cells[0].Seed
@@ -336,7 +400,20 @@ func (n *Node) splitGen(d *wire.Directive, raw []byte) ([][]byte, error) {
 			g.Subs = nil
 		}
 		cd.Gen = &g
-		cd.Cuts = nil
+		if len(d.ScaleCenter) > 0 {
+			// A piggybacked scale request rides the combined directive: its
+			// per-leaf dataset cuts split exactly like a standalone Scale.
+			seg := d.Cuts[off : off+n.leaves[i]+1]
+			cd.Lo, cd.Hi = seg[0], seg[len(seg)-1]
+			if n.leaves[i] > 1 {
+				cd.Cuts = seg
+			} else {
+				cd.Cuts = nil
+			}
+		} else {
+			cd.Cuts = nil
+		}
+		off += n.leaves[i]
 		reqs[i] = wire.EncodeDirective(nil, &cd)
 	}
 	return reqs, nil
@@ -431,6 +508,7 @@ func (n *Node) fanout(d *wire.Directive, reqs [][]byte) (*wire.Report, error) {
 			// in this fan-out and drop it from all later rounds.
 			n.live[i] = false
 			n.leaves[i] = 0
+			n.met.Counter("trimlab_agg_children_lost_total").Inc()
 			for l := 0; l < pre; l++ {
 				out.LostLeaves = append(out.LostLeaves, off+l)
 			}
@@ -464,6 +542,9 @@ func (n *Node) fanout(d *wire.Directive, reqs [][]byte) (*wire.Report, error) {
 	if d.Op == wire.OpScale && out.Count == 0 {
 		out.ScaleMin, out.ScaleMax = 0, 0 // all ranges empty; match a fresh report
 	}
+	if out.ScaleSum != nil && out.ScaleSum.TotalWeight() == 0 {
+		out.ScaleMin, out.ScaleMax = 0, 0
+	}
 	if n.compress > 0 {
 		if out.Sum != nil {
 			out.Sum.Compress(n.compress)
@@ -471,11 +552,17 @@ func (n *Node) fanout(d *wire.Directive, reqs [][]byte) (*wire.Report, error) {
 		if out.Kept != nil {
 			out.Kept.Compress(n.compress)
 		}
+		if out.ScaleSum != nil {
+			out.ScaleSum.Compress(n.compress)
+		}
 	}
 	out.Leaves = n.totalLeaves()
 	out.Height = maxHeight + 1
 	out.Configured = confAll
-	out.MergeNanos = append(mergeNanos, obs.Since(start).Nanoseconds())
+	own := obs.Since(start).Nanoseconds()
+	out.MergeNanos = append(mergeNanos, own)
+	n.met.Counter("trimlab_agg_directives_total").Inc()
+	n.met.Counter("trimlab_agg_merge_nanos_total").Add(own)
 	return out, nil
 }
 
@@ -513,6 +600,24 @@ func (n *Node) mergeChild(d *wire.Directive, out, rep *wire.Report, genOp bool) 
 			out.ScaleMax = rep.ScaleMax
 		}
 	}
+	// Piggybacked scale summaries of a ClassifyGenerate reply fold like a
+	// standalone Scale's Sum/extrema, on their own fields (Sum carries the
+	// speculated round's arrival summary).
+	if rep.ScaleSum != nil {
+		if out.ScaleSum == nil {
+			out.ScaleSum = &summary.Summary{}
+			out.ScaleMin, out.ScaleMax = math.Inf(1), math.Inf(-1)
+		}
+		out.ScaleSum.Merge(rep.ScaleSum)
+		if rep.ScaleSum.TotalWeight() > 0 {
+			if rep.ScaleMin < out.ScaleMin {
+				out.ScaleMin = rep.ScaleMin
+			}
+			if rep.ScaleMax > out.ScaleMax {
+				out.ScaleMax = rep.ScaleMax
+			}
+		}
+	}
 	out.Counts.HonestKept += rep.Counts.HonestKept
 	out.Counts.HonestTrimmed += rep.Counts.HonestTrimmed
 	out.Counts.PoisonKept += rep.Counts.PoisonKept
@@ -525,8 +630,13 @@ func (n *Node) mergeChild(d *wire.Directive, out, rep *wire.Report, genOp bool) 
 		}
 		out.Kept.Merge(rep.Kept)
 	}
+	// KeptRows/KeptLabels only ever arrive on a FetchRows reply (wire v8),
+	// whose fan-out reaches exactly one child — the page passes through
+	// without the node accumulating pool contents. PoolRows concatenate in
+	// leaf order like the other per-leaf sequences.
 	out.KeptRows = append(out.KeptRows, rep.KeptRows...)
 	out.KeptLabels = append(out.KeptLabels, rep.KeptLabels...)
+	out.PoolRows = append(out.PoolRows, rep.PoolRows...)
 	if len(rep.Vecs) > 0 {
 		out.Vecs = append(out.Vecs, rep.Vecs...)
 	} else if rep.Vec != nil {

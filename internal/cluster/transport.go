@@ -57,6 +57,7 @@ type Reviver interface {
 // single-machine fan-out used by `trimlab -experiment distributed`.
 type Loopback struct {
 	workers []*Worker
+	prep    func(*Worker)
 
 	mu     sync.Mutex
 	failed map[int]bool
@@ -64,11 +65,29 @@ type Loopback struct {
 
 // NewLoopback returns a loopback transport over n fresh workers.
 func NewLoopback(n int) *Loopback {
-	l := &Loopback{workers: make([]*Worker, n), failed: make(map[int]bool)}
+	return NewLoopbackPrepared(n, nil)
+}
+
+// NewLoopbackPrepared is NewLoopback with a per-worker preparation hook,
+// applied to every worker the transport ever constructs — the initial n
+// and any later Respawn/Grow replacement. Row-game resume tests use it to
+// attach spill-backed kept-row pools (Worker.SetPoolOpener), so a
+// respawned in-process worker recovers its pool exactly like a re-spawned
+// `trimlab worker -spill-dir` process would.
+func NewLoopbackPrepared(n int, prep func(*Worker)) *Loopback {
+	l := &Loopback{workers: make([]*Worker, n), prep: prep, failed: make(map[int]bool)}
 	for i := range l.workers {
-		l.workers[i] = NewWorker(i)
+		l.workers[i] = l.newWorker(i)
 	}
 	return l
+}
+
+func (l *Loopback) newWorker(i int) *Worker {
+	w := NewWorker(i)
+	if l.prep != nil {
+		l.prep(w)
+	}
+	return w
 }
 
 // Workers returns the worker count.
@@ -97,7 +116,7 @@ func (l *Loopback) Respawn(worker int) {
 	if worker < 0 || worker >= len(l.workers) {
 		return
 	}
-	w := NewWorker(worker)
+	w := l.newWorker(worker)
 	w.AllowRejoin()
 	l.workers[worker] = w
 	delete(l.failed, worker)
@@ -127,7 +146,7 @@ func (l *Loopback) Grow(k int) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	for i := 0; i < k; i++ {
-		w := NewWorker(len(l.workers))
+		w := l.newWorker(len(l.workers))
 		w.AllowRejoin()
 		l.workers = append(l.workers, w)
 	}

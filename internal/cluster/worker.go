@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/arrival"
 	"repro/internal/obs"
+	"repro/internal/rowstore"
 	"repro/internal/stats"
 	"repro/internal/stats/summary"
 	"repro/internal/wire"
@@ -67,6 +68,18 @@ type Worker struct {
 	catGen    *arrival.Categorical
 	rowGen    *arrival.Rows
 
+	// Kept-row pool (shard-local row game, DESIGN.md §14): classify
+	// appends this worker's kept rows here instead of shipping them, and
+	// OpFetchRows pages them out at game end. Created at the row-game
+	// configure — via poolOpen when set (`trimlab worker -spill-dir`
+	// installs a file-backed spill pool that survives process restarts),
+	// in-memory otherwise. Deliberately NOT reset by a re-configure: a
+	// re-admitted worker's pool still holds the rows it kept before the
+	// partition, and a re-spawned spill-backed worker recovers its pool
+	// from disk — the property row-game resume rides on.
+	pool     rowstore.Pool
+	poolOpen func() (rowstore.Pool, error)
+
 	// Round state, valid between a Summarize/Generate and its Classify.
 	// held is the authoritative "a summarize happened" flag — an empty
 	// shard slice decodes to a nil dists, so nil-ness cannot stand in for
@@ -104,6 +117,10 @@ func NewWorker(id int) *Worker {
 	return &Worker{id: id, done: make(chan struct{})}
 }
 
+// ID returns the worker's slot index — loopback preparation hooks use it
+// to key per-worker resources such as spill directories.
+func (w *Worker) ID() int { return w.id }
+
 // AllowRejoin permits this worker to accept a mid-game membership grant
 // (OpJoin with a non-zero epoch) — the re-spawned replacement mode behind
 // `trimlab worker -rejoin`. Without it a fresh worker can only join a game
@@ -113,6 +130,16 @@ func (w *Worker) AllowRejoin() {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.rejoin = true
+}
+
+// SetPoolOpener installs the kept-row pool factory the next row-game
+// configure uses (nil — the default — selects an in-memory pool). `trimlab
+// worker -spill-dir` passes a rowstore.OpenSpill closure so the pool is
+// file-backed and survives a kill/re-spawn.
+func (w *Worker) SetPoolOpener(open func() (rowstore.Pool, error)) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.poolOpen = open
 }
 
 // Done is closed when the worker has handled OpStop — the signal for a
@@ -215,15 +242,48 @@ func (w *Worker) Handle(req []byte) ([]byte, error) {
 		}
 		next := *d
 		next.Round = d.Round + 1
-		if err := w.generate(&next, rep); err != nil {
+		if w.rowGen != nil {
+			if err := w.generateRows(&next, rep); err != nil {
+				return nil, err
+			}
+		} else if err := w.generate(&next, rep); err != nil {
 			return nil, err
+		}
+		if len(d.ScaleCenter) > 0 {
+			// Piggybacked clean-scale request for round d.Round+2: the
+			// distances of the dataset range from a center one round staler
+			// than the speculated generation's, returned in the scale-only
+			// fields so the reply carries all three phases at once.
+			start := obs.Now()
+			sum, min, max, err := w.scaleSummarize(d.ScaleCenter, d.Lo, d.Hi)
+			if err != nil {
+				return nil, err
+			}
+			rep.ScaleSum = sum.Snapshot()
+			rep.ScaleMin = min
+			rep.ScaleMax = max
+			rep.SummarizeNanos += obs.Since(start).Nanoseconds()
 		}
 
 	case wire.OpTreeInfo:
 		// Topology probe: a plain worker is a subtree of one leaf, height 0.
 		rep.Leaves = 1
 
+	case wire.OpFetchRows:
+		if err := w.fetchRows(d, rep); err != nil {
+			return nil, err
+		}
+
+	case wire.OpPoolTrim:
+		if err := w.poolTrim(d, rep); err != nil {
+			return nil, err
+		}
+
 	case wire.OpStop:
+		if w.pool != nil {
+			w.pool.Close()
+			w.pool = nil
+		}
 		w.stopOnce.Do(func() { close(w.done) })
 
 	default:
@@ -263,6 +323,19 @@ func (w *Worker) configure(d *wire.Directive) error {
 		w.rowGen = &arrival.Rows{
 			X: d.Rows, Y: d.Labels,
 			Clusters: d.Clusters, PoisonLabel: d.PoisonLabel,
+		}
+		// Ensure the kept-row pool exists (see the field doc for why an
+		// existing pool survives a re-configure).
+		if w.pool == nil {
+			if w.poolOpen != nil {
+				pool, err := w.poolOpen()
+				if err != nil {
+					return fmt.Errorf("cluster: worker %d: %w", w.id, err)
+				}
+				w.pool = pool
+			} else {
+				w.pool = rowstore.NewMem()
+			}
 		}
 	case len(d.Pool) > 0 || len(d.RefSorted) > 0:
 		if len(d.Pool) == 0 || len(d.RefSorted) == 0 {
@@ -579,21 +652,40 @@ func (w *Worker) generateRowsSubs(d *wire.Directive, rep *wire.Report, agg arriv
 // clean-scale pass. It does not touch the held round state: scale runs as
 // its own phase before generation.
 func (w *Worker) scale(d *wire.Directive, rep *wire.Report) error {
-	if w.rowGen == nil {
-		return fmt.Errorf("cluster: worker %d: scale without a configured dataset", w.id)
+	start := obs.Now()
+	sum, min, max, err := w.scaleSummarize(d.Center, d.Lo, d.Hi)
+	if err != nil {
+		return err
 	}
-	if len(d.Center) == 0 {
-		return fmt.Errorf("cluster: worker %d: scale without a center", w.id)
+	rep.Epsilon = sum.Epsilon()
+	rep.Sum = sum.Snapshot()
+	rep.Count = sum.Count()
+	rep.ValueSum = sum.Sum()
+	rep.ScaleMin = min
+	rep.ScaleMax = max
+	rep.SummarizeNanos += obs.Since(start).Nanoseconds()
+	return nil
+}
+
+// scaleSummarize computes the dataset-distance summary shared by the
+// standalone Scale op and the ScaleCenter piggyback of a ClassifyGenerate
+// directive: Euclidean distances of dataset rows [lo, hi) from center,
+// summarized, with their exact extrema.
+func (w *Worker) scaleSummarize(center []float64, lo, hi int) (*summary.Stream, float64, float64, error) {
+	if w.rowGen == nil {
+		return nil, 0, 0, fmt.Errorf("cluster: worker %d: scale without a configured dataset", w.id)
+	}
+	if len(center) == 0 {
+		return nil, 0, 0, fmt.Errorf("cluster: worker %d: scale without a center", w.id)
 	}
 	n := len(w.rowGen.X)
-	if d.Lo < 0 || d.Hi < d.Lo || d.Hi > n {
-		return fmt.Errorf("cluster: worker %d: scale range [%d, %d) outside dataset of %d", w.id, d.Lo, d.Hi, n)
+	if lo < 0 || hi < lo || hi > n {
+		return nil, 0, 0, fmt.Errorf("cluster: worker %d: scale range [%d, %d) outside dataset of %d", w.id, lo, hi, n)
 	}
-	start := obs.Now()
 	// Distance computation is embarrassingly parallel (each slot writes its
 	// own index); the stream ingest stays sequential via one PushBatch so
 	// the sketch is independent of the chunking.
-	rows := w.rowGen.X[d.Lo:d.Hi]
+	rows := w.rowGen.X[lo:hi]
 	dists := make([]float64, len(rows))
 	par := runtime.GOMAXPROCS(0)
 	if par > len(rows) {
@@ -605,28 +697,28 @@ func (w *Worker) scale(d *wire.Directive, rep *wire.Report) error {
 	errs := make([]error, par)
 	var wg sync.WaitGroup
 	for k := 0; k < par; k++ {
-		lo, hi := len(rows)*k/par, len(rows)*(k+1)/par
+		clo, chi := len(rows)*k/par, len(rows)*(k+1)/par
 		wg.Add(1)
-		go func(k, lo, hi int) {
+		go func(k, clo, chi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				if len(rows[i]) != len(d.Center) {
-					errs[k] = fmt.Errorf("cluster: worker %d: dataset row dim %d, center dim %d", w.id, len(rows[i]), len(d.Center))
+			for i := clo; i < chi; i++ {
+				if len(rows[i]) != len(center) {
+					errs[k] = fmt.Errorf("cluster: worker %d: dataset row dim %d, center dim %d", w.id, len(rows[i]), len(center))
 					return
 				}
-				dists[i] = stats.Euclidean(rows[i], d.Center)
+				dists[i] = stats.Euclidean(rows[i], center)
 			}
-		}(k, lo, hi)
+		}(k, clo, chi)
 	}
 	wg.Wait()
 	for _, e := range errs {
 		if e != nil {
-			return e
+			return nil, 0, 0, e
 		}
 	}
 	sum, err := summary.New(w.eps, len(dists))
 	if err != nil {
-		return fmt.Errorf("cluster: worker %d: %w", w.id, err)
+		return nil, 0, 0, fmt.Errorf("cluster: worker %d: %w", w.id, err)
 	}
 	sum.PushBatch(dists)
 	min, max := math.Inf(1), math.Inf(-1)
@@ -638,14 +730,7 @@ func (w *Worker) scale(d *wire.Directive, rep *wire.Report) error {
 			max = dist
 		}
 	}
-	rep.Epsilon = sum.Epsilon()
-	rep.Sum = sum.Snapshot()
-	rep.Count = sum.Count()
-	rep.ValueSum = sum.Sum()
-	rep.ScaleMin = min
-	rep.ScaleMax = max
-	rep.SummarizeNanos += obs.Since(start).Nanoseconds()
-	return nil
+	return sum, min, max, nil
 }
 
 // summarize builds the shard's summary of the held values through the
@@ -673,8 +758,10 @@ func (w *Worker) summarize(d *wire.Directive, rep *wire.Report) error {
 // kept-pool deltas: a kept-value summary (plus exact count/sum) always,
 // and for the row game the accepted-row vector delta plus either the kept
 // row indices (coordinator-fed rounds — the coordinator holds the rows) or
-// the kept rows and labels themselves (shard-local rounds — only the
-// worker ever held them).
+// — shard-local rounds, where only the worker ever held the rows — an
+// append of the kept rows to the worker's own pool, with just the pool
+// total reported (wire v8: rows never travel per round; OpFetchRows pages
+// them out at game end).
 func (w *Worker) classify(threshold float64, rep *wire.Report) error {
 	start := obs.Now()
 	kept, err := summary.New(w.eps, len(w.dists))
@@ -687,6 +774,8 @@ func (w *Worker) classify(threshold float64, rep *wire.Report) error {
 			return fmt.Errorf("cluster: worker %d: %w", w.id, err)
 		}
 	}
+	var keptRows [][]float64
+	var keptLabels []int
 	si := 0
 	for i, v := range w.dists {
 		keep := v <= threshold
@@ -713,14 +802,26 @@ func (w *Worker) classify(threshold float64, rep *wire.Report) error {
 				return fmt.Errorf("cluster: worker %d: %w", w.id, err)
 			}
 			if w.localRows {
-				rep.KeptRows = append(rep.KeptRows, w.rows[i])
+				keptRows = append(keptRows, w.rows[i])
 				if w.labels != nil {
-					rep.KeptLabels = append(rep.KeptLabels, w.labels[i])
+					keptLabels = append(keptLabels, w.labels[i])
 				}
 			} else {
 				rep.KeptIdx = append(rep.KeptIdx, i)
 			}
 		}
+	}
+	if w.localRows {
+		if w.pool == nil {
+			return fmt.Errorf("cluster: worker %d: shard-local classify without a kept-row pool", w.id)
+		}
+		if w.labels == nil {
+			keptLabels = nil
+		}
+		if err := w.pool.Append(keptRows, keptLabels); err != nil {
+			return fmt.Errorf("cluster: worker %d: %w", w.id, err)
+		}
+		rep.PoolRows = []int{w.pool.Len()}
 	}
 	rep.Epsilon = kept.Epsilon()
 	rep.Kept = kept.Snapshot()
@@ -728,5 +829,52 @@ func (w *Worker) classify(threshold float64, rep *wire.Report) error {
 	rep.KeptSum = kept.Sum()
 	rep.Vec = wire.DeltaFromVector(vec)
 	rep.ClassifyNanos += obs.Since(start).Nanoseconds()
+	return nil
+}
+
+// fetchRows pages the kept-row pool: the reply carries rows [Lo, Hi) in
+// append order plus the pool total, so the coordinator can stream the
+// collected data page by page at game end without ever holding more than
+// one page. A plain worker is its own single leaf — Leaf must be 0
+// (aggregators rebase while routing).
+func (w *Worker) fetchRows(d *wire.Directive, rep *wire.Report) error {
+	if d.Leaf != 0 {
+		return fmt.Errorf("cluster: worker %d: fetch-rows leaf %d of a single-leaf worker", w.id, d.Leaf)
+	}
+	if w.pool == nil {
+		return fmt.Errorf("cluster: worker %d: fetch-rows without a kept-row pool", w.id)
+	}
+	rows, labels, err := w.pool.Page(d.Lo, d.Hi)
+	if err != nil {
+		return fmt.Errorf("cluster: worker %d: %w", w.id, err)
+	}
+	rep.KeptRows = rows
+	rep.KeptLabels = labels
+	rep.PoolRows = []int{w.pool.Len()}
+	rep.Leaves = 1
+	return nil
+}
+
+// poolTrim rolls the kept-row pool back to the directive's row target
+// (Cuts[0]; aggregators slice Cuts per leaf) — resume's rollback of rows
+// appended after the snapshot being restored. The reply reports the
+// resulting total; a pool that cannot reach the target (an in-memory pool
+// in a freshly spawned process) reports short and the coordinator rejects
+// the resume, so the check lives where the fingerprint checks live.
+func (w *Worker) poolTrim(d *wire.Directive, rep *wire.Report) error {
+	target := d.Lo
+	if len(d.Cuts) > 0 {
+		target = d.Cuts[0]
+	}
+	if w.pool == nil {
+		rep.PoolRows = []int{0}
+		rep.Leaves = 1
+		return nil
+	}
+	if err := w.pool.Truncate(target); err != nil {
+		return fmt.Errorf("cluster: worker %d: %w", w.id, err)
+	}
+	rep.PoolRows = []int{w.pool.Len()}
+	rep.Leaves = 1
 	return nil
 }

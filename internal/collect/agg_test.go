@@ -146,7 +146,7 @@ func TestAggTreeEqualsFlatRows(t *testing.T) {
 		t.Fatal(err)
 	}
 	treed, err := RunClusterRows(RowClusterConfig{
-		RowConfig: mk(), Transport: tr, Gen: gen,
+		RowConfig: mk(), Transport: tr, Gen: gen, CollectKept: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -162,6 +162,50 @@ func TestAggTreeEqualsFlatRows(t *testing.T) {
 	}
 	if treed.KeptPoison != reference.KeptPoison {
 		t.Errorf("kept poison %d, flat reference %d", treed.KeptPoison, reference.KeptPoison)
+	}
+}
+
+// The one-RTT pipelined row schedule through the tier: combined directives
+// carry a piggybacked clean-scale request whose per-leaf dataset cuts
+// aggregators split positionally (exactly like a standalone Scale), and the
+// piggybacked summaries merge up the tree in child order with the same
+// compression as a standalone pass — so the pipelined tree run reproduces
+// the unpipelined LateCenter tree run record for record, kept row for kept
+// row.
+func TestAggTreePipelinedRowsEqualsUnpipelined(t *testing.T) {
+	mk := func() RowConfig {
+		d := dataset.VehicleN(stats.NewRand(209), 400)
+		adv, err := attack.NewPoint("p", 0.99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return RowConfig{
+			Rounds: 6, Batch: 120, AttackRatio: 0.2,
+			Data: d, Collector: mustStatic(t, 0.9), Adversary: adv,
+			PoisonLabel: -1,
+		}
+	}
+	const leaves = 8
+	gen := &ShardGen{MasterSeed: 210}
+	run := func(pipeline bool) *RowResult {
+		tr, err := agg.NewTree(leaves, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunClusterRows(RowClusterConfig{
+			RowConfig: mk(), Transport: tr, Gen: gen,
+			LateCenter: true, Pipeline: pipeline, CollectKept: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(false)
+	piped := run(true)
+	assertSameRowResult(t, "tree pipelined vs unpipelined late-center", plain, piped)
+	if len(plain.Kept.X) == 0 {
+		t.Fatal("late-center tree run kept no rows")
 	}
 }
 

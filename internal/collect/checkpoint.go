@@ -62,6 +62,13 @@ func restoreScalarSnapshot(snap *wire.Snapshot, res *Result, pool *workerPool) (
 		return 0, fmt.Errorf("collect: resume kept stream: %w", err)
 	}
 	res.Board = Board{Records: snapToRecords(snap.Records)}
+	restorePoolHistory(snap, pool)
+	return snap.NextRound, nil
+}
+
+// restorePoolHistory loads the game-independent pool bookkeeping — loss and
+// membership history and the egress account — from a snapshot.
+func restorePoolHistory(snap *wire.Snapshot, pool *workerPool) {
 	pool.losses = snapToLosses(snap.Losses)
 	pool.priorEvents = snapToEvents(snap.Events)
 	// Slots that were down when the snapshot was cut were implicitly
@@ -90,6 +97,74 @@ func restoreScalarSnapshot(snap *wire.Snapshot, res *Result, pool *workerPool) (
 	}
 	pool.egress += snap.Egress
 	pool.egressConfig += snap.EgressConfig
+}
+
+// rowsSnapshot captures the row game's coordinator state after round r was
+// posted. Unlike the scalar game there is no raw data here at all: the
+// accepted-pool state is the O(dim/ε) per-coordinate summary vector plus the
+// one-round-delayed center, and the kept rows themselves stay worker-side —
+// the snapshot carries only their per-leaf manifest, which resume verifies
+// against the live pools (OpPoolTrim). Coordinator snapshot size is flat in
+// the total number of kept rows.
+func rowsSnapshot(cfg *RowClusterConfig, res *RowResult, pool *workerPool, g *rowsGame, baselineQ float64, r int) *wire.Snapshot {
+	ft, fw := focusParams(cfg.FocusTighten, cfg.FocusWidth)
+	return &wire.Snapshot{
+		Game:         wire.SnapRows,
+		Seed:         cfg.Gen.MasterSeed,
+		Rounds:       cfg.Rounds,
+		Batch:        cfg.Batch,
+		Ratio:        cfg.AttackRatio,
+		Epsilon:      cfg.SummaryEpsilon,
+		Workers:      cfg.Transport.Workers(),
+		SubShards:    cfg.subShards(),
+		FocusTighten: ft,
+		FocusWidth:   fw,
+		NextRound:    r + 1,
+		Epoch:        len(pool.fleetLog()),
+		BaselineQ:    baselineQ,
+		Records:      recordsToSnap(res.Board.Records),
+		Losses:       lossesToSnap(pool.losses),
+		Events:       eventsToSnap(pool.fleetLog()),
+		Egress:       pool.egress,
+		EgressConfig: pool.egressConfig,
+		LateCenter:   cfg.LateCenter,
+		KeptPoison:   res.KeptPoison,
+		VecState:     g.acceptedVec.States(),
+		PrevCenter:   append([]float64(nil), g.prevCenter...),
+		Prev2Center:  append([]float64(nil), g.prev2Center...),
+		PoolRows:     g.flatPoolRows(pool),
+	}
+}
+
+// restoreRowsSnapshot loads a row-game snapshot into a fresh result, pool
+// and game, returning the round to resume at. The accepted-pool vector is
+// rebuilt from its full per-coordinate states and the current center
+// re-derived from it (Medians is a pure function of the absorbed deltas, so
+// the resumed center matches the uninterrupted run bit for bit); the delay
+// line's trailing center comes from the snapshot. The worker pools
+// themselves are rolled back separately (rowsGame.restorePools) once the
+// membership is live.
+func restoreRowsSnapshot(snap *wire.Snapshot, res *RowResult, pool *workerPool, g *rowsGame) (startRound int, err error) {
+	vec, err := summary.VectorFromState(snap.VecState)
+	if err != nil {
+		return 0, fmt.Errorf("collect: resume accepted vector: %w", err)
+	}
+	if vec.Dim() != g.dim {
+		return 0, fmt.Errorf("collect: snapshot accepted vector has %d coordinates, dataset has %d", vec.Dim(), g.dim)
+	}
+	if len(snap.PrevCenter) != g.dim {
+		return 0, fmt.Errorf("collect: snapshot trailing center has %d coordinates, dataset has %d", len(snap.PrevCenter), g.dim)
+	}
+	if len(snap.Prev2Center) != g.dim {
+		return 0, fmt.Errorf("collect: snapshot third-tap center has %d coordinates, dataset has %d", len(snap.Prev2Center), g.dim)
+	}
+	g.acceptedVec = vec
+	g.curCenter = vec.Medians(nil)
+	g.prevCenter = append([]float64(nil), snap.PrevCenter...)
+	g.prev2Center = append([]float64(nil), snap.Prev2Center...)
+	res.KeptPoison = snap.KeptPoison
+	res.Board = Board{Records: snapToRecords(snap.Records)}
+	restorePoolHistory(snap, pool)
 	return snap.NextRound, nil
 }
 

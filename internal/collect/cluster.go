@@ -258,11 +258,14 @@ func (g *scalarGame) confDirective() wire.Directive {
 	return conf
 }
 
-func (g *scalarGame) preRound(*engine, int) error { return nil }
-func (g *scalarGame) genOp() wire.Op              { return wire.OpGenerate }
-func (g *scalarGame) jitter() float64             { return g.jscale }
-func (g *scalarGame) decorate(*wire.Directive)    {}
-func (g *scalarGame) speculative() bool           { return true }
+func (g *scalarGame) preRound(*engine, int) error      { return nil }
+func (g *scalarGame) preSpec(*engine, int, bool) error { return nil }
+func (g *scalarGame) genOp() wire.Op                   { return wire.OpGenerate }
+func (g *scalarGame) jitter() float64                  { return g.jscale }
+func (g *scalarGame) decorate(*wire.Directive)         {}
+func (g *scalarGame) speculative() bool                { return true }
+
+func (g *scalarGame) specAttach(*engine, int, []*wire.Directive) {}
 
 func (g *scalarGame) feed(en *engine, r int) ([]*wire.Directive, float64, error) {
 	inject := g.cfg.Adversary.Injection(r, g.res.Board.adversaryView())
@@ -289,19 +292,11 @@ func (g *scalarGame) quality(merged *summary.Summary) float64 {
 }
 
 // foldClassify absorbs the kept-pool deltas (exact counts/sums ride along,
-// so the Kept estimators stay exact). KeepValues is rebuilt only from the
-// slices of workers that answered, so a lost shard's values are
-// consistently missing from tallies, Kept and KeptValues alike.
+// so the Kept estimators stay exact). Only workers that answered
+// contribute, so a lost shard's values are consistently missing from
+// tallies and Kept alike.
 func (g *scalarGame) foldClassify(_ *engine, _ int, rec *RoundRecord, rep *wire.Report) error {
 	g.res.Kept.AbsorbCounted(rep.Kept, rep.KeptCount, rep.KeptSum)
-	if g.cfg.KeepValues {
-		b := g.bounds[rep.Worker]
-		for _, v := range g.values[b[0]:b[1]] {
-			if v <= rec.ThresholdValue {
-				g.res.KeptValues = append(g.res.KeptValues, v)
-			}
-		}
-	}
 	return nil
 }
 

@@ -205,14 +205,12 @@ func TestRunClusterEmptyShards(t *testing.T) {
 	}
 }
 
-// After a shard loss, the deprecated KeptValues buffer must stay
-// consistent with the Kept stream and the tallies: the lost slice is
-// missing from all three.
+// After a shard loss, the Kept stream must stay consistent with the
+// tallies: the lost slice is missing from both.
 func TestRunClusterWorkerLossKeptConsistency(t *testing.T) {
 	lb := cluster.NewLoopback(4)
 	cfg := ClusterConfig{Config: baseConfig(t, 45), Transport: lb}
 	cfg.TrimOnBatch = true
-	cfg.KeepValues = true
 	rounds := 0
 	cfg.OnRound = func(RoundRecord) {
 		rounds++
@@ -230,9 +228,6 @@ func TestRunClusterWorkerLossKeptConsistency(t *testing.T) {
 	var tallied int
 	for _, rec := range res.Board.Records {
 		tallied += rec.HonestKept + rec.PoisonKept
-	}
-	if len(res.KeptValues) != tallied {
-		t.Errorf("KeptValues %d, tallies say %d", len(res.KeptValues), tallied)
 	}
 	if res.Kept.Count() != tallied {
 		t.Errorf("Kept stream count %d, tallies say %d", res.Kept.Count(), tallied)
@@ -294,57 +289,67 @@ func TestRunClusterOverTCP(t *testing.T) {
 	}
 }
 
-// Kept-pool estimators: the summary-driven mean must match the buffered
-// pool exactly (exact running sums) and the quantiles within the ε budget.
-func TestKeptEstimatorsMatchBufferedPool(t *testing.T) {
+// Kept-pool estimators: every engine plays the same game over the same
+// stream, so the Kept counts must match the tallies exactly and the
+// summary-driven mean/quantiles must agree across engines (exact running
+// sums for the mean; the ε budget plus merge slack for quantiles).
+func TestKeptEstimatorsAgreeAcrossEngines(t *testing.T) {
 	cfg := baseConfig(t, 37)
 	cfg.TrimOnBatch = true
-	cfg.KeepValues = true
-	for name, run := range map[string]func() (*Result, error){
-		"run":     func() (*Result, error) { return Run(cfg) },
-		"sharded": func() (*Result, error) { return RunSharded(ShardedConfig{Config: cfg, Shards: 3}) },
-		"cluster": func() (*Result, error) {
+	engines := []struct {
+		name string
+		run  func() (*Result, error)
+	}{
+		{"run", func() (*Result, error) { return Run(cfg) }},
+		{"sharded", func() (*Result, error) { return RunSharded(ShardedConfig{Config: cfg, Shards: 3}) }},
+		{"cluster", func() (*Result, error) {
 			return RunCluster(ClusterConfig{Config: cfg, Transport: cluster.NewLoopback(3)})
-		},
-	} {
+		}},
+	}
+	var ref *Result
+	for _, en := range engines {
 		cfg.Rng = stats.NewRand(38) // fresh but identical stream per engine
-		res, err := run()
+		res, err := en.run()
 		if err != nil {
-			t.Fatalf("%s: %v", name, err)
+			t.Fatalf("%s: %v", en.name, err)
 		}
 		if res.Kept == nil {
-			t.Fatalf("%s: no kept summary", name)
+			t.Fatalf("%s: no kept summary", en.name)
 		}
-		if got, want := res.Kept.Count(), len(res.KeptValues); got != want {
-			t.Errorf("%s: kept count %d, buffered %d", name, got, want)
+		var tallied int
+		for _, rec := range res.Board.Records {
+			tallied += rec.HonestKept + rec.PoisonKept
 		}
-		var sum float64
-		for _, v := range res.KeptValues {
-			sum += v
+		if res.Kept.Count() != tallied {
+			t.Errorf("%s: kept count %d, tallies %d", en.name, res.Kept.Count(), tallied)
 		}
-		exactMean := sum / float64(len(res.KeptValues))
-		if math.Abs(res.KeptMean()-exactMean) > 1e-9*math.Abs(exactMean) {
-			t.Errorf("%s: KeptMean %v, exact %v", name, res.KeptMean(), exactMean)
+		if ref == nil {
+			ref = res
+			continue
 		}
-		sorted := sortedCopy(res.KeptValues)
+		if got, want := res.Kept.Count(), ref.Kept.Count(); got != want {
+			t.Errorf("%s: kept count %d, reference engine %d", en.name, got, want)
+		}
+		if got, want := res.KeptMean(), ref.KeptMean(); math.Abs(got-want) > 1e-9*math.Abs(want) {
+			t.Errorf("%s: KeptMean %v, reference engine %v", en.name, got, want)
+		}
 		for _, q := range []float64{0.1, 0.5, 0.9} {
-			got := res.KeptQuantile(q)
-			// Rank-space agreement within the budget plus slack.
-			r := stats.PercentileRankSorted(sorted, got)
-			if math.Abs(r-q) > 0.05 {
-				t.Errorf("%s: KeptQuantile(%v) = %v sits at rank %v of the buffered pool", name, q, got, r)
+			got, want := res.KeptQuantile(q), ref.KeptQuantile(q)
+			// Each sketch answers within ε of the true rank; two sketches
+			// of the same pool can differ by at most the summed budgets.
+			if lo, hi := ref.KeptQuantile(q-2*cfg.SummaryEpsilon-0.02), ref.KeptQuantile(q+2*cfg.SummaryEpsilon+0.02); got < lo || got > hi {
+				t.Errorf("%s: KeptQuantile(%v) = %v outside reference band [%v, %v] around %v", en.name, q, got, lo, hi, want)
 			}
 		}
 	}
 }
 
-// The exact-mode fallback: with summaries disabled the estimators resolve
-// from the deprecated buffer.
-func TestKeptEstimatorsExactFallback(t *testing.T) {
+// Exact mode carries no Kept stream, so the summary-driven estimators
+// must signal that with NaN rather than inventing a value.
+func TestKeptEstimatorsExactModeNaN(t *testing.T) {
 	cfg := baseConfig(t, 39)
 	cfg.TrimOnBatch = true
 	cfg.ExactQuantiles = true
-	cfg.KeepValues = true
 	res, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -352,8 +357,8 @@ func TestKeptEstimatorsExactFallback(t *testing.T) {
 	if res.Kept != nil {
 		t.Fatal("exact mode built a kept summary")
 	}
-	if math.IsNaN(res.KeptMean()) || math.IsNaN(res.KeptQuantile(0.5)) {
-		t.Fatal("fallback estimators returned NaN with a non-empty buffer")
+	if !math.IsNaN(res.KeptMean()) || !math.IsNaN(res.KeptQuantile(0.5)) {
+		t.Fatal("estimators must return NaN without a Kept stream")
 	}
 }
 

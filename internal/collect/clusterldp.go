@@ -144,11 +144,14 @@ func (g *ldpGame) confDirective() wire.Directive {
 	return conf
 }
 
-func (g *ldpGame) preRound(*engine, int) error { return nil }
-func (g *ldpGame) genOp() wire.Op              { return wire.OpGenerate }
-func (g *ldpGame) jitter() float64             { return 0 }
-func (g *ldpGame) decorate(*wire.Directive)    {}
-func (g *ldpGame) speculative() bool           { return true }
+func (g *ldpGame) preRound(*engine, int) error      { return nil }
+func (g *ldpGame) preSpec(*engine, int, bool) error { return nil }
+func (g *ldpGame) genOp() wire.Op                   { return wire.OpGenerate }
+func (g *ldpGame) jitter() float64                  { return 0 }
+func (g *ldpGame) decorate(*wire.Directive)         {}
+func (g *ldpGame) speculative() bool                { return true }
+
+func (g *ldpGame) specAttach(*engine, int, []*wire.Directive) {}
 
 func (g *ldpGame) feed(en *engine, r int) ([]*wire.Directive, float64, error) {
 	cfg := g.cfg

@@ -21,17 +21,24 @@ import (
 // and the round loop; workers hold a copy of the dataset (shipped once at
 // configure), run the per-round clean-scale pass over their dataset ranges,
 // summarize arrival distances, classify against the broadcast threshold,
-// and ship back counts, kept rows (or kept-row indices) and the
-// per-coordinate summary.Vector delta of the rows they accepted. The
-// coordinator's robust center is maintained purely by absorbing those
-// mergeable vector deltas — it never recomputes a median from raw accepted
-// rows, which is what lets the accepted pool live on the workers at scale.
+// and ship back counts and the per-coordinate summary.Vector delta of the
+// rows they accepted. The coordinator's robust center is maintained purely
+// by absorbing those mergeable vector deltas — it never recomputes a median
+// from raw accepted rows, which is what lets the accepted pool live on the
+// workers at scale.
 //
 // Generation is coordinator-fed by default (the coordinator draws arrivals
-// and ships row slices); with a Gen it is shard-local: each worker draws
-// its own rows from its derived seed stream and the per-round directive
-// shrinks to a generator spec plus the center and the merged clean-scale
-// summary — O(dim + 1/ε) per worker instead of O(batch · dim).
+// and ships row slices; workers reply with kept-row indices the coordinator
+// materializes); with a Gen it is shard-local: each worker draws its own
+// rows from its derived seed stream, the per-round directive shrinks to a
+// generator spec plus the center and the merged clean-scale summary —
+// O(dim + 1/ε) per worker instead of O(batch · dim) — and the kept rows
+// themselves never travel per round. Each worker appends them to its own
+// rowstore.Pool (in-memory, or spill-to-disk under `trimlab worker
+// -spill-dir`) and classify replies carry only the per-leaf pool totals, so
+// coordinator memory and per-round ingress stay flat in the total kept-row
+// count (DESIGN.md §14). The pools are paged out at game end (CollectKept /
+// Consume) or left worker-side entirely.
 type RowClusterConfig struct {
 	RowConfig
 
@@ -53,13 +60,48 @@ type RowClusterConfig struct {
 	FocusTighten int
 	FocusWidth   float64
 
-	// Pipeline is accepted for interface symmetry with ClusterConfig and
-	// validated the same way (requires a Gen), but the row game cannot
-	// overlap rounds: round r+1's generation needs the robust center
-	// refreshed from round r's accepted-row deltas, so the engine's
-	// pipeline flushes every round and the schedule — like the board — is
-	// identical to the unpipelined run. See DESIGN.md §9.
+	// LateCenter generates each round against the robust center as of TWO
+	// completed rounds back (D_{r−2}) instead of one (D_{r−1}), and runs
+	// the clean-scale pass one round later still (D_{r−3}): the centers a
+	// round's arrivals resolve their percentiles against are then already
+	// fixed one full round before the previous round's classify broadcast
+	// goes out, which is what lets the row game pipeline at one fan-out per
+	// round (see Pipeline). The extra lag costs one round of center
+	// freshness per tap — bounded by the summary ε and the per-round
+	// accepted mass — and is a game-semantics change: a late-center board
+	// matches the late-center reference, not the fresh-center one. Rounds
+	// 1–2 generate and rounds 1–3 scale against the X0 seed center D_0.
+	LateCenter bool
+
+	// Pipeline enables the overlapped round schedule for the row game
+	// (DESIGN.md §9/§14). It requires LateCenter: with the centers one
+	// extra round late, round r+1's generation AND round r+2's clean-scale
+	// pass depend only on state fixed before round r's classify broadcast,
+	// so the engine piggybacks both there (wire.OpClassifyGenerate with a
+	// ScaleCenter) and a steady-state row round costs ONE fan-out instead
+	// of the unpipelined three — one round trip of latency per round. The
+	// board reproduces the unpipelined LateCenter run record for record.
 	Pipeline bool
+
+	// CollectKept materializes the worker-held kept pools into
+	// RowResult.Kept at game end, paged leaf by leaf over OpFetchRows
+	// (shard-local games only; coordinator-fed games always materialize).
+	// Off by default: the collected dataset stays worker-side and only the
+	// per-leaf manifest (RowResult.PoolRows) comes back.
+	CollectKept bool
+
+	// Consume, when non-nil, streams the worker-held kept pools at game end
+	// while the transport is still up: it is called per fetched page with
+	// the global leaf index, the page's rows and — for labeled datasets —
+	// the matching labels, leaves in merge (slot-major) order and rows in
+	// append order within a leaf. The slices must not be retained across
+	// calls. An error aborts the run. Composable with CollectKept; shard-
+	// local games only.
+	Consume func(leaf int, rows [][]float64, labels []int) error
+
+	// FetchPage bounds the rows per OpFetchRows page the game-end fetch
+	// requests; 4096 when 0.
+	FetchPage int
 
 	// Log receives shard-loss and lifecycle events; nil discards. Failure
 	// semantics match ClusterConfig: drop-and-continue, the lost shard's
@@ -76,8 +118,47 @@ type RowClusterConfig struct {
 	// re-ships the dataset). See ClusterConfig.Fleet; note the row game's
 	// robust center carries history, so a degraded window shifts later
 	// centers within the summary budget rather than replaying exactly
-	// (DESIGN.md §8).
+	// (DESIGN.md §8). A re-admitted worker's kept-row pool survives when it
+	// merely lost connectivity, and a re-spawned `trimlab worker
+	// -spill-dir` process recovers its pool from disk; a cold in-memory
+	// replacement starts with an empty pool (its kept rows are gone, like
+	// any other lost-shard data).
 	Fleet *fleet.Config
+
+	// Checkpoint, when non-nil, persists a wire-encoded Snapshot of the
+	// coordinator game state every k rounds (fleet.Checkpointer). The
+	// snapshot is O(dim/ε + rounds) — the accepted-pool vector sketch, the
+	// late-center delay line, the board, and the per-leaf pool manifest —
+	// never any rows: the kept rows stay in the worker pools, which is what
+	// keeps row-game snapshots flat in the collected-data size. Requires a
+	// ShardGen.
+	Checkpoint *fleet.Checkpointer
+
+	// Resume restarts the game from a decoded row-game checkpoint: board,
+	// accepted-pool vector, delay line, loss history and egress counters
+	// are restored bit for bit, strategies are replayed over the restored
+	// board, and every worker pool is rolled back to the snapshot's
+	// manifest (OpPoolTrim) — so the pools must have survived, i.e. the
+	// workers run spill-backed pools or kept their processes. A pool that
+	// cannot reach its manifest count fails the resume. Requires the same
+	// ShardGen the checkpointing run used.
+	Resume *wire.Snapshot
+}
+
+// fetchPage resolves the game-end fetch page size.
+func (c *RowClusterConfig) fetchPage() int {
+	if c.FetchPage <= 0 {
+		return 4096
+	}
+	return c.FetchPage
+}
+
+// subShards normalizes the sub-shard knob: 0 and 1 are the same layout.
+func (c *RowClusterConfig) subShards() int {
+	if c.SubShards < 1 {
+		return 1
+	}
+	return c.SubShards
 }
 
 func (c *RowClusterConfig) validate() error {
@@ -90,8 +171,25 @@ func (c *RowClusterConfig) validate() error {
 	if err := validatePipeline(c.Pipeline, c.Gen); err != nil {
 		return err
 	}
+	if c.Pipeline && !c.LateCenter {
+		return fmt.Errorf("collect: pipelined row rounds require LateCenter — generation can only overlap the classify broadcast against the one-round-late center (DESIGN.md §14)")
+	}
 	if err := validateScaleKnobs(c.SubShards, c.Gen, c.FocusTighten, c.FocusWidth); err != nil {
 		return err
+	}
+	if c.Gen == nil && (c.CollectKept || c.Consume != nil) {
+		return fmt.Errorf("collect: worker-held kept pools exist only under the shard-local data plane (a Gen); coordinator-fed games materialize Kept directly")
+	}
+	if c.FetchPage < 0 {
+		return fmt.Errorf("collect: fetch page = %d", c.FetchPage)
+	}
+	if (c.Checkpoint != nil || c.Resume != nil) && c.Gen == nil {
+		return fmt.Errorf("collect: checkpoint/resume requires the shard-local data plane (a ShardGen)")
+	}
+	if c.Resume != nil {
+		if err := c.validateResume(); err != nil {
+			return err
+		}
 	}
 	if c.Gen != nil {
 		if _, err := specInjector(c.Adversary); err != nil {
@@ -100,6 +198,48 @@ func (c *RowClusterConfig) validate() error {
 		return c.RowConfig.validateMode(true)
 	}
 	return c.RowConfig.validate()
+}
+
+// validateResume pins the snapshot's configuration fingerprint to this
+// config, mirroring ClusterConfig.validateResume for the row game.
+func (c *RowClusterConfig) validateResume() error {
+	s := c.Resume
+	if s.Game != wire.SnapRows {
+		return fmt.Errorf("collect: snapshot is for game %d, not the row cluster game", s.Game)
+	}
+	if s.Seed != c.Gen.MasterSeed {
+		return fmt.Errorf("collect: snapshot master seed %d, config %d", s.Seed, c.Gen.MasterSeed)
+	}
+	if s.Rounds != c.Rounds || s.Batch != c.Batch {
+		return fmt.Errorf("collect: snapshot game %d rounds x batch %d, config %d x %d",
+			s.Rounds, s.Batch, c.Rounds, c.Batch)
+	}
+	if s.Ratio != c.AttackRatio {
+		return fmt.Errorf("collect: snapshot attack ratio %v, config %v", s.Ratio, c.AttackRatio)
+	}
+	if s.Epsilon != c.SummaryEpsilon {
+		return fmt.Errorf("collect: snapshot summary epsilon %v, config %v", s.Epsilon, c.SummaryEpsilon)
+	}
+	if s.Workers != c.Transport.Workers() {
+		return fmt.Errorf("collect: snapshot cut over %d worker slots, transport has %d",
+			s.Workers, c.Transport.Workers())
+	}
+	if s.SubShards != c.subShards() {
+		return fmt.Errorf("collect: snapshot cut at %d sub-shards per worker, config %d", s.SubShards, c.subShards())
+	}
+	if ft, fw := focusParams(c.FocusTighten, c.FocusWidth); s.FocusTighten != ft || s.FocusWidth != fw {
+		return fmt.Errorf("collect: snapshot focus %d× / ±%v, config %d× / ±%v", s.FocusTighten, s.FocusWidth, ft, fw)
+	}
+	if s.LateCenter != c.LateCenter {
+		return fmt.Errorf("collect: snapshot late-center %v, config %v — the center schedule is part of the game", s.LateCenter, c.LateCenter)
+	}
+	if s.NextRound > c.Rounds+1 {
+		return fmt.Errorf("collect: snapshot next round %d beyond the %d-round game", s.NextRound, c.Rounds)
+	}
+	if len(s.VecState) == 0 {
+		return fmt.Errorf("collect: snapshot carries no accepted-vector state")
+	}
+	return nil
 }
 
 // scaleDirs builds the clean-scale fan-out: each live leaf worker
@@ -161,8 +301,9 @@ type arrivalRow struct {
 }
 
 // rowsGame adapts the row collection game to the round engine: a
-// clean-scale pre-phase, distance thresholds, and a kept pool of rows fed
-// by worker deltas.
+// clean-scale pre-phase, distance thresholds, a robust center maintained
+// from worker vector deltas, and — shard-local — worker-held kept pools
+// tracked only by their per-leaf totals.
 type rowsGame struct {
 	cfg       *RowClusterConfig
 	res       *RowResult
@@ -172,13 +313,72 @@ type rowsGame struct {
 	// The coordinator's view of the accepted pool: a summary.Vector fed
 	// exclusively by worker deltas (after the clean seed round X0).
 	acceptedVec *summary.Vector
-	refCentroid []float64
 
-	// Round state, refreshed by preRound / feed.
-	scaleSum *summary.Summary
-	jscale   float64
-	arrivals []arrivalRow // coordinator-fed only
-	bounds   map[int][2]int
+	// The center delay line. curCenter is the robust center after the last
+	// completed round's deltas (D_r once endRound(r) ran; D_0 at game
+	// start); prevCenter is one round older, prev2Center one older still. A
+	// plain round generates AND scales against curCenter (D_{r−1}); a
+	// LateCenter round generates against prevCenter (D_{r−2}) and scales
+	// against prev2Center (D_{r−3}) — the doubly-late scale schedule that
+	// lets round r+2's scale request ride round r's classify broadcast
+	// (its center, D_{r−1}, is already fixed), making the steady-state
+	// pipelined round a single fan-out. A speculated round r+1, built
+	// before endRound(r) advances the line, finds its late gen center still
+	// sitting in curCenter and its scale center in prevCenter.
+	curCenter   []float64
+	prevCenter  []float64
+	prev2Center []float64
+
+	// Round state, refreshed by scalePass / feed. refCentroid is the center
+	// the current round's directives carry; scaleRound stamps which round
+	// the clean-scale state is valid for (a speculated scale pass runs one
+	// round ahead, and preRound must not redo it).
+	refCentroid []float64
+	scaleRound  int
+	scaleSum    *summary.Summary
+	jscale      float64
+	arrivals    []arrivalRow // coordinator-fed only
+	bounds      map[int][2]int
+
+	// poolRows is the fleet-wide kept-pool manifest: each slot's per-leaf
+	// pool totals as of its last classify (or trim) reply, leaves in the
+	// slot's merge order. Snapshots persist it flat; the game-end fetch
+	// pages against it.
+	poolRows map[int][]int
+
+	// The piggybacked scale state: combined classify+generate replies of
+	// round r carry each worker's clean-scale summary for round r+2
+	// (Report.ScaleSum), folded here as they arrive. pendRound stamps which
+	// round the accumulating state is for; pendEpoch/pendTopo stamp the
+	// membership it was merged over — preSpec consumes it only when all
+	// three still match, otherwise it fans a standalone scale pass.
+	pendScale    *summary.Summary
+	pendScaleMin float64
+	pendScaleMax float64
+	pendRound    int
+	pendEpoch    int
+	pendTopo     int
+}
+
+// roundCenter is the center the round being prepared generates against,
+// given that the delay line has already advanced past the previous round.
+func (g *rowsGame) roundCenter() []float64 {
+	if g.cfg.LateCenter {
+		return g.prevCenter
+	}
+	return g.curCenter
+}
+
+// scaleCenter is the center the round being prepared scales its clean
+// dataset against, under the same delay-line-advanced convention. LateCenter
+// scales one round later than it generates (D_{r−3} vs D_{r−2}): the scale
+// center of round r+2 is then already fixed when round r's classify
+// broadcast goes out, which is what lets the scale request piggyback there.
+func (g *rowsGame) scaleCenter() []float64 {
+	if g.cfg.LateCenter {
+		return g.prev2Center
+	}
+	return g.curCenter
 }
 
 func (g *rowsGame) confDirective() wire.Directive {
@@ -194,26 +394,115 @@ func (g *rowsGame) confDirective() wire.Directive {
 	return conf
 }
 
-// preRound refreshes the robust center from the absorbed deltas and fans
-// the clean-scale pass out over the workers' dataset ranges — the scale is
-// the distances of the collector's own clean dataset from the fresh
-// center, merged ε-losslessly in shard order.
-func (g *rowsGame) preRound(en *engine, r int) error {
-	g.refCentroid = g.acceptedVec.Medians(g.refCentroid)
-	reps, err := en.pool.callAll(r, "scale", en.pool.scaleDirs(r, g.refCentroid, g.cfg.Data.Len()))
+// scalePass fans the clean-scale pass for round r out over the workers'
+// dataset ranges against scaleCenter — the scale is the distances of the
+// collector's own clean dataset from that center, merged ε-losslessly in
+// shard order — and installs the round's threshold/jitter state, with
+// genCenter as the centroid the round's generate directives will carry
+// (identical to scaleCenter except under LateCenter, where generation runs
+// one round fresher than the scale). A pass already run for r (by a
+// speculating preSpec) is not redone unless force is set (a pipeline flush
+// re-fans over a changed membership).
+func (g *rowsGame) scalePass(en *engine, r int, scaleCenter, genCenter []float64, force bool) error {
+	if !force && g.scaleRound == r {
+		return nil
+	}
+	reps, err := en.pool.callAll(r, "scale", en.pool.scaleDirs(r, scaleCenter, g.cfg.Data.Len()))
 	if err != nil {
 		return err
 	}
-	g.scaleSum, _, _ = mergeSummarizeReports(reps)
+	sum, _, _ := mergeSummarizeReports(reps)
 	min, max := scaleRange(reps)
-	g.jscale = jitterRange(min, max)
+	g.installScale(r, genCenter, sum, min, max)
 	return nil
+}
+
+// installScale commits round r's threshold/jitter state, however it arrived
+// (a standalone scale fan-out, or the piggybacked summaries of the previous
+// combined broadcast).
+func (g *rowsGame) installScale(r int, genCenter []float64, sum *summary.Summary, min, max float64) {
+	g.refCentroid = genCenter
+	g.scaleSum = sum
+	g.jscale = jitterRange(min, max)
+	g.scaleRound = r
+}
+
+// preRound runs the round's clean-scale pass against the round's scale
+// center (skipped when a speculating preSpec already ran it one round
+// ahead).
+func (g *rowsGame) preRound(en *engine, r int) error {
+	return g.scalePass(en, r, g.scaleCenter(), g.roundCenter(), false)
+}
+
+// preSpec is the scale install outside the preRound slot. flush=true
+// re-fans round r's pass over a changed membership (the speculated pass
+// merged over the old live set). flush=false prepares the scale state for a
+// speculated round r (= current round + 1) before its generator directives
+// are built: the delay line has not advanced yet, so the speculated round's
+// late gen center is still curCenter and its scale center prevCenter. If
+// the previous combined broadcast piggybacked round r's scale summaries and
+// the membership has not changed since, they are consumed here at zero
+// fan-outs — the one-RTT steady state; otherwise a standalone pass fans out
+// (round 2's bootstrap, a membership change, or a pipeline cut at a
+// checkpoint). The standalone fan-out registers dataset loss ranges on the
+// pool; the in-flight round's batch ranges are restored afterwards so a
+// classify loss still charges the right slice.
+func (g *rowsGame) preSpec(en *engine, r int, flush bool) error {
+	if flush {
+		return g.scalePass(en, r, g.scaleCenter(), g.roundCenter(), true)
+	}
+	if g.pendScale != nil && g.pendRound == r &&
+		g.pendEpoch == en.pool.epoch() && g.pendTopo == en.pool.topo {
+		g.installScale(r, g.curCenter, g.pendScale, g.pendScaleMin, g.pendScaleMax)
+		g.pendScale = nil
+		return nil
+	}
+	g.pendScale = nil
+	saved := en.pool.ranges
+	err := g.scalePass(en, r, g.prevCenter, g.curCenter, false)
+	en.pool.ranges = saved
+	return err
+}
+
+// specAttach piggybacks the clean-scale request for round r+1 onto
+// speculated round r's combined directives: under the doubly-late schedule
+// round r+1 scales against D_{(r+1)−3} = D_{r−2}, which is curCenter while
+// round r−1 is still in flight — already fixed, so the request can go out
+// before round r−1 even resolves. The workers return their scale summaries
+// in the same replies (Report.ScaleSum) and foldClassify accumulates them
+// for preSpec(r+1) to consume, which is what makes the steady-state
+// pipelined row round a single fan-out (DESIGN.md §14). The dataset is cut
+// per leaf exactly as scaleDirs cuts it; loss ranges are NOT re-registered —
+// the combined call's losses charge the in-flight round's batch ranges, and
+// a membership change invalidates the piggybacked state anyway.
+func (g *rowsGame) specAttach(en *engine, r int, dirs []*wire.Directive) {
+	if !g.cfg.LateCenter {
+		return
+	}
+	alive := en.pool.alive()
+	leavesTotal := en.pool.totalLeaves()
+	dataLen := g.cfg.Data.Len()
+	off := 0
+	for i, w := range alive {
+		l := en.pool.leavesOf(w)
+		cuts := make([]int, l+1)
+		for j := 0; j < l; j++ {
+			lo, hi := shardBounds(dataLen, leavesTotal, off+j)
+			cuts[j], cuts[j+1] = lo, hi
+		}
+		dirs[i].ScaleCenter = g.curCenter
+		dirs[i].Lo, dirs[i].Hi = cuts[0], cuts[l]
+		if l > 1 {
+			dirs[i].Cuts = cuts
+		}
+		off += l
+	}
 }
 
 func (g *rowsGame) genOp() wire.Op  { return wire.OpGenerateRows }
 func (g *rowsGame) jitter() float64 { return g.jscale }
 
-// decorate attaches the per-round row-generation state: the current robust
+// decorate attaches the per-round row-generation state: the round's robust
 // center and the merged clean-scale summary poison percentiles resolve
 // against.
 func (g *rowsGame) decorate(d *wire.Directive) {
@@ -221,9 +510,11 @@ func (g *rowsGame) decorate(d *wire.Directive) {
 	d.Gen.Scale = g.scaleSum
 }
 
-// speculative is false: round r+1's generation needs the center refreshed
-// from round r's accepted deltas, so there is nothing safe to piggyback.
-func (g *rowsGame) speculative() bool { return false }
+// speculative: under LateCenter, round r+1 generates against D_{r−1} —
+// absorbed before round r's classify broadcast goes out — so speculation is
+// safe. With the fresh center it would need round r's still-outstanding
+// deltas, and the pipeline stays off.
+func (g *rowsGame) speculative() bool { return g.cfg.LateCenter }
 
 func (g *rowsGame) feed(en *engine, r int) ([]*wire.Directive, float64, error) {
 	cfg := g.cfg
@@ -300,26 +591,18 @@ func (g *rowsGame) quality(merged *summary.Summary) float64 {
 	return ExcessMassQualitySummary(merged, g.refSorted)
 }
 
-// foldClassify absorbs one worker's classify payload: the kept rows — as
-// indices into the shipped slice (coordinator-fed) or the rows themselves
-// (shard-local: only the worker ever held them) — and the accepted-row
-// vector delta the robust center is maintained from.
+// foldClassify absorbs one worker's classify payload: the per-leaf pool
+// totals of the worker-held kept rows (shard-local — since wire v8 the rows
+// themselves never ride on classify replies) or the kept-row indices into
+// the shipped slice (coordinator-fed), plus the accepted-row vector delta
+// the robust center is maintained from.
 func (g *rowsGame) foldClassify(en *engine, r int, _ *RoundRecord, rep *wire.Report) error {
 	if g.cfg.Gen != nil {
-		if g.res.Kept.Y != nil && len(rep.KeptLabels) != len(rep.KeptRows) {
-			return fmt.Errorf("collect: round %d: worker %d shipped %d labels for %d kept rows",
-				r, rep.Worker, len(rep.KeptLabels), len(rep.KeptRows))
+		if len(rep.KeptRows) != 0 {
+			return fmt.Errorf("collect: round %d: worker %d shipped %d kept rows on a classify reply (kept rows are worker-held since format 8)",
+				r, rep.Worker, len(rep.KeptRows))
 		}
-		for _, row := range rep.KeptRows {
-			if len(row) != g.dim {
-				return fmt.Errorf("collect: round %d: worker %d kept row dim %d, want %d",
-					r, rep.Worker, len(row), g.dim)
-			}
-			g.res.Kept.X = append(g.res.Kept.X, row)
-		}
-		if g.res.Kept.Y != nil {
-			g.res.Kept.Y = append(g.res.Kept.Y, rep.KeptLabels...)
-		}
+		g.poolRows[rep.Worker] = append(g.poolRows[rep.Worker][:0], rep.PoolRows...)
 		g.res.KeptPoison += rep.Counts.PoisonKept
 	} else {
 		b, ok := g.bounds[rep.Worker]
@@ -359,14 +642,166 @@ func (g *rowsGame) foldClassify(en *engine, r int, _ *RoundRecord, rep *wire.Rep
 			g.acceptedVec.Coord(i).AbsorbCounted(d.Dims[i], d.Count, d.Sums[i])
 		}
 	}
+	// Piggybacked scale summaries (round r's combined replies carry round
+	// r+2's clean scale) fold in report order — the same slot order a
+	// standalone scale pass merges in, so the consumed state is
+	// bit-identical to a fan-out over the same membership. The stamps are
+	// refreshed per report: they end up describing the membership after any
+	// mid-call losses, which is exactly the set the surviving summaries
+	// cover.
+	if rep.ScaleSum != nil {
+		if g.pendScale == nil || g.pendRound != r+2 {
+			g.pendScale = &summary.Summary{}
+			g.pendScaleMin, g.pendScaleMax = math.Inf(1), math.Inf(-1)
+			g.pendRound = r + 2
+		}
+		g.pendScale.Merge(rep.ScaleSum)
+		if rep.ScaleSum.TotalWeight() > 0 {
+			if rep.ScaleMin < g.pendScaleMin {
+				g.pendScaleMin = rep.ScaleMin
+			}
+			if rep.ScaleMax > g.pendScaleMax {
+				g.pendScaleMax = rep.ScaleMax
+			}
+		}
+		g.pendEpoch = en.pool.epoch()
+		g.pendTopo = en.pool.topo
+	}
 	return nil
 }
 
-func (g *rowsGame) endRound(*summary.Summary, int, float64) {}
+// endRound advances the center delay line now that the round's accepted
+// deltas are absorbed: the one-round-old center becomes two rounds old and
+// the fresh medians take its place. Medians re-queries the vector sketch,
+// so the value is a pure function of the absorbed deltas — the property the
+// checkpoint restore path (which re-derives curCenter the same way) and the
+// pipelined schedule both rely on.
+func (g *rowsGame) endRound(*summary.Summary, int, float64) {
+	g.prev2Center = g.prevCenter
+	g.prevCenter = g.curCenter
+	g.curCenter = g.acceptedVec.Medians(nil)
+}
+
+// flatPoolRows flattens the kept-pool manifest into global leaf order —
+// the snapshot form, and the count list RowResult reports.
+func (g *rowsGame) flatPoolRows(pool *workerPool) []int {
+	if g.poolRows == nil {
+		return nil
+	}
+	var out []int
+	for _, w := range pool.alive() {
+		counts := g.poolRows[w]
+		for rel := 0; rel < pool.leavesOf(w); rel++ {
+			n := 0
+			if rel < len(counts) {
+				n = counts[rel]
+			}
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// fetchKept pages the worker-held kept pools out at game end, leaf by leaf
+// in merge order, delivering each page to the Consume callback and/or
+// appending it to res.Kept (CollectKept). The coordinator holds at most one
+// page at a time.
+func (g *rowsGame) fetchKept(pool *workerPool) error {
+	page := g.cfg.fetchPage()
+	leaf := 0
+	for _, w := range pool.alive() {
+		counts := g.poolRows[w]
+		for rel := 0; rel < pool.leavesOf(w); rel++ {
+			total := 0
+			if rel < len(counts) {
+				total = counts[rel]
+			}
+			for lo := 0; lo < total; lo += page {
+				hi := lo + page
+				if hi > total {
+					hi = total
+				}
+				rep, err := pool.call1(w, &wire.Directive{Op: wire.OpFetchRows, Leaf: rel, Lo: lo, Hi: hi}, false)
+				if err != nil {
+					return fmt.Errorf("collect: fetch kept rows from worker %d leaf %d: %w", w, rel, err)
+				}
+				if err := g.deliverPage(leaf, rep); err != nil {
+					return err
+				}
+			}
+			leaf++
+		}
+	}
+	return nil
+}
+
+// deliverPage validates one fetched page and hands it to the configured
+// sinks.
+func (g *rowsGame) deliverPage(leaf int, rep *wire.Report) error {
+	for _, row := range rep.KeptRows {
+		if len(row) != g.dim {
+			return fmt.Errorf("collect: leaf %d kept row dim %d, want %d", leaf, len(row), g.dim)
+		}
+	}
+	if g.res.Kept.Y != nil && len(rep.KeptLabels) != len(rep.KeptRows) {
+		return fmt.Errorf("collect: leaf %d shipped %d labels for %d kept rows", leaf, len(rep.KeptLabels), len(rep.KeptRows))
+	}
+	if g.cfg.Consume != nil {
+		if err := g.cfg.Consume(leaf, rep.KeptRows, rep.KeptLabels); err != nil {
+			return fmt.Errorf("collect: consume kept rows: %w", err)
+		}
+	}
+	if g.cfg.CollectKept {
+		g.res.Kept.X = append(g.res.Kept.X, rep.KeptRows...)
+		if g.res.Kept.Y != nil {
+			g.res.Kept.Y = append(g.res.Kept.Y, rep.KeptLabels...)
+		}
+	}
+	return nil
+}
+
+// restorePools rolls every worker pool back to the snapshot's per-leaf
+// manifest (OpPoolTrim) and verifies the resulting totals match — a pool
+// that cannot reach its target (a cold in-memory replacement) fails the
+// resume here, before any round plays.
+func (g *rowsGame) restorePools(pool *workerPool, targets []int, round int) error {
+	total := pool.totalLeaves()
+	if len(targets) != total {
+		return fmt.Errorf("collect: snapshot pool manifest covers %d leaves, fleet has %d", len(targets), total)
+	}
+	alive := pool.alive()
+	dirs := make([]*wire.Directive, len(alive))
+	off := 0
+	for i, w := range alive {
+		l := pool.leavesOf(w)
+		dirs[i] = &wire.Directive{Op: wire.OpPoolTrim, Round: round, Lo: targets[off], Cuts: targets[off : off+l]}
+		off += l
+	}
+	reps, err := pool.callAll(round, "trim", dirs)
+	if err != nil {
+		return err
+	}
+	got := make([]int, 0, total)
+	for _, rep := range reps {
+		g.poolRows[rep.Worker] = append([]int(nil), rep.PoolRows...)
+		got = append(got, rep.PoolRows...)
+	}
+	if len(got) != len(targets) {
+		return fmt.Errorf("collect: pool trim reached %d leaves, snapshot manifest has %d", len(got), len(targets))
+	}
+	for i := range got {
+		if got[i] != targets[i] {
+			return fmt.Errorf("collect: leaf %d pool holds %d rows after trim, snapshot requires %d — kept-row pools did not survive the restart (run workers with -spill-dir)",
+				i, got[i], targets[i])
+		}
+	}
+	return nil
+}
 
 // RunClusterRows plays the row collection game across a worker cluster:
 // three fan-outs per round (clean scale, summarize/generate, classify)
-// driven by the shared round engine.
+// driven by the shared round engine — collapsing to one combined fan-out
+// per steady-state round under Pipeline.
 func RunClusterRows(cfg RowClusterConfig) (*RowResult, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -427,18 +862,22 @@ func RunClusterRows(cfg RowClusterConfig) (*RowResult, error) {
 	pool := newWorkerPool(cfg.Transport, cfg.Log, cfg.Metrics, cfg.Fleet)
 	defer pool.stop()
 
-	ft, fw := focusParams(cfg.FocusTighten, cfg.FocusWidth)
-	subs := cfg.SubShards
-	if subs < 1 {
-		subs = 1
+	// The delay line starts flat at D_0: in LateCenter mode rounds 1 and 2
+	// generate against the X0 seed center (D_{max(r−2,0)}) and rounds 1–3
+	// scale against it (D_{max(r−3,0)}).
+	d0 := acceptedVec.Medians(nil)
+	g := &rowsGame{
+		cfg: &cfg, res: res, dim: dim,
+		refSorted:   refSorted,
+		acceptedVec: acceptedVec,
+		curCenter:   d0,
+		prevCenter:  d0,
+		prev2Center: d0,
+		poolRows:    make(map[int][]int),
 	}
+	ft, fw := focusParams(cfg.FocusTighten, cfg.FocusWidth)
 	en := &engine{
-		game: &rowsGame{
-			cfg: &cfg, res: res, dim: dim,
-			refSorted:   refSorted,
-			acceptedVec: acceptedVec,
-			refCentroid: append([]float64(nil), center...),
-		},
+		game:         g,
 		pool:         pool,
 		board:        &res.Board,
 		collector:    cfg.Collector,
@@ -449,13 +888,62 @@ func RunClusterRows(cfg RowClusterConfig) (*RowResult, error) {
 		gen:          cfg.Gen,
 		si:           si,
 		pipeline:     cfg.Pipeline,
-		subShards:    subs,
+		subShards:    cfg.subShards(),
 		focusTighten: ft,
 		focusWidth:   fw,
+		onRound:      cfg.OnRound,
+	}
+	if cfg.Resume != nil {
+		en.resume = func() (int, error) {
+			// The baseline re-derived above is the purity check: a snapshot
+			// cut from the same (master seed, dataset) reproduces it bit for
+			// bit.
+			if !sameQuality(cfg.Resume.BaselineQ, baselineQ) {
+				return 0, fmt.Errorf("collect: snapshot baseline quality %v, recomputed %v (snapshot is from a different game)",
+					cfg.Resume.BaselineQ, baselineQ)
+			}
+			start, err := restoreRowsSnapshot(cfg.Resume, res, pool, g)
+			if err != nil {
+				return 0, err
+			}
+			if err := replayStrategies(cfg.Collector, si, res.Board.Records); err != nil {
+				return 0, err
+			}
+			// Re-anchor the focus schedule: the resumed run's first round
+			// anchors on the last posted round's percentile, exactly as the
+			// uninterrupted run would have.
+			if n := len(res.Board.Records); n > 0 {
+				en.lastPct, en.haveLast = res.Board.Records[n-1].ThresholdPct, true
+			}
+			// Roll the worker pools back to the snapshot's manifest: rows
+			// the original run appended after the checkpoint round must not
+			// survive into the resumed run's pools.
+			return start, g.restorePools(pool, cfg.Resume.PoolRows, start)
+		}
+	}
+	if cfg.Checkpoint != nil {
+		en.checkpointDue = cfg.Checkpoint.Due
+		en.checkpoint = func(r int) error {
+			path, err := cfg.Checkpoint.Write(rowsSnapshot(&cfg, res, pool, g, baselineQ, r))
+			if err != nil {
+				return err
+			}
+			pool.log.Checkpoint(r, path)
+			pool.met.Counter("trimlab_checkpoints_total").Inc()
+			return nil
+		}
 	}
 	if err := en.run(); err != nil {
 		return nil, err
 	}
+	// Page the worker-held pools out while the transport is still up (the
+	// deferred stop releases the workers only after this).
+	if cfg.Gen != nil && (cfg.CollectKept || cfg.Consume != nil) {
+		if err := g.fetchKept(pool); err != nil {
+			return nil, err
+		}
+	}
+	res.PoolRows = g.flatPoolRows(pool)
 	pool.finishStats(&res.ClusterStats)
 	return res, nil
 }
@@ -471,6 +959,10 @@ type RowShardedConfig struct {
 
 	// Gen selects shard-local row generation (see RowClusterConfig.Gen).
 	Gen *ShardGen
+
+	// LateCenter switches the trimming reference to the one-round-late
+	// center schedule (see RowClusterConfig.LateCenter).
+	LateCenter bool
 
 	// SubShards / FocusTighten / FocusWidth mirror the RowClusterConfig
 	// scale knobs (the sharded run is the cluster run over loopback).
@@ -496,6 +988,8 @@ func RunShardedRows(cfg RowShardedConfig) (*RowResult, error) {
 		RowConfig:    cfg.RowConfig,
 		Transport:    cluster.NewLoopback(shards),
 		Gen:          cfg.Gen,
+		LateCenter:   cfg.LateCenter,
+		CollectKept:  cfg.Gen != nil, // coordinator-fed games materialize Kept directly
 		SubShards:    cfg.SubShards,
 		FocusTighten: cfg.FocusTighten,
 		FocusWidth:   cfg.FocusWidth,

@@ -157,9 +157,8 @@ func TestRunZeroAttackRatio(t *testing.T) {
 	}
 }
 
-func TestRunKeepValues(t *testing.T) {
+func TestRunKeptStreamAccounting(t *testing.T) {
 	cfg := baseConfig(t, 6)
-	cfg.KeepValues = true
 	res, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -168,8 +167,8 @@ func TestRunKeepValues(t *testing.T) {
 	for _, rec := range res.Board.Records {
 		kept += rec.HonestKept + rec.PoisonKept
 	}
-	if len(res.KeptValues) != kept {
-		t.Errorf("KeptValues = %d, accounting says %d", len(res.KeptValues), kept)
+	if res.Kept.Count() != kept {
+		t.Errorf("Kept count = %d, accounting says %d", res.Kept.Count(), kept)
 	}
 }
 

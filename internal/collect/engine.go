@@ -56,6 +56,16 @@ type Game interface {
 	// main phase (the row game's clean-scale pass); most games no-op.
 	preRound(en *engine, r int) error
 
+	// preSpec runs the game-specific fan-out that must precede BUILDING
+	// round r's generator directives outside the normal preRound slot: the
+	// engine calls it with flush=false before speculating round r inside
+	// round r−1's classify broadcast, and with flush=true before re-fanning
+	// a flushed round r over a changed membership (the speculated pre-phase
+	// ran over the old live set and must be redone). Games whose phase-1
+	// directives carry no pre-phase state no-op; the row game refreshes the
+	// clean-scale pass against the round's (late) center.
+	preSpec(en *engine, r int, flush bool) error
+
 	// genOp is the shard-local phase-1 operation code.
 	genOp() wire.Op
 
@@ -91,13 +101,27 @@ type Game interface {
 	endRound(merged *summary.Summary, count int, sum float64)
 
 	// speculative reports whether round r+1's generation depends only on
-	// round r's threshold percentile — never on its classify outcome — so
-	// the pipeline may piggyback it onto round r's classify broadcast. True
-	// for the scalar and LDP games; false for the row game, whose
-	// next-round generation needs the robust center refreshed from this
-	// round's accepted-row deltas (the pipeline then flushes every round
-	// and -pipeline is a documented no-op).
+	// state already fixed when round r's classify broadcast goes out —
+	// never on round r's classify outcome — so the pipeline may piggyback
+	// it onto that broadcast. True for the scalar and LDP games; for the
+	// row game true only under LateCenter, where round r+1 generates
+	// against the center as of round r−1 (already absorbed) instead of
+	// round r's still-outstanding accepted-row deltas (DESIGN.md §14).
 	speculative() bool
+
+	// specAttach decorates speculated-round r's combined classify+generate
+	// directives (one per live slot, alive order) with any pre-phase
+	// request for round r+1 that is already determined when the broadcast
+	// goes out. The row game attaches the clean-scale request for round
+	// r+1 — its center, D_{(r+1)−3} under the doubly-late scale schedule,
+	// is exactly the generation center already on the directive — so the
+	// scale state arrives in the same reply and the steady-state pipelined
+	// round needs no standalone fan-out at all (one RTT, DESIGN.md §14).
+	// foldClassify stashes the piggybacked replies; preSpec consumes them.
+	// Most games no-op. Only called when the engine will also speculate
+	// round r+1, so an attached request is always consumed or invalidated,
+	// never silently wasted.
+	specAttach(en *engine, r int, dirs []*wire.Directive)
 }
 
 // Timing is the coordinator's per-phase wall-clock account of a cluster
@@ -1121,6 +1145,9 @@ func (en *engine) phase1(r int, pct float64, pend **pending) ([]*wire.Report, ma
 		// overwrite their speculated round state.
 		en.pool.log.PipelineFlush(r, p.epoch, en.pool.epoch())
 		en.pool.met.Counter("trimlab_pipeline_flush_total").Inc()
+		if err := en.game.preSpec(en, r, true); err != nil {
+			return nil, nil, 0, err
+		}
 		reps, byWorker, err := en.generate(r, anchor, p.inject)
 		return reps, byWorker, 0, err
 	}
@@ -1246,10 +1273,19 @@ func (en *engine) growFleet(r, k int) error {
 // OpClassifyGenerate and the replies (classify r + summarize r+1 in one)
 // are stashed in pend for the next iteration.
 func (en *engine) classifyRound(r int, pct, threshold float64, pend **pending) ([]*wire.Report, error) {
-	dirs := en.pool.classifyDirs(r, pct, threshold)
-	phase := "classify"
-	var next *pending
 	if en.speculate(r) {
+		// Run the game's pre-phase for the speculated round first (the row
+		// game's clean-scale install against the doubly-late center). In
+		// the steady state it consumes the summaries piggybacked on the
+		// PREVIOUS combined broadcast at zero fan-outs, so a pipelined row
+		// round costs a single combined fan-out; only the bootstrap round
+		// and post-flush rounds actually fan a standalone scale here. Any
+		// fan-out runs before classifyDirs below: a worker lost during the
+		// pre-phase shrinks the live set, and both directive builds must see
+		// the same membership.
+		if err := en.game.preSpec(en, r+1, false); err != nil {
+			return nil, err
+		}
 		// Draw round r+1's injection spec now: the adversary's view after
 		// round r is {Round, ThresholdPct}, both already fixed — identical
 		// to what an unpipelined run would pass after posting the record.
@@ -1257,28 +1293,37 @@ func (en *engine) classifyRound(r int, pct, threshold float64, pend **pending) (
 		// Round r+1 anchors its focus on round r's percentile — exactly what
 		// the plain path's lastPct resolves to after this round posts.
 		gdirs, byWorker, bounds := en.genDirs(r+1, pct, inject)
+		dirs := en.pool.classifyDirs(r, pct, threshold)
 		for i := range dirs {
 			dirs[i].Op = wire.OpClassifyGenerate
 			dirs[i].Gen = gdirs[i].Gen
+			dirs[i].Center = gdirs[i].Center // row game: the speculated round's late center
 			dirs[i].FocusPct = gdirs[i].FocusPct
 			dirs[i].FocusWidth = gdirs[i].FocusWidth
 			dirs[i].FocusTighten = gdirs[i].FocusTighten
 		}
+		if en.speculate(r + 1) {
+			// Round r+2 will also be speculated, so its pre-phase request can
+			// ride this broadcast and be consumed by preSpec(r+2) at zero
+			// fan-outs (the row game's piggybacked scale). When round r+1
+			// won't speculate (last round, or a checkpoint cuts the pipeline
+			// there), nothing rides along and round r+2 — if any — fans its
+			// pre-phase fresh in its preRound slot.
+			en.game.specAttach(en, r+1, dirs)
+		}
 		// The epoch and topology stamps are taken before the call: a worker
 		// (or subtree leaf) lost during the combined broadcast bumps one of
 		// them and invalidates the speculation.
-		next = &pending{inject: inject, byWorker: byWorker, bounds: bounds, epoch: en.pool.epoch(), topo: en.pool.topo}
-		phase = "classify+generate"
-	}
-	reps, err := en.pool.callAll(r, phase, dirs)
-	if err != nil {
-		return nil, err
-	}
-	if next != nil {
+		next := &pending{inject: inject, byWorker: byWorker, bounds: bounds, epoch: en.pool.epoch(), topo: en.pool.topo}
+		reps, err := en.pool.callAll(r, "classify+generate", dirs)
+		if err != nil {
+			return nil, err
+		}
 		next.reps = reps
 		*pend = next
+		return reps, nil
 	}
-	return reps, nil
+	return en.pool.callAll(r, "classify", en.pool.classifyDirs(r, pct, threshold))
 }
 
 // speculate reports whether round r+1's generation may ride on round r's

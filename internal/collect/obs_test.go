@@ -86,11 +86,12 @@ func TestObsOnOffRowsRecordIdentical(t *testing.T) {
 	gen := &ShardGen{MasterSeed: 203}
 	run := func(log *obs.Logger, met *obs.Registry) *RowResult {
 		res, err := RunClusterRows(RowClusterConfig{
-			RowConfig: mk(),
-			Transport: cluster.NewLoopback(3),
-			Gen:       gen,
-			Log:       log,
-			Metrics:   met,
+			RowConfig:   mk(),
+			Transport:   cluster.NewLoopback(3),
+			Gen:         gen,
+			CollectKept: true,
+			Log:         log,
+			Metrics:     met,
 		})
 		if err != nil {
 			t.Fatal(err)

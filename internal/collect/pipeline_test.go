@@ -1,6 +1,7 @@
 package collect
 
 import (
+	"fmt"
 	"net"
 	"path/filepath"
 	"strings"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dataset"
 	"repro/internal/fleet"
+	"repro/internal/rowstore"
 	"repro/internal/stats"
 )
 
@@ -124,30 +126,98 @@ func TestPipelinedEqualsUnpipelinedLDP(t *testing.T) {
 	}
 }
 
-// The row game accepts -pipeline but cannot overlap (its next-round
-// generation needs the center refreshed from this round's accepted
-// deltas), so the run — schedule included — is identical to unpipelined.
-func TestPipelinedRowsIsIdentitySchedule(t *testing.T) {
-	mk := func() RowConfig {
-		d := dataset.VehicleN(stats.NewRand(92), 300)
-		adv, err := attack.NewPoint("p", 0.99)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return RowConfig{
-			Rounds: 5, Batch: 100, AttackRatio: 0.2,
-			Data: d, Collector: mustStatic(t, 0.9), Adversary: adv,
-			PoisonLabel: -1,
+// rowsPipelineConfig is the shared row game the pipeline/resume tests play.
+func rowsPipelineConfig(t *testing.T, dataSeed int64) RowConfig {
+	t.Helper()
+	d := dataset.VehicleN(stats.NewRand(dataSeed), 300)
+	adv, err := attack.NewPoint("p", 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return RowConfig{
+		Rounds: 8, Batch: 100, AttackRatio: 0.2,
+		Data: d, Collector: mustStatic(t, 0.9), Adversary: adv,
+		PoisonLabel: -1,
+	}
+}
+
+// spillPrep keys a spill directory per worker slot under root, so loopback
+// respawns and cross-run restarts recover the same pool a re-spawned
+// `trimlab worker -spill-dir` process would.
+func spillPrep(root string) func(*cluster.Worker) {
+	return func(w *cluster.Worker) {
+		dir := filepath.Join(root, fmt.Sprintf("w%d", w.ID()))
+		w.SetPoolOpener(func() (rowstore.Pool, error) {
+			return rowstore.OpenSpill(dir, rowstore.SpillConfig{})
+		})
+	}
+}
+
+// assertSameRowResult compares two row runs record for record, kept row for
+// kept row, manifest for manifest.
+func assertSameRowResult(t *testing.T, label string, want, got *RowResult) {
+	t.Helper()
+	if len(want.Board.Records) != len(got.Board.Records) {
+		t.Fatalf("%s: %d rounds vs %d", label, len(got.Board.Records), len(want.Board.Records))
+	}
+	for i := range want.Board.Records {
+		if !want.Board.Records[i].Equal(got.Board.Records[i]) {
+			t.Errorf("%s: round %d diverged:\nwant %+v\ngot  %+v",
+				label, i+1, want.Board.Records[i], got.Board.Records[i])
 		}
 	}
+	if len(want.Kept.X) != len(got.Kept.X) {
+		t.Fatalf("%s: kept pool %d rows, want %d", label, len(got.Kept.X), len(want.Kept.X))
+	}
+	for i := range want.Kept.X {
+		for j := range want.Kept.X[i] {
+			if want.Kept.X[i][j] != got.Kept.X[i][j] {
+				t.Fatalf("%s: kept row %d coord %d: %v vs %v", label, i, j, got.Kept.X[i][j], want.Kept.X[i][j])
+			}
+		}
+	}
+	if len(want.Kept.Y) != len(got.Kept.Y) {
+		t.Fatalf("%s: kept labels %d, want %d", label, len(got.Kept.Y), len(want.Kept.Y))
+	}
+	for i := range want.Kept.Y {
+		if want.Kept.Y[i] != got.Kept.Y[i] {
+			t.Fatalf("%s: kept label %d: %d vs %d", label, i, got.Kept.Y[i], want.Kept.Y[i])
+		}
+	}
+	if want.KeptPoison != got.KeptPoison {
+		t.Errorf("%s: kept poison %d, want %d", label, got.KeptPoison, want.KeptPoison)
+	}
+	if len(want.PoolRows) != len(got.PoolRows) {
+		t.Fatalf("%s: pool manifest %v, want %v", label, got.PoolRows, want.PoolRows)
+	}
+	for i := range want.PoolRows {
+		if want.PoolRows[i] != got.PoolRows[i] {
+			t.Errorf("%s: pool manifest %v, want %v", label, got.PoolRows, want.PoolRows)
+			break
+		}
+	}
+}
+
+// The row-game acceptance bar of the pipelined schedule (DESIGN.md §14): a
+// pipelined LateCenter run must reproduce the unpipelined LateCenter run —
+// board, kept rows, pool manifest — record for record, while collapsing the
+// unpipelined three round-trips per round to ONE in the steady state: the
+// combined classify+generate broadcast carries the next round's generator
+// spec and the round after's clean-scale request, so only round 1 (its own
+// scale + generate, plus the bootstrap scale for round 2) ever fans
+// standalone phases. R rounds cost R+3 fan-outs instead of 3R.
+func TestLateCenterPipelinedEqualsUnpipelinedRows(t *testing.T) {
+	const workers = 3
 	gen := &ShardGen{MasterSeed: 93}
 	run := func(pipeline bool) (*RowResult, int) {
-		ct := &countingTransport{Transport: cluster.NewLoopback(3)}
+		ct := &countingTransport{Transport: cluster.NewLoopback(workers)}
 		res, err := RunClusterRows(RowClusterConfig{
-			RowConfig: mk(),
-			Transport: ct,
-			Gen:       gen,
-			Pipeline:  pipeline,
+			RowConfig:   rowsPipelineConfig(t, 92),
+			Transport:   ct,
+			Gen:         gen,
+			LateCenter:  true,
+			Pipeline:    pipeline,
+			CollectKept: true,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -156,17 +226,333 @@ func TestPipelinedRowsIsIdentitySchedule(t *testing.T) {
 	}
 	plain, plainCalls := run(false)
 	piped, pipedCalls := run(true)
-	for i := range plain.Board.Records {
-		if !plain.Board.Records[i].Equal(piped.Board.Records[i]) {
-			t.Errorf("round %d diverged under -pipeline", i+1)
+	assertSameRowResult(t, "pipelined vs unpipelined late-center", plain, piped)
+	if len(plain.Kept.X) == 0 {
+		t.Fatal("late-center run kept no rows")
+	}
+	// Identical configure/fetch/stop traffic on both sides; the pipeline
+	// runs R+3 fan-outs where the plain schedule runs 3R.
+	r := plain.Board.Records[len(plain.Board.Records)-1].Round
+	if want := workers * (2*r - 3); plainCalls-pipedCalls != want {
+		t.Errorf("pipelined run saved %d calls (%d vs %d), want %d",
+			plainCalls-pipedCalls, plainCalls, pipedCalls, want)
+	}
+}
+
+// The late-center schedule is a game-semantics change, not a free lunch:
+// its board must NOT match the fresh-center reference (if it did, the
+// delay line would not actually be in the trim loop).
+func TestLateCenterChangesRowGame(t *testing.T) {
+	gen := &ShardGen{MasterSeed: 93}
+	run := func(late bool) *RowResult {
+		res, err := RunClusterRows(RowClusterConfig{
+			RowConfig:  rowsPipelineConfig(t, 92),
+			Transport:  cluster.NewLoopback(3),
+			Gen:        gen,
+			LateCenter: late,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fresh, late := run(false), run(true)
+	same := true
+	for i := range fresh.Board.Records {
+		if !fresh.Board.Records[i].Equal(late.Board.Records[i]) {
+			same = false
+			break
 		}
 	}
-	if plainCalls != pipedCalls {
-		t.Errorf("row game schedule changed under -pipeline: %d vs %d calls", plainCalls, pipedCalls)
+	if same {
+		t.Error("late-center board identical to fresh-center board; the delay line is not wired in")
 	}
-	if got := len(piped.Kept.X); got != len(plain.Kept.X) {
-		t.Errorf("kept pool %d vs %d rows", got, len(plain.Kept.X))
+}
+
+// Pipelining the row game requires the late-center schedule: with the
+// fresh center, round r+1's generation needs round r's still-outstanding
+// deltas and the overlap is rejected up front.
+func TestPipelinedRowsRequireLateCenter(t *testing.T) {
+	_, err := RunClusterRows(RowClusterConfig{
+		RowConfig: rowsPipelineConfig(t, 92),
+		Transport: cluster.NewLoopback(3),
+		Gen:       &ShardGen{MasterSeed: 93},
+		Pipeline:  true,
+	})
+	if err == nil || !strings.Contains(err.Error(), "LateCenter") {
+		t.Errorf("err = %v, want LateCenter rejection", err)
 	}
+}
+
+// A pipelined row run over real TCP sockets matches the unpipelined
+// late-center loopback reference record for record, kept rows included —
+// the combined op, the pool-total replies and the end-of-game row fetch
+// all cross the wire.
+func TestPipelinedRowsOverTCPMatchesReference(t *testing.T) {
+	const workers = 3
+	gen := &ShardGen{MasterSeed: 95}
+	reference, err := RunClusterRows(RowClusterConfig{
+		RowConfig:   rowsPipelineConfig(t, 94),
+		Transport:   cluster.NewLoopback(workers),
+		Gen:         gen,
+		LateCenter:  true,
+		CollectKept: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	addrs := make([]string, workers)
+	for i := 0; i < workers; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		w := cluster.NewWorker(i)
+		go func() {
+			if err := cluster.Serve(ln, w); err != nil {
+				t.Errorf("worker serve: %v", err)
+			}
+		}()
+	}
+	tr, err := cluster.Dial(addrs, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	piped, err := RunClusterRows(RowClusterConfig{
+		RowConfig:   rowsPipelineConfig(t, 94),
+		Transport:   tr,
+		Gen:         gen,
+		LateCenter:  true,
+		Pipeline:    true,
+		CollectKept: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRowResult(t, "pipelined TCP vs loopback reference", reference, piped)
+}
+
+// Kill/re-join under the pipelined row schedule, with spill-backed pools:
+// the respawned worker recovers its kept pool from disk, the fleet
+// re-admits it, and the run stays deterministic — an identical chaos
+// schedule reproduces it record for record and row for row. Rounds before
+// the loss match the clean reference, and no surviving pool loses a row:
+// the fetched kept pool accounts for exactly the board's kept tallies.
+func TestPipelinedRowsRejoinSpillRecovery(t *testing.T) {
+	const workers = 3
+	const failAfter, respawnAfter = 3, 5
+	gen := &ShardGen{MasterSeed: 96}
+
+	reference, err := RunClusterRows(RowClusterConfig{
+		RowConfig:   rowsPipelineConfig(t, 97),
+		Transport:   cluster.NewLoopback(workers),
+		Gen:         gen,
+		LateCenter:  true,
+		CollectKept: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	chaos := func(root string) *RowResult {
+		lb := cluster.NewLoopbackPrepared(workers, spillPrep(root))
+		cfg := RowClusterConfig{
+			RowConfig:   rowsPipelineConfig(t, 97),
+			Transport:   lb,
+			Gen:         gen,
+			LateCenter:  true,
+			Pipeline:    true,
+			CollectKept: true,
+			Fleet:       &fleet.Config{Rejoin: true},
+		}
+		cfg.OnRound = rejoinPattern(failAfter, respawnAfter,
+			func() { lb.Fail(1) }, func() { lb.Respawn(1) })
+		res, err := RunClusterRows(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := chaos(t.TempDir())
+
+	if res.LostShards != 1 {
+		t.Fatalf("LostShards %d, Losses %+v", res.LostShards, res.Losses)
+	}
+	if res.WholeSince != respawnAfter+1 {
+		t.Fatalf("WholeSince = %d, want %d (events %+v)", res.WholeSince, respawnAfter+1, res.FleetEvents)
+	}
+	for i := 0; i < failAfter; i++ {
+		if !reference.Board.Records[i].Equal(res.Board.Records[i]) {
+			t.Errorf("pre-loss round %d diverged:\nreference %+v\nchaos     %+v",
+				i+1, reference.Board.Records[i], res.Board.Records[i])
+		}
+	}
+	// Every kept row the board tallied is held by some live pool — the
+	// killed worker's pre-kill rows survived on disk and were recovered by
+	// the respawned process.
+	wantKept := 0
+	for _, rec := range res.Board.Records {
+		wantKept += rec.HonestKept + rec.PoisonKept
+	}
+	if got := len(res.Kept.X); got != wantKept {
+		t.Errorf("fetched kept pool %d rows, board tallies %d (pool manifest %v)", got, wantKept, res.PoolRows)
+	}
+	manifest := 0
+	for _, n := range res.PoolRows {
+		manifest += n
+	}
+	if manifest != wantKept {
+		t.Errorf("pool manifest %v sums to %d, board tallies %d", res.PoolRows, manifest, wantKept)
+	}
+
+	// Same chaos schedule, fresh spill root: identical run.
+	assertSameRowResult(t, "chaos replay", res, chaos(t.TempDir()))
+}
+
+// Checkpoint/resume for the row game, spill-backed: a pipelined
+// checkpointing run equals the unpipelined plain run; a resume from a
+// mid-game snapshot — against the same spill directories, whose pools the
+// original run has since grown five rounds past the snapshot — rolls every
+// pool back to the snapshot manifest (OpPoolTrim) and finishes identically.
+// A resume against cold in-memory pools must fail loudly instead.
+func TestRowsCheckpointResumeLoopback(t *testing.T) {
+	const workers = 3
+	gen := &ShardGen{MasterSeed: 98}
+	ckDir := t.TempDir()
+	spillRoot := t.TempDir()
+	ck, err := fleet.NewCheckpointer(ckDir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	full, err := RunClusterRows(RowClusterConfig{
+		RowConfig:   rowsPipelineConfig(t, 99),
+		Transport:   cluster.NewLoopbackPrepared(workers, spillPrep(spillRoot)),
+		Gen:         gen,
+		LateCenter:  true,
+		Pipeline:    true,
+		CollectKept: true,
+		Checkpoint:  ck,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The pipelined checkpointing run equals the plain unpipelined run
+	// (checkpoints cut at a drained pipeline; in-memory pools suffice for
+	// the reference).
+	plain, err := RunClusterRows(RowClusterConfig{
+		RowConfig:   rowsPipelineConfig(t, 99),
+		Transport:   cluster.NewLoopback(workers),
+		Gen:         gen,
+		LateCenter:  true,
+		CollectKept: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRowResult(t, "pipelined checkpointing vs plain", plain, full)
+
+	snap, err := fleet.Load(filepath.Join(ckDir, "checkpoint-000003.tq"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.NextRound != 4 {
+		t.Fatalf("snapshot next round %d, want 4", snap.NextRound)
+	}
+	resumed, err := RunClusterRows(RowClusterConfig{
+		RowConfig:   rowsPipelineConfig(t, 99),
+		Transport:   cluster.NewLoopbackPrepared(workers, spillPrep(spillRoot)),
+		Gen:         gen,
+		LateCenter:  true,
+		Pipeline:    true,
+		CollectKept: true,
+		Resume:      snap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRowResult(t, "resumed vs full", full, resumed)
+
+	// Cold in-memory pools cannot satisfy the snapshot manifest.
+	_, err = RunClusterRows(RowClusterConfig{
+		RowConfig:  rowsPipelineConfig(t, 99),
+		Transport:  cluster.NewLoopback(workers),
+		Gen:        gen,
+		LateCenter: true,
+		Resume:     snap,
+	})
+	if err == nil || !strings.Contains(err.Error(), "-spill-dir") {
+		t.Errorf("cold resume err = %v, want pool-survival failure", err)
+	}
+}
+
+// Rows resume over real TCP sockets: freshly served worker processes whose
+// spill openers point at the original run's directories recover the pools,
+// and the resumed run finishes identically.
+func TestRowsCheckpointResumeTCP(t *testing.T) {
+	const workers = 2
+	gen := &ShardGen{MasterSeed: 100}
+	ckDir := t.TempDir()
+	spillRoot := t.TempDir()
+	ck, err := fleet.NewCheckpointer(ckDir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := RunClusterRows(RowClusterConfig{
+		RowConfig:   rowsPipelineConfig(t, 101),
+		Transport:   cluster.NewLoopbackPrepared(workers, spillPrep(spillRoot)),
+		Gen:         gen,
+		LateCenter:  true,
+		CollectKept: true,
+		Checkpoint:  ck,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _, err := fleet.LoadLatest(ckDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.NextRound != 7 {
+		t.Fatalf("latest snapshot next round %d, want 7", snap.NextRound)
+	}
+
+	prep := spillPrep(spillRoot)
+	addrs := make([]string, workers)
+	for i := 0; i < workers; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		w := cluster.NewWorker(i)
+		prep(w)
+		go func() {
+			if err := cluster.Serve(ln, w); err != nil {
+				t.Errorf("worker serve: %v", err)
+			}
+		}()
+	}
+	tr, err := cluster.Dial(addrs, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := RunClusterRows(RowClusterConfig{
+		RowConfig:   rowsPipelineConfig(t, 101),
+		Transport:   tr,
+		Gen:         gen,
+		LateCenter:  true,
+		Pipeline:    true,
+		CollectKept: true,
+		Resume:      snap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRowResult(t, "TCP resumed vs full", full, resumed)
 }
 
 // Pipelining requires the shard-local data plane on every game.

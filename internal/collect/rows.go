@@ -50,6 +50,10 @@ type RowConfig struct {
 	// summary.DefaultEpsilon when 0.
 	SummaryEpsilon float64
 
+	// OnRound, when non-nil, observes each posted record — the test hook
+	// chaos schedules key off.
+	OnRound func(RoundRecord)
+
 	Rng *rand.Rand
 }
 
@@ -89,10 +93,17 @@ func (c *RowConfig) validateMode(shardLocal bool) error {
 type RowResult struct {
 	Board Board
 	// Kept pools every retained row across rounds. Labels are carried when
-	// the source dataset is labeled.
+	// the source dataset is labeled. Shard-local cluster games hold kept
+	// rows worker-side and materialize Kept only on request
+	// (RowClusterConfig.CollectKept) via the paged end-of-game fetch;
+	// otherwise it stays empty and PoolRows is the manifest.
 	Kept *dataset.Dataset
 	// KeptPoison counts poison rows that survived trimming.
 	KeptPoison int
+	// PoolRows is the per-leaf manifest of worker-held kept-row pools at
+	// game end (leaf order; empty for in-process and coordinator-fed
+	// games, where Kept is materialized directly).
+	PoolRows []int
 	// ClusterStats carries the loss, membership, egress and per-phase
 	// timing account of a cluster run (all zero for in-process games).
 	ClusterStats
@@ -325,6 +336,9 @@ func RunRows(cfg RowConfig) (*RowResult, error) {
 			}
 		}
 		res.Board.Post(rec)
+		if cfg.OnRound != nil {
+			cfg.OnRound(rec)
+		}
 	}
 	return res, nil
 }

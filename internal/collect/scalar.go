@@ -83,16 +83,6 @@ type Config struct {
 	FocusTighten int
 	FocusWidth   float64
 
-	// KeepValues retains every round's kept values in the result.
-	//
-	// Deprecated: mean/quantile consumers of the retained pool should read
-	// Result.KeptMean/KeptQuantile (and Result.Received for the full
-	// arrival stream), which are driven by the game's mergeable summaries
-	// and never buffer a value. KeepValues remains only for downstream
-	// estimators that genuinely need the raw retained values (anything not
-	// decomposable into sums and rank queries).
-	KeepValues bool
-
 	// OnRound, when non-nil, is invoked after each round is posted to the
 	// board. Black-box experiments use it to feed attacker-side survival
 	// feedback (attack.Probing.Observe); monitoring uses it for progress.
@@ -106,8 +96,8 @@ func (c *Config) validate() error { return c.validateMode(false) }
 // validateMode validates the config for central (shardLocal = false) or
 // shard-local generation. The shard-local data plane ignores Honest and
 // Rng (shards sample the shared pool from derived streams) but cannot
-// serve slice-based quality standards or the deprecated KeepValues buffer
-// — the coordinator never holds raw values.
+// serve slice-based quality standards — the coordinator never holds raw
+// values.
 func (c *Config) validateMode(shardLocal bool) error {
 	if c.Rounds <= 0 {
 		return fmt.Errorf("collect: rounds = %d", c.Rounds)
@@ -131,9 +121,6 @@ func (c *Config) validateMode(shardLocal bool) error {
 		if c.Quality != nil {
 			return fmt.Errorf("collect: shard-local generation serves only summary-native quality standards (Quality must be nil)")
 		}
-		if c.KeepValues {
-			return fmt.Errorf("collect: shard-local generation cannot populate the deprecated KeepValues buffer")
-		}
 		return nil
 	}
 	if c.Honest == nil {
@@ -154,11 +141,6 @@ func (c *Config) poisonPerRound() int {
 type Result struct {
 	Board Board
 
-	// KeptValues pools the kept values, when Config.KeepValues.
-	//
-	// Deprecated: see Config.KeepValues — use KeptMean/KeptQuantile.
-	KeptValues []float64
-
 	// Received is the game-long mergeable summary of every value that
 	// arrived (honest and poison), built incrementally by absorbing each
 	// round's summary. Nil under ExactQuantiles. Downstream estimators can
@@ -168,10 +150,10 @@ type Result struct {
 	Received *summary.Stream
 
 	// Kept is the game-long mergeable summary of every retained value —
-	// the stream downstream mean/quantile estimators consume in place of
-	// KeptValues buffering. Nil under ExactQuantiles. Its count and sum
-	// are exact (cluster workers ship them alongside each sketch), so
-	// KeptMean is exact and KeptQuantile is within the summary ε.
+	// the stream downstream mean/quantile estimators consume without the
+	// engine ever buffering a value. Nil under ExactQuantiles. Its count
+	// and sum are exact (cluster workers ship them alongside each sketch),
+	// so KeptMean is exact and KeptQuantile is within the summary ε.
 	Kept *summary.Stream
 
 	// ClusterStats carries the loss, membership, egress and per-phase
@@ -179,34 +161,24 @@ type Result struct {
 	ClusterStats
 }
 
-// KeptMean estimates the mean of the retained pool: exact from the Kept
-// stream's running sum, falling back to the deprecated KeptValues buffer
-// under ExactQuantiles. NaN when nothing was kept or recorded.
+// KeptMean estimates the mean of the retained pool, exact from the Kept
+// stream's running sum. NaN when nothing was kept or the game ran under
+// ExactQuantiles (which carries no Kept stream).
 func (r *Result) KeptMean() float64 {
-	if r.Kept != nil {
-		return r.Kept.Mean()
-	}
-	if len(r.KeptValues) == 0 {
+	if r.Kept == nil {
 		return math.NaN()
 	}
-	var sum float64
-	for _, v := range r.KeptValues {
-		sum += v
-	}
-	return sum / float64(len(r.KeptValues))
+	return r.Kept.Mean()
 }
 
 // KeptQuantile estimates the q-th quantile of the retained pool within the
-// summary ε, falling back to the deprecated KeptValues buffer under
-// ExactQuantiles. NaN when nothing was kept or recorded.
+// summary ε. NaN when nothing was kept or the game ran under
+// ExactQuantiles (which carries no Kept stream).
 func (r *Result) KeptQuantile(q float64) float64 {
-	if r.Kept != nil {
-		return r.Kept.Query(q)
-	}
-	if len(r.KeptValues) == 0 {
+	if r.Kept == nil {
 		return math.NaN()
 	}
-	return stats.Quantile(r.KeptValues, q)
+	return r.Kept.Query(q)
 }
 
 // drawArrivals draws one round's arrivals: cfg.Batch honest values followed
@@ -322,9 +294,6 @@ func Run(cfg Config) (*Result, error) {
 			}
 			if kept && res.Kept != nil {
 				res.Kept.Push(v)
-			}
-			if kept && cfg.KeepValues {
-				res.KeptValues = append(res.KeptValues, v)
 			}
 		}
 		if res.Received != nil {

@@ -285,15 +285,6 @@ func RunSharded(cfg ShardedConfig) (*Result, error) {
 			rec.PoisonTrimmed += outs[s].rec.PoisonTrimmed
 			res.Kept.AbsorbStream(outs[s].kept)
 		}
-		if cfg.KeepValues { // central generation only; rejected under Gen
-			for s := 0; s < shards; s++ {
-				for _, v := range outs[s].values {
-					if v <= thresholdValue {
-						res.KeptValues = append(res.KeptValues, v)
-					}
-				}
-			}
-		}
 		// The shard streams carry exact counts and sums; ship them with the
 		// merged summary so the game-long estimators stay exact.
 		var mCount int

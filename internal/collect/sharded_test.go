@@ -52,9 +52,8 @@ func TestRunShardedConservation(t *testing.T) {
 			}
 			kept += rec.HonestKept + rec.PoisonKept
 		}
-		// The Kept stream (not the deprecated KeptValues buffer) is the
-		// retained pool's record of truth; its exact count must match the
-		// tallies.
+		// The Kept stream is the retained pool's record of truth; its
+		// exact count must match the tallies.
 		if res.Kept.Count() != kept {
 			t.Errorf("shards=%d: Kept count %d, accounting %d", shards, res.Kept.Count(), kept)
 		}

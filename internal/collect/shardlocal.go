@@ -25,8 +25,7 @@ import (
 //   - Config.Honest/Rng are ignored — honest draws sample the shared pool
 //     (Pool, defaulting to the game's reference/input pool/dataset);
 //   - Quality must be nil (the coordinator never sees raw values, so only
-//     summary-native standards apply);
-//   - the deprecated KeepValues buffer cannot be populated.
+//     summary-native standards apply).
 type ShardGen struct {
 	// MasterSeed is the run's single seed. Shard and round streams derive
 	// from it; workers only ever learn derived seeds.

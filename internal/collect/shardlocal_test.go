@@ -188,7 +188,6 @@ func TestShardLocalValidation(t *testing.T) {
 	}
 	bad := []func(*ShardedConfig){
 		func(c *ShardedConfig) { c.Quality = ExcessMassQuality },
-		func(c *ShardedConfig) { c.KeepValues = true },
 		func(c *ShardedConfig) { c.Adversary = opaque{c.Adversary} },
 		func(c *ShardedConfig) { c.Rounds = 0 },
 	}
@@ -206,9 +205,9 @@ func TestShardLocalValidation(t *testing.T) {
 	}
 	// Cluster validation mirrors it.
 	ccfg := ClusterConfig{Config: shardLocalConfig(t), Transport: cluster.NewLoopback(2), Gen: &ShardGen{MasterSeed: 1}}
-	ccfg.KeepValues = true
+	ccfg.Quality = ExcessMassQuality
 	if _, err := RunCluster(ccfg); err == nil {
-		t.Error("cluster shard-local KeepValues should fail validation")
+		t.Error("cluster shard-local slice-based Quality should fail validation")
 	}
 }
 

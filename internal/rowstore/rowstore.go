@@ -1,0 +1,168 @@
+// Package rowstore is the kept-row storage layer behind the row game's
+// worker-held pools (DESIGN.md §14). A Pool accumulates the rows a shard
+// retains across rounds and serves them back in pages at game end
+// (wire.OpFetchRows); the coordinator never holds more than one page.
+//
+// Two implementations share the interface: MemPool keeps everything in
+// process memory (the loopback default), SpillPool appends fixed-size
+// records to segment files on disk so a pool survives worker restarts —
+// the piece that makes row-game `-resume` possible, since the snapshot
+// stores only O(1/ε) coordinator state plus each pool's row count, and
+// the rows themselves are recovered from the worker's own segments.
+//
+// Append order is the pool's canonical order: rows page back exactly as
+// they were appended, so two runs that keep the same rows in the same
+// order produce byte-identical pools — the property the record-for-record
+// equality tests lean on.
+package rowstore
+
+import "fmt"
+
+// Pool stores one shard's kept rows in append order.
+//
+// Labels ride along row-for-row when the dataset is labeled; an unlabeled
+// pool passes nil labels throughout. The first Append fixes the pool's
+// dimension and labeledness; later appends must agree.
+type Pool interface {
+	// Append adds rows (and, for labeled datasets, their labels — one per
+	// row) to the end of the pool. The rows are copied; the caller may
+	// reuse the backing arrays.
+	Append(rows [][]float64, labels []int) error
+
+	// Len reports the number of rows currently stored.
+	Len() int
+
+	// Page returns rows [lo, hi) in append order, with labels when the
+	// pool is labeled (nil otherwise). hi is clamped to Len.
+	Page(lo, hi int) ([][]float64, []int, error)
+
+	// Manifest describes the pool's current contents — row count,
+	// dimension, and the backing segments (empty for in-memory pools).
+	Manifest() Manifest
+
+	// Truncate discards every row at index n and beyond, rolling the pool
+	// back to exactly n rows. Resume uses it to drop rows appended after
+	// the snapshot being restored. A no-op when n >= Len.
+	Truncate(n int) error
+
+	// Close releases any backing resources. The pool is unusable after.
+	Close() error
+}
+
+// Manifest is a pool's self-description: the coordinator checkpoints only
+// each pool's row count, and the worker-local manifest ties that count to
+// concrete on-disk segments (empty for in-memory pools).
+type Manifest struct {
+	Rows    int
+	Dim     int
+	Labeled bool
+	// Segments lists the on-disk segment files in append order; nil for
+	// in-memory pools.
+	Segments []Segment
+}
+
+// Segment is one on-disk chunk of a spill pool.
+type Segment struct {
+	Name string // file name within the pool directory
+	Rows int    // whole records stored
+}
+
+// MemPool is the in-memory Pool: plain slices, used by loopback clusters
+// and anywhere durability across process restarts is not needed.
+type MemPool struct {
+	rows    [][]float64
+	labels  []int
+	dim     int
+	labeled bool
+	sealed  bool // dim/labeledness fixed by the first append
+}
+
+// NewMem returns an empty in-memory pool.
+func NewMem() *MemPool { return &MemPool{} }
+
+func (p *MemPool) seal(dim int, labeled bool) error {
+	if !p.sealed {
+		p.dim, p.labeled, p.sealed = dim, labeled, true
+		return nil
+	}
+	if dim != p.dim {
+		return fmt.Errorf("rowstore: append dim %d, pool dim %d", dim, p.dim)
+	}
+	if labeled != p.labeled {
+		return fmt.Errorf("rowstore: labeled mismatch (pool labeled=%v)", p.labeled)
+	}
+	return nil
+}
+
+// Append implements Pool.
+func (p *MemPool) Append(rows [][]float64, labels []int) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	if labels != nil && len(labels) != len(rows) {
+		return fmt.Errorf("rowstore: %d rows, %d labels", len(rows), len(labels))
+	}
+	if err := p.seal(len(rows[0]), labels != nil); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if len(r) != p.dim {
+			return fmt.Errorf("rowstore: ragged row (dim %d, pool dim %d)", len(r), p.dim)
+		}
+		cp := make([]float64, p.dim)
+		copy(cp, r)
+		p.rows = append(p.rows, cp)
+	}
+	p.labels = append(p.labels, labels...)
+	return nil
+}
+
+// Len implements Pool.
+func (p *MemPool) Len() int { return len(p.rows) }
+
+// Page implements Pool.
+func (p *MemPool) Page(lo, hi int) ([][]float64, []int, error) {
+	if lo < 0 || lo > hi {
+		return nil, nil, fmt.Errorf("rowstore: bad page [%d,%d)", lo, hi)
+	}
+	if hi > len(p.rows) {
+		hi = len(p.rows)
+	}
+	if lo >= hi {
+		return nil, nil, nil
+	}
+	rows := make([][]float64, hi-lo)
+	copy(rows, p.rows[lo:hi])
+	var labels []int
+	if p.labeled {
+		labels = make([]int, hi-lo)
+		copy(labels, p.labels[lo:hi])
+	}
+	return rows, labels, nil
+}
+
+// Manifest implements Pool.
+func (p *MemPool) Manifest() Manifest {
+	return Manifest{Rows: len(p.rows), Dim: p.dim, Labeled: p.labeled}
+}
+
+// Truncate implements Pool.
+func (p *MemPool) Truncate(n int) error {
+	if n < 0 {
+		return fmt.Errorf("rowstore: truncate to %d", n)
+	}
+	if n >= len(p.rows) {
+		return nil
+	}
+	p.rows = p.rows[:n]
+	if p.labeled {
+		p.labels = p.labels[:n]
+	}
+	return nil
+}
+
+// Close implements Pool.
+func (p *MemPool) Close() error {
+	p.rows, p.labels = nil, nil
+	return nil
+}

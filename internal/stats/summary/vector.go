@@ -28,6 +28,37 @@ func NewVector(dim int, eps float64, hint int) (*Vector, error) {
 	return v, nil
 }
 
+// VectorFromState reconstructs a Vector from per-coordinate stream states
+// (States' counterpart). The restored vector answers every later query bit
+// for bit like the original — the row-game checkpoint relies on this.
+func VectorFromState(states []*StreamState) (*Vector, error) {
+	if len(states) == 0 {
+		return nil, fmt.Errorf("summary: vector from %d coordinate states", len(states))
+	}
+	v := &Vector{dims: make([]*Stream, len(states))}
+	for i, st := range states {
+		if st == nil {
+			return nil, fmt.Errorf("summary: nil state for vector coordinate %d", i)
+		}
+		s, err := FromState(st)
+		if err != nil {
+			return nil, err
+		}
+		v.dims[i] = s
+	}
+	return v, nil
+}
+
+// States snapshots every coordinate stream (Stream.State) in coordinate
+// order, the serializable form VectorFromState restores.
+func (v *Vector) States() []*StreamState {
+	out := make([]*StreamState, len(v.dims))
+	for i, st := range v.dims {
+		out[i] = st.State()
+	}
+	return out
+}
+
 // Dim returns the number of coordinates.
 func (v *Vector) Dim() int { return len(v.dims) }
 

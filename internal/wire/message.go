@@ -42,9 +42,11 @@ const (
 	OpJoin             Op = 11 // membership grant: serve shard slots from Epoch on
 	OpClassifyGenerate Op = 12 // classify round Round, then generate round Round+1 from Gen
 	OpTreeInfo         Op = 13 // topology probe: report subtree Leaves/Height, mutate nothing
+	OpFetchRows        Op = 14 // page [Lo,Hi) of leaf Leaf's kept-row pool (game-end fan-in)
+	OpPoolTrim         Op = 15 // roll kept-row pools back to per-leaf row counts (resume)
 )
 
-func (o Op) valid() bool { return o >= OpConfigure && o <= OpTreeInfo }
+func (o Op) valid() bool { return o >= OpConfigure && o <= OpPoolTrim }
 
 // Counts are one shard's classification tallies for a round — the partial
 // RoundRecord the coordinator reduces across shards.
@@ -154,9 +156,20 @@ type Report struct {
 	PctSums []float64
 
 	// Scale phase: exact extrema of the summarized distances (the
-	// coordinator derives the jitter width from the merged range).
+	// coordinator derives the jitter width from the merged range). A
+	// ClassifyGenerate reply fills them alongside ScaleSum when the
+	// directive piggybacked a speculative scale request (ScaleCenter).
 	ScaleMin float64
 	ScaleMax float64
+
+	// ScaleSum is the piggybacked clean-scale summary of a ClassifyGenerate
+	// reply: the distances of the worker's dataset range from the
+	// directive's ScaleCenter, summarized for the round after the one being
+	// speculated. It rides its own field because Sum already carries the
+	// speculated round's arrival summary — with it, a steady-state
+	// pipelined row round needs no standalone Scale fan-out (DESIGN.md
+	// §14). Nil everywhere else.
+	ScaleSum *summary.Summary
 
 	// Classify phase.
 	Counts    Counts
@@ -166,12 +179,22 @@ type Report struct {
 	KeptIdx   []int        // indices into the shard's slice that were kept (coordinator-fed rows)
 	Vec       *VectorDelta // accepted-row vector delta (row game)
 
-	// Shard-local row game: the kept rows themselves (with labels when the
-	// dataset is labeled). The worker generated the arrivals, so the rows
-	// must flow back — collected data is the product of the game. This is
-	// ingress; coordinator egress stays O(1) per worker.
+	// KeptRows/KeptLabels are one page of a worker-held kept-row pool —
+	// the reply to OpFetchRows (labels ride along when the dataset is
+	// labeled). Since format 8 classify replies no longer carry them:
+	// workers retain their own kept rows (rowstore.Pool) and the
+	// coordinator pages the collected data out once, at game end, so
+	// per-round kept-row ingress is zero and round egress stays O(1/ε).
 	KeptRows   [][]float64
 	KeptLabels []int
+
+	// PoolRows are the per-leaf kept-row pool totals, in leaf order (a
+	// plain worker reports one entry; aggregators concatenate). Classify
+	// replies of the shard-local row game carry them so the coordinator
+	// can page pools (OpFetchRows) and checkpoint their manifest without
+	// ever holding the rows; OpFetchRows and OpPoolTrim replies echo the
+	// (resulting) totals.
+	PoolRows []int
 
 	// Aggregator tier (DESIGN.md §13). A report forwarded by an aggregator
 	// stands for a whole subtree of worker slots:
@@ -233,6 +256,7 @@ func EncodeReport(buf []byte, rep *Report) []byte {
 	buf = appendIntList(buf, rep.KeptIdx)
 	buf = appendRowsBlock(buf, rep.KeptRows)
 	buf = appendIntList(buf, rep.KeptLabels)
+	buf = appendIntList(buf, rep.PoolRows)
 	if rep.Vec == nil {
 		buf = appendU32(buf, 0)
 	} else {
@@ -249,6 +273,7 @@ func EncodeReport(buf []byte, rep *Report) []byte {
 	for _, n := range rep.MergeNanos {
 		buf = appendU64(buf, uint64(n))
 	}
+	buf = appendSummaryBlock(buf, rep.ScaleSum)
 	return buf
 }
 
@@ -306,6 +331,7 @@ func DecodeReport(buf []byte) (*Report, error) {
 	rep.KeptIdx = readIntList(r, "kept index")
 	rep.KeptRows = readRowsBlock(r, "kept row")
 	rep.KeptLabels = readIntList(r, "kept label")
+	rep.PoolRows = readIntList(r, "pool rows")
 	if rep.Vec, err = readVectorBlock(r); err != nil {
 		return nil, err
 	}
@@ -329,6 +355,9 @@ func DecodeReport(buf []byte) (*Report, error) {
 			rep.MergeNanos[i] = int64(r.u64("merge nanos"))
 		}
 	}
+	if rep.ScaleSum, err = readSummaryBlock(r); err != nil {
+		return nil, err
+	}
 	if err := r.finish(); err != nil {
 		return nil, err
 	}
@@ -348,6 +377,9 @@ func DecodeReport(buf []byte) (*Report, error) {
 //   - Scale carries Center and the dataset range [Lo, Hi).
 //   - Classify carries Threshold (and Pct for the record); Stop nothing.
 //   - Heartbeat and Hello carry nothing beyond the op; Join carries Epoch.
+//   - FetchRows carries Leaf (which kept-row pool) and the page range
+//     [Lo, Hi) in pool row indices; PoolTrim carries Cuts as the per-leaf
+//     pool row targets to roll back to (one entry per leaf, leaf order).
 type Directive struct {
 	Op    Op
 	Round int
@@ -402,8 +434,26 @@ type Directive struct {
 	// an aggregator subtree: leaf i of the subtree scales [Cuts[i], Cuts[i+1])
 	// (so len(Cuts) = leaves+1, Lo = Cuts[0], Hi = Cuts[len-1]). The
 	// aggregator slices Cuts positionally among its children; a plain worker
-	// directive omits it and uses Lo/Hi. Nil everywhere else.
+	// directive omits it and uses Lo/Hi. A PoolTrim directive reuses Cuts as
+	// the per-leaf pool row targets (len = leaves; a plain worker reads
+	// Cuts[0]). Nil everywhere else.
 	Cuts []int
+
+	// Leaf addresses one kept-row pool in a FetchRows directive: the leaf
+	// offset relative to the receiving subtree's leaf order (a plain worker
+	// is its own single leaf, 0). Aggregators rebase it while routing the
+	// fetch to the child that owns the leaf.
+	Leaf int
+
+	// ScaleCenter piggybacks a speculative clean-scale request onto a
+	// ClassifyGenerate directive: summarize the distances of dataset
+	// [Lo, Hi) (Cuts per leaf under an aggregator) from this center and
+	// return them as Report.ScaleSum/ScaleMin/ScaleMax — the scale state of
+	// the round after the one being speculated, fetched a full round early
+	// so a steady-state pipelined row round is one RTT (DESIGN.md §14).
+	// Distinct from Center, which is the speculated generation's center one
+	// round newer. Nil when no scale request rides along.
+	ScaleCenter []float64
 }
 
 // EncodeDirective serializes a directive, appending to buf.
@@ -454,6 +504,8 @@ func EncodeDirective(buf []byte, d *Directive) []byte {
 		}
 	}
 	buf = appendIntList(buf, d.Cuts)
+	buf = appendU32(buf, uint32(d.Leaf))
+	buf = appendF64s(buf, d.ScaleCenter)
 	return buf
 }
 
@@ -515,6 +567,8 @@ func DecodeDirective(buf []byte) (*Directive, error) {
 		d.Gen = g
 	}
 	d.Cuts = readIntList(r, "leaf cut")
+	d.Leaf = int(r.u32("fetch leaf"))
+	d.ScaleCenter = r.f64s("scale center")
 	if err := r.finish(); err != nil {
 		return nil, err
 	}

@@ -9,10 +9,16 @@ import (
 // SnapGame discriminates which collection game a snapshot belongs to.
 type SnapGame byte
 
-// SnapScalar is the scalar cluster game — the only game with a compact
-// checkpoint today. (The row game's resumable state includes every collected
-// row, which is a storage concern, not a wire message; see DESIGN.md §8.)
-const SnapScalar SnapGame = 1
+// The checkpointable games. SnapScalar covers the scalar and LDP cluster
+// games (their resumable state is the two game-long streams). SnapRows is
+// the shard-local row game: since workers hold their own kept-row pools
+// (rowstore.Pool, DESIGN.md §14), its snapshot is O(1/ε) — the robust-
+// center vector sketch, the late-center delay line, and the per-leaf pool
+// row counts — and never a row.
+const (
+	SnapScalar SnapGame = 1
+	SnapRows   SnapGame = 2
+)
 
 // SnapRound mirrors one public-board round record inside a snapshot. The
 // fields are collect.RoundRecord's, kept as a wire-local struct so the codec
@@ -96,6 +102,32 @@ type Snapshot struct {
 	// totals exceed an uninterrupted run's by exactly that shipment.
 	Egress       int64
 	EgressConfig int64
+
+	// Row game (SnapRows) only.
+	//
+	// LateCenter extends the fingerprint: whether the run updates the
+	// robust center one round late (the row-game pipelining discipline,
+	// DESIGN.md §14). The center trajectory differs between modes, so a
+	// resume across them must be rejected.
+	LateCenter bool
+	// KeptPoison is the running poison-rows-kept tally.
+	KeptPoison int
+	// VecState is the accepted-row vector sketch, one stream state per
+	// coordinate — the O(dim/ε) state the robust center is queried from.
+	VecState []*summary.StreamState
+	// PrevCenter is the late-center delay line: the round-before-last
+	// center (nil unless LateCenter). The latest center is re-derived from
+	// VecState on restore.
+	PrevCenter []float64
+	// Prev2Center is the delay line's third tap — the center two completed
+	// rounds before the latest (nil unless LateCenter). The doubly-late
+	// clean-scale schedule scales round r against D_{r−3} (DESIGN.md §14),
+	// so the resumed round's scale pass needs it.
+	Prev2Center []float64
+	// PoolRows is the per-leaf kept-row pool manifest at snapshot time, in
+	// leaf order: resume rolls each worker pool back to exactly this many
+	// rows (OpPoolTrim) before playing NextRound.
+	PoolRows []int
 }
 
 // EncodeSnapshot serializes a snapshot, appending to buf.
@@ -146,6 +178,19 @@ func EncodeSnapshot(buf []byte, s *Snapshot) []byte {
 	buf = appendStreamState(buf, s.Kept)
 	buf = appendU64(buf, uint64(s.Egress))
 	buf = appendU64(buf, uint64(s.EgressConfig))
+	if s.LateCenter {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = appendU64(buf, uint64(s.KeptPoison))
+	buf = appendU32(buf, uint32(len(s.VecState)))
+	for _, st := range s.VecState {
+		buf = appendStreamState(buf, st)
+	}
+	buf = appendF64s(buf, s.PrevCenter)
+	buf = appendF64s(buf, s.Prev2Center)
+	buf = appendIntList(buf, s.PoolRows)
 	return buf
 }
 
@@ -226,10 +271,26 @@ func DecodeSnapshot(buf []byte) (*Snapshot, error) {
 	}
 	s.Egress = int64(r.u64("egress"))
 	s.EgressConfig = int64(r.u64("egress config"))
+	s.LateCenter = r.u8("late center") != 0
+	s.KeptPoison = int(r.u64("kept poison"))
+	if nVec := r.count("vector states", 1); nVec > 0 {
+		s.VecState = make([]*summary.StreamState, nVec)
+		for i := range s.VecState {
+			if s.VecState[i], err = readStreamState(r); err != nil {
+				return nil, err
+			}
+			if s.VecState[i] == nil {
+				return nil, fmt.Errorf("wire: empty vector coordinate state %d of %d", i, nVec)
+			}
+		}
+	}
+	s.PrevCenter = r.f64s("prev center")
+	s.Prev2Center = r.f64s("prev2 center")
+	s.PoolRows = readIntList(r, "pool rows")
 	if err := r.finish(); err != nil {
 		return nil, err
 	}
-	if s.Game != SnapScalar {
+	if s.Game != SnapScalar && s.Game != SnapRows {
 		return nil, fmt.Errorf("wire: unknown snapshot game %d", s.Game)
 	}
 	if s.NextRound < 1 || s.NextRound != len(s.Records)+1 {

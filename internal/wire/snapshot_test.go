@@ -3,6 +3,7 @@ package wire
 import (
 	"errors"
 	"math"
+	"reflect"
 	"testing"
 
 	"repro/internal/stats/summary"
@@ -105,6 +106,57 @@ func TestSnapshotRoundTrip(t *testing.T) {
 			if a.Query(q) != b.Query(q) {
 				t.Fatalf("restored stream Query(%v) diverged", q)
 			}
+		}
+	}
+}
+
+// A rows-game snapshot additionally carries the accepted-vector state, both
+// trailing taps of the late-center delay line (the doubly-late scale
+// schedule needs D_{r−3}) and the kept-pool manifest — all of which must
+// survive the wire bit for bit.
+func TestSnapshotRowsRoundTrip(t *testing.T) {
+	snap := testSnapshot(t)
+	snap.Game = SnapRows
+	snap.LateCenter = true
+	snap.KeptPoison = 42
+	snap.VecState = []*summary.StreamState{
+		testStreamState(t, false, 300),
+		testStreamState(t, true, 200),
+	}
+	snap.PrevCenter = []float64{0.5, -1.5}
+	snap.Prev2Center = []float64{0.25, -1.25}
+	snap.PoolRows = []int{120, 80, 0, 99}
+	raw := EncodeSnapshot(nil, snap)
+	back, err := DecodeSnapshot(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(EncodeSnapshot(nil, back)) != string(raw) {
+		t.Fatal("re-encoding the decoded rows snapshot changed bytes")
+	}
+	if !back.LateCenter || back.KeptPoison != snap.KeptPoison {
+		t.Fatalf("rows scalars diverged: LateCenter=%v KeptPoison=%d", back.LateCenter, back.KeptPoison)
+	}
+	if !reflect.DeepEqual(back.PrevCenter, snap.PrevCenter) || !reflect.DeepEqual(back.Prev2Center, snap.Prev2Center) {
+		t.Fatalf("delay line diverged: %v / %v", back.PrevCenter, back.Prev2Center)
+	}
+	if !reflect.DeepEqual(back.PoolRows, snap.PoolRows) {
+		t.Fatalf("pool manifest diverged: %v", back.PoolRows)
+	}
+	if len(back.VecState) != len(snap.VecState) {
+		t.Fatalf("vector state count %d, want %d", len(back.VecState), len(snap.VecState))
+	}
+	for i := range snap.VecState {
+		a, err := summary.FromState(snap.VecState[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := summary.FromState(back.VecState[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Count() != b.Count() || a.Query(0.5) != b.Query(0.5) {
+			t.Fatalf("vector coordinate %d diverged across the wire", i)
 		}
 	}
 }

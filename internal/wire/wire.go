@@ -48,15 +48,22 @@ import (
 // dataset cuts on scale directives (Directive.Cuts), and subtree-shaped
 // report fields (Leaves/Height/LostLeaves, concatenated per-leaf vector
 // deltas in Vecs, and per-level merge timings in MergeNanos) so a report
-// can stand for a whole subtree of worker slots instead of one worker.
-const Version = 7
+// can stand for a whole subtree of worker slots instead of one worker;
+// 8 moved the row game's kept pools worker-side: classify reports stop
+// shipping per-round kept rows and instead carry per-leaf pool totals
+// (Report.PoolRows), two ops page and roll back the pools at game end and
+// resume (OpFetchRows with Directive.Leaf addressing, OpPoolTrim), and
+// row-game snapshots (SnapRows) checkpoint O(1/ε) coordinator state —
+// the robust-center vector sketch, the late-center delay line, and the
+// per-leaf pool manifest — instead of any rows.
+const Version = 8
 
 // MinVersion is the oldest format this decoder still parses. Each version
 // so far changed the protocol contract (layout, or — v4 — an op an older
 // worker would reject mid-game), so its predecessor is retired: a
 // mixed-version cluster fails loudly at the configure fan-out instead of
 // misparsing or dying rounds later.
-const MinVersion = 7
+const MinVersion = 8
 
 const (
 	magic0 = 'T'

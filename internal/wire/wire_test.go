@@ -181,6 +181,16 @@ func TestReportRoundTrip(t *testing.T) {
 			Vecs:       []*VectorDelta{DeltaFromVector(vec), DeltaFromVector(vec)},
 			MergeNanos: []int64{40_000, 125_000},
 		},
+		{ // v8: combined reply with a piggybacked clean-scale summary
+			Round: 14, Worker: 2, Epsilon: 0.01,
+			Sum: randomSummary(t, rng, "uniform", 120, 16), Count: 120, ValueSum: 31.5,
+			Counts:    Counts{HonestKept: 90, HonestTrimmed: 10, PoisonKept: 5, PoisonTrimmed: 15},
+			Kept:      randomSummary(t, rng, "heavy", 95, 0),
+			KeptCount: 95, KeptSum: 44.5,
+			ScaleSum: randomSummary(t, rng, "uniform", 200, 16),
+			ScaleMin: 0.25, ScaleMax: 9.75,
+			Vec: DeltaFromVector(vec),
+		},
 	}
 	for i, rep := range reps {
 		got, err := DecodeReport(EncodeReport(nil, rep))
@@ -267,6 +277,16 @@ func TestDirectiveRoundTrip(t *testing.T) {
 					{Seed: 44, HonestN: 100, PoisonN: 20},
 				},
 			},
+		},
+		{ // v8: combined op carrying a piggybacked scale request for round+2
+			Op: OpClassifyGenerate, Round: 10, Pct: 0.9, Threshold: 2.25,
+			Center: []float64{0.5, 1.5},
+			Gen: &GenSpec{
+				Seed: 17, HonestN: 100, PoisonN: 20,
+				InjectKind: 1, InjectHi: 0.99, Jitter: 1e-6,
+			},
+			ScaleCenter: []float64{0.75, 1.25},
+			Lo:          0, Hi: 40, Cuts: []int{0, 20, 40},
 		},
 	}
 	for i, d := range dirs {
